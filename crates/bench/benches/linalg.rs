@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the linear-algebra substrate: the two
+//! SVD routes at the shapes the sketches actually use, the symmetric
+//! eigensolver, and the spectral-norm evaluators behind the error metric.
+
+use cma_linalg::eigen::jacobi_eigen_sym;
+use cma_linalg::norms::{spectral_norm_sym_exact, spectral_norm_sym_power};
+use cma_linalg::svd::{gram_svd, jacobi_svd};
+use cma_linalg::{random, Matrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_svd_routes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("svd");
+    g.sample_size(20);
+    // The FD shrink shape: an ℓ×d sketch buffer.
+    for &(n, d) in &[(40usize, 44usize), (40, 90), (120, 44)] {
+        let a = random::gaussian(&mut rng, n, d);
+        g.bench_function(format!("gram_svd/{n}x{d}"), |b| {
+            b.iter(|| black_box(gram_svd(&a).unwrap().sigma[0]))
+        });
+        g.bench_function(format!("jacobi_svd/{n}x{d}"), |b| {
+            b.iter(|| black_box(jacobi_svd(&a).unwrap().sigma[0]))
+        });
+    }
+    g.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut g = c.benchmark_group("eigen");
+    g.sample_size(20);
+    for &d in &[44usize, 90] {
+        let a = random::gaussian(&mut rng, d, d);
+        let s = a.add(&a.transpose()).scaled(0.5);
+        g.bench_function(format!("jacobi_sym/{d}"), |b| {
+            b.iter(|| black_box(jacobi_eigen_sym(&s).unwrap().values[0]))
+        });
+    }
+    // Near-diagonal warm start (the MT-P2 shape): diag + rank-1.
+    let d = 90;
+    let mut s = Matrix::zeros(d, d);
+    for i in 0..d {
+        s[(i, i)] = (d - i) as f64;
+    }
+    let cvec: Vec<f64> = (0..d).map(|i| 0.05 * ((i % 7) as f64 + 1.0)).collect();
+    for i in 0..d {
+        for j in 0..d {
+            s[(i, j)] += cvec[i] * cvec[j];
+        }
+    }
+    g.bench_function("jacobi_sym/near_diagonal_90", |b| {
+        b.iter(|| black_box(jacobi_eigen_sym(&s).unwrap().values[0]))
+    });
+    g.finish();
+}
+
+fn bench_spectral_norm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = random::gaussian(&mut rng, 90, 90);
+    let s = a.add(&a.transpose()).scaled(0.5);
+    let mut g = c.benchmark_group("spectral_norm");
+    g.sample_size(20);
+    g.bench_function("exact_eigen/90", |b| {
+        b.iter(|| black_box(spectral_norm_sym_exact(&s).unwrap()))
+    });
+    g.bench_function("power_iteration/90", |b| {
+        b.iter(|| black_box(spectral_norm_sym_power(&s, 200)))
+    });
+    g.finish();
+}
+
+fn bench_matmul_gram(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let a = random::gaussian(&mut rng, 500, 44);
+    let mut g = c.benchmark_group("matrix");
+    g.sample_size(20);
+    g.bench_function("gram/500x44", |b| b.iter(|| black_box(a.gram().frob_norm_sq())));
+    let b500 = random::gaussian(&mut rng, 44, 44);
+    g.bench_function("matmul/500x44x44", |bch| {
+        bch.iter(|| black_box(a.matmul(&b500).frob_norm_sq()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_svd_routes, bench_eigen, bench_spectral_norm, bench_matmul_gram);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Minimal command-line argument parsing for the harness binaries.
+//!
+//! Supports `--key value` pairs and boolean `--flag`s — all any harness
+//! needs, without pulling a CLI dependency into the workspace.
+
+use std::collections::{HashMap, HashSet};
+use std::str::FromStr;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: HashSet<String>,
+}
+
+impl Args {
+    /// Parses the process arguments. A token `--key` followed by a token
+    /// that does not start with `--` is a key/value pair; otherwise it is
+    /// a flag.
+    pub fn from_env() -> Self {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit token list (unit tests).
+    pub fn from_tokens<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut out = Args::default();
+        let toks: Vec<String> = tokens.into_iter().collect();
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if i + 1 < toks.len() && !toks[i + 1].starts_with("--") {
+                    out.values.insert(key.to_string(), toks[i + 1].clone());
+                    i += 2;
+                    continue;
+                }
+                out.flags.insert(key.to_string());
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Typed lookup with default.
+    ///
+    /// # Panics
+    /// Panics with a readable message when the value fails to parse —
+    /// these are operator-facing binaries, not a library surface.
+    pub fn get<T: FromStr + Copy>(&self, key: &str, default: T) -> T {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key}: cannot parse {v:?}")),
+            None => default,
+        }
+    }
+
+    /// String lookup with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// `true` when `--flag` was passed.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains(flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::from_tokens(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = args("--scale 0.5 --full --panel d");
+        assert_eq!(a.get::<f64>("scale", 1.0), 0.5);
+        assert!(a.has("full"));
+        assert_eq!(a.get_str("panel", "a"), "d");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args("");
+        assert_eq!(a.get::<usize>("sites", 50), 50);
+        assert!(!a.has("full"));
+        assert_eq!(a.get_str("dataset", "pamap"), "pamap");
+    }
+
+    #[test]
+    fn adjacent_flags() {
+        let a = args("--a --b 3");
+        assert!(a.has("a"));
+        assert_eq!(a.get::<u32>("b", 0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot parse")]
+    fn bad_value_panics() {
+        args("--n xyz").get::<usize>("n", 1);
+    }
+}

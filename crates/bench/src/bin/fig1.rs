@@ -1,0 +1,89 @@
+//! Figure 1 — weighted heavy hitters on Zipf(skew=2), paper §6.1.
+//!
+//! Panels (a) recall vs ε, (b) precision vs ε, (c) avg err of true heavy
+//! hitters vs ε, (d) messages vs ε, (e) err vs messages, (f) messages vs
+//! β with every protocol tuned to err ≈ 0.1.
+//!
+//! Usage:
+//! ```text
+//! fig1 [--n 1000000] [--full] [--sites 50] [--phi 0.05] [--beta 1000]
+//!      [--universe 10000] [--seed 7] [--panel abcd|e|f|all]
+//! ```
+//! `--full` runs the paper's N = 10⁷ (minutes instead of seconds).
+//! Output is CSV on stdout; `#` lines carry metadata.
+
+use cma_bench::{
+    run_hh, tune_hh_to_error, Args, HhProtocol, PAPER_BETA, PAPER_PHI, PAPER_SITES,
+};
+use cma_core::HhConfig;
+use cma_data::WeightedZipfStream;
+
+/// The paper's ε sweep for Figure 1(a–e).
+const EPSILONS: [f64; 5] = [5e-4, 1e-3, 5e-3, 1e-2, 5e-2];
+
+/// β sweep for panel (f).
+const BETAS: [f64; 5] = [1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+/// Tuning grid for panel (f): ε values searched to hit err ≈ 0.1.
+const TUNE_GRID: [f64; 5] = [5e-3, 1e-2, 5e-2, 1e-1, 2e-1];
+
+fn main() {
+    let args = Args::from_env();
+    let n: usize = if args.has("full") {
+        cma_bench::HH_STREAM_LEN
+    } else {
+        args.get("n", 1_000_000)
+    };
+    let sites: usize = args.get("sites", PAPER_SITES);
+    let phi: f64 = args.get("phi", PAPER_PHI);
+    let beta: f64 = args.get("beta", PAPER_BETA);
+    let universe: usize = args.get("universe", 10_000);
+    let seed: u64 = args.get("seed", 7);
+    let panel = args.get_str("panel", "all");
+
+    println!(
+        "# fig1: zipf skew=2 universe={universe} beta={beta} n={n} m={sites} phi={phi} seed={seed}"
+    );
+
+    if panel == "all" || panel == "abcd" || panel == "e" {
+        let stream = WeightedZipfStream::new(universe, 2.0, beta, seed).take_vec(n);
+        let mut sweep = Vec::new();
+        println!("# panels a-d: metric vs epsilon, one row per (epsilon, protocol)");
+        println!("panel,epsilon,protocol,recall,precision,avg_rel_err,msgs");
+        for &eps in &EPSILONS {
+            let cfg = HhConfig::new(sites, eps).with_seed(seed);
+            for proto in HhProtocol::FIGURE1 {
+                let r = run_hh(proto, &cfg, &stream, phi);
+                println!(
+                    "abcd,{eps},{},{:.4},{:.4},{:.6e},{}",
+                    r.protocol, r.eval.recall, r.eval.precision, r.eval.avg_rel_err, r.msgs
+                );
+                sweep.push((eps, r));
+            }
+        }
+        if panel == "all" || panel == "e" {
+            println!("# panel e: err vs messages (the same sweep re-keyed)");
+            println!("panel,protocol,msgs,avg_rel_err");
+            for (_, r) in &sweep {
+                println!("e,{},{},{:.6e}", r.protocol, r.msgs, r.eval.avg_rel_err);
+            }
+        }
+    }
+
+    if panel == "all" || panel == "f" {
+        println!("# panel f: messages vs beta, protocols tuned to err ~= 0.1");
+        println!("panel,beta,protocol,tuned_epsilon,avg_rel_err,msgs");
+        for &b in &BETAS {
+            let stream = WeightedZipfStream::new(universe, 2.0, b, seed).take_vec(n);
+            for proto in HhProtocol::FIGURE1 {
+                let base = HhConfig::new(sites, 0.1).with_seed(seed);
+                let (eps, r) =
+                    tune_hh_to_error(proto, &base, &stream, phi, 0.1, &TUNE_GRID);
+                println!(
+                    "f,{b},{},{eps},{:.6e},{}",
+                    r.protocol, r.eval.avg_rel_err, r.msgs
+                );
+            }
+        }
+    }
+}

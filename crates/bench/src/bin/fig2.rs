@@ -1,0 +1,19 @@
+//! Figure 2 — matrix tracking on the PAMAP(-like) dataset, paper §6.2.
+//!
+//! Panels (a) err vs ε, (b) messages vs ε, (c) messages vs number of
+//! sites, (d) err vs number of sites, for protocols P1, P2, P3wor.
+//!
+//! Usage:
+//! ```text
+//! fig2 [--scale 0.2] [--full] [--seed 7] [--panel ab|cd|all]
+//! ```
+//! This binary is the PAMAP instance; `fig3` is the identical sweep on
+//! the MSD-like dataset.
+
+use cma_bench::figures::{run_figure, FigureSpec};
+use cma_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    run_figure(&args, FigureSpec::pamap("fig2"));
+}

@@ -1,0 +1,17 @@
+//! Figure 3 — matrix tracking on the MSD(-like) dataset, paper §6.2.
+//!
+//! Panels (a) err vs ε, (b) messages vs ε, (c) messages vs number of
+//! sites, (d) err vs number of sites, for protocols P1, P2, P3wor.
+//!
+//! Usage:
+//! ```text
+//! fig3 [--scale 0.2] [--full] [--seed 7] [--panel ab|cd|all]
+//! ```
+
+use cma_bench::figures::{run_figure, FigureSpec};
+use cma_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    run_figure(&args, FigureSpec::msd("fig3"));
+}

@@ -1,0 +1,55 @@
+//! Figure 4 — the communication/accuracy frontier, paper §6.2.
+//!
+//! For both datasets, sweeps ε across a fine grid for P1, P2 and P3wor
+//! and prints `(err, msgs)` pairs — the paper's msg-vs-err plot showing
+//! that each protocol dominates in a different regime (P1 at the smallest
+//! errors, P2/P3 when communication matters).
+//!
+//! Usage:
+//! ```text
+//! fig4 [--scale 0.2] [--full] [--seed 7] [--dataset pamap|msd|both]
+//! ```
+
+use cma_bench::drivers::{run_matrix, MatrixProtocol};
+use cma_bench::figures::FigureSpec;
+use cma_bench::{Args, PAPER_SITES};
+use cma_core::MatrixConfig;
+
+/// Finer ε grid than Figure 2's, to trace the frontier.
+const EPSILONS: [f64; 7] = [5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1];
+
+fn main() {
+    let args = Args::from_env();
+    let seed: u64 = args.get("seed", 7);
+    let scale: f64 = args.get("scale", 0.2);
+    let which = args.get_str("dataset", "both");
+
+    let mut specs = Vec::new();
+    if which == "both" || which == "pamap" {
+        specs.push(FigureSpec::pamap("fig4a"));
+    }
+    if which == "both" || which == "msd" {
+        specs.push(FigureSpec::msd("fig4b"));
+    }
+
+    println!("# fig4: msgs vs err frontier, m={PAPER_SITES}");
+    println!("figure,dataset,epsilon,protocol,err,msgs");
+    for spec in specs {
+        let n = if args.has("full") {
+            spec.paper_rows
+        } else {
+            (spec.paper_rows as f64 * scale) as usize
+        };
+        for &eps in &EPSILONS {
+            let cfg = MatrixConfig::new(PAPER_SITES, eps, spec.dim).with_seed(seed);
+            for proto in MatrixProtocol::FIGURES {
+                eprintln!("{}: eps={eps} {}…", spec.id, proto.name());
+                let r = run_matrix(proto, &cfg, || spec.stream(seed), n);
+                println!(
+                    "{},{},{eps},{},{:.6e},{}",
+                    spec.id, spec.dataset, r.protocol, r.err, r.msgs
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Figures 6 and 7 — the P4 negative result, paper Appendix C.
+//!
+//! Adds protocol P4 to the Figure 2/3 sweeps: (a) err vs ε and (b) err
+//! vs number of sites, on PAMAP-like (Figure 6) and MSD-like (Figure 7)
+//! data. The point being demonstrated: P4's error is orders of magnitude
+//! above P1–P3's and does not obey any `ε` contract, because its
+//! per-site approximation can never rotate its right-singular basis
+//! toward the data's.
+//!
+//! Usage:
+//! ```text
+//! fig67 [--scale 0.2] [--full] [--seed 7] [--dataset pamap|msd|both]
+//! ```
+
+use cma_bench::drivers::{run_matrix, MatrixProtocol};
+use cma_bench::figures::{FigureSpec, SITE_COUNTS};
+use cma_bench::{Args, PAPER_MATRIX_EPSILON, PAPER_SITES};
+use cma_core::MatrixConfig;
+
+/// The appendix sweep (paper x-axis 0.01 … 0.5).
+const EPSILONS: [f64; 4] = [1e-2, 5e-2, 1e-1, 5e-1];
+
+/// P1–P3 plus the protocol under indictment.
+const PROTOCOLS: [MatrixProtocol; 4] = [
+    MatrixProtocol::P1,
+    MatrixProtocol::P2,
+    MatrixProtocol::P3,
+    MatrixProtocol::P4,
+];
+
+fn main() {
+    let args = Args::from_env();
+    let seed: u64 = args.get("seed", 7);
+    let scale: f64 = args.get("scale", 0.2);
+    let which = args.get_str("dataset", "both");
+
+    let mut specs = Vec::new();
+    if which == "both" || which == "pamap" {
+        specs.push(FigureSpec::pamap("fig6"));
+    }
+    if which == "both" || which == "msd" {
+        specs.push(FigureSpec::msd("fig7"));
+    }
+
+    for spec in specs {
+        let n = if args.has("full") {
+            spec.paper_rows
+        } else {
+            (spec.paper_rows as f64 * scale) as usize
+        };
+        println!("# {}: dataset={} n={n} (P4 negative result)", spec.id, spec.dataset);
+
+        println!("# panel a: err vs epsilon (m = {PAPER_SITES})");
+        println!("figure,panel,epsilon,protocol,err,msgs");
+        for &eps in &EPSILONS {
+            let cfg = MatrixConfig::new(PAPER_SITES, eps, spec.dim).with_seed(seed);
+            for proto in PROTOCOLS {
+                eprintln!("{}: eps={eps} {}…", spec.id, proto.name());
+                let r = run_matrix(proto, &cfg, || spec.stream(seed), n);
+                println!("{},a,{eps},{},{:.6e},{}", spec.id, r.protocol, r.err, r.msgs);
+            }
+        }
+
+        println!("# panel b: err vs sites (epsilon = {PAPER_MATRIX_EPSILON})");
+        println!("figure,panel,sites,protocol,err,msgs");
+        for &m in &SITE_COUNTS {
+            let cfg = MatrixConfig::new(m, PAPER_MATRIX_EPSILON, spec.dim).with_seed(seed);
+            for proto in PROTOCOLS {
+                eprintln!("{}: m={m} {}…", spec.id, proto.name());
+                let r = run_matrix(proto, &cfg, || spec.stream(seed), n);
+                println!("{},b,{m},{},{:.6e},{}", spec.id, r.protocol, r.err, r.msgs);
+            }
+        }
+    }
+}

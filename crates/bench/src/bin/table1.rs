@@ -1,0 +1,109 @@
+//! Table 1 — matrix protocols vs. centralized baselines, paper §6.2.
+//!
+//! For each dataset (PAMAP-like, k = 30; MSD-like, k = 50) runs P1, P2,
+//! P3wor, P3wr at the paper's defaults (ε = 0.1, m = 50) plus the two
+//! ship-everything baselines (centralized Frequent Directions and exact
+//! SVD), reporting `err = ‖AᵀA − BᵀB‖₂/‖A‖²_F` and message counts.
+//!
+//! Usage:
+//! ```text
+//! table1 [--scale 0.2] [--full] [--sites 50] [--epsilon 0.1] [--seed 7]
+//!        [--dataset pamap|msd|both] [--csv path --dim d]
+//! ```
+//! `--full` uses the paper's row counts (629,250 / 300,000);
+//! `--csv` runs on a real dataset file instead of the surrogate.
+
+use cma_bench::{
+    baseline_fd, baseline_svd, run_matrix, Args, MatrixProtocol, MSD_ROWS,
+    PAMAP_ROWS, PAPER_MATRIX_EPSILON, PAPER_SITES,
+};
+use cma_core::MatrixConfig;
+use cma_data::loader::{load_csv_matrix, CsvOptions};
+use cma_data::SyntheticMatrixStream;
+
+struct Dataset {
+    name: &'static str,
+    dim: usize,
+    rows: usize,
+    k: usize,
+    make: Box<dyn Fn() -> Box<dyn Iterator<Item = Vec<f64>>>>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.2);
+    let full = args.has("full");
+    let sites: usize = args.get("sites", PAPER_SITES);
+    let epsilon: f64 = args.get("epsilon", PAPER_MATRIX_EPSILON);
+    let seed: u64 = args.get("seed", 7);
+    let which = args.get_str("dataset", "both");
+
+    let mut datasets: Vec<Dataset> = Vec::new();
+    let csv_path = args.get_str("csv", "");
+    if !csv_path.is_empty() {
+        let path = csv_path;
+        // Real data: load once, stream clones of its rows.
+        let m = load_csv_matrix(&path, &CsvOptions::default())
+            .unwrap_or_else(|e| panic!("--csv {path}: {e}"));
+        let rows: Vec<Vec<f64>> = m.iter_rows().map(|r| r.to_vec()).collect();
+        let dim = m.cols();
+        let k: usize = args.get("k", 30);
+        let n = rows.len();
+        datasets.push(Dataset {
+            name: "csv",
+            dim,
+            rows: n,
+            k,
+            make: Box::new(move || Box::new(rows.clone().into_iter())),
+        });
+    } else {
+        if which == "both" || which == "pamap" {
+            let rows =
+                if full { PAMAP_ROWS } else { (PAMAP_ROWS as f64 * scale) as usize };
+            datasets.push(Dataset {
+                name: "PAMAP",
+                dim: 44,
+                rows,
+                k: 30,
+                make: Box::new(move || {
+                    Box::new(SyntheticMatrixStream::pamap_like(seed))
+                }),
+            });
+        }
+        if which == "both" || which == "msd" {
+            let rows = if full { MSD_ROWS } else { (MSD_ROWS as f64 * scale) as usize };
+            datasets.push(Dataset {
+                name: "MSD",
+                dim: 90,
+                rows,
+                k: 50,
+                make: Box::new(move || Box::new(SyntheticMatrixStream::msd_like(seed))),
+            });
+        }
+    }
+
+    println!("# table1: epsilon={epsilon} m={sites} seed={seed}");
+    println!("dataset,k,n,method,err,msgs");
+    for ds in &datasets {
+        let cfg = MatrixConfig::new(sites, epsilon, ds.dim).with_seed(seed);
+        for proto in [
+            MatrixProtocol::P1,
+            MatrixProtocol::P2,
+            MatrixProtocol::P3,
+            MatrixProtocol::P3wr,
+        ] {
+            eprintln!("running {} on {} ({} rows)…", proto.name(), ds.name, ds.rows);
+            let r = run_matrix(proto, &cfg, || (ds.make)(), ds.rows);
+            println!("{},{},{},{},{:.6e},{}", ds.name, ds.k, ds.rows, r.protocol, r.err, r.msgs);
+        }
+        eprintln!("running FD baseline on {}…", ds.name);
+        let fd = baseline_fd((ds.make)().take(ds.rows), ds.dim, ds.k);
+        println!("{},{},{},{},{:.6e},{}", ds.name, ds.k, ds.rows, fd.protocol, fd.err, fd.msgs);
+        eprintln!("running SVD baseline on {}…", ds.name);
+        let svd = baseline_svd((ds.make)().take(ds.rows), ds.dim, ds.k);
+        println!(
+            "{},{},{},{},{:.6e},{}",
+            ds.name, ds.k, ds.rows, svd.protocol, svd.err, svd.msgs
+        );
+    }
+}

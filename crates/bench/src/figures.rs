@@ -1,0 +1,93 @@
+//! Shared implementation of Figures 2 and 3 (and the fig4 frontier).
+//!
+//! Figures 2 (PAMAP) and 3 (MSD) are the same four-panel sweep on
+//! different datasets; [`run_figure`] implements the sweep once and the
+//! binaries instantiate it with a [`FigureSpec`].
+
+use crate::args::Args;
+use crate::drivers::{run_matrix, MatrixProtocol};
+use crate::{MSD_ROWS, PAMAP_ROWS, PAPER_MATRIX_EPSILON, PAPER_SITES};
+use cma_core::MatrixConfig;
+use cma_data::SyntheticMatrixStream;
+
+/// The paper's ε sweep for Figures 2(a,b) / 3(a,b).
+pub const EPSILONS: [f64; 5] = [5e-3, 1e-2, 5e-2, 1e-1, 5e-1];
+
+/// The paper's site sweep for Figures 2(c,d) / 3(c,d).
+pub const SITE_COUNTS: [usize; 5] = [10, 25, 50, 75, 100];
+
+/// Which dataset a figure binary runs on.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureSpec {
+    /// Figure id used in output headers (`"fig2"`, `"fig3"`).
+    pub id: &'static str,
+    /// Dataset display name.
+    pub dataset: &'static str,
+    /// Row dimensionality.
+    pub dim: usize,
+    /// Paper row count (scaled by `--scale` unless `--full`).
+    pub paper_rows: usize,
+    /// `true` for the PAMAP-like generator, `false` for MSD-like.
+    pamap: bool,
+}
+
+impl FigureSpec {
+    /// Figure 2's dataset.
+    pub fn pamap(id: &'static str) -> Self {
+        FigureSpec { id, dataset: "PAMAP", dim: 44, paper_rows: PAMAP_ROWS, pamap: true }
+    }
+
+    /// Figure 3's dataset.
+    pub fn msd(id: &'static str) -> Self {
+        FigureSpec { id, dataset: "MSD", dim: 90, paper_rows: MSD_ROWS, pamap: false }
+    }
+
+    /// Builds the dataset stream.
+    pub fn stream(&self, seed: u64) -> SyntheticMatrixStream {
+        if self.pamap {
+            SyntheticMatrixStream::pamap_like(seed)
+        } else {
+            SyntheticMatrixStream::msd_like(seed)
+        }
+    }
+}
+
+/// Runs the four-panel sweep and prints CSV.
+pub fn run_figure(args: &Args, spec: FigureSpec) {
+    let scale: f64 = args.get("scale", 0.2);
+    let n: usize = if args.has("full") {
+        spec.paper_rows
+    } else {
+        (spec.paper_rows as f64 * scale) as usize
+    };
+    let seed: u64 = args.get("seed", 7);
+    let panel = args.get_str("panel", "all");
+
+    println!("# {}: dataset={} n={n} d={} seed={seed}", spec.id, spec.dataset, spec.dim);
+
+    if panel == "all" || panel == "ab" {
+        println!("# panels a,b: err and msgs vs epsilon (m = {PAPER_SITES})");
+        println!("panel,epsilon,protocol,err,msgs");
+        for &eps in &EPSILONS {
+            let cfg = MatrixConfig::new(PAPER_SITES, eps, spec.dim).with_seed(seed);
+            for proto in MatrixProtocol::FIGURES {
+                eprintln!("{}: eps={eps} {}…", spec.id, proto.name());
+                let r = run_matrix(proto, &cfg, || spec.stream(seed), n);
+                println!("ab,{eps},{},{:.6e},{}", r.protocol, r.err, r.msgs);
+            }
+        }
+    }
+
+    if panel == "all" || panel == "cd" {
+        println!("# panels c,d: msgs and err vs sites (epsilon = {PAPER_MATRIX_EPSILON})");
+        println!("panel,sites,protocol,err,msgs");
+        for &m in &SITE_COUNTS {
+            let cfg = MatrixConfig::new(m, PAPER_MATRIX_EPSILON, spec.dim).with_seed(seed);
+            for proto in MatrixProtocol::FIGURES {
+                eprintln!("{}: m={m} {}…", spec.id, proto.name());
+                let r = run_matrix(proto, &cfg, || spec.stream(seed), n);
+                println!("cd,{m},{},{:.6e},{}", r.protocol, r.err, r.msgs);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Evaluation metrics for the heavy-hitter experiments (paper §6).
+//!
+//! The paper scores protocols against the *exact* weighted heavy hitters
+//! (`fe(A)/W ≥ φ`) on three axes: recall, precision, and the average
+//! relative error of the true heavy hitters' frequency estimates. This
+//! module computes exactly those numbers given the protocol's coordinator
+//! and the exact ground-truth counter the harness ran alongside it.
+
+use super::{HhEstimator, Item};
+use cma_sketch::ExactWeightedCounter;
+use std::collections::HashSet;
+
+/// Scores for one protocol run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HhEvaluation {
+    /// `|returned ∩ true| / |true|` (1.0 when there are no true heavy
+    /// hitters).
+    pub recall: f64,
+    /// `|returned ∩ true| / |returned|` (1.0 when nothing was returned).
+    pub precision: f64,
+    /// Mean of `|Ŵe − fe| / fe` over the *true* heavy hitters (the
+    /// paper's `err`; 0.0 when there are none).
+    pub avg_rel_err: f64,
+    /// Number of items the protocol returned.
+    pub returned: usize,
+    /// Number of true heavy hitters.
+    pub true_count: usize,
+}
+
+/// Evaluates a coordinator against exact ground truth at threshold `phi`,
+/// using the paper's reporting rule with accuracy parameter `epsilon`.
+pub fn evaluate<E: HhEstimator>(
+    estimator: &E,
+    exact: &ExactWeightedCounter,
+    phi: f64,
+    epsilon: f64,
+) -> HhEvaluation {
+    let truth: Vec<(Item, f64)> = exact.heavy_hitters(phi);
+    let true_set: HashSet<Item> = truth.iter().map(|&(e, _)| e).collect();
+    let returned: Vec<(Item, f64)> = estimator.heavy_hitters(phi, epsilon);
+    let returned_set: HashSet<Item> = returned.iter().map(|&(e, _)| e).collect();
+
+    let hits = returned_set.intersection(&true_set).count();
+    let recall = if true_set.is_empty() { 1.0 } else { hits as f64 / true_set.len() as f64 };
+    let precision =
+        if returned_set.is_empty() { 1.0 } else { hits as f64 / returned_set.len() as f64 };
+
+    let avg_rel_err = if truth.is_empty() {
+        0.0
+    } else {
+        truth
+            .iter()
+            .map(|&(e, f)| (estimator.estimate(e) - f).abs() / f)
+            .sum::<f64>()
+            / truth.len() as f64
+    };
+
+    HhEvaluation {
+        recall,
+        precision,
+        avg_rel_err,
+        returned: returned.len(),
+        true_count: truth.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        total: f64,
+        items: Vec<(Item, f64)>,
+    }
+
+    impl HhEstimator for Fake {
+        fn total_weight(&self) -> f64 {
+            self.total
+        }
+        fn estimate(&self, item: Item) -> f64 {
+            self.items.iter().find(|(e, _)| *e == item).map(|(_, w)| *w).unwrap_or(0.0)
+        }
+        fn tracked_items(&self) -> Vec<Item> {
+            self.items.iter().map(|(e, _)| *e).collect()
+        }
+    }
+
+    fn exact_from(pairs: &[(Item, f64)]) -> ExactWeightedCounter {
+        let mut c = ExactWeightedCounter::new();
+        for &(e, w) in pairs {
+            c.update(e, w);
+        }
+        c
+    }
+
+    #[test]
+    fn perfect_estimator_scores_one() {
+        let pairs = [(1, 50.0), (2, 30.0), (3, 20.0)];
+        let exact = exact_from(&pairs);
+        let est = Fake { total: 100.0, items: pairs.to_vec() };
+        let ev = evaluate(&est, &exact, 0.25, 0.01);
+        assert_eq!(ev.recall, 1.0);
+        assert_eq!(ev.precision, 1.0);
+        assert_eq!(ev.avg_rel_err, 0.0);
+        assert_eq!(ev.true_count, 2);
+    }
+
+    #[test]
+    fn missed_heavy_hitter_lowers_recall() {
+        let exact = exact_from(&[(1, 50.0), (2, 50.0)]);
+        // Estimator only knows item 1.
+        let est = Fake { total: 100.0, items: vec![(1, 50.0)] };
+        let ev = evaluate(&est, &exact, 0.4, 0.01);
+        assert_eq!(ev.recall, 0.5);
+        assert_eq!(ev.precision, 1.0);
+    }
+
+    #[test]
+    fn false_positive_lowers_precision() {
+        let exact = exact_from(&[(1, 90.0), (2, 10.0)]);
+        // Estimator inflates item 2 over the reporting threshold.
+        let est = Fake { total: 100.0, items: vec![(1, 90.0), (2, 45.0)] };
+        let ev = evaluate(&est, &exact, 0.4, 0.01);
+        assert_eq!(ev.recall, 1.0);
+        assert_eq!(ev.precision, 0.5);
+    }
+
+    #[test]
+    fn relative_error_averaged_over_truth() {
+        let exact = exact_from(&[(1, 100.0), (2, 100.0), (3, 1.0)]);
+        let est = Fake { total: 201.0, items: vec![(1, 90.0), (2, 100.0)] };
+        let ev = evaluate(&est, &exact, 0.4, 0.01);
+        // Errors: 10% and 0% → mean 5%.
+        assert!((ev.avg_rel_err - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_no_truth() {
+        let exact = exact_from(&[(1, 1.0), (2, 1.0)]);
+        let est = Fake { total: 2.0, items: vec![] };
+        let ev = evaluate(&est, &exact, 0.9, 0.01);
+        assert_eq!(ev.recall, 1.0);
+        assert_eq!(ev.precision, 1.0);
+        assert_eq!(ev.true_count, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Weighted heavy hitters in a distributed stream (paper §4).
+//!
+//! The input is a distributed stream of `(item, weight)` tuples with
+//! weights in `[1, β]`; the coordinator must continuously estimate every
+//! item's total weight `fe(A)` within `εW`. Four protocols with different
+//! communication/determinism trade-offs:
+//!
+//! * [`p1`] — sites run Misra–Gries and flush whole summaries.
+//!   Deterministic, `O((m/ε²) log(βN))` elements.
+//! * [`p2`] — sites send per-element weight deltas against a global
+//!   threshold. Deterministic, `O((m/ε) log(βN))` messages — the best
+//!   deterministic bound (optimal per Yi–Zhang).
+//! * [`p3`] — distributed priority sampling without replacement,
+//!   `O((m+s) log(βN/s))` messages, `s = Θ(ε⁻² log ε⁻¹)`.
+//! * [`p3wr`] — the with-replacement variant (§4.3.1), strictly worse in
+//!   practice (kept for the paper's comparison).
+//! * [`p4`] — probabilistic count reports, `O((√m/ε) log(βN))` messages;
+//!   randomized, constant failure probability.
+//!
+//! All coordinators implement [`HhEstimator`], which includes the paper's
+//! query rule (Lemma 1): report `e` as a `φ`-heavy hitter iff
+//! `Ŵe/Ŵ ≥ φ − ε/2`.
+
+pub mod metrics;
+pub mod p1;
+pub mod p2;
+pub mod p3;
+pub mod p3wr;
+pub mod p4;
+
+pub use crate::config::HhConfig;
+pub use metrics::HhEvaluation;
+
+/// Item identifier (the paper's bounded universe `[u]`).
+pub type Item = u64;
+
+/// A weighted stream element `(e, w)`.
+pub type WeightedItem = (Item, f64);
+
+/// Continuous queries a heavy-hitter coordinator answers locally.
+pub trait HhEstimator {
+    /// Estimate `Ŵ` of the total stream weight `W`.
+    fn total_weight(&self) -> f64;
+
+    /// Estimate `Ŵe` of item `e`'s weight `fe(A)`; zero for untracked
+    /// items.
+    fn estimate(&self, item: Item) -> f64;
+
+    /// Items with a nonzero estimate, in unspecified order.
+    fn tracked_items(&self) -> Vec<Item>;
+
+    /// The paper's reporting rule: return `e` iff `Ŵe/Ŵ ≥ φ − ε/2`,
+    /// sorted by descending estimate.
+    ///
+    /// Guarantees (Lemma 1): all true `φ`-heavy hitters are returned, and
+    /// nothing below `(φ − ε)W` is, provided the protocol meets its
+    /// `εW`-accuracy contract.
+    fn heavy_hitters(&self, phi: f64, epsilon: f64) -> Vec<(Item, f64)> {
+        let w_hat = self.total_weight();
+        if w_hat <= 0.0 {
+            return Vec::new();
+        }
+        let threshold = (phi - epsilon / 2.0) * w_hat;
+        let mut out: Vec<(Item, f64)> = self
+            .tracked_items()
+            .into_iter()
+            .map(|e| (e, self.estimate(e)))
+            .filter(|&(_, w)| w >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN estimate").then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Validates a stream weight on entry to any protocol site.
+///
+/// The paper's model assumes `w ∈ [1, β]`; the protocols only need
+/// positivity and finiteness, which is what is enforced.
+#[inline]
+pub(crate) fn validate_weight(w: f64) {
+    assert!(w.is_finite() && w > 0.0, "heavy-hitter protocols require finite positive weights, got {w}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        total: f64,
+        items: Vec<(Item, f64)>,
+    }
+
+    impl HhEstimator for Fake {
+        fn total_weight(&self) -> f64 {
+            self.total
+        }
+        fn estimate(&self, item: Item) -> f64 {
+            self.items.iter().find(|(e, _)| *e == item).map(|(_, w)| *w).unwrap_or(0.0)
+        }
+        fn tracked_items(&self) -> Vec<Item> {
+            self.items.iter().map(|(e, _)| *e).collect()
+        }
+    }
+
+    #[test]
+    fn reporting_rule_threshold() {
+        let f = Fake { total: 100.0, items: vec![(1, 30.0), (2, 9.0), (3, 10.0)] };
+        // φ = 0.12, ε = 0.04 → threshold (0.12 − 0.02)·100 = 10.
+        let hh = f.heavy_hitters(0.12, 0.04);
+        assert_eq!(hh, vec![(1, 30.0), (3, 10.0)]);
+    }
+
+    #[test]
+    fn empty_estimator_returns_nothing() {
+        let f = Fake { total: 0.0, items: vec![] };
+        assert!(f.heavy_hitters(0.1, 0.01).is_empty());
+    }
+
+    #[test]
+    fn sorted_by_estimate_descending() {
+        let f = Fake { total: 10.0, items: vec![(5, 2.0), (6, 8.0)] };
+        let hh = f.heavy_hitters(0.1, 0.1);
+        assert_eq!(hh[0].0, 6);
+    }
+}

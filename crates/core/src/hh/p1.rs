@@ -1,0 +1,217 @@
+//! Protocol P1 — batched Misra–Gries summaries (paper §4.1).
+//!
+//! Each site runs a weighted Misra–Gries summary with error parameter
+//! `ε' = ε/2` (`⌈2/ε⌉` counters) plus a running total `Wᵢ` of local weight
+//! since its last flush. When `Wᵢ ≥ τ = (ε/2m)·Ŵ`, the site ships its
+//! *entire summary* to the coordinator and resets (Algorithm 4.1). The
+//! coordinator merges incoming summaries — mergeability keeps the
+//! combined error at `ε'·W_C` — and re-broadcasts `Ŵ` whenever the
+//! received total has grown by a factor `1 + ε/2` (Algorithm 4.2).
+//!
+//! Guarantee (Lemma 2): every estimate is within `εW`; communication is
+//! `O((m/ε²) log(βN))` elements, because each flushed summary carries up
+//! to `2/ε` counters — which is exactly how [`MessageCost`] charges it.
+
+use super::{validate_weight, HhEstimator, Item, WeightedItem};
+use crate::config::HhConfig;
+use cma_sketch::MgSummary;
+use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+
+/// Site → coordinator message: the site's entire Misra–Gries state.
+#[derive(Debug, Clone)]
+pub struct P1Msg {
+    /// Flushed summary; its `total_weight()` is the site's `Wᵢ`.
+    pub summary: MgSummary,
+}
+
+impl MessageCost for P1Msg {
+    /// One element per shipped counter plus one for the weight scalar.
+    fn cost(&self) -> u64 {
+        self.summary.len() as u64 + 1
+    }
+}
+
+/// P1 site: local Misra–Gries plus the flush threshold.
+#[derive(Debug, Clone)]
+pub struct P1Site {
+    summary: MgSummary,
+    sites: usize,
+    epsilon: f64,
+    /// Global weight estimate from the last broadcast.
+    w_hat: f64,
+}
+
+impl P1Site {
+    fn new(cfg: &HhConfig) -> Self {
+        // ε' = ε/2 → ⌈2/ε⌉ counters.
+        P1Site {
+            summary: MgSummary::with_error_bound(cfg.epsilon / 2.0),
+            sites: cfg.sites,
+            epsilon: cfg.epsilon,
+            w_hat: 1.0,
+        }
+    }
+
+    /// Local flush threshold `τ = (ε/2m)·Ŵ`.
+    fn tau(&self) -> f64 {
+        self.epsilon / (2.0 * self.sites as f64) * self.w_hat
+    }
+}
+
+impl Site for P1Site {
+    type Input = WeightedItem;
+    type UpMsg = P1Msg;
+    type Broadcast = f64;
+
+    fn observe(&mut self, (item, weight): WeightedItem, out: &mut Vec<P1Msg>) {
+        validate_weight(weight);
+        self.summary.update(item, weight);
+        if self.summary.total_weight() >= self.tau() {
+            let mut flushed = MgSummary::new(self.summary.capacity());
+            std::mem::swap(&mut flushed, &mut self.summary);
+            out.push(P1Msg { summary: flushed });
+        }
+    }
+
+    fn on_broadcast(&mut self, w_hat: &f64) {
+        self.w_hat = *w_hat;
+    }
+}
+
+/// P1 coordinator: merged global summary plus the broadcast rule.
+#[derive(Debug, Clone)]
+pub struct P1Coordinator {
+    merged: MgSummary,
+    /// Total weight received from sites (`W_C`).
+    received: f64,
+    /// Last broadcast estimate `Ŵ`.
+    w_hat: f64,
+    epsilon: f64,
+}
+
+impl P1Coordinator {
+    fn new(cfg: &HhConfig) -> Self {
+        P1Coordinator {
+            merged: MgSummary::with_error_bound(cfg.epsilon / 2.0),
+            received: 0.0,
+            w_hat: 1.0,
+            epsilon: cfg.epsilon,
+        }
+    }
+}
+
+impl Coordinator for P1Coordinator {
+    type UpMsg = P1Msg;
+    type Broadcast = f64;
+
+    fn receive(&mut self, _from: SiteId, msg: P1Msg, out: &mut Vec<f64>) {
+        self.received += msg.summary.total_weight();
+        self.merged.merge(&msg.summary);
+        if self.received / self.w_hat > 1.0 + self.epsilon / 2.0 {
+            self.w_hat = self.received;
+            out.push(self.w_hat);
+        }
+    }
+}
+
+impl HhEstimator for P1Coordinator {
+    fn total_weight(&self) -> f64 {
+        self.received
+    }
+    fn estimate(&self, item: Item) -> f64 {
+        self.merged.estimate(item)
+    }
+    fn tracked_items(&self) -> Vec<Item> {
+        self.merged.counters().map(|(e, _)| e).collect()
+    }
+}
+
+/// Builds a ready-to-run P1 deployment.
+pub fn deploy(cfg: &HhConfig) -> Runner<P1Site, P1Coordinator> {
+    let sites = (0..cfg.sites).map(|_| P1Site::new(cfg)).collect();
+    Runner::new(sites, P1Coordinator::new(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_sketch::ExactWeightedCounter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Runs the protocol on a random weighted stream and checks the
+    /// ε-accuracy contract on every item.
+    #[test]
+    fn estimates_within_epsilon_w() {
+        let cfg = HhConfig::new(5, 0.1);
+        let mut runner = deploy(&cfg);
+        let mut exact = ExactWeightedCounter::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..20_000u64 {
+            let item: Item = if rng.gen_bool(0.4) { 1 } else { rng.gen_range(2..500) };
+            let w: f64 = rng.gen_range(1.0..10.0);
+            runner.feed((i % 5) as usize, (item, w));
+            exact.update(item, w);
+        }
+        let w = exact.total_weight();
+        let coord = runner.coordinator();
+        for (e, f) in exact.iter() {
+            let err = (coord.estimate(e) - f).abs();
+            assert!(err <= cfg.epsilon * w + 1e-6, "item {e}: error {err} > εW");
+        }
+        // Total-weight estimate within εW as well.
+        assert!((coord.total_weight() - w).abs() <= cfg.epsilon * w);
+    }
+
+    #[test]
+    fn communication_is_sublinear() {
+        let cfg = HhConfig::new(5, 0.1);
+        let mut runner = deploy(&cfg);
+        let n = 50_000u64;
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..n {
+            let item: Item = rng.gen_range(0..100);
+            runner.feed((i % 5) as usize, (item, rng.gen_range(1.0..5.0)));
+        }
+        let total = runner.stats().total();
+        assert!(total < n / 2, "P1 sent {total} messages for {n} items");
+    }
+
+    #[test]
+    fn heavy_hitter_query_finds_planted_item() {
+        let cfg = HhConfig::new(3, 0.05);
+        let mut runner = deploy(&cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..9_000u64 {
+            // Item 42 gets one third of the arrivals.
+            let item: Item = if i % 3 == 0 { 42 } else { rng.gen_range(100..1000) };
+            runner.feed((i % 3) as usize, (item, 1.0));
+        }
+        let hh = runner.coordinator().heavy_hitters(0.2, cfg.epsilon);
+        assert!(!hh.is_empty());
+        assert_eq!(hh[0].0, 42);
+    }
+
+    #[test]
+    fn flush_resets_site_state() {
+        let cfg = HhConfig::new(1, 0.5);
+        let mut runner = deploy(&cfg);
+        // Single site, tiny threshold initially: the first item flushes.
+        runner.feed(0, (1, 5.0));
+        assert!(runner.stats().up_msgs >= 1);
+        assert_eq!(runner.sites()[0].summary.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn broadcast_updates_all_sites() {
+        let cfg = HhConfig::new(4, 0.2);
+        let mut runner = deploy(&cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..5_000u64 {
+            runner.feed((i % 4) as usize, (rng.gen_range(0..50), rng.gen_range(1.0..3.0)));
+        }
+        for s in runner.sites() {
+            assert!(s.w_hat > 1.0, "a site never saw a broadcast");
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Protocol P2 — per-element thresholds (paper §4.2).
+//!
+//! The weighted generalisation of Yi–Zhang's deterministic tracker, and
+//! the best deterministic protocol in the paper. Each site keeps
+//!
+//! * `Wᵢ` — local weight since its last scalar report, and
+//! * `Δe` — per-element weight since that element was last reported,
+//!
+//! and sends `(total, Wᵢ)` when `Wᵢ ≥ (ε/m)·Ŵ`, or `(e, Δe)` when
+//! `Δe ≥ (ε/m)·Ŵ` (Algorithm 4.3). The coordinator adds scalar reports
+//! into `Ŵ` and, after `m` of them, broadcasts the refreshed `Ŵ` —
+//! starting a new "round" in which thresholds are `(1+ε)`× larger
+//! (Algorithm 4.4).
+//!
+//! Guarantee (Theorem 1): `|fe(A) − Ŵe| ≤ εW` with
+//! `O((m/ε) log(βN))` total messages.
+//!
+//! The per-site `Δe` table is exact by default (`O(distinct)` space); the
+//! paper's space reduction — a Misra–Gries table of `⌈2m/ε⌉` counters —
+//! is available via [`P2Options::mg_site_capacity`] and benchmarked as an
+//! ablation. An MG table *underestimates* deltas, so sends happen no
+//! earlier, and the untracked mass stays within the summary's `ε/2m`
+//! bound, preserving the overall `εW` contract.
+
+use super::{validate_weight, HhEstimator, Item, WeightedItem};
+use crate::config::HhConfig;
+use cma_sketch::MgSummary;
+use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use std::collections::HashMap;
+
+/// Site → coordinator messages of protocol P2.
+#[derive(Debug, Clone, PartialEq)]
+pub enum P2Msg {
+    /// `(total, Wᵢ)` — local weight accumulated since the last report.
+    Total(f64),
+    /// `(e, Δe)` — element `e` gained `Δe` weight since its last report.
+    Element(Item, f64),
+}
+
+impl MessageCost for P2Msg {
+    fn cost(&self) -> u64 {
+        1
+    }
+}
+
+/// Per-site storage for the element deltas.
+#[derive(Debug, Clone)]
+enum DeltaStore {
+    /// Exact per-element deltas.
+    Exact(HashMap<Item, f64>),
+    /// Misra–Gries with bounded counters (the paper's space reduction).
+    Mg(MgSummary),
+}
+
+impl DeltaStore {
+    /// Adds weight and returns the current delta estimate for the item.
+    fn add(&mut self, item: Item, w: f64) -> f64 {
+        match self {
+            DeltaStore::Exact(map) => {
+                let d = map.entry(item).or_insert(0.0);
+                *d += w;
+                *d
+            }
+            DeltaStore::Mg(mg) => {
+                mg.update(item, w);
+                mg.estimate(item)
+            }
+        }
+    }
+
+    /// Removes and returns the item's delta after it has been reported.
+    fn take(&mut self, item: Item) -> f64 {
+        match self {
+            DeltaStore::Exact(map) => map.remove(&item).unwrap_or(0.0),
+            DeltaStore::Mg(mg) => mg.take(item),
+        }
+    }
+}
+
+/// Tuning knobs beyond [`HhConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct P2Options {
+    /// When set, sites store deltas in a Misra–Gries summary with this
+    /// many counters instead of an exact map (paper's `O(m/ε)`-space
+    /// option). `None` = exact.
+    pub mg_site_capacity: Option<usize>,
+    /// When set, the coordinator stores the per-element estimates in a
+    /// Misra–Gries summary with this many counters instead of an exact
+    /// map (the paper reduces the coordinator of P2 to `O(1/ε)` space).
+    /// The extra undercount is at most `W_reported/(cap+1)`, so
+    /// `cap = ⌈2/ε⌉` keeps the total within `(3/2)εW`. `None` = exact.
+    pub mg_coordinator_capacity: Option<usize>,
+}
+
+/// P2 site.
+#[derive(Debug, Clone)]
+pub struct P2Site {
+    deltas: DeltaStore,
+    /// Local weight since the last scalar report.
+    w_local: f64,
+    sites: usize,
+    epsilon: f64,
+    w_hat: f64,
+}
+
+impl P2Site {
+    fn new(cfg: &HhConfig, opts: &P2Options) -> Self {
+        let deltas = match opts.mg_site_capacity {
+            Some(cap) => DeltaStore::Mg(MgSummary::new(cap)),
+            None => DeltaStore::Exact(HashMap::new()),
+        };
+        P2Site { deltas, w_local: 0.0, sites: cfg.sites, epsilon: cfg.epsilon, w_hat: 1.0 }
+    }
+
+    /// Send threshold `(ε/m)·Ŵ`.
+    fn threshold(&self) -> f64 {
+        self.epsilon / self.sites as f64 * self.w_hat
+    }
+}
+
+impl Site for P2Site {
+    type Input = WeightedItem;
+    type UpMsg = P2Msg;
+    type Broadcast = f64;
+
+    fn observe(&mut self, (item, weight): WeightedItem, out: &mut Vec<P2Msg>) {
+        validate_weight(weight);
+        let threshold = self.threshold();
+
+        self.w_local += weight;
+        if self.w_local >= threshold {
+            out.push(P2Msg::Total(self.w_local));
+            self.w_local = 0.0;
+        }
+
+        let delta = self.deltas.add(item, weight);
+        if delta >= threshold {
+            let taken = self.deltas.take(item);
+            out.push(P2Msg::Element(item, taken));
+        }
+    }
+
+    fn on_broadcast(&mut self, w_hat: &f64) {
+        self.w_hat = *w_hat;
+    }
+}
+
+/// Coordinator-side storage for the per-element estimates `Ŵe`.
+#[derive(Debug, Clone)]
+enum CoordStore {
+    /// Exact per-element sums.
+    Exact(HashMap<Item, f64>),
+    /// Misra–Gries with bounded counters (the paper's `O(1/ε)` option).
+    Mg(MgSummary),
+}
+
+impl CoordStore {
+    fn add(&mut self, item: Item, delta: f64) {
+        match self {
+            CoordStore::Exact(map) => *map.entry(item).or_insert(0.0) += delta,
+            CoordStore::Mg(mg) => mg.update(item, delta),
+        }
+    }
+    fn get(&self, item: Item) -> f64 {
+        match self {
+            CoordStore::Exact(map) => map.get(&item).copied().unwrap_or(0.0),
+            CoordStore::Mg(mg) => mg.estimate(item),
+        }
+    }
+    fn items(&self) -> Vec<Item> {
+        match self {
+            CoordStore::Exact(map) => map.keys().copied().collect(),
+            CoordStore::Mg(mg) => mg.counters().map(|(e, _)| e).collect(),
+        }
+    }
+}
+
+/// P2 coordinator.
+#[derive(Debug, Clone)]
+pub struct P2Coordinator {
+    /// Global weight estimate `Ŵ`, grown by scalar reports.
+    w_hat: f64,
+    /// Scalar reports since the last broadcast.
+    msg_count: usize,
+    sites: usize,
+    /// Per-element estimates `Ŵe`.
+    counts: CoordStore,
+}
+
+impl P2Coordinator {
+    fn new(cfg: &HhConfig, opts: &P2Options) -> Self {
+        let counts = match opts.mg_coordinator_capacity {
+            Some(cap) => CoordStore::Mg(MgSummary::new(cap)),
+            None => CoordStore::Exact(HashMap::new()),
+        };
+        P2Coordinator { w_hat: 1.0, msg_count: 0, sites: cfg.sites, counts }
+    }
+}
+
+impl Coordinator for P2Coordinator {
+    type UpMsg = P2Msg;
+    type Broadcast = f64;
+
+    fn receive(&mut self, _from: SiteId, msg: P2Msg, out: &mut Vec<f64>) {
+        match msg {
+            P2Msg::Total(wi) => {
+                self.w_hat += wi;
+                self.msg_count += 1;
+                if self.msg_count >= self.sites {
+                    self.msg_count = 0;
+                    out.push(self.w_hat);
+                }
+            }
+            P2Msg::Element(e, delta) => {
+                self.counts.add(e, delta);
+            }
+        }
+    }
+}
+
+impl HhEstimator for P2Coordinator {
+    fn total_weight(&self) -> f64 {
+        // Ŵ was seeded with 1 before any weight arrived.
+        (self.w_hat - 1.0).max(0.0)
+    }
+    fn estimate(&self, item: Item) -> f64 {
+        self.counts.get(item)
+    }
+    fn tracked_items(&self) -> Vec<Item> {
+        self.counts.items()
+    }
+}
+
+/// Builds a P2 deployment with exact per-site delta tables.
+pub fn deploy(cfg: &HhConfig) -> Runner<P2Site, P2Coordinator> {
+    deploy_with(cfg, &P2Options::default())
+}
+
+/// Builds a P2 deployment with explicit options.
+pub fn deploy_with(cfg: &HhConfig, opts: &P2Options) -> Runner<P2Site, P2Coordinator> {
+    let sites = (0..cfg.sites).map(|_| P2Site::new(cfg, opts)).collect();
+    Runner::new(sites, P2Coordinator::new(cfg, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_sketch::ExactWeightedCounter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_random(
+        cfg: &HhConfig,
+        opts: &P2Options,
+        n: u64,
+        seed: u64,
+    ) -> (Runner<P2Site, P2Coordinator>, ExactWeightedCounter) {
+        let mut runner = deploy_with(cfg, opts);
+        let mut exact = ExactWeightedCounter::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let item: Item = if rng.gen_bool(0.3) { 7 } else { rng.gen_range(0..300) };
+            let w: f64 = rng.gen_range(1.0..10.0);
+            runner.feed((i % cfg.sites as u64) as usize, (item, w));
+            exact.update(item, w);
+        }
+        (runner, exact)
+    }
+
+    #[test]
+    fn estimates_within_epsilon_w() {
+        let cfg = HhConfig::new(5, 0.05);
+        let (runner, exact) = run_random(&cfg, &P2Options::default(), 30_000, 1);
+        let w = exact.total_weight();
+        for (e, f) in exact.iter() {
+            let err = (runner.coordinator().estimate(e) - f).abs();
+            assert!(err <= cfg.epsilon * w + 1e-6, "item {e}: {err} > εW = {}", cfg.epsilon * w);
+        }
+    }
+
+    #[test]
+    fn total_weight_within_epsilon() {
+        let cfg = HhConfig::new(4, 0.05);
+        let (runner, exact) = run_random(&cfg, &P2Options::default(), 20_000, 2);
+        let w = exact.total_weight();
+        let w_hat = runner.coordinator().total_weight();
+        assert!((w - w_hat).abs() <= cfg.epsilon * w + 1e-6, "Ŵ={w_hat} vs W={w}");
+    }
+
+    #[test]
+    fn fewer_messages_than_p1() {
+        let cfg = HhConfig::new(5, 0.02);
+        let n = 40_000;
+        let (r2, _) = run_random(&cfg, &P2Options::default(), n, 3);
+
+        let mut r1 = super::super::p1::deploy(&cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..n {
+            let item: Item = if rng.gen_bool(0.3) { 7 } else { rng.gen_range(0..300) };
+            let w: f64 = rng.gen_range(1.0..10.0);
+            r1.feed((i % 5) as usize, (item, w));
+        }
+        assert!(
+            r2.stats().total() < r1.stats().total(),
+            "P2 ({}) should beat P1 ({})",
+            r2.stats().total(),
+            r1.stats().total()
+        );
+    }
+
+    #[test]
+    fn mg_sites_keep_guarantee() {
+        let cfg = HhConfig::new(5, 0.05);
+        // Paper's space reduction: ⌈2m/ε⌉ counters.
+        let cap = (2.0 * cfg.sites as f64 / cfg.epsilon).ceil() as usize;
+        let opts = P2Options { mg_site_capacity: Some(cap), ..Default::default() };
+        let (runner, exact) = run_random(&cfg, &opts, 30_000, 4);
+        let w = exact.total_weight();
+        for (e, f) in exact.iter() {
+            let err = (runner.coordinator().estimate(e) - f).abs();
+            assert!(err <= cfg.epsilon * w + 1e-6, "MG sites: item {e}: {err}");
+        }
+    }
+
+    #[test]
+    fn mg_coordinator_keeps_guarantee() {
+        let cfg = HhConfig::new(5, 0.05);
+        let opts = P2Options {
+            mg_site_capacity: None,
+            mg_coordinator_capacity: Some((2.0 / cfg.epsilon).ceil() as usize),
+        };
+        let (runner, exact) = run_random(&cfg, &opts, 30_000, 8);
+        let w = exact.total_weight();
+        for (e, f) in exact.iter() {
+            let err = (runner.coordinator().estimate(e) - f).abs();
+            // Coordinator MG adds at most W/(cap+1) ≤ εW/2 undercount.
+            assert!(err <= 1.5 * cfg.epsilon * w + 1e-6, "MG coordinator: item {e}: {err}");
+        }
+        // Heavy hitters still found.
+        let hh = runner.coordinator().heavy_hitters(0.2, cfg.epsilon);
+        assert!(!hh.is_empty());
+        assert_eq!(hh[0].0, 7);
+    }
+
+    #[test]
+    fn broadcast_after_m_scalar_messages() {
+        let cfg = HhConfig::new(2, 0.5);
+        let mut runner = deploy(&cfg);
+        // Thresholds start tiny (Ŵ=1): every item triggers a scalar
+        // message; after m = 2 of them a broadcast must have happened.
+        runner.feed(0, (1, 1.0));
+        runner.feed(1, (2, 1.0));
+        assert!(runner.stats().broadcast_events >= 1);
+    }
+
+    #[test]
+    fn element_messages_carry_exact_deltas() {
+        let cfg = HhConfig::new(1, 0.9);
+        let mut runner = deploy(&cfg);
+        for _ in 0..100 {
+            runner.feed(0, (5, 2.0));
+        }
+        // Everything reported must sum to within one threshold of truth.
+        let est = runner.coordinator().estimate(5);
+        assert!(est <= 200.0 + 1e-9);
+        assert!(200.0 - est <= cfg.epsilon * 200.0 + 1e-9);
+    }
+}

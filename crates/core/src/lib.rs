@@ -1,0 +1,62 @@
+//! Distributed streaming protocols from *Continuous Matrix Approximation
+//! on Distributed Data* (Ghashami, Phillips, Li — VLDB 2014).
+//!
+//! This crate is the paper's contribution: `m` sites each observe a local
+//! stream and talk only to a coordinator, which continuously maintains
+//! either
+//!
+//! * **weighted heavy hitters** — estimates `Ŵe` with
+//!   `|fe(A) − Ŵe| ≤ εW` for every element `e` ([`hh`]), or
+//! * **a matrix approximation** — a small matrix `B` with
+//!   `|‖Ax‖² − ‖Bx‖²| ≤ ε‖A‖²_F` for every unit vector `x` ([`matrix`]),
+//!
+//! while minimising communication. The protocols (paper section → module):
+//!
+//! | paper | module | mechanism | communication |
+//! |---|---|---|---|
+//! | §4.1 | [`hh::p1`] | per-site Misra–Gries, batch flush | `O((m/ε²) log βN)` |
+//! | §4.2 | [`hh::p2`] | per-element thresholds (Yi–Zhang) | `O((m/ε) log βN)` |
+//! | §4.3 | [`hh::p3`] | priority sampling, w/o replacement | `O((m+s) log(βN/s))` |
+//! | §4.3.1 | [`hh::p3wr`] | with-replacement sampling | `O((m+s log s) log βN)` |
+//! | §4.4 | [`hh::p4`] | probabilistic count reports | `O((√m/ε) log βN)` |
+//! | §5.1 | [`matrix::p1`] | per-site Frequent Directions, flush | `O((m/ε²) log βN)` |
+//! | §5.2 | [`matrix::p2`] | singular-direction thresholds | `O((m/ε) log βN)` |
+//! | §5.3 | [`matrix::p3`] / [`matrix::p3wr`] | row priority sampling | `O((m+s) log(βN/s))` |
+//! | App. C | [`matrix::p4`] | **negative result** — no guarantee | `O((√m/ε) log βN)` |
+//!
+//! Every protocol is split into a site type (implements
+//! [`cma_stream::Site`]) and a coordinator type (implements
+//! [`cma_stream::Coordinator`]), so any of them can be driven by the
+//! sequential or threaded runner in `cma-stream`. Queries are *local* to
+//! the coordinator — the continuous-monitoring model's whole point is
+//! that answering a query costs no communication.
+//!
+//! # Example
+//!
+//! Track heavy hitters over three sites with protocol P2:
+//!
+//! ```
+//! use cma_core::hh::{p2, HhConfig, HhEstimator};
+//! use cma_stream::Runner;
+//!
+//! let cfg = HhConfig::new(3, 0.05);
+//! let runner = p2::deploy(&cfg);
+//! let mut runner = runner;
+//! // item 7 is heavy: half the stream weight.
+//! for i in 0..3000u64 {
+//!     let item = if i % 2 == 0 { 7 } else { i % 100 };
+//!     runner.feed((i % 3) as usize, (item, 1.0));
+//! }
+//! let hh = runner.coordinator().heavy_hitters(0.3, 0.05);
+//! assert_eq!(hh[0].0, 7);
+//! ```
+
+pub mod config;
+pub mod hh;
+pub mod matrix;
+pub mod sampling;
+pub mod weight_tracker;
+
+pub use config::{HhConfig, MatrixConfig};
+pub use hh::HhEstimator;
+pub use matrix::MatrixEstimator;

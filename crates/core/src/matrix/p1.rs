@@ -1,0 +1,215 @@
+//! Protocol MT-P1 — batched Frequent Directions (paper §5.1).
+//!
+//! The matrix analogue of HH-P1: each site runs a Frequent Directions
+//! sketch with error parameter `ε' = ε/2` and flushes its entire sketch
+//! to the coordinator once the local squared Frobenius mass since the
+//! last flush reaches `τ = (ε/2m)·F̂` (Algorithm 5.1). The coordinator
+//! folds received sketch rows into its own FD sketch — FD's mergeability
+//! keeps the combined error at `ε'‖A‖²_F` — and re-broadcasts `F̂` when
+//! the received mass grows by `1 + ε/2` (Algorithm 5.2).
+//!
+//! Total communication is `O((m/ε²) log(βN))` rows. The paper's
+//! experiments (and ours — see Table 1) show this is barely better than
+//! shipping raw rows at practical `ε`: sites rarely accumulate enough
+//! rows between flushes for FD to compress anything. It remains the
+//! accuracy champion for the same reason.
+
+use super::{row_weight, MatrixEstimator, Row};
+use crate::config::MatrixConfig;
+use cma_linalg::Matrix;
+use cma_sketch::FrequentDirections;
+use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+
+/// Site → coordinator message: a flushed FD sketch.
+#[derive(Debug, Clone)]
+pub struct MP1Msg {
+    /// Sketch rows.
+    pub rows: Matrix,
+    /// Exact squared Frobenius mass the sketch summarises (`Fᵢ`).
+    pub mass: f64,
+}
+
+impl MessageCost for MP1Msg {
+    /// One message per sketch row plus the scalar.
+    fn cost(&self) -> u64 {
+        self.rows.rows() as u64 + 1
+    }
+}
+
+/// MT-P1 site.
+#[derive(Debug, Clone)]
+pub struct MP1Site {
+    fd: FrequentDirections,
+    sites: usize,
+    epsilon: f64,
+    f_hat: f64,
+}
+
+impl MP1Site {
+    fn new(cfg: &MatrixConfig) -> Self {
+        MP1Site {
+            // ε' = ε/2 → ℓ = ⌈2/ε'⌉ = ⌈4/ε⌉ rows.
+            fd: FrequentDirections::with_error_bound(cfg.dim, cfg.epsilon / 2.0),
+            sites: cfg.sites,
+            epsilon: cfg.epsilon,
+            f_hat: 1.0,
+        }
+    }
+
+    /// Flush threshold `τ = (ε/2m)·F̂`.
+    fn tau(&self) -> f64 {
+        self.epsilon / (2.0 * self.sites as f64) * self.f_hat
+    }
+}
+
+impl Site for MP1Site {
+    type Input = Row;
+    type UpMsg = MP1Msg;
+    type Broadcast = f64;
+
+    fn observe(&mut self, row: Row, out: &mut Vec<MP1Msg>) {
+        let w = row_weight(&row);
+        if w == 0.0 {
+            return; // zero rows carry no information in this norm
+        }
+        self.fd.update(&row);
+        if self.fd.frob_sq_seen() >= self.tau() {
+            let (rows, mass) = self.fd.take();
+            out.push(MP1Msg { rows, mass });
+        }
+    }
+
+    fn on_broadcast(&mut self, f_hat: &f64) {
+        self.f_hat = *f_hat;
+    }
+}
+
+/// MT-P1 coordinator.
+#[derive(Debug, Clone)]
+pub struct MP1Coordinator {
+    fd: FrequentDirections,
+    /// Received squared Frobenius mass (`F_C`).
+    received: f64,
+    f_hat: f64,
+    epsilon: f64,
+}
+
+impl MP1Coordinator {
+    fn new(cfg: &MatrixConfig) -> Self {
+        MP1Coordinator {
+            fd: FrequentDirections::with_error_bound(cfg.dim, cfg.epsilon / 2.0),
+            received: 0.0,
+            f_hat: 1.0,
+            epsilon: cfg.epsilon,
+        }
+    }
+}
+
+impl Coordinator for MP1Coordinator {
+    type UpMsg = MP1Msg;
+    type Broadcast = f64;
+
+    fn receive(&mut self, _from: SiteId, msg: MP1Msg, out: &mut Vec<f64>) {
+        // Folding the received sketch row-by-row is a valid FD merge: the
+        // result sketches the concatenation of everything the sites fed.
+        for row in msg.rows.iter_rows() {
+            self.fd.update(row);
+        }
+        self.received += msg.mass;
+        if self.received / self.f_hat > 1.0 + self.epsilon / 2.0 {
+            self.f_hat = self.received;
+            out.push(self.f_hat);
+        }
+    }
+}
+
+impl MatrixEstimator for MP1Coordinator {
+    fn sketch(&self) -> Matrix {
+        self.fd.sketch().clone()
+    }
+    fn frob_estimate(&self) -> f64 {
+        self.received
+    }
+}
+
+/// Builds an MT-P1 deployment.
+pub fn deploy(cfg: &MatrixConfig) -> Runner<MP1Site, MP1Coordinator> {
+    let sites = (0..cfg.sites).map(|_| MP1Site::new(cfg)).collect();
+    Runner::new(sites, MP1Coordinator::new(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_data::StreamingGram;
+    use cma_linalg::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_gaussian(
+        cfg: &MatrixConfig,
+        n: usize,
+        seed: u64,
+    ) -> (Runner<MP1Site, MP1Coordinator>, StreamingGram) {
+        let mut runner = deploy(cfg);
+        let mut truth = StreamingGram::new(cfg.dim);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let row: Row =
+                (0..cfg.dim).map(|_| random::standard_normal(&mut rng)).collect();
+            truth.update(&row);
+            runner.feed(i % cfg.sites, row);
+        }
+        (runner, truth)
+    }
+
+    #[test]
+    fn covariance_error_within_epsilon() {
+        let cfg = MatrixConfig::new(4, 0.2, 6);
+        let (runner, truth) = run_gaussian(&cfg, 4_000, 1);
+        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+        assert!(err <= cfg.epsilon, "covariance error {err} > ε = {}", cfg.epsilon);
+    }
+
+    #[test]
+    fn directional_guarantee_lower_side() {
+        // ‖Bx‖² ≤ ‖Ax‖² must hold for FD-based sketches (one-sided).
+        let cfg = MatrixConfig::new(3, 0.25, 5);
+        let (runner, truth) = run_gaussian(&cfg, 2_000, 2);
+        let sketch = runner.coordinator().sketch();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let x = random::unit_vector(&mut rng, 5);
+            let ax = truth.gram().apply(&x).iter().zip(&x).map(|(g, xi)| g * xi).sum::<f64>();
+            let bx = sketch.apply_norm_sq(&x);
+            assert!(bx <= ax + 1e-6 * truth.frob_sq(), "‖Bx‖² exceeded ‖Ax‖²");
+        }
+    }
+
+    #[test]
+    fn frobenius_estimate_tracks_total() {
+        let cfg = MatrixConfig::new(4, 0.2, 6);
+        let (runner, truth) = run_gaussian(&cfg, 3_000, 3);
+        let fc = runner.coordinator().frob_estimate();
+        let f = truth.frob_sq();
+        assert!((f - fc).abs() <= cfg.epsilon * f, "F_C {fc} vs ‖A‖²_F {f}");
+    }
+
+    #[test]
+    fn flush_resets_site() {
+        let cfg = MatrixConfig::new(1, 0.5, 3);
+        let mut runner = deploy(&cfg);
+        runner.feed(0, vec![1.0, 2.0, 2.0]);
+        // Initial F̂ = 1 makes τ tiny: the first row flushes immediately.
+        assert!(runner.stats().up_msgs >= 1);
+        assert!(runner.sites()[0].fd.is_empty());
+    }
+
+    #[test]
+    fn zero_rows_ignored() {
+        let cfg = MatrixConfig::new(2, 0.3, 4);
+        let mut runner = deploy(&cfg);
+        runner.feed(0, vec![0.0; 4]);
+        assert_eq!(runner.stats().total(), 0);
+    }
+}

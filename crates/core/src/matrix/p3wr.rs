@@ -1,0 +1,191 @@
+//! Protocol MT-P3wr — row sampling *with* replacement (§4.3.1 applied to
+//! rows, the paper's Table 1 baseline `P3wr`).
+//!
+//! `s` independent samplers select rows proportional to `‖a‖²`; the
+//! coordinator keeps each sampler's top row and second-highest priority.
+//! At query time every sampler contributes one row rescaled to squared
+//! norm `Ŵ/s` with `Ŵ = (1/s)·Σ ρ⁽²⁾`, which makes `E[BᵀB] = AᵀA` —
+//! this is exactly the classical with-replacement column-sampling
+//! estimator (Drineas–Kannan–Mahoney) realised in a distributed stream.
+//!
+//! The paper's finding, which our Table 1 harness reproduces: dominated
+//! by the without-replacement protocol ([`super::p3`]) in both error and
+//! message count.
+
+use super::{row_weight, MatrixEstimator, Row};
+use crate::config::MatrixConfig;
+use crate::sampling::{WrCoordinator, WrHit, WrSite};
+use cma_linalg::Matrix;
+use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+
+/// Site → coordinator message: one sampler hit carrying the row.
+#[derive(Debug, Clone)]
+pub struct MP3wrMsg {
+    /// Which sampler fired, and with what priority.
+    pub hit: WrHit,
+    /// The sampled row.
+    pub row: Row,
+}
+
+impl MessageCost for MP3wrMsg {
+    fn cost(&self) -> u64 {
+        1
+    }
+}
+
+/// MT-P3wr site.
+#[derive(Debug, Clone)]
+pub struct MP3wrSite {
+    inner: WrSite,
+    scratch: Vec<WrHit>,
+}
+
+impl Site for MP3wrSite {
+    type Input = Row;
+    type UpMsg = MP3wrMsg;
+    type Broadcast = f64;
+
+    fn observe(&mut self, row: Row, out: &mut Vec<MP3wrMsg>) {
+        let w = row_weight(&row);
+        if w == 0.0 {
+            return;
+        }
+        self.inner.observe(w, &mut self.scratch);
+        for hit in self.scratch.drain(..) {
+            out.push(MP3wrMsg { hit, row: row.clone() });
+        }
+    }
+
+    fn on_broadcast(&mut self, tau: &f64) {
+        self.inner.set_tau(*tau);
+    }
+}
+
+/// MT-P3wr coordinator.
+#[derive(Debug)]
+pub struct MP3wrCoordinator {
+    inner: WrCoordinator<Row>,
+    dim: usize,
+}
+
+impl Coordinator for MP3wrCoordinator {
+    type UpMsg = MP3wrMsg;
+    type Broadcast = f64;
+
+    fn receive(&mut self, _from: SiteId, msg: MP3wrMsg, out: &mut Vec<f64>) {
+        let weight = row_weight(&msg.row);
+        if let Some(new_tau) = self.inner.receive(msg.hit, msg.row, weight) {
+            out.push(new_tau);
+        }
+    }
+}
+
+impl MatrixEstimator for MP3wrCoordinator {
+    /// One row per sampler, rescaled to squared norm `Ŵ/s`.
+    fn sketch(&self) -> Matrix {
+        let s = self.inner.slots().len() as f64;
+        let per_sample = self.inner.estimate_total() / s;
+        let mut b = Matrix::with_cols(self.dim);
+        if per_sample <= 0.0 {
+            return b;
+        }
+        for slot in self.inner.slots() {
+            if let Some((row, w)) = &slot.top {
+                if *w == 0.0 {
+                    continue;
+                }
+                let scale = (per_sample / w).sqrt();
+                let mut scaled = row.clone();
+                for v in &mut scaled {
+                    *v *= scale;
+                }
+                b.push_row(&scaled);
+            }
+        }
+        b
+    }
+
+    fn frob_estimate(&self) -> f64 {
+        self.inner.estimate_total()
+    }
+}
+
+/// Builds an MT-P3wr deployment (sample size from the config).
+pub fn deploy(cfg: &MatrixConfig) -> Runner<MP3wrSite, MP3wrCoordinator> {
+    let s = cfg.sample_size();
+    let sites = (0..cfg.sites)
+        .map(|i| MP3wrSite { inner: WrSite::new(s, cfg.site_seed(i)), scratch: Vec::new() })
+        .collect();
+    Runner::new(sites, MP3wrCoordinator { inner: WrCoordinator::new(s), dim: cfg.dim })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_data::StreamingGram;
+    use cma_linalg::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_gaussian(
+        cfg: &MatrixConfig,
+        n: usize,
+        seed: u64,
+    ) -> (Runner<MP3wrSite, MP3wrCoordinator>, StreamingGram) {
+        let mut runner = deploy(cfg);
+        let mut truth = StreamingGram::new(cfg.dim);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let row: Row =
+                (0..cfg.dim).map(|_| 2.0 * random::standard_normal(&mut rng)).collect();
+            truth.update(&row);
+            runner.feed(i % cfg.sites, row);
+        }
+        (runner, truth)
+    }
+
+    #[test]
+    fn covariance_error_bounded() {
+        let cfg = MatrixConfig::new(3, 0.3, 5).with_seed(51).with_sample_size(300);
+        let (runner, truth) = run_gaussian(&cfg, 5_000, 1);
+        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+        assert!(err <= cfg.epsilon, "covariance error {err} > ε");
+    }
+
+    #[test]
+    fn frob_estimate_reasonable() {
+        let cfg = MatrixConfig::new(3, 0.3, 5).with_seed(52).with_sample_size(300);
+        let (runner, truth) = run_gaussian(&cfg, 5_000, 2);
+        let f = truth.frob_sq();
+        let f_hat = runner.coordinator().frob_estimate();
+        assert!((f_hat - f).abs() / f < 0.2, "F̂ {f_hat} vs F {f}");
+    }
+
+    #[test]
+    fn sketch_has_one_row_per_sampler() {
+        let cfg = MatrixConfig::new(2, 0.3, 4).with_seed(53).with_sample_size(64);
+        let (runner, _) = run_gaussian(&cfg, 3_000, 3);
+        assert_eq!(runner.coordinator().sketch().rows(), 64);
+    }
+
+    #[test]
+    fn dominated_by_wor_in_messages() {
+        // The paper's Table 1 finding.
+        let cfg = MatrixConfig::new(3, 0.3, 5).with_seed(54).with_sample_size(200);
+        let n = 10_000;
+        let (r_wr, _) = run_gaussian(&cfg, n, 4);
+
+        let mut r_wor = super::super::p3::deploy(&cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..n {
+            let row: Row = (0..5).map(|_| 2.0 * random::standard_normal(&mut rng)).collect();
+            r_wor.feed(i % 3, row);
+        }
+        assert!(
+            r_wr.stats().total() > r_wor.stats().total(),
+            "wr {} should exceed wor {}",
+            r_wr.stats().total(),
+            r_wor.stats().total()
+        );
+    }
+}

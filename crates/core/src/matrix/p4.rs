@@ -1,0 +1,259 @@
+//! Protocol MT-P4 — the Appendix C **negative result**.
+//!
+//! The paper asks whether HH-P4's `O((√m/ε) log(βN))` communication can
+//! transfer to matrices and answers *no*: a site can update its
+//! approximation `Âj` exactly only along `Âj`'s right singular vectors,
+//! and — because the replicated update `Âj ← Z·Vᵀ` keeps the same `V`
+//! (only singular values change) — that basis **never rotates toward the
+//! data's true basis**. The skew between the two is unbounded (paper
+//! Figure 5), so the protocol carries no approximation guarantee. It is
+//! implemented here exactly as Algorithm C.1 describes so the harness can
+//! regenerate Figures 6–7, where P4's error dwarfs P1–P3's.
+//!
+//! Mechanics per site `j`:
+//!
+//! * maintain the exact local Gram `Gj = AjᵀAj` and the fixed orthonormal
+//!   basis `V` (initialised to the standard basis, as any valid SVD of
+//!   the empty `Âj`);
+//! * on a row of weight `w = ‖a‖²`, with probability
+//!   `p̄ = 1 − e^{−p·w}` (`p = 2√m/(ε·F̂)`) send
+//!   `zᵢ = √(‖Aj vᵢ‖² + 1/p)` for all `i`, one vector message;
+//! * both ends set `Âj = Z·Vᵀ`.
+//!
+//! `F̂` is the deterministic 2-approximation of `‖A‖²_F` from
+//! [`crate::weight_tracker`].
+
+use super::{row_weight, MatrixEstimator, Row};
+use crate::config::MatrixConfig;
+use crate::weight_tracker::{CoordWeightTracker, SiteWeightTracker};
+use cma_linalg::matrix::accumulate_outer;
+use cma_linalg::Matrix;
+use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Site → coordinator messages of protocol MT-P4.
+#[derive(Debug, Clone)]
+pub enum MP4Msg {
+    /// Weight-tracker report.
+    Total(f64),
+    /// The refreshed singular values `z` of `Âj = Z·Vᵀ` (one vector
+    /// message, same cost unit as a row).
+    Z(Vec<f64>),
+}
+
+impl MessageCost for MP4Msg {
+    fn cost(&self) -> u64 {
+        1
+    }
+}
+
+/// MT-P4 site.
+#[derive(Debug, Clone)]
+pub struct MP4Site {
+    /// Exact local Gram `Gj` (the site's streaming state).
+    gram: Matrix,
+    tracker: SiteWeightTracker,
+    sites: usize,
+    epsilon: f64,
+    rng: StdRng,
+}
+
+impl MP4Site {
+    fn new(cfg: &MatrixConfig, site: usize) -> Self {
+        MP4Site {
+            gram: Matrix::zeros(cfg.dim, cfg.dim),
+            tracker: SiteWeightTracker::new(cfg.sites),
+            sites: cfg.sites,
+            epsilon: cfg.epsilon,
+            rng: StdRng::seed_from_u64(cfg.site_seed(site)),
+        }
+    }
+
+    /// Send-rate parameter `p = 2√m/(ε·F̂)`.
+    fn p(&self) -> f64 {
+        2.0 * (self.sites as f64).sqrt() / (self.epsilon * self.tracker.w_hat())
+    }
+}
+
+impl Site for MP4Site {
+    type Input = Row;
+    type UpMsg = MP4Msg;
+    type Broadcast = f64;
+
+    fn observe(&mut self, row: Row, out: &mut Vec<MP4Msg>) {
+        let w = row_weight(&row);
+        if w == 0.0 {
+            return;
+        }
+        if let Some(report) = self.tracker.add(w) {
+            out.push(MP4Msg::Total(report));
+        }
+        accumulate_outer(&mut self.gram, &row);
+        let p = self.p();
+        let p_bar = 1.0 - (-p * w).exp();
+        if self.rng.gen::<f64>() < p_bar {
+            // With V the standard basis, ‖Aj vᵢ‖² = Gj[i][i].
+            let d = self.gram.rows();
+            let z: Vec<f64> =
+                (0..d).map(|i| (self.gram[(i, i)] + 1.0 / p).sqrt()).collect();
+            out.push(MP4Msg::Z(z));
+        }
+    }
+
+    fn on_broadcast(&mut self, f_hat: &f64) {
+        self.tracker.on_broadcast(*f_hat);
+    }
+}
+
+/// MT-P4 coordinator: per-site `Âj = Z·Vᵀ` mirrors.
+#[derive(Debug, Clone)]
+pub struct MP4Coordinator {
+    /// Latest `z` vector per site (the fixed basis is the standard one).
+    z: Vec<Option<Vec<f64>>>,
+    tracker: CoordWeightTracker,
+    dim: usize,
+}
+
+impl MP4Coordinator {
+    fn new(cfg: &MatrixConfig) -> Self {
+        MP4Coordinator {
+            z: vec![None; cfg.sites],
+            tracker: CoordWeightTracker::new(),
+            dim: cfg.dim,
+        }
+    }
+}
+
+impl Coordinator for MP4Coordinator {
+    type UpMsg = MP4Msg;
+    type Broadcast = f64;
+
+    fn receive(&mut self, from: SiteId, msg: MP4Msg, out: &mut Vec<f64>) {
+        match msg {
+            MP4Msg::Total(report) => {
+                if let Some(new_hat) = self.tracker.on_report(report) {
+                    out.push(new_hat);
+                }
+            }
+            MP4Msg::Z(z) => {
+                debug_assert_eq!(z.len(), self.dim);
+                self.z[from] = Some(z);
+            }
+        }
+    }
+}
+
+impl MatrixEstimator for MP4Coordinator {
+    /// Stacks every site's `Z·Vᵀ`; with the standard basis each site
+    /// contributes `d` axis-aligned rows `zᵢ·eᵢ`.
+    fn sketch(&self) -> Matrix {
+        let mut b = Matrix::with_cols(self.dim);
+        let mut row = vec![0.0; self.dim];
+        for z in self.z.iter().flatten() {
+            for (i, &zi) in z.iter().enumerate() {
+                if zi == 0.0 {
+                    continue;
+                }
+                row.iter_mut().for_each(|v| *v = 0.0);
+                row[i] = zi;
+                b.push_row(&row);
+            }
+        }
+        b
+    }
+
+    fn frob_estimate(&self) -> f64 {
+        self.tracker.received()
+    }
+}
+
+/// Builds an MT-P4 deployment.
+pub fn deploy(cfg: &MatrixConfig) -> Runner<MP4Site, MP4Coordinator> {
+    let sites = (0..cfg.sites).map(|i| MP4Site::new(cfg, i)).collect();
+    Runner::new(sites, MP4Coordinator::new(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_data::{StreamingGram, SyntheticMatrixStream};
+    use cma_linalg::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tracks_axis_aligned_streams_exactly_enough() {
+        // When the data's covariance is diagonal in the standard basis,
+        // P4's fixed basis *is* the right basis and it works.
+        let cfg = MatrixConfig::new(2, 0.2, 4).with_seed(61);
+        let mut runner = deploy(&cfg);
+        let mut truth = StreamingGram::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..4_000 {
+            let mut row = vec![0.0; 4];
+            let axis = i % 4;
+            row[axis] = 1.0 + rng.gen::<f64>();
+            truth.update(&row);
+            runner.feed(i % 2, row);
+        }
+        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+        assert!(err < 0.2, "axis-aligned error {err} unexpectedly large");
+    }
+
+    #[test]
+    fn fails_on_rotated_streams() {
+        // The negative result: on data with strong off-diagonal
+        // covariance, P4's error is far beyond ε while MT-P2 at the same
+        // ε is fine.
+        let cfg = MatrixConfig::new(2, 0.1, 8).with_seed(62);
+        let mut p4 = deploy(&cfg);
+        let mut p2 = super::super::p2::deploy(&cfg);
+        let mut truth = StreamingGram::new(8);
+        let mut stream = SyntheticMatrixStream::new(8, &[4.0, 2.0], 1e6, 7);
+        for i in 0..4_000 {
+            let row = stream.next_row();
+            truth.update(&row);
+            p4.feed(i % 2, row.clone());
+            p2.feed(i % 2, row);
+        }
+        let err_p4 = truth.error_of_sketch(&p4.coordinator().sketch()).unwrap();
+        let err_p2 = truth.error_of_sketch(&p2.coordinator().sketch()).unwrap();
+        assert!(err_p2 <= cfg.epsilon, "P2 must meet its contract ({err_p2})");
+        assert!(
+            err_p4 > 3.0 * err_p2,
+            "P4 ({err_p4}) should be far worse than P2 ({err_p2})"
+        );
+    }
+
+    #[test]
+    fn communication_stays_low() {
+        // P4's one redeeming quality: it is cheap.
+        let cfg = MatrixConfig::new(16, 0.1, 6).with_seed(63);
+        let mut runner = deploy(&cfg);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        for i in 0..n {
+            let row: Row = (0..6).map(|_| random::standard_normal(&mut rng)).collect();
+            runner.feed(i % 16, row);
+        }
+        let sent = runner.stats().total();
+        assert!(sent < (n / 3) as u64, "MT-P4 sent {sent} of {n}");
+    }
+
+    #[test]
+    fn weight_tracker_invariant() {
+        let cfg = MatrixConfig::new(4, 0.2, 5).with_seed(64);
+        let mut runner = deploy(&cfg);
+        let mut total = 0.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..5_000 {
+            let row: Row = (0..5).map(|_| 1.0 + rng.gen::<f64>()).collect();
+            total += row_weight(&row);
+            runner.feed(i % 4, row);
+        }
+        let received = runner.coordinator().frob_estimate();
+        assert!(received <= total + 1e-6);
+        assert!(received >= total / 2.0, "tracker lost too much: {received} vs {total}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Exact streamed ground truth for matrix experiments.
+//!
+//! Every matrix experiment needs the exact covariance `AᵀA` and
+//! `‖A‖²_F` to evaluate the paper's error metric
+//! `err = ‖AᵀA − BᵀB‖₂ / ‖A‖²_F`. Materialising `A` (629k × 44 for the
+//! PAMAP-scale runs) is unnecessary: `AᵀA = Σᵢ aᵢaᵢᵀ` streams in `O(d²)`
+//! space, which is what [`StreamingGram`] does.
+
+use cma_linalg::eigen::jacobi_eigen_sym;
+use cma_linalg::matrix::accumulate_outer;
+use cma_linalg::norms::covariance_error;
+use cma_linalg::{LinalgError, Matrix};
+
+/// Streaming accumulator of `AᵀA`, `‖A‖²_F` and the row count.
+#[derive(Debug, Clone)]
+pub struct StreamingGram {
+    gram: Matrix,
+    frob_sq: f64,
+    rows: u64,
+}
+
+impl StreamingGram {
+    /// An empty accumulator over `R^d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 1, "StreamingGram: dimension must be positive");
+        StreamingGram { gram: Matrix::zeros(d, d), frob_sq: 0.0, rows: 0 }
+    }
+
+    /// Absorbs one row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != d`.
+    pub fn update(&mut self, row: &[f64]) {
+        accumulate_outer(&mut self.gram, row);
+        self.frob_sq += row.iter().map(|v| v * v).sum::<f64>();
+        self.rows += 1;
+    }
+
+    /// The exact covariance `AᵀA`.
+    pub fn gram(&self) -> &Matrix {
+        &self.gram
+    }
+
+    /// Exact `‖A‖²_F`.
+    pub fn frob_sq(&self) -> f64 {
+        self.frob_sq
+    }
+
+    /// Number of rows absorbed (`n`).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.gram.cols()
+    }
+
+    /// The paper's error metric for a sketch `B`:
+    /// `‖AᵀA − BᵀB‖₂ / ‖A‖²_F`.
+    ///
+    /// # Errors
+    /// Propagates eigensolver non-convergence (practically unreachable).
+    ///
+    /// # Panics
+    /// Panics if `sketch.cols() != d`.
+    pub fn error_of_sketch(&self, sketch: &Matrix) -> Result<f64, LinalgError> {
+        assert_eq!(sketch.cols(), self.dim(), "error_of_sketch: dimension mismatch");
+        covariance_error(&self.gram, &sketch.gram(), self.frob_sq)
+    }
+
+    /// Covariance error of the *best rank-`k` approximation* `A_k`
+    /// (the paper's "SVD" baseline in Table 1): equals
+    /// `λ_{k+1}(AᵀA) / ‖A‖²_F`, and `0` when `k ≥ rank(A)`.
+    ///
+    /// # Errors
+    /// Propagates eigensolver non-convergence.
+    pub fn best_rank_k_error(&self, k: usize) -> Result<f64, LinalgError> {
+        let eig = jacobi_eigen_sym(&self.gram)?;
+        let lambda = eig.values.get(k).copied().unwrap_or(0.0).max(0.0);
+        Ok(if self.frob_sq > 0.0 { lambda / self.frob_sq } else { 0.0 })
+    }
+
+    /// Squared Frobenius error of projecting the (never materialised)
+    /// data matrix onto the row space of `basis`:
+    /// `‖A − A·PᵀP‖²_F = ‖A‖²_F − Σᵢ pᵢᵀ (AᵀA) pᵢ`, where the rows `pᵢ`
+    /// of `basis` are orthonormal.
+    ///
+    /// This evaluates the paper's quoted relative-error property of
+    /// Frequent Directions (reference \[21\]):
+    /// `‖A − π_{B_k}(A)‖²_F ≤ (1+ε)·‖A − A_k‖²_F` — "when most of the
+    /// variation is captured in the first k principal components, then we
+    /// can almost recover the entire matrix exactly."
+    ///
+    /// # Panics
+    /// Panics if `basis.cols() != d`.
+    pub fn projection_error(&self, basis: &Matrix) -> f64 {
+        assert_eq!(basis.cols(), self.dim(), "projection_error: dimension mismatch");
+        let mut captured = 0.0;
+        for p in basis.iter_rows() {
+            let gp = self.gram.apply(p);
+            captured += p.iter().zip(&gp).map(|(x, y)| x * y).sum::<f64>();
+        }
+        (self.frob_sq - captured).max(0.0)
+    }
+
+    /// `‖A − A_k‖²_F = Σ_{i>k} λᵢ(AᵀA)` — the optimal rank-`k` residual,
+    /// the yardstick for [`StreamingGram::projection_error`].
+    ///
+    /// # Errors
+    /// Propagates eigensolver non-convergence.
+    pub fn best_rank_k_residual(&self, k: usize) -> Result<f64, LinalgError> {
+        let eig = jacobi_eigen_sym(&self.gram)?;
+        Ok(eig.values.iter().skip(k).map(|&l| l.max(0.0)).sum())
+    }
+
+    /// The best rank-`k` sketch `Σ_k V_kᵀ` of the data seen (for
+    /// baselines): rows are `σᵢ vᵢᵀ` for the top `k` directions.
+    ///
+    /// # Errors
+    /// Propagates eigensolver non-convergence.
+    pub fn best_rank_k_sketch(&self, k: usize) -> Result<Matrix, LinalgError> {
+        let eig = jacobi_eigen_sym(&self.gram)?;
+        let d = self.dim();
+        let r = k.min(d);
+        let mut out = Matrix::with_cols(d);
+        for i in 0..r {
+            let s = eig.values[i].max(0.0).sqrt();
+            if s == 0.0 {
+                break;
+            }
+            let mut row = eig.vectors.row(i).to_vec();
+            for v in &mut row {
+                *v *= s;
+            }
+            out.push_row(&row);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_linalg::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_materialised_gram() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random::gaussian(&mut rng, 40, 5);
+        let mut sg = StreamingGram::new(5);
+        for r in a.iter_rows() {
+            sg.update(r);
+        }
+        let g = a.gram();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((sg.gram()[(i, j)] - g[(i, j)]).abs() < 1e-10);
+            }
+        }
+        assert!((sg.frob_sq() - a.frob_norm_sq()).abs() < 1e-10);
+        assert_eq!(sg.rows(), 40);
+    }
+
+    #[test]
+    fn error_of_perfect_sketch_is_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random::gaussian(&mut rng, 30, 4);
+        let mut sg = StreamingGram::new(4);
+        for r in a.iter_rows() {
+            sg.update(r);
+        }
+        let err = sg.error_of_sketch(&a).unwrap();
+        assert!(err < 1e-12);
+    }
+
+    #[test]
+    fn best_rank_k_error_zero_for_low_rank_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random::with_spectrum(&mut rng, 50, 6, &[10.0, 5.0]);
+        let mut sg = StreamingGram::new(6);
+        for r in a.iter_rows() {
+            sg.update(r);
+        }
+        assert!(sg.best_rank_k_error(2).unwrap() < 1e-10);
+        assert!(sg.best_rank_k_error(1).unwrap() > 1e-3);
+    }
+
+    #[test]
+    fn best_rank_k_sketch_achieves_its_error() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random::gaussian(&mut rng, 60, 5);
+        let mut sg = StreamingGram::new(5);
+        for r in a.iter_rows() {
+            sg.update(r);
+        }
+        for k in [1usize, 3, 5] {
+            let bk = sg.best_rank_k_sketch(k).unwrap();
+            let err = sg.error_of_sketch(&bk).unwrap();
+            let want = sg.best_rank_k_error(k).unwrap();
+            assert!(
+                (err - want).abs() < 1e-8,
+                "rank {k}: sketch err {err} vs eigen-gap {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_beyond_dimension_is_exact() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random::gaussian(&mut rng, 20, 3);
+        let mut sg = StreamingGram::new(3);
+        for r in a.iter_rows() {
+            sg.update(r);
+        }
+        assert_eq!(sg.best_rank_k_error(3).unwrap(), 0.0);
+        assert_eq!(sg.best_rank_k_error(10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let sg = StreamingGram::new(4);
+        assert_eq!(sg.frob_sq(), 0.0);
+        assert_eq!(sg.error_of_sketch(&Matrix::with_cols(4)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn projection_error_on_own_top_directions_is_optimal() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random::gaussian(&mut rng, 60, 6);
+        let mut sg = StreamingGram::new(6);
+        for r in a.iter_rows() {
+            sg.update(r);
+        }
+        for k in [1usize, 3, 6] {
+            // Projecting onto the exact top-k eigdirections achieves the
+            // optimal residual Σ_{i>k} λᵢ.
+            let eig = cma_linalg::eigen::jacobi_eigen_sym(sg.gram()).unwrap();
+            let mut basis = Matrix::with_cols(6);
+            for i in 0..k {
+                basis.push_row(eig.vectors.row(i));
+            }
+            let got = sg.projection_error(&basis);
+            let want = sg.best_rank_k_residual(k).unwrap();
+            assert!((got - want).abs() < 1e-8 * sg.frob_sq().max(1.0), "k={k}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn projection_error_empty_basis_is_total_mass() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random::gaussian(&mut rng, 10, 3);
+        let mut sg = StreamingGram::new(3);
+        for r in a.iter_rows() {
+            sg.update(r);
+        }
+        let err = sg.projection_error(&Matrix::with_cols(3));
+        assert!((err - sg.frob_sq()).abs() < 1e-12);
+    }
+}

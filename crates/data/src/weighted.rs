@@ -1,0 +1,126 @@
+//! The paper's weighted heavy-hitter workload.
+//!
+//! §6 of the paper: "we generated data from Zipfian distribution, and set
+//! the skew parameter to 2 […] we fixed the upper bound (default
+//! β = 1,000) and assigned each point a uniform random weight in range
+//! [1, β]. Weights are not necessarily integers." This module is that
+//! generator, as an infinite iterator of `(item, weight)` pairs.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Infinite stream of Zipf-distributed items with uniform `[1, β]` weights.
+#[derive(Debug, Clone)]
+pub struct WeightedZipfStream {
+    zipf: Zipf,
+    beta: f64,
+    rng: StdRng,
+}
+
+impl WeightedZipfStream {
+    /// Creates the generator.
+    ///
+    /// * `universe` — item universe size `u`.
+    /// * `skew` — Zipf exponent (the paper uses 2).
+    /// * `beta` — weight upper bound `β ≥ 1`; weights are uniform in
+    ///   `[1, β]` (all exactly 1 when `β = 1`, the unweighted case).
+    /// * `seed` — RNG seed for reproducibility.
+    ///
+    /// # Panics
+    /// Panics if `beta < 1`, or on invalid `universe`/`skew`
+    /// (see [`Zipf::new`]).
+    pub fn new(universe: usize, skew: f64, beta: f64, seed: u64) -> Self {
+        assert!(beta >= 1.0, "WeightedZipfStream: beta must be at least 1");
+        WeightedZipfStream {
+            zipf: Zipf::new(universe, skew),
+            beta,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The paper's default configuration: `u = 10⁴`, skew 2, `β = 1000`.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(10_000, 2.0, 1_000.0, seed)
+    }
+
+    /// Weight upper bound `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Draws the next `(item, weight)` pair.
+    pub fn next_pair(&mut self) -> (u64, f64) {
+        let item = self.zipf.sample(&mut self.rng);
+        let weight = if self.beta == 1.0 {
+            1.0
+        } else {
+            self.rng.gen_range(1.0..=self.beta)
+        };
+        (item, weight)
+    }
+
+    /// Materialises the first `n` pairs.
+    pub fn take_vec(&mut self, n: usize) -> Vec<(u64, f64)> {
+        (0..n).map(|_| self.next_pair()).collect()
+    }
+}
+
+impl Iterator for WeightedZipfStream {
+    type Item = (u64, f64);
+    fn next(&mut self) -> Option<(u64, f64)> {
+        Some(self.next_pair())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_in_range() {
+        let mut s = WeightedZipfStream::new(100, 2.0, 50.0, 1);
+        for _ in 0..10_000 {
+            let (e, w) = s.next_pair();
+            assert!((1..=100).contains(&e));
+            assert!((1.0..=50.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn beta_one_gives_unit_weights() {
+        let mut s = WeightedZipfStream::new(10, 2.0, 1.0, 2);
+        for _ in 0..100 {
+            assert_eq!(s.next_pair().1, 1.0);
+        }
+    }
+
+    #[test]
+    fn weights_cover_the_range() {
+        let mut s = WeightedZipfStream::new(10, 2.0, 1000.0, 3);
+        let ws: Vec<f64> = (0..5000).map(|_| s.next_pair().1).collect();
+        let lo = ws.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ws.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(lo < 20.0, "min weight {lo} suspiciously high");
+        assert!(hi > 980.0, "max weight {hi} suspiciously low");
+        // Mean of U[1, 1000] is ≈ 500.5.
+        let mean: f64 = ws.iter().sum::<f64>() / ws.len() as f64;
+        assert!((mean - 500.5).abs() < 25.0, "mean {mean}");
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let s = WeightedZipfStream::paper_default(4);
+        let v: Vec<(u64, f64)> = s.take(5).collect();
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn reproducible_across_instances() {
+        let mut a = WeightedZipfStream::new(50, 2.0, 10.0, 99);
+        let mut b = WeightedZipfStream::new(50, 2.0, 10.0, 99);
+        for _ in 0..100 {
+            assert_eq!(a.next_pair(), b.next_pair());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Zipfian distribution over a bounded universe.
+//!
+//! The heavy-hitter experiments (paper §6.1) draw `10⁷` items from a
+//! Zipfian distribution with skew 2: `P(k) ∝ k^{-2}` over `k ∈ [1, u]`.
+//! Sampling uses an inverse-CDF table with binary search — `O(u)` setup,
+//! `O(log u)` per sample, exact (no rejection), and deterministic given
+//! the RNG, which the experiment harnesses rely on for reproducibility.
+
+use rand::Rng;
+
+/// Zipfian sampler: `P(k) ∝ k^{-skew}` for `k ∈ {1, …, universe}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `universe == 0` or `skew` is not finite and positive.
+    pub fn new(universe: usize, skew: f64) -> Self {
+        assert!(universe >= 1, "Zipf: universe must be non-empty");
+        assert!(skew.is_finite() && skew > 0.0, "Zipf: skew must be positive");
+        let mut cdf = Vec::with_capacity(universe);
+        let mut acc = 0.0;
+        for k in 1..=universe {
+            acc += (k as f64).powf(-skew);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Universe size `u`.
+    pub fn universe(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Exact probability of item `k` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `k` is outside `[1, u]`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len(), "Zipf::pmf: item out of range");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+
+    /// Draws one item (1-based rank; rank 1 is the most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 2.0);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_ratios_follow_power_law() {
+        let z = Zipf::new(1000, 2.0);
+        // P(1)/P(2) = 2² = 4.
+        assert!((z.pmf(1) / z.pmf(2) - 4.0).abs() < 1e-9);
+        // P(2)/P(4) = 4.
+        assert!((z.pmf(2) / z.pmf(4) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = Zipf::new(50, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = vec![0u64; 51];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Head items: empirical frequency within 5% of the pmf.
+        #[allow(clippy::needless_range_loop)]
+        for k in 1..=3 {
+            let emp = counts[k] as f64 / n as f64;
+            let want = z.pmf(k);
+            assert!(
+                (emp - want).abs() / want < 0.05,
+                "item {k}: empirical {emp} vs pmf {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_two_concentrates_on_head() {
+        let z = Zipf::new(10_000, 2.0);
+        // Top-10 items carry the majority of the mass at skew 2.
+        let head: f64 = (1..=10).map(|k| z.pmf(k)).sum();
+        assert!(head > 0.9, "head mass only {head}");
+    }
+
+    #[test]
+    fn sample_stays_in_universe() {
+        let z = Zipf::new(7, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=7).contains(&s));
+        }
+    }
+
+    #[test]
+    fn universe_of_one() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 1);
+        assert_eq!(z.pmf(1), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(100, 2.0);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Cyclic Jacobi eigendecomposition of symmetric matrices.
+//!
+//! This powers the Gram fast path for SVD ([`crate::svd::gram_svd`]) and
+//! the exact evaluation of the paper's error metric
+//! `‖AᵀA − BᵀB‖₂ / ‖A‖²_F`: both reduce to the eigendecomposition of a
+//! small (`d×d`, `d ≲ 500`) symmetric matrix, a regime where Jacobi
+//! iteration is simple, embarrassingly robust and accurate to machine
+//! precision.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Maximum number of full Jacobi sweeps before giving up. Symmetric Jacobi
+/// converges quadratically; well-conditioned inputs finish in ≤ 10 sweeps,
+/// and 50 leaves an enormous safety margin.
+const MAX_SWEEPS: usize = 50;
+
+/// Eigendecomposition `S = V diag(λ) Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; `vectors.row(i)` is the eigenvector for
+    /// `values[i]` (row-major storage mirrors the `Σ Vᵀ` sketch layout used
+    /// throughout the workspace).
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric `d × d` matrix with the
+/// cyclic Jacobi method.
+///
+/// Only the lower/upper symmetric part is meaningful; the routine
+/// symmetrises its working copy up front so tiny asymmetries from floating
+/// point accumulation are harmless.
+///
+/// # Errors
+/// [`LinalgError::NoConvergence`] if off-diagonal mass has not vanished
+/// after the internal sweep budget (practically unreachable for finite
+/// input).
+///
+/// # Panics
+/// Panics if `s` is not square.
+pub fn jacobi_eigen_sym(s: &Matrix) -> Result<SymEigen, LinalgError> {
+    jacobi_eigen_sym_with_basis(s, Matrix::identity(s.rows()))
+}
+
+/// [`jacobi_eigen_sym`] expressed in a caller-supplied orthonormal basis.
+///
+/// Treats `s` as the matrix of a symmetric operator *in the coordinates
+/// of* `basis` (whose rows are orthonormal vectors of the ambient space)
+/// and co-rotates `basis` with every Jacobi rotation. The returned
+/// `vectors` are therefore eigenvectors in **ambient** coordinates:
+/// `vectors = E · basis` where `E` are the eigenvectors of `s`.
+///
+/// This is the warm-start path used by protocol MT-P2: a site keeps its
+/// buffer as `diag(σ²)` in its own singular basis, so after appending a
+/// few rows the operator is near-diagonal, Jacobi converges in a couple
+/// of sweeps, and the rotations are applied directly to the basis instead
+/// of paying a dense `d×d · d×d` composition afterwards.
+///
+/// # Errors
+/// [`LinalgError::NoConvergence`] as for [`jacobi_eigen_sym`].
+///
+/// # Panics
+/// Panics if `s` is not square or `basis.rows() != s.rows()`.
+pub fn jacobi_eigen_sym_with_basis(
+    s: &Matrix,
+    basis: Matrix,
+) -> Result<SymEigen, LinalgError> {
+    jacobi_eigen_sym_with_basis_tol(s, basis, 1e-14)
+}
+
+/// [`jacobi_eigen_sym_with_basis`] with an explicit relative tolerance.
+///
+/// Off-diagonal entries below `rel_tol · ‖S‖_F` are treated as converged;
+/// eigenvalues are then accurate to roughly `d · rel_tol · ‖S‖_F`.
+/// Protocol hot loops (MT-P2's per-batch decompositions) pass a looser
+/// tolerance than the 1e-14 default because their downstream use is a
+/// threshold comparison at scale `ε‖A‖²_F/m`, many orders above the
+/// solver noise either way.
+///
+/// # Errors
+/// [`LinalgError::NoConvergence`] as for [`jacobi_eigen_sym`].
+///
+/// # Panics
+/// As for [`jacobi_eigen_sym_with_basis`].
+pub fn jacobi_eigen_sym_with_basis_tol(
+    s: &Matrix,
+    basis: Matrix,
+    rel_tol: f64,
+) -> Result<SymEigen, LinalgError> {
+    assert_eq!(s.rows(), s.cols(), "jacobi_eigen_sym: matrix must be square");
+    assert_eq!(basis.rows(), s.rows(), "jacobi_eigen_sym: basis row-count mismatch");
+    let d = s.rows();
+    if d == 0 {
+        return Ok(SymEigen { values: Vec::new(), vectors: basis });
+    }
+
+    // Symmetrised working copy.
+    let mut a = Matrix::zeros(d, d);
+    for i in 0..d {
+        for j in 0..d {
+            a[(i, j)] = 0.5 * (s[(i, j)] + s[(j, i)]);
+        }
+    }
+    let mut v = basis;
+
+    // Scale-aware tolerance: stop when all off-diagonals are negligible
+    // relative to the Frobenius norm of the input.
+    let scale = a.frob_norm().max(f64::MIN_POSITIVE);
+    let tol = rel_tol * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0_f64;
+        for p in 0..d {
+            for q in (p + 1)..d {
+                off = off.max(a[(p, q)].abs());
+            }
+        }
+        if off <= tol {
+            return Ok(finish(a, v));
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let apq = a[(p, q)];
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                // Rotation angle zeroing a[p][q]:
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let sn = t * c;
+
+                // A <- Jᵀ A J applied symmetrically.
+                for k in 0..d {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - sn * akq;
+                    a[(k, q)] = sn * akp + c * akq;
+                }
+                for k in 0..d {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - sn * aqk;
+                    a[(q, k)] = sn * apk + c * aqk;
+                }
+                // Eigenvectors are stored as *rows* of `v` (v = Vᵀ), so the
+                // accumulated product V ← V·J becomes v ← Jᵀ·v here.
+                let (rp, rq) = v.rows_pair_mut(p, q);
+                for (vp, vq) in rp.iter_mut().zip(rq.iter_mut()) {
+                    let (x, y) = (*vp, *vq);
+                    *vp = c * x - sn * y;
+                    *vq = sn * x + c * y;
+                }
+            }
+        }
+    }
+
+    Err(LinalgError::NoConvergence { routine: "jacobi_eigen_sym", sweeps: MAX_SWEEPS })
+}
+
+/// Extracts the sorted eigendecomposition from the converged working state.
+fn finish(a: Matrix, v: Matrix) -> SymEigen {
+    let d = a.rows();
+    let mut order: Vec<usize> = (0..d).collect();
+    order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("NaN eigenvalue"));
+
+    let mut values = Vec::with_capacity(d);
+    let mut vectors = Matrix::zeros(d, v.cols());
+    for (rank, &idx) in order.iter().enumerate() {
+        values.push(a[(idx, idx)]);
+        vectors.row_mut(rank).copy_from_slice(v.row(idx));
+    }
+    SymEigen { values, vectors }
+}
+
+/// Exact spectral norm `‖S‖₂ = max |λᵢ|` of a symmetric matrix via the
+/// full Jacobi eigendecomposition.
+///
+/// This is the reference evaluator for the paper's matrix error metric;
+/// see [`crate::norms::spectral_norm_sym_power`] for the cheaper iterative
+/// alternative.
+pub fn spectral_norm_sym(s: &Matrix) -> Result<f64, LinalgError> {
+    let eig = jacobi_eigen_sym(s)?;
+    Ok(eig.values.iter().fold(0.0_f64, |m, &l| m.max(l.abs())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random;
+    use crate::vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut s = Matrix::zeros(3, 3);
+        s[(0, 0)] = 2.0;
+        s[(1, 1)] = -5.0;
+        s[(2, 2)] = 1.0;
+        let e = jacobi_eigen_sym(&s).unwrap();
+        assert_eq!(e.values, vec![2.0, 1.0, -5.0]);
+    }
+
+    #[test]
+    fn known_two_by_two() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let s = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen_sym(&s).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random::gaussian(&mut rng, 8, 8);
+        let s = a.add(&a.transpose()).scaled(0.5);
+        let e = jacobi_eigen_sym(&s).unwrap();
+
+        // V has orthonormal rows.
+        let vvt = e.vectors.matmul(&e.vectors.transpose());
+        for i in 0..8 {
+            for j in 0..8 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((vvt[(i, j)] - want).abs() < 1e-10);
+            }
+        }
+
+        // S v_i = λ_i v_i for every pair.
+        for i in 0..8 {
+            let vi = e.vectors.row(i);
+            let sv = s.apply(vi);
+            for k in 0..8 {
+                assert!(
+                    (sv[k] - e.values[i] * vi[k]).abs() < 1e-9,
+                    "eigenpair {i} fails at coord {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random::gaussian(&mut rng, 10, 10);
+        let s = a.add(&a.transpose()).scaled(0.5);
+        let tr: f64 = (0..10).map(|i| s[(i, i)]).sum();
+        let e = jacobi_eigen_sym(&s).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((tr - sum).abs() < 1e-9 * tr.abs().max(1.0));
+    }
+
+    #[test]
+    fn psd_gram_has_nonnegative_eigenvalues() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random::gaussian(&mut rng, 20, 6);
+        let e = jacobi_eigen_sym(&a.gram()).unwrap();
+        for &l in &e.values {
+            assert!(l > -1e-9, "negative eigenvalue {l} from PSD matrix");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let e = jacobi_eigen_sym(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn spectral_norm_matches_max_abs_eigenvalue() {
+        let s = Matrix::from_rows(&[vec![0.0, 2.0], vec![2.0, -3.0]]);
+        // Eigenvalues of [[0,2],[2,-3]] are 1 and -4.
+        let n = spectral_norm_sym(&s).unwrap();
+        assert!((n - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basis_variant_matches_explicit_composition() {
+        // Eigen of S expressed in basis Q must equal E·Q where E are the
+        // eigenvectors of S.
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = random::gaussian(&mut rng, 6, 6);
+        let s = a.add(&a.transpose()).scaled(0.5);
+        let q = random::haar_orthogonal(&mut rng, 6);
+
+        let plain = jacobi_eigen_sym(&s).unwrap();
+        let based = jacobi_eigen_sym_with_basis(&s, q.clone()).unwrap();
+        let composed = plain.vectors.matmul(&q);
+        for i in 0..6 {
+            assert!((plain.values[i] - based.values[i]).abs() < 1e-9);
+            // Eigenvectors are defined up to sign.
+            let dot: f64 = composed
+                .row(i)
+                .iter()
+                .zip(based.vectors.row(i))
+                .map(|(x, y)| x * y)
+                .sum();
+            assert!(dot.abs() > 1.0 - 1e-8, "row {i}: |dot| = {}", dot.abs());
+        }
+    }
+
+    #[test]
+    fn near_diagonal_warm_start_converges() {
+        // diag + rank-1 perturbation: the MT-P2 workload shape.
+        let d = 20;
+        let mut s = Matrix::zeros(d, d);
+        for i in 0..d {
+            s[(i, i)] = (d - i) as f64;
+        }
+        let c: Vec<f64> = (0..d).map(|i| 0.01 * (i as f64 + 1.0)).collect();
+        for i in 0..d {
+            for j in 0..d {
+                s[(i, j)] += c[i] * c[j];
+            }
+        }
+        let e = jacobi_eigen_sym(&s).unwrap();
+        let trace: f64 = (0..d).map(|i| s[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9 * trace);
+    }
+
+    #[test]
+    fn eigenvectors_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random::gaussian(&mut rng, 7, 7);
+        let s = a.add(&a.transpose());
+        let e = jacobi_eigen_sym(&s).unwrap();
+        for i in 0..7 {
+            assert!((vector::norm(e.vectors.row(i)) - 1.0).abs() < 1e-10);
+        }
+    }
+}

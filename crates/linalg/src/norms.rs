@@ -1,0 +1,183 @@
+//! Spectral norms of symmetric matrices.
+//!
+//! The paper's matrix-approximation error metric is
+//! `err = ‖AᵀA − BᵀB‖₂ / ‖A‖²_F` — the spectral norm of a symmetric
+//! (indefinite) `d×d` difference. Two evaluators are provided:
+//!
+//! * [`spectral_norm_sym_exact`] — full Jacobi eigendecomposition; exact,
+//!   `O(d³)` per call, the default for evaluation harnesses (`d ≤ ~100`).
+//! * [`spectral_norm_sym_power`] — power iteration with deterministic
+//!   seeding; cheap for repeated queries on larger `d`.
+
+use crate::eigen;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Exact spectral norm `max |λ|` of a symmetric matrix (Jacobi eigen).
+///
+/// # Errors
+/// Propagates eigensolver non-convergence (practically unreachable).
+pub fn spectral_norm_sym_exact(s: &Matrix) -> Result<f64, LinalgError> {
+    eigen::spectral_norm_sym(s)
+}
+
+/// Spectral norm of a symmetric matrix by power iteration.
+///
+/// Power iteration on a symmetric `S` converges to the eigenvalue of
+/// largest magnitude, which for symmetric matrices equals `‖S‖₂`. The
+/// iteration starts from a deterministic dense vector plus, on stall, a
+/// cycle of coordinate restarts — no RNG, so results are reproducible.
+///
+/// `iters` bounds the work; 200 iterations give ~1e-10 relative accuracy
+/// except under near-degenerate leading eigenvalues, where the returned
+/// value is still a valid lower bound on the true norm (sufficient for the
+/// error metric, which compares against a threshold from below).
+pub fn spectral_norm_sym_power(s: &Matrix, iters: usize) -> f64 {
+    assert_eq!(s.rows(), s.cols(), "spectral_norm_sym_power: matrix must be square");
+    let d = s.rows();
+    if d == 0 {
+        return 0.0;
+    }
+    let mut best = 0.0_f64;
+    // Start vectors: the all-ones direction plus a few coordinate vectors
+    // chosen by largest diagonal magnitude (covers the case where the
+    // leading eigenvector is nearly orthogonal to the all-ones vector).
+    let mut starts: Vec<Vec<f64>> = vec![vec![1.0; d]];
+    let mut diag_idx: Vec<usize> = (0..d).collect();
+    diag_idx.sort_by(|&i, &j| {
+        s[(j, j)].abs().partial_cmp(&s[(i, i)].abs()).expect("NaN diagonal")
+    });
+    for &i in diag_idx.iter().take(3) {
+        let mut e = vec![0.0; d];
+        e[i] = 1.0;
+        starts.push(e);
+    }
+
+    for mut x in starts {
+        if vector::normalize(&mut x) == 0.0 {
+            continue;
+        }
+        let mut lambda = 0.0_f64;
+        for _ in 0..iters {
+            let mut y = s.apply(&x);
+            let ny = vector::normalize(&mut y);
+            if ny == 0.0 {
+                break;
+            }
+            // Rayleigh quotient gives a signed estimate; magnitude is the norm.
+            let rq = vector::dot(&y, &s.apply(&y));
+            if (rq.abs() - lambda).abs() <= 1e-13 * lambda.max(1.0) {
+                lambda = rq.abs();
+                break;
+            }
+            lambda = rq.abs();
+            x = y;
+        }
+        best = best.max(lambda);
+    }
+    best
+}
+
+/// Convenience: the paper's covariance error
+/// `‖AᵀA − BᵀB‖₂ / ‖A‖²_F`, computed exactly from the two Gram matrices.
+///
+/// `gram_a` must be `AᵀA` and `gram_b` must be `BᵀB` (both `d×d`);
+/// `frob_sq_a` is `‖A‖²_F` (equals `trace(AᵀA)`, passed in because callers
+/// maintain it exactly as a running scalar).
+///
+/// # Errors
+/// Propagates eigensolver non-convergence.
+pub fn covariance_error(
+    gram_a: &Matrix,
+    gram_b: &Matrix,
+    frob_sq_a: f64,
+) -> Result<f64, LinalgError> {
+    assert_eq!(gram_a.rows(), gram_b.rows(), "covariance_error: dimension mismatch");
+    let diff = gram_a.sub(gram_b);
+    let norm = spectral_norm_sym_exact(&diff)?;
+    Ok(if frob_sq_a > 0.0 { norm / frob_sq_a } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_on_diagonal() {
+        let mut s = Matrix::zeros(3, 3);
+        s[(0, 0)] = 1.0;
+        s[(1, 1)] = -9.0;
+        s[(2, 2)] = 4.0;
+        assert!((spectral_norm_sym_exact(&s).unwrap() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_matches_exact_on_random_symmetric() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for trial in 0..10 {
+            let a = random::gaussian(&mut rng, 9, 9);
+            let s = a.add(&a.transpose()).scaled(0.5);
+            let exact = spectral_norm_sym_exact(&s).unwrap();
+            let power = spectral_norm_sym_power(&s, 500);
+            assert!(
+                (exact - power).abs() < 1e-6 * exact.max(1.0),
+                "trial {trial}: exact {exact} vs power {power}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_handles_negative_dominant_eigenvalue() {
+        let mut s = Matrix::zeros(2, 2);
+        s[(0, 0)] = -5.0;
+        s[(1, 1)] = 2.0;
+        assert!((spectral_norm_sym_power(&s, 100) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_zero_matrix() {
+        assert_eq!(spectral_norm_sym_power(&Matrix::zeros(4, 4), 50), 0.0);
+        assert_eq!(spectral_norm_sym_power(&Matrix::zeros(0, 0), 50), 0.0);
+    }
+
+    #[test]
+    fn covariance_error_zero_for_equal_grams() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = random::gaussian(&mut rng, 10, 4);
+        let g = a.gram();
+        let err = covariance_error(&g, &g, a.frob_norm_sq()).unwrap();
+        assert!(err.abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_error_of_empty_sketch_is_one_for_isotropic() {
+        // With B = 0, err = ‖AᵀA‖₂/‖A‖²_F = σ₁²/Σσᵢ² ≤ 1.
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random::gaussian(&mut rng, 50, 5);
+        let zero = Matrix::zeros(5, 5);
+        let err = covariance_error(&a.gram(), &zero, a.frob_norm_sq()).unwrap();
+        assert!(err > 0.0 && err <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn covariance_error_degenerate_total_weight() {
+        let zero = Matrix::zeros(3, 3);
+        assert_eq!(covariance_error(&zero, &zero, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn power_is_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(24);
+        for _ in 0..20 {
+            let a = random::gaussian(&mut rng, 6, 6);
+            let s = a.add(&a.transpose());
+            let exact = spectral_norm_sym_exact(&s).unwrap();
+            let power = spectral_norm_sym_power(&s, 30);
+            assert!(power <= exact * (1.0 + 1e-9));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Householder QR decomposition.
+//!
+//! Used in two places: [`crate::random::haar_orthogonal`] draws random
+//! rotations by orthonormalising a Gaussian matrix, and the test suites use
+//! `Q` factors to validate orthogonality-sensitive code. The thin variant
+//! (`Q: n×k`, `R: k×k` for an `n×k` input with `n ≥ k`) is all this
+//! workspace needs.
+
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Result of a thin QR decomposition `A = Q R`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// `n × k` matrix with orthonormal columns.
+    pub q: Matrix,
+    /// `k × k` upper-triangular factor.
+    pub r: Matrix,
+}
+
+/// Thin Householder QR of an `n × k` matrix with `n ≥ k`.
+///
+/// Works column by column: for each column `j`, a Householder reflector
+/// `H = I − 2vvᵀ` annihilates the entries below the diagonal; the
+/// reflectors are accumulated and then applied in reverse to the identity
+/// to materialise the thin `Q`.
+///
+/// # Panics
+/// Panics if `a.rows() < a.cols()` (use on the transpose for wide inputs).
+pub fn householder_qr(a: &Matrix) -> Qr {
+    let n = a.rows();
+    let k = a.cols();
+    assert!(n >= k, "householder_qr: requires rows >= cols");
+
+    // Work on a column-major copy of A for contiguous column access.
+    let mut w = a.transpose(); // w.row(j) is column j of A, length n
+    let mut reflectors: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Build the reflector from the subcolumn w[j][j..].
+        let (head, alpha) = {
+            let colj = w.row(j);
+            let x = &colj[j..];
+            let nx = vector::norm(x);
+            // Choose the sign that avoids cancellation.
+            let alpha = if x[0] >= 0.0 { -nx } else { nx };
+            (x.to_vec(), alpha)
+        };
+        let mut v = head;
+        v[0] -= alpha;
+        let vnorm = vector::norm(&v);
+        if vnorm > 0.0 {
+            vector::scale(1.0 / vnorm, &mut v);
+            // Apply H = I - 2vv^T to the trailing columns j..k (stored as rows of w).
+            for jj in j..k {
+                let col = w.row_mut(jj);
+                let tail = &mut col[j..];
+                let proj = 2.0 * vector::dot(&v, tail);
+                vector::axpy(-proj, &v, tail);
+            }
+        }
+        reflectors.push(v);
+    }
+
+    // R is the leading k×k upper triangle of the transformed matrix.
+    let mut r = Matrix::zeros(k, k);
+    for j in 0..k {
+        let col = w.row(j);
+        for i in 0..=j {
+            r[(i, j)] = col[i];
+        }
+    }
+
+    // Materialise thin Q by applying the reflectors in reverse to the
+    // first k columns of the identity.
+    let mut qt = Matrix::zeros(k, n); // row j = column j of Q
+    for j in 0..k {
+        qt[(j, j)] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let v = &reflectors[j];
+        if vector::norm_sq(v) == 0.0 {
+            continue;
+        }
+        for c in 0..k {
+            let col = qt.row_mut(c);
+            let tail = &mut col[j..];
+            let proj = 2.0 * vector::dot(v, tail);
+            vector::axpy(-proj, v, tail);
+        }
+    }
+
+    Qr { q: qt.transpose(), r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(
+                    (a[(i, j)] - b[(i, j)]).abs() < tol,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random::gaussian(&mut rng, 12, 5);
+        let Qr { q, r } = householder_qr(&a);
+        assert_close(&q.matmul(&r), &a, 1e-10);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = random::gaussian(&mut rng, 20, 6);
+        let Qr { q, .. } = householder_qr(&a);
+        let qtq = q.gram();
+        assert_close(&qtq, &Matrix::identity(6), 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = random::gaussian(&mut rng, 9, 4);
+        let Qr { r, .. } = householder_qr(&a);
+        for i in 1..4 {
+            for j in 0..i {
+                assert!(r[(i, j)].abs() < 1e-12, "r[{i}][{j}] = {}", r[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn square_orthogonal_input_gives_identity_r_scale() {
+        // QR of an orthogonal matrix should give |r_ii| = 1.
+        let mut rng = StdRng::seed_from_u64(10);
+        let o = random::haar_orthogonal(&mut rng, 5);
+        let Qr { r, .. } = householder_qr(&o);
+        for i in 0..5 {
+            assert!((r[(i, i)].abs() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_input_does_not_panic() {
+        // Two identical columns: the second reflector degenerates but QR
+        // must still reconstruct.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        let Qr { q, r } = householder_qr(&a);
+        assert_close(&q.matmul(&r), &a, 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn wide_input_panics() {
+        householder_qr(&Matrix::zeros(2, 5));
+    }
+}

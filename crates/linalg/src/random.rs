@@ -1,0 +1,156 @@
+//! Random matrix and vector constructions.
+//!
+//! These serve two audiences: the test suites (random inputs with known
+//! structure) and `cma-data`'s synthetic workload generators, which build
+//! low-rank-plus-noise streams out of Haar-orthogonal rotations drawn here.
+
+use crate::matrix::Matrix;
+use crate::qr::householder_qr;
+use crate::vector;
+use rand::Rng;
+
+/// Draws one standard normal via the Box–Muller transform.
+///
+/// `rand`'s uniform generator is the only primitive we rely on, keeping the
+/// dependency set to the workspace-approved list.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid log(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// An `n × d` matrix of i.i.d. standard normals.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Matrix {
+    let data = (0..n * d).map(|_| standard_normal(rng)).collect();
+    Matrix::from_vec(n, d, data)
+}
+
+/// A uniformly random unit vector in `R^d` (Gaussian direction, normalised).
+pub fn unit_vector<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Vec<f64> {
+    loop {
+        let mut v: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+        if vector::normalize(&mut v) > 0.0 {
+            return v;
+        }
+    }
+}
+
+/// A Haar-distributed random orthogonal `d × d` matrix.
+///
+/// Implementation: QR of a Gaussian matrix with the sign of `R`'s diagonal
+/// folded into `Q` (the Mezzadri correction), which makes the distribution
+/// exactly Haar rather than merely orthogonal.
+pub fn haar_orthogonal<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Matrix {
+    let g = gaussian(rng, d, d);
+    let qr = householder_qr(&g);
+    let mut q = qr.q;
+    for j in 0..d {
+        if qr.r[(j, j)] < 0.0 {
+            for i in 0..d {
+                q[(i, j)] = -q[(i, j)];
+            }
+        }
+    }
+    q
+}
+
+/// An `n × d` matrix with the prescribed singular-value profile:
+/// `A = G · diag(σ) · Qᵀ` where `G` has orthonormal columns and `Q` is Haar
+/// orthogonal. `spectrum.len()` must be ≤ `min(n, d)`.
+///
+/// This is the generator behind the synthetic PAMAP/MSD surrogates: the
+/// spectrum controls the effective rank, which is the only matrix property
+/// the paper's evaluation depends on.
+pub fn with_spectrum<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    d: usize,
+    spectrum: &[f64],
+) -> Matrix {
+    let k = spectrum.len();
+    assert!(k <= n.min(d), "with_spectrum: spectrum longer than min dimension");
+    // Orthonormal n×k factor.
+    let g = gaussian(rng, n, k);
+    let u = householder_qr(&g).q;
+    // Haar d×d rotation, take first k rows as Vᵀ.
+    let q = haar_orthogonal(rng, d);
+    let mut a = Matrix::zeros(n, d);
+    // A = Σ_j σ_j u_j v_jᵀ.
+    for j in 0..k {
+        let vj: Vec<f64> = (0..d).map(|c| q[(c, j)]).collect();
+        for i in 0..n {
+            let coef = spectrum[j] * u[(i, j)];
+            if coef != 0.0 {
+                vector::axpy(coef, &vj, a.row_mut(i));
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::jacobi_svd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = xs.iter().sum::<f64>() / n as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn unit_vector_is_unit() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for d in [1usize, 2, 17] {
+            let v = unit_vector(&mut rng, d);
+            assert!((vector::norm(&v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn haar_is_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let q = haar_orthogonal(&mut rng, 6);
+        let qtq = q.gram();
+        for i in 0..6 {
+            for j in 0..6 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn with_spectrum_reproduces_singular_values() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let spectrum = [10.0, 5.0, 1.0];
+        let a = with_spectrum(&mut rng, 30, 8, &spectrum);
+        let svd = jacobi_svd(&a).unwrap();
+        for (i, &s) in spectrum.iter().enumerate() {
+            assert!(
+                (svd.sigma[i] - s).abs() < 1e-8 * s,
+                "σ_{i}: want {s}, got {}",
+                svd.sigma[i]
+            );
+        }
+        for &extra in &svd.sigma[3..] {
+            assert!(extra.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gaussian_shape() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let a = gaussian(&mut rng, 3, 5);
+        assert_eq!((a.rows(), a.cols()), (3, 5));
+    }
+}

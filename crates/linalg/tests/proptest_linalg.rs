@@ -1,0 +1,140 @@
+//! Property-based tests on the linear-algebra substrate: decomposition
+//! identities that must hold for *arbitrary* matrices, not just the
+//! Gaussian ensembles the unit tests draw.
+
+use cma_linalg::eigen::{jacobi_eigen_sym, jacobi_eigen_sym_with_basis};
+use cma_linalg::qr::householder_qr;
+use cma_linalg::svd::{gram_svd, jacobi_svd};
+use cma_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Matrices with entries in `[-100, 100]`, up to 10×8 — includes
+/// rank-deficient, zero and single-entry cases by construction.
+fn any_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..10, 1usize..8).prop_flat_map(|(n, d)| {
+        prop::collection::vec(-100.0f64..100.0, n * d)
+            .prop_map(move |data| Matrix::from_vec(n, d, data))
+    })
+}
+
+/// Square symmetric matrices (symmetrised from arbitrary squares).
+fn any_symmetric() -> impl Strategy<Value = Matrix> {
+    (1usize..9).prop_flat_map(|d| {
+        prop::collection::vec(-50.0f64..50.0, d * d).prop_map(move |data| {
+            let a = Matrix::from_vec(d, d, data);
+            a.add(&a.transpose()).scaled(0.5)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// QR reconstructs and Q is orthonormal, for any tall matrix.
+    #[test]
+    fn qr_identity(a in any_matrix()) {
+        prop_assume!(a.rows() >= a.cols());
+        let qr = householder_qr(&a);
+        let recon = qr.q.matmul(&qr.r);
+        let scale = a.frob_norm().max(1.0);
+        prop_assert!(recon.sub(&a).max_abs() <= 1e-9 * scale);
+        let qtq = qr.q.gram();
+        let eye = Matrix::identity(a.cols());
+        prop_assert!(qtq.sub(&eye).max_abs() <= 1e-9);
+    }
+
+    /// SVD: reconstruction, non-negative descending σ, Frobenius match.
+    #[test]
+    fn svd_identities(a in any_matrix()) {
+        let svd = jacobi_svd(&a).unwrap();
+        let scale = a.frob_norm().max(1.0);
+        prop_assert!(svd.reconstruct().sub(&a).max_abs() <= 1e-8 * scale);
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+        let sum_sq: f64 = svd.sigma.iter().map(|s| s * s).sum();
+        prop_assert!((sum_sq - a.frob_norm_sq()).abs() <= 1e-7 * scale * scale);
+    }
+
+    /// Gram-path SVD matches the Jacobi reference on singular values.
+    #[test]
+    fn gram_svd_agrees(a in any_matrix()) {
+        let j = jacobi_svd(&a).unwrap();
+        let g = gram_svd(&a).unwrap();
+        let scale = a.frob_norm().max(1.0);
+        for (sj, sg) in j.sigma.iter().zip(&g.sigma) {
+            prop_assert!((sj - sg).abs() <= 1e-6 * scale);
+        }
+    }
+
+    /// Symmetric eigen: trace preserved, eigenpairs satisfy S·v = λ·v.
+    #[test]
+    fn eigen_identities(s in any_symmetric()) {
+        let d = s.rows();
+        let e = jacobi_eigen_sym(&s).unwrap();
+        let scale = s.frob_norm().max(1.0);
+        let trace: f64 = (0..d).map(|i| s[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() <= 1e-8 * scale);
+        for i in 0..d {
+            let v = e.vectors.row(i);
+            let sv = s.apply(v);
+            for k in 0..d {
+                prop_assert!(
+                    (sv[k] - e.values[i] * v[k]).abs() <= 1e-7 * scale,
+                    "eigenpair {} coord {}", i, k
+                );
+            }
+        }
+    }
+
+    /// The co-rotating basis variant equals eigen-then-compose.
+    #[test]
+    fn eigen_basis_composition(s in any_symmetric()) {
+        let d = s.rows();
+        // A fixed deterministic orthonormal basis: QR of a shifted matrix.
+        let mut seedm = Matrix::identity(d);
+        for i in 0..d {
+            for j in 0..d {
+                seedm[(i, j)] += 0.1 * ((i * 7 + j * 3 + 1) as f64).sin();
+            }
+        }
+        let q = householder_qr(&seedm).q;
+        let qt = q.transpose(); // rows orthonormal
+
+        let plain = jacobi_eigen_sym(&s).unwrap();
+        let based = jacobi_eigen_sym_with_basis(&s, qt.clone()).unwrap();
+        let composed = plain.vectors.matmul(&qt);
+        for i in 0..d {
+            prop_assert!((plain.values[i] - based.values[i]).abs() <= 1e-8 * s.frob_norm().max(1.0));
+            // Same line up to sign — compare via |dot| when the eigenvalue
+            // is simple enough to pin the vector down.
+            let gap_ok = (0..d).all(|j| j == i || (plain.values[j] - plain.values[i]).abs() > 1e-6);
+            if gap_ok {
+                let dot: f64 = composed
+                    .row(i)
+                    .iter()
+                    .zip(based.vectors.row(i))
+                    .map(|(x, y)| x * y)
+                    .sum();
+                prop_assert!(dot.abs() >= 1.0 - 1e-6, "row {}: |dot| = {}", i, dot.abs());
+            }
+        }
+    }
+
+    /// `‖Ax‖ ≤ σ₁·‖x‖` for arbitrary x (operator-norm consistency).
+    #[test]
+    fn spectral_norm_dominates(
+        a in any_matrix(),
+        xs in prop::collection::vec(-10.0f64..10.0, 8),
+    ) {
+        let svd = jacobi_svd(&a).unwrap();
+        let sigma1 = svd.sigma.first().copied().unwrap_or(0.0);
+        let x = &xs[..a.cols().min(xs.len())];
+        prop_assume!(x.len() == a.cols());
+        let xnorm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let ax = a.apply_norm_sq(x).sqrt();
+        prop_assert!(ax <= sigma1 * xnorm + 1e-7 * sigma1.max(1.0));
+    }
+}

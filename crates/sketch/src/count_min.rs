@@ -1,0 +1,225 @@
+//! Weighted Count-Min sketch.
+//!
+//! The paper (§3) contrasts Misra–Gries — "a deterministic, associative
+//! sketch" — with "the popular count-min sketch which is randomized and
+//! hash-based". This is that baseline, in its weighted form (Cormode &
+//! Muthukrishnan 2005): a `depth × width` grid of counters, each row
+//! paired with a pairwise-independent hash; an update adds `w` to one
+//! counter per row, a query takes the minimum. Guarantees, with
+//! `width = ⌈e/ε⌉` and `depth = ⌈ln(1/δ)⌉`:
+//!
+//! ```text
+//! fe ≤ f̂e     and     f̂e ≤ fe + εW   with probability ≥ 1 − δ.
+//! ```
+//!
+//! Included for completeness of the sketch substrate (and the
+//! benchmarks); the distributed protocols themselves follow the paper in
+//! building on the deterministic summaries instead.
+
+use crate::Item;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weighted Count-Min sketch.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    width: usize,
+    /// Row-major `depth × width` counters.
+    table: Vec<f64>,
+    /// Per-row multiply-shift hash parameters (odd multipliers).
+    hashes: Vec<u64>,
+    total_weight: f64,
+}
+
+impl CountMin {
+    /// Creates a sketch with explicit dimensions.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `depth == 0`.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width >= 1, "CountMin: width must be positive");
+        assert!(depth >= 1, "CountMin: depth must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hashes = (0..depth).map(|_| rng.gen::<u64>() | 1).collect();
+        CountMin { width, table: vec![0.0; width * depth], hashes, total_weight: 0.0 }
+    }
+
+    /// Creates a sketch guaranteeing overcount ≤ `epsilon·W` with
+    /// probability `1 − delta` per query: `width = ⌈e/ε⌉`,
+    /// `depth = ⌈ln(1/δ)⌉`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon ≤ 1` and `0 < delta < 1`.
+    pub fn with_error_bound(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "CountMin: epsilon in (0, 1]");
+        assert!(delta > 0.0 && delta < 1.0, "CountMin: delta in (0, 1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    /// Sketch width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth (number of hash rows).
+    pub fn depth(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Total weight processed (`W`).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Bucket of `item` in hash row `row`.
+    #[inline]
+    fn bucket(&self, row: usize, item: Item) -> usize {
+        // Multiply-shift: uniform enough for the CM analysis in practice.
+        let h = item.wrapping_mul(self.hashes[row]);
+        ((h >> 32) as usize) % self.width
+    }
+
+    /// Feeds one weighted item.
+    ///
+    /// # Panics
+    /// Panics if `weight` is negative or non-finite.
+    pub fn update(&mut self, item: Item, weight: f64) {
+        assert!(weight.is_finite() && weight >= 0.0, "CountMin: invalid weight {weight}");
+        if weight == 0.0 {
+            return;
+        }
+        self.total_weight += weight;
+        for row in 0..self.hashes.len() {
+            let b = self.bucket(row, item);
+            self.table[row * self.width + b] += weight;
+        }
+    }
+
+    /// Point estimate `f̂e` — never an underestimate.
+    pub fn estimate(&self, item: Item) -> f64 {
+        (0..self.hashes.len())
+            .map(|row| self.table[row * self.width + self.bucket(row, item)])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Merges a sketch built with the *same dimensions and seed*
+    /// (identical hash functions); counter-wise addition.
+    ///
+    /// # Panics
+    /// Panics if dimensions or hash parameters differ.
+    pub fn merge(&mut self, other: &CountMin) {
+        assert_eq!(self.width, other.width, "CountMin::merge: width mismatch");
+        assert_eq!(self.hashes, other.hashes, "CountMin::merge: hash mismatch");
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
+        }
+        self.total_weight += other.total_weight;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactWeightedCounter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMin::new(32, 4, 1);
+        let mut exact = ExactWeightedCounter::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..2_000 {
+            let e: Item = rng.gen_range(0..500);
+            let w: f64 = rng.gen_range(1.0..5.0);
+            cm.update(e, w);
+            exact.update(e, w);
+        }
+        for (e, f) in exact.iter() {
+            assert!(cm.estimate(e) + 1e-9 >= f, "undercount on {e}");
+        }
+    }
+
+    #[test]
+    fn overcount_within_bound_with_margin() {
+        let eps = 0.05;
+        let mut cm = CountMin::with_error_bound(eps, 0.01, 3);
+        let mut exact = ExactWeightedCounter::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5_000 {
+            let e: Item = rng.gen_range(0..1_000);
+            let w: f64 = rng.gen_range(1.0..3.0);
+            cm.update(e, w);
+            exact.update(e, w);
+        }
+        let w = cm.total_weight();
+        let mut violations = 0;
+        let mut total = 0;
+        for (e, f) in exact.iter() {
+            total += 1;
+            if cm.estimate(e) - f > eps * w {
+                violations += 1;
+            }
+        }
+        // δ = 0.01 per query: allow a generous empirical 5%.
+        assert!(
+            (violations as f64) < 0.05 * total as f64,
+            "{violations}/{total} bound violations"
+        );
+    }
+
+    #[test]
+    fn dimensions_from_error_bound() {
+        let cm = CountMin::with_error_bound(0.01, 0.01, 5);
+        assert!(cm.width() >= 271); // e/0.01 ≈ 271.8
+        assert!(cm.depth() >= 4); // ln(100) ≈ 4.6
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = CountMin::new(64, 3, 7);
+        let mut b = CountMin::new(64, 3, 7);
+        let mut both = CountMin::new(64, 3, 7);
+        for i in 0..100u64 {
+            a.update(i % 10, 1.0);
+            both.update(i % 10, 1.0);
+        }
+        for i in 0..50u64 {
+            b.update(i % 5, 2.0);
+            both.update(i % 5, 2.0);
+        }
+        a.merge(&b);
+        for e in 0..10u64 {
+            assert_eq!(a.estimate(e), both.estimate(e), "item {e}");
+        }
+        assert_eq!(a.total_weight(), both.total_weight());
+    }
+
+    #[test]
+    #[should_panic(expected = "hash mismatch")]
+    fn merge_requires_same_hashes() {
+        let mut a = CountMin::new(8, 2, 1);
+        let b = CountMin::new(8, 2, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn exact_when_no_collisions() {
+        // A single item: its estimate is exact regardless of width.
+        let mut cm = CountMin::new(4, 2, 9);
+        for _ in 0..10 {
+            cm.update(42, 2.5);
+        }
+        assert_eq!(cm.estimate(42), 25.0);
+    }
+
+    #[test]
+    fn zero_weight_noop() {
+        let mut cm = CountMin::new(8, 2, 1);
+        cm.update(1, 0.0);
+        assert_eq!(cm.total_weight(), 0.0);
+        assert_eq!(cm.estimate(1), 0.0);
+    }
+}

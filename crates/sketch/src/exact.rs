@@ -1,0 +1,112 @@
+//! Exact weighted frequency counting — the evaluation ground truth.
+
+use crate::Item;
+use std::collections::HashMap;
+
+/// Exact weighted counter over a stream of `(item, weight)` pairs.
+///
+/// Memory is linear in the number of *distinct* items, which is what makes
+/// it a baseline rather than a streaming summary; every experiment harness
+/// runs one of these next to the protocol under test to measure recall,
+/// precision and relative error.
+#[derive(Debug, Clone, Default)]
+pub struct ExactWeightedCounter {
+    counts: HashMap<Item, f64>,
+    total: f64,
+}
+
+impl ExactWeightedCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `weight` to `item`'s frequency.
+    pub fn update(&mut self, item: Item, weight: f64) {
+        *self.counts.entry(item).or_insert(0.0) += weight;
+        self.total += weight;
+    }
+
+    /// Exact weighted frequency `fe(A)` of `item` (zero if unseen).
+    pub fn frequency(&self, item: Item) -> f64 {
+        self.counts.get(&item).copied().unwrap_or(0.0)
+    }
+
+    /// Exact total weight `W`.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of distinct items observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The exact `φ`-heavy hitters: items with `fe(A) ≥ φ·W`.
+    ///
+    /// Returned sorted by descending frequency so reports are stable.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(Item, f64)> {
+        let threshold = phi * self.total;
+        let mut hh: Vec<(Item, f64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &w)| w >= threshold)
+            .map(|(&e, &w)| (e, w))
+            .collect();
+        hh.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN weight").then(a.0.cmp(&b.0)));
+        hh
+    }
+
+    /// Iterates over all `(item, frequency)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Item, f64)> + '_ {
+        self.counts.iter().map(|(&e, &w)| (e, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut c = ExactWeightedCounter::new();
+        c.update(1, 2.0);
+        c.update(2, 1.0);
+        c.update(1, 3.0);
+        assert_eq!(c.frequency(1), 5.0);
+        assert_eq!(c.frequency(2), 1.0);
+        assert_eq!(c.frequency(99), 0.0);
+        assert_eq!(c.total_weight(), 6.0);
+        assert_eq!(c.distinct(), 2);
+    }
+
+    #[test]
+    fn heavy_hitters_threshold_inclusive() {
+        let mut c = ExactWeightedCounter::new();
+        c.update(1, 5.0); // exactly 50% of W=10
+        c.update(2, 3.0);
+        c.update(3, 2.0);
+        let hh = c.heavy_hitters(0.5);
+        assert_eq!(hh, vec![(1, 5.0)]);
+        let hh30 = c.heavy_hitters(0.3);
+        assert_eq!(hh30, vec![(1, 5.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn heavy_hitters_sorted_desc() {
+        let mut c = ExactWeightedCounter::new();
+        for (e, w) in [(5, 1.0), (6, 4.0), (7, 2.0)] {
+            c.update(e, w);
+        }
+        let hh = c.heavy_hitters(0.0);
+        let weights: Vec<f64> = hh.iter().map(|x| x.1).collect();
+        assert_eq!(weights, vec![4.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = ExactWeightedCounter::new();
+        assert!(c.heavy_hitters(0.1).is_empty());
+        assert_eq!(c.total_weight(), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Centralized streaming summaries.
+//!
+//! The distributed protocols of Ghashami, Phillips and Li (VLDB 2014) are
+//! built by *composing* classical single-stream summaries with
+//! communication rules. This crate provides those single-stream building
+//! blocks, each implemented from scratch with its textbook guarantee:
+//!
+//! * [`MgSummary`] — weighted Misra–Gries frequency summary with `ℓ`
+//!   counters: `0 ≤ fe − f̂e ≤ W/(ℓ+1)`, mergeable without error growth
+//!   beyond the bound (Agarwal et al., PODS 2012). Sites of protocol HH-P1
+//!   run one of these; the coordinator merges them.
+//! * [`SpaceSaving`] — weighted SpaceSaving (Metwally et al.):
+//!   overestimates, `0 ≤ f̂e − fe ≤ W/ℓ`; the paper's suggested
+//!   space reduction for sites in HH-P2/P4.
+//! * [`FrequentDirections`] — Liberty's matrix sketch (SIGKDD 2013):
+//!   `0 ≤ ‖Ax‖² − ‖Bx‖² ≤ 2‖A‖²_F/ℓ` for every unit `x`, mergeable.
+//!   Sites and coordinator of protocol MT-P1 run these.
+//! * [`PrioritySampler`] — Duffield–Lund–Thorup priority sampling without
+//!   replacement with the Szegedy estimator; the centralized counterpart
+//!   of protocols HH-P3/MT-P3.
+//! * [`CountMin`] — the randomized hash-based baseline the paper
+//!   contrasts MG against in §3; provided for completeness and the
+//!   benchmark suite.
+//! * [`exact`] — exact (hash-map) weighted counters, the ground truth all
+//!   evaluations compare against.
+
+pub mod count_min;
+pub mod exact;
+pub mod frequent_directions;
+pub mod misra_gries;
+pub mod ord;
+pub mod priority;
+pub mod reservoir;
+pub mod sliding_window;
+pub mod space_saving;
+
+pub use count_min::CountMin;
+pub use exact::ExactWeightedCounter;
+pub use frequent_directions::FrequentDirections;
+pub use misra_gries::MgSummary;
+pub use ord::OrdF64;
+pub use priority::PrioritySampler;
+pub use reservoir::WeightedReservoir;
+pub use sliding_window::{SwFd, SwMg};
+pub use space_saving::SpaceSaving;
+
+/// Item identifiers in weighted-frequency summaries.
+///
+/// The paper's streams draw elements from a bounded universe `[u]`;
+/// a `u64` label covers every workload in this workspace.
+pub type Item = u64;

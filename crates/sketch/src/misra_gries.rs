@@ -1,0 +1,363 @@
+//! Weighted Misra–Gries frequency summary.
+//!
+//! The classical MG algorithm (Misra & Gries 1982) keeps `ℓ` labelled
+//! counters and guarantees that every estimate undercounts by at most
+//! `W/(ℓ+1)`. The paper (Section 3) uses MG twice: directly on weighted
+//! items at the sites of protocol HH-P1, and — through Liberty's
+//! singular-direction analogy — as the design template for Frequent
+//! Directions. The weighted generalisation here follows Berinde et al.
+//! (TODS 2010): an arriving weight is absorbed whole, and when the table
+//! overflows the *minimum counter value* (capped by the arriving weight)
+//! is subtracted from every counter.
+//!
+//! Merging follows Agarwal et al. (PODS 2012): sum counters pointwise,
+//! then subtract the `(ℓ+1)`-th largest value so at most `ℓ` survive; the
+//! total error stays within `W/(ℓ+1)` of the *combined* stream.
+
+use crate::Item;
+use std::collections::HashMap;
+
+/// Weighted Misra–Gries summary with at most `ℓ` counters.
+///
+/// Estimates are **underestimates**:
+/// `0 ≤ fe(A) − f̂e ≤ W/(ℓ+1)` for every item `e`, where `W` is the total
+/// weight fed to (all summaries merged into) this one.
+#[derive(Debug, Clone)]
+pub struct MgSummary {
+    capacity: usize,
+    counters: HashMap<Item, f64>,
+    /// Total weight processed (including everything merged in).
+    total_weight: f64,
+    /// Total mass subtracted by decrement steps; the actual undercount of
+    /// any single item is at most this, which in turn is ≤ W/(ℓ+1).
+    decrement_total: f64,
+}
+
+impl MgSummary {
+    /// Creates a summary with `capacity` counters (`ℓ ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "MgSummary: capacity must be at least 1");
+        MgSummary {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            total_weight: 0.0,
+            decrement_total: 0.0,
+        }
+    }
+
+    /// Creates a summary guaranteeing undercount ≤ `epsilon · W`, i.e.
+    /// `ℓ = ⌈1/ε⌉` counters.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon ≤ 1`.
+    pub fn with_error_bound(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "MgSummary: epsilon must be in (0, 1]");
+        Self::new((1.0 / epsilon).ceil() as usize)
+    }
+
+    /// Number of counters the summary may hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// `true` when no counters are live.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Total weight processed so far (`W`).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The summary's a-priori error bound `W/(ℓ+1)`.
+    pub fn error_bound(&self) -> f64 {
+        self.total_weight / (self.capacity as f64 + 1.0)
+    }
+
+    /// The (usually much smaller) a-posteriori error bound: the total mass
+    /// actually removed by decrement steps.
+    pub fn observed_error_bound(&self) -> f64 {
+        self.decrement_total
+    }
+
+    /// Feeds one weighted item.
+    ///
+    /// # Panics
+    /// Panics if `weight` is negative or non-finite (protocol weights are
+    /// `‖row‖²` or user weights in `[1, β]`; anything else is a bug).
+    pub fn update(&mut self, item: Item, weight: f64) {
+        assert!(weight.is_finite() && weight >= 0.0, "MgSummary: invalid weight {weight}");
+        if weight == 0.0 {
+            return;
+        }
+        self.total_weight += weight;
+
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += weight;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, weight);
+            return;
+        }
+
+        // Table full: subtract δ = min(weight, smallest counter) from every
+        // counter and from the arriving item; whatever remains of the
+        // arriving weight takes the freed slot.
+        let min_counter = self
+            .counters
+            .values()
+            .fold(f64::INFINITY, |m, &v| m.min(v));
+        let delta = min_counter.min(weight);
+        self.decrement_total += delta;
+        self.counters.retain(|_, v| {
+            *v -= delta;
+            *v > 0.0
+        });
+        let remaining = weight - delta;
+        if remaining > 0.0 {
+            self.counters.insert(item, remaining);
+        }
+    }
+
+    /// Estimated weighted frequency `f̂e` (an underestimate; zero for
+    /// untracked items).
+    pub fn estimate(&self, item: Item) -> f64 {
+        self.counters.get(&item).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over the live `(item, counter)` pairs in unspecified order.
+    pub fn counters(&self) -> impl Iterator<Item = (Item, f64)> + '_ {
+        self.counters.iter().map(|(&e, &c)| (e, c))
+    }
+
+    /// Merges `other` into `self` (Agarwal et al. mergeable-summaries
+    /// merge). Both summaries must have the same capacity so the combined
+    /// error bound is `W_total/(ℓ+1)`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn merge(&mut self, other: &MgSummary) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "MgSummary::merge: capacity mismatch"
+        );
+        self.total_weight += other.total_weight;
+        self.decrement_total += other.decrement_total;
+        for (&e, &c) in &other.counters {
+            *self.counters.entry(e).or_insert(0.0) += c;
+        }
+        if self.counters.len() <= self.capacity {
+            return;
+        }
+        // Subtract the (ℓ+1)-th largest counter value from everything.
+        let mut values: Vec<f64> = self.counters.values().copied().collect();
+        values.sort_by(|a, b| b.partial_cmp(a).expect("NaN counter"));
+        let delta = values[self.capacity];
+        self.decrement_total += delta;
+        self.counters.retain(|_, v| {
+            *v -= delta;
+            *v > 0.0
+        });
+        debug_assert!(self.counters.len() <= self.capacity);
+    }
+
+    /// Empties the summary, keeping the configured capacity. Used by HH-P1
+    /// sites after flushing their state to the coordinator.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.total_weight = 0.0;
+        self.decrement_total = 0.0;
+    }
+
+    /// Removes `item`'s counter and returns its value (zero if
+    /// untracked). Used by protocol sites that reset one item's delta
+    /// after reporting it to the coordinator; the removed mass is also
+    /// subtracted from `total_weight` so the remaining summary keeps its
+    /// invariant with respect to the unreported weight.
+    pub fn take(&mut self, item: Item) -> f64 {
+        match self.counters.remove(&item) {
+            Some(c) => {
+                self.total_weight = (self.total_weight - c).max(0.0);
+                c
+            }
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactWeightedCounter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Checks the MG invariant `0 ≤ fe − f̂e ≤ W/(ℓ+1)` on a full stream.
+    fn assert_invariant(stream: &[(Item, f64)], capacity: usize) {
+        let mut mg = MgSummary::new(capacity);
+        let mut exact = ExactWeightedCounter::new();
+        for &(e, w) in stream {
+            mg.update(e, w);
+            exact.update(e, w);
+        }
+        let bound = mg.error_bound() + 1e-9;
+        for (e, f) in exact.iter() {
+            let est = mg.estimate(e);
+            assert!(est <= f + 1e-9, "overestimate: item {e}: {est} > {f}");
+            assert!(f - est <= bound, "undercount too large: item {e}: {f} - {est} > {bound}");
+        }
+        assert!((mg.total_weight() - exact.total_weight()).abs() < 1e-9);
+        assert!(mg.observed_error_bound() <= bound);
+    }
+
+    #[test]
+    fn no_eviction_is_exact() {
+        let stream = [(1u64, 2.0), (2, 3.0), (1, 1.0)];
+        let mut mg = MgSummary::new(4);
+        for &(e, w) in &stream {
+            mg.update(e, w);
+        }
+        assert_eq!(mg.estimate(1), 3.0);
+        assert_eq!(mg.estimate(2), 3.0);
+        assert_eq!(mg.len(), 2);
+    }
+
+    #[test]
+    fn eviction_keeps_invariant_small_capacity() {
+        let stream: Vec<(Item, f64)> =
+            (0..200).map(|i| ((i % 7) as Item, 1.0 + (i % 3) as f64)).collect();
+        assert_invariant(&stream, 2);
+        assert_invariant(&stream, 3);
+        assert_invariant(&stream, 7);
+    }
+
+    #[test]
+    fn skewed_stream_heavy_item_survives() {
+        // Item 0 carries half the weight; with ℓ=4 it must be tracked and
+        // estimated within W/5.
+        let mut stream = Vec::new();
+        for i in 0..1000u64 {
+            stream.push((0, 1.0));
+            stream.push((1 + (i % 50), 1.0));
+        }
+        let mut mg = MgSummary::new(4);
+        for &(e, w) in &stream {
+            mg.update(e, w);
+        }
+        let est = mg.estimate(0);
+        assert!(est >= 1000.0 - mg.error_bound());
+        assert!(est <= 1000.0);
+    }
+
+    #[test]
+    fn incoming_smaller_than_min_is_absorbed() {
+        let mut mg = MgSummary::new(2);
+        mg.update(1, 10.0);
+        mg.update(2, 10.0);
+        // Weight 1 arrival on a full table, smaller than the min counter:
+        // every counter shrinks by 1 and the item is not inserted.
+        mg.update(3, 1.0);
+        assert_eq!(mg.estimate(1), 9.0);
+        assert_eq!(mg.estimate(2), 9.0);
+        assert_eq!(mg.estimate(3), 0.0);
+        assert_eq!(mg.len(), 2);
+    }
+
+    #[test]
+    fn incoming_larger_than_min_takes_slot() {
+        let mut mg = MgSummary::new(2);
+        mg.update(1, 1.0);
+        mg.update(2, 10.0);
+        mg.update(3, 5.0);
+        // δ = min(5, 1) = 1: item 1 evicted, item 3 enters with 4.
+        assert_eq!(mg.estimate(1), 0.0);
+        assert_eq!(mg.estimate(2), 9.0);
+        assert_eq!(mg.estimate(3), 4.0);
+    }
+
+    #[test]
+    fn merge_matches_invariant() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let cap = 5;
+        let mut parts: Vec<MgSummary> = (0..4).map(|_| MgSummary::new(cap)).collect();
+        let mut exact = ExactWeightedCounter::new();
+        for i in 0..2000 {
+            let e: Item = rng.gen_range(0..40);
+            let w: f64 = rng.gen_range(1.0..10.0);
+            parts[i % 4].update(e, w);
+            exact.update(e, w);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert!(merged.len() <= cap);
+        let bound = merged.error_bound() + 1e-9;
+        for (e, f) in exact.iter() {
+            let est = merged.estimate(e);
+            assert!(est <= f + 1e-9);
+            assert!(f - est <= bound, "item {e}: {f} vs {est}, bound {bound}");
+        }
+    }
+
+    #[test]
+    fn merge_without_overflow_is_pointwise_sum() {
+        let mut a = MgSummary::new(8);
+        let mut b = MgSummary::new(8);
+        a.update(1, 2.0);
+        b.update(1, 3.0);
+        b.update(2, 4.0);
+        a.merge(&b);
+        assert_eq!(a.estimate(1), 5.0);
+        assert_eq!(a.estimate(2), 4.0);
+        assert_eq!(a.total_weight(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn merge_capacity_mismatch_panics() {
+        let mut a = MgSummary::new(2);
+        let b = MgSummary::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn with_error_bound_sets_capacity() {
+        let mg = MgSummary::with_error_bound(0.25);
+        assert_eq!(mg.capacity(), 4);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut mg = MgSummary::new(2);
+        mg.update(1, 5.0);
+        mg.clear();
+        assert!(mg.is_empty());
+        assert_eq!(mg.total_weight(), 0.0);
+        assert_eq!(mg.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_panics() {
+        MgSummary::new(2).update(1, -1.0);
+    }
+
+    #[test]
+    fn zero_weight_is_noop() {
+        let mut mg = MgSummary::new(2);
+        mg.update(1, 0.0);
+        assert!(mg.is_empty());
+        assert_eq!(mg.total_weight(), 0.0);
+    }
+}

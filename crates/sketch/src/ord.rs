@@ -1,0 +1,64 @@
+//! Totally-ordered `f64` wrapper for heap keys.
+//!
+//! Weights and priorities in this workspace are finite and non-NaN by
+//! construction (they come from `w/r` with `w ∈ [1, β]`, `r ∈ (0, 1]`), so
+//! a total order that treats NaN as a programming error is appropriate.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order, usable as a `BinaryHeap`/`BTreeMap` key.
+///
+/// # Panics
+/// Comparisons panic if either value is NaN — NaN keys are always bugs
+/// upstream (weights are validated on entry to the protocols).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("OrdF64: NaN key")
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        OrdF64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(OrdF64(1.0) < OrdF64(2.0));
+        assert!(OrdF64(-1.0) < OrdF64(0.0));
+        assert_eq!(OrdF64(3.5), OrdF64(3.5));
+    }
+
+    #[test]
+    fn works_in_heap() {
+        let mut h = BinaryHeap::new();
+        for v in [3.0, 1.0, 2.0] {
+            h.push(OrdF64(v));
+        }
+        assert_eq!(h.pop(), Some(OrdF64(3.0)));
+        assert_eq!(h.pop(), Some(OrdF64(2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN key")]
+    fn nan_panics() {
+        let _ = OrdF64(f64::NAN) < OrdF64(0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Priority sampling without replacement.
+//!
+//! Priority sampling (Duffield, Lund, Thorup, JACM 2007) draws a
+//! weight-proportional sample without replacement: each item receives a
+//! priority `ρ = w/r` with `r ~ Uniform(0, 1]`, and the `s` largest
+//! priorities are kept. With `ρ̂` the `(s+1)`-th priority, the estimator
+//! `w̄ = max(w, ρ̂)` per kept item gives `E[Σ w̄] = W` and near-optimal
+//! variance (Szegedy, STOC 2006).
+//!
+//! This module is the *centralized* sampler; protocols HH-P3 and MT-P3
+//! distribute exactly this computation (sites threshold on `ρ ≥ τ`, the
+//! coordinator maintains the round structure). The standalone sampler is
+//! used for baseline comparisons and to validate the estimator math that
+//! the distributed version inherits.
+
+use crate::ord::OrdF64;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One sampled entry.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    priority: f64,
+    weight: f64,
+    payload: T,
+}
+
+/// Priority sampler keeping the `s` highest-priority items (plus the
+/// threshold item) out of a weighted stream.
+#[derive(Debug, Clone)]
+pub struct PrioritySampler<T> {
+    s: usize,
+    /// Min-heap of the `s+1` largest priorities seen so far.
+    heap: BinaryHeap<Reverse<(OrdF64, u64)>>,
+    /// Entries keyed by insertion id (heap stores ids to keep `T` out of
+    /// the comparator).
+    entries: std::collections::HashMap<u64, Entry<T>>,
+    next_id: u64,
+    total_weight: f64,
+}
+
+impl<T> PrioritySampler<T> {
+    /// Creates a sampler of size `s ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    pub fn new(s: usize) -> Self {
+        assert!(s >= 1, "PrioritySampler: sample size must be positive");
+        PrioritySampler {
+            s,
+            heap: BinaryHeap::with_capacity(s + 2),
+            entries: std::collections::HashMap::with_capacity(s + 2),
+            next_id: 0,
+            total_weight: 0.0,
+        }
+    }
+
+    /// Sample size `s`.
+    pub fn sample_size(&self) -> usize {
+        self.s
+    }
+
+    /// Exact total weight observed (kept for tests; the estimator does not
+    /// use it).
+    pub fn total_weight_seen(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Feeds one weighted item.
+    ///
+    /// # Panics
+    /// Panics if `weight` is not strictly positive and finite.
+    pub fn update<R: Rng + ?Sized>(&mut self, payload: T, weight: f64, rng: &mut R) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "PrioritySampler: weight must be positive, got {weight}"
+        );
+        self.total_weight += weight;
+        // r ∈ (0, 1]: guard against r = 0 which would give infinite priority.
+        let r: f64 = 1.0 - rng.gen::<f64>();
+        let priority = weight / r;
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.insert(id, Entry { priority, weight, payload });
+        self.heap.push(Reverse((OrdF64(priority), id)));
+        if self.heap.len() > self.s + 1 {
+            let Reverse((_, evicted)) = self.heap.pop().expect("heap non-empty");
+            self.entries.remove(&evicted);
+        }
+    }
+
+    /// Number of retained entries (≤ `s + 1`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` before any update.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The weighted sample: up to `s` `(payload, w̄)` pairs where
+    /// `w̄ = max(w, ρ̂)` and `ρ̂` is the smallest retained priority (the
+    /// threshold item itself is excluded, per the estimator's definition).
+    ///
+    /// `Σ w̄` is an unbiased estimate of the total weight `W`.
+    pub fn weighted_sample(&self) -> Vec<(&T, f64)> {
+        if self.entries.is_empty() {
+            return Vec::new();
+        }
+        if self.entries.len() <= self.s {
+            // Fewer items than the sample size: the sample is the whole
+            // stream with exact weights.
+            return self.entries.values().map(|e| (&e.payload, e.weight)).collect();
+        }
+        let threshold_id = self.threshold_id();
+        let rho_hat = self.entries[&threshold_id].priority;
+        self.entries
+            .iter()
+            .filter(|(&id, _)| id != threshold_id)
+            .map(|(_, e)| (&e.payload, e.weight.max(rho_hat)))
+            .collect()
+    }
+
+    /// Unbiased estimate of the total stream weight.
+    pub fn estimate_total(&self) -> f64 {
+        self.weighted_sample().iter().map(|(_, w)| w).sum()
+    }
+
+    /// Id of the minimum-priority (threshold) entry.
+    fn threshold_id(&self) -> u64 {
+        self.heap.peek().map(|Reverse((_, id))| *id).expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_stream_is_kept_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps: PrioritySampler<u64> = PrioritySampler::new(10);
+        for i in 0..5u64 {
+            ps.update(i, (i + 1) as f64, &mut rng);
+        }
+        let sample = ps.weighted_sample();
+        assert_eq!(sample.len(), 5);
+        let total: f64 = sample.iter().map(|(_, w)| w).sum();
+        assert!((total - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retains_at_most_s_plus_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps: PrioritySampler<usize> = PrioritySampler::new(8);
+        for i in 0..1000 {
+            ps.update(i, 1.0 + (i % 10) as f64, &mut rng);
+        }
+        assert_eq!(ps.len(), 9);
+        assert_eq!(ps.weighted_sample().len(), 8);
+    }
+
+    #[test]
+    fn total_estimate_is_unbiased() {
+        // Average over many independent runs; the mean must approach W.
+        let w_true = 5050.0; // Σ 1..=100
+        let runs = 400;
+        let mut sum = 0.0;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ps: PrioritySampler<u64> = PrioritySampler::new(20);
+            for i in 1..=100u64 {
+                ps.update(i, i as f64, &mut rng);
+            }
+            sum += ps.estimate_total();
+        }
+        let mean = sum / runs as f64;
+        let rel = (mean - w_true).abs() / w_true;
+        assert!(rel < 0.05, "estimator bias too large: mean {mean} vs {w_true}");
+    }
+
+    #[test]
+    fn heavy_items_always_sampled() {
+        // An item holding most of the weight has priority ≥ w, so it beats
+        // light items' priorities with overwhelming probability once
+        // s items of much larger weight exist. Deterministic check: with
+        // w_heavy/w_light ratio enormous, the heavy item must survive.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ps: PrioritySampler<&'static str> = PrioritySampler::new(4);
+        ps.update("heavy", 1e9, &mut rng);
+        for _ in 0..500 {
+            ps.update("light", 1.0, &mut rng);
+        }
+        let sample = ps.weighted_sample();
+        assert!(sample.iter().any(|(p, _)| **p == "heavy"));
+        // Heavy item keeps its exact weight (w > ρ̂ almost surely here).
+        let heavy_w = sample.iter().find(|(p, _)| **p == "heavy").unwrap().1;
+        assert!((heavy_w - 1e9).abs() / 1e9 < 1e-6);
+    }
+
+    #[test]
+    fn per_item_weight_never_below_original_threshold_rule() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ps: PrioritySampler<u64> = PrioritySampler::new(5);
+        for i in 0..100u64 {
+            ps.update(i, 2.0, &mut rng);
+        }
+        for (_, w) in ps.weighted_sample() {
+            assert!(w >= 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        PrioritySampler::<u64>::new(2).update(1, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn empty_sampler() {
+        let ps: PrioritySampler<u64> = PrioritySampler::new(3);
+        assert!(ps.is_empty());
+        assert!(ps.weighted_sample().is_empty());
+        assert_eq!(ps.estimate_total(), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Weighted reservoir sampling without replacement (Efraimidis–Spirakis
+//! "A-Res").
+//!
+//! The paper's §2 survey cites "the well studied technique of maintaining
+//! a random sample … from a distributed stream" as the classical route to
+//! ε-heavy hitters. A-Res is that technique's single-stream core: each
+//! arrival draws a key `u^{1/w}` (`u ~ U(0,1)`) and the reservoir keeps
+//! the `s` largest keys, which yields a weighted sample *without
+//! replacement* — each item's inclusion probability is what sequential
+//! weighted draws without replacement would give.
+//!
+//! Distinct from [`crate::priority::PrioritySampler`]: priority sampling
+//! comes with the Szegedy subset-sum *estimator* (what protocols P3 use);
+//! A-Res provides a clean *sample* (what a mining pipeline would want to
+//! hand to a downstream algorithm). Both are kept because they answer
+//! different questions.
+
+use crate::ord::OrdF64;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Entry kept in the reservoir.
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    payload: T,
+    weight: f64,
+}
+
+/// Weighted reservoir (A-Res) of capacity `s`.
+#[derive(Debug, Clone)]
+pub struct WeightedReservoir<T> {
+    s: usize,
+    /// Min-heap on key; ids break ties deterministically.
+    heap: BinaryHeap<Reverse<(OrdF64, u64)>>,
+    slots: std::collections::HashMap<u64, Slot<T>>,
+    next_id: u64,
+    items_seen: u64,
+    weight_seen: f64,
+}
+
+impl<T> WeightedReservoir<T> {
+    /// Creates a reservoir of capacity `s ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    pub fn new(s: usize) -> Self {
+        assert!(s >= 1, "WeightedReservoir: capacity must be positive");
+        WeightedReservoir {
+            s,
+            heap: BinaryHeap::with_capacity(s + 1),
+            slots: std::collections::HashMap::with_capacity(s + 1),
+            next_id: 0,
+            items_seen: 0,
+            weight_seen: 0.0,
+        }
+    }
+
+    /// Reservoir capacity `s`.
+    pub fn capacity(&self) -> usize {
+        self.s
+    }
+
+    /// Number of retained items (`min(s, items seen)`).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` before the first arrival.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Items observed so far.
+    pub fn items_seen(&self) -> u64 {
+        self.items_seen
+    }
+
+    /// Total weight observed so far.
+    pub fn weight_seen(&self) -> f64 {
+        self.weight_seen
+    }
+
+    /// Feeds one weighted item.
+    ///
+    /// # Panics
+    /// Panics unless `weight` is finite and strictly positive.
+    pub fn update<R: Rng + ?Sized>(&mut self, payload: T, weight: f64, rng: &mut R) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "WeightedReservoir: weight must be positive, got {weight}"
+        );
+        self.items_seen += 1;
+        self.weight_seen += weight;
+        // A-Res key: u^{1/w}, computed in log space for stability.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        let key = (u.ln() / weight).exp();
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots.insert(id, Slot { payload, weight });
+        self.heap.push(Reverse((OrdF64(key), id)));
+        if self.slots.len() > self.s {
+            let Reverse((_, evicted)) = self.heap.pop().expect("heap non-empty");
+            self.slots.remove(&evicted);
+        }
+    }
+
+    /// The current sample, in unspecified order, with original weights.
+    pub fn sample(&self) -> Vec<(&T, f64)> {
+        self.slots.values().map(|sl| (&sl.payload, sl.weight)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r: WeightedReservoir<u64> = WeightedReservoir::new(10);
+        for i in 0..5u64 {
+            r.update(i, 1.0 + i as f64, &mut rng);
+        }
+        assert_eq!(r.len(), 5);
+        let total: f64 = r.sample().iter().map(|(_, w)| w).sum();
+        assert_eq!(total, 1.0 + 2.0 + 3.0 + 4.0 + 5.0);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r: WeightedReservoir<u64> = WeightedReservoir::new(16);
+        for i in 0..10_000u64 {
+            r.update(i, 1.0, &mut rng);
+        }
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.items_seen(), 10_000);
+    }
+
+    #[test]
+    fn heavy_item_included_with_high_probability() {
+        // One item with 50% of the total weight must be sampled almost
+        // always with s = 8 (inclusion prob ≈ 1 − (1/2)^s-ish).
+        let mut included = 0;
+        let runs = 200;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r: WeightedReservoir<&'static str> = WeightedReservoir::new(8);
+            r.update("heavy", 1_000.0, &mut rng);
+            for _ in 0..1_000 {
+                r.update("light", 1.0, &mut rng);
+            }
+            if r.sample().iter().any(|(p, _)| **p == "heavy") {
+                included += 1;
+            }
+        }
+        assert!(included > runs * 95 / 100, "heavy item included only {included}/{runs}");
+    }
+
+    #[test]
+    fn inclusion_rate_tracks_weight_share() {
+        // s = 1: P(keep item) = w/W exactly for A-Res.
+        let runs = 3_000;
+        let mut kept_heavy = 0;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r: WeightedReservoir<u8> = WeightedReservoir::new(1);
+            r.update(1, 3.0, &mut rng); // 3/4 of the weight
+            r.update(0, 1.0, &mut rng);
+            if r.sample()[0].0 == &1 {
+                kept_heavy += 1;
+            }
+        }
+        let rate = kept_heavy as f64 / runs as f64;
+        assert!((rate - 0.75).abs() < 0.03, "inclusion rate {rate} vs 0.75");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        WeightedReservoir::<u8>::new(2).update(0, 0.0, &mut rng);
+    }
+}

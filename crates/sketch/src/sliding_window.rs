@@ -1,0 +1,519 @@
+//! Sliding-window sketching — the paper's first listed open problem
+//! ("interesting open problems include … extending our results to the
+//! sliding window model").
+//!
+//! The machinery is an **exponential histogram over mergeable summaries**
+//! (the construction later formalised for matrices by Wei et al.,
+//! SIGMOD 2016):
+//!
+//! * arrivals enter singleton buckets; when more than `r` buckets share a
+//!   mass level (`[2ⁱ, 2ⁱ⁺¹)` of summarised weight), the two oldest are
+//!   merged — so there are `O(r · log(βW))` buckets;
+//! * buckets whose *newest* item has left the window are dropped whole;
+//!   at most one remaining bucket (the oldest) straddles the window
+//!   boundary.
+//!
+//! Querying merges all live buckets. The error against the true window
+//! content has two parts: the summaries' own loss (inherited from the
+//! mergeable summary) and the straddling bucket's mass (items already
+//! expired but still counted — `≈ mass/r` thanks to the level
+//! structure). Two instantiations are provided:
+//!
+//! * [`SwFd`] — matrix tracking over the last `W` rows (buckets are
+//!   Frequent Directions sketches);
+//! * [`SwMg`] — weighted heavy hitters over the last `W` items (buckets
+//!   are Misra–Gries summaries).
+
+use crate::frequent_directions::FrequentDirections;
+use crate::misra_gries::MgSummary;
+use crate::Item;
+use cma_linalg::Matrix;
+
+/// A summary that can absorb another of its kind — the only capability
+/// the histogram needs from its buckets.
+pub trait WindowSummary: Clone {
+    /// Folds `other` into `self`, preserving the summary's guarantee
+    /// with respect to the union of both inputs.
+    fn merge_from(&mut self, other: &Self);
+}
+
+impl WindowSummary for FrequentDirections {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
+impl WindowSummary for MgSummary {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
+/// One histogram bucket: a summary over a contiguous arrival range.
+#[derive(Debug, Clone)]
+struct Bucket<S> {
+    summary: S,
+    /// Weight summarised by this bucket.
+    mass: f64,
+    /// Stream index of the newest arrival in the bucket.
+    newest: u64,
+}
+
+/// Exponential histogram over any [`WindowSummary`].
+#[derive(Debug, Clone)]
+pub struct ExpHistogram<S> {
+    window: u64,
+    per_level: usize,
+    buckets: Vec<Bucket<S>>,
+    t: u64,
+}
+
+impl<S: WindowSummary> ExpHistogram<S> {
+    /// Creates a histogram over the last `window` arrivals with at most
+    /// `per_level` buckets per mass level.
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or `per_level == 0`.
+    pub fn new(window: u64, per_level: usize) -> Self {
+        assert!(window >= 1, "ExpHistogram: window must be positive");
+        assert!(per_level >= 1, "ExpHistogram: per_level must be positive");
+        ExpHistogram { window, per_level, buckets: Vec::new(), t: 0 }
+    }
+
+    /// Window length in arrivals.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Arrivals observed so far.
+    pub fn items_seen(&self) -> u64 {
+        self.t
+    }
+
+    /// Number of live buckets (`O(per_level · log(mass range))`).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total mass currently summarised (window mass plus the straddling
+    /// bucket's expired portion).
+    pub fn mass(&self) -> f64 {
+        self.buckets.iter().map(|b| b.mass).sum()
+    }
+
+    /// Mass of the straddling (oldest) bucket — the window-boundary
+    /// error term. Zero until the first expiration can have happened.
+    pub fn straddle_mass(&self) -> f64 {
+        if self.t > self.window {
+            self.buckets.first().map(|b| b.mass).unwrap_or(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Absorbs one arrival summarised by `summary` with weight `mass`.
+    /// Zero-mass arrivals advance the clock without creating buckets.
+    pub fn update(&mut self, summary: S, mass: f64) {
+        debug_assert!(mass >= 0.0 && mass.is_finite());
+        let idx = self.t;
+        self.t += 1;
+        let horizon = self.t.saturating_sub(self.window);
+        self.buckets.retain(|b| b.newest >= horizon);
+        if mass == 0.0 {
+            return;
+        }
+        self.buckets.push(Bucket { summary, mass, newest: idx });
+        self.compact();
+    }
+
+    /// Mass level of a bucket: `⌊log₂(mass)⌋` (clamped below at 0).
+    fn level(mass: f64) -> i32 {
+        mass.max(1.0).log2().floor() as i32
+    }
+
+    /// Merges oldest same-level bucket pairs until every level holds at
+    /// most `per_level` buckets.
+    fn compact(&mut self) {
+        loop {
+            let mut counts: std::collections::HashMap<i32, usize> =
+                std::collections::HashMap::new();
+            for b in &self.buckets {
+                *counts.entry(Self::level(b.mass)).or_insert(0) += 1;
+            }
+            // Oldest pair of any overfull level (buckets are age-ordered).
+            let mut merge_pair: Option<(usize, usize)> = None;
+            'outer: for (lvl, &cnt) in &counts {
+                if cnt > self.per_level {
+                    let mut first: Option<usize> = None;
+                    for (i, b) in self.buckets.iter().enumerate() {
+                        if Self::level(b.mass) == *lvl {
+                            match first {
+                                None => first = Some(i),
+                                Some(f) => {
+                                    merge_pair = Some((f, i));
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((i, j)) = merge_pair else { break };
+            let newer = self.buckets.remove(j);
+            let older = &mut self.buckets[i];
+            older.summary.merge_from(&newer.summary);
+            older.mass += newer.mass;
+            // `max`, not assignment: merges of non-adjacent levels can
+            // leave the vec unsorted by age, and shrinking `newest` would
+            // let the expiration pass drop live window data (caught by
+            // the `sw_mg_window_bound` property test).
+            older.newest = older.newest.max(newer.newest);
+        }
+    }
+
+    /// Merges all live buckets into `acc` (oldest first).
+    pub fn fold_into(&self, acc: &mut S) {
+        for b in &self.buckets {
+            acc.merge_from(&b.summary);
+        }
+    }
+}
+
+/// Sliding-window Frequent Directions over the last `window` rows.
+#[derive(Debug, Clone)]
+pub struct SwFd {
+    d: usize,
+    ell: usize,
+    hist: ExpHistogram<FrequentDirections>,
+}
+
+impl SwFd {
+    /// Creates a sliding-window matrix sketch.
+    ///
+    /// * `d` — row dimensionality; `ell` — FD rows per bucket
+    ///   (per-bucket accuracy `2/ℓ`); `window` — rows; `per_level` —
+    ///   histogram branching `r` (boundary error `~mass/r`).
+    ///
+    /// # Panics
+    /// Panics on zero `window`/`per_level` or invalid FD parameters.
+    pub fn new(d: usize, ell: usize, window: u64, per_level: usize) -> Self {
+        let _probe = FrequentDirections::new(d, ell); // validate eagerly
+        SwFd { d, ell, hist: ExpHistogram::new(window, per_level) }
+    }
+
+    /// Row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Window length in rows.
+    pub fn window(&self) -> u64 {
+        self.hist.window()
+    }
+
+    /// Rows observed so far.
+    pub fn rows_seen(&self) -> u64 {
+        self.hist.items_seen()
+    }
+
+    /// Number of live buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.hist.bucket_count()
+    }
+
+    /// Total summarised mass (window ± straddling bucket).
+    pub fn mass(&self) -> f64 {
+        self.hist.mass()
+    }
+
+    /// Absorbs one row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != d`.
+    pub fn update(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.d, "SwFd: row dimension mismatch");
+        let mass: f64 = row.iter().map(|v| v * v).sum();
+        if mass == 0.0 {
+            self.hist.update(FrequentDirections::new(self.d, self.ell), 0.0);
+            return;
+        }
+        let mut fd = FrequentDirections::new(self.d, self.ell);
+        fd.update(row);
+        self.hist.update(fd, mass);
+    }
+
+    /// The window sketch: all live buckets merged.
+    pub fn sketch(&self) -> Matrix {
+        let mut acc = FrequentDirections::new(self.d, self.ell);
+        self.hist.fold_into(&mut acc);
+        acc.sketch().clone()
+    }
+
+    /// A-priori bound on `|‖A_W x‖² − ‖Bx‖²|` for unit `x`: FD loss over
+    /// the summarised mass plus the straddling bucket's mass.
+    pub fn error_bound(&self) -> f64 {
+        2.0 * self.hist.mass() / self.ell as f64 + self.hist.straddle_mass()
+    }
+}
+
+/// Sliding-window weighted heavy hitters over the last `window` items.
+#[derive(Debug, Clone)]
+pub struct SwMg {
+    capacity: usize,
+    hist: ExpHistogram<MgSummary>,
+}
+
+impl SwMg {
+    /// Creates a sliding-window frequency sketch with `capacity` counters
+    /// per bucket.
+    ///
+    /// # Panics
+    /// Panics on zero `window`/`per_level`/`capacity`.
+    pub fn new(capacity: usize, window: u64, per_level: usize) -> Self {
+        let _probe = MgSummary::new(capacity); // validate eagerly
+        SwMg { capacity, hist: ExpHistogram::new(window, per_level) }
+    }
+
+    /// Items observed so far.
+    pub fn items_seen(&self) -> u64 {
+        self.hist.items_seen()
+    }
+
+    /// Number of live buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.hist.bucket_count()
+    }
+
+    /// Total summarised weight (window ± straddling bucket).
+    pub fn mass(&self) -> f64 {
+        self.hist.mass()
+    }
+
+    /// Absorbs one weighted item.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite weights.
+    pub fn update(&mut self, item: Item, weight: f64) {
+        assert!(weight.is_finite() && weight >= 0.0, "SwMg: invalid weight {weight}");
+        if weight == 0.0 {
+            self.hist.update(MgSummary::new(self.capacity), 0.0);
+            return;
+        }
+        let mut mg = MgSummary::new(self.capacity);
+        mg.update(item, weight);
+        self.hist.update(mg, weight);
+    }
+
+    /// Estimated weight of `item` within the window (up to
+    /// [`SwMg::error_bound`]).
+    pub fn estimate(&self, item: Item) -> f64 {
+        let mut acc = MgSummary::new(self.capacity);
+        self.hist.fold_into(&mut acc);
+        acc.estimate(item)
+    }
+
+    /// A-priori bound on `|f_W(e) − estimate(e)|`: MG undercount over the
+    /// summarised weight plus the straddling bucket's weight.
+    pub fn error_bound(&self) -> f64 {
+        self.hist.mass() / (self.capacity as f64 + 1.0) + self.hist.straddle_mass()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_linalg::random;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exact window matrix for verification.
+    fn window_matrix(rows: &[Vec<f64>], t: usize, window: usize, d: usize) -> Matrix {
+        let start = t.saturating_sub(window);
+        let mut m = Matrix::with_cols(d);
+        for r in &rows[start..t] {
+            m.push_row(r);
+        }
+        m
+    }
+
+    fn random_rows(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| random::standard_normal(&mut rng)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn before_expiry_matches_plain_fd_bound() {
+        let d = 6;
+        let rows = random_rows(100, d, 1);
+        let mut sw = SwFd::new(d, 16, 1_000, 2);
+        for r in &rows {
+            sw.update(r);
+        }
+        let a = window_matrix(&rows, 100, 1_000, d);
+        let sketch = sw.sketch();
+        let mut rng = StdRng::seed_from_u64(2);
+        let bound = sw.error_bound() + 1e-9;
+        for _ in 0..20 {
+            let x = random::unit_vector(&mut rng, d);
+            let diff = (a.apply_norm_sq(&x) - sketch.apply_norm_sq(&x)).abs();
+            assert!(diff <= bound, "pre-expiry: diff {diff} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn window_error_bounded_after_many_expirations() {
+        let d = 5;
+        let n = 2_000;
+        let window = 300usize;
+        let rows = random_rows(n, d, 3);
+        let mut sw = SwFd::new(d, 20, window as u64, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for (t, r) in rows.iter().enumerate() {
+            sw.update(r);
+            if (t + 1) % 500 == 0 {
+                let a = window_matrix(&rows, t + 1, window, d);
+                let sketch = sw.sketch();
+                let bound = sw.error_bound() + 1e-9;
+                for _ in 0..10 {
+                    let x = random::unit_vector(&mut rng, d);
+                    let diff = (a.apply_norm_sq(&x) - sketch.apply_norm_sq(&x)).abs();
+                    assert!(diff <= bound, "t={}: diff {diff} > bound {bound}", t + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_count_stays_logarithmic() {
+        let d = 4;
+        let rows = random_rows(5_000, d, 5);
+        let mut sw = SwFd::new(d, 8, 1_000, 2);
+        let mut max_buckets = 0;
+        for r in &rows {
+            sw.update(r);
+            max_buckets = max_buckets.max(sw.bucket_count());
+        }
+        assert!(max_buckets <= 64, "bucket count exploded: {max_buckets}");
+    }
+
+    #[test]
+    fn old_data_is_forgotten() {
+        let d = 4;
+        let window = 100u64;
+        let mut sw = SwFd::new(d, 12, window, 2);
+        let mut big = vec![0.0; d];
+        big[0] = 10.0;
+        for _ in 0..200 {
+            sw.update(&big);
+        }
+        let mut small = vec![0.0; d];
+        small[1] = 1.0;
+        for _ in 0..window {
+            sw.update(&small);
+        }
+        let sketch = sw.sketch();
+        let e0 = [1.0, 0.0, 0.0, 0.0];
+        let e1 = [0.0, 1.0, 0.0, 0.0];
+        assert_eq!(sketch.apply_norm_sq(&e0), 0.0, "expired mass survived");
+        let got = sketch.apply_norm_sq(&e1);
+        assert!(
+            (got - window as f64).abs() <= sw.error_bound() + 1e-9,
+            "window mass {got} vs {window}"
+        );
+    }
+
+    #[test]
+    fn mass_tracks_window() {
+        let d = 3;
+        let mut sw = SwFd::new(d, 8, 50, 2);
+        for _ in 0..500 {
+            sw.update(&[1.0, 0.0, 0.0]);
+        }
+        let mass = sw.mass();
+        assert!(mass >= 50.0 - 1e-9, "mass {mass} below window");
+        assert!(mass <= 50.0 + sw.error_bound(), "mass {mass} far above window");
+    }
+
+    #[test]
+    fn zero_rows_ignored() {
+        let mut sw = SwFd::new(3, 8, 10, 2);
+        sw.update(&[0.0, 0.0, 0.0]);
+        assert_eq!(sw.bucket_count(), 0);
+        assert_eq!(sw.rows_seen(), 1);
+    }
+
+    #[test]
+    fn sw_mg_window_estimates_bounded() {
+        let window = 400usize;
+        let mut sw = SwMg::new(32, window as u64, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let stream: Vec<(Item, f64)> = (0..3_000)
+            .map(|_| {
+                let e: Item = if rng.gen_bool(0.3) { 1 } else { rng.gen_range(2..50) };
+                (e, rng.gen_range(1.0..5.0))
+            })
+            .collect();
+        for (t, &(e, w)) in stream.iter().enumerate() {
+            sw.update(e, w);
+            if (t + 1) % 1_000 == 0 {
+                // Exact window frequency of the heavy item.
+                let start = (t + 1).saturating_sub(window);
+                let truth: f64 = stream[start..=t]
+                    .iter()
+                    .filter(|(e, _)| *e == 1)
+                    .map(|(_, w)| w)
+                    .sum();
+                let est = sw.estimate(1);
+                let bound = sw.error_bound() + 1e-9;
+                assert!(
+                    (est - truth).abs() <= bound,
+                    "t={}: estimate {est} vs truth {truth}, bound {bound}",
+                    t + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sw_mg_forgets_old_heavy_hitter() {
+        let window = 100u64;
+        let mut sw = SwMg::new(16, window, 2);
+        for _ in 0..300 {
+            sw.update(7, 50.0); // old heavy item
+        }
+        for _ in 0..window {
+            sw.update(8, 1.0); // window now contains only item 8
+        }
+        let est7 = sw.estimate(7);
+        // Item 7 may survive only through the straddling bucket.
+        assert!(
+            est7 <= sw.error_bound() + 1e-9,
+            "expired heavy item estimate {est7} exceeds bound"
+        );
+        let est8 = sw.estimate(8);
+        assert!((est8 - window as f64).abs() <= sw.error_bound() + 1e-9);
+    }
+
+    #[test]
+    fn histogram_generic_counts() {
+        // The raw histogram with trivial summaries tracks mass correctly.
+        #[derive(Clone, Debug)]
+        struct Count(f64);
+        impl WindowSummary for Count {
+            fn merge_from(&mut self, other: &Self) {
+                self.0 += other.0;
+            }
+        }
+        let mut h: ExpHistogram<Count> = ExpHistogram::new(10, 2);
+        for _ in 0..100 {
+            h.update(Count(1.0), 1.0);
+        }
+        let mut total = Count(0.0);
+        h.fold_into(&mut total);
+        assert!(total.0 >= 10.0);
+        assert!(total.0 <= 10.0 + h.straddle_mass() + 1e-9);
+        assert_eq!(h.items_seen(), 100);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests on the sketch crate's guarantees, over
+//! adversarial streams (arbitrary item/weight sequences) rather than the
+//! benign distributions of the unit tests.
+
+use cma_sketch::{
+    CountMin, ExactWeightedCounter, FrequentDirections, MgSummary, SpaceSaving, SwMg,
+};
+use proptest::prelude::*;
+
+fn weighted_stream() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((0u64..25, 1.0f64..100.0), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The three counter sketches bracket the truth from their
+    /// documented sides simultaneously on the same stream.
+    #[test]
+    fn counter_sketches_bracket_truth(stream in weighted_stream(), cap in 2usize..16) {
+        let mut mg = MgSummary::new(cap);
+        let mut ss = SpaceSaving::new(cap);
+        let mut cm = CountMin::new(64, 4, 42);
+        let mut exact = ExactWeightedCounter::new();
+        for &(e, w) in &stream {
+            mg.update(e, w);
+            ss.update(e, w);
+            cm.update(e, w);
+            exact.update(e, w);
+        }
+        for (e, f) in exact.iter() {
+            // MG under, CM over, SS over (for monitored items).
+            prop_assert!(mg.estimate(e) <= f + 1e-9);
+            prop_assert!(cm.estimate(e) + 1e-9 >= f);
+            let s = ss.estimate(e);
+            if s > 0.0 {
+                prop_assert!(s + 1e-9 >= f);
+            }
+        }
+    }
+
+    /// MG merge order does not affect the guarantee: merging A→B vs B→A
+    /// both respect the combined bound.
+    #[test]
+    fn mg_merge_commutes_on_guarantee(
+        s1 in weighted_stream(),
+        s2 in weighted_stream(),
+        cap in 2usize..10,
+    ) {
+        let mut exact = ExactWeightedCounter::new();
+        let build = |s: &[(u64, f64)]| {
+            let mut mg = MgSummary::new(cap);
+            for &(e, w) in s {
+                mg.update(e, w);
+            }
+            mg
+        };
+        for &(e, w) in s1.iter().chain(&s2) {
+            exact.update(e, w);
+        }
+        let mut ab = build(&s1);
+        ab.merge(&build(&s2));
+        let mut ba = build(&s2);
+        ba.merge(&build(&s1));
+        for (e, f) in exact.iter() {
+            for (name, m) in [("ab", &ab), ("ba", &ba)] {
+                let est = m.estimate(e);
+                prop_assert!(est <= f + 1e-9, "{}: overestimate", name);
+                prop_assert!(f - est <= m.error_bound() + 1e-9, "{}: bound", name);
+            }
+        }
+    }
+
+    /// FD shrink-loss accounting: the tracked loss always dominates the
+    /// worst direction error along every standard basis vector, and stays
+    /// within the a-priori 2‖A‖²F/ℓ.
+    #[test]
+    fn fd_loss_accounting(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 4), 1..120),
+        ell in 2usize..7,
+    ) {
+        let d = 4;
+        let mut fd = FrequentDirections::new(d, ell);
+        let mut frob = 0.0;
+        for r in &rows {
+            fd.update(r);
+            frob += r.iter().map(|v| v * v).sum::<f64>();
+        }
+        let slack = 1e-9 * frob.max(1.0);
+        prop_assert!(fd.shrink_loss() <= fd.error_bound() + slack);
+        for i in 0..d {
+            let mut x = vec![0.0; d];
+            x[i] = 1.0;
+            let ax: f64 = rows
+                .iter()
+                .map(|r| {
+                    let dot: f64 = r.iter().zip(&x).map(|(a, b)| a * b).sum();
+                    dot * dot
+                })
+                .sum();
+            let bx = fd.query(&x);
+            prop_assert!(bx <= ax + slack);
+            prop_assert!(ax - bx <= fd.shrink_loss() + slack);
+        }
+    }
+
+    /// Sliding-window MG: estimates of every universe item stay within
+    /// the reported bound of the exact window content, at every prefix
+    /// length (sampled).
+    #[test]
+    fn sw_mg_window_bound(
+        stream in prop::collection::vec((0u64..10, 1.0f64..20.0), 10..200),
+        window in 5u64..50,
+    ) {
+        let mut sw = SwMg::new(8, window, 2);
+        for (t, &(e, w)) in stream.iter().enumerate() {
+            sw.update(e, w);
+            if t % 37 == 36 || t + 1 == stream.len() {
+                let start = (t + 1).saturating_sub(window as usize);
+                let bound = sw.error_bound() + 1e-9;
+                for item in 0u64..10 {
+                    let truth: f64 = stream[start..=t]
+                        .iter()
+                        .filter(|(e, _)| *e == item)
+                        .map(|(_, w)| w)
+                        .sum();
+                    let est = sw.estimate(item);
+                    prop_assert!(
+                        (est - truth).abs() <= bound,
+                        "t={} item={}: {} vs {} (bound {})",
+                        t, item, est, truth, bound
+                    );
+                }
+            }
+        }
+    }
+}

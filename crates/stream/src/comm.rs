@@ -1,0 +1,104 @@
+//! Communication accounting.
+//!
+//! The paper measures protocols by message counts, with two conventions
+//! that the accounting here reproduces:
+//!
+//! * A site→coordinator message is charged its *element cost*: protocol
+//!   HH-P1 ships whole Misra–Gries summaries, and the paper's
+//!   `O((m/ε²)·log(βN))` bound counts the `O(1/ε)` elements inside each
+//!   summary, so a summary of `k` counters is charged `k` (plus one for
+//!   the weight scalar). A matrix-protocol message is one row of length
+//!   `d`; a scalar message is one unit.
+//! * A coordinator broadcast reaches all `m` sites and is charged `m`
+//!   messages.
+
+/// Per-message cost in the paper's message units.
+///
+/// Implemented by each protocol's up-message type; the [`crate::Runner`]
+/// consults it as messages flow.
+pub trait MessageCost {
+    /// Number of unit messages this logical message is charged as.
+    fn cost(&self) -> u64;
+}
+
+/// Running communication totals for one protocol execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of logical site→coordinator sends.
+    pub up_msgs: u64,
+    /// Total element cost of site→coordinator traffic (each logical send
+    /// charged via [`MessageCost::cost`]).
+    pub up_cost: u64,
+    /// Number of broadcast events (each reaches all `m` sites).
+    pub broadcast_events: u64,
+    /// Number of sites `m` (to price broadcasts).
+    pub sites: u64,
+}
+
+impl CommStats {
+    /// Creates zeroed statistics for an `m`-site deployment.
+    pub fn new(sites: usize) -> Self {
+        CommStats { sites: sites as u64, ..Default::default() }
+    }
+
+    /// Total message count in the paper's units:
+    /// up-traffic element cost plus `m` per broadcast.
+    pub fn total(&self) -> u64 {
+        self.up_cost + self.broadcast_events * self.sites
+    }
+
+    /// Records one site→coordinator message of the given cost.
+    pub fn record_up(&mut self, cost: u64) {
+        self.up_msgs += 1;
+        self.up_cost += cost;
+    }
+
+    /// Records one broadcast event.
+    pub fn record_broadcast(&mut self) {
+        self.broadcast_events += 1;
+    }
+
+    /// Adds another set of totals (e.g. when a protocol runs an auxiliary
+    /// sub-protocol for total-weight tracking).
+    pub fn absorb(&mut self, other: &CommStats) {
+        debug_assert_eq!(self.sites, other.sites, "absorbing stats from different deployments");
+        self.up_msgs += other.up_msgs;
+        self.up_cost += other.up_cost;
+        self.broadcast_events += other.broadcast_events;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_price_broadcasts_by_m() {
+        let mut s = CommStats::new(10);
+        s.record_up(3);
+        s.record_up(1);
+        s.record_broadcast();
+        assert_eq!(s.up_msgs, 2);
+        assert_eq!(s.up_cost, 4);
+        assert_eq!(s.total(), 4 + 10);
+    }
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = CommStats::new(5);
+        a.record_up(2);
+        let mut b = CommStats::new(5);
+        b.record_up(7);
+        b.record_broadcast();
+        a.absorb(&b);
+        assert_eq!(a.up_cost, 9);
+        assert_eq!(a.broadcast_events, 1);
+        assert_eq!(a.total(), 9 + 5);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = CommStats::new(3);
+        assert_eq!(s.total(), 0);
+    }
+}

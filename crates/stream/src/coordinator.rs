@@ -1,0 +1,25 @@
+//! The coordinator role of a distributed-streaming protocol.
+
+use crate::SiteId;
+
+/// The central participant receiving messages from all sites.
+///
+/// A coordinator folds incoming messages into its global state and may
+/// react by broadcasting to all sites (a refreshed threshold, a new
+/// sampling round, …). Broadcasts are pushed into the `out` buffer; the
+/// runner delivers each one to every site and charges it `m` messages.
+///
+/// Queries (current heavy hitters, current sketch matrix) are *not* part
+/// of this trait — they are protocol-specific inherent methods, because
+/// the continuous-monitoring model lets the user query the coordinator's
+/// state at any instant without communication.
+pub trait Coordinator {
+    /// Message type received from sites.
+    type UpMsg;
+    /// Broadcast type sent to all sites.
+    type Broadcast;
+
+    /// Processes one message from site `from`, pushing any broadcasts
+    /// onto `out`.
+    fn receive(&mut self, from: SiteId, msg: Self::UpMsg, out: &mut Vec<Self::Broadcast>);
+}

@@ -1,0 +1,36 @@
+//! Distributed-streaming simulation substrate.
+//!
+//! The paper's model (Cormode, Muthukrishnan, Yi — "distributed functional
+//! monitoring") has `m` sites, each observing a disjoint stream, plus a
+//! coordinator `C`; sites talk only to `C`, and the quantity to minimise
+//! is the number of messages. This crate provides that model as
+//! infrastructure, independent of any particular protocol:
+//!
+//! * [`site::Site`] / [`coordinator::Coordinator`] — the two protocol
+//!   roles, as traits over arbitrary input/message/broadcast types.
+//! * [`comm::CommStats`] — message accounting in the paper's units
+//!   (up-messages weighted by their element cost; a broadcast costs `m`).
+//! * [`runner::Runner`] — deterministic sequential driver: feeds items to
+//!   sites, routes messages, applies broadcasts synchronously. Every
+//!   experiment harness and test drives protocols through this.
+//! * [`runner::threaded`] — an asynchronous driver (crossbeam channels,
+//!   one thread per site) where broadcasts arrive with real lag; used to
+//!   demonstrate that the protocols tolerate the asynchrony of an actual
+//!   deployment.
+//! * [`partition`] — stream partitioners deciding which site observes
+//!   each arrival (round-robin, uniform random, skewed).
+
+pub mod comm;
+pub mod coordinator;
+pub mod partition;
+pub mod runner;
+pub mod site;
+
+pub use comm::{CommStats, MessageCost};
+pub use coordinator::Coordinator;
+pub use partition::Partitioner;
+pub use runner::Runner;
+pub use site::Site;
+
+/// Identifier of a site, `0..m`.
+pub type SiteId = usize;

@@ -1,0 +1,321 @@
+//! Protocol drivers.
+//!
+//! [`Runner`] is the deterministic sequential driver used by all
+//! experiments and tests: it delivers one arrival at a time, routes the
+//! resulting messages to the coordinator, and applies broadcasts to every
+//! site *before* the next arrival — the synchronous-communication
+//! idealisation under which the paper states its guarantees.
+//!
+//! [`threaded`] is an asynchronous driver (one OS thread per site,
+//! crossbeam channels) in which broadcasts arrive with genuine lag. The
+//! protocols remain correct under lag — a stale (smaller) threshold only
+//! makes sites send *sooner* — so this driver demonstrates deployment
+//! behaviour and feeds the throughput benchmarks.
+
+use crate::comm::{CommStats, MessageCost};
+use crate::coordinator::Coordinator;
+use crate::site::Site;
+use crate::SiteId;
+
+/// Sequential, synchronous protocol driver.
+pub struct Runner<S, C>
+where
+    S: Site,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    S::UpMsg: MessageCost,
+{
+    sites: Vec<S>,
+    coordinator: C,
+    stats: CommStats,
+    up_buf: Vec<S::UpMsg>,
+    bc_buf: Vec<S::Broadcast>,
+}
+
+impl<S, C> Runner<S, C>
+where
+    S: Site,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    S::UpMsg: MessageCost,
+{
+    /// Creates a driver over the given sites and coordinator.
+    ///
+    /// # Panics
+    /// Panics if `sites` is empty.
+    pub fn new(sites: Vec<S>, coordinator: C) -> Self {
+        assert!(!sites.is_empty(), "Runner: need at least one site");
+        let m = sites.len();
+        Runner {
+            sites,
+            coordinator,
+            stats: CommStats::new(m),
+            up_buf: Vec::new(),
+            bc_buf: Vec::new(),
+        }
+    }
+
+    /// Number of sites `m`.
+    pub fn m(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Delivers one arrival to `site`, then routes all induced
+    /// communication to quiescence.
+    ///
+    /// # Panics
+    /// Panics if `site >= m`.
+    pub fn feed(&mut self, site: SiteId, input: S::Input) {
+        assert!(site < self.sites.len(), "Runner::feed: site {site} out of range");
+        self.sites[site].observe(input, &mut self.up_buf);
+        while let Some(msg) = pop_front(&mut self.up_buf) {
+            self.stats.record_up(msg.cost());
+            self.coordinator.receive(site, msg, &mut self.bc_buf);
+            while let Some(bc) = pop_front(&mut self.bc_buf) {
+                self.stats.record_broadcast();
+                for s in &mut self.sites {
+                    s.on_broadcast(&bc);
+                }
+            }
+        }
+    }
+
+    /// The coordinator, for continuous queries.
+    pub fn coordinator(&self) -> &C {
+        &self.coordinator
+    }
+
+    /// The sites (read-only; useful in tests).
+    pub fn sites(&self) -> &[S] {
+        &self.sites
+    }
+
+    /// Communication totals so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Decomposes the driver into its parts (after a run completes).
+    pub fn into_parts(self) -> (Vec<S>, C, CommStats) {
+        (self.sites, self.coordinator, self.stats)
+    }
+}
+
+/// FIFO pop on a `Vec` used as a small queue. The buffers here hold at
+/// most a handful of messages, so `remove(0)` beats a `VecDeque`'s
+/// overhead in practice and keeps message order faithful to emission
+/// order.
+fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+/// Asynchronous driver: one thread per site, channel-based delivery.
+pub mod threaded {
+    use super::*;
+    use crossbeam::channel;
+
+    /// Runs each site on its own thread over its pre-partitioned local
+    /// stream; the calling thread plays coordinator.
+    ///
+    /// Broadcasts are delivered through per-site channels and applied by
+    /// each site *before its next arrival*, so they lag exactly as they
+    /// would over a network. Message and broadcast totals are accounted
+    /// identically to the sequential runner.
+    ///
+    /// Returns the finished sites, the coordinator and the accumulated
+    /// statistics.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != sites.len()`, or if a site thread
+    /// panics.
+    pub fn run_partitioned<S, C>(
+        mut sites: Vec<S>,
+        mut coordinator: C,
+        inputs: Vec<Vec<S::Input>>,
+    ) -> (Vec<S>, C, CommStats)
+    where
+        S: Site + Send,
+        S::Input: Send,
+        S::UpMsg: MessageCost + Send,
+        S::Broadcast: Clone + Send,
+        C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    {
+        assert_eq!(inputs.len(), sites.len(), "run_partitioned: one input stream per site");
+        let m = sites.len();
+        let mut stats = CommStats::new(m);
+
+        let (up_tx, up_rx) = channel::unbounded::<(SiteId, S::UpMsg)>();
+        let mut bc_txs = Vec::with_capacity(m);
+        let mut bc_rxs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (tx, rx) = channel::unbounded::<S::Broadcast>();
+            bc_txs.push(tx);
+            bc_rxs.push(rx);
+        }
+
+        let site_results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(m);
+            for (sid, (mut site, local)) in
+                sites.drain(..).zip(inputs).enumerate()
+            {
+                let up_tx = up_tx.clone();
+                let bc_rx = bc_rxs.remove(0);
+                handles.push(scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    for item in local {
+                        // Apply any broadcasts that have arrived.
+                        while let Ok(bc) = bc_rx.try_recv() {
+                            site.on_broadcast(&bc);
+                        }
+                        site.observe(item, &mut out);
+                        for msg in out.drain(..) {
+                            up_tx.send((sid, msg)).expect("coordinator hung up");
+                        }
+                    }
+                    site
+                }));
+            }
+            drop(up_tx); // coordinator's recv ends when all sites finish
+
+            let mut bc_buf = Vec::new();
+            while let Ok((sid, msg)) = up_rx.recv() {
+                stats.record_up(msg.cost());
+                coordinator.receive(sid, msg, &mut bc_buf);
+                for bc in bc_buf.drain(..) {
+                    stats.record_broadcast();
+                    for tx in &bc_txs {
+                        // A site may already have finished; that's fine.
+                        let _ = tx.send(bc.clone());
+                    }
+                }
+            }
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("site thread panicked"))
+                .collect::<Vec<S>>()
+        })
+        .expect("thread scope failed");
+
+        (site_results, coordinator, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol for driver tests: sites accumulate weight and report
+    /// it when it reaches a threshold; the coordinator sums reports and
+    /// doubles the threshold each time the total doubles.
+    struct ToySite {
+        pending: f64,
+        threshold: f64,
+    }
+
+    #[derive(Debug)]
+    struct Report(f64);
+
+    impl MessageCost for Report {
+        fn cost(&self) -> u64 {
+            1
+        }
+    }
+
+    impl Site for ToySite {
+        type Input = f64;
+        type UpMsg = Report;
+        type Broadcast = f64; // new threshold
+
+        fn observe(&mut self, w: f64, out: &mut Vec<Report>) {
+            self.pending += w;
+            if self.pending >= self.threshold {
+                out.push(Report(self.pending));
+                self.pending = 0.0;
+            }
+        }
+        fn on_broadcast(&mut self, t: &f64) {
+            self.threshold = *t;
+        }
+    }
+
+    struct ToyCoord {
+        total: f64,
+        last_broadcast_at: f64,
+    }
+
+    impl Coordinator for ToyCoord {
+        type UpMsg = Report;
+        type Broadcast = f64;
+
+        fn receive(&mut self, _from: SiteId, msg: Report, out: &mut Vec<f64>) {
+            self.total += msg.0;
+            if self.total >= 2.0 * self.last_broadcast_at.max(1.0) {
+                self.last_broadcast_at = self.total;
+                out.push(self.total / 8.0);
+            }
+        }
+    }
+
+    fn toy_runner(m: usize) -> Runner<ToySite, ToyCoord> {
+        let sites = (0..m).map(|_| ToySite { pending: 0.0, threshold: 1.0 }).collect();
+        Runner::new(sites, ToyCoord { total: 0.0, last_broadcast_at: 0.0 })
+    }
+
+    #[test]
+    fn sequential_accounts_every_message() {
+        let mut r = toy_runner(4);
+        for i in 0..100u64 {
+            r.feed((i % 4) as usize, 1.0);
+        }
+        assert!(r.stats().up_msgs > 0);
+        assert!(r.stats().broadcast_events > 0);
+        assert_eq!(r.stats().sites, 4);
+        // No weight lost: coordinator total + site pending = stream total.
+        let pending: f64 = r.sites().iter().map(|s| s.pending).sum();
+        assert_eq!(r.coordinator().total + pending, 100.0);
+    }
+
+    #[test]
+    fn broadcasts_raise_thresholds_everywhere() {
+        let mut r = toy_runner(2);
+        for i in 0..200u64 {
+            r.feed((i % 2) as usize, 1.0);
+        }
+        for s in r.sites() {
+            assert!(s.threshold > 1.0, "broadcast never reached a site");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn feed_checks_site_index() {
+        let mut r = toy_runner(2);
+        r.feed(5, 1.0);
+    }
+
+    #[test]
+    fn threaded_conserves_weight() {
+        let sites: Vec<ToySite> =
+            (0..4).map(|_| ToySite { pending: 0.0, threshold: 1.0 }).collect();
+        let coord = ToyCoord { total: 0.0, last_broadcast_at: 0.0 };
+        let inputs: Vec<Vec<f64>> = (0..4).map(|_| vec![1.0; 50]).collect();
+        let (sites, coord, stats) = threaded::run_partitioned(sites, coord, inputs);
+        let pending: f64 = sites.iter().map(|s| s.pending).sum();
+        assert_eq!(coord.total + pending, 200.0);
+        assert!(stats.up_msgs > 0);
+    }
+
+    #[test]
+    fn threaded_handles_empty_streams() {
+        let sites: Vec<ToySite> =
+            (0..3).map(|_| ToySite { pending: 0.0, threshold: 1.0 }).collect();
+        let coord = ToyCoord { total: 0.0, last_broadcast_at: 0.0 };
+        let inputs: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
+        let (_, coord, stats) = threaded::run_partitioned(sites, coord, inputs);
+        assert_eq!(coord.total, 0.0);
+        assert_eq!(stats.total(), 0);
+    }
+}

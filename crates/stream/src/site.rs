@@ -1,0 +1,27 @@
+//! The site role of a distributed-streaming protocol.
+
+/// A protocol participant observing one of the `m` local streams.
+///
+/// A site reacts to two stimuli: an arrival from its local stream
+/// ([`Site::observe`]) and a broadcast from the coordinator
+/// ([`Site::on_broadcast`]). Any messages for the coordinator are pushed
+/// into the `out` buffer — a buffer rather than a return value so the hot
+/// path allocates nothing when (as almost always) there is nothing to
+/// send.
+pub trait Site {
+    /// One arrival from the local stream (a weighted item, a matrix
+    /// row, …).
+    type Input;
+    /// Message type sent up to the coordinator.
+    type UpMsg;
+    /// Broadcast type received from the coordinator.
+    type Broadcast;
+
+    /// Processes one arrival, pushing any resulting messages for the
+    /// coordinator onto `out`.
+    fn observe(&mut self, input: Self::Input, out: &mut Vec<Self::UpMsg>);
+
+    /// Applies a coordinator broadcast (typically a refreshed global
+    /// threshold such as `Ŵ`, `F̂` or `τ`).
+    fn on_broadcast(&mut self, broadcast: &Self::Broadcast);
+}

@@ -1,0 +1,51 @@
+//! Quickstart: track a distributed matrix with protocol MT-P2.
+//!
+//! Four sites each receive a stream of 8-dimensional rows; the
+//! coordinator continuously maintains a sketch `B` with
+//! `|‖Ax‖² − ‖Bx‖²| ≤ ε·‖A‖²_F` — while communicating a small fraction
+//! of the stream.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cma::data::{StreamingGram, SyntheticMatrixStream};
+use cma::protocols::matrix::{p2, MatrixConfig, MatrixEstimator};
+
+fn main() {
+    let sites = 4;
+    let epsilon = 0.1;
+    let dim = 8;
+    let n = 20_000;
+
+    // Deploy: one P2 site per stream, a coordinator, message accounting.
+    let cfg = MatrixConfig::new(sites, epsilon, dim);
+    let mut runner = p2::deploy(&cfg);
+
+    // Ground truth for the demo (a real deployment has no such luxury).
+    let mut truth = StreamingGram::new(dim);
+
+    let mut stream = SyntheticMatrixStream::new(dim, &[4.0, 2.0, 1.0], 1e6, 42);
+    for i in 0..n {
+        let row = stream.next_row();
+        truth.update(&row);
+        // Each row arrives at exactly one site.
+        runner.feed(i % sites, row);
+    }
+
+    // The coordinator answers at any time without extra communication.
+    let sketch = runner.coordinator().sketch();
+    let err = truth.error_of_sketch(&sketch).expect("error metric");
+    let stats = runner.stats();
+
+    println!("stream length           : {n} rows of dimension {dim}");
+    println!("sites                   : {sites}");
+    println!("accuracy target ε       : {epsilon}");
+    println!("covariance error        : {err:.5}  (guarantee: ≤ ε)");
+    println!("sketch size             : {} rows", sketch.rows());
+    println!(
+        "communication           : {} messages ({:.2}% of shipping every row)",
+        stats.total(),
+        100.0 * stats.total() as f64 / n as f64
+    );
+    assert!(err <= epsilon, "protocol contract violated");
+    println!("\nthe coordinator tracked the matrix within ε at all times ✓");
+}

@@ -1,0 +1,182 @@
+//! The qualitative shapes of the paper's figures, pinned down as
+//! small-scale regression tests. Each test names the figure whose trend
+//! it encodes; the full-scale traces live in `EXPERIMENTS.md`.
+
+use cma::data::{StreamingGram, SyntheticMatrixStream, WeightedZipfStream};
+use cma::protocols::hh::{metrics, HhConfig};
+use cma::protocols::matrix::{MatrixConfig, MatrixEstimator};
+use cma::protocols::{hh, matrix};
+use cma::sketch::ExactWeightedCounter;
+
+fn zipf(n: usize, seed: u64) -> (Vec<(u64, f64)>, ExactWeightedCounter) {
+    let stream = WeightedZipfStream::new(10_000, 2.0, 1000.0, seed).take_vec(n);
+    let mut exact = ExactWeightedCounter::new();
+    for &(e, w) in &stream {
+        exact.update(e, w);
+    }
+    (stream, exact)
+}
+
+/// Figure 1(c,d): for the deterministic protocols, shrinking ε reduces
+/// error and raises communication — monotone trade-off.
+#[test]
+fn fig1_epsilon_tradeoff_monotone() {
+    let m = 10;
+    let (stream, exact) = zipf(60_000, 1);
+    let mut prev_msgs = u64::MAX;
+    let mut errs = Vec::new();
+    for eps in [0.002, 0.01, 0.05] {
+        let cfg = HhConfig::new(m, eps).with_seed(1);
+        let mut runner = hh::p2::deploy(&cfg);
+        for (i, &(e, w)) in stream.iter().enumerate() {
+            runner.feed(i % m, (e, w));
+        }
+        let msgs = runner.stats().total();
+        assert!(msgs < prev_msgs, "P2 messages must decrease as ε grows");
+        prev_msgs = msgs;
+        errs.push(metrics::evaluate(runner.coordinator(), &exact, 0.05, eps).avg_rel_err);
+    }
+    assert!(
+        errs[0] < errs[2],
+        "P2 error should grow from ε=0.002 ({}) to ε=0.05 ({})",
+        errs[0],
+        errs[2]
+    );
+}
+
+/// Figure 1(d) ordering at moderate ε: msgs(P4) < msgs(P2) < msgs(P1)
+/// (P4's √m advantage, P1's 1/ε² burden).
+#[test]
+fn fig1_message_ordering() {
+    let m = 25;
+    let eps = 0.01;
+    let (stream, _) = zipf(80_000, 2);
+    let cfg = HhConfig::new(m, eps).with_seed(2);
+
+    macro_rules! msgs {
+        ($deploy:expr) => {{
+            let mut runner = $deploy;
+            for (i, &(e, w)) in stream.iter().enumerate() {
+                runner.feed(i % m, (e, w));
+            }
+            runner.stats().total()
+        }};
+    }
+    let m1 = msgs!(hh::p1::deploy(&cfg));
+    let m2 = msgs!(hh::p2::deploy(&cfg));
+    let m4 = msgs!(hh::p4::deploy(&cfg));
+    assert!(m4 < m2 && m2 < m1, "ordering violated: P1={m1} P2={m2} P4={m4}");
+}
+
+/// Figure 2(a)/3(a): matrix error grows with ε for each protocol.
+#[test]
+fn fig2_matrix_error_grows_with_epsilon() {
+    let m = 10;
+    let n = 15_000;
+    let mut errs = Vec::new();
+    for eps in [0.02, 0.4] {
+        let cfg = MatrixConfig::new(m, eps, 44).with_seed(3);
+        let mut runner = matrix::p2::deploy(&cfg);
+        let mut truth = StreamingGram::new(44);
+        let mut stream = SyntheticMatrixStream::pamap_like(31);
+        for i in 0..n {
+            let row = stream.next_row();
+            truth.update(&row);
+            runner.feed(i % m, row);
+        }
+        errs.push(truth.error_of_sketch(&runner.coordinator().sketch()).unwrap());
+    }
+    assert!(
+        errs[0] < errs[1],
+        "P2 error should grow with ε: {} vs {}",
+        errs[0],
+        errs[1]
+    );
+}
+
+/// Figure 2(b)/3(b) crossover: P3wor needs more messages than P2 at
+/// small ε (1/ε² vs 1/ε) and fewer at large ε.
+#[test]
+fn fig2_p2_p3_crossover() {
+    let m = 20;
+    let n = 30_000;
+
+    macro_rules! msgs {
+        ($proto:ident, $eps:expr) => {{
+            let cfg = MatrixConfig::new(m, $eps, 44).with_seed(4);
+            let mut runner = matrix::$proto::deploy(&cfg);
+            let mut stream = SyntheticMatrixStream::pamap_like(32);
+            for i in 0..n {
+                runner.feed(i % m, stream.next_row());
+            }
+            runner.stats().total()
+        }};
+    }
+    // Small ε: sampling needs s = Θ(ε⁻² log ε⁻¹) ≫ the deterministic rate.
+    let p2_small = msgs!(p2, 0.01);
+    let p3_small = msgs!(p3, 0.01);
+    assert!(
+        p3_small > p2_small,
+        "small ε: P3 ({p3_small}) should exceed P2 ({p2_small})"
+    );
+    // Large ε: the sampler's s is tiny while P2 still pays m/ε-ish.
+    let p2_large = msgs!(p2, 0.4);
+    let p3_large = msgs!(p3, 0.4);
+    assert!(
+        p3_large < p2_large,
+        "large ε: P3 ({p3_large}) should undercut P2 ({p2_large})"
+    );
+}
+
+/// Figure 2(c)/3(c): P2's messages grow with the number of sites; error
+/// stays within contract regardless (Figure 2(d)).
+#[test]
+fn fig2_sites_scale_messages_not_error() {
+    let eps = 0.1;
+    let n = 15_000;
+    let mut msgs = Vec::new();
+    for m in [5usize, 15, 40] {
+        let cfg = MatrixConfig::new(m, eps, 44).with_seed(5);
+        let mut runner = matrix::p2::deploy(&cfg);
+        let mut truth = StreamingGram::new(44);
+        let mut stream = SyntheticMatrixStream::pamap_like(33);
+        for i in 0..n {
+            let row = stream.next_row();
+            truth.update(&row);
+            runner.feed(i % m, row);
+        }
+        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+        assert!(err <= eps, "m={m}: err {err} > ε");
+        msgs.push(runner.stats().total());
+    }
+    assert!(msgs[0] < msgs[1] && msgs[1] < msgs[2], "P2 messages vs m: {msgs:?}");
+}
+
+/// Figures 6–7: P4's matrix error dwarfs P2's at equal ε on rotated
+/// data, at every site count tried.
+#[test]
+fn fig67_p4_always_worse() {
+    let eps = 0.1;
+    let n = 8_000;
+    for m in [4usize, 12] {
+        let cfg = MatrixConfig::new(m, eps, 30).with_seed(6);
+        let spectrum: Vec<f64> = (0..8).map(|j| 4.0 * 0.8_f64.powi(j)).collect();
+
+        macro_rules! err {
+            ($proto:ident) => {{
+                let mut runner = matrix::$proto::deploy(&cfg);
+                let mut truth = StreamingGram::new(30);
+                let mut stream = SyntheticMatrixStream::new(30, &spectrum, 1e6, 34);
+                for i in 0..n {
+                    let row = stream.next_row();
+                    truth.update(&row);
+                    runner.feed(i % m, row);
+                }
+                truth.error_of_sketch(&runner.coordinator().sketch()).unwrap()
+            }};
+        }
+        let e2 = err!(p2);
+        let e4 = err!(p4);
+        assert!(e4 > 2.0 * e2, "m={m}: P4 ({e4}) not clearly worse than P2 ({e2})");
+    }
+}

@@ -1,0 +1,210 @@
+//! End-to-end integration tests for the matrix-tracking protocols on the
+//! paper's dataset surrogates: the ε-contract, baseline orderings, the
+//! P4 negative result, and robustness to placement and degenerate
+//! configurations.
+
+use cma::data::{StreamingGram, SyntheticMatrixStream};
+use cma::protocols::matrix::{p1, p2, p3, p3wr, p4, MatrixConfig, MatrixEstimator};
+
+fn run_stream<S, C>(
+    runner: &mut cma::stream::Runner<S, C>,
+    stream: &mut SyntheticMatrixStream,
+    n: usize,
+    m: usize,
+) -> StreamingGram
+where
+    S: cma::stream::Site<Input = Vec<f64>>,
+    C: cma::stream::Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    S::UpMsg: cma::stream::MessageCost,
+{
+    let mut truth = StreamingGram::new(stream.dim());
+    for i in 0..n {
+        let row = stream.next_row();
+        truth.update(&row);
+        runner.feed(i % m, row);
+    }
+    truth
+}
+
+/// The ε-contract on the PAMAP-like stream for all guaranteed protocols.
+#[test]
+fn contract_on_pamap_like() {
+    let m = 10;
+    let eps = 0.15;
+    let n = 20_000;
+    let cfg = MatrixConfig::new(m, eps, 44).with_seed(1);
+
+    macro_rules! check {
+        ($name:literal, $runner:expr) => {{
+            let mut runner = $runner;
+            let mut stream = SyntheticMatrixStream::pamap_like(11);
+            let truth = run_stream(&mut runner, &mut stream, n, m);
+            let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+            assert!(err <= eps, "{}: err {err} > ε {eps}", $name);
+            assert!(runner.stats().total() > 0);
+            err
+        }};
+    }
+    check!("P1", p1::deploy(&cfg));
+    check!("P2", p2::deploy(&cfg));
+    check!("P3", p3::deploy(&cfg));
+}
+
+/// The ε-contract on the high-rank MSD-like stream.
+#[test]
+fn contract_on_msd_like() {
+    let m = 10;
+    let eps = 0.15;
+    let n = 12_000;
+    let cfg = MatrixConfig::new(m, eps, 90).with_seed(2);
+
+    macro_rules! check {
+        ($name:literal, $runner:expr) => {{
+            let mut runner = $runner;
+            let mut stream = SyntheticMatrixStream::msd_like(12);
+            let truth = run_stream(&mut runner, &mut stream, n, m);
+            let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+            assert!(err <= eps, "{}: err {err} > ε {eps}", $name);
+        }};
+    }
+    check!("P1", p1::deploy(&cfg));
+    check!("P2", p2::deploy(&cfg));
+    check!("P3", p3::deploy(&cfg));
+    check!("P3wr", p3wr::deploy(&cfg.clone().with_sample_size(800)));
+}
+
+/// The paper's Table 1 orderings: P1 is the most accurate protocol but
+/// the most expensive; P3wor beats P3wr on both axes (at equal sample
+/// size); everything communicates less than shipping the stream except
+/// P1/P3wr which may approach it.
+#[test]
+fn table1_orderings() {
+    let m = 10;
+    let eps = 0.1;
+    let n = 25_000;
+    let cfg = MatrixConfig::new(m, eps, 44).with_seed(3);
+
+    macro_rules! measure {
+        ($runner:expr, $seed:expr) => {{
+            let mut runner = $runner;
+            let mut stream = SyntheticMatrixStream::pamap_like($seed);
+            let truth = run_stream(&mut runner, &mut stream, n, m);
+            let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+            (err, runner.stats().total())
+        }};
+    }
+
+    let (err1, msg1) = measure!(p1::deploy(&cfg), 13);
+    let (err2, msg2) = measure!(p2::deploy(&cfg), 13);
+    let (err3, msg3) = measure!(p3::deploy(&cfg), 13);
+    let (err3wr, msg3wr) = measure!(p3wr::deploy(&cfg), 13);
+
+    assert!(err1 < err2 && err1 < err3, "P1 should be most accurate: {err1} vs {err2}/{err3}");
+    assert!(msg2 < msg1, "P2 ({msg2}) should be cheaper than P1 ({msg1})");
+    assert!(msg3 < msg1, "P3 ({msg3}) should be cheaper than P1 ({msg1})");
+    assert!(msg3 < msg3wr, "P3wor ({msg3}) should be cheaper than P3wr ({msg3wr})");
+    assert!(err3 <= err3wr * 1.5 + 0.01, "P3wor ({err3}) should not lose badly to P3wr ({err3wr})");
+}
+
+/// The Appendix C negative result: P4's error on rotated (non-axis-
+/// aligned) data exceeds every guaranteed protocol's by a wide margin
+/// and violates the ε contract outright.
+#[test]
+fn p4_negative_result() {
+    let m = 8;
+    let eps = 0.1;
+    let n = 12_000;
+    let cfg = MatrixConfig::new(m, eps, 44).with_seed(4);
+
+    let mut p4r = p4::deploy(&cfg);
+    let mut stream = SyntheticMatrixStream::pamap_like(14);
+    let truth = run_stream(&mut p4r, &mut stream, n, m);
+    let err4 = truth.error_of_sketch(&p4r.coordinator().sketch()).unwrap();
+
+    let mut p2r = p2::deploy(&cfg);
+    let mut stream = SyntheticMatrixStream::pamap_like(14);
+    let truth2 = run_stream(&mut p2r, &mut stream, n, m);
+    let err2 = truth2.error_of_sketch(&p2r.coordinator().sketch()).unwrap();
+
+    assert!(err2 <= eps, "P2 contract: {err2}");
+    assert!(err4 > eps, "P4 unexpectedly met the contract: {err4}");
+    assert!(err4 > 3.0 * err2, "P4 ({err4}) should be far worse than P2 ({err2})");
+}
+
+/// One-sided guarantee of the deterministic protocols: `‖Bx‖² ≤ ‖Ax‖²`
+/// in every direction (Lemma 8's right side), checked on top of the
+/// spectral error bound.
+#[test]
+fn deterministic_sketches_never_overestimate() {
+    use cma::linalg::random::unit_vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let m = 6;
+    let eps = 0.2;
+    let n = 8_000;
+    let cfg = MatrixConfig::new(m, eps, 20).with_seed(5);
+    let spectrum: Vec<f64> = (0..20).map(|j| 3.0 * 0.8_f64.powi(j)).collect();
+
+    macro_rules! check {
+        ($name:literal, $runner:expr) => {{
+            let mut runner = $runner;
+            let mut stream = SyntheticMatrixStream::new(20, &spectrum, 1e4, 15);
+            let truth = run_stream(&mut runner, &mut stream, n, m);
+            let sketch = runner.coordinator().sketch();
+            let mut rng = StdRng::seed_from_u64(99);
+            for _ in 0..30 {
+                let x = unit_vector(&mut rng, 20);
+                let ax: f64 =
+                    truth.gram().apply(&x).iter().zip(&x).map(|(g, xi)| g * xi).sum();
+                let bx = sketch.apply_norm_sq(&x);
+                assert!(
+                    bx <= ax + 1e-6 * truth.frob_sq(),
+                    "{}: ‖Bx‖² = {bx} > ‖Ax‖² = {ax}",
+                    $name
+                );
+            }
+        }};
+    }
+    check!("P1", p1::deploy(&cfg));
+    check!("P2", p2::deploy(&cfg));
+}
+
+/// All rows to one site: adversarial placement must not break P2.
+#[test]
+fn skewed_placement_matrix() {
+    let m = 8;
+    let eps = 0.2;
+    let cfg = MatrixConfig::new(m, eps, 16).with_seed(6);
+    let mut runner = p2::deploy(&cfg);
+    let mut stream = SyntheticMatrixStream::new(16, &[4.0, 2.0, 1.0], 1e4, 16);
+    let mut truth = StreamingGram::new(16);
+    for _ in 0..6_000 {
+        let row = stream.next_row();
+        truth.update(&row);
+        runner.feed(0, row);
+    }
+    let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+    assert!(err <= eps, "skewed placement: err {err}");
+}
+
+/// Growing site counts must increase communication for P2/P3 (their
+/// bounds are linear in m) while leaving the error contract intact —
+/// Figure 2(c,d)'s claim.
+#[test]
+fn site_scaling_matches_figure2() {
+    let eps = 0.15;
+    let n = 10_000;
+
+    let mut msgs = Vec::new();
+    for &m in &[5usize, 20] {
+        let cfg = MatrixConfig::new(m, eps, 44).with_seed(7);
+        let mut runner = p2::deploy(&cfg);
+        let mut stream = SyntheticMatrixStream::pamap_like(17);
+        let truth = run_stream(&mut runner, &mut stream, n, m);
+        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+        assert!(err <= eps, "m={m}: err {err}");
+        msgs.push(runner.stats().total());
+    }
+    assert!(msgs[1] > msgs[0], "P2 messages should grow with m: {msgs:?}");
+}

@@ -1,0 +1,99 @@
+//! Asynchronous-delivery integration tests: the protocols must tolerate
+//! broadcast lag (threaded runner, one OS thread per site). A lagging —
+//! therefore smaller — threshold only makes sites send *sooner*, so the
+//! accuracy contracts survive; these tests pin that reasoning down.
+
+use cma::data::{StreamingGram, SyntheticMatrixStream, WeightedZipfStream};
+use cma::protocols::hh::{p2, HhConfig, HhEstimator};
+use cma::protocols::matrix::{p2 as mp2, MatrixConfig, MatrixEstimator};
+use cma::sketch::ExactWeightedCounter;
+use cma::stream::runner::threaded;
+
+#[test]
+fn hh_p2_contract_under_async_delivery() {
+    let m = 6;
+    let eps = 0.05;
+    let n = 30_000;
+    let cfg = HhConfig::new(m, eps).with_seed(1);
+
+    // Pre-partition the stream round-robin, as the sequential runs do.
+    let stream = WeightedZipfStream::new(5_000, 2.0, 100.0, 1).take_vec(n);
+    let mut exact = ExactWeightedCounter::new();
+    let mut inputs: Vec<Vec<(u64, f64)>> = vec![Vec::new(); m];
+    for (i, &(e, w)) in stream.iter().enumerate() {
+        exact.update(e, w);
+        inputs[i % m].push((e, w));
+    }
+
+    let runner = p2::deploy(&cfg);
+    let (sites, coordinator, _) = runner.into_parts();
+    let (_, coordinator, stats2) = threaded::run_partitioned(sites, coordinator, inputs);
+
+    let w = exact.total_weight();
+    for (e, f) in exact.iter() {
+        let err = (coordinator.estimate(e) - f).abs();
+        assert!(err <= eps * w + 1e-9, "item {e}: async error {err} > εW");
+    }
+    assert!(stats2.up_msgs > 0);
+    // The coordinator still recovered (approximately) the whole weight.
+    assert!((coordinator.total_weight() - w).abs() <= 2.0 * eps * w);
+}
+
+#[test]
+fn matrix_p2_contract_under_async_delivery() {
+    let m = 4;
+    let eps = 0.2;
+    let n = 8_000;
+    let dim = 16;
+    let cfg = MatrixConfig::new(m, eps, dim).with_seed(2);
+
+    let mut stream = SyntheticMatrixStream::new(dim, &[4.0, 2.0, 1.0], 1e4, 3);
+    let mut truth = StreamingGram::new(dim);
+    let mut inputs: Vec<Vec<Vec<f64>>> = vec![Vec::new(); m];
+    for i in 0..n {
+        let row = stream.next_row();
+        truth.update(&row);
+        inputs[i % m].push(row);
+    }
+
+    let runner = mp2::deploy(&cfg);
+    let (sites, coordinator, _) = runner.into_parts();
+    let (_, coordinator, stats) = threaded::run_partitioned(sites, coordinator, inputs);
+
+    let err = truth.error_of_sketch(&coordinator.sketch()).unwrap();
+    assert!(err <= eps, "async matrix error {err} > ε");
+    assert!(stats.up_msgs > 0);
+}
+
+/// Async delivery may cost extra messages (stale thresholds fire sooner)
+/// but never an unbounded amount; sanity-bound it against sequential.
+#[test]
+fn async_message_overhead_is_bounded() {
+    let m = 4;
+    let eps = 0.05;
+    let n = 20_000;
+    let cfg = HhConfig::new(m, eps).with_seed(3);
+    let stream = WeightedZipfStream::new(5_000, 2.0, 100.0, 4).take_vec(n);
+
+    // Sequential baseline.
+    let mut seq = p2::deploy(&cfg);
+    for (i, &(e, w)) in stream.iter().enumerate() {
+        seq.feed(i % m, (e, w));
+    }
+    let seq_msgs = seq.stats().total();
+
+    // Threaded run on the identical partitioning.
+    let mut inputs: Vec<Vec<(u64, f64)>> = vec![Vec::new(); m];
+    for (i, &(e, w)) in stream.iter().enumerate() {
+        inputs[i % m].push((e, w));
+    }
+    let (sites, coordinator, _) = p2::deploy(&cfg).into_parts();
+    let (_, _, stats) = threaded::run_partitioned(sites, coordinator, inputs);
+
+    assert!(
+        stats.total() <= 20 * seq_msgs,
+        "async messages {} wildly exceed sequential {}",
+        stats.total(),
+        seq_msgs
+    );
+}
