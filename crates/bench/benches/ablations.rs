@@ -26,7 +26,9 @@ fn ablation_gram_vs_jacobi(c: &mut Criterion) {
     let a = random::gaussian(&mut rng, 40, 44); // an FD shrink buffer
     let mut g = c.benchmark_group("ablation_gram_vs_jacobi");
     g.sample_size(20);
-    g.bench_function("gram_path", |b| b.iter(|| black_box(gram_svd(&a).unwrap().sigma[0])));
+    g.bench_function("gram_path", |b| {
+        b.iter(|| black_box(gram_svd(&a).unwrap().sigma[0]))
+    });
     g.bench_function("jacobi_path", |b| {
         b.iter(|| black_box(jacobi_svd(&a).unwrap().sigma[0]))
     });
@@ -43,7 +45,13 @@ fn ablation_lazy_svd(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("batched_slack_0.25", |b| {
         b.iter(|| {
-            let mut runner = mt_p2::deploy_with(&cfg, &MP2Options { batch_slack: 0.25 });
+            let mut runner = mt_p2::deploy_with(
+                &cfg,
+                &MP2Options {
+                    batch_slack: 0.25,
+                    ..Default::default()
+                },
+            );
             for (i, row) in rows.iter().enumerate() {
                 runner.feed(i % 5, row.clone());
             }
@@ -52,7 +60,13 @@ fn ablation_lazy_svd(c: &mut Criterion) {
     });
     g.bench_function("per_row_slack_0", |b| {
         b.iter(|| {
-            let mut runner = mt_p2::deploy_with(&cfg, &MP2Options { batch_slack: 0.0 });
+            let mut runner = mt_p2::deploy_with(
+                &cfg,
+                &MP2Options {
+                    batch_slack: 0.0,
+                    ..Default::default()
+                },
+            );
             for (i, row) in rows.iter().enumerate() {
                 runner.feed(i % 5, row.clone());
             }
@@ -79,8 +93,13 @@ fn ablation_site_sketch(c: &mut Criterion) {
     });
     g.bench_function("misra_gries_sites", |b| {
         b.iter(|| {
-            let mut runner =
-                hh_p2::deploy_with(&cfg, &P2Options { mg_site_capacity: Some(mg_cap), ..Default::default() });
+            let mut runner = hh_p2::deploy_with(
+                &cfg,
+                &P2Options {
+                    mg_site_capacity: Some(mg_cap),
+                    ..Default::default()
+                },
+            );
             for (i, &(e, w)) in stream.iter().enumerate() {
                 runner.feed(i % 5, (e, w));
             }
@@ -120,7 +139,9 @@ fn ablation_p3_replacement(c: &mut Criterion) {
         let mut s = SyntheticMatrixStream::msd_like(6);
         (0..2_000).map(|_| s.next_row()).collect()
     };
-    let mcfg = MatrixConfig::new(5, 0.1, 90).with_seed(6).with_sample_size(231);
+    let mcfg = MatrixConfig::new(5, 0.1, 90)
+        .with_seed(6)
+        .with_sample_size(231);
     let mut g = c.benchmark_group("ablation_p3_replacement_matrix");
     g.sample_size(10);
     g.bench_function("without_replacement", |b| {

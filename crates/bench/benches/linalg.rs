@@ -77,7 +77,9 @@ fn bench_matmul_gram(c: &mut Criterion) {
     let a = random::gaussian(&mut rng, 500, 44);
     let mut g = c.benchmark_group("matrix");
     g.sample_size(20);
-    g.bench_function("gram/500x44", |b| b.iter(|| black_box(a.gram().frob_norm_sq())));
+    g.bench_function("gram/500x44", |b| {
+        b.iter(|| black_box(a.gram().frob_norm_sq()))
+    });
     let b500 = random::gaussian(&mut rng, 44, 44);
     g.bench_function("matmul/500x44x44", |bch| {
         bch.iter(|| black_box(a.matmul(&b500).frob_norm_sq()))
@@ -85,5 +87,11 @@ fn bench_matmul_gram(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_svd_routes, bench_eigen, bench_spectral_norm, bench_matmul_gram);
+criterion_group!(
+    benches,
+    bench_svd_routes,
+    bench_eigen,
+    bench_spectral_norm,
+    bench_matmul_gram
+);
 criterion_main!(benches);

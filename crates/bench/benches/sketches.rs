@@ -163,12 +163,7 @@ fn bench_sliding_window(c: &mut Criterion) {
         )
     });
     let d = 16;
-    let mut ms = cma_data::SyntheticMatrixStream::new(
-        d,
-        &[4.0, 2.0, 1.0],
-        1e6,
-        9,
-    );
+    let mut ms = cma_data::SyntheticMatrixStream::new(d, &[4.0, 2.0, 1.0], 1e6, 9);
     let rows: Vec<Vec<f64>> = (0..2_000).map(|_| ms.next_row()).collect();
     g.throughput(Throughput::Elements(rows.len() as u64));
     g.bench_function("sw_fd/update", |b| {

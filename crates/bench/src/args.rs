@@ -57,7 +57,10 @@ impl Args {
 
     /// String lookup with default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// `true` when `--flag` was passed.

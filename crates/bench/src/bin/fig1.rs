@@ -12,9 +12,7 @@
 //! `--full` runs the paper's N = 10⁷ (minutes instead of seconds).
 //! Output is CSV on stdout; `#` lines carry metadata.
 
-use cma_bench::{
-    run_hh, tune_hh_to_error, Args, HhProtocol, PAPER_BETA, PAPER_PHI, PAPER_SITES,
-};
+use cma_bench::{run_hh, tune_hh_to_error, Args, HhProtocol, PAPER_BETA, PAPER_PHI, PAPER_SITES};
 use cma_core::HhConfig;
 use cma_data::WeightedZipfStream;
 
@@ -77,8 +75,7 @@ fn main() {
             let stream = WeightedZipfStream::new(universe, 2.0, b, seed).take_vec(n);
             for proto in HhProtocol::FIGURE1 {
                 let base = HhConfig::new(sites, 0.1).with_seed(seed);
-                let (eps, r) =
-                    tune_hh_to_error(proto, &base, &stream, phi, 0.1, &TUNE_GRID);
+                let (eps, r) = tune_hh_to_error(proto, &base, &stream, phi, 0.1, &TUNE_GRID);
                 println!(
                     "f,{b},{},{eps},{:.6e},{}",
                     r.protocol, r.eval.avg_rel_err, r.msgs

@@ -48,7 +48,10 @@ fn main() {
         } else {
             (spec.paper_rows as f64 * scale) as usize
         };
-        println!("# {}: dataset={} n={n} (P4 negative result)", spec.id, spec.dataset);
+        println!(
+            "# {}: dataset={} n={n} (P4 negative result)",
+            spec.id, spec.dataset
+        );
 
         println!("# panel a: err vs epsilon (m = {PAPER_SITES})");
         println!("figure,panel,epsilon,protocol,err,msgs");
@@ -57,7 +60,10 @@ fn main() {
             for proto in PROTOCOLS {
                 eprintln!("{}: eps={eps} {}…", spec.id, proto.name());
                 let r = run_matrix(proto, &cfg, || spec.stream(seed), n);
-                println!("{},a,{eps},{},{:.6e},{}", spec.id, r.protocol, r.err, r.msgs);
+                println!(
+                    "{},a,{eps},{},{:.6e},{}",
+                    spec.id, r.protocol, r.err, r.msgs
+                );
             }
         }
 

@@ -29,7 +29,10 @@ fn main() {
 
     let (dim, make): (usize, Box<dyn Fn() -> SyntheticMatrixStream>) = match dataset.as_str() {
         "msd" => (90, Box::new(move || SyntheticMatrixStream::msd_like(seed))),
-        _ => (44, Box::new(move || SyntheticMatrixStream::pamap_like(seed))),
+        _ => (
+            44,
+            Box::new(move || SyntheticMatrixStream::pamap_like(seed)),
+        ),
     };
 
     println!("# stability: dataset={dataset} n={n} m={sites} epsilon={epsilon}");

@@ -14,8 +14,8 @@
 //! `--csv` runs on a real dataset file instead of the surrogate.
 
 use cma_bench::{
-    baseline_fd, baseline_svd, run_matrix, Args, MatrixProtocol, MSD_ROWS,
-    PAMAP_ROWS, PAPER_MATRIX_EPSILON, PAPER_SITES,
+    baseline_fd, baseline_svd, run_matrix, Args, MatrixProtocol, MSD_ROWS, PAMAP_ROWS,
+    PAPER_MATRIX_EPSILON, PAPER_SITES,
 };
 use cma_core::MatrixConfig;
 use cma_data::loader::{load_csv_matrix, CsvOptions};
@@ -58,20 +58,25 @@ fn main() {
         });
     } else {
         if which == "both" || which == "pamap" {
-            let rows =
-                if full { PAMAP_ROWS } else { (PAMAP_ROWS as f64 * scale) as usize };
+            let rows = if full {
+                PAMAP_ROWS
+            } else {
+                (PAMAP_ROWS as f64 * scale) as usize
+            };
             datasets.push(Dataset {
                 name: "PAMAP",
                 dim: 44,
                 rows,
                 k: 30,
-                make: Box::new(move || {
-                    Box::new(SyntheticMatrixStream::pamap_like(seed))
-                }),
+                make: Box::new(move || Box::new(SyntheticMatrixStream::pamap_like(seed))),
             });
         }
         if which == "both" || which == "msd" {
-            let rows = if full { MSD_ROWS } else { (MSD_ROWS as f64 * scale) as usize };
+            let rows = if full {
+                MSD_ROWS
+            } else {
+                (MSD_ROWS as f64 * scale) as usize
+            };
             datasets.push(Dataset {
                 name: "MSD",
                 dim: 90,
@@ -92,13 +97,24 @@ fn main() {
             MatrixProtocol::P3,
             MatrixProtocol::P3wr,
         ] {
-            eprintln!("running {} on {} ({} rows)…", proto.name(), ds.name, ds.rows);
+            eprintln!(
+                "running {} on {} ({} rows)…",
+                proto.name(),
+                ds.name,
+                ds.rows
+            );
             let r = run_matrix(proto, &cfg, || (ds.make)(), ds.rows);
-            println!("{},{},{},{},{:.6e},{}", ds.name, ds.k, ds.rows, r.protocol, r.err, r.msgs);
+            println!(
+                "{},{},{},{},{:.6e},{}",
+                ds.name, ds.k, ds.rows, r.protocol, r.err, r.msgs
+            );
         }
         eprintln!("running FD baseline on {}…", ds.name);
         let fd = baseline_fd((ds.make)().take(ds.rows), ds.dim, ds.k);
-        println!("{},{},{},{},{:.6e},{}", ds.name, ds.k, ds.rows, fd.protocol, fd.err, fd.msgs);
+        println!(
+            "{},{},{},{},{:.6e},{}",
+            ds.name, ds.k, ds.rows, fd.protocol, fd.err, fd.msgs
+        );
         eprintln!("running SVD baseline on {}…", ds.name);
         let svd = baseline_svd((ds.make)().take(ds.rows), ds.dim, ds.k);
         println!(

@@ -34,12 +34,24 @@ pub struct FigureSpec {
 impl FigureSpec {
     /// Figure 2's dataset.
     pub fn pamap(id: &'static str) -> Self {
-        FigureSpec { id, dataset: "PAMAP", dim: 44, paper_rows: PAMAP_ROWS, pamap: true }
+        FigureSpec {
+            id,
+            dataset: "PAMAP",
+            dim: 44,
+            paper_rows: PAMAP_ROWS,
+            pamap: true,
+        }
     }
 
     /// Figure 3's dataset.
     pub fn msd(id: &'static str) -> Self {
-        FigureSpec { id, dataset: "MSD", dim: 90, paper_rows: MSD_ROWS, pamap: false }
+        FigureSpec {
+            id,
+            dataset: "MSD",
+            dim: 90,
+            paper_rows: MSD_ROWS,
+            pamap: false,
+        }
     }
 
     /// Builds the dataset stream.
@@ -63,7 +75,10 @@ pub fn run_figure(args: &Args, spec: FigureSpec) {
     let seed: u64 = args.get("seed", 7);
     let panel = args.get_str("panel", "all");
 
-    println!("# {}: dataset={} n={n} d={} seed={seed}", spec.id, spec.dataset, spec.dim);
+    println!(
+        "# {}: dataset={} n={n} d={} seed={seed}",
+        spec.id, spec.dataset, spec.dim
+    );
 
     if panel == "all" || panel == "ab" {
         println!("# panels a,b: err and msgs vs epsilon (m = {PAPER_SITES})");

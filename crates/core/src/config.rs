@@ -34,7 +34,12 @@ impl HhConfig {
             epsilon > 0.0 && epsilon < 1.0,
             "HhConfig: epsilon must be in (0, 1), got {epsilon}"
         );
-        HhConfig { sites, epsilon, seed: 0x5eed, sample_size: None }
+        HhConfig {
+            sites,
+            epsilon,
+            seed: 0x5eed,
+            sample_size: None,
+        }
     }
 
     /// Builder-style seed override.
@@ -97,7 +102,13 @@ impl MatrixConfig {
             "MatrixConfig: epsilon must be in (0, 1), got {epsilon}"
         );
         assert!(dim >= 1, "MatrixConfig: dimension must be positive");
-        MatrixConfig { sites, epsilon, dim, seed: 0x5eed, sample_size: None }
+        MatrixConfig {
+            sites,
+            epsilon,
+            dim,
+            seed: 0x5eed,
+            sample_size: None,
+        }
     }
 
     /// Builder-style seed override.

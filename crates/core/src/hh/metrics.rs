@@ -41,9 +41,16 @@ pub fn evaluate<E: HhEstimator>(
     let returned_set: HashSet<Item> = returned.iter().map(|&(e, _)| e).collect();
 
     let hits = returned_set.intersection(&true_set).count();
-    let recall = if true_set.is_empty() { 1.0 } else { hits as f64 / true_set.len() as f64 };
-    let precision =
-        if returned_set.is_empty() { 1.0 } else { hits as f64 / returned_set.len() as f64 };
+    let recall = if true_set.is_empty() {
+        1.0
+    } else {
+        hits as f64 / true_set.len() as f64
+    };
+    let precision = if returned_set.is_empty() {
+        1.0
+    } else {
+        hits as f64 / returned_set.len() as f64
+    };
 
     let avg_rel_err = if truth.is_empty() {
         0.0
@@ -78,7 +85,11 @@ mod tests {
             self.total
         }
         fn estimate(&self, item: Item) -> f64 {
-            self.items.iter().find(|(e, _)| *e == item).map(|(_, w)| *w).unwrap_or(0.0)
+            self.items
+                .iter()
+                .find(|(e, _)| *e == item)
+                .map(|(_, w)| *w)
+                .unwrap_or(0.0)
         }
         fn tracked_items(&self) -> Vec<Item> {
             self.items.iter().map(|(e, _)| *e).collect()
@@ -97,7 +108,10 @@ mod tests {
     fn perfect_estimator_scores_one() {
         let pairs = [(1, 50.0), (2, 30.0), (3, 20.0)];
         let exact = exact_from(&pairs);
-        let est = Fake { total: 100.0, items: pairs.to_vec() };
+        let est = Fake {
+            total: 100.0,
+            items: pairs.to_vec(),
+        };
         let ev = evaluate(&est, &exact, 0.25, 0.01);
         assert_eq!(ev.recall, 1.0);
         assert_eq!(ev.precision, 1.0);
@@ -109,7 +123,10 @@ mod tests {
     fn missed_heavy_hitter_lowers_recall() {
         let exact = exact_from(&[(1, 50.0), (2, 50.0)]);
         // Estimator only knows item 1.
-        let est = Fake { total: 100.0, items: vec![(1, 50.0)] };
+        let est = Fake {
+            total: 100.0,
+            items: vec![(1, 50.0)],
+        };
         let ev = evaluate(&est, &exact, 0.4, 0.01);
         assert_eq!(ev.recall, 0.5);
         assert_eq!(ev.precision, 1.0);
@@ -119,7 +136,10 @@ mod tests {
     fn false_positive_lowers_precision() {
         let exact = exact_from(&[(1, 90.0), (2, 10.0)]);
         // Estimator inflates item 2 over the reporting threshold.
-        let est = Fake { total: 100.0, items: vec![(1, 90.0), (2, 45.0)] };
+        let est = Fake {
+            total: 100.0,
+            items: vec![(1, 90.0), (2, 45.0)],
+        };
         let ev = evaluate(&est, &exact, 0.4, 0.01);
         assert_eq!(ev.recall, 1.0);
         assert_eq!(ev.precision, 0.5);
@@ -128,7 +148,10 @@ mod tests {
     #[test]
     fn relative_error_averaged_over_truth() {
         let exact = exact_from(&[(1, 100.0), (2, 100.0), (3, 1.0)]);
-        let est = Fake { total: 201.0, items: vec![(1, 90.0), (2, 100.0)] };
+        let est = Fake {
+            total: 201.0,
+            items: vec![(1, 90.0), (2, 100.0)],
+        };
         let ev = evaluate(&est, &exact, 0.4, 0.01);
         // Errors: 10% and 0% → mean 5%.
         assert!((ev.avg_rel_err - 0.05).abs() < 1e-12);
@@ -137,7 +160,10 @@ mod tests {
     #[test]
     fn degenerate_no_truth() {
         let exact = exact_from(&[(1, 1.0), (2, 1.0)]);
-        let est = Fake { total: 2.0, items: vec![] };
+        let est = Fake {
+            total: 2.0,
+            items: vec![],
+        };
         let ev = evaluate(&est, &exact, 0.9, 0.01);
         assert_eq!(ev.recall, 1.0);
         assert_eq!(ev.precision, 1.0);

@@ -67,7 +67,11 @@ pub trait HhEstimator {
             .map(|e| (e, self.estimate(e)))
             .filter(|&(_, w)| w >= threshold)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN estimate").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN estimate")
+                .then(a.0.cmp(&b.0))
+        });
         out
     }
 }
@@ -78,7 +82,10 @@ pub trait HhEstimator {
 /// positivity and finiteness, which is what is enforced.
 #[inline]
 pub(crate) fn validate_weight(w: f64) {
-    assert!(w.is_finite() && w > 0.0, "heavy-hitter protocols require finite positive weights, got {w}");
+    assert!(
+        w.is_finite() && w > 0.0,
+        "heavy-hitter protocols require finite positive weights, got {w}"
+    );
 }
 
 #[cfg(test)]
@@ -95,7 +102,11 @@ mod tests {
             self.total
         }
         fn estimate(&self, item: Item) -> f64 {
-            self.items.iter().find(|(e, _)| *e == item).map(|(_, w)| *w).unwrap_or(0.0)
+            self.items
+                .iter()
+                .find(|(e, _)| *e == item)
+                .map(|(_, w)| *w)
+                .unwrap_or(0.0)
         }
         fn tracked_items(&self) -> Vec<Item> {
             self.items.iter().map(|(e, _)| *e).collect()
@@ -104,7 +115,10 @@ mod tests {
 
     #[test]
     fn reporting_rule_threshold() {
-        let f = Fake { total: 100.0, items: vec![(1, 30.0), (2, 9.0), (3, 10.0)] };
+        let f = Fake {
+            total: 100.0,
+            items: vec![(1, 30.0), (2, 9.0), (3, 10.0)],
+        };
         // φ = 0.12, ε = 0.04 → threshold (0.12 − 0.02)·100 = 10.
         let hh = f.heavy_hitters(0.12, 0.04);
         assert_eq!(hh, vec![(1, 30.0), (3, 10.0)]);
@@ -112,13 +126,19 @@ mod tests {
 
     #[test]
     fn empty_estimator_returns_nothing() {
-        let f = Fake { total: 0.0, items: vec![] };
+        let f = Fake {
+            total: 0.0,
+            items: vec![],
+        };
         assert!(f.heavy_hitters(0.1, 0.01).is_empty());
     }
 
     #[test]
     fn sorted_by_estimate_descending() {
-        let f = Fake { total: 10.0, items: vec![(5, 2.0), (6, 8.0)] };
+        let f = Fake {
+            total: 10.0,
+            items: vec![(5, 2.0), (6, 8.0)],
+        };
         let hh = f.heavy_hitters(0.1, 0.1);
         assert_eq!(hh[0].0, 6);
     }

@@ -73,6 +73,28 @@ impl Site for P1Site {
         }
     }
 
+    /// Batched arrivals fold into the Misra–Gries summary in one tight
+    /// loop with the flush threshold `τ` hoisted out of it — `τ` only
+    /// changes on a broadcast, and a broadcast can only arrive after this
+    /// site pauses with a flushed summary, so hoisting is exact.
+    fn observe_batch(
+        &mut self,
+        inputs: impl IntoIterator<Item = WeightedItem>,
+        out: &mut Vec<P1Msg>,
+    ) {
+        let tau = self.tau();
+        for (item, weight) in inputs {
+            validate_weight(weight);
+            self.summary.update(item, weight);
+            if self.summary.total_weight() >= tau {
+                let mut flushed = MgSummary::new(self.summary.capacity());
+                std::mem::swap(&mut flushed, &mut self.summary);
+                out.push(P1Msg { summary: flushed });
+                return; // pause-on-message
+            }
+        }
+    }
+
     fn on_broadcast(&mut self, w_hat: &f64) {
         self.w_hat = *w_hat;
     }
@@ -148,7 +170,11 @@ mod tests {
         let mut exact = ExactWeightedCounter::new();
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..20_000u64 {
-            let item: Item = if rng.gen_bool(0.4) { 1 } else { rng.gen_range(2..500) };
+            let item: Item = if rng.gen_bool(0.4) {
+                1
+            } else {
+                rng.gen_range(2..500)
+            };
             let w: f64 = rng.gen_range(1.0..10.0);
             runner.feed((i % 5) as usize, (item, w));
             exact.update(item, w);
@@ -184,7 +210,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for i in 0..9_000u64 {
             // Item 42 gets one third of the arrivals.
-            let item: Item = if i % 3 == 0 { 42 } else { rng.gen_range(100..1000) };
+            let item: Item = if i % 3 == 0 {
+                42
+            } else {
+                rng.gen_range(100..1000)
+            };
             runner.feed((i % 3) as usize, (item, 1.0));
         }
         let hh = runner.coordinator().heavy_hitters(0.2, cfg.epsilon);
@@ -208,7 +238,10 @@ mod tests {
         let mut runner = deploy(&cfg);
         let mut rng = StdRng::seed_from_u64(4);
         for i in 0..5_000u64 {
-            runner.feed((i % 4) as usize, (rng.gen_range(0..50), rng.gen_range(1.0..3.0)));
+            runner.feed(
+                (i % 4) as usize,
+                (rng.gen_range(0..50), rng.gen_range(1.0..3.0)),
+            );
         }
         for s in runner.sites() {
             assert!(s.w_hat > 1.0, "a site never saw a broadcast");

@@ -109,7 +109,13 @@ impl P2Site {
             Some(cap) => DeltaStore::Mg(MgSummary::new(cap)),
             None => DeltaStore::Exact(HashMap::new()),
         };
-        P2Site { deltas, w_local: 0.0, sites: cfg.sites, epsilon: cfg.epsilon, w_hat: 1.0 }
+        P2Site {
+            deltas,
+            w_local: 0.0,
+            sites: cfg.sites,
+            epsilon: cfg.epsilon,
+            w_hat: 1.0,
+        }
     }
 
     /// Send threshold `(ε/m)·Ŵ`.
@@ -137,6 +143,35 @@ impl Site for P2Site {
         if delta >= threshold {
             let taken = self.deltas.take(item);
             out.push(P2Msg::Element(item, taken));
+        }
+    }
+
+    /// Batched arrivals run the two per-arrival threshold tests in one
+    /// tight loop with the send threshold `(ε/m)·Ŵ` hoisted out of it.
+    /// `Ŵ` only changes on a broadcast, which can only arrive after this
+    /// site pauses with a message, so the hoist is exact — message counts
+    /// and contents are identical to per-item execution.
+    fn observe_batch(
+        &mut self,
+        inputs: impl IntoIterator<Item = WeightedItem>,
+        out: &mut Vec<P2Msg>,
+    ) {
+        let threshold = self.threshold();
+        for (item, weight) in inputs {
+            validate_weight(weight);
+            self.w_local += weight;
+            if self.w_local >= threshold {
+                out.push(P2Msg::Total(self.w_local));
+                self.w_local = 0.0;
+            }
+            let delta = self.deltas.add(item, weight);
+            if delta >= threshold {
+                let taken = self.deltas.take(item);
+                out.push(P2Msg::Element(item, taken));
+            }
+            if !out.is_empty() {
+                return; // pause-on-message
+            }
         }
     }
 
@@ -193,7 +228,12 @@ impl P2Coordinator {
             Some(cap) => CoordStore::Mg(MgSummary::new(cap)),
             None => CoordStore::Exact(HashMap::new()),
         };
-        P2Coordinator { w_hat: 1.0, msg_count: 0, sites: cfg.sites, counts }
+        P2Coordinator {
+            w_hat: 1.0,
+            msg_count: 0,
+            sites: cfg.sites,
+            counts,
+        }
     }
 }
 
@@ -259,7 +299,11 @@ mod tests {
         let mut exact = ExactWeightedCounter::new();
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
-            let item: Item = if rng.gen_bool(0.3) { 7 } else { rng.gen_range(0..300) };
+            let item: Item = if rng.gen_bool(0.3) {
+                7
+            } else {
+                rng.gen_range(0..300)
+            };
             let w: f64 = rng.gen_range(1.0..10.0);
             runner.feed((i % cfg.sites as u64) as usize, (item, w));
             exact.update(item, w);
@@ -274,7 +318,11 @@ mod tests {
         let w = exact.total_weight();
         for (e, f) in exact.iter() {
             let err = (runner.coordinator().estimate(e) - f).abs();
-            assert!(err <= cfg.epsilon * w + 1e-6, "item {e}: {err} > εW = {}", cfg.epsilon * w);
+            assert!(
+                err <= cfg.epsilon * w + 1e-6,
+                "item {e}: {err} > εW = {}",
+                cfg.epsilon * w
+            );
         }
     }
 
@@ -284,7 +332,10 @@ mod tests {
         let (runner, exact) = run_random(&cfg, &P2Options::default(), 20_000, 2);
         let w = exact.total_weight();
         let w_hat = runner.coordinator().total_weight();
-        assert!((w - w_hat).abs() <= cfg.epsilon * w + 1e-6, "Ŵ={w_hat} vs W={w}");
+        assert!(
+            (w - w_hat).abs() <= cfg.epsilon * w + 1e-6,
+            "Ŵ={w_hat} vs W={w}"
+        );
     }
 
     #[test]
@@ -296,7 +347,11 @@ mod tests {
         let mut r1 = super::super::p1::deploy(&cfg);
         let mut rng = StdRng::seed_from_u64(3);
         for i in 0..n {
-            let item: Item = if rng.gen_bool(0.3) { 7 } else { rng.gen_range(0..300) };
+            let item: Item = if rng.gen_bool(0.3) {
+                7
+            } else {
+                rng.gen_range(0..300)
+            };
             let w: f64 = rng.gen_range(1.0..10.0);
             r1.feed((i % 5) as usize, (item, w));
         }
@@ -313,7 +368,10 @@ mod tests {
         let cfg = HhConfig::new(5, 0.05);
         // Paper's space reduction: ⌈2m/ε⌉ counters.
         let cap = (2.0 * cfg.sites as f64 / cfg.epsilon).ceil() as usize;
-        let opts = P2Options { mg_site_capacity: Some(cap), ..Default::default() };
+        let opts = P2Options {
+            mg_site_capacity: Some(cap),
+            ..Default::default()
+        };
         let (runner, exact) = run_random(&cfg, &opts, 30_000, 4);
         let w = exact.total_weight();
         for (e, f) in exact.iter() {
@@ -334,7 +392,10 @@ mod tests {
         for (e, f) in exact.iter() {
             let err = (runner.coordinator().estimate(e) - f).abs();
             // Coordinator MG adds at most W/(cap+1) ≤ εW/2 undercount.
-            assert!(err <= 1.5 * cfg.epsilon * w + 1e-6, "MG coordinator: item {e}: {err}");
+            assert!(
+                err <= 1.5 * cfg.epsilon * w + 1e-6,
+                "MG coordinator: item {e}: {err}"
+            );
         }
         // Heavy hitters still found.
         let hh = runner.coordinator().heavy_hitters(0.2, cfg.epsilon);

@@ -53,6 +53,23 @@ impl Site for P3Site {
         }
     }
 
+    /// Batched arrivals draw priorities in one tight loop. The RNG is
+    /// consumed in exactly the per-item order and `τ` only changes after
+    /// a pause, so forwarded records are identical to per-item execution.
+    fn observe_batch(
+        &mut self,
+        inputs: impl IntoIterator<Item = WeightedItem>,
+        out: &mut Vec<P3Msg>,
+    ) {
+        for (item, weight) in inputs {
+            validate_weight(weight);
+            if let Some(rho) = self.inner.observe(weight) {
+                out.push(P3Msg { item, weight, rho });
+                return; // pause-on-message
+            }
+        }
+    }
+
     fn on_broadcast(&mut self, tau: &f64) {
         self.inner.set_tau(*tau);
     }
@@ -85,7 +102,11 @@ impl Coordinator for P3Coordinator {
     type Broadcast = f64;
 
     fn receive(&mut self, _from: SiteId, msg: P3Msg, out: &mut Vec<f64>) {
-        let entry = SampleEntry { payload: msg.item, weight: msg.weight, rho: msg.rho };
+        let entry = SampleEntry {
+            payload: msg.item,
+            weight: msg.weight,
+            rho: msg.rho,
+        };
         if let Some(new_tau) = self.inner.receive(entry) {
             out.push(new_tau);
         }
@@ -124,7 +145,11 @@ impl HhEstimator for P3Coordinator {
             .into_iter()
             .filter(|&(_, w)| w >= threshold)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN estimate").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN estimate")
+                .then(a.0.cmp(&b.0))
+        });
         out
     }
 }
@@ -132,9 +157,16 @@ impl HhEstimator for P3Coordinator {
 /// Builds a P3 deployment (sample size from the config).
 pub fn deploy(cfg: &HhConfig) -> Runner<P3Site, P3Coordinator> {
     let sites = (0..cfg.sites)
-        .map(|i| P3Site { inner: PrioritySite::new(cfg.site_seed(i)) })
+        .map(|i| P3Site {
+            inner: PrioritySite::new(cfg.site_seed(i)),
+        })
         .collect();
-    Runner::new(sites, P3Coordinator { inner: RoundCoordinator::new(cfg.sample_size()) })
+    Runner::new(
+        sites,
+        P3Coordinator {
+            inner: RoundCoordinator::new(cfg.sample_size()),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -153,7 +185,11 @@ mod tests {
         let mut exact = ExactWeightedCounter::new();
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
-            let item: Item = if rng.gen_bool(0.25) { 1 } else { rng.gen_range(2..400) };
+            let item: Item = if rng.gen_bool(0.25) {
+                1
+            } else {
+                rng.gen_range(2..400)
+            };
             let w: f64 = rng.gen_range(1.0..8.0);
             runner.feed((i % cfg.sites as u64) as usize, (item, w));
             exact.update(item, w);
@@ -225,7 +261,10 @@ mod tests {
         let mut runner = deploy(&cfg);
         let mut rng = StdRng::seed_from_u64(5);
         for i in 0..5_000u64 {
-            runner.feed((i % 2) as usize, (rng.gen_range(0..50), rng.gen_range(1.0..4.0)));
+            runner.feed(
+                (i % 2) as usize,
+                (rng.gen_range(0..50), rng.gen_range(1.0..4.0)),
+            );
         }
         assert!(runner.coordinator().inner.tau() > 1.0, "τ never advanced");
         assert!(runner.stats().broadcast_events > 0);

@@ -56,6 +56,25 @@ impl Site for P3wrSite {
         }
     }
 
+    /// Batched arrivals run the geometric-gap sampler in one tight loop;
+    /// RNG order and hit production match per-item execution exactly.
+    fn observe_batch(
+        &mut self,
+        inputs: impl IntoIterator<Item = WeightedItem>,
+        out: &mut Vec<P3wrMsg>,
+    ) {
+        for (item, weight) in inputs {
+            validate_weight(weight);
+            self.inner.observe(weight, &mut self.scratch);
+            if !self.scratch.is_empty() {
+                for hit in self.scratch.drain(..) {
+                    out.push(P3wrMsg { hit, item, weight });
+                }
+                return; // pause-on-message
+            }
+        }
+    }
+
     fn on_broadcast(&mut self, tau: &f64) {
         self.inner.set_tau(*tau);
     }
@@ -117,7 +136,11 @@ impl HhEstimator for P3wrCoordinator {
             .into_iter()
             .filter(|&(_, w)| w >= threshold)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN estimate").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN estimate")
+                .then(a.0.cmp(&b.0))
+        });
         out
     }
 }
@@ -126,9 +149,17 @@ impl HhEstimator for P3wrCoordinator {
 pub fn deploy(cfg: &HhConfig) -> Runner<P3wrSite, P3wrCoordinator> {
     let s = cfg.sample_size();
     let sites = (0..cfg.sites)
-        .map(|i| P3wrSite { inner: WrSite::new(s, cfg.site_seed(i)), scratch: Vec::new() })
+        .map(|i| P3wrSite {
+            inner: WrSite::new(s, cfg.site_seed(i)),
+            scratch: Vec::new(),
+        })
         .collect();
-    Runner::new(sites, P3wrCoordinator { inner: WrCoordinator::new(s) })
+    Runner::new(
+        sites,
+        P3wrCoordinator {
+            inner: WrCoordinator::new(s),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -147,7 +178,11 @@ mod tests {
         let mut exact = ExactWeightedCounter::new();
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
-            let item: Item = if rng.gen_bool(0.3) { 1 } else { rng.gen_range(2..200) };
+            let item: Item = if rng.gen_bool(0.3) {
+                1
+            } else {
+                rng.gen_range(2..200)
+            };
             let w: f64 = rng.gen_range(1.0..6.0);
             runner.feed((i % cfg.sites as u64) as usize, (item, w));
             exact.update(item, w);
@@ -197,7 +232,11 @@ mod tests {
         let mut r_wor = super::super::p3::deploy(&cfg);
         let mut rng = StdRng::seed_from_u64(4);
         for i in 0..n {
-            let item: Item = if rng.gen_bool(0.3) { 1 } else { rng.gen_range(2..200) };
+            let item: Item = if rng.gen_bool(0.3) {
+                1
+            } else {
+                rng.gen_range(2..200)
+            };
             let w: f64 = rng.gen_range(1.0..6.0);
             r_wor.feed((i % 3) as usize, (item, w));
         }

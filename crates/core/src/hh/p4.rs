@@ -128,6 +128,33 @@ impl Site for P4Site {
         }
     }
 
+    /// Batched arrivals hoist the send-rate parameter `p = 2√m/(ε·Ŵ)`
+    /// out of the loop: `Ŵ` only changes on a broadcast, which can only
+    /// arrive after this site pauses with a message, so the per-arrival
+    /// work reduces to the tracker update, one `exp`, one RNG draw and
+    /// the count update — with RNG order identical to per-item execution.
+    fn observe_batch(
+        &mut self,
+        inputs: impl IntoIterator<Item = WeightedItem>,
+        out: &mut Vec<P4Msg>,
+    ) {
+        let p = self.p();
+        for (item, weight) in inputs {
+            validate_weight(weight);
+            if let Some(report) = self.tracker.add(weight) {
+                out.push(P4Msg::Total(report));
+            }
+            let p_bar = 1.0 - (-p * weight).exp();
+            let count = self.counts.add(item, weight);
+            if self.rng.gen::<f64>() < p_bar {
+                out.push(P4Msg::Count(item, count));
+            }
+            if !out.is_empty() {
+                return; // pause-on-message
+            }
+        }
+    }
+
     fn on_broadcast(&mut self, w_hat: &f64) {
         self.tracker.on_broadcast(*w_hat);
     }
@@ -210,9 +237,12 @@ impl HhEstimator for P4Coordinator {
             *sums.entry(*e).or_insert(0.0) += count + adjust;
         }
         let threshold = (phi - epsilon / 2.0) * w_hat;
-        let mut out: Vec<(Item, f64)> =
-            sums.into_iter().filter(|&(_, w)| w >= threshold).collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN estimate").then(a.0.cmp(&b.0)));
+        let mut out: Vec<(Item, f64)> = sums.into_iter().filter(|&(_, w)| w >= threshold).collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN estimate")
+                .then(a.0.cmp(&b.0))
+        });
         out
     }
 }
@@ -244,7 +274,11 @@ mod tests {
         let mut exact = ExactWeightedCounter::new();
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
-            let item: Item = if rng.gen_bool(0.3) { 1 } else { rng.gen_range(2..300) };
+            let item: Item = if rng.gen_bool(0.3) {
+                1
+            } else {
+                rng.gen_range(2..300)
+            };
             let w: f64 = rng.gen_range(1.0..5.0);
             runner.feed((i % cfg.sites as u64) as usize, (item, w));
             exact.update(item, w);
@@ -275,7 +309,11 @@ mod tests {
         let w = exact.total_weight();
         let received = runner.coordinator().total_weight();
         assert!(received <= w + 1e-6);
-        assert!(received >= w / 2.0, "received {received} below W/2 = {}", w / 2.0);
+        assert!(
+            received >= w / 2.0,
+            "received {received} below W/2 = {}",
+            w / 2.0
+        );
     }
 
     #[test]
@@ -315,7 +353,11 @@ mod tests {
         let mut exact = ExactWeightedCounter::new();
         let mut rng = StdRng::seed_from_u64(6);
         for i in 0..30_000u64 {
-            let item: Item = if rng.gen_bool(0.3) { 1 } else { rng.gen_range(2..300) };
+            let item: Item = if rng.gen_bool(0.3) {
+                1
+            } else {
+                rng.gen_range(2..300)
+            };
             let w: f64 = rng.gen_range(1.0..5.0);
             runner.feed((i % 4) as usize, (item, w));
             exact.update(item, w);

@@ -37,16 +37,18 @@
 //!
 //! ```
 //! use cma_core::hh::{p2, HhConfig, HhEstimator};
-//! use cma_stream::Runner;
+//! use cma_stream::partition::RoundRobin;
 //!
 //! let cfg = HhConfig::new(3, 0.05);
-//! let runner = p2::deploy(&cfg);
-//! let mut runner = runner;
+//! let mut runner = p2::deploy(&cfg);
 //! // item 7 is heavy: half the stream weight.
-//! for i in 0..3000u64 {
+//! let stream = (0..3000u64).map(|i| {
 //!     let item = if i % 2 == 0 { 7 } else { i % 100 };
-//!     runner.feed((i % 3) as usize, (item, 1.0));
-//! }
+//!     (item, 1.0)
+//! });
+//! // Deliver the whole stream in batches of 64 arrivals; batched
+//! // execution is observably identical to per-item `runner.feed`.
+//! runner.run_partitioned(stream, &mut RoundRobin::new(3), 64);
 //! let hh = runner.coordinator().heavy_hitters(0.3, 0.05);
 //! assert_eq!(hh[0].0, 7);
 //! ```

@@ -79,6 +79,29 @@ impl Site for MP1Site {
         }
     }
 
+    /// Batched rows stream into the Frequent Directions sketch in one
+    /// tight loop with the flush threshold `τ = (ε/2m)·F̂` hoisted out of
+    /// it — `F̂` only changes on a broadcast, which can only arrive after
+    /// this site pauses with a flushed sketch, so flush points (and
+    /// therefore message contents and costs) are identical to per-item
+    /// execution. FD's own shrink cadence is row-count driven and
+    /// unaffected by batching.
+    fn observe_batch(&mut self, inputs: impl IntoIterator<Item = Row>, out: &mut Vec<MP1Msg>) {
+        let tau = self.tau();
+        for row in inputs {
+            let w = row_weight(&row);
+            if w == 0.0 {
+                continue;
+            }
+            self.fd.update(&row);
+            if self.fd.frob_sq_seen() >= tau {
+                let (rows, mass) = self.fd.take();
+                out.push(MP1Msg { rows, mass });
+                return; // pause-on-message
+            }
+        }
+    }
+
     fn on_broadcast(&mut self, f_hat: &f64) {
         self.f_hat = *f_hat;
     }
@@ -155,8 +178,9 @@ mod tests {
         let mut truth = StreamingGram::new(cfg.dim);
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
-            let row: Row =
-                (0..cfg.dim).map(|_| random::standard_normal(&mut rng)).collect();
+            let row: Row = (0..cfg.dim)
+                .map(|_| random::standard_normal(&mut rng))
+                .collect();
             truth.update(&row);
             runner.feed(i % cfg.sites, row);
         }
@@ -167,8 +191,14 @@ mod tests {
     fn covariance_error_within_epsilon() {
         let cfg = MatrixConfig::new(4, 0.2, 6);
         let (runner, truth) = run_gaussian(&cfg, 4_000, 1);
-        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
-        assert!(err <= cfg.epsilon, "covariance error {err} > ε = {}", cfg.epsilon);
+        let err = truth
+            .error_of_sketch(&runner.coordinator().sketch())
+            .unwrap();
+        assert!(
+            err <= cfg.epsilon,
+            "covariance error {err} > ε = {}",
+            cfg.epsilon
+        );
     }
 
     #[test]
@@ -180,7 +210,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..20 {
             let x = random::unit_vector(&mut rng, 5);
-            let ax = truth.gram().apply(&x).iter().zip(&x).map(|(g, xi)| g * xi).sum::<f64>();
+            let ax = truth
+                .gram()
+                .apply(&x)
+                .iter()
+                .zip(&x)
+                .map(|(g, xi)| g * xi)
+                .sum::<f64>();
             let bx = sketch.apply_norm_sq(&x);
             assert!(bx <= ax + 1e-6 * truth.frob_sq(), "‖Bx‖² exceeded ‖Ax‖²");
         }

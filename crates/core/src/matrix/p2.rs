@@ -65,6 +65,9 @@ impl MessageCost for MP2Msg {
 pub struct MP2Site {
     /// Orthonormal basis rows (`d × d`).
     basis: Matrix,
+    /// Cached `basisᵀ` for the batched projection path; invalidated
+    /// whenever a decomposition rotates the basis.
+    basis_t: Option<Matrix>,
     /// Squared singular values of `Bj` along `basis` rows.
     sig2: Vec<f64>,
     /// Pending rows in `basis` coordinates.
@@ -77,6 +80,8 @@ pub struct MP2Site {
     f_local: f64,
     /// Batch slack (see [`MP2Options::batch_slack`]).
     slack: f64,
+    /// Deferred batch trigger (see [`MP2Options::deferred_batch_check`]).
+    deferred: bool,
     sites: usize,
     epsilon: f64,
     f_hat: f64,
@@ -94,11 +99,29 @@ pub struct MP2Options {
     /// send threshold `3ε/4m`) and sends at most `1/(1−slack)`× more
     /// messages.
     pub batch_slack: f64,
+    /// Run the decomposition trigger **once per delivered batch** instead
+    /// of once per row (`false`, the default, is the exact per-item
+    /// semantics pinned down by the `batch_parity` suite).
+    ///
+    /// With the deferred check a site may exceed the
+    /// `max_x ‖Bjx‖² < (ε/m)·F̂` invariant *within* a batch by at most
+    /// the batch's squared-Frobenius mass, so the coordinator's error
+    /// bound relaxes from `ε‖A‖²_F` to `ε‖A‖²_F + Σⱼ(per-batch mass)` —
+    /// a slack that is fixed by the batch size and therefore vanishes
+    /// relative to `‖A‖²_F` as the stream grows. In exchange the
+    /// eigensolve count drops from one per
+    /// `slack·(ε/m)·F̂` of mass to at most one per batch, which is the
+    /// dominant cost of this protocol — the `protocols` benchmark's
+    /// `+defer` rows measure the resulting throughput win.
+    pub deferred_batch_check: bool,
 }
 
 impl Default for MP2Options {
     fn default() -> Self {
-        MP2Options { batch_slack: 0.25 }
+        MP2Options {
+            batch_slack: 0.25,
+            deferred_batch_check: false,
+        }
     }
 }
 
@@ -110,12 +133,14 @@ impl MP2Site {
         );
         MP2Site {
             basis: Matrix::identity(cfg.dim),
+            basis_t: None,
             sig2: vec![0.0; cfg.dim],
             pending: Vec::new(),
             pending_mass: 0.0,
             smax2: 0.0,
             f_local: 0.0,
             slack: opts.batch_slack,
+            deferred: opts.deferred_batch_check,
             sites: cfg.sites,
             epsilon: cfg.epsilon,
             f_hat: 1.0,
@@ -130,6 +155,26 @@ impl MP2Site {
     /// Ship threshold `(1 − slack)·(ε/m)·F̂`.
     fn send_threshold(&self) -> f64 {
         (1.0 - self.slack) * self.threshold()
+    }
+
+    /// Projects a run of raw rows into the site's basis with one matrix
+    /// product (`R·Vᵀ`, `k×d` by `d×d`) instead of `k` separate
+    /// matrix–vector products, appending the results to `pending`. The
+    /// projection is exactly `basis.apply` row-by-row, just batched.
+    fn project_rows(&mut self, raw: &mut Vec<Row>) {
+        match raw.len() {
+            0 => {}
+            1 => {
+                self.pending.push(self.basis.apply(&raw[0]));
+                raw.clear();
+            }
+            _ => {
+                let bt = self.basis_t.get_or_insert_with(|| self.basis.transpose());
+                let prod = Matrix::from_rows(raw).matmul(bt);
+                self.pending.extend(prod.iter_rows().map(<[f64]>::to_vec));
+                raw.clear();
+            }
+        }
     }
 
     /// Eigendecomposes `diag(σ²) + Σ c cᵀ` (co-rotating the basis), ships
@@ -149,9 +194,10 @@ impl MP2Site {
         let basis = std::mem::replace(&mut self.basis, Matrix::zeros(0, 0));
         // 1e-9 relative accuracy: ample for threshold comparisons at
         // scale ε·F̂/m, and materially faster than full precision here.
-        let eig = jacobi_eigen_sym_with_basis_tol(&g, basis, 1e-9)
-            .expect("MT-P2: eigensolver diverged");
+        let eig =
+            jacobi_eigen_sym_with_basis_tol(&g, basis, 1e-9).expect("MT-P2: eigensolver diverged");
         self.basis = eig.vectors;
+        self.basis_t = None; // rotated: the cached transpose is stale
 
         let send = self.send_threshold();
         self.smax2 = 0.0;
@@ -169,6 +215,40 @@ impl MP2Site {
                 self.sig2[i] = s2;
                 self.smax2 = self.smax2.max(s2);
             }
+        }
+    }
+}
+
+impl MP2Site {
+    /// [`MP2Options::deferred_batch_check`] batch path: per-row work is
+    /// scalar only (mass accounting and the `F̂` report), and the
+    /// decomposition trigger runs **once**, after the whole batch has
+    /// been absorbed. Consumes the entire iterator — messages are shipped
+    /// at the batch boundary, which is exactly the boundary-lag this mode
+    /// trades for eliding eigensolves.
+    fn observe_batch_deferred(
+        &mut self,
+        inputs: impl IntoIterator<Item = Row>,
+        out: &mut Vec<MP2Msg>,
+    ) {
+        let threshold = self.threshold();
+        let mut raw: Vec<Row> = Vec::new();
+        for row in inputs {
+            let w = row_weight(&row);
+            if w == 0.0 {
+                continue;
+            }
+            self.f_local += w;
+            if self.f_local >= threshold {
+                out.push(MP2Msg::Scalar(self.f_local));
+                self.f_local = 0.0;
+            }
+            raw.push(row);
+            self.pending_mass += w;
+        }
+        self.project_rows(&mut raw);
+        if self.smax2 + self.pending_mass >= threshold {
+            self.decompose_and_send(out);
         }
     }
 }
@@ -196,6 +276,48 @@ impl Site for MP2Site {
         }
     }
 
+    /// Batched rows defer the `O(d²)` basis projection: both send
+    /// triggers (the scalar report and the decomposition) depend only on
+    /// row *masses*, so the batch runs on scalar arithmetic and the
+    /// buffered rows are projected in bulk — one `k×d · d×d` matrix
+    /// product per run ([`MP2Site::project_rows`]) — exactly when a
+    /// decomposition (or the end of the batch) needs them. Thresholds are
+    /// hoisted: `F̂` only changes on a broadcast, which only arrives
+    /// after a pause. Message contents and timing are identical to
+    /// per-item execution.
+    fn observe_batch(&mut self, inputs: impl IntoIterator<Item = Row>, out: &mut Vec<MP2Msg>) {
+        if self.deferred {
+            return self.observe_batch_deferred(inputs, out);
+        }
+        let threshold = self.threshold();
+        let mut raw: Vec<Row> = Vec::new();
+        for row in inputs {
+            let w = row_weight(&row);
+            if w == 0.0 {
+                continue;
+            }
+            self.f_local += w;
+            if self.f_local >= threshold {
+                out.push(MP2Msg::Scalar(self.f_local));
+                self.f_local = 0.0;
+            }
+            raw.push(row);
+            self.pending_mass += w;
+            if self.smax2 + self.pending_mass >= threshold {
+                self.project_rows(&mut raw);
+                self.decompose_and_send(out);
+            }
+            if !out.is_empty() {
+                // Keep site state whole across the pause: everything
+                // buffered so far must be in `pending` before broadcasts
+                // (and the next batch) arrive.
+                self.project_rows(&mut raw);
+                return; // pause-on-message
+            }
+        }
+        self.project_rows(&mut raw);
+    }
+
     fn on_broadcast(&mut self, f_hat: &f64) {
         self.f_hat = *f_hat;
     }
@@ -212,7 +334,12 @@ pub struct MP2Coordinator {
 
 impl MP2Coordinator {
     fn new(cfg: &MatrixConfig) -> Self {
-        MP2Coordinator { b: Matrix::with_cols(cfg.dim), f_hat: 1.0, msg_count: 0, sites: cfg.sites }
+        MP2Coordinator {
+            b: Matrix::with_cols(cfg.dim),
+            f_hat: 1.0,
+            msg_count: 0,
+            sites: cfg.sites,
+        }
     }
 
     /// Number of direction rows received so far.
@@ -362,6 +489,33 @@ impl Site for MP2BoundedSite {
         }
     }
 
+    /// Batched rows hoist both thresholds out of the loop (exact: `F̂`
+    /// only changes after a pause). The FD update itself stays per-row —
+    /// its shrink cadence is part of the sketch's state evolution.
+    fn observe_batch(&mut self, inputs: impl IntoIterator<Item = Row>, out: &mut Vec<MP2Msg>) {
+        let send = self.send_threshold();
+        let scalar = self.scalar_threshold();
+        for row in inputs {
+            let w = row_weight(&row);
+            if w == 0.0 {
+                continue;
+            }
+            self.f_local += w;
+            if self.f_local >= scalar {
+                out.push(MP2Msg::Scalar(self.f_local));
+                self.f_local = 0.0;
+            }
+            self.fd_a.update(&row);
+            self.pending_mass += w;
+            if self.smax2 + self.pending_mass >= send {
+                self.decompose_and_send(out);
+            }
+            if !out.is_empty() {
+                return; // pause-on-message
+            }
+        }
+    }
+
     fn on_broadcast(&mut self, f_hat: &f64) {
         self.f_hat = *f_hat;
     }
@@ -390,8 +544,9 @@ mod tests {
         let mut truth = StreamingGram::new(cfg.dim);
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
-            let row: Row =
-                (0..cfg.dim).map(|_| random::standard_normal(&mut rng)).collect();
+            let row: Row = (0..cfg.dim)
+                .map(|_| random::standard_normal(&mut rng))
+                .collect();
             truth.update(&row);
             runner.feed(i % cfg.sites, row);
         }
@@ -402,7 +557,9 @@ mod tests {
     fn covariance_error_within_epsilon() {
         let cfg = MatrixConfig::new(4, 0.2, 6);
         let (runner, truth) = run_gaussian(&cfg, 4_000, 1);
-        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+        let err = truth
+            .error_of_sketch(&runner.coordinator().sketch())
+            .unwrap();
         assert!(err <= cfg.epsilon, "covariance error {err} > ε");
     }
 
@@ -415,10 +572,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..25 {
             let x = random::unit_vector(&mut rng, 5);
-            let ax: f64 =
-                truth.gram().apply(&x).iter().zip(&x).map(|(g, xi)| g * xi).sum();
+            let ax: f64 = truth
+                .gram()
+                .apply(&x)
+                .iter()
+                .zip(&x)
+                .map(|(g, xi)| g * xi)
+                .sum();
             let bx = sketch.apply_norm_sq(&x);
-            assert!(bx <= ax + 1e-6 * truth.frob_sq(), "‖Bx‖² = {bx} > ‖Ax‖² = {ax}");
+            assert!(
+                bx <= ax + 1e-6 * truth.frob_sq(),
+                "‖Bx‖² = {bx} > ‖Ax‖² = {ax}"
+            );
         }
     }
 
@@ -477,7 +642,9 @@ mod tests {
             truth.update(&row);
             runner.feed(i % 3, row);
         }
-        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+        let err = truth
+            .error_of_sketch(&runner.coordinator().sketch())
+            .unwrap();
         assert!(err <= cfg.epsilon, "bounded variant error {err} > ε");
     }
 

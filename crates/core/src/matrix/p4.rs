@@ -95,9 +95,40 @@ impl Site for MP4Site {
         if self.rng.gen::<f64>() < p_bar {
             // With V the standard basis, ‖Aj vᵢ‖² = Gj[i][i].
             let d = self.gram.rows();
-            let z: Vec<f64> =
-                (0..d).map(|i| (self.gram[(i, i)] + 1.0 / p).sqrt()).collect();
+            let z: Vec<f64> = (0..d)
+                .map(|i| (self.gram[(i, i)] + 1.0 / p).sqrt())
+                .collect();
             out.push(MP4Msg::Z(z));
+        }
+    }
+
+    /// Batched rows hoist the send-rate parameter `p = 2√m/(ε·F̂)` out of
+    /// the loop (`F̂` only changes on a broadcast, which only arrives
+    /// after a pause); the exact Gram update stays per-row because a send
+    /// may read its diagonal after any arrival. RNG order, message counts
+    /// and contents are identical to per-item execution.
+    fn observe_batch(&mut self, inputs: impl IntoIterator<Item = Row>, out: &mut Vec<MP4Msg>) {
+        let p = self.p();
+        for row in inputs {
+            let w = row_weight(&row);
+            if w == 0.0 {
+                continue;
+            }
+            if let Some(report) = self.tracker.add(w) {
+                out.push(MP4Msg::Total(report));
+            }
+            accumulate_outer(&mut self.gram, &row);
+            let p_bar = 1.0 - (-p * w).exp();
+            if self.rng.gen::<f64>() < p_bar {
+                let d = self.gram.rows();
+                let z: Vec<f64> = (0..d)
+                    .map(|i| (self.gram[(i, i)] + 1.0 / p).sqrt())
+                    .collect();
+                out.push(MP4Msg::Z(z));
+            }
+            if !out.is_empty() {
+                return; // pause-on-message
+            }
         }
     }
 
@@ -197,7 +228,9 @@ mod tests {
             truth.update(&row);
             runner.feed(i % 2, row);
         }
-        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+        let err = truth
+            .error_of_sketch(&runner.coordinator().sketch())
+            .unwrap();
         assert!(err < 0.2, "axis-aligned error {err} unexpectedly large");
     }
 
@@ -219,7 +252,10 @@ mod tests {
         }
         let err_p4 = truth.error_of_sketch(&p4.coordinator().sketch()).unwrap();
         let err_p2 = truth.error_of_sketch(&p2.coordinator().sketch()).unwrap();
-        assert!(err_p2 <= cfg.epsilon, "P2 must meet its contract ({err_p2})");
+        assert!(
+            err_p2 <= cfg.epsilon,
+            "P2 must meet its contract ({err_p2})"
+        );
         assert!(
             err_p4 > 3.0 * err_p2,
             "P4 ({err_p4}) should be far worse than P2 ({err_p2})"
@@ -254,6 +290,9 @@ mod tests {
         }
         let received = runner.coordinator().frob_estimate();
         assert!(received <= total + 1e-6);
-        assert!(received >= total / 2.0, "tracker lost too much: {received} vs {total}");
+        assert!(
+            received >= total / 2.0,
+            "tracker lost too much: {received} vs {total}"
+        );
     }
 }

@@ -39,7 +39,10 @@ impl PrioritySite {
     /// Creates a site with the initial threshold `τ = 1` (every arrival
     /// with `w ≥ 1` is forwarded until the first round ends).
     pub fn new(seed: u64) -> Self {
-        PrioritySite { tau: 1.0, rng: StdRng::seed_from_u64(seed) }
+        PrioritySite {
+            tau: 1.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Current threshold `τ`.
@@ -81,7 +84,12 @@ impl<T> RoundCoordinator<T> {
     /// Panics if `s == 0`.
     pub fn new(s: usize) -> Self {
         assert!(s >= 1, "RoundCoordinator: sample size must be positive");
-        RoundCoordinator { s, tau: 1.0, q_cur: Vec::new(), q_next: Vec::new() }
+        RoundCoordinator {
+            s,
+            tau: 1.0,
+            q_cur: Vec::new(),
+            q_next: Vec::new(),
+        }
     }
 
     /// Current threshold `τ`.
@@ -96,7 +104,20 @@ impl<T> RoundCoordinator<T> {
 
     /// Folds in one forwarded record; returns `Some(new τ)` when the
     /// round ends and the new threshold must be broadcast.
+    ///
+    /// Records with `ρ < τ` are discarded. Under synchronous delivery
+    /// they cannot occur (sites only forward `ρ ≥ τ` and see every
+    /// broadcast before their next arrival); under asynchronous delivery
+    /// a site with a stale, smaller threshold forwards records the
+    /// current round no longer wants, and admitting them would pollute
+    /// the priority sample — each sub-threshold record would be granted
+    /// an estimator weight `w̄ = max(w, ρ̂)` it has not earned,
+    /// systematically inflating the estimates. (The message is still
+    /// charged to communication by the runner: it was sent.)
     pub fn receive(&mut self, entry: SampleEntry<T>) -> Option<f64> {
+        if entry.rho < self.tau {
+            return None;
+        }
         if entry.rho > 2.0 * self.tau {
             self.q_next.push(entry);
         } else {
@@ -186,7 +207,11 @@ impl WrSite {
     /// Creates a site for `s` samplers with initial threshold 1.
     pub fn new(s: usize, seed: u64) -> Self {
         assert!(s >= 1, "WrSite: need at least one sampler");
-        WrSite { s, tau: 1.0, rng: StdRng::seed_from_u64(seed) }
+        WrSite {
+            s,
+            tau: 1.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Current threshold.
@@ -207,7 +232,10 @@ impl WrSite {
             // Heavy arrival: every sampler forwards.
             for t in 0..self.s {
                 let r = 1.0 - self.rng.gen::<f64>();
-                hits.push(WrHit { sampler: t, rho: weight / r });
+                hits.push(WrHit {
+                    sampler: t,
+                    rho: weight / r,
+                });
             }
             return;
         }
@@ -222,7 +250,10 @@ impl WrSite {
                 break;
             }
             let r = p * (1.0 - self.rng.gen::<f64>()); // U(0, p]
-            hits.push(WrHit { sampler: idx as usize, rho: weight / r });
+            hits.push(WrHit {
+                sampler: idx as usize,
+                rho: weight / r,
+            });
             idx += 1.0;
         }
     }
@@ -261,9 +292,18 @@ impl<T> WrCoordinator<T> {
     /// Panics if `s == 0`.
     pub fn new(s: usize) -> Self {
         assert!(s >= 1, "WrCoordinator: need at least one sampler");
-        let slots =
-            (0..s).map(|_| WrSlot { rho1: 0.0, rho2: 0.0, top: None }).collect::<Vec<_>>();
-        WrCoordinator { tau: 1.0, slots, pending: s }
+        let slots = (0..s)
+            .map(|_| WrSlot {
+                rho1: 0.0,
+                rho2: 0.0,
+                top: None,
+            })
+            .collect::<Vec<_>>();
+        WrCoordinator {
+            tau: 1.0,
+            slots,
+            pending: s,
+        }
     }
 
     /// Current threshold `τ`.
@@ -293,8 +333,11 @@ impl<T> WrCoordinator<T> {
         }
         if self.pending == 0 {
             self.tau *= 2.0;
-            self.pending =
-                self.slots.iter().filter(|sl| sl.rho2 <= 2.0 * self.tau).count();
+            self.pending = self
+                .slots
+                .iter()
+                .filter(|sl| sl.rho2 <= 2.0 * self.tau)
+                .count();
             Some(self.tau)
         } else {
             None
@@ -337,7 +380,11 @@ mod tests {
         // Three high-priority records end round 1.
         let mut broadcasts = 0;
         for i in 0..3 {
-            let bc = c.receive(SampleEntry { payload: i, weight: 1.0, rho: 10.0 });
+            let bc = c.receive(SampleEntry {
+                payload: i,
+                weight: 1.0,
+                rho: 10.0,
+            });
             if bc.is_some() {
                 broadcasts += 1;
             }
@@ -348,7 +395,11 @@ mod tests {
         // high-priority records end the next round immediately? No — the
         // three retained records already have ρ > 2τ, so |Qj+1| = 3 ≥ s
         // means the *next* receive triggers another doubling.
-        let bc = c.receive(SampleEntry { payload: 9, weight: 1.0, rho: 3.0 });
+        let bc = c.receive(SampleEntry {
+            payload: 9,
+            weight: 1.0,
+            rho: 3.0,
+        });
         assert!(bc.is_some());
         assert_eq!(c.tau(), 4.0);
     }
@@ -356,8 +407,16 @@ mod tests {
     #[test]
     fn small_sample_uses_exact_weights() {
         let mut c: RoundCoordinator<u64> = RoundCoordinator::new(10);
-        c.receive(SampleEntry { payload: 1, weight: 4.0, rho: 7.0 });
-        c.receive(SampleEntry { payload: 2, weight: 5.0, rho: 1.5 });
+        c.receive(SampleEntry {
+            payload: 1,
+            weight: 4.0,
+            rho: 7.0,
+        });
+        c.receive(SampleEntry {
+            payload: 2,
+            weight: 5.0,
+            rho: 1.5,
+        });
         let sample = c.weighted_sample();
         assert_eq!(sample.len(), 2);
         let total: f64 = sample.iter().map(|(_, w)| w).sum();
@@ -367,9 +426,21 @@ mod tests {
     #[test]
     fn large_sample_excludes_threshold_record() {
         let mut c: RoundCoordinator<u64> = RoundCoordinator::new(2);
-        c.receive(SampleEntry { payload: 1, weight: 1.0, rho: 1.2 });
-        c.receive(SampleEntry { payload: 2, weight: 1.0, rho: 1.5 });
-        c.receive(SampleEntry { payload: 3, weight: 1.0, rho: 1.9 });
+        c.receive(SampleEntry {
+            payload: 1,
+            weight: 1.0,
+            rho: 1.2,
+        });
+        c.receive(SampleEntry {
+            payload: 2,
+            weight: 1.0,
+            rho: 1.5,
+        });
+        c.receive(SampleEntry {
+            payload: 3,
+            weight: 1.0,
+            rho: 1.9,
+        });
         // 3 records > s = 2: drop the ρ=1.2 record, w̄ = max(1, 1.2).
         let sample = c.weighted_sample();
         assert_eq!(sample.len(), 2);
@@ -437,10 +508,44 @@ mod tests {
     fn wr_round_advances() {
         let mut coord: WrCoordinator<u64> = WrCoordinator::new(2);
         // Both samplers need ρ2 > 2τ = 2.
-        assert!(coord.receive(WrHit { sampler: 0, rho: 5.0 }, 1, 1.0).is_none());
-        assert!(coord.receive(WrHit { sampler: 0, rho: 4.0 }, 2, 1.0).is_none());
-        assert!(coord.receive(WrHit { sampler: 1, rho: 6.0 }, 3, 1.0).is_none());
-        let bc = coord.receive(WrHit { sampler: 1, rho: 3.0 }, 4, 1.0);
+        assert!(coord
+            .receive(
+                WrHit {
+                    sampler: 0,
+                    rho: 5.0
+                },
+                1,
+                1.0
+            )
+            .is_none());
+        assert!(coord
+            .receive(
+                WrHit {
+                    sampler: 0,
+                    rho: 4.0
+                },
+                2,
+                1.0
+            )
+            .is_none());
+        assert!(coord
+            .receive(
+                WrHit {
+                    sampler: 1,
+                    rho: 6.0
+                },
+                3,
+                1.0
+            )
+            .is_none());
+        let bc = coord.receive(
+            WrHit {
+                sampler: 1,
+                rho: 3.0,
+            },
+            4,
+            1.0,
+        );
         assert_eq!(bc, Some(2.0));
     }
 }

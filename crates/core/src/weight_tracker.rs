@@ -34,7 +34,11 @@ impl SiteWeightTracker {
     /// bootstrap all the paper's protocols use.
     pub fn new(sites: usize) -> Self {
         assert!(sites >= 1, "SiteWeightTracker: need at least one site");
-        SiteWeightTracker { sites, unreported: 0.0, w_hat: 1.0 }
+        SiteWeightTracker {
+            sites,
+            unreported: 0.0,
+            w_hat: 1.0,
+        }
     }
 
     /// Current global estimate `Ŵ` known to this site.
@@ -74,7 +78,10 @@ pub struct CoordWeightTracker {
 impl CoordWeightTracker {
     /// Creates the coordinator half.
     pub fn new() -> Self {
-        CoordWeightTracker { received: 0.0, w_hat: 1.0 }
+        CoordWeightTracker {
+            received: 0.0,
+            w_hat: 1.0,
+        }
     }
 
     /// Latest broadcast estimate `Ŵ` (satisfies `Ŵ ≤ W ≤ 2Ŵ` once any
@@ -119,8 +126,7 @@ mod tests {
     #[test]
     fn maintains_two_approximation() {
         let m = 8;
-        let mut sites: Vec<SiteWeightTracker> =
-            (0..m).map(|_| SiteWeightTracker::new(m)).collect();
+        let mut sites: Vec<SiteWeightTracker> = (0..m).map(|_| SiteWeightTracker::new(m)).collect();
         let mut coord = CoordWeightTracker::new();
         let mut rng = StdRng::seed_from_u64(1);
         let mut w_true = 0.0;
@@ -141,7 +147,10 @@ mod tests {
             // Invariant (after warm-up past the initial estimate of 1):
             if w_true >= 2.0 {
                 let w_hat = coord.w_hat();
-                assert!(w_true <= 2.0 * w_hat + 1e-6, "W={w_true} > 2Ŵ={w_hat} at step {i}");
+                assert!(
+                    w_true <= 2.0 * w_hat + 1e-6,
+                    "W={w_true} > 2Ŵ={w_hat} at step {i}"
+                );
                 assert!(coord.received() <= w_true + 1e-6);
             }
         }

@@ -26,7 +26,11 @@ impl StreamingGram {
     /// Panics if `d == 0`.
     pub fn new(d: usize) -> Self {
         assert!(d >= 1, "StreamingGram: dimension must be positive");
-        StreamingGram { gram: Matrix::zeros(d, d), frob_sq: 0.0, rows: 0 }
+        StreamingGram {
+            gram: Matrix::zeros(d, d),
+            frob_sq: 0.0,
+            rows: 0,
+        }
     }
 
     /// Absorbs one row.
@@ -68,7 +72,11 @@ impl StreamingGram {
     /// # Panics
     /// Panics if `sketch.cols() != d`.
     pub fn error_of_sketch(&self, sketch: &Matrix) -> Result<f64, LinalgError> {
-        assert_eq!(sketch.cols(), self.dim(), "error_of_sketch: dimension mismatch");
+        assert_eq!(
+            sketch.cols(),
+            self.dim(),
+            "error_of_sketch: dimension mismatch"
+        );
         covariance_error(&self.gram, &sketch.gram(), self.frob_sq)
     }
 
@@ -81,7 +89,11 @@ impl StreamingGram {
     pub fn best_rank_k_error(&self, k: usize) -> Result<f64, LinalgError> {
         let eig = jacobi_eigen_sym(&self.gram)?;
         let lambda = eig.values.get(k).copied().unwrap_or(0.0).max(0.0);
-        Ok(if self.frob_sq > 0.0 { lambda / self.frob_sq } else { 0.0 })
+        Ok(if self.frob_sq > 0.0 {
+            lambda / self.frob_sq
+        } else {
+            0.0
+        })
     }
 
     /// Squared Frobenius error of projecting the (never materialised)
@@ -98,7 +110,11 @@ impl StreamingGram {
     /// # Panics
     /// Panics if `basis.cols() != d`.
     pub fn projection_error(&self, basis: &Matrix) -> f64 {
-        assert_eq!(basis.cols(), self.dim(), "projection_error: dimension mismatch");
+        assert_eq!(
+            basis.cols(),
+            self.dim(),
+            "projection_error: dimension mismatch"
+        );
         let mut captured = 0.0;
         for p in basis.iter_rows() {
             let gp = self.gram.apply(p);
@@ -247,7 +263,10 @@ mod tests {
             }
             let got = sg.projection_error(&basis);
             let want = sg.best_rank_k_residual(k).unwrap();
-            assert!((got - want).abs() < 1e-8 * sg.frob_sq().max(1.0), "k={k}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-8 * sg.frob_sq().max(1.0),
+                "k={k}: {got} vs {want}"
+            );
         }
     }
 

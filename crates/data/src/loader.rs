@@ -42,7 +42,11 @@ impl fmt::Display for LoadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "i/o error: {e}"),
-            LoadError::RaggedRow { line, found, expected } => {
+            LoadError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => {
                 write!(f, "line {line}: {found} fields, expected {expected}")
             }
             LoadError::BadNumber { line, column } => {
@@ -139,7 +143,10 @@ pub fn load_csv_reader<R: Read>(reader: R, opts: &CsvOptions) -> Result<Matrix, 
             if opts.skip_invalid_rows {
                 continue;
             }
-            return Err(LoadError::BadNumber { line: lineno, column });
+            return Err(LoadError::BadNumber {
+                line: lineno,
+                column,
+            });
         }
 
         match &mut matrix {
@@ -179,7 +186,10 @@ mod tests {
     #[test]
     fn skips_header_lines() {
         let data = "colA,colB\n1,2\n3,4\n";
-        let opts = CsvOptions { skip_lines: 1, ..Default::default() };
+        let opts = CsvOptions {
+            skip_lines: 1,
+            ..Default::default()
+        };
         let m = load_csv_reader(data.as_bytes(), &opts).unwrap();
         assert_eq!(m.rows(), 2);
     }
@@ -204,7 +214,10 @@ mod tests {
     #[test]
     fn strict_mode_reports_position() {
         let data = "1,2\n3,x\n";
-        let opts = CsvOptions { skip_invalid_rows: false, ..Default::default() };
+        let opts = CsvOptions {
+            skip_invalid_rows: false,
+            ..Default::default()
+        };
         match load_csv_reader(data.as_bytes(), &opts) {
             Err(LoadError::BadNumber { line: 2, column: 2 }) => {}
             other => panic!("unexpected result: {other:?}"),
@@ -215,7 +228,11 @@ mod tests {
     fn ragged_rows_error() {
         let data = "1,2\n3,4,5\n";
         match load_csv_reader(data.as_bytes(), &CsvOptions::default()) {
-            Err(LoadError::RaggedRow { line: 2, found: 3, expected: 2 }) => {}
+            Err(LoadError::RaggedRow {
+                line: 2,
+                found: 3,
+                expected: 2,
+            }) => {}
             other => panic!("unexpected result: {other:?}"),
         }
     }
@@ -223,7 +240,10 @@ mod tests {
     #[test]
     fn column_selection() {
         let data = "9,1,2\n9,3,4\n";
-        let opts = CsvOptions { keep_columns: vec![1, 2], ..Default::default() };
+        let opts = CsvOptions {
+            keep_columns: vec![1, 2],
+            ..Default::default()
+        };
         let m = load_csv_reader(data.as_bytes(), &opts).unwrap();
         assert_eq!((m.rows(), m.cols()), (2, 2));
         assert_eq!(m[(0, 0)], 1.0);
@@ -232,7 +252,10 @@ mod tests {
     #[test]
     fn custom_delimiter() {
         let data = "1 2\n3 4\n";
-        let opts = CsvOptions { delimiter: ' ', ..Default::default() };
+        let opts = CsvOptions {
+            delimiter: ' ',
+            ..Default::default()
+        };
         let m = load_csv_reader(data.as_bytes(), &opts).unwrap();
         assert_eq!(m[(1, 0)], 3.0);
     }

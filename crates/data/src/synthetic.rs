@@ -47,8 +47,14 @@ impl SyntheticMatrixStream {
     /// # Panics
     /// Panics if `spectrum` is empty or longer than `d`, or `beta ≤ 0`.
     pub fn new(d: usize, spectrum: &[f64], beta: f64, seed: u64) -> Self {
-        assert!(!spectrum.is_empty(), "SyntheticMatrixStream: empty spectrum");
-        assert!(spectrum.len() <= d, "SyntheticMatrixStream: spectrum longer than d");
+        assert!(
+            !spectrum.is_empty(),
+            "SyntheticMatrixStream: empty spectrum"
+        );
+        assert!(
+            spectrum.len() <= d,
+            "SyntheticMatrixStream: spectrum longer than d"
+        );
         assert!(beta > 0.0, "SyntheticMatrixStream: beta must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let q = haar_orthogonal(&mut rng, d);
@@ -60,7 +66,13 @@ impl SyntheticMatrixStream {
                 scaled_basis[(j, c)] = s * q[(c, j)];
             }
         }
-        SyntheticMatrixStream { scaled_basis, beta, scale_sigma: 0.0, rng, d }
+        SyntheticMatrixStream {
+            scaled_basis,
+            beta,
+            scale_sigma: 0.0,
+            rng,
+            d,
+        }
     }
 
     /// Makes row norms heterogeneous: each row is multiplied by an
@@ -69,7 +81,10 @@ impl SyntheticMatrixStream {
     /// like PAMAP have strongly heteroscedastic rows, which is what makes
     /// protocol P1's sites flush nearly per-row in the paper's runs.
     pub fn with_row_scale_sigma(mut self, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "row-scale sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "row-scale sigma must be non-negative"
+        );
         self.scale_sigma = sigma;
         self
     }
@@ -97,8 +112,7 @@ impl SyntheticMatrixStream {
     /// features vary less than raw sensor values.
     pub fn msd_like(seed: u64) -> Self {
         let d = 90;
-        let spectrum: Vec<f64> =
-            (0..d).map(|j| 2.0 * ((j + 1) as f64).powf(-0.35)).collect();
+        let spectrum: Vec<f64> = (0..d).map(|j| 2.0 * ((j + 1) as f64).powf(-0.35)).collect();
         Self::new(d, &spectrum, 1_000.0, seed).with_row_scale_sigma(0.5)
     }
 
@@ -216,7 +230,10 @@ mod tests {
         let total: f64 = eig.values.iter().sum();
         let top50: f64 = eig.values.iter().take(50).sum();
         let residual = (total - top50) / total;
-        assert!(residual > 0.05, "rank-50 residual suspiciously small: {residual}");
+        assert!(
+            residual > 0.05,
+            "rank-50 residual suspiciously small: {residual}"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl Zipf {
     /// Panics if `universe == 0` or `skew` is not finite and positive.
     pub fn new(universe: usize, skew: f64) -> Self {
         assert!(universe >= 1, "Zipf: universe must be non-empty");
-        assert!(skew.is_finite() && skew > 0.0, "Zipf: skew must be positive");
+        assert!(
+            skew.is_finite() && skew > 0.0,
+            "Zipf: skew must be positive"
+        );
         let mut cdf = Vec::with_capacity(universe);
         let mut acc = 0.0;
         for k in 1..=universe {
@@ -47,7 +50,10 @@ impl Zipf {
     /// # Panics
     /// Panics if `k` is outside `[1, u]`.
     pub fn pmf(&self, k: usize) -> f64 {
-        assert!(k >= 1 && k <= self.cdf.len(), "Zipf::pmf: item out of range");
+        assert!(
+            k >= 1 && k <= self.cdf.len(),
+            "Zipf::pmf: item out of range"
+        );
         if k == 1 {
             self.cdf[0]
         } else {

@@ -63,10 +63,7 @@ pub fn jacobi_eigen_sym(s: &Matrix) -> Result<SymEigen, LinalgError> {
 ///
 /// # Panics
 /// Panics if `s` is not square or `basis.rows() != s.rows()`.
-pub fn jacobi_eigen_sym_with_basis(
-    s: &Matrix,
-    basis: Matrix,
-) -> Result<SymEigen, LinalgError> {
+pub fn jacobi_eigen_sym_with_basis(s: &Matrix, basis: Matrix) -> Result<SymEigen, LinalgError> {
     jacobi_eigen_sym_with_basis_tol(s, basis, 1e-14)
 }
 
@@ -89,11 +86,22 @@ pub fn jacobi_eigen_sym_with_basis_tol(
     basis: Matrix,
     rel_tol: f64,
 ) -> Result<SymEigen, LinalgError> {
-    assert_eq!(s.rows(), s.cols(), "jacobi_eigen_sym: matrix must be square");
-    assert_eq!(basis.rows(), s.rows(), "jacobi_eigen_sym: basis row-count mismatch");
+    assert_eq!(
+        s.rows(),
+        s.cols(),
+        "jacobi_eigen_sym: matrix must be square"
+    );
+    assert_eq!(
+        basis.rows(),
+        s.rows(),
+        "jacobi_eigen_sym: basis row-count mismatch"
+    );
     let d = s.rows();
     if d == 0 {
-        return Ok(SymEigen { values: Vec::new(), vectors: basis });
+        return Ok(SymEigen {
+            values: Vec::new(),
+            vectors: basis,
+        });
     }
 
     // Symmetrised working copy.
@@ -159,7 +167,10 @@ pub fn jacobi_eigen_sym_with_basis_tol(
         }
     }
 
-    Err(LinalgError::NoConvergence { routine: "jacobi_eigen_sym", sweeps: MAX_SWEEPS })
+    Err(LinalgError::NoConvergence {
+        routine: "jacobi_eigen_sym",
+        sweeps: MAX_SWEEPS,
+    })
 }
 
 /// Extracts the sorted eigendecomposition from the converged working state.

@@ -49,7 +49,10 @@ mod tests {
 
     #[test]
     fn display_mentions_routine() {
-        let e = LinalgError::NoConvergence { routine: "jacobi_svd", sweeps: 30 };
+        let e = LinalgError::NoConvergence {
+            routine: "jacobi_svd",
+            sweeps: 30,
+        };
         let s = e.to_string();
         assert!(s.contains("jacobi_svd"));
         assert!(s.contains("30"));
@@ -57,7 +60,9 @@ mod tests {
 
     #[test]
     fn empty_input_display() {
-        let e = LinalgError::EmptyInput { routine: "gram_svd" };
+        let e = LinalgError::EmptyInput {
+            routine: "gram_svd",
+        };
         assert!(e.to_string().contains("gram_svd"));
         assert!(e.to_string().contains("empty"));
     }

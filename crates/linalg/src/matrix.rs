@@ -26,7 +26,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -61,14 +65,22 @@ impl Matrix {
             assert_eq!(r.len(), cols, "from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// An empty matrix with `cols` columns and zero rows; rows can then be
     /// appended with [`Matrix::push_row`]. This is how coordinators
     /// accumulate received rows.
     pub fn with_cols(cols: usize) -> Self {
-        Matrix { rows: 0, cols, data: Vec::new() }
+        Matrix {
+            rows: 0,
+            cols,
+            data: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -247,9 +259,17 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn add(&self, b: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (b.rows, b.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (b.rows, b.cols),
+            "add: shape mismatch"
+        );
         let data = self.data.iter().zip(&b.data).map(|(x, y)| x + y).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Entrywise difference `A − B`.
@@ -257,9 +277,17 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn sub(&self, b: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (b.rows, b.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (b.rows, b.cols),
+            "sub: shape mismatch"
+        );
         let data = self.data.iter().zip(&b.data).map(|(x, y)| x - y).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scales every entry by `alpha`, in place.
@@ -310,7 +338,10 @@ impl Matrix {
     /// Panics if `p == q` or either index is out of bounds.
     pub fn rows_pair_mut(&mut self, p: usize, q: usize) -> (&mut [f64], &mut [f64]) {
         assert!(p != q, "rows_pair_mut: indices must differ");
-        assert!(p < self.rows && q < self.rows, "rows_pair_mut: index out of bounds");
+        assert!(
+            p < self.rows && q < self.rows,
+            "rows_pair_mut: index out of bounds"
+        );
         let cols = self.cols;
         let (lo, hi) = if p < q { (p, q) } else { (q, p) };
         let (head, tail) = self.data.split_at_mut(hi * cols);

@@ -34,7 +34,11 @@ pub fn spectral_norm_sym_exact(s: &Matrix) -> Result<f64, LinalgError> {
 /// value is still a valid lower bound on the true norm (sufficient for the
 /// error metric, which compares against a threshold from below).
 pub fn spectral_norm_sym_power(s: &Matrix, iters: usize) -> f64 {
-    assert_eq!(s.rows(), s.cols(), "spectral_norm_sym_power: matrix must be square");
+    assert_eq!(
+        s.rows(),
+        s.cols(),
+        "spectral_norm_sym_power: matrix must be square"
+    );
     let d = s.rows();
     if d == 0 {
         return 0.0;
@@ -46,7 +50,10 @@ pub fn spectral_norm_sym_power(s: &Matrix, iters: usize) -> f64 {
     let mut starts: Vec<Vec<f64>> = vec![vec![1.0; d]];
     let mut diag_idx: Vec<usize> = (0..d).collect();
     diag_idx.sort_by(|&i, &j| {
-        s[(j, j)].abs().partial_cmp(&s[(i, i)].abs()).expect("NaN diagonal")
+        s[(j, j)]
+            .abs()
+            .partial_cmp(&s[(i, i)].abs())
+            .expect("NaN diagonal")
     });
     for &i in diag_idx.iter().take(3) {
         let mut e = vec![0.0; d];
@@ -93,10 +100,18 @@ pub fn covariance_error(
     gram_b: &Matrix,
     frob_sq_a: f64,
 ) -> Result<f64, LinalgError> {
-    assert_eq!(gram_a.rows(), gram_b.rows(), "covariance_error: dimension mismatch");
+    assert_eq!(
+        gram_a.rows(),
+        gram_b.rows(),
+        "covariance_error: dimension mismatch"
+    );
     let diff = gram_a.sub(gram_b);
     let norm = spectral_norm_sym_exact(&diff)?;
-    Ok(if frob_sq_a > 0.0 { norm / frob_sq_a } else { 0.0 })
+    Ok(if frob_sq_a > 0.0 {
+        norm / frob_sq_a
+    } else {
+        0.0
+    })
 }
 
 #[cfg(test)]

@@ -90,7 +90,10 @@ pub fn householder_qr(a: &Matrix) -> Qr {
         }
     }
 
-    Qr { q: qt.transpose(), r }
+    Qr {
+        q: qt.transpose(),
+        r,
+    }
 }
 
 #[cfg(test)]
@@ -158,11 +161,7 @@ mod tests {
     fn rank_deficient_input_does_not_panic() {
         // Two identical columns: the second reflector degenerates but QR
         // must still reconstruct.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
         let Qr { q, r } = householder_qr(&a);
         assert_close(&q.matmul(&r), &a, 1e-10);
     }

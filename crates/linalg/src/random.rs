@@ -62,14 +62,12 @@ pub fn haar_orthogonal<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Matrix {
 /// This is the generator behind the synthetic PAMAP/MSD surrogates: the
 /// spectrum controls the effective rank, which is the only matrix property
 /// the paper's evaluation depends on.
-pub fn with_spectrum<R: Rng + ?Sized>(
-    rng: &mut R,
-    n: usize,
-    d: usize,
-    spectrum: &[f64],
-) -> Matrix {
+pub fn with_spectrum<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize, spectrum: &[f64]) -> Matrix {
     let k = spectrum.len();
-    assert!(k <= n.min(d), "with_spectrum: spectrum longer than min dimension");
+    assert!(
+        k <= n.min(d),
+        "with_spectrum: spectrum longer than min dimension"
+    );
     // Orthonormal n×k factor.
     let g = gaussian(rng, n, k);
     let u = householder_qr(&g).q;

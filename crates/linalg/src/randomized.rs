@@ -60,7 +60,7 @@ pub fn randomized_svd<R: Rng + ?Sized>(
     }
 
     let q = householder_qr(&y).q; // n×l orthonormal
-    // Project: B = Qᵀ·A (l×d) — small, factor exactly.
+                                  // Project: B = Qᵀ·A (l×d) — small, factor exactly.
     let b = q.transpose().matmul(a);
     let small = jacobi_svd(&b)?;
 
@@ -147,7 +147,10 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(5);
         let e0 = err(&randomized_svd(&a, 4, 4, 0, &mut rng0).unwrap());
         let e2 = err(&randomized_svd(&a, 4, 4, 3, &mut rng2).unwrap());
-        assert!(e2 <= e0 + 1e-12, "power iterations made it worse: {e0} -> {e2}");
+        assert!(
+            e2 <= e0 + 1e-12,
+            "power iterations made it worse: {e0} -> {e2}"
+        );
         assert!(e2 < 0.05, "still inaccurate after power iterations: {e2}");
     }
 

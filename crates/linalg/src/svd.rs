@@ -90,13 +90,21 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd, LinalgError> {
     if a.rows() < a.cols() {
         // Decompose the transpose and swap factors: A = U Σ Vᵀ ⇔ Aᵀ = V Σ Uᵀ.
         let t = jacobi_svd(&a.transpose())?;
-        return Ok(Svd { u: t.vt.transpose(), sigma: t.sigma, vt: t.u.transpose() });
+        return Ok(Svd {
+            u: t.vt.transpose(),
+            sigma: t.sigma,
+            vt: t.u.transpose(),
+        });
     }
 
     let n = a.rows();
     let d = a.cols();
     if d == 0 || n == 0 {
-        return Ok(Svd { u: Matrix::zeros(n, 0), sigma: Vec::new(), vt: Matrix::zeros(0, d) });
+        return Ok(Svd {
+            u: Matrix::zeros(n, 0),
+            sigma: Vec::new(),
+            vt: Matrix::zeros(0, d),
+        });
     }
 
     // Column-major working copy: wt.row(j) is column j of W.
@@ -116,7 +124,11 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd, LinalgError> {
                 let (alpha, beta, gamma) = {
                     let cp = wt.row(p);
                     let cq = wt.row(q);
-                    (vector::norm_sq(cp), vector::norm_sq(cq), vector::dot(cp, cq))
+                    (
+                        vector::norm_sq(cp),
+                        vector::norm_sq(cq),
+                        vector::dot(cp, cq),
+                    )
                 };
                 if gamma.abs() <= tol || gamma.abs() <= 1e-15 * (alpha * beta).sqrt() {
                     continue;
@@ -139,7 +151,10 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd, LinalgError> {
         }
     }
     if !converged {
-        return Err(LinalgError::NoConvergence { routine: "jacobi_svd", sweeps: MAX_SWEEPS });
+        return Err(LinalgError::NoConvergence {
+            routine: "jacobi_svd",
+            sweeps: MAX_SWEEPS,
+        });
     }
 
     // Extract singular values / vectors and sort descending.
@@ -165,7 +180,11 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd, LinalgError> {
         // full orthonormal basis can complete it, but the sketches never do.
     }
 
-    Ok(Svd { u, sigma, vt: vt_sorted })
+    Ok(Svd {
+        u,
+        sigma,
+        vt: vt_sorted,
+    })
 }
 
 /// Applies the plane rotation `(rowₚ, row_q) ← (c·rowₚ − s·row_q, s·rowₚ + c·row_q)`.
@@ -198,8 +217,12 @@ pub fn gram_svd(a: &Matrix) -> Result<SvdValuesVectors, LinalgError> {
     if n >= d {
         let r = d;
         let eig = jacobi_eigen_sym(&a.gram())?;
-        let sigma: Vec<f64> =
-            eig.values.iter().take(r).map(|&l| l.max(0.0).sqrt()).collect();
+        let sigma: Vec<f64> = eig
+            .values
+            .iter()
+            .take(r)
+            .map(|&l| l.max(0.0).sqrt())
+            .collect();
         let mut vt = Matrix::zeros(r, d);
         for i in 0..r {
             vt.row_mut(i).copy_from_slice(eig.vectors.row(i));
@@ -331,10 +354,17 @@ mod tests {
         let g = gram_svd(&a).unwrap();
         assert_eq!(g.sigma.len(), 8);
         for (sj, sg) in j.sigma.iter().zip(&g.sigma) {
-            assert!((sj - sg).abs() < 1e-8 * sj.max(1.0), "σ mismatch: {sj} vs {sg}");
+            assert!(
+                (sj - sg).abs() < 1e-8 * sj.max(1.0),
+                "σ mismatch: {sj} vs {sg}"
+            );
         }
         // Right singular subspaces agree: the Grams of σ·Vᵀ agree.
-        let bj = SvdValuesVectors { sigma: j.sigma.clone(), vt: j.vt.clone() }.sigma_vt();
+        let bj = SvdValuesVectors {
+            sigma: j.sigma.clone(),
+            vt: j.vt.clone(),
+        }
+        .sigma_vt();
         let bg = g.sigma_vt();
         assert_close(&bj.gram(), &bg.gram(), 1e-6 * a.frob_norm_sq());
     }

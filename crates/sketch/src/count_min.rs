@@ -41,7 +41,12 @@ impl CountMin {
         assert!(depth >= 1, "CountMin: depth must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let hashes = (0..depth).map(|_| rng.gen::<u64>() | 1).collect();
-        CountMin { width, table: vec![0.0; width * depth], hashes, total_weight: 0.0 }
+        CountMin {
+            width,
+            table: vec![0.0; width * depth],
+            hashes,
+            total_weight: 0.0,
+        }
     }
 
     /// Creates a sketch guaranteeing overcount ≤ `epsilon·W` with
@@ -51,7 +56,10 @@ impl CountMin {
     /// # Panics
     /// Panics unless `0 < epsilon ≤ 1` and `0 < delta < 1`.
     pub fn with_error_bound(epsilon: f64, delta: f64, seed: u64) -> Self {
-        assert!(epsilon > 0.0 && epsilon <= 1.0, "CountMin: epsilon in (0, 1]");
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "CountMin: epsilon in (0, 1]"
+        );
         assert!(delta > 0.0 && delta < 1.0, "CountMin: delta in (0, 1)");
         let width = (std::f64::consts::E / epsilon).ceil() as usize;
         let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
@@ -86,7 +94,10 @@ impl CountMin {
     /// # Panics
     /// Panics if `weight` is negative or non-finite.
     pub fn update(&mut self, item: Item, weight: f64) {
-        assert!(weight.is_finite() && weight >= 0.0, "CountMin: invalid weight {weight}");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "CountMin: invalid weight {weight}"
+        );
         if weight == 0.0 {
             return;
         }

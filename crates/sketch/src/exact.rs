@@ -53,7 +53,11 @@ impl ExactWeightedCounter {
             .filter(|(_, &w)| w >= threshold)
             .map(|(&e, &w)| (e, w))
             .collect();
-        hh.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN weight").then(a.0.cmp(&b.0)));
+        hh.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN weight")
+                .then(a.0.cmp(&b.0))
+        });
         hh
     }
 

@@ -123,7 +123,11 @@ impl FrequentDirections {
     /// practice) if the Jacobi eigensolver fails to converge during a
     /// shrink.
     pub fn update(&mut self, row: &[f64]) {
-        assert_eq!(row.len(), self.d, "FrequentDirections: row dimension mismatch");
+        assert_eq!(
+            row.len(),
+            self.d,
+            "FrequentDirections: row dimension mismatch"
+        );
         self.frob_sq += row.iter().map(|v| v * v).sum::<f64>();
         self.buf.push_row(row);
         if self.buf.rows() >= self.ell {
@@ -181,8 +185,14 @@ impl FrequentDirections {
     /// # Panics
     /// Panics if dimensions or `ℓ` differ.
     pub fn merge(&mut self, other: &FrequentDirections) {
-        assert_eq!(self.d, other.d, "FrequentDirections::merge: dimension mismatch");
-        assert_eq!(self.ell, other.ell, "FrequentDirections::merge: ell mismatch");
+        assert_eq!(
+            self.d, other.d,
+            "FrequentDirections::merge: dimension mismatch"
+        );
+        assert_eq!(
+            self.ell, other.ell,
+            "FrequentDirections::merge: ell mismatch"
+        );
         self.buf.stack(&other.buf);
         self.frob_sq += other.frob_sq;
         self.shrink_loss += other.shrink_loss;
@@ -262,9 +272,14 @@ mod tests {
         let slack = 1e-7 * a.frob_norm_sq().max(1.0);
         let bound = fd.error_bound() + slack;
         let loss = fd.shrink_loss() + slack;
-        assert!(fd.shrink_loss() <= fd.error_bound() + slack, "Δ exceeds 2‖A‖²F/ℓ");
+        assert!(
+            fd.shrink_loss() <= fd.error_bound() + slack,
+            "Δ exceeds 2‖A‖²F/ℓ"
+        );
 
-        let mut dirs: Vec<Vec<f64>> = (0..20).map(|_| random::unit_vector(&mut rng, a.cols())).collect();
+        let mut dirs: Vec<Vec<f64>> = (0..20)
+            .map(|_| random::unit_vector(&mut rng, a.cols()))
+            .collect();
         let svd = jacobi_svd(a).unwrap();
         for i in 0..svd.sigma.len().min(4) {
             dirs.push(svd.vt.row(i).to_vec());
@@ -273,8 +288,18 @@ mod tests {
             let ax = a.apply_norm_sq(x);
             let bx = fd.query(x);
             assert!(bx <= ax + slack, "‖Bx‖² exceeds ‖Ax‖²: {bx} > {ax}");
-            assert!(ax - bx <= loss, "error {} exceeds tracked loss {}", ax - bx, loss);
-            assert!(ax - bx <= bound, "error {} exceeds bound {}", ax - bx, bound);
+            assert!(
+                ax - bx <= loss,
+                "error {} exceeds tracked loss {}",
+                ax - bx,
+                loss
+            );
+            assert!(
+                ax - bx <= bound,
+                "error {} exceeds bound {}",
+                ax - bx,
+                bound
+            );
         }
     }
 

@@ -54,7 +54,10 @@ impl MgSummary {
     /// # Panics
     /// Panics unless `0 < epsilon ≤ 1`.
     pub fn with_error_bound(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon <= 1.0, "MgSummary: epsilon must be in (0, 1]");
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "MgSummary: epsilon must be in (0, 1]"
+        );
         Self::new((1.0 / epsilon).ceil() as usize)
     }
 
@@ -95,7 +98,10 @@ impl MgSummary {
     /// Panics if `weight` is negative or non-finite (protocol weights are
     /// `‖row‖²` or user weights in `[1, β]`; anything else is a bug).
     pub fn update(&mut self, item: Item, weight: f64) {
-        assert!(weight.is_finite() && weight >= 0.0, "MgSummary: invalid weight {weight}");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "MgSummary: invalid weight {weight}"
+        );
         if weight == 0.0 {
             return;
         }
@@ -113,10 +119,7 @@ impl MgSummary {
         // Table full: subtract δ = min(weight, smallest counter) from every
         // counter and from the arriving item; whatever remains of the
         // arriving weight takes the freed slot.
-        let min_counter = self
-            .counters
-            .values()
-            .fold(f64::INFINITY, |m, &v| m.min(v));
+        let min_counter = self.counters.values().fold(f64::INFINITY, |m, &v| m.min(v));
         let delta = min_counter.min(weight);
         self.decrement_total += delta;
         self.counters.retain(|_, v| {
@@ -214,7 +217,10 @@ mod tests {
         for (e, f) in exact.iter() {
             let est = mg.estimate(e);
             assert!(est <= f + 1e-9, "overestimate: item {e}: {est} > {f}");
-            assert!(f - est <= bound, "undercount too large: item {e}: {f} - {est} > {bound}");
+            assert!(
+                f - est <= bound,
+                "undercount too large: item {e}: {f} - {est} > {bound}"
+            );
         }
         assert!((mg.total_weight() - exact.total_weight()).abs() < 1e-9);
         assert!(mg.observed_error_bound() <= bound);
@@ -234,8 +240,9 @@ mod tests {
 
     #[test]
     fn eviction_keeps_invariant_small_capacity() {
-        let stream: Vec<(Item, f64)> =
-            (0..200).map(|i| ((i % 7) as Item, 1.0 + (i % 3) as f64)).collect();
+        let stream: Vec<(Item, f64)> = (0..200)
+            .map(|i| ((i % 7) as Item, 1.0 + (i % 3) as f64))
+            .collect();
         assert_invariant(&stream, 2);
         assert_invariant(&stream, 3);
         assert_invariant(&stream, 7);

@@ -83,7 +83,14 @@ impl<T> PrioritySampler<T> {
 
         let id = self.next_id;
         self.next_id += 1;
-        self.entries.insert(id, Entry { priority, weight, payload });
+        self.entries.insert(
+            id,
+            Entry {
+                priority,
+                weight,
+                payload,
+            },
+        );
         self.heap.push(Reverse((OrdF64(priority), id)));
         if self.heap.len() > self.s + 1 {
             let Reverse((_, evicted)) = self.heap.pop().expect("heap non-empty");
@@ -113,7 +120,11 @@ impl<T> PrioritySampler<T> {
         if self.entries.len() <= self.s {
             // Fewer items than the sample size: the sample is the whole
             // stream with exact weights.
-            return self.entries.values().map(|e| (&e.payload, e.weight)).collect();
+            return self
+                .entries
+                .values()
+                .map(|e| (&e.payload, e.weight))
+                .collect();
         }
         let threshold_id = self.threshold_id();
         let rho_hat = self.entries[&threshold_id].priority;
@@ -131,7 +142,10 @@ impl<T> PrioritySampler<T> {
 
     /// Id of the minimum-priority (threshold) entry.
     fn threshold_id(&self) -> u64 {
-        self.heap.peek().map(|Reverse((_, id))| *id).expect("non-empty")
+        self.heap
+            .peek()
+            .map(|Reverse((_, id))| *id)
+            .expect("non-empty")
     }
 }
 
@@ -181,7 +195,10 @@ mod tests {
         }
         let mean = sum / runs as f64;
         let rel = (mean - w_true).abs() / w_true;
-        assert!(rel < 0.05, "estimator bias too large: mean {mean} vs {w_true}");
+        assert!(
+            rel < 0.05,
+            "estimator bias too large: mean {mean} vs {w_true}"
+        );
     }
 
     #[test]

@@ -108,7 +108,10 @@ impl<T> WeightedReservoir<T> {
 
     /// The current sample, in unspecified order, with original weights.
     pub fn sample(&self) -> Vec<(&T, f64)> {
-        self.slots.values().map(|sl| (&sl.payload, sl.weight)).collect()
+        self.slots
+            .values()
+            .map(|sl| (&sl.payload, sl.weight))
+            .collect()
     }
 }
 
@@ -158,7 +161,10 @@ mod tests {
                 included += 1;
             }
         }
-        assert!(included > runs * 95 / 100, "heavy item included only {included}/{runs}");
+        assert!(
+            included > runs * 95 / 100,
+            "heavy item included only {included}/{runs}"
+        );
     }
 
     #[test]

@@ -77,7 +77,12 @@ impl<S: WindowSummary> ExpHistogram<S> {
     pub fn new(window: u64, per_level: usize) -> Self {
         assert!(window >= 1, "ExpHistogram: window must be positive");
         assert!(per_level >= 1, "ExpHistogram: per_level must be positive");
-        ExpHistogram { window, per_level, buckets: Vec::new(), t: 0 }
+        ExpHistogram {
+            window,
+            per_level,
+            buckets: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Window length in arrivals.
@@ -122,7 +127,11 @@ impl<S: WindowSummary> ExpHistogram<S> {
         if mass == 0.0 {
             return;
         }
-        self.buckets.push(Bucket { summary, mass, newest: idx });
+        self.buckets.push(Bucket {
+            summary,
+            mass,
+            newest: idx,
+        });
         self.compact();
     }
 
@@ -198,7 +207,11 @@ impl SwFd {
     /// Panics on zero `window`/`per_level` or invalid FD parameters.
     pub fn new(d: usize, ell: usize, window: u64, per_level: usize) -> Self {
         let _probe = FrequentDirections::new(d, ell); // validate eagerly
-        SwFd { d, ell, hist: ExpHistogram::new(window, per_level) }
+        SwFd {
+            d,
+            ell,
+            hist: ExpHistogram::new(window, per_level),
+        }
     }
 
     /// Row dimensionality.
@@ -234,7 +247,8 @@ impl SwFd {
         assert_eq!(row.len(), self.d, "SwFd: row dimension mismatch");
         let mass: f64 = row.iter().map(|v| v * v).sum();
         if mass == 0.0 {
-            self.hist.update(FrequentDirections::new(self.d, self.ell), 0.0);
+            self.hist
+                .update(FrequentDirections::new(self.d, self.ell), 0.0);
             return;
         }
         let mut fd = FrequentDirections::new(self.d, self.ell);
@@ -271,7 +285,10 @@ impl SwMg {
     /// Panics on zero `window`/`per_level`/`capacity`.
     pub fn new(capacity: usize, window: u64, per_level: usize) -> Self {
         let _probe = MgSummary::new(capacity); // validate eagerly
-        SwMg { capacity, hist: ExpHistogram::new(window, per_level) }
+        SwMg {
+            capacity,
+            hist: ExpHistogram::new(window, per_level),
+        }
     }
 
     /// Items observed so far.
@@ -294,7 +311,10 @@ impl SwMg {
     /// # Panics
     /// Panics on negative or non-finite weights.
     pub fn update(&mut self, item: Item, weight: f64) {
-        assert!(weight.is_finite() && weight >= 0.0, "SwMg: invalid weight {weight}");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "SwMg: invalid weight {weight}"
+        );
         if weight == 0.0 {
             self.hist.update(MgSummary::new(self.capacity), 0.0);
             return;
@@ -433,7 +453,10 @@ mod tests {
         }
         let mass = sw.mass();
         assert!(mass >= 50.0 - 1e-9, "mass {mass} below window");
-        assert!(mass <= 50.0 + sw.error_bound(), "mass {mass} far above window");
+        assert!(
+            mass <= 50.0 + sw.error_bound(),
+            "mass {mass} far above window"
+        );
     }
 
     #[test]
@@ -451,7 +474,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let stream: Vec<(Item, f64)> = (0..3_000)
             .map(|_| {
-                let e: Item = if rng.gen_bool(0.3) { 1 } else { rng.gen_range(2..50) };
+                let e: Item = if rng.gen_bool(0.3) {
+                    1
+                } else {
+                    rng.gen_range(2..50)
+                };
                 (e, rng.gen_range(1.0..5.0))
             })
             .collect();

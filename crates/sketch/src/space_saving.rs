@@ -63,7 +63,10 @@ impl SpaceSaving {
     /// # Panics
     /// Panics unless `0 < epsilon ≤ 1`.
     pub fn with_error_bound(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon <= 1.0, "SpaceSaving: epsilon must be in (0, 1]");
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "SpaceSaving: epsilon must be in (0, 1]"
+        );
         Self::new((1.0 / epsilon).ceil() as usize)
     }
 
@@ -97,7 +100,10 @@ impl SpaceSaving {
     /// # Panics
     /// Panics if `weight` is negative or non-finite.
     pub fn update(&mut self, item: Item, weight: f64) {
-        assert!(weight.is_finite() && weight >= 0.0, "SpaceSaving: invalid weight {weight}");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "SpaceSaving: invalid weight {weight}"
+        );
         if weight == 0.0 {
             return;
         }
@@ -115,7 +121,13 @@ impl SpaceSaving {
             return;
         }
         if self.slots.len() < self.capacity {
-            self.slots.insert(item, Slot { count: weight, over: 0.0 });
+            self.slots.insert(
+                item,
+                Slot {
+                    count: weight,
+                    over: 0.0,
+                },
+            );
             self.heap.push(Reverse((OrdF64(weight), item)));
             return;
         }
@@ -123,7 +135,13 @@ impl SpaceSaving {
         // Replace the current minimum counter.
         let (min_item, min_count) = self.pop_min();
         self.slots.remove(&min_item);
-        self.slots.insert(item, Slot { count: min_count + weight, over: min_count });
+        self.slots.insert(
+            item,
+            Slot {
+                count: min_count + weight,
+                over: min_count,
+            },
+        );
         self.heap.push(Reverse((OrdF64(min_count + weight), item)));
     }
 
@@ -138,8 +156,10 @@ impl SpaceSaving {
     /// Pops the live minimum (skipping and refreshing stale heap entries).
     fn pop_min(&mut self) -> (Item, f64) {
         loop {
-            let Reverse((OrdF64(recorded), item)) =
-                self.heap.pop().expect("SpaceSaving: heap empty with full slots");
+            let Reverse((OrdF64(recorded), item)) = self
+                .heap
+                .pop()
+                .expect("SpaceSaving: heap empty with full slots");
             match self.slots.get(&item) {
                 Some(slot) if slot.count == recorded => return (item, recorded),
                 Some(slot) => {
@@ -166,7 +186,10 @@ impl SpaceSaving {
     /// Guaranteed lower bound on `fe` for monitored items
     /// (`count − over`); zero for unmonitored items.
     pub fn lower_bound(&self, item: Item) -> f64 {
-        self.slots.get(&item).map(|s| s.count - s.over).unwrap_or(0.0)
+        self.slots
+            .get(&item)
+            .map(|s| s.count - s.over)
+            .unwrap_or(0.0)
     }
 
     /// Iterates over `(item, estimate)` pairs in unspecified order.
@@ -184,7 +207,11 @@ impl SpaceSaving {
             .filter(|(_, s)| s.count >= threshold)
             .map(|(&e, s)| (e, s.count))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN count").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN count")
+                .then(a.0.cmp(&b.0))
+        });
         out
     }
 }
@@ -252,13 +279,20 @@ mod tests {
         let mut exact = ExactWeightedCounter::new();
         // Skewed: item 0 gets 30% of arrivals.
         for _ in 0..3000 {
-            let e: Item = if rng.gen_bool(0.3) { 0 } else { rng.gen_range(1..200) };
+            let e: Item = if rng.gen_bool(0.3) {
+                0
+            } else {
+                rng.gen_range(1..200)
+            };
             ss.update(e, 1.0);
             exact.update(e, 1.0);
         }
         let truth: Vec<Item> = exact.heavy_hitters(0.1).into_iter().map(|p| p.0).collect();
-        let cands: Vec<Item> =
-            ss.heavy_hitter_candidates(0.1).into_iter().map(|p| p.0).collect();
+        let cands: Vec<Item> = ss
+            .heavy_hitter_candidates(0.1)
+            .into_iter()
+            .map(|p| p.0)
+            .collect();
         for t in truth {
             assert!(cands.contains(&t), "true heavy hitter {t} missing");
         }

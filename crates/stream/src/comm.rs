@@ -33,12 +33,20 @@ pub struct CommStats {
     pub broadcast_events: u64,
     /// Number of sites `m` (to price broadcasts).
     pub sites: u64,
+    /// Arrivals delivered through the driver (any feeding mode). Purely
+    /// informational — excluded from [`CommStats::total`] — and doubles
+    /// as the global stream index for
+    /// [`crate::Runner::run_partitioned`]'s partitioner.
+    pub arrivals: u64,
 }
 
 impl CommStats {
     /// Creates zeroed statistics for an `m`-site deployment.
     pub fn new(sites: usize) -> Self {
-        CommStats { sites: sites as u64, ..Default::default() }
+        CommStats {
+            sites: sites as u64,
+            ..Default::default()
+        }
     }
 
     /// Total message count in the paper's units:
@@ -58,10 +66,17 @@ impl CommStats {
         self.broadcast_events += 1;
     }
 
-    /// Adds another set of totals (e.g. when a protocol runs an auxiliary
-    /// sub-protocol for total-weight tracking).
+    /// Adds another set of *communication* totals (e.g. when a protocol
+    /// runs an auxiliary sub-protocol for total-weight tracking).
+    /// `arrivals` is deliberately **not** summed: an auxiliary protocol
+    /// observes the same stream, so its arrivals are already counted —
+    /// and `arrivals` doubles as the partitioner's global stream index,
+    /// which double-counting would corrupt.
     pub fn absorb(&mut self, other: &CommStats) {
-        debug_assert_eq!(self.sites, other.sites, "absorbing stats from different deployments");
+        debug_assert_eq!(
+            self.sites, other.sites,
+            "absorbing stats from different deployments"
+        );
         self.up_msgs += other.up_msgs;
         self.up_cost += other.up_cost;
         self.broadcast_events += other.broadcast_events;

@@ -1,4 +1,4 @@
-//! Distributed-streaming simulation substrate.
+//! Distributed-streaming simulation substrate — **batch-first**.
 //!
 //! The paper's model (Cormode, Muthukrishnan, Yi — "distributed functional
 //! monitoring") has `m` sites, each observing a disjoint stream, plus a
@@ -10,15 +10,53 @@
 //!   roles, as traits over arbitrary input/message/broadcast types.
 //! * [`comm::CommStats`] — message accounting in the paper's units
 //!   (up-messages weighted by their element cost; a broadcast costs `m`).
-//! * [`runner::Runner`] — deterministic sequential driver: feeds items to
-//!   sites, routes messages, applies broadcasts synchronously. Every
-//!   experiment harness and test drives protocols through this.
-//! * [`runner::threaded`] — an asynchronous driver (crossbeam channels,
-//!   one thread per site) where broadcasts arrive with real lag; used to
-//!   demonstrate that the protocols tolerate the asynchrony of an actual
-//!   deployment.
+//! * [`runner::Runner`] — deterministic driver: feeds arrivals to sites
+//!   (singly, in per-site batches, or as a partitioned stream slice),
+//!   routes messages, applies broadcasts synchronously. Every experiment
+//!   harness and test drives protocols through this.
+//! * [`runner::threaded`] — an asynchronous driver (std channels, one
+//!   thread per site, batched message shipping) where broadcasts arrive
+//!   with real lag; used to demonstrate that the protocols tolerate the
+//!   asynchrony of an actual deployment, and to measure deployment-shaped
+//!   throughput.
 //! * [`partition`] — stream partitioners deciding which site observes
-//!   each arrival (round-robin, uniform random, skewed).
+//!   each arrival (round-robin, uniform random, skewed, by key).
+//!
+//! # Batch-first execution
+//!
+//! The protocols are *stated* per-arrival, but the hot path is executed
+//! in batches. The unit of work is [`site::Site::observe_batch`]: a site
+//! consumes a run of arrivals in one call and only pauses when it has a
+//! message for the coordinator (the *pause-on-message* contract). Since
+//! the protocols exist precisely to make messages rare — communication
+//! is logarithmic in the stream length — almost every batch is one
+//! uninterrupted tight loop inside the site, with no per-item driver
+//! dispatch, bounds re-checks or buffer probes.
+//!
+//! Two drivers build on that primitive, with different trade-offs:
+//!
+//! * **Sequential** ([`runner::Runner`]): [`Runner::feed_batch`] resumes
+//!   the site after routing each pause's messages, so batched execution
+//!   is *observably identical* to per-item execution — same messages,
+//!   same [`CommStats`] — at every batch size. Batching here is a pure
+//!   throughput win; there is no semantic trade-off, which is what the
+//!   `batch_parity` integration suite pins down.
+//! * **Threaded** ([`runner::threaded`]): each site thread applies
+//!   pending broadcasts only *between* batches and ships each batch's
+//!   messages as one bounded-channel send. Larger batches amortise
+//!   synchronisation but let coordinator thresholds go stale for longer —
+//!   a latency/communication-vs-throughput trade-off. Staleness never
+//!   endangers a guarantee: every protocol's thresholds only grow, so a
+//!   stale (smaller) threshold merely makes sites send *sooner* than
+//!   strictly necessary.
+//!
+//! Protocols opt into faster batched math by overriding
+//! [`site::Site::observe_batch`] — hoisting threshold computations out
+//! of the loop, projecting runs of matrix rows with one matrix product
+//! instead of row-by-row matrix–vector products, deferring Gram
+//! accumulation to batch boundaries — while the default implementation
+//! simply loops over [`site::Site::observe`], so every `Site` is
+//! batch-drivable from day one.
 
 pub mod comm;
 pub mod coordinator;

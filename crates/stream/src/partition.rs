@@ -60,7 +60,10 @@ impl UniformRandom {
     /// Panics if `m == 0`.
     pub fn new(m: usize, seed: u64) -> Self {
         assert!(m >= 1, "UniformRandom: need at least one site");
-        UniformRandom { m, rng: StdRng::seed_from_u64(seed) }
+        UniformRandom {
+            m,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -89,7 +92,10 @@ impl Skewed {
     /// Panics if `m == 0`.
     pub fn new(m: usize, seed: u64) -> Self {
         assert!(m >= 1, "Skewed: need at least one site");
-        Skewed { m, rng: StdRng::seed_from_u64(seed) }
+        Skewed {
+            m,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 

@@ -1,23 +1,30 @@
 //! Protocol drivers.
 //!
-//! [`Runner`] is the deterministic sequential driver used by all
-//! experiments and tests: it delivers one arrival at a time, routes the
-//! resulting messages to the coordinator, and applies broadcasts to every
-//! site *before* the next arrival — the synchronous-communication
-//! idealisation under which the paper states its guarantees.
+//! [`Runner`] is the deterministic driver used by all experiments and
+//! tests. It accepts arrivals one at a time ([`Runner::feed`]), in
+//! per-site batches ([`Runner::feed_batch`]) or as a whole partitioned
+//! stream slice ([`Runner::run_partitioned`]); in every mode it routes
+//! the resulting messages to the coordinator and applies broadcasts to
+//! every site *before the emitting site observes its next arrival* — the
+//! synchronous-communication idealisation under which the paper states
+//! its guarantees. Thanks to the pause-on-message contract of
+//! [`Site::observe_batch`], the three feeding modes are observably
+//! identical: same messages, same [`CommStats`], at every batch size.
 //!
 //! [`threaded`] is an asynchronous driver (one OS thread per site,
-//! crossbeam channels) in which broadcasts arrive with genuine lag. The
-//! protocols remain correct under lag — a stale (smaller) threshold only
-//! makes sites send *sooner* — so this driver demonstrates deployment
-//! behaviour and feeds the throughput benchmarks.
+//! bounded std channels carrying whole *batches* of messages) in which
+//! broadcasts arrive with genuine lag. The protocols remain correct
+//! under lag — a stale (smaller) threshold only makes sites send
+//! *sooner* — so this driver demonstrates deployment behaviour and feeds
+//! the throughput benchmarks.
 
 use crate::comm::{CommStats, MessageCost};
 use crate::coordinator::Coordinator;
+use crate::partition::Partitioner;
 use crate::site::Site;
 use crate::SiteId;
 
-/// Sequential, synchronous protocol driver.
+/// Deterministic protocol driver (sequential; batch-first).
 pub struct Runner<S, C>
 where
     S: Site,
@@ -29,6 +36,9 @@ where
     stats: CommStats,
     up_buf: Vec<S::UpMsg>,
     bc_buf: Vec<S::Broadcast>,
+    /// Per-site staging buffers for [`Runner::run_partitioned`], kept
+    /// across epochs so a steady-state epoch allocates nothing.
+    stage: Vec<Vec<S::Input>>,
 }
 
 impl<S, C> Runner<S, C>
@@ -50,6 +60,7 @@ where
             stats: CommStats::new(m),
             up_buf: Vec::new(),
             bc_buf: Vec::new(),
+            stage: Vec::new(),
         }
     }
 
@@ -64,8 +75,120 @@ where
     /// # Panics
     /// Panics if `site >= m`.
     pub fn feed(&mut self, site: SiteId, input: S::Input) {
-        assert!(site < self.sites.len(), "Runner::feed: site {site} out of range");
+        assert!(
+            site < self.sites.len(),
+            "Runner::feed: site {site} out of range"
+        );
+        self.stats.arrivals += 1;
         self.sites[site].observe(input, &mut self.up_buf);
+        self.route(site);
+    }
+
+    /// Delivers a batch of arrivals to `site`.
+    ///
+    /// Execution-equivalent to calling [`Runner::feed`] once per item in
+    /// order: whenever the site emits messages mid-batch it pauses (per
+    /// the [`Site::observe_batch`] contract), the messages are routed and
+    /// broadcasts applied, and the site resumes on the remaining items.
+    /// The batched path is faster, not different.
+    ///
+    /// # Panics
+    /// Panics if `site >= m`.
+    pub fn feed_batch<I>(&mut self, site: SiteId, inputs: I)
+    where
+        I: IntoIterator<Item = S::Input>,
+    {
+        assert!(
+            site < self.sites.len(),
+            "Runner::feed_batch: site {site} out of range"
+        );
+        let mut delivered = 0u64;
+        let inputs = inputs.into_iter().inspect(|_| delivered += 1);
+        self.feed_batch_inner(site, inputs);
+        self.stats.arrivals += delivered;
+    }
+
+    /// [`Runner::feed_batch`] without the bounds check and arrival
+    /// accounting — the hot inner loop shared with
+    /// [`Runner::run_partitioned`], which validates and counts at epoch
+    /// granularity instead of wrapping every item.
+    fn feed_batch_inner<I>(&mut self, site: SiteId, mut inputs: I)
+    where
+        I: Iterator<Item = S::Input>,
+    {
+        loop {
+            self.sites[site].observe_batch(&mut inputs, &mut self.up_buf);
+            if self.up_buf.is_empty() {
+                // No message ⇒ (contract) the iterator is exhausted.
+                return;
+            }
+            self.route(site);
+        }
+    }
+
+    /// Drives a whole stream slice: assigns each arrival to a site via
+    /// `partitioner` (by global stream index, continuing from any
+    /// previous call) and delivers the stream in epochs of `batch_size`
+    /// arrivals, each epoch grouped into per-site batches fed through
+    /// [`Runner::feed_batch`].
+    ///
+    /// Within an epoch, sites are served in ascending site order; the
+    /// per-site arrival order is exactly the partitioned order, so each
+    /// site's local stream — and therefore the execution — is independent
+    /// of `batch_size` up to the inter-site interleave of the epoch.
+    /// `batch_size = 1` reproduces the global per-item order of a
+    /// [`Runner::feed`] loop exactly.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0` or `partitioner.sites() != m`.
+    pub fn run_partitioned<P, I>(&mut self, stream: I, partitioner: &mut P, batch_size: usize)
+    where
+        P: Partitioner,
+        I: IntoIterator<Item = S::Input>,
+    {
+        assert!(
+            batch_size >= 1,
+            "Runner::run_partitioned: batch_size must be positive"
+        );
+        assert_eq!(
+            partitioner.sites(),
+            self.sites.len(),
+            "Runner::run_partitioned: partitioner is for a different deployment"
+        );
+        let m = self.sites.len();
+        self.stage.resize_with(m, Vec::new);
+        let mut stream = stream.into_iter();
+        // Holder the staged group is drained from; swapping it with the
+        // stage slot (rather than `mem::take`-ing the slot) keeps every
+        // buffer's capacity alive, so a steady-state epoch allocates
+        // nothing.
+        let mut scratch: Vec<S::Input> = Vec::new();
+        loop {
+            // `arrivals` doubles as the global stream index, so repeated
+            // calls continue the partitioned assignment seamlessly.
+            let base = self.stats.arrivals;
+            let mut n = 0u64;
+            for input in stream.by_ref().take(batch_size) {
+                self.stage[partitioner.assign(base + n)].push(input);
+                n += 1;
+            }
+            if n == 0 {
+                return;
+            }
+            for site in 0..m {
+                if self.stage[site].is_empty() {
+                    continue;
+                }
+                std::mem::swap(&mut self.stage[site], &mut scratch);
+                self.feed_batch_inner(site, scratch.drain(..));
+            }
+            self.stats.arrivals += n;
+        }
+    }
+
+    /// Routes every pending message from `site` to the coordinator,
+    /// applying any triggered broadcasts to all sites.
+    fn route(&mut self, site: SiteId) {
         while let Some(msg) = pop_front(&mut self.up_buf) {
             self.stats.record_up(msg.cost());
             self.coordinator.receive(site, msg, &mut self.bc_buf);
@@ -111,28 +234,52 @@ fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
     }
 }
 
-/// Asynchronous driver: one thread per site, channel-based delivery.
+/// Asynchronous driver: one thread per site, channel-based delivery of
+/// message *batches*.
 pub mod threaded {
     use super::*;
-    use crossbeam::channel;
+    use std::sync::mpsc;
+
+    /// Tuning knobs of the threaded driver.
+    #[derive(Debug, Clone)]
+    pub struct ThreadedConfig {
+        /// Arrivals each site processes between communication points: the
+        /// site drains pending broadcasts, observes `batch_size` arrivals
+        /// through [`Site::observe_batch`], and ships everything emitted
+        /// as **one** channel send (one `Vec` allocation per shipped
+        /// batch instead of one send per message).
+        ///
+        /// Larger batches amortise channel synchronisation but let the
+        /// coordinator's thresholds go stale for longer — which never
+        /// breaks a guarantee (a stale, smaller threshold only makes
+        /// sites send sooner) but does trade a little extra communication
+        /// for throughput.
+        pub batch_size: usize,
+        /// Bound of the site→coordinator channel, in batches. Applies
+        /// backpressure: a site that outruns the coordinator blocks
+        /// instead of queueing unboundedly.
+        pub channel_capacity: usize,
+    }
+
+    impl Default for ThreadedConfig {
+        fn default() -> Self {
+            ThreadedConfig {
+                batch_size: 64,
+                channel_capacity: 4,
+            }
+        }
+    }
 
     /// Runs each site on its own thread over its pre-partitioned local
-    /// stream; the calling thread plays coordinator.
-    ///
-    /// Broadcasts are delivered through per-site channels and applied by
-    /// each site *before its next arrival*, so they lag exactly as they
-    /// would over a network. Message and broadcast totals are accounted
-    /// identically to the sequential runner.
-    ///
-    /// Returns the finished sites, the coordinator and the accumulated
-    /// statistics.
+    /// stream with the default [`ThreadedConfig`]; the calling thread
+    /// plays coordinator.
     ///
     /// # Panics
     /// Panics if `inputs.len() != sites.len()`, or if a site thread
     /// panics.
     pub fn run_partitioned<S, C>(
-        mut sites: Vec<S>,
-        mut coordinator: C,
+        sites: Vec<S>,
+        coordinator: C,
         inputs: Vec<Vec<S::Input>>,
     ) -> (Vec<S>, C, CommStats)
     where
@@ -142,36 +289,98 @@ pub mod threaded {
         S::Broadcast: Clone + Send,
         C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     {
-        assert_eq!(inputs.len(), sites.len(), "run_partitioned: one input stream per site");
+        run_partitioned_with(sites, coordinator, inputs, &ThreadedConfig::default())
+    }
+
+    /// [`run_partitioned`] with explicit batching configuration.
+    ///
+    /// Broadcasts are delivered through per-site channels and applied by
+    /// each site *before its next batch*, so they lag exactly as they
+    /// would over a network. Message and broadcast totals are accounted
+    /// identically to the sequential runner; only their timing differs.
+    ///
+    /// Returns the finished sites, the coordinator and the accumulated
+    /// statistics.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != sites.len()`, if the configured batch
+    /// size or channel capacity is zero, or if a site thread panics.
+    pub fn run_partitioned_with<S, C>(
+        mut sites: Vec<S>,
+        mut coordinator: C,
+        inputs: Vec<Vec<S::Input>>,
+        cfg: &ThreadedConfig,
+    ) -> (Vec<S>, C, CommStats)
+    where
+        S: Site + Send,
+        S::Input: Send,
+        S::UpMsg: MessageCost + Send,
+        S::Broadcast: Clone + Send,
+        C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    {
+        assert_eq!(
+            inputs.len(),
+            sites.len(),
+            "run_partitioned: one input stream per site"
+        );
+        assert!(
+            cfg.batch_size >= 1,
+            "run_partitioned: batch_size must be positive"
+        );
+        assert!(
+            cfg.channel_capacity >= 1,
+            "run_partitioned: channel_capacity must be positive"
+        );
         let m = sites.len();
         let mut stats = CommStats::new(m);
+        stats.arrivals = inputs.iter().map(|v| v.len() as u64).sum();
 
-        let (up_tx, up_rx) = channel::unbounded::<(SiteId, S::UpMsg)>();
+        let (up_tx, up_rx) = mpsc::sync_channel::<(SiteId, Vec<S::UpMsg>)>(cfg.channel_capacity);
         let mut bc_txs = Vec::with_capacity(m);
         let mut bc_rxs = Vec::with_capacity(m);
         for _ in 0..m {
-            let (tx, rx) = channel::unbounded::<S::Broadcast>();
+            // Broadcasts stay unbounded: a bounded broadcast channel
+            // could deadlock against the bounded up-channel (coordinator
+            // blocked sending to a site that is blocked sending up).
+            let (tx, rx) = mpsc::channel::<S::Broadcast>();
             bc_txs.push(tx);
             bc_rxs.push(rx);
         }
 
-        let site_results = crossbeam::thread::scope(|scope| {
+        let site_results = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(m);
-            for (sid, (mut site, local)) in
-                sites.drain(..).zip(inputs).enumerate()
-            {
+            for (sid, (mut site, local)) in sites.drain(..).zip(inputs).enumerate() {
                 let up_tx = up_tx.clone();
                 let bc_rx = bc_rxs.remove(0);
-                handles.push(scope.spawn(move |_| {
-                    let mut out = Vec::new();
-                    for item in local {
+                let batch_size = cfg.batch_size;
+                handles.push(scope.spawn(move || {
+                    let mut out: Vec<S::UpMsg> = Vec::new();
+                    let mut shipping: Vec<S::UpMsg> = Vec::new();
+                    let mut it = local.into_iter().peekable();
+                    while it.peek().is_some() {
                         // Apply any broadcasts that have arrived.
                         while let Ok(bc) = bc_rx.try_recv() {
                             site.on_broadcast(&bc);
                         }
-                        site.observe(item, &mut out);
-                        for msg in out.drain(..) {
-                            up_tx.send((sid, msg)).expect("coordinator hung up");
+                        // One batch of arrivals. A pause-on-message site
+                        // returns whenever `out` is non-empty, so move its
+                        // messages into the batch's shipping buffer before
+                        // every resumption — the site always resumes with
+                        // an empty `out`, and a return that adds nothing
+                        // means (per the contract) the batch is exhausted.
+                        let mut batch = it.by_ref().take(batch_size);
+                        loop {
+                            site.observe_batch(&mut batch, &mut out);
+                            if out.is_empty() {
+                                break;
+                            }
+                            shipping.append(&mut out);
+                        }
+                        if !shipping.is_empty() {
+                            // One send — and one allocation — per batch.
+                            up_tx
+                                .send((sid, std::mem::take(&mut shipping)))
+                                .expect("coordinator hung up");
                         }
                     }
                     site
@@ -180,14 +389,16 @@ pub mod threaded {
             drop(up_tx); // coordinator's recv ends when all sites finish
 
             let mut bc_buf = Vec::new();
-            while let Ok((sid, msg)) = up_rx.recv() {
-                stats.record_up(msg.cost());
-                coordinator.receive(sid, msg, &mut bc_buf);
-                for bc in bc_buf.drain(..) {
-                    stats.record_broadcast();
-                    for tx in &bc_txs {
-                        // A site may already have finished; that's fine.
-                        let _ = tx.send(bc.clone());
+            while let Ok((sid, batch)) = up_rx.recv() {
+                for msg in batch {
+                    stats.record_up(msg.cost());
+                    coordinator.receive(sid, msg, &mut bc_buf);
+                    for bc in bc_buf.drain(..) {
+                        stats.record_broadcast();
+                        for tx in &bc_txs {
+                            // A site may already have finished; that's fine.
+                            let _ = tx.send(bc.clone());
+                        }
                     }
                 }
             }
@@ -196,8 +407,7 @@ pub mod threaded {
                 .into_iter()
                 .map(|h| h.join().expect("site thread panicked"))
                 .collect::<Vec<S>>()
-        })
-        .expect("thread scope failed");
+        });
 
         (site_results, coordinator, stats)
     }
@@ -206,10 +416,12 @@ pub mod threaded {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partition::RoundRobin;
 
     /// Toy protocol for driver tests: sites accumulate weight and report
     /// it when it reaches a threshold; the coordinator sums reports and
     /// doubles the threshold each time the total doubles.
+    #[derive(Clone)]
     struct ToySite {
         pending: f64,
         threshold: f64,
@@ -260,8 +472,19 @@ mod tests {
     }
 
     fn toy_runner(m: usize) -> Runner<ToySite, ToyCoord> {
-        let sites = (0..m).map(|_| ToySite { pending: 0.0, threshold: 1.0 }).collect();
-        Runner::new(sites, ToyCoord { total: 0.0, last_broadcast_at: 0.0 })
+        let sites = (0..m)
+            .map(|_| ToySite {
+                pending: 0.0,
+                threshold: 1.0,
+            })
+            .collect();
+        Runner::new(
+            sites,
+            ToyCoord {
+                total: 0.0,
+                last_broadcast_at: 0.0,
+            },
+        )
     }
 
     #[test]
@@ -297,22 +520,144 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of range")]
+    fn feed_batch_checks_site_index() {
+        let mut r = toy_runner(2);
+        r.feed_batch(3, vec![1.0]);
+    }
+
+    /// The load-bearing refactoring invariant: batched delivery is
+    /// execution-equivalent to per-item delivery in the same order.
+    #[test]
+    fn feed_batch_matches_per_item_exactly() {
+        let weights: Vec<f64> = (0..500).map(|i| 1.0 + (i % 7) as f64 * 0.5).collect();
+        for batch in [1usize, 3, 64, 500] {
+            let mut by_item = toy_runner(2);
+            let mut by_batch = toy_runner(2);
+            for chunk in weights.chunks(batch) {
+                for &w in chunk {
+                    by_item.feed(0, w);
+                }
+                by_batch.feed_batch(0, chunk.iter().copied());
+            }
+            assert_eq!(
+                by_item.stats().up_msgs,
+                by_batch.stats().up_msgs,
+                "batch={batch}"
+            );
+            assert_eq!(
+                by_item.stats().total(),
+                by_batch.stats().total(),
+                "batch={batch}"
+            );
+            assert_eq!(
+                by_item.coordinator().total,
+                by_batch.coordinator().total,
+                "batch={batch}"
+            );
+            for (a, b) in by_item.sites().iter().zip(by_batch.sites()) {
+                assert_eq!(a.pending, b.pending, "batch={batch}");
+                assert_eq!(a.threshold, b.threshold, "batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_partitioned_batch_one_equals_feed_loop() {
+        let weights: Vec<f64> = (0..300).map(|i| 1.0 + (i % 5) as f64).collect();
+        let mut by_item = toy_runner(3);
+        for (i, &w) in weights.iter().enumerate() {
+            by_item.feed(i % 3, w);
+        }
+        let mut by_stream = toy_runner(3);
+        by_stream.run_partitioned(weights.iter().copied(), &mut RoundRobin::new(3), 1);
+        assert_eq!(by_item.stats(), by_stream.stats());
+        assert_eq!(by_item.coordinator().total, by_stream.coordinator().total);
+    }
+
+    #[test]
+    fn run_partitioned_conserves_weight_at_any_batch_size() {
+        let weights: Vec<f64> = (0..400).map(|_| 1.0).collect();
+        for batch in [1usize, 7, 64, 1024] {
+            let mut r = toy_runner(4);
+            r.run_partitioned(weights.iter().copied(), &mut RoundRobin::new(4), batch);
+            let pending: f64 = r.sites().iter().map(|s| s.pending).sum();
+            assert_eq!(r.coordinator().total + pending, 400.0, "batch={batch}");
+            assert_eq!(r.stats().arrivals, 400, "batch={batch}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn run_partitioned_rejects_zero_batch() {
+        let mut r = toy_runner(2);
+        r.run_partitioned(std::iter::empty(), &mut RoundRobin::new(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different deployment")]
+    fn run_partitioned_rejects_mismatched_partitioner() {
+        let mut r = toy_runner(2);
+        r.run_partitioned(std::iter::once(1.0), &mut RoundRobin::new(3), 8);
+    }
+
+    #[test]
     fn threaded_conserves_weight() {
-        let sites: Vec<ToySite> =
-            (0..4).map(|_| ToySite { pending: 0.0, threshold: 1.0 }).collect();
-        let coord = ToyCoord { total: 0.0, last_broadcast_at: 0.0 };
+        let sites: Vec<ToySite> = (0..4)
+            .map(|_| ToySite {
+                pending: 0.0,
+                threshold: 1.0,
+            })
+            .collect();
+        let coord = ToyCoord {
+            total: 0.0,
+            last_broadcast_at: 0.0,
+        };
         let inputs: Vec<Vec<f64>> = (0..4).map(|_| vec![1.0; 50]).collect();
         let (sites, coord, stats) = threaded::run_partitioned(sites, coord, inputs);
         let pending: f64 = sites.iter().map(|s| s.pending).sum();
         assert_eq!(coord.total + pending, 200.0);
         assert!(stats.up_msgs > 0);
+        assert_eq!(stats.arrivals, 200);
+    }
+
+    #[test]
+    fn threaded_conserves_weight_at_every_batch_size() {
+        for batch in [1usize, 2, 16, 1000] {
+            let sites: Vec<ToySite> = (0..3)
+                .map(|_| ToySite {
+                    pending: 0.0,
+                    threshold: 1.0,
+                })
+                .collect();
+            let coord = ToyCoord {
+                total: 0.0,
+                last_broadcast_at: 0.0,
+            };
+            let inputs: Vec<Vec<f64>> = (0..3).map(|_| vec![1.0; 70]).collect();
+            let cfg = threaded::ThreadedConfig {
+                batch_size: batch,
+                channel_capacity: 2,
+            };
+            let (sites, coord, stats) = threaded::run_partitioned_with(sites, coord, inputs, &cfg);
+            let pending: f64 = sites.iter().map(|s| s.pending).sum();
+            assert_eq!(coord.total + pending, 210.0, "batch={batch}");
+            assert!(stats.up_msgs > 0, "batch={batch}");
+        }
     }
 
     #[test]
     fn threaded_handles_empty_streams() {
-        let sites: Vec<ToySite> =
-            (0..3).map(|_| ToySite { pending: 0.0, threshold: 1.0 }).collect();
-        let coord = ToyCoord { total: 0.0, last_broadcast_at: 0.0 };
+        let sites: Vec<ToySite> = (0..3)
+            .map(|_| ToySite {
+                pending: 0.0,
+                threshold: 1.0,
+            })
+            .collect();
+        let coord = ToyCoord {
+            total: 0.0,
+            last_broadcast_at: 0.0,
+        };
         let inputs: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
         let (_, coord, stats) = threaded::run_partitioned(sites, coord, inputs);
         assert_eq!(coord.total, 0.0);

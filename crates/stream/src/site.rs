@@ -2,12 +2,12 @@
 
 /// A protocol participant observing one of the `m` local streams.
 ///
-/// A site reacts to two stimuli: an arrival from its local stream
-/// ([`Site::observe`]) and a broadcast from the coordinator
-/// ([`Site::on_broadcast`]). Any messages for the coordinator are pushed
-/// into the `out` buffer — a buffer rather than a return value so the hot
-/// path allocates nothing when (as almost always) there is nothing to
-/// send.
+/// A site reacts to two stimuli: arrivals from its local stream
+/// ([`Site::observe`] for one, [`Site::observe_batch`] for many) and a
+/// broadcast from the coordinator ([`Site::on_broadcast`]). Any messages
+/// for the coordinator are pushed into the `out` buffer — a buffer rather
+/// than a return value so the hot path allocates nothing when (as almost
+/// always) there is nothing to send.
 pub trait Site {
     /// One arrival from the local stream (a weighted item, a matrix
     /// row, …).
@@ -20,6 +20,54 @@ pub trait Site {
     /// Processes one arrival, pushing any resulting messages for the
     /// coordinator onto `out`.
     fn observe(&mut self, input: Self::Input, out: &mut Vec<Self::UpMsg>);
+
+    /// Processes arrivals from `inputs` until the iterator is exhausted
+    /// **or** at least one message has been pushed onto `out` — the
+    /// batch-first entry point of the execution substrate.
+    ///
+    /// # Contract
+    ///
+    /// * The site consumes arrivals strictly in iterator order.
+    /// * The site may return **before** exhausting `inputs`, but only
+    ///   when `out` is non-empty; conversely, a return without any
+    ///   message pushed means the iterator is exhausted. This is the one
+    ///   rule drivers rely on to know when a batch is done.
+    /// * The default discipline — and what every protocol implements
+    ///   unless explicitly configured otherwise — is *pause-on-message*:
+    ///   stop at the first arrival that produces messages and produce
+    ///   exactly the messages repeated [`Site::observe`] calls would.
+    ///   The driver then routes the pending messages (and delivers any
+    ///   broadcasts they trigger) before resuming the site on the
+    ///   remaining iterator, so batched execution is observably
+    ///   identical to per-item execution — same messages, same
+    ///   [`crate::CommStats`] — at every batch size.
+    /// * A protocol may offer a documented *relaxed* batching mode that
+    ///   keeps processing past a message within the batch (e.g. MT-P2's
+    ///   deferred decomposition check), shipping everything at the batch
+    ///   boundary. Such modes trade bounded extra estimator slack for
+    ///   throughput and must be explicit opt-ins.
+    ///
+    /// Between messages — the overwhelmingly common case, since the
+    /// protocols' whole point is sublinear communication — the site runs
+    /// one tight loop over the batch with no per-item driver round-trip.
+    /// Protocols override this method when the math allows a genuinely
+    /// faster batched step (hoisted threshold computation, batched
+    /// projections, deferred Gram accumulation); the default simply
+    /// loops over [`Site::observe`], pausing at the first message.
+    fn observe_batch(
+        &mut self,
+        inputs: impl IntoIterator<Item = Self::Input>,
+        out: &mut Vec<Self::UpMsg>,
+    ) where
+        Self: Sized,
+    {
+        for input in inputs {
+            self.observe(input, out);
+            if !out.is_empty() {
+                return;
+            }
+        }
+    }
 
     /// Applies a coordinator broadcast (typically a refreshed global
     /// threshold such as `Ŵ`, `F̂` or `τ`).

@@ -44,8 +44,16 @@ fn main() {
     println!("true {phi:.0e}-heavy URLs       : {}", truth.len());
 
     for (name, hh, msgs) in [
-        ("P2 (deterministic)", det.coordinator().heavy_hitters(phi, epsilon), det.stats().total()),
-        ("P4 (randomized)", rnd.coordinator().heavy_hitters(phi, epsilon), rnd.stats().total()),
+        (
+            "P2 (deterministic)",
+            det.coordinator().heavy_hitters(phi, epsilon),
+            det.stats().total(),
+        ),
+        (
+            "P4 (randomized)",
+            rnd.coordinator().heavy_hitters(phi, epsilon),
+            rnd.stats().total(),
+        ),
     ] {
         println!("\n--- {name} ---");
         println!(

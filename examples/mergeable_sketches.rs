@@ -59,8 +59,9 @@ fn main() {
     // --- Frequent Directions over matrix rows --------------------------
     let d = 32;
     let ell = 24;
-    let mut fd_parts: Vec<FrequentDirections> =
-        (0..shards).map(|_| FrequentDirections::new(d, ell)).collect();
+    let mut fd_parts: Vec<FrequentDirections> = (0..shards)
+        .map(|_| FrequentDirections::new(d, ell))
+        .collect();
     let mut truth = StreamingGram::new(d);
     let spectrum: Vec<f64> = (0..10).map(|j| 5.0 * 0.75_f64.powi(j)).collect();
     let mut rows = SyntheticMatrixStream::new(d, &spectrum, 1e6, 12);
@@ -71,11 +72,16 @@ fn main() {
     }
     let merged_fd = merge_tree(fd_parts, |a, b| a.merge(b));
 
-    let err = truth.error_of_sketch(merged_fd.sketch()).expect("error metric");
+    let err = truth
+        .error_of_sketch(merged_fd.sketch())
+        .expect("error metric");
     let bound = merged_fd.error_bound();
     println!("Frequent Directions: {shards} shards × ℓ={ell} rows, merged pairwise");
     println!("  union covariance error    : {:.5} · ‖A‖²F", err);
-    println!("  a-priori bound 2/ℓ        : {:.5} · ‖A‖²F", bound / truth.frob_sq());
+    println!(
+        "  a-priori bound 2/ℓ        : {:.5} · ‖A‖²F",
+        bound / truth.frob_sq()
+    );
     assert!(err * truth.frob_sq() <= bound + 1e-6 * truth.frob_sq());
     println!("  merged sketch keeps the union-stream guarantee ✓");
 }

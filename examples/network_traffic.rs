@@ -21,8 +21,7 @@ fn main() {
     let phi = 0.02;
     let flows = 400_000;
 
-    let stream: Vec<(u64, f64)> =
-        WeightedZipfStream::new(1 << 20, 2.0, 1500.0, 99).take_vec(flows);
+    let stream: Vec<(u64, f64)> = WeightedZipfStream::new(1 << 20, 2.0, 1500.0, 99).take_vec(flows);
     let mut exact = ExactWeightedCounter::new();
     for &(ip, bytes) in &stream {
         exact.update(ip, bytes);
@@ -30,7 +29,11 @@ fn main() {
 
     println!("flows                    : {flows} across {routers} routers");
     println!("distinct destinations    : {}", exact.distinct());
-    println!("true {:.0}%-heavy destinations: {}", phi * 100.0, exact.heavy_hitters(phi).len());
+    println!(
+        "true {:.0}%-heavy destinations: {}",
+        phi * 100.0,
+        exact.heavy_hitters(phi).len()
+    );
     println!();
     println!("protocol | recall | precision | avg rel err | messages | % of naive");
 
@@ -53,7 +56,11 @@ fn main() {
                 msgs,
                 100.0 * msgs as f64 / flows as f64
             );
-            assert!(ev.recall >= 1.0, "{} missed a true heavy destination", $name);
+            assert!(
+                ev.recall >= 1.0,
+                "{} missed a true heavy destination",
+                $name
+            );
         }};
     }
 

@@ -51,10 +51,16 @@ fn main() {
     println!("matrix tracking after a mid-stream rotation:");
     println!("  window rows              : {window}");
     println!("  ‖A_W v₁‖² (exact window) : {true_top:>12.0}");
-    println!("  windowed sketch          : {sw_top:>12.0}  ({} buckets)", sw.bucket_count());
+    println!(
+        "  windowed sketch          : {sw_top:>12.0}  ({} buckets)",
+        sw.bucket_count()
+    );
     println!("  infinite-stream sketch   : {inf_top:>12.0}  (diluted by old regime)");
     let sw_rel = (sw_top - true_top).abs() / true_top;
-    assert!(sw_rel < 0.25, "windowed sketch misses the new regime: {sw_rel}");
+    assert!(
+        sw_rel < 0.25,
+        "windowed sketch misses the new regime: {sw_rel}"
+    );
     println!("  → the windowed sketch tracks the new regime ✓\n");
 
     // --- frequency side: heavy hitters of the last `window` items -----
@@ -75,8 +81,17 @@ fn main() {
     let w_est_1 = sw.estimate(1);
     let w_est_2 = sw.estimate(2);
     println!("heavy hitters after a regime change (window = {window} items):");
-    println!("  old item 1: windowed {w_est_1:>9.0}  infinite {:>9.0}", infinite.estimate(1));
-    println!("  new item 2: windowed {w_est_2:>9.0}  infinite {:>9.0}", infinite.estimate(2));
-    assert!(w_est_2 > 4.0 * w_est_1.max(1.0), "window failed to flip to the new item");
+    println!(
+        "  old item 1: windowed {w_est_1:>9.0}  infinite {:>9.0}",
+        infinite.estimate(1)
+    );
+    println!(
+        "  new item 2: windowed {w_est_2:>9.0}  infinite {:>9.0}",
+        infinite.estimate(2)
+    );
+    assert!(
+        w_est_2 > 4.0 * w_est_1.max(1.0),
+        "window failed to flip to the new item"
+    );
     println!("  → the windowed summary crowns the new heavy hitter ✓");
 }

@@ -19,7 +19,11 @@
 use cma::data::{StreamingGram, SyntheticMatrixStream};
 use cma::sketch::FrequentDirections;
 
-fn run(stream: &mut SyntheticMatrixStream, n: usize, ell: usize) -> (FrequentDirections, StreamingGram) {
+fn run(
+    stream: &mut SyntheticMatrixStream,
+    n: usize,
+    ell: usize,
+) -> (FrequentDirections, StreamingGram) {
     let d = stream.dim();
     let mut fd = FrequentDirections::new(d, ell);
     let mut truth = StreamingGram::new(d);
@@ -46,7 +50,10 @@ fn frobenius_sandwich() {
     let bk = fd.rank_k_sketch(k);
     let gap = truth.frob_sq() - bk.frob_norm_sq();
 
-    assert!(gap >= opt - 1e-6 * truth.frob_sq(), "gap {gap} below optimal {opt}");
+    assert!(
+        gap >= opt - 1e-6 * truth.frob_sq(),
+        "gap {gap} below optimal {opt}"
+    );
     assert!(
         gap <= (1.0 + eps) * opt + 1e-6 * truth.frob_sq(),
         "gap {gap} exceeds (1+ε)·opt = {}",
@@ -86,5 +93,8 @@ fn low_rank_recovery() {
 
     let proj_err = truth.projection_error(&fd.top_directions(k));
     let relative = proj_err / truth.frob_sq();
-    assert!(relative < 1e-4, "lost {relative} of the matrix on low-rank input");
+    assert!(
+        relative < 1e-4,
+        "lost {relative} of the matrix on low-rank input"
+    );
 }

@@ -65,7 +65,10 @@ fn fig1_message_ordering() {
     let m1 = msgs!(hh::p1::deploy(&cfg));
     let m2 = msgs!(hh::p2::deploy(&cfg));
     let m4 = msgs!(hh::p4::deploy(&cfg));
-    assert!(m4 < m2 && m2 < m1, "ordering violated: P1={m1} P2={m2} P4={m4}");
+    assert!(
+        m4 < m2 && m2 < m1,
+        "ordering violated: P1={m1} P2={m2} P4={m4}"
+    );
 }
 
 /// Figure 2(a)/3(a): matrix error grows with ε for each protocol.
@@ -84,7 +87,11 @@ fn fig2_matrix_error_grows_with_epsilon() {
             truth.update(&row);
             runner.feed(i % m, row);
         }
-        errs.push(truth.error_of_sketch(&runner.coordinator().sketch()).unwrap());
+        errs.push(
+            truth
+                .error_of_sketch(&runner.coordinator().sketch())
+                .unwrap(),
+        );
     }
     assert!(
         errs[0] < errs[1],
@@ -145,11 +152,16 @@ fn fig2_sites_scale_messages_not_error() {
             truth.update(&row);
             runner.feed(i % m, row);
         }
-        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+        let err = truth
+            .error_of_sketch(&runner.coordinator().sketch())
+            .unwrap();
         assert!(err <= eps, "m={m}: err {err} > ε");
         msgs.push(runner.stats().total());
     }
-    assert!(msgs[0] < msgs[1] && msgs[1] < msgs[2], "P2 messages vs m: {msgs:?}");
+    assert!(
+        msgs[0] < msgs[1] && msgs[1] < msgs[2],
+        "P2 messages vs m: {msgs:?}"
+    );
 }
 
 /// Figures 6–7: P4's matrix error dwarfs P2's at equal ε on rotated
@@ -172,11 +184,16 @@ fn fig67_p4_always_worse() {
                     truth.update(&row);
                     runner.feed(i % m, row);
                 }
-                truth.error_of_sketch(&runner.coordinator().sketch()).unwrap()
+                truth
+                    .error_of_sketch(&runner.coordinator().sketch())
+                    .unwrap()
             }};
         }
         let e2 = err!(p2);
         let e4 = err!(p4);
-        assert!(e4 > 2.0 * e2, "m={m}: P4 ({e4}) not clearly worse than P2 ({e2})");
+        assert!(
+            e4 > 2.0 * e2,
+            "m={m}: P4 ({e4}) not clearly worse than P2 ({e2})"
+        );
     }
 }

@@ -65,8 +65,17 @@ fn all_protocols_meet_contract_on_zipf() {
             // weight tracker only promises the 2-approximation
             // Ŵ ≤ W ≤ 2Ŵ that calibrates its send probability.
             let w_hat = runner.coordinator().total_weight();
-            assert!(w_hat <= w * (1.0 + 3.0 * eps), "{}: Ŵ={w_hat} above W={w}", $name);
-            assert!(w_hat >= w / 2.0 - 1e-9, "{}: Ŵ={w_hat} below W/2={}", $name, w / 2.0);
+            assert!(
+                w_hat <= w * (1.0 + 3.0 * eps),
+                "{}: Ŵ={w_hat} above W={w}",
+                $name
+            );
+            assert!(
+                w_hat >= w / 2.0 - 1e-9,
+                "{}: Ŵ={w_hat} below W/2={}",
+                $name,
+                w / 2.0
+            );
         }};
     }
 
@@ -134,8 +143,14 @@ fn communication_ordering_matches_paper() {
     let m1 = run!(p1::deploy(&cfg), stream, m).stats().total();
     let m2 = run!(p2::deploy(&cfg), stream, m).stats().total();
     let m4 = run!(p4::deploy(&cfg), stream, m).stats().total();
-    assert!(m2 < m1, "P2 ({m2}) should use fewer messages than P1 ({m1})");
-    assert!(m4 < m2, "P4 ({m4}) should use fewer messages than P2 ({m2}) at m={m}");
+    assert!(
+        m2 < m1,
+        "P2 ({m2}) should use fewer messages than P1 ({m1})"
+    );
+    assert!(
+        m4 < m2,
+        "P4 ({m4}) should use fewer messages than P2 ({m2}) at m={m}"
+    );
 }
 
 /// Unweighted special case (β = 1): the protocols degrade gracefully to
@@ -161,9 +176,33 @@ fn single_site_degenerate_case() {
     let (stream, exact) = zipf(10_000, 50.0, 6);
     let cfg = HhConfig::new(m, eps).with_seed(6);
     for (name, ev) in [
-        ("P1", metrics::evaluate(run!(p1::deploy(&cfg), stream, m).coordinator(), &exact, PHI, eps)),
-        ("P2", metrics::evaluate(run!(p2::deploy(&cfg), stream, m).coordinator(), &exact, PHI, eps)),
-        ("P3", metrics::evaluate(run!(p3::deploy(&cfg), stream, m).coordinator(), &exact, PHI, eps)),
+        (
+            "P1",
+            metrics::evaluate(
+                run!(p1::deploy(&cfg), stream, m).coordinator(),
+                &exact,
+                PHI,
+                eps,
+            ),
+        ),
+        (
+            "P2",
+            metrics::evaluate(
+                run!(p2::deploy(&cfg), stream, m).coordinator(),
+                &exact,
+                PHI,
+                eps,
+            ),
+        ),
+        (
+            "P3",
+            metrics::evaluate(
+                run!(p3::deploy(&cfg), stream, m).coordinator(),
+                &exact,
+                PHI,
+                eps,
+            ),
+        ),
     ] {
         assert_eq!(ev.recall, 1.0, "{name} failed with one site");
     }

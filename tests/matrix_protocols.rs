@@ -39,7 +39,9 @@ fn contract_on_pamap_like() {
             let mut runner = $runner;
             let mut stream = SyntheticMatrixStream::pamap_like(11);
             let truth = run_stream(&mut runner, &mut stream, n, m);
-            let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+            let err = truth
+                .error_of_sketch(&runner.coordinator().sketch())
+                .unwrap();
             assert!(err <= eps, "{}: err {err} > ε {eps}", $name);
             assert!(runner.stats().total() > 0);
             err
@@ -63,7 +65,9 @@ fn contract_on_msd_like() {
             let mut runner = $runner;
             let mut stream = SyntheticMatrixStream::msd_like(12);
             let truth = run_stream(&mut runner, &mut stream, n, m);
-            let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+            let err = truth
+                .error_of_sketch(&runner.coordinator().sketch())
+                .unwrap();
             assert!(err <= eps, "{}: err {err} > ε {eps}", $name);
         }};
     }
@@ -89,7 +93,9 @@ fn table1_orderings() {
             let mut runner = $runner;
             let mut stream = SyntheticMatrixStream::pamap_like($seed);
             let truth = run_stream(&mut runner, &mut stream, n, m);
-            let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+            let err = truth
+                .error_of_sketch(&runner.coordinator().sketch())
+                .unwrap();
             (err, runner.stats().total())
         }};
     }
@@ -99,11 +105,26 @@ fn table1_orderings() {
     let (err3, msg3) = measure!(p3::deploy(&cfg), 13);
     let (err3wr, msg3wr) = measure!(p3wr::deploy(&cfg), 13);
 
-    assert!(err1 < err2 && err1 < err3, "P1 should be most accurate: {err1} vs {err2}/{err3}");
-    assert!(msg2 < msg1, "P2 ({msg2}) should be cheaper than P1 ({msg1})");
-    assert!(msg3 < msg1, "P3 ({msg3}) should be cheaper than P1 ({msg1})");
-    assert!(msg3 < msg3wr, "P3wor ({msg3}) should be cheaper than P3wr ({msg3wr})");
-    assert!(err3 <= err3wr * 1.5 + 0.01, "P3wor ({err3}) should not lose badly to P3wr ({err3wr})");
+    assert!(
+        err1 < err2 && err1 < err3,
+        "P1 should be most accurate: {err1} vs {err2}/{err3}"
+    );
+    assert!(
+        msg2 < msg1,
+        "P2 ({msg2}) should be cheaper than P1 ({msg1})"
+    );
+    assert!(
+        msg3 < msg1,
+        "P3 ({msg3}) should be cheaper than P1 ({msg1})"
+    );
+    assert!(
+        msg3 < msg3wr,
+        "P3wor ({msg3}) should be cheaper than P3wr ({msg3wr})"
+    );
+    assert!(
+        err3 <= err3wr * 1.5 + 0.01,
+        "P3wor ({err3}) should not lose badly to P3wr ({err3wr})"
+    );
 }
 
 /// The Appendix C negative result: P4's error on rotated (non-axis-
@@ -128,7 +149,10 @@ fn p4_negative_result() {
 
     assert!(err2 <= eps, "P2 contract: {err2}");
     assert!(err4 > eps, "P4 unexpectedly met the contract: {err4}");
-    assert!(err4 > 3.0 * err2, "P4 ({err4}) should be far worse than P2 ({err2})");
+    assert!(
+        err4 > 3.0 * err2,
+        "P4 ({err4}) should be far worse than P2 ({err2})"
+    );
 }
 
 /// One-sided guarantee of the deterministic protocols: `‖Bx‖² ≤ ‖Ax‖²`
@@ -155,8 +179,13 @@ fn deterministic_sketches_never_overestimate() {
             let mut rng = StdRng::seed_from_u64(99);
             for _ in 0..30 {
                 let x = unit_vector(&mut rng, 20);
-                let ax: f64 =
-                    truth.gram().apply(&x).iter().zip(&x).map(|(g, xi)| g * xi).sum();
+                let ax: f64 = truth
+                    .gram()
+                    .apply(&x)
+                    .iter()
+                    .zip(&x)
+                    .map(|(g, xi)| g * xi)
+                    .sum();
                 let bx = sketch.apply_norm_sq(&x);
                 assert!(
                     bx <= ax + 1e-6 * truth.frob_sq(),
@@ -184,7 +213,9 @@ fn skewed_placement_matrix() {
         truth.update(&row);
         runner.feed(0, row);
     }
-    let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+    let err = truth
+        .error_of_sketch(&runner.coordinator().sketch())
+        .unwrap();
     assert!(err <= eps, "skewed placement: err {err}");
 }
 
@@ -202,9 +233,14 @@ fn site_scaling_matches_figure2() {
         let mut runner = p2::deploy(&cfg);
         let mut stream = SyntheticMatrixStream::pamap_like(17);
         let truth = run_stream(&mut runner, &mut stream, n, m);
-        let err = truth.error_of_sketch(&runner.coordinator().sketch()).unwrap();
+        let err = truth
+            .error_of_sketch(&runner.coordinator().sketch())
+            .unwrap();
         assert!(err <= eps, "m={m}: err {err}");
         msgs.push(runner.stats().total());
     }
-    assert!(msgs[1] > msgs[0], "P2 messages should grow with m: {msgs:?}");
+    assert!(
+        msgs[1] > msgs[0],
+        "P2 messages should grow with m: {msgs:?}"
+    );
 }

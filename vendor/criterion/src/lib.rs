@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot fetch crates.io, so this workspace ships
+//! the subset of criterion's API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`Throughput`], [`BatchSize`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is deliberately simple — a
+//! warm-up pass, then a fixed number of timed samples whose median is
+//! reported, with elements-per-second derived from the group's
+//! [`Throughput`] — which is plenty to compare configurations of the
+//! same workload within one run (the only way the benches here are
+//! used). Output is one line per benchmark on stdout.
+
+use std::time::{Duration, Instant};
+
+/// How a benchmark's element count maps to reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Strategy hint for [`Bencher::iter_batched`] (accepted, not acted on).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle, passed to every benchmark function.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards everything after `--`;
+        // cargo itself also passes `--bench`. Take the first
+        // non-flag token as a substring filter, like criterion does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id, self.filter.as_deref(), self.sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput units and sample counts.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size: need at least 2 samples");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the per-iteration element/byte count for throughput
+    /// reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_benchmark(
+            &id,
+            self.parent.filter.as_deref(),
+            samples,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to the measured closure.
+pub struct Bencher {
+    /// Median wall time of one iteration, filled in by `iter*`.
+    sample: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to be
+    /// measurable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-sample iteration-count calibration: aim for
+        // ≥ ~20ms of work per sample so the timer resolution vanishes.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters =
+            (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            times.push(t.elapsed() / iters);
+        }
+        times.sort();
+        self.sample = times[times.len() / 2];
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            times.push(t.elapsed());
+        }
+        times.sort();
+        self.sample = times[times.len() / 2];
+    }
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    filter: Option<&str>,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        sample: Duration::ZERO,
+        samples,
+    };
+    f(&mut b);
+    let nanos = b.sample.as_nanos().max(1);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 / nanos as f64 * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 / nanos as f64 * 1e9 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("bench: {id:<48} {:>12.3} ms/iter{rate}", nanos as f64 / 1e6);
+}
+
+/// Declares a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+        };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+            sample_size: 3,
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn groups_time_batched_routines() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut total = 0u64;
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || (0..100u64).collect::<Vec<_>>(),
+                |v| {
+                    total += v.iter().sum::<u64>();
+                    total
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert!(total > 0);
+    }
+}
