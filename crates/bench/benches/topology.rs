@@ -1,0 +1,94 @@
+//! Criterion throughput across the aggregation-topology axis: the same
+//! protocol, stream and batch size through the flat star vs k-ary trees
+//! at several fanouts.
+//!
+//! Tree aggregation exists to bound coordinator fan-in, not to win raw
+//! single-process throughput — interior hops add work — so this bench
+//! quantifies the price paid per fanout, while the communication-shape
+//! benefit (root fan-in, per-hop traffic) is recorded by the
+//! `bench_protocols` harness into `BENCH_protocols.json`.
+
+use cma_core::{hh, matrix, HhConfig, MatrixConfig, Topology};
+use cma_data::{SyntheticMatrixStream, WeightedZipfStream};
+use cma_stream::partition::RoundRobin;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const HH_N: usize = 20_000;
+const MT_N: usize = 3_000;
+const SITES: usize = 64;
+const BATCH: usize = 256;
+
+fn topologies() -> [(&'static str, Topology); 3] {
+    [
+        ("star", Topology::Star),
+        ("tree4", Topology::Tree { fanout: 4 }),
+        ("tree8", Topology::Tree { fanout: 8 }),
+    ]
+}
+
+fn bench_hh_topologies(c: &mut Criterion) {
+    let stream = WeightedZipfStream::new(10_000, 2.0, 1_000.0, 3).take_vec(HH_N);
+    let cfg = HhConfig::new(SITES, 0.05).with_seed(1);
+    let mut g = c.benchmark_group("hh_topology");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(HH_N as u64));
+
+    macro_rules! bench_one {
+        ($name:literal, $deploy:path) => {
+            for (tname, topo) in topologies() {
+                g.bench_function(format!("{}/{tname}", $name), |b| {
+                    b.iter(|| {
+                        let mut runner = $deploy(&cfg, topo);
+                        runner.run_partitioned(
+                            stream.iter().copied(),
+                            &mut RoundRobin::new(SITES),
+                            BATCH,
+                        );
+                        black_box(runner.stats().total())
+                    })
+                });
+            }
+        };
+    }
+    bench_one!("p1", hh::p1::deploy_topology);
+    bench_one!("p2", hh::p2::deploy_topology);
+    bench_one!("p3", hh::p3::deploy_topology);
+    bench_one!("p4", hh::p4::deploy_topology);
+    g.finish();
+}
+
+fn bench_matrix_topologies(c: &mut Criterion) {
+    let rows: Vec<Vec<f64>> = {
+        let mut s = SyntheticMatrixStream::pamap_like(5);
+        (0..MT_N).map(|_| s.next_row()).collect()
+    };
+    let cfg = MatrixConfig::new(SITES, 0.1, 44).with_seed(2);
+    let mut g = c.benchmark_group("matrix_topology");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(MT_N as u64));
+
+    macro_rules! bench_one {
+        ($name:literal, $deploy:path) => {
+            for (tname, topo) in topologies() {
+                g.bench_function(format!("{}/{tname}", $name), |b| {
+                    b.iter(|| {
+                        let mut runner = $deploy(&cfg, topo);
+                        runner.run_partitioned(
+                            rows.iter().cloned(),
+                            &mut RoundRobin::new(SITES),
+                            BATCH,
+                        );
+                        black_box(runner.stats().total())
+                    })
+                });
+            }
+        };
+    }
+    bench_one!("p1", matrix::p1::deploy_topology);
+    bench_one!("p3", matrix::p3::deploy_topology);
+    g.finish();
+}
+
+criterion_group!(benches, bench_hh_topologies, bench_matrix_topologies);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! `BENCH_protocols.json` recorder — the perf trajectory across PRs.
+//!
+//! Runs every protocol through the batch-first runner across the batch
+//! and topology axes, measuring wall-clock throughput *and* the measured
+//! communication profile (total cost, root fan-in, broadcast fan-out,
+//! hops), and writes one JSON document so successive PRs can diff
+//! throughput and communication shape.
+//!
+//! Usage:
+//! ```text
+//! bench_protocols [--out BENCH_protocols.json] [--scale 1.0] [--sites 64]
+//! ```
+//! Build `--release`; the debug profile underreports throughput ~20×.
+
+use cma_bench::{run_hh_topology, run_matrix_topology, Args, HhProtocol, MatrixProtocol};
+use cma_core::{HhConfig, MatrixConfig, Topology};
+use cma_data::{SyntheticMatrixStream, WeightedZipfStream};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BATCHES: [usize; 2] = [64, 1024];
+
+fn topologies() -> [(&'static str, Topology); 3] {
+    [
+        ("star", Topology::Star),
+        ("tree4", Topology::Tree { fanout: 4 }),
+        ("tree8", Topology::Tree { fanout: 8 }),
+    ]
+}
+
+struct Record {
+    family: &'static str,
+    protocol: &'static str,
+    batch: usize,
+    topology: &'static str,
+    elapsed_s: f64,
+    throughput: f64,
+    err: f64,
+    comm: cma_bench::CommSummary,
+}
+
+fn emit(records: &[Record], meta: &str) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"meta\": {meta},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let c = &r.comm;
+        let _ = write!(
+            out,
+            "    {{\"family\": \"{}\", \"protocol\": \"{}\", \"batch\": {}, \"topology\": \"{}\", \
+             \"elapsed_s\": {:.4}, \"throughput_per_s\": {:.0}, \"err\": {:.6e}, \
+             \"msgs_total\": {}, \"up_msgs\": {}, \"broadcast_events\": {}, \"broadcast_cost\": {}, \
+             \"max_fan_in\": {}, \"root_in_msgs\": {}, \"hops\": {}}}",
+            r.family,
+            r.protocol,
+            r.batch,
+            r.topology,
+            r.elapsed_s,
+            r.throughput,
+            r.err,
+            c.total,
+            c.up_msgs,
+            c.broadcast_events,
+            c.broadcast_cost,
+            c.max_fan_in,
+            c.root_in_msgs,
+            c.hops,
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 1.0);
+    let sites: usize = args.get("sites", 64);
+    let out_path = args.get_str("out", "BENCH_protocols.json");
+
+    let hh_n = (120_000.0 * scale) as usize;
+    let mt_n = (6_000.0 * scale) as usize;
+    let hh_cfg = HhConfig::new(sites, 0.05).with_seed(1);
+    let mt_cfg = MatrixConfig::new(sites, 0.1, 44).with_seed(2);
+
+    let hh_stream = WeightedZipfStream::new(10_000, 2.0, 1_000.0, 3).take_vec(hh_n);
+    let mt_rows: Vec<Vec<f64>> = {
+        let mut s = SyntheticMatrixStream::pamap_like(5);
+        (0..mt_n).map(|_| s.next_row()).collect()
+    };
+
+    let mut records = Vec::new();
+
+    for proto in [
+        HhProtocol::P1,
+        HhProtocol::P2,
+        HhProtocol::P3,
+        HhProtocol::P4,
+    ] {
+        for batch in BATCHES {
+            for (tname, topo) in topologies() {
+                eprintln!("hh {} batch={batch} {tname}…", proto.name());
+                let t0 = Instant::now();
+                let (run, comm) = run_hh_topology(proto, &hh_cfg, &hh_stream, 0.05, topo, batch);
+                let dt = t0.elapsed().as_secs_f64();
+                records.push(Record {
+                    family: "hh",
+                    protocol: proto.name(),
+                    batch,
+                    topology: tname,
+                    elapsed_s: dt,
+                    throughput: hh_n as f64 / dt,
+                    err: run.eval.avg_rel_err,
+                    comm,
+                });
+            }
+        }
+    }
+
+    for proto in [
+        MatrixProtocol::P1,
+        MatrixProtocol::P2,
+        MatrixProtocol::P3,
+        MatrixProtocol::P4,
+    ] {
+        for batch in BATCHES {
+            for (tname, topo) in topologies() {
+                eprintln!("matrix {} batch={batch} {tname}…", proto.name());
+                let t0 = Instant::now();
+                let (run, comm) = run_matrix_topology(
+                    proto,
+                    &mt_cfg,
+                    || mt_rows.iter().cloned(),
+                    mt_n,
+                    topo,
+                    batch,
+                );
+                let dt = t0.elapsed().as_secs_f64();
+                records.push(Record {
+                    family: "matrix",
+                    protocol: proto.name(),
+                    batch,
+                    topology: tname,
+                    elapsed_s: dt,
+                    throughput: mt_n as f64 / dt,
+                    err: run.err,
+                    comm,
+                });
+            }
+        }
+    }
+
+    let meta = format!(
+        "{{\"sites\": {sites}, \"hh_n\": {hh_n}, \"mt_n\": {mt_n}, \
+         \"hh_epsilon\": {}, \"mt_epsilon\": {}, \"mt_dim\": {}, \
+         \"batches\": [64, 1024], \"topologies\": [\"star\", \"tree4\", \"tree8\"]}}",
+        hh_cfg.epsilon, mt_cfg.epsilon, mt_cfg.dim
+    );
+    let json = emit(&records, &meta);
+    std::fs::write(&out_path, &json).expect("write BENCH_protocols.json");
+    eprintln!("wrote {} records to {out_path}", records.len());
+}

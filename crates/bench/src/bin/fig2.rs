@@ -6,9 +6,14 @@
 //! Usage:
 //! ```text
 //! fig2 [--scale 0.2] [--full] [--seed 7] [--panel ab|cd|all]
+//!      [--data pamap.csv] [--delim ,]
 //! ```
-//! This binary is the PAMAP instance; `fig3` is the identical sweep on
-//! the MSD-like dataset.
+//! With `--data` the sweep runs on the real PAMAP CSV (loaded through
+//! `cma_data::loader`; rows with missing values dropped, as in the
+//! paper); without it — or if the file fails to load — the synthetic
+//! surrogate is used and a note goes to stderr. This binary is the
+//! PAMAP instance; `fig3` is the identical sweep on the MSD(-like)
+//! dataset.
 
 use cma_bench::figures::{run_figure, FigureSpec};
 use cma_bench::Args;

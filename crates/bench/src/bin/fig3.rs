@@ -6,7 +6,12 @@
 //! Usage:
 //! ```text
 //! fig3 [--scale 0.2] [--full] [--seed 7] [--panel ab|cd|all]
+//!      [--data yearprediction.csv] [--delim ,]
 //! ```
+//! With `--data` the sweep runs on the real YearPredictionMSD CSV
+//! (loaded through `cma_data::loader`); without it — or if the file
+//! fails to load — the synthetic surrogate is used and a note goes to
+//! stderr.
 
 use cma_bench::figures::{run_figure, FigureSpec};
 use cma_bench::Args;

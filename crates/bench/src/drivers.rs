@@ -15,6 +15,7 @@ use cma_linalg::svd::gram_svd;
 use cma_linalg::Matrix;
 use cma_sketch::{ExactWeightedCounter, FrequentDirections};
 use cma_stream::partition::RoundRobin;
+use cma_stream::{CommStats, Topology};
 
 /// Arrivals per epoch when a driver delivers a stream to a deployment
 /// through the batch-first runner. Batched delivery is
@@ -70,39 +71,126 @@ pub struct HhRunResult {
     pub eval: metrics::HhEvaluation,
 }
 
+/// Flattened communication profile of one run — what the JSON bench
+/// recorder and the topology sweeps report.
+#[derive(Debug, Clone)]
+pub struct CommSummary {
+    /// Total message cost (all hops + fanned-out broadcasts).
+    pub total: u64,
+    /// Logical messages leaving the leaf sites.
+    pub up_msgs: u64,
+    /// Broadcast events.
+    pub broadcast_events: u64,
+    /// Broadcast deliveries (one per tree recipient).
+    pub broadcast_cost: u64,
+    /// Structural fan-in bound (m for a star, the fanout for a tree).
+    pub max_fan_in: u64,
+    /// Messages the root coordinator actually received.
+    pub root_in_msgs: u64,
+    /// Hops from leaf to root.
+    pub hops: usize,
+}
+
+impl From<&CommStats> for CommSummary {
+    fn from(s: &CommStats) -> Self {
+        CommSummary {
+            total: s.total(),
+            up_msgs: s.up_msgs,
+            broadcast_events: s.broadcast_events,
+            broadcast_cost: s.broadcast_cost,
+            max_fan_in: s.max_fan_in,
+            root_in_msgs: s.node_in_msgs.last().copied().unwrap_or(0),
+            hops: s.per_level.len(),
+        }
+    }
+}
+
 macro_rules! drive_hh {
-    ($runner:expr, $cfg:expr, $stream:expr, $exact:expr, $phi:expr) => {{
+    ($runner:expr, $cfg:expr, $stream:expr, $exact:expr, $phi:expr, $batch:expr) => {{
         let mut runner = $runner;
         runner.run_partitioned(
             $stream.iter().copied(),
             &mut RoundRobin::new($cfg.sites),
-            DRIVER_BATCH,
+            $batch,
         );
-        let msgs = runner.stats().total();
+        let summary = CommSummary::from(runner.stats());
         let eval = metrics::evaluate(runner.coordinator(), $exact, $phi, $cfg.epsilon);
-        (msgs, eval)
+        (summary, eval)
     }};
 }
 
 /// Runs one heavy-hitter protocol over `stream` and scores it against
 /// exact ground truth at threshold `phi`.
 pub fn run_hh(proto: HhProtocol, cfg: &HhConfig, stream: &[(u64, f64)], phi: f64) -> HhRunResult {
+    let (run, _) = run_hh_topology(proto, cfg, stream, phi, Topology::Star, DRIVER_BATCH);
+    run
+}
+
+/// [`run_hh`] over an explicit aggregation topology and batch size,
+/// additionally reporting the communication profile ([`CommSummary`]) —
+/// the per-hop/fan-in data the topology benches record.
+pub fn run_hh_topology(
+    proto: HhProtocol,
+    cfg: &HhConfig,
+    stream: &[(u64, f64)],
+    phi: f64,
+    topology: Topology,
+    batch: usize,
+) -> (HhRunResult, CommSummary) {
     let mut exact = ExactWeightedCounter::new();
     for &(e, w) in stream {
         exact.update(e, w);
     }
-    let (msgs, eval) = match proto {
-        HhProtocol::P1 => drive_hh!(hh::p1::deploy(cfg), cfg, stream, &exact, phi),
-        HhProtocol::P2 => drive_hh!(hh::p2::deploy(cfg), cfg, stream, &exact, phi),
-        HhProtocol::P3 => drive_hh!(hh::p3::deploy(cfg), cfg, stream, &exact, phi),
-        HhProtocol::P3wr => drive_hh!(hh::p3wr::deploy(cfg), cfg, stream, &exact, phi),
-        HhProtocol::P4 => drive_hh!(hh::p4::deploy(cfg), cfg, stream, &exact, phi),
+    let (summary, eval) = match proto {
+        HhProtocol::P1 => drive_hh!(
+            hh::p1::deploy_topology(cfg, topology),
+            cfg,
+            stream,
+            &exact,
+            phi,
+            batch
+        ),
+        HhProtocol::P2 => drive_hh!(
+            hh::p2::deploy_topology(cfg, topology),
+            cfg,
+            stream,
+            &exact,
+            phi,
+            batch
+        ),
+        HhProtocol::P3 => drive_hh!(
+            hh::p3::deploy_topology(cfg, topology),
+            cfg,
+            stream,
+            &exact,
+            phi,
+            batch
+        ),
+        HhProtocol::P3wr => drive_hh!(
+            hh::p3wr::deploy_topology(cfg, topology),
+            cfg,
+            stream,
+            &exact,
+            phi,
+            batch
+        ),
+        HhProtocol::P4 => drive_hh!(
+            hh::p4::deploy_topology(cfg, topology),
+            cfg,
+            stream,
+            &exact,
+            phi,
+            batch
+        ),
     };
-    HhRunResult {
-        protocol: proto.name(),
-        msgs,
-        eval,
-    }
+    (
+        HhRunResult {
+            protocol: proto.name(),
+            msgs: summary.total,
+            eval,
+        },
+        summary,
+    )
 }
 
 /// The matrix-tracking protocols under test.
@@ -151,18 +239,18 @@ pub struct MatrixRunResult {
 }
 
 macro_rules! drive_matrix {
-    ($runner:expr, $cfg:expr, $rows:expr, $truth:expr) => {{
+    ($runner:expr, $cfg:expr, $rows:expr, $truth:expr, $batch:expr) => {{
         let mut runner = $runner;
         let truth = &mut $truth;
         runner.run_partitioned(
             $rows.inspect(|row| truth.update(row)),
             &mut RoundRobin::new($cfg.sites),
-            DRIVER_BATCH,
+            $batch,
         );
-        let msgs = runner.stats().total();
+        let summary = CommSummary::from(runner.stats());
         let sketch = runner.coordinator().sketch();
         let frob_est = runner.coordinator().frob_estimate();
-        (msgs, sketch, frob_est)
+        (summary, sketch, frob_est)
     }};
 }
 
@@ -179,24 +267,75 @@ where
     F: Fn() -> I,
     I: Iterator<Item = Vec<f64>>,
 {
+    let (run, _) = run_matrix_topology(proto, cfg, make_rows, n, Topology::Star, DRIVER_BATCH);
+    run
+}
+
+/// [`run_matrix`] over an explicit aggregation topology and batch size,
+/// additionally reporting the communication profile ([`CommSummary`]).
+pub fn run_matrix_topology<F, I>(
+    proto: MatrixProtocol,
+    cfg: &MatrixConfig,
+    make_rows: F,
+    n: usize,
+    topology: Topology,
+    batch: usize,
+) -> (MatrixRunResult, CommSummary)
+where
+    F: Fn() -> I,
+    I: Iterator<Item = Vec<f64>>,
+{
     let mut truth = StreamingGram::new(cfg.dim);
     let rows = make_rows().take(n);
-    let (msgs, sketch, frob_est) = match proto {
-        MatrixProtocol::P1 => drive_matrix!(matrix::p1::deploy(cfg), cfg, rows, truth),
-        MatrixProtocol::P2 => drive_matrix!(matrix::p2::deploy(cfg), cfg, rows, truth),
-        MatrixProtocol::P3 => drive_matrix!(matrix::p3::deploy(cfg), cfg, rows, truth),
-        MatrixProtocol::P3wr => drive_matrix!(matrix::p3wr::deploy(cfg), cfg, rows, truth),
-        MatrixProtocol::P4 => drive_matrix!(matrix::p4::deploy(cfg), cfg, rows, truth),
+    let (summary, sketch, frob_est) = match proto {
+        MatrixProtocol::P1 => drive_matrix!(
+            matrix::p1::deploy_topology(cfg, topology),
+            cfg,
+            rows,
+            truth,
+            batch
+        ),
+        MatrixProtocol::P2 => drive_matrix!(
+            matrix::p2::deploy_topology(cfg, topology),
+            cfg,
+            rows,
+            truth,
+            batch
+        ),
+        MatrixProtocol::P3 => drive_matrix!(
+            matrix::p3::deploy_topology(cfg, topology),
+            cfg,
+            rows,
+            truth,
+            batch
+        ),
+        MatrixProtocol::P3wr => drive_matrix!(
+            matrix::p3wr::deploy_topology(cfg, topology),
+            cfg,
+            rows,
+            truth,
+            batch
+        ),
+        MatrixProtocol::P4 => drive_matrix!(
+            matrix::p4::deploy_topology(cfg, topology),
+            cfg,
+            rows,
+            truth,
+            batch
+        ),
     };
     let err = truth
         .error_of_sketch(&sketch)
         .expect("error metric eigensolve");
-    MatrixRunResult {
-        protocol: proto.name(),
-        msgs,
-        err,
-        frob_est,
-    }
+    (
+        MatrixRunResult {
+            protocol: proto.name(),
+            msgs: summary.total,
+            err,
+            frob_est,
+        },
+        summary,
+    )
 }
 
 /// Centralized Frequent Directions baseline for Table 1: every row is
@@ -337,6 +476,39 @@ mod tests {
         // P4 runs but carries no guarantee.
         let r4 = run_matrix(MatrixProtocol::P4, &cfg, make, 2_000);
         assert!(r4.msgs > 0);
+    }
+
+    #[test]
+    fn topology_drivers_reduce_fan_in_and_keep_accuracy() {
+        let stream = small_stream(8_000);
+        let cfg = HhConfig::new(16, 0.05).with_seed(5);
+        let (star, star_comm) =
+            run_hh_topology(HhProtocol::P2, &cfg, &stream, 0.05, Topology::Star, 64);
+        let (tree, tree_comm) = run_hh_topology(
+            HhProtocol::P2,
+            &cfg,
+            &stream,
+            0.05,
+            Topology::Tree { fanout: 4 },
+            64,
+        );
+        assert_eq!(star_comm.max_fan_in, 16);
+        assert_eq!(tree_comm.max_fan_in, 4);
+        assert_eq!(tree_comm.hops, 2);
+        assert!(tree.eval.recall >= star.eval.recall - 0.05);
+
+        let mcfg = MatrixConfig::new(16, 0.3, 6).with_seed(6);
+        let make = || cma_data::SyntheticMatrixStream::new(6, &[3.0, 1.0], 100.0, 7);
+        let (run, comm) = run_matrix_topology(
+            MatrixProtocol::P1,
+            &mcfg,
+            make,
+            1_500,
+            Topology::Tree { fanout: 4 },
+            64,
+        );
+        assert!(run.err <= mcfg.epsilon, "tree MT-P1 err {}", run.err);
+        assert_eq!(comm.max_fan_in, 4);
     }
 
     #[test]

@@ -3,12 +3,20 @@
 //! Figures 2 (PAMAP) and 3 (MSD) are the same four-panel sweep on
 //! different datasets; [`run_figure`] implements the sweep once and the
 //! binaries instantiate it with a [`FigureSpec`].
+//!
+//! By default the sweep runs on the synthetic surrogate streams; pass
+//! `--data <csv>` (alias `--csv <csv>`) to load the real PAMAP /
+//! YearPredictionMSD export through `cma_data::loader` instead — rows
+//! with missing values are dropped, matching the paper's preprocessing.
+//! A load failure falls back to the surrogate with a note on stderr.
 
 use crate::args::Args;
 use crate::drivers::{run_matrix, MatrixProtocol};
 use crate::{MSD_ROWS, PAMAP_ROWS, PAPER_MATRIX_EPSILON, PAPER_SITES};
 use cma_core::MatrixConfig;
+use cma_data::loader::{load_csv_matrix, CsvOptions};
 use cma_data::SyntheticMatrixStream;
+use cma_linalg::Matrix;
 
 /// The paper's ε sweep for Figures 2(a,b) / 3(a,b).
 pub const EPSILONS: [f64; 5] = [5e-3, 1e-2, 5e-2, 1e-1, 5e-1];
@@ -54,7 +62,7 @@ impl FigureSpec {
         }
     }
 
-    /// Builds the dataset stream.
+    /// Builds the surrogate dataset stream.
     pub fn stream(&self, seed: u64) -> SyntheticMatrixStream {
         if self.pamap {
             SyntheticMatrixStream::pamap_like(seed)
@@ -64,30 +72,115 @@ impl FigureSpec {
     }
 }
 
+/// Where the figure's rows come from: the real dataset (loaded once) or
+/// the synthetic surrogate (regenerated per run from the seed).
+enum RowSource {
+    Loaded(Matrix),
+    Surrogate(FigureSpec, u64),
+}
+
+impl RowSource {
+    fn dim(&self) -> usize {
+        match self {
+            RowSource::Loaded(m) => m.cols(),
+            RowSource::Surrogate(spec, _) => spec.dim,
+        }
+    }
+
+    fn rows(&self) -> Box<dyn Iterator<Item = Vec<f64>> + '_> {
+        match self {
+            RowSource::Loaded(m) => Box::new(m.iter_rows().map(<[f64]>::to_vec)),
+            RowSource::Surrogate(spec, seed) => {
+                let mut s = spec.stream(*seed);
+                Box::new(std::iter::from_fn(move || Some(s.next_row())))
+            }
+        }
+    }
+}
+
+/// Resolves `--data` / `--csv` into a row source, falling back to the
+/// surrogate (with a stderr note) when no file is given or it fails to
+/// load.
+fn resolve_source(args: &Args, spec: FigureSpec, seed: u64) -> RowSource {
+    let path = {
+        let p = args.get_str("data", "");
+        if p.is_empty() {
+            args.get_str("csv", "")
+        } else {
+            p
+        }
+    };
+    if path.is_empty() {
+        eprintln!(
+            "{}: no --data csv given; using the synthetic {} surrogate",
+            spec.id, spec.dataset
+        );
+        return RowSource::Surrogate(spec, seed);
+    }
+    let delim = args.get_str("delim", ",");
+    let opts = CsvOptions {
+        delimiter: delim.chars().next().unwrap_or(','),
+        ..Default::default()
+    };
+    match load_csv_matrix(&path, &opts) {
+        Ok(m) => {
+            eprintln!(
+                "{}: loaded {} rows × {} cols from {path}",
+                spec.id,
+                m.rows(),
+                m.cols()
+            );
+            RowSource::Loaded(m)
+        }
+        Err(e) => {
+            eprintln!(
+                "{}: failed to load {path} ({e}); falling back to the synthetic {} surrogate",
+                spec.id, spec.dataset
+            );
+            RowSource::Surrogate(spec, seed)
+        }
+    }
+}
+
 /// Runs the four-panel sweep and prints CSV.
 pub fn run_figure(args: &Args, spec: FigureSpec) {
     let scale: f64 = args.get("scale", 0.2);
-    let n: usize = if args.has("full") {
-        spec.paper_rows
-    } else {
-        (spec.paper_rows as f64 * scale) as usize
-    };
     let seed: u64 = args.get("seed", 7);
     let panel = args.get_str("panel", "all");
+    let source = resolve_source(args, spec, seed);
+
+    let n: usize = match &source {
+        RowSource::Loaded(m) => {
+            // Real data: the whole file unless --scale/--full trims it.
+            if args.has("full") {
+                m.rows()
+            } else {
+                ((m.rows() as f64 * scale) as usize).max(1)
+            }
+        }
+        RowSource::Surrogate(..) => {
+            if args.has("full") {
+                spec.paper_rows
+            } else {
+                (spec.paper_rows as f64 * scale) as usize
+            }
+        }
+    };
+    let dim = source.dim();
 
     println!(
-        "# {}: dataset={} n={n} d={} seed={seed}",
-        spec.id, spec.dataset, spec.dim
+        "# {}: dataset={} n={n} d={dim} seed={seed}",
+        spec.id, spec.dataset
     );
 
     if panel == "all" || panel == "ab" {
         println!("# panels a,b: err and msgs vs epsilon (m = {PAPER_SITES})");
         println!("panel,epsilon,protocol,err,msgs");
         for &eps in &EPSILONS {
-            let cfg = MatrixConfig::new(PAPER_SITES, eps, spec.dim).with_seed(seed);
+            let cfg = MatrixConfig::new(PAPER_SITES, eps, dim).with_seed(seed);
             for proto in MatrixProtocol::FIGURES {
                 eprintln!("{}: eps={eps} {}…", spec.id, proto.name());
-                let r = run_matrix(proto, &cfg, || spec.stream(seed), n);
+                let r = run_matrix(proto, &cfg, || source.rows(), n);
                 println!("ab,{eps},{},{:.6e},{}", r.protocol, r.err, r.msgs);
             }
         }
@@ -97,10 +190,10 @@ pub fn run_figure(args: &Args, spec: FigureSpec) {
         println!("# panels c,d: msgs and err vs sites (epsilon = {PAPER_MATRIX_EPSILON})");
         println!("panel,sites,protocol,err,msgs");
         for &m in &SITE_COUNTS {
-            let cfg = MatrixConfig::new(m, PAPER_MATRIX_EPSILON, spec.dim).with_seed(seed);
+            let cfg = MatrixConfig::new(m, PAPER_MATRIX_EPSILON, dim).with_seed(seed);
             for proto in MatrixProtocol::FIGURES {
                 eprintln!("{}: m={m} {}…", spec.id, proto.name());
-                let r = run_matrix(proto, &cfg, || spec.stream(seed), n);
+                let r = run_matrix(proto, &cfg, || source.rows(), n);
                 println!("cd,{m},{},{:.6e},{}", r.protocol, r.err, r.msgs);
             }
         }

@@ -24,8 +24,8 @@ pub mod figures;
 
 pub use args::Args;
 pub use drivers::{
-    baseline_fd, baseline_svd, run_hh, run_matrix, tune_hh_to_error, HhProtocol, HhRunResult,
-    MatrixProtocol, MatrixRunResult,
+    baseline_fd, baseline_svd, run_hh, run_hh_topology, run_matrix, run_matrix_topology,
+    tune_hh_to_error, CommSummary, HhProtocol, HhRunResult, MatrixProtocol, MatrixRunResult,
 };
 
 /// The paper's default heavy-hitter threshold `φ = 0.05`.

@@ -15,7 +15,7 @@
 use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
 use cma_sketch::MgSummary;
-use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
 
 /// Site → coordinator message: the site's entire Misra–Gries state.
 #[derive(Debug, Clone)]
@@ -35,26 +35,32 @@ impl MessageCost for P1Msg {
 #[derive(Debug, Clone)]
 pub struct P1Site {
     summary: MgSummary,
-    sites: usize,
-    epsilon: f64,
+    /// Flush threshold as a fraction of `Ŵ`: `ε/2m` in a star, half
+    /// that in a tree (the other half of the unreported-weight budget
+    /// goes to the interior aggregators).
+    tau_frac: f64,
     /// Global weight estimate from the last broadcast.
     w_hat: f64,
 }
 
 impl P1Site {
     fn new(cfg: &HhConfig) -> Self {
+        Self::with_tau_frac(cfg, cfg.epsilon / (2.0 * cfg.sites as f64))
+    }
+
+    fn with_tau_frac(cfg: &HhConfig, tau_frac: f64) -> Self {
         // ε' = ε/2 → ⌈2/ε⌉ counters.
         P1Site {
             summary: MgSummary::with_error_bound(cfg.epsilon / 2.0),
-            sites: cfg.sites,
-            epsilon: cfg.epsilon,
+            tau_frac,
             w_hat: 1.0,
         }
     }
 
-    /// Local flush threshold `τ = (ε/2m)·Ŵ`.
+    /// Local flush threshold `τ = (ε/2m)·Ŵ` (star; see
+    /// [`deploy_topology`] for the tree split).
     fn tau(&self) -> f64 {
-        self.epsilon / (2.0 * self.sites as f64) * self.w_hat
+        self.tau_frac * self.w_hat
     }
 }
 
@@ -148,10 +154,104 @@ impl HhEstimator for P1Coordinator {
     }
 }
 
+/// Interior tree node of a P1 deployment: merges flushed Misra–Gries
+/// summaries (Agarwal et al. mergeability keeps the combined error at
+/// `ε'·W`) and holds the merged partial until its weight reaches this
+/// node's share of the unreported-weight budget, so upper tree levels
+/// see genuinely coalesced traffic instead of one relayed summary per
+/// site flush.
+#[derive(Debug, Clone)]
+pub struct P1Aggregator {
+    merged: MgSummary,
+    /// Forward threshold as a fraction of `Ŵ` (this node's slice of the
+    /// `ε/4` interior budget — see [`deploy_topology`]).
+    hold_frac: f64,
+    w_hat: f64,
+    /// Representative origin for the merged partial (P1's coordinator
+    /// ignores origins; any contributing leaf works).
+    rep: SiteId,
+}
+
+impl Aggregator for P1Aggregator {
+    type UpMsg = P1Msg;
+    type Broadcast = f64;
+
+    fn absorb(&mut self, from: SiteId, msg: P1Msg) {
+        if self.merged.is_empty() {
+            self.rep = from;
+        }
+        self.merged.merge(&msg.summary);
+    }
+
+    fn flush(&mut self, out: &mut Vec<(SiteId, P1Msg)>) {
+        if self.merged.total_weight() >= self.hold_frac * self.w_hat {
+            let mut flushed = MgSummary::new(self.merged.capacity());
+            std::mem::swap(&mut flushed, &mut self.merged);
+            out.push((self.rep, P1Msg { summary: flushed }));
+        }
+    }
+
+    fn on_broadcast(&mut self, w_hat: &f64) {
+        self.w_hat = *w_hat;
+    }
+}
+
 /// Builds a ready-to-run P1 deployment.
 pub fn deploy(cfg: &HhConfig) -> Runner<P1Site, P1Coordinator> {
     let sites = (0..cfg.sites).map(|_| P1Site::new(cfg)).collect();
     Runner::new(sites, P1Coordinator::new(cfg))
+}
+
+/// Builds a P1 deployment over an arbitrary aggregation topology.
+///
+/// The star's `εW` guarantee decomposes as `ε/2` Misra–Gries error plus
+/// `ε/2` unreported weight (`m` sites × `τ = (ε/2m)·Ŵ`). A tree adds
+/// `I` interior nodes that also withhold weight, so the unreported
+/// budget is re-split: sites get `ε/4` (`τ = (ε/4m)·Ŵ`) and the
+/// interior gets `ε/4`, divided across levels and proportionally to
+/// each node's subtree (`(ε/4L)·(c/m)·Ŵ` for a node covering `c` of
+/// `m` leaves over `L` levels). Total withheld stays ≤ `(ε/2)Ŵ` and MG
+/// mergeability is merge-tree-shape-insensitive, so the end-to-end
+/// `εW` contract is preserved at any fanout — and with no interior
+/// nodes (star, or `fanout ≥ m`) this is *identical* to [`deploy`].
+pub fn deploy_topology(
+    cfg: &HhConfig,
+    topology: Topology,
+) -> Runner<P1Site, P1Coordinator, P1Aggregator> {
+    let plan = topology.plan(cfg.sites);
+    let m = cfg.sites as f64;
+    let site_frac = if plan.internal_levels() == 0 {
+        cfg.epsilon / (2.0 * m)
+    } else {
+        cfg.epsilon / (4.0 * m)
+    };
+    let sites = (0..cfg.sites)
+        .map(|_| P1Site::with_tau_frac(cfg, site_frac))
+        .collect();
+    Runner::with_topology(
+        sites,
+        P1Coordinator::new(cfg),
+        topology,
+        make_aggregator(cfg, topology),
+    )
+}
+
+/// Aggregator factory matching [`deploy_topology`]'s budget split — the
+/// entry point for driving a tree deployment through
+/// [`cma_stream::runner::threaded::run_partitioned_topology`] (pair it
+/// with sites taken from a `deploy_topology` runner so the leaf
+/// thresholds share the same split).
+pub fn make_aggregator(cfg: &HhConfig, topology: Topology) -> impl FnMut(AggNode) -> P1Aggregator {
+    let plan = topology.plan(cfg.sites);
+    let levels = plan.internal_levels().max(1) as f64;
+    let m = cfg.sites as f64;
+    let eps = cfg.epsilon;
+    move |node| P1Aggregator {
+        merged: MgSummary::with_error_bound(eps / 2.0),
+        hold_frac: eps / (4.0 * levels) * (node.leaves as f64 / m),
+        w_hat: 1.0,
+        rep: 0,
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@
 use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
 use cma_sketch::MgSummary;
-use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
 use std::collections::HashMap;
 
 /// Site → coordinator messages of protocol P2.
@@ -98,13 +98,18 @@ pub struct P2Site {
     deltas: DeltaStore,
     /// Local weight since the last scalar report.
     w_local: f64,
-    sites: usize,
-    epsilon: f64,
+    /// Send threshold as a fraction of `Ŵ`: `ε/m` in a star, `ε/(m+I)`
+    /// in a tree with `I` interior nodes (see [`deploy_topology`]).
+    thr_frac: f64,
     w_hat: f64,
 }
 
 impl P2Site {
     fn new(cfg: &HhConfig, opts: &P2Options) -> Self {
+        Self::with_thr_frac(opts, cfg.epsilon / cfg.sites as f64)
+    }
+
+    fn with_thr_frac(opts: &P2Options, thr_frac: f64) -> Self {
         let deltas = match opts.mg_site_capacity {
             Some(cap) => DeltaStore::Mg(MgSummary::new(cap)),
             None => DeltaStore::Exact(HashMap::new()),
@@ -112,15 +117,14 @@ impl P2Site {
         P2Site {
             deltas,
             w_local: 0.0,
-            sites: cfg.sites,
-            epsilon: cfg.epsilon,
+            thr_frac,
             w_hat: 1.0,
         }
     }
 
     /// Send threshold `(ε/m)·Ŵ`.
     fn threshold(&self) -> f64 {
-        self.epsilon / self.sites as f64 * self.w_hat
+        self.thr_frac * self.w_hat
     }
 }
 
@@ -271,9 +275,110 @@ impl HhEstimator for P2Coordinator {
     }
 }
 
+/// Interior tree node of a P2 deployment: the partial-aggregate path
+/// for scalar and per-element threshold reports.
+///
+/// Incoming `(total, Wᵢ)` reports sum into one pending scalar and
+/// incoming `(e, Δe)` reports sum per element; a partial is forwarded
+/// once it reaches the shared node threshold `(ε/(m+I))·Ŵ`. Under
+/// synchronous delivery every site report already clears the threshold,
+/// so the node degenerates to an exact relay (P2 is the
+/// minimal-communication protocol — there is nothing to coalesce); under
+/// asynchronous lag it absorbs the early, sub-threshold reports that
+/// stale thresholds provoke. Either way each node withholds less than
+/// one threshold per element, so the tree-wide error stays
+/// ≤ `(m+I)·(ε/(m+I))·Ŵ = εŴ` — the star argument verbatim.
+#[derive(Debug, Clone)]
+pub struct P2Aggregator {
+    pending_total: f64,
+    pending_deltas: HashMap<Item, f64>,
+    /// Node threshold as a fraction of `Ŵ`.
+    thr_frac: f64,
+    w_hat: f64,
+    rep: SiteId,
+}
+
+impl Aggregator for P2Aggregator {
+    type UpMsg = P2Msg;
+    type Broadcast = f64;
+
+    fn absorb(&mut self, from: SiteId, msg: P2Msg) {
+        self.rep = from;
+        match msg {
+            P2Msg::Total(w) => self.pending_total += w,
+            P2Msg::Element(e, d) => *self.pending_deltas.entry(e).or_insert(0.0) += d,
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<(SiteId, P2Msg)>) {
+        let threshold = self.thr_frac * self.w_hat;
+        if self.pending_total >= threshold {
+            out.push((self.rep, P2Msg::Total(self.pending_total)));
+            self.pending_total = 0.0;
+        }
+        if self.pending_deltas.is_empty() {
+            return;
+        }
+        let ready: Vec<Item> = self
+            .pending_deltas
+            .iter()
+            .filter(|&(_, &d)| d >= threshold)
+            .map(|(&e, _)| e)
+            .collect();
+        for e in ready {
+            let d = self.pending_deltas.remove(&e).expect("key just listed");
+            out.push((self.rep, P2Msg::Element(e, d)));
+        }
+    }
+
+    fn on_broadcast(&mut self, w_hat: &f64) {
+        self.w_hat = *w_hat;
+    }
+}
+
 /// Builds a P2 deployment with exact per-site delta tables.
 pub fn deploy(cfg: &HhConfig) -> Runner<P2Site, P2Coordinator> {
     deploy_with(cfg, &P2Options::default())
+}
+
+/// Builds a P2 deployment over an arbitrary aggregation topology (exact
+/// per-site delta tables).
+///
+/// Every withholding node — `m` sites and `I` interior aggregators —
+/// shares the threshold `(ε/(m+I))·Ŵ`, so the total unreported mass per
+/// element is below `εŴ` exactly as in the star proof (Theorem 1). With
+/// no interior nodes this is *identical* to [`deploy`].
+pub fn deploy_topology(
+    cfg: &HhConfig,
+    topology: Topology,
+) -> Runner<P2Site, P2Coordinator, P2Aggregator> {
+    let plan = topology.plan(cfg.sites);
+    let nodes = cfg.sites + plan.internal_nodes();
+    let thr_frac = cfg.epsilon / nodes as f64;
+    let opts = P2Options::default();
+    let sites = (0..cfg.sites)
+        .map(|_| P2Site::with_thr_frac(&opts, thr_frac))
+        .collect();
+    Runner::with_topology(
+        sites,
+        P2Coordinator::new(cfg, &opts),
+        topology,
+        make_aggregator(cfg, topology),
+    )
+}
+
+/// Aggregator factory matching [`deploy_topology`]'s budget split (for
+/// the threaded topology driver).
+pub fn make_aggregator(cfg: &HhConfig, topology: Topology) -> impl FnMut(AggNode) -> P2Aggregator {
+    let plan = topology.plan(cfg.sites);
+    let thr_frac = cfg.epsilon / (cfg.sites + plan.internal_nodes()) as f64;
+    move |_| P2Aggregator {
+        pending_total: 0.0,
+        pending_deltas: HashMap::new(),
+        thr_frac,
+        w_hat: 1.0,
+        rep: 0,
+    }
 }
 
 /// Builds a P2 deployment with explicit options.

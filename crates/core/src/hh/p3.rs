@@ -14,8 +14,10 @@
 
 use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
-use crate::sampling::{PrioritySite, RoundCoordinator, SampleEntry};
-use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use crate::sampling::{PriorityAggState, PrioritySite, RoundCoordinator, SampleEntry};
+use cma_stream::{
+    AggNode, Coordinator, FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology,
+};
 use std::collections::HashMap;
 
 /// Site → coordinator message: one sampled record `(e, w, ρ)`.
@@ -154,6 +156,33 @@ impl HhEstimator for P3Coordinator {
     }
 }
 
+/// Round-state filter of a P3 interior node: tracks the threshold `τ`
+/// from passing broadcasts and rejects records that no longer clear it
+/// (only possible under asynchronous lag; the rule matches the
+/// coordinator's own stale-record discard). Under the synchronous
+/// runner it admits everything — tree execution is record-for-record
+/// identical to the star.
+#[derive(Debug, Clone, Default)]
+pub struct P3Filter {
+    state: PriorityAggState,
+}
+
+impl RelayFilter for P3Filter {
+    type UpMsg = P3Msg;
+    type Broadcast = f64;
+
+    fn admit(&mut self, msg: &P3Msg) -> bool {
+        self.state.admit(msg.rho)
+    }
+
+    fn on_broadcast(&mut self, tau: &f64) {
+        self.state.set_tau(*tau);
+    }
+}
+
+/// Interior tree node of a P3 deployment: a round-state-aware relay.
+pub type P3Aggregator = FilteredRelay<P3Filter>;
+
 /// Builds a P3 deployment (sample size from the config).
 pub fn deploy(cfg: &HhConfig) -> Runner<P3Site, P3Coordinator> {
     let sites = (0..cfg.sites)
@@ -167,6 +196,38 @@ pub fn deploy(cfg: &HhConfig) -> Runner<P3Site, P3Coordinator> {
             inner: RoundCoordinator::new(cfg.sample_size()),
         },
     )
+}
+
+/// Builds a P3 deployment over an arbitrary aggregation topology. The
+/// interior nodes are exact relays with round state (see
+/// [`P3Aggregator`]), so estimates match the star at any fanout; with no
+/// interior nodes this is *identical* to [`deploy`].
+pub fn deploy_topology(
+    cfg: &HhConfig,
+    topology: Topology,
+) -> Runner<P3Site, P3Coordinator, P3Aggregator> {
+    let sites = (0..cfg.sites)
+        .map(|i| P3Site {
+            inner: PrioritySite::new(cfg.site_seed(i)),
+        })
+        .collect();
+    Runner::with_topology(
+        sites,
+        P3Coordinator {
+            inner: RoundCoordinator::new(cfg.sample_size()),
+        },
+        topology,
+        make_aggregator(cfg, topology),
+    )
+}
+
+/// Aggregator factory (for the threaded topology driver).
+pub fn make_aggregator(
+    _cfg: &HhConfig,
+    _topology: Topology,
+) -> impl FnMut(AggNode) -> P3Aggregator {
+    // Round-state relays need no deployment data.
+    |_| FilteredRelay::new(P3Filter::default())
 }
 
 #[cfg(test)]

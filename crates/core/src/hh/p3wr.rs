@@ -15,8 +15,10 @@
 
 use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
-use crate::sampling::{WrCoordinator, WrHit, WrSite};
-use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use crate::sampling::{WrAggState, WrCoordinator, WrHit, WrSite};
+use cma_stream::{
+    AggNode, Coordinator, FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology,
+};
 use std::collections::HashMap;
 
 /// Site → coordinator message: one sampler hit.
@@ -142,6 +144,64 @@ impl HhEstimator for P3wrCoordinator {
                 .then(a.0.cmp(&b.0))
         });
         out
+    }
+}
+
+/// Per-sampler top-two dominance filter of a P3wr interior node (see
+/// [`WrAggState`]): a hit below the two best priorities this subtree
+/// already forwarded for the same sampler cannot change the root's
+/// state and is rejected. Exact — root state and estimates match the
+/// star's — while strictly thinning upper-level traffic.
+#[derive(Debug, Clone)]
+pub struct P3wrFilter {
+    state: WrAggState,
+}
+
+impl RelayFilter for P3wrFilter {
+    type UpMsg = P3wrMsg;
+    type Broadcast = f64;
+
+    fn admit(&mut self, msg: &P3wrMsg) -> bool {
+        self.state.admit(msg.hit.sampler, msg.hit.rho)
+    }
+}
+
+/// Interior tree node of a P3wr deployment: a dominance-filtering relay.
+pub type P3wrAggregator = FilteredRelay<P3wrFilter>;
+
+/// Builds a P3wr deployment over an arbitrary aggregation topology;
+/// with no interior nodes this is *identical* to [`deploy`].
+pub fn deploy_topology(
+    cfg: &HhConfig,
+    topology: Topology,
+) -> Runner<P3wrSite, P3wrCoordinator, P3wrAggregator> {
+    let s = cfg.sample_size();
+    let sites = (0..cfg.sites)
+        .map(|i| P3wrSite {
+            inner: WrSite::new(s, cfg.site_seed(i)),
+            scratch: Vec::new(),
+        })
+        .collect();
+    Runner::with_topology(
+        sites,
+        P3wrCoordinator {
+            inner: WrCoordinator::new(s),
+        },
+        topology,
+        make_aggregator(cfg, topology),
+    )
+}
+
+/// Aggregator factory (for the threaded topology driver).
+pub fn make_aggregator(
+    cfg: &HhConfig,
+    _topology: Topology,
+) -> impl FnMut(AggNode) -> P3wrAggregator {
+    let s = cfg.sample_size();
+    move |_| {
+        FilteredRelay::new(P3wrFilter {
+            state: WrAggState::new(s),
+        })
     }
 }
 

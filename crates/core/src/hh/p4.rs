@@ -18,7 +18,7 @@ use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
 use crate::weight_tracker::{CoordWeightTracker, SiteWeightTracker};
 use cma_sketch::SpaceSaving;
-use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -92,13 +92,19 @@ pub struct P4Site {
 
 impl P4Site {
     fn new(cfg: &HhConfig, site: usize, opts: &P4Options) -> Self {
+        Self::with_budget(cfg, site, opts, cfg.sites)
+    }
+
+    /// `budget` is the number of weight-withholding nodes the tracker's
+    /// `Ŵ/2` slack is split across: `m` in a star, `m + I` in a tree.
+    fn with_budget(cfg: &HhConfig, site: usize, opts: &P4Options, budget: usize) -> Self {
         let counts = match opts.ss_site_capacity {
             Some(cap) => CountStore::Ss(SpaceSaving::new(cap)),
             None => CountStore::Exact(HashMap::new()),
         };
         P4Site {
             counts,
-            tracker: SiteWeightTracker::new(cfg.sites),
+            tracker: SiteWeightTracker::with_budget(budget),
             sites: cfg.sites,
             epsilon: cfg.epsilon,
             rng: StdRng::seed_from_u64(cfg.site_seed(site)),
@@ -247,9 +253,82 @@ impl HhEstimator for P4Coordinator {
     }
 }
 
+/// Interior tree node of a P4 deployment.
+///
+/// Count reports are keyed by originating site at the coordinator
+/// (`w̄e,j` is "site j's latest count of e"), so they are relayed with
+/// their origin preserved — merging them would destroy the per-site
+/// staleness compensation. Weight-tracker reports, by contrast, are pure
+/// partial sums: the node coalesces them and forwards once its pending
+/// total reaches the shared node threshold `Ŵ/(2(m+I))`, keeping the
+/// tracker's deterministic 2-approximation (total withheld ≤ `Ŵ/2`
+/// across all `m + I` withholding nodes).
+#[derive(Debug, Clone)]
+pub struct P4Aggregator {
+    tracker: SiteWeightTracker,
+    pending: Vec<(SiteId, P4Msg)>,
+}
+
+impl Aggregator for P4Aggregator {
+    type UpMsg = P4Msg;
+    type Broadcast = f64;
+
+    fn absorb(&mut self, from: SiteId, msg: P4Msg) {
+        match msg {
+            P4Msg::Total(report) => {
+                if let Some(merged) = self.tracker.add(report) {
+                    self.pending.push((from, P4Msg::Total(merged)));
+                }
+            }
+            count => self.pending.push((from, count)),
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<(SiteId, P4Msg)>) {
+        out.append(&mut self.pending);
+    }
+
+    fn on_broadcast(&mut self, w_hat: &f64) {
+        self.tracker.on_broadcast(*w_hat);
+    }
+}
+
 /// Builds a P4 deployment with exact per-site count maps.
 pub fn deploy(cfg: &HhConfig) -> Runner<P4Site, P4Coordinator> {
     deploy_with(cfg, &P4Options::default())
+}
+
+/// Builds a P4 deployment over an arbitrary aggregation topology (exact
+/// per-site count maps). The weight-tracker budget is split across the
+/// `m + I` withholding nodes; with no interior nodes this is *identical*
+/// to [`deploy`].
+pub fn deploy_topology(
+    cfg: &HhConfig,
+    topology: Topology,
+) -> Runner<P4Site, P4Coordinator, P4Aggregator> {
+    let plan = topology.plan(cfg.sites);
+    let budget = cfg.sites + plan.internal_nodes();
+    let opts = P4Options::default();
+    let sites = (0..cfg.sites)
+        .map(|i| P4Site::with_budget(cfg, i, &opts, budget))
+        .collect();
+    Runner::with_topology(
+        sites,
+        P4Coordinator::new(cfg),
+        topology,
+        make_aggregator(cfg, topology),
+    )
+}
+
+/// Aggregator factory matching [`deploy_topology`]'s budget split (for
+/// the threaded topology driver).
+pub fn make_aggregator(cfg: &HhConfig, topology: Topology) -> impl FnMut(AggNode) -> P4Aggregator {
+    let plan = topology.plan(cfg.sites);
+    let budget = cfg.sites + plan.internal_nodes();
+    move |_| P4Aggregator {
+        tracker: SiteWeightTracker::with_budget(budget),
+        pending: Vec::new(),
+    }
 }
 
 /// Builds a P4 deployment with explicit options.

@@ -31,6 +31,16 @@
 //! the coordinator — the continuous-monitoring model's whole point is
 //! that answering a query costs no communication.
 //!
+//! Since PR 2 every protocol additionally ships an interior-node
+//! [`cma_stream::Aggregator`] type and a `deploy_topology` constructor,
+//! so deployments scale past coordinator fan-in by aggregating through a
+//! k-ary tree ([`Topology`]): mergeable summaries (Misra–Gries,
+//! SpaceSaving, Frequent Directions) merge at interior nodes, sampling
+//! protocols carry their round state there, and threshold budgets are
+//! re-split across the `m + I` withholding nodes so every ε guarantee
+//! survives unchanged. `deploy_topology(cfg, Topology::Star)` is
+//! execution-identical to `deploy(cfg)`.
+//!
 //! # Example
 //!
 //! Track heavy hitters over three sites with protocol P2:
@@ -59,6 +69,7 @@ pub mod matrix;
 pub mod sampling;
 pub mod weight_tracker;
 
+pub use cma_stream::Topology;
 pub use config::{HhConfig, MatrixConfig};
 pub use hh::HhEstimator;
 pub use matrix::MatrixEstimator;

@@ -18,7 +18,7 @@ use super::{row_weight, MatrixEstimator, Row};
 use crate::config::MatrixConfig;
 use cma_linalg::Matrix;
 use cma_sketch::FrequentDirections;
-use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
 
 /// Site → coordinator message: a flushed FD sketch.
 #[derive(Debug, Clone)]
@@ -40,25 +40,29 @@ impl MessageCost for MP1Msg {
 #[derive(Debug, Clone)]
 pub struct MP1Site {
     fd: FrequentDirections,
-    sites: usize,
-    epsilon: f64,
+    /// Flush threshold as a fraction of `F̂`: `ε/2m` in a star, half
+    /// that in a tree (see [`deploy_topology`]).
+    tau_frac: f64,
     f_hat: f64,
 }
 
 impl MP1Site {
     fn new(cfg: &MatrixConfig) -> Self {
+        Self::with_tau_frac(cfg, cfg.epsilon / (2.0 * cfg.sites as f64))
+    }
+
+    fn with_tau_frac(cfg: &MatrixConfig, tau_frac: f64) -> Self {
         MP1Site {
             // ε' = ε/2 → ℓ = ⌈2/ε'⌉ = ⌈4/ε⌉ rows.
             fd: FrequentDirections::with_error_bound(cfg.dim, cfg.epsilon / 2.0),
-            sites: cfg.sites,
-            epsilon: cfg.epsilon,
+            tau_frac,
             f_hat: 1.0,
         }
     }
 
     /// Flush threshold `τ = (ε/2m)·F̂`.
     fn tau(&self) -> f64 {
-        self.epsilon / (2.0 * self.sites as f64) * self.f_hat
+        self.tau_frac * self.f_hat
     }
 }
 
@@ -133,11 +137,10 @@ impl Coordinator for MP1Coordinator {
     type Broadcast = f64;
 
     fn receive(&mut self, _from: SiteId, msg: MP1Msg, out: &mut Vec<f64>) {
-        // Folding the received sketch row-by-row is a valid FD merge: the
-        // result sketches the concatenation of everything the sites fed.
-        for row in msg.rows.iter_rows() {
-            self.fd.update(row);
-        }
+        // One stack + at most one shrink: the Agarwal et al. sketch
+        // merge, which keeps the combined-stream guarantee at a fraction
+        // of the row-by-row fold's eigensolves.
+        self.fd.merge_rows(&msg.rows);
         self.received += msg.mass;
         if self.received / self.f_hat > 1.0 + self.epsilon / 2.0 {
             self.f_hat = self.received;
@@ -155,10 +158,105 @@ impl MatrixEstimator for MP1Coordinator {
     }
 }
 
+/// Interior tree node of an MT-P1 deployment: merges flushed Frequent
+/// Directions sketches ([`FrequentDirections::merge_rows`] — FD
+/// mergeability keeps the combined error at `ε'·‖A‖²_F` under any merge
+/// tree) and holds the merged partial until its exact mass reaches this
+/// node's share of the unreported-mass budget, so upper levels see
+/// coalesced sketches instead of one relay per site flush.
+#[derive(Debug, Clone)]
+pub struct MP1Aggregator {
+    fd: FrequentDirections,
+    /// Exact squared-Frobenius mass pending (sum of child-reported
+    /// `Fᵢ`, not the sketch's own — the scalar the coordinator tracks).
+    mass: f64,
+    /// Forward threshold as a fraction of `F̂`.
+    hold_frac: f64,
+    f_hat: f64,
+    rep: SiteId,
+}
+
+impl Aggregator for MP1Aggregator {
+    type UpMsg = MP1Msg;
+    type Broadcast = f64;
+
+    fn absorb(&mut self, from: SiteId, msg: MP1Msg) {
+        if self.mass == 0.0 {
+            self.rep = from;
+        }
+        self.fd.merge_rows(&msg.rows);
+        self.mass += msg.mass;
+    }
+
+    fn flush(&mut self, out: &mut Vec<(SiteId, MP1Msg)>) {
+        if self.mass > 0.0 && self.mass >= self.hold_frac * self.f_hat {
+            let (rows, _) = self.fd.take();
+            let mass = self.mass;
+            self.mass = 0.0;
+            out.push((self.rep, MP1Msg { rows, mass }));
+        }
+    }
+
+    fn on_broadcast(&mut self, f_hat: &f64) {
+        self.f_hat = *f_hat;
+    }
+}
+
 /// Builds an MT-P1 deployment.
 pub fn deploy(cfg: &MatrixConfig) -> Runner<MP1Site, MP1Coordinator> {
     let sites = (0..cfg.sites).map(|_| MP1Site::new(cfg)).collect();
     Runner::new(sites, MP1Coordinator::new(cfg))
+}
+
+/// Builds an MT-P1 deployment over an arbitrary aggregation topology.
+///
+/// Same budget split as the heavy-hitter analogue
+/// ([`crate::hh::p1::deploy_topology`]): the `ε/2` unreported-mass
+/// budget is divided between leaves (`τ = (ε/4m)·F̂`) and interior
+/// nodes (`(ε/4L)·(c/m)·F̂` for a node covering `c` of `m` leaves over
+/// `L` levels), while FD mergeability keeps the sketch error at
+/// `(ε/2)‖A‖²_F` regardless of the merge-tree shape. With no interior
+/// nodes this is *identical* to [`deploy`].
+pub fn deploy_topology(
+    cfg: &MatrixConfig,
+    topology: Topology,
+) -> Runner<MP1Site, MP1Coordinator, MP1Aggregator> {
+    let plan = topology.plan(cfg.sites);
+    let m = cfg.sites as f64;
+    let site_frac = if plan.internal_levels() == 0 {
+        cfg.epsilon / (2.0 * m)
+    } else {
+        cfg.epsilon / (4.0 * m)
+    };
+    let sites = (0..cfg.sites)
+        .map(|_| MP1Site::with_tau_frac(cfg, site_frac))
+        .collect();
+    Runner::with_topology(
+        sites,
+        MP1Coordinator::new(cfg),
+        topology,
+        make_aggregator(cfg, topology),
+    )
+}
+
+/// Aggregator factory matching [`deploy_topology`]'s budget split (for
+/// the threaded topology driver).
+pub fn make_aggregator(
+    cfg: &MatrixConfig,
+    topology: Topology,
+) -> impl FnMut(AggNode) -> MP1Aggregator {
+    let plan = topology.plan(cfg.sites);
+    let levels = plan.internal_levels().max(1) as f64;
+    let m = cfg.sites as f64;
+    let eps = cfg.epsilon;
+    let dim = cfg.dim;
+    move |node| MP1Aggregator {
+        fd: FrequentDirections::with_error_bound(dim, eps / 2.0),
+        mass: 0.0,
+        hold_frac: eps / (4.0 * levels) * (node.leaves as f64 / m),
+        f_hat: 1.0,
+        rep: 0,
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ use super::{row_weight, MatrixEstimator, Row};
 use crate::config::MatrixConfig;
 use cma_linalg::Matrix;
 use cma_sketch::FrequentDirections;
-use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
 
 /// Site → coordinator messages of protocol MT-P2.
 #[derive(Debug, Clone)]
@@ -82,8 +82,9 @@ pub struct MP2Site {
     slack: f64,
     /// Deferred batch trigger (see [`MP2Options::deferred_batch_check`]).
     deferred: bool,
-    sites: usize,
-    epsilon: f64,
+    /// Invariant threshold as a fraction of `F̂`: `ε/m` in a star,
+    /// `ε/(m+I)` in a tree with `I` interior nodes.
+    thr_frac: f64,
     f_hat: f64,
 }
 
@@ -127,6 +128,10 @@ impl Default for MP2Options {
 
 impl MP2Site {
     fn new(cfg: &MatrixConfig, opts: &MP2Options) -> Self {
+        Self::with_thr_frac(cfg, opts, cfg.epsilon / cfg.sites as f64)
+    }
+
+    fn with_thr_frac(cfg: &MatrixConfig, opts: &MP2Options, thr_frac: f64) -> Self {
         assert!(
             (0.0..1.0).contains(&opts.batch_slack),
             "MP2Options: batch_slack must be in [0, 1)"
@@ -141,15 +146,14 @@ impl MP2Site {
             f_local: 0.0,
             slack: opts.batch_slack,
             deferred: opts.deferred_batch_check,
-            sites: cfg.sites,
-            epsilon: cfg.epsilon,
+            thr_frac,
             f_hat: 1.0,
         }
     }
 
     /// Invariant threshold `(ε/m)·F̂`: `max_x ‖Bjx‖²` must stay below it.
     fn threshold(&self) -> f64 {
-        self.epsilon / self.sites as f64 * self.f_hat
+        self.thr_frac * self.f_hat
     }
 
     /// Ship threshold `(1 − slack)·(ε/m)·F̂`.
@@ -220,6 +224,23 @@ impl MP2Site {
 }
 
 impl MP2Site {
+    /// Tree-aggregation path: absorbs a direction row relayed from a
+    /// child node into the pending buffer and runs the same lazy
+    /// decomposition trigger as [`MP2Site::observe`] — but with **no**
+    /// scalar (`F̂`-tracking) accounting, because the mass of a relayed
+    /// direction was already reported by the leaf that observed it.
+    fn absorb_direction(&mut self, row: &Row, out: &mut Vec<MP2Msg>) {
+        let w = row_weight(row);
+        if w == 0.0 {
+            return;
+        }
+        self.pending.push(self.basis.apply(row));
+        self.pending_mass += w;
+        if self.smax2 + self.pending_mass >= self.threshold() {
+            self.decompose_and_send(out);
+        }
+    }
+
     /// [`MP2Options::deferred_batch_check`] batch path: per-row work is
     /// scalar only (mass accounting and the `F̂` report), and the
     /// decomposition trigger runs **once**, after the whole batch has
@@ -376,9 +397,100 @@ impl MatrixEstimator for MP2Coordinator {
     }
 }
 
+/// Interior tree node of an MT-P2 deployment: a full mergeable
+/// sub-coordinator.
+///
+/// Scalar (`F̂`-tracking) reports coalesce into one pending sum,
+/// forwarded at the shared node threshold. Direction rows `σℓ·vℓ` are
+/// *merged spectrally*: the node runs the same exact `Σ Vᵀ` machinery
+/// as a site ([`MP2Site`]), accumulating relayed directions in its own
+/// singular basis and re-emitting combined top directions once some
+/// squared singular value clears the threshold. Each node withholds a
+/// PSD Gram of spectral norm below `(ε/(m+I))·F̂`, so the tree-wide
+/// deterministic bound `0 ≤ ‖Ax‖² − ‖Bx‖² ≤ ε‖A‖²_F` is the star's
+/// Lemma 8 argument summed over `m + I` nodes instead of `m`.
+#[derive(Debug, Clone)]
+pub struct MP2Aggregator {
+    /// The spectral merge state (its scalar fields are unused).
+    inner: MP2Site,
+    pending_scalar: f64,
+    outbox: Vec<MP2Msg>,
+    rep: SiteId,
+}
+
+impl Aggregator for MP2Aggregator {
+    type UpMsg = MP2Msg;
+    type Broadcast = f64;
+
+    fn absorb(&mut self, from: SiteId, msg: MP2Msg) {
+        self.rep = from;
+        match msg {
+            MP2Msg::Scalar(f) => self.pending_scalar += f,
+            MP2Msg::Direction(row) => self.inner.absorb_direction(&row, &mut self.outbox),
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<(SiteId, MP2Msg)>) {
+        if self.pending_scalar >= self.inner.threshold() {
+            out.push((self.rep, MP2Msg::Scalar(self.pending_scalar)));
+            self.pending_scalar = 0.0;
+        }
+        for msg in self.outbox.drain(..) {
+            out.push((self.rep, msg));
+        }
+    }
+
+    fn on_broadcast(&mut self, f_hat: &f64) {
+        self.inner.on_broadcast(f_hat);
+    }
+}
+
 /// Builds an MT-P2 deployment (exact sites, default batch slack).
 pub fn deploy(cfg: &MatrixConfig) -> Runner<MP2Site, MP2Coordinator> {
     deploy_with(cfg, &MP2Options::default())
+}
+
+/// Builds an MT-P2 deployment over an arbitrary aggregation topology
+/// (exact sites, default batch slack).
+///
+/// Every withholding node — `m` sites and `I` interior aggregators —
+/// shares the invariant threshold `(ε/(m+I))·F̂`, preserving the
+/// deterministic `ε‖A‖²_F` contract at any fanout. With no interior
+/// nodes this is *identical* to [`deploy`].
+pub fn deploy_topology(
+    cfg: &MatrixConfig,
+    topology: Topology,
+) -> Runner<MP2Site, MP2Coordinator, MP2Aggregator> {
+    let plan = topology.plan(cfg.sites);
+    let nodes = cfg.sites + plan.internal_nodes();
+    let thr_frac = cfg.epsilon / nodes as f64;
+    let opts = MP2Options::default();
+    let sites = (0..cfg.sites)
+        .map(|_| MP2Site::with_thr_frac(cfg, &opts, thr_frac))
+        .collect();
+    Runner::with_topology(
+        sites,
+        MP2Coordinator::new(cfg),
+        topology,
+        make_aggregator(cfg, topology),
+    )
+}
+
+/// Aggregator factory matching [`deploy_topology`]'s budget split (for
+/// the threaded topology driver).
+pub fn make_aggregator(
+    cfg: &MatrixConfig,
+    topology: Topology,
+) -> impl FnMut(AggNode) -> MP2Aggregator {
+    let plan = topology.plan(cfg.sites);
+    let thr_frac = cfg.epsilon / (cfg.sites + plan.internal_nodes()) as f64;
+    let cfg = cfg.clone();
+    move |_| MP2Aggregator {
+        inner: MP2Site::with_thr_frac(&cfg, &MP2Options::default(), thr_frac),
+        pending_scalar: 0.0,
+        outbox: Vec::new(),
+        rep: 0,
+    }
 }
 
 /// Builds an MT-P2 deployment with explicit options

@@ -11,9 +11,11 @@
 
 use super::{row_weight, MatrixEstimator, Row};
 use crate::config::MatrixConfig;
-use crate::sampling::{PrioritySite, RoundCoordinator, SampleEntry};
+use crate::sampling::{PriorityAggState, PrioritySite, RoundCoordinator, SampleEntry};
 use cma_linalg::Matrix;
-use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use cma_stream::{
+    AggNode, Coordinator, FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology,
+};
 
 /// Site → coordinator message: one sampled row with its priority.
 #[derive(Debug, Clone)]
@@ -125,6 +127,63 @@ impl MatrixEstimator for MP3Coordinator {
     fn frob_estimate(&self) -> f64 {
         self.inner.estimate_total()
     }
+}
+
+/// Round-state filter of an MT-P3 interior node — the row analogue of
+/// [`crate::hh::p3::P3Filter`]: tracks `τ` from passing broadcasts and
+/// rejects stale sub-threshold rows, which only exist under
+/// asynchronous lag; exact under the synchronous runner.
+#[derive(Debug, Clone, Default)]
+pub struct MP3Filter {
+    state: PriorityAggState,
+}
+
+impl RelayFilter for MP3Filter {
+    type UpMsg = MP3Msg;
+    type Broadcast = f64;
+
+    fn admit(&mut self, msg: &MP3Msg) -> bool {
+        self.state.admit(msg.rho)
+    }
+
+    fn on_broadcast(&mut self, tau: &f64) {
+        self.state.set_tau(*tau);
+    }
+}
+
+/// Interior tree node of an MT-P3 deployment: a round-state-aware relay.
+pub type MP3Aggregator = FilteredRelay<MP3Filter>;
+
+/// Builds an MT-P3 deployment over an arbitrary aggregation topology;
+/// estimates match the star at any fanout, and with no interior nodes
+/// this is *identical* to [`deploy`].
+pub fn deploy_topology(
+    cfg: &MatrixConfig,
+    topology: Topology,
+) -> Runner<MP3Site, MP3Coordinator, MP3Aggregator> {
+    let sites = (0..cfg.sites)
+        .map(|i| MP3Site {
+            inner: PrioritySite::new(cfg.site_seed(i)),
+        })
+        .collect();
+    Runner::with_topology(
+        sites,
+        MP3Coordinator {
+            inner: RoundCoordinator::new(cfg.sample_size()),
+            dim: cfg.dim,
+        },
+        topology,
+        make_aggregator(cfg, topology),
+    )
+}
+
+/// Aggregator factory (for the threaded topology driver).
+pub fn make_aggregator(
+    _cfg: &MatrixConfig,
+    _topology: Topology,
+) -> impl FnMut(AggNode) -> MP3Aggregator {
+    // Round-state relays need no deployment data.
+    |_| FilteredRelay::new(MP3Filter::default())
 }
 
 /// Builds an MT-P3 deployment (sample size from the config).

@@ -14,9 +14,11 @@
 
 use super::{row_weight, MatrixEstimator, Row};
 use crate::config::MatrixConfig;
-use crate::sampling::{WrCoordinator, WrHit, WrSite};
+use crate::sampling::{WrAggState, WrCoordinator, WrHit, WrSite};
 use cma_linalg::Matrix;
-use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use cma_stream::{
+    AggNode, Coordinator, FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology,
+};
 
 /// Site → coordinator message: one sampler hit carrying the row.
 #[derive(Debug, Clone)]
@@ -131,6 +133,64 @@ impl MatrixEstimator for MP3wrCoordinator {
 
     fn frob_estimate(&self) -> f64 {
         self.inner.estimate_total()
+    }
+}
+
+/// Per-sampler top-two dominance filter of an MT-P3wr interior node
+/// over sampled rows (see [`WrAggState`]); exact, and strictly thins
+/// upper-level traffic.
+#[derive(Debug, Clone)]
+pub struct MP3wrFilter {
+    state: WrAggState,
+}
+
+impl RelayFilter for MP3wrFilter {
+    type UpMsg = MP3wrMsg;
+    type Broadcast = f64;
+
+    fn admit(&mut self, msg: &MP3wrMsg) -> bool {
+        self.state.admit(msg.hit.sampler, msg.hit.rho)
+    }
+}
+
+/// Interior tree node of an MT-P3wr deployment: a dominance-filtering
+/// relay.
+pub type MP3wrAggregator = FilteredRelay<MP3wrFilter>;
+
+/// Builds an MT-P3wr deployment over an arbitrary aggregation topology;
+/// with no interior nodes this is *identical* to [`deploy`].
+pub fn deploy_topology(
+    cfg: &MatrixConfig,
+    topology: Topology,
+) -> Runner<MP3wrSite, MP3wrCoordinator, MP3wrAggregator> {
+    let s = cfg.sample_size();
+    let sites = (0..cfg.sites)
+        .map(|i| MP3wrSite {
+            inner: WrSite::new(s, cfg.site_seed(i)),
+            scratch: Vec::new(),
+        })
+        .collect();
+    Runner::with_topology(
+        sites,
+        MP3wrCoordinator {
+            inner: WrCoordinator::new(s),
+            dim: cfg.dim,
+        },
+        topology,
+        make_aggregator(cfg, topology),
+    )
+}
+
+/// Aggregator factory (for the threaded topology driver).
+pub fn make_aggregator(
+    cfg: &MatrixConfig,
+    _topology: Topology,
+) -> impl FnMut(AggNode) -> MP3wrAggregator {
+    let s = cfg.sample_size();
+    move |_| {
+        FilteredRelay::new(MP3wrFilter {
+            state: WrAggState::new(s),
+        })
     }
 }
 

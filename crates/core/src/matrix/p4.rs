@@ -28,7 +28,7 @@ use crate::config::MatrixConfig;
 use crate::weight_tracker::{CoordWeightTracker, SiteWeightTracker};
 use cma_linalg::matrix::accumulate_outer;
 use cma_linalg::Matrix;
-use cma_stream::{Coordinator, MessageCost, Runner, Site, SiteId};
+use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,9 +61,15 @@ pub struct MP4Site {
 
 impl MP4Site {
     fn new(cfg: &MatrixConfig, site: usize) -> Self {
+        Self::with_budget(cfg, site, cfg.sites)
+    }
+
+    /// `budget` is the number of weight-withholding nodes the tracker's
+    /// `F̂/2` slack is split across: `m` in a star, `m + I` in a tree.
+    fn with_budget(cfg: &MatrixConfig, site: usize, budget: usize) -> Self {
         MP4Site {
             gram: Matrix::zeros(cfg.dim, cfg.dim),
-            tracker: SiteWeightTracker::new(cfg.sites),
+            tracker: SiteWeightTracker::with_budget(budget),
             sites: cfg.sites,
             epsilon: cfg.epsilon,
             rng: StdRng::seed_from_u64(cfg.site_seed(site)),
@@ -199,10 +205,80 @@ impl MatrixEstimator for MP4Coordinator {
     }
 }
 
+/// Interior tree node of an MT-P4 deployment: `Z` vectors are per-site
+/// state mirrors and relay origin-tagged (the coordinator replaces, not
+/// sums, them), while weight-tracker reports coalesce under the shared
+/// node threshold `F̂/(2(m+I))` — the matrix analogue of
+/// [`crate::hh::p4::P4Aggregator`].
+#[derive(Debug, Clone)]
+pub struct MP4Aggregator {
+    tracker: SiteWeightTracker,
+    pending: Vec<(SiteId, MP4Msg)>,
+}
+
+impl Aggregator for MP4Aggregator {
+    type UpMsg = MP4Msg;
+    type Broadcast = f64;
+
+    fn absorb(&mut self, from: SiteId, msg: MP4Msg) {
+        match msg {
+            MP4Msg::Total(report) => {
+                if let Some(merged) = self.tracker.add(report) {
+                    self.pending.push((from, MP4Msg::Total(merged)));
+                }
+            }
+            z => self.pending.push((from, z)),
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<(SiteId, MP4Msg)>) {
+        out.append(&mut self.pending);
+    }
+
+    fn on_broadcast(&mut self, f_hat: &f64) {
+        self.tracker.on_broadcast(*f_hat);
+    }
+}
+
 /// Builds an MT-P4 deployment.
 pub fn deploy(cfg: &MatrixConfig) -> Runner<MP4Site, MP4Coordinator> {
     let sites = (0..cfg.sites).map(|i| MP4Site::new(cfg, i)).collect();
     Runner::new(sites, MP4Coordinator::new(cfg))
+}
+
+/// Builds an MT-P4 deployment over an arbitrary aggregation topology
+/// (still the paper's negative result — tree aggregation changes its
+/// communication shape, not its missing guarantee). With no interior
+/// nodes this is *identical* to [`deploy`].
+pub fn deploy_topology(
+    cfg: &MatrixConfig,
+    topology: Topology,
+) -> Runner<MP4Site, MP4Coordinator, MP4Aggregator> {
+    let plan = topology.plan(cfg.sites);
+    let budget = cfg.sites + plan.internal_nodes();
+    let sites = (0..cfg.sites)
+        .map(|i| MP4Site::with_budget(cfg, i, budget))
+        .collect();
+    Runner::with_topology(
+        sites,
+        MP4Coordinator::new(cfg),
+        topology,
+        make_aggregator(cfg, topology),
+    )
+}
+
+/// Aggregator factory matching [`deploy_topology`]'s budget split (for
+/// the threaded topology driver).
+pub fn make_aggregator(
+    cfg: &MatrixConfig,
+    topology: Topology,
+) -> impl FnMut(AggNode) -> MP4Aggregator {
+    let plan = topology.plan(cfg.sites);
+    let budget = cfg.sites + plan.internal_nodes();
+    move |_| MP4Aggregator {
+        tracker: SiteWeightTracker::with_budget(budget),
+        pending: Vec::new(),
+    }
 }
 
 #[cfg(test)]

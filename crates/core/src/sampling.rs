@@ -186,6 +186,96 @@ impl<T> RoundCoordinator<T> {
     }
 }
 
+/// Aggregation-node state for the without-replacement sampler's tree
+/// deployment (shared by HH-P3 and MT-P3).
+///
+/// Sampling forwards are not mergeable the way sketches are — every
+/// surviving record must reach the root verbatim — but an interior node
+/// *can* carry the round state: it tracks the current threshold `τ`
+/// from broadcasts passing down and discards any record whose priority
+/// no longer clears it (possible only under asynchronous delivery,
+/// where a leaf with a stale, smaller `τ` forwards records the current
+/// round no longer wants; the discard rule is identical to
+/// [`RoundCoordinator::receive`]'s). Under synchronous delivery the
+/// filter admits everything, so tree execution is record-for-record
+/// identical to the star.
+#[derive(Debug, Clone)]
+pub struct PriorityAggState {
+    tau: f64,
+}
+
+impl PriorityAggState {
+    /// Creates the state with the protocols' initial threshold `τ = 1`.
+    pub fn new() -> Self {
+        PriorityAggState { tau: 1.0 }
+    }
+
+    /// Current threshold `τ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// `true` when a record of priority `rho` should be forwarded.
+    pub fn admit(&self, rho: f64) -> bool {
+        rho >= self.tau
+    }
+
+    /// Applies a broadcast threshold.
+    pub fn set_tau(&mut self, tau: f64) {
+        self.tau = tau;
+    }
+}
+
+impl Default for PriorityAggState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregation-node state for the with-replacement sampler's tree
+/// deployment (shared by HH-P3wr and MT-P3wr): per-sampler top-two
+/// dominance filtering.
+///
+/// The root's per-sampler state is the top-two priorities of the union
+/// of all hits, and the top-two of a union is the top-two of the
+/// subtree top-twos. An interior node that has already forwarded two
+/// hits with priorities `ρ₁ ≥ ρ₂` for sampler `t` can therefore drop
+/// any later sampler-`t` hit with `ρ ≤ ρ₂`: at the root it would change
+/// neither `ρ⁽¹⁾` nor `ρ⁽²⁾` nor the round/pending bookkeeping (which
+/// only reacts to `ρ⁽²⁾` transitions). The filter is *exact* — root
+/// state and estimates are identical to the star's — while strictly
+/// reducing upper-level traffic on long streams.
+#[derive(Debug, Clone)]
+pub struct WrAggState {
+    /// Per-sampler `(ρ₁, ρ₂)` of everything forwarded so far.
+    top2: Vec<(f64, f64)>,
+}
+
+impl WrAggState {
+    /// Creates the state for `s` samplers.
+    pub fn new(s: usize) -> Self {
+        WrAggState {
+            top2: vec![(0.0, 0.0); s],
+        }
+    }
+
+    /// Decides whether a sampler hit must be forwarded, updating the
+    /// subtree top-two if so.
+    pub fn admit(&mut self, sampler: usize, rho: f64) -> bool {
+        let (r1, r2) = &mut self.top2[sampler];
+        if rho <= *r2 {
+            return false; // dominated: two better hits already forwarded
+        }
+        if rho > *r1 {
+            *r2 = *r1;
+            *r1 = rho;
+        } else {
+            *r2 = rho;
+        }
+        true
+    }
+}
+
 /// Site half of the with-replacement sampler (`s` independent samplers).
 #[derive(Debug, Clone)]
 pub struct WrSite {
@@ -502,6 +592,63 @@ mod tests {
             (mean - w_true).abs() / w_true < 0.1,
             "Ŵ mean {mean} vs W {w_true}"
         );
+    }
+
+    #[test]
+    fn priority_agg_filters_stale_records() {
+        let mut st = PriorityAggState::new();
+        assert!(st.admit(1.0));
+        st.set_tau(8.0);
+        assert!(!st.admit(7.9));
+        assert!(st.admit(8.0));
+    }
+
+    #[test]
+    fn wr_agg_drops_only_dominated_hits() {
+        let mut st = WrAggState::new(2);
+        assert!(st.admit(0, 5.0));
+        assert!(st.admit(0, 3.0)); // second-best so far: must forward
+        assert!(!st.admit(0, 2.0)); // below (5, 3): dominated
+        assert!(st.admit(0, 4.0)); // new second-best
+        assert!(!st.admit(0, 3.5)); // below (5, 4)
+        assert!(st.admit(1, 1.0)); // other sampler unaffected
+    }
+
+    /// The load-bearing exactness claim: a coordinator fed only the
+    /// admitted hits ends in the same state as one fed everything.
+    #[test]
+    fn wr_agg_filter_is_transparent_to_coordinator() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = 10;
+        let mut site = WrSite::new(s, 4);
+        let mut direct: WrCoordinator<u64> = WrCoordinator::new(s);
+        let mut filtered: WrCoordinator<u64> = WrCoordinator::new(s);
+        let mut agg = WrAggState::new(s);
+        let mut hits = Vec::new();
+        for i in 0..3_000u64 {
+            use rand::Rng;
+            let w: f64 = rng.gen_range(1.0..4.0);
+            site.observe(w, &mut hits);
+            for h in hits.drain(..) {
+                let bc = direct.receive(h, i, w);
+                if agg.admit(h.sampler, h.rho) {
+                    let bc2 = filtered.receive(h, i, w);
+                    assert_eq!(bc, bc2, "round ends diverged");
+                } else {
+                    assert!(bc.is_none(), "dropped hit ended a round");
+                }
+                if let Some(tau) = bc {
+                    site.set_tau(tau);
+                }
+            }
+        }
+        assert_eq!(direct.estimate_total(), filtered.estimate_total());
+        assert_eq!(direct.tau(), filtered.tau());
+        for (a, b) in direct.slots().iter().zip(filtered.slots()) {
+            assert_eq!(a.rho1, b.rho1);
+            assert_eq!(a.rho2, b.rho2);
+            assert_eq!(a.top, b.top);
+        }
     }
 
     #[test]

@@ -41,6 +41,16 @@ impl SiteWeightTracker {
         }
     }
 
+    /// Creates a tracker half whose report threshold divides the `Ŵ/2`
+    /// unreported-weight budget across `nodes` withholding nodes instead
+    /// of `m` sites. Tree deployments pass `m + I` (leaves plus interior
+    /// aggregators) so every node that can hold weight shares the same
+    /// deterministic 2-approximation invariant:
+    /// unreported ≤ `(m + I)·Ŵ/(2(m + I)) = Ŵ/2`.
+    pub fn with_budget(nodes: usize) -> Self {
+        Self::new(nodes)
+    }
+
     /// Current global estimate `Ŵ` known to this site.
     pub fn w_hat(&self) -> f64 {
         self.w_hat

@@ -201,6 +201,33 @@ impl FrequentDirections {
         }
     }
 
+    /// Merges a *flushed sketch* — a stack of rows already summarising
+    /// some stream — into this sketch: the rows are stacked in one go
+    /// and at most **one** shrink follows, instead of the per-row shrink
+    /// cadence [`FrequentDirections::update`] would run. This is the
+    /// Agarwal et al. merge with the second operand given as its row
+    /// matrix, and the workhorse of tree-structured aggregation
+    /// (protocol MT-P1's interior nodes and coordinator fold received
+    /// sketches with it): same combined-stream guarantee, a fraction of
+    /// the eigensolves.
+    ///
+    /// # Panics
+    /// Panics if `rows` has a different column count.
+    pub fn merge_rows(&mut self, rows: &Matrix) {
+        assert_eq!(
+            rows.cols(),
+            self.d,
+            "FrequentDirections::merge_rows: dimension mismatch"
+        );
+        for row in rows.iter_rows() {
+            self.frob_sq += row.iter().map(|v| v * v).sum::<f64>();
+            self.buf.push_row(row);
+        }
+        if self.buf.rows() >= self.ell {
+            self.shrink(self.ell.div_ceil(2) - 1);
+        }
+    }
+
     /// Extracts the current sketch and resets the state (keeping `d`, `ℓ`).
     /// This is the "flush" operation of protocol MT-P1 sites.
     pub fn take(&mut self) -> (Matrix, f64) {

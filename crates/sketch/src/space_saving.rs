@@ -197,6 +197,84 @@ impl SpaceSaving {
         self.slots.iter().map(|(&e, s)| (e, s.count))
     }
 
+    /// The minimum live counter value — the summary's bound on the true
+    /// frequency of any *unmonitored* item. Zero while the table has
+    /// spare capacity (then nothing unmonitored has ever been seen).
+    fn min_count(&self) -> f64 {
+        if self.slots.len() < self.capacity {
+            0.0
+        } else {
+            self.slots
+                .values()
+                .fold(f64::INFINITY, |m, s| m.min(s.count))
+        }
+    }
+
+    /// Merges `other` into `self` (mergeable-summaries style, Agarwal et
+    /// al. PODS 2012). Counters common to both sides sum; an item
+    /// monitored on only one side is padded with the other side's
+    /// minimum counter (its bound on what that side may have seen of the
+    /// item), keeping estimates overestimates of the *combined* stream;
+    /// then only the `ℓ` largest counters survive.
+    ///
+    /// Guarantee for the merged summary over combined weight `W`:
+    /// monitored items satisfy `fe ≤ f̂e ≤ fe + 2W/ℓ` and unmonitored
+    /// items have `fe ≤ 2W/(ℓ+1)` — the merge at most doubles the error
+    /// constant, independent of merge order or association (pinned by
+    /// the `proptest_sketch` merge suite).
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "SpaceSaving::merge: capacity mismatch"
+        );
+        let pad_self = self.min_count();
+        let pad_other = other.min_count();
+        let mut merged: Vec<(Item, Slot)> =
+            Vec::with_capacity(self.slots.len() + other.slots.len());
+        for (&e, a) in &self.slots {
+            match other.slots.get(&e) {
+                Some(b) => merged.push((
+                    e,
+                    Slot {
+                        count: a.count + b.count,
+                        over: a.over + b.over,
+                    },
+                )),
+                None => merged.push((
+                    e,
+                    Slot {
+                        count: a.count + pad_other,
+                        over: a.over + pad_other,
+                    },
+                )),
+            }
+        }
+        for (&e, b) in &other.slots {
+            if !self.slots.contains_key(&e) {
+                merged.push((
+                    e,
+                    Slot {
+                        count: b.count + pad_self,
+                        over: b.over + pad_self,
+                    },
+                ));
+            }
+        }
+        merged.sort_by(|a, b| {
+            b.1.count
+                .partial_cmp(&a.1.count)
+                .expect("NaN count")
+                .then(a.0.cmp(&b.0))
+        });
+        merged.truncate(self.capacity);
+        self.total_weight += other.total_weight;
+        self.slots = merged.into_iter().collect();
+        self.rebuild_heap();
+    }
+
     /// Items that may be `φ`-heavy hitters: estimate ≥ `φ·W`. Guaranteed
     /// to contain every true `φ`-heavy hitter (estimates never undercount).
     pub fn heavy_hitter_candidates(&self, phi: f64) -> Vec<(Item, f64)> {
@@ -317,6 +395,70 @@ mod tests {
     #[test]
     fn with_error_bound_capacity() {
         assert_eq!(SpaceSaving::with_error_bound(0.1).capacity(), 10);
+    }
+
+    #[test]
+    fn merge_within_capacity_is_pointwise_sum() {
+        let mut a = SpaceSaving::new(8);
+        let mut b = SpaceSaving::new(8);
+        a.update(1, 2.0);
+        b.update(1, 3.0);
+        b.update(2, 4.0);
+        a.merge(&b);
+        assert_eq!(a.estimate(1), 5.0);
+        assert_eq!(a.estimate(2), 4.0);
+        assert_eq!(a.total_weight(), 9.0);
+        // Still exact: lower bounds match the estimates.
+        assert_eq!(a.lower_bound(1), 5.0);
+    }
+
+    #[test]
+    fn merge_keeps_overestimate_invariant() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cap = 12;
+        let mut parts: Vec<SpaceSaving> = (0..4).map(|_| SpaceSaving::new(cap)).collect();
+        let mut exact = ExactWeightedCounter::new();
+        for i in 0..4000 {
+            let e: Item = if rng.gen_bool(0.25) {
+                0
+            } else {
+                rng.gen_range(1..150)
+            };
+            let w: f64 = rng.gen_range(1.0..6.0);
+            parts[i % 4].update(e, w);
+            exact.update(e, w);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert!(merged.len() <= cap);
+        let w = exact.total_weight();
+        assert!((merged.total_weight() - w).abs() <= 1e-9 * w);
+        // Monitored: overestimate within 2W/ℓ; never undercounts.
+        let bound = 2.0 * merged.error_bound() + 1e-9;
+        for (e, est) in merged.counters() {
+            let f = exact.frequency(e);
+            assert!(est + 1e-9 >= f, "merge undercounted item {e}: {est} < {f}");
+            assert!(est - f <= bound, "merge overcount too large on {e}");
+            assert!(merged.lower_bound(e) <= f + 1e-9);
+        }
+        // Unmonitored after the merge: true frequency is small.
+        for (e, f) in exact.iter() {
+            if merged.estimate(e) == 0.0 {
+                assert!(f <= bound, "dropped item {e} had frequency {f}");
+            }
+        }
+        // The planted heavy hitter survives any merge.
+        assert!(merged.estimate(0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn merge_capacity_mismatch_panics() {
+        let mut a = SpaceSaving::new(2);
+        let b = SpaceSaving::new(3);
+        a.merge(&b);
     }
 
     #[test]

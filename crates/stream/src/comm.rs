@@ -9,8 +9,21 @@
 //!   summary, so a summary of `k` counters is charged `k` (plus one for
 //!   the weight scalar). A matrix-protocol message is one row of length
 //!   `d`; a scalar message is one unit.
-//! * A coordinator broadcast reaches all `m` sites and is charged `m`
-//!   messages.
+//! * A coordinator broadcast is charged **one message per recipient it
+//!   fans out to** — `m` in a star; every interior node *and* every leaf
+//!   in a tree. Broadcast cost therefore scales with the number of
+//!   children notified, never a flat 1.
+//!
+//! With a tree topology ([`crate::Topology`]) communication is *measured
+//! per hop, not guessed*: [`CommStats::per_level`] records the traffic
+//! crossing each tier boundary (hop 0 is leaf→parent; the last hop is
+//! into the root), and [`CommStats::node_in_msgs`] records how many
+//! messages each aggregation point (interior nodes first, root last)
+//! actually received — the fan-in pressure the tree exists to relieve.
+//! [`CommStats::total`] sums every hop's up-traffic plus the fanned-out
+//! broadcast deliveries, so star and tree costs are directly comparable.
+
+use crate::topology::TopologyPlan;
 
 /// Per-message cost in the paper's message units.
 ///
@@ -21,49 +34,133 @@ pub trait MessageCost {
     fn cost(&self) -> u64;
 }
 
+/// Traffic crossing one hop of the aggregation topology.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Logical upward messages crossing this hop.
+    pub up_msgs: u64,
+    /// Total element cost of those messages.
+    pub up_cost: u64,
+    /// Broadcast deliveries fanned down across this hop (one per
+    /// receiving node on the lower side).
+    pub broadcast_msgs: u64,
+}
+
 /// Running communication totals for one protocol execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommStats {
-    /// Number of logical site→coordinator sends.
+    /// Number of logical messages *leaving the leaf sites* (hop 0).
     pub up_msgs: u64,
-    /// Total element cost of site→coordinator traffic (each logical send
-    /// charged via [`MessageCost::cost`]).
+    /// Total element cost of leaf up-traffic (each logical send charged
+    /// via [`MessageCost::cost`]).
     pub up_cost: u64,
-    /// Number of broadcast events (each reaches all `m` sites).
+    /// Number of broadcast events (each fans out to the whole tree).
     pub broadcast_events: u64,
-    /// Number of sites `m` (to price broadcasts).
+    /// Total broadcast deliveries: each event charged one message per
+    /// recipient (interior nodes and leaves alike).
+    pub broadcast_cost: u64,
+    /// Number of sites `m`.
     pub sites: u64,
     /// Arrivals delivered through the driver (any feeding mode). Purely
     /// informational — excluded from [`CommStats::total`] — and doubles
     /// as the global stream index for
     /// [`crate::Runner::run_partitioned`]'s partitioner.
     pub arrivals: u64,
+    /// Per-hop traffic, leaf-to-root: `per_level[0]` is the leaf hop,
+    /// the last entry is the hop into the root. A star has exactly one
+    /// hop.
+    pub per_level: Vec<LevelStats>,
+    /// Messages received per aggregation point, interior nodes first
+    /// (level-major, bottom-up), root last. A star has a single entry —
+    /// the root.
+    pub node_in_msgs: Vec<u64>,
+    /// Structural fan-in bound: the maximum child count of any
+    /// aggregation point (`m` for a star, the tree fanout otherwise).
+    pub max_fan_in: u64,
 }
 
 impl CommStats {
-    /// Creates zeroed statistics for an `m`-site deployment.
+    /// Creates zeroed statistics for a flat (star) `m`-site deployment.
     pub fn new(sites: usize) -> Self {
         CommStats {
             sites: sites as u64,
+            per_level: vec![LevelStats::default()],
+            node_in_msgs: vec![0],
+            max_fan_in: sites as u64,
             ..Default::default()
         }
     }
 
-    /// Total message count in the paper's units:
-    /// up-traffic element cost plus `m` per broadcast.
+    /// Creates zeroed statistics shaped for a topology plan: one
+    /// [`LevelStats`] per hop and one receive counter per aggregation
+    /// point (interior nodes plus root).
+    pub fn for_plan(plan: &TopologyPlan) -> Self {
+        CommStats {
+            sites: plan.sites() as u64,
+            per_level: vec![LevelStats::default(); plan.hops()],
+            node_in_msgs: vec![0; plan.internal_nodes() + 1],
+            max_fan_in: plan.max_fan_in() as u64,
+            ..Default::default()
+        }
+    }
+
+    /// Total message count in the paper's units: up-traffic element cost
+    /// across every hop plus one message per broadcast recipient.
     pub fn total(&self) -> u64 {
-        self.up_cost + self.broadcast_events * self.sites
+        self.per_level.iter().map(|l| l.up_cost).sum::<u64>() + self.broadcast_cost
     }
 
-    /// Records one site→coordinator message of the given cost.
+    /// The largest number of messages any single aggregation point
+    /// received — the *measured* fan-in pressure (compare against the
+    /// structural [`CommStats::max_fan_in`]).
+    pub fn max_node_in_msgs(&self) -> u64 {
+        self.node_in_msgs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Records one upward message of the given cost crossing hop
+    /// `level` (0 = leaf hop).
+    pub fn record_hop(&mut self, level: usize, cost: u64) {
+        let l = &mut self.per_level[level];
+        l.up_msgs += 1;
+        l.up_cost += cost;
+        if level == 0 {
+            self.up_msgs += 1;
+            self.up_cost += cost;
+        }
+    }
+
+    /// Records one message arriving at aggregation point `node` (indexed
+    /// as in [`CommStats::node_in_msgs`]).
+    pub fn record_recv(&mut self, node: usize) {
+        self.node_in_msgs[node] += 1;
+    }
+
+    /// Records one site→coordinator message of the given cost in a flat
+    /// deployment (hop 0 straight into the root).
     pub fn record_up(&mut self, cost: u64) {
-        self.up_msgs += 1;
-        self.up_cost += cost;
+        self.record_hop(0, cost);
+        let root = self.node_in_msgs.len() - 1;
+        self.record_recv(root);
     }
 
-    /// Records one broadcast event.
-    pub fn record_broadcast(&mut self) {
+    /// Opens a broadcast event; the per-hop deliveries are then recorded
+    /// via [`CommStats::record_broadcast_level`].
+    pub fn begin_broadcast(&mut self) {
         self.broadcast_events += 1;
+    }
+
+    /// Records `receivers` broadcast deliveries crossing hop `level`
+    /// downward.
+    pub fn record_broadcast_level(&mut self, level: usize, receivers: u64) {
+        self.per_level[level].broadcast_msgs += receivers;
+        self.broadcast_cost += receivers;
+    }
+
+    /// Records one complete broadcast event that fans out to `recipients`
+    /// receivers in a flat deployment.
+    pub fn record_broadcast(&mut self, recipients: u64) {
+        self.begin_broadcast();
+        self.record_broadcast_level(0, recipients);
     }
 
     /// Adds another set of *communication* totals (e.g. when a protocol
@@ -72,30 +169,76 @@ impl CommStats {
     /// observes the same stream, so its arrivals are already counted —
     /// and `arrivals` doubles as the partitioner's global stream index,
     /// which double-counting would corrupt.
+    ///
+    /// # Panics
+    /// Debug-panics when the two stat blocks describe deployments of
+    /// different shape.
     pub fn absorb(&mut self, other: &CommStats) {
         debug_assert_eq!(
             self.sites, other.sites,
             "absorbing stats from different deployments"
         );
+        debug_assert_eq!(
+            self.per_level.len(),
+            other.per_level.len(),
+            "absorbing stats from a different topology"
+        );
+        debug_assert_eq!(
+            self.node_in_msgs.len(),
+            other.node_in_msgs.len(),
+            "absorbing stats from a different topology"
+        );
         self.up_msgs += other.up_msgs;
         self.up_cost += other.up_cost;
         self.broadcast_events += other.broadcast_events;
+        self.broadcast_cost += other.broadcast_cost;
+        for (a, b) in self.per_level.iter_mut().zip(&other.per_level) {
+            a.up_msgs += b.up_msgs;
+            a.up_cost += b.up_cost;
+            a.broadcast_msgs += b.broadcast_msgs;
+        }
+        for (a, b) in self.node_in_msgs.iter_mut().zip(&other.node_in_msgs) {
+            *a += *b;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Topology;
 
     #[test]
-    fn totals_price_broadcasts_by_m() {
+    fn totals_price_broadcasts_by_fanout() {
         let mut s = CommStats::new(10);
         s.record_up(3);
         s.record_up(1);
-        s.record_broadcast();
+        s.record_broadcast(10);
         assert_eq!(s.up_msgs, 2);
         assert_eq!(s.up_cost, 4);
+        assert_eq!(s.broadcast_events, 1);
+        assert_eq!(s.broadcast_cost, 10);
         assert_eq!(s.total(), 4 + 10);
+        assert_eq!(s.node_in_msgs, vec![2]);
+    }
+
+    #[test]
+    fn tree_shape_tracks_per_level() {
+        let plan = Topology::Tree { fanout: 2 }.plan(4); // levels [2]
+        let mut s = CommStats::for_plan(&plan);
+        assert_eq!(s.per_level.len(), 2);
+        assert_eq!(s.node_in_msgs.len(), 3); // two interior + root
+        assert_eq!(s.max_fan_in, 2);
+        s.record_hop(0, 5);
+        s.record_hop(1, 5);
+        s.record_recv(0); // interior
+        s.record_recv(2); // root
+        s.begin_broadcast();
+        s.record_broadcast_level(1, 2); // root → interior
+        s.record_broadcast_level(0, 4); // interior → leaves
+        assert_eq!(s.total(), 5 + 5 + 6);
+        assert_eq!(s.up_msgs, 1); // leaf hop only
+        assert_eq!(s.max_node_in_msgs(), 1);
     }
 
     #[test]
@@ -104,16 +247,18 @@ mod tests {
         a.record_up(2);
         let mut b = CommStats::new(5);
         b.record_up(7);
-        b.record_broadcast();
+        b.record_broadcast(5);
         a.absorb(&b);
         assert_eq!(a.up_cost, 9);
         assert_eq!(a.broadcast_events, 1);
         assert_eq!(a.total(), 9 + 5);
+        assert_eq!(a.node_in_msgs, vec![2]);
     }
 
     #[test]
     fn default_is_zero() {
         let s = CommStats::new(3);
         assert_eq!(s.total(), 0);
+        assert_eq!(s.max_node_in_msgs(), 0);
     }
 }

@@ -1,4 +1,5 @@
-//! Distributed-streaming simulation substrate — **batch-first**.
+//! Distributed-streaming simulation substrate — **batch-first**, with a
+//! **pluggable aggregation topology**.
 //!
 //! The paper's model (Cormode, Muthukrishnan, Yi — "distributed functional
 //! monitoring") has `m` sites, each observing a disjoint stream, plus a
@@ -6,14 +7,22 @@
 //! is the number of messages. This crate provides that model as
 //! infrastructure, independent of any particular protocol:
 //!
-//! * [`site::Site`] / [`coordinator::Coordinator`] — the two protocol
-//!   roles, as traits over arbitrary input/message/broadcast types.
-//! * [`comm::CommStats`] — message accounting in the paper's units
-//!   (up-messages weighted by their element cost; a broadcast costs `m`).
+//! * [`site::Site`] / [`coordinator::Coordinator`] — the leaf and root
+//!   protocol roles, as traits over arbitrary input/message/broadcast
+//!   types.
+//! * [`aggregator::Aggregator`] — the *interior* role of a tree
+//!   deployment: merges partial summaries flowing up, observes
+//!   broadcasts flowing down.
+//! * [`topology::Topology`] — the deployment shape: the paper's flat
+//!   [`Topology::Star`], or a k-ary [`Topology::Tree`] for `m ≫ 100`
+//!   where coordinator fan-in is the scaling wall.
+//! * [`comm::CommStats`] — message accounting in the paper's units,
+//!   measured per hop (see below).
 //! * [`runner::Runner`] — deterministic driver: feeds arrivals to sites
 //!   (singly, in per-site batches, or as a partitioned stream slice),
-//!   routes messages, applies broadcasts synchronously. Every experiment
-//!   harness and test drives protocols through this.
+//!   routes messages through the aggregation layer, applies broadcasts
+//!   synchronously. Every experiment harness and test drives protocols
+//!   through this.
 //! * [`runner::threaded`] — an asynchronous driver (std channels, one
 //!   thread per site, batched message shipping) where broadcasts arrive
 //!   with real lag; used to demonstrate that the protocols tolerate the
@@ -21,6 +30,45 @@
 //!   throughput.
 //! * [`partition`] — stream partitioners deciding which site observes
 //!   each arrival (round-robin, uniform random, skewed, by key).
+//!
+//! # The Topology / Aggregator contract
+//!
+//! A deployment is a tree: sites are the leaves, the coordinator is the
+//! root, and — when the topology is [`Topology::Tree`] — interior
+//! [`Aggregator`] nodes sit between them ([`Topology::plan`] resolves
+//! the layout; `fanout ≥ m` degenerates to the star, *exactly*). The
+//! runner drives interior nodes in **absorb → flush waves**: each
+//! upward message is absorbed by the child's parent, the parent is
+//! flushed once, and whatever it emits climbs to the next level; an
+//! empty flush means the node is *holding* a sub-threshold partial to
+//! coalesce with later traffic. Coordinator broadcasts fan out down the
+//! same tree, passing through [`Aggregator::on_broadcast`] before
+//! reaching the sites, so threshold state is as fresh at interior nodes
+//! as at leaves. Origin site ids ride along with messages so
+//! coordinators that key state per site (HH-P4's report table) work
+//! unchanged behind relaying aggregators.
+//!
+//! What makes interior merging *sound* is mergeability of the protocol
+//! summaries (Misra–Gries, SpaceSaving and Frequent Directions merge
+//! with the error of the combined stream; sampling round state filters
+//! losslessly) plus a **node-budget split**: a protocol whose guarantee
+//! bounds the total mass withheld across `m` reporting sites restates
+//! the same bound over the `m + I` withholding nodes of a tree with `I`
+//! interior nodes, shrinking each node's hold threshold accordingly.
+//! The `topology_parity` integration suite pins (a) tree(fanout = m) ≡
+//! star message-for-message and (b) tree error within each protocol's
+//! guarantee at fanout 2/4/8 up to m = 256.
+//!
+//! # Per-level communication accounting
+//!
+//! [`CommStats`] measures, never guesses: `per_level[h]` records the
+//! up-messages/cost and broadcast deliveries crossing hop `h` (hop 0 =
+//! leaf hop, last = into the root), `node_in_msgs` counts what every
+//! aggregation point actually received (fan-in pressure; root last),
+//! and each broadcast event is charged **one message per recipient it
+//! fans out to** — `m` in a star, every interior node and leaf in a
+//! tree — so star and tree costs are directly comparable via
+//! [`CommStats::total`].
 //!
 //! # Batch-first execution
 //!
@@ -58,17 +106,21 @@
 //! simply loops over [`site::Site::observe`], so every `Site` is
 //! batch-drivable from day one.
 
+pub mod aggregator;
 pub mod comm;
 pub mod coordinator;
 pub mod partition;
 pub mod runner;
 pub mod site;
+pub mod topology;
 
-pub use comm::{CommStats, MessageCost};
+pub use aggregator::{Aggregator, FilteredRelay, Relay, RelayFilter};
+pub use comm::{CommStats, LevelStats, MessageCost};
 pub use coordinator::Coordinator;
 pub use partition::Partitioner;
 pub use runner::Runner;
 pub use site::Site;
+pub use topology::{AggNode, Topology, TopologyPlan};
 
 /// Identifier of a site, `0..m`.
 pub type SiteId = usize;

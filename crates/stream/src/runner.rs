@@ -11,28 +11,150 @@
 //! [`Site::observe_batch`], the three feeding modes are observably
 //! identical: same messages, same [`CommStats`], at every batch size.
 //!
+//! Since PR 2 the aggregation topology is pluggable: [`Runner::new`]
+//! builds the paper's flat star, while [`Runner::with_topology`] routes
+//! traffic through a k-ary tree of [`Aggregator`] nodes
+//! ([`crate::Topology`]) — upward messages hop leaf → interior →
+//! root with per-hop accounting, and broadcasts fan out down the same
+//! tree. A tree with `fanout ≥ m` is *execution-identical* to the star
+//! (pinned by the `topology_parity` suite).
+//!
 //! [`threaded`] is an asynchronous driver (one OS thread per site,
 //! bounded std channels carrying whole *batches* of messages) in which
 //! broadcasts arrive with genuine lag. The protocols remain correct
 //! under lag — a stale (smaller) threshold only makes sites send
 //! *sooner* — so this driver demonstrates deployment behaviour and feeds
-//! the throughput benchmarks.
+//! the throughput benchmarks. Its aggregation tree (if any) runs on the
+//! coordinator thread with the same per-hop accounting.
 
+use crate::aggregator::{Aggregator, Relay};
 use crate::comm::{CommStats, MessageCost};
 use crate::coordinator::Coordinator;
 use crate::partition::Partitioner;
 use crate::site::Site;
+use crate::topology::{Topology, TopologyPlan};
 use crate::SiteId;
 
-/// Deterministic protocol driver (sequential; batch-first).
-pub struct Runner<S, C>
+/// The aggregation layer shared by the sequential and threaded drivers:
+/// the resolved topology, the interior aggregator nodes and the root
+/// coordinator, plus the routing logic that moves messages between them.
+struct AggCore<A: Aggregator, C> {
+    plan: TopologyPlan,
+    aggs: Vec<A>,
+    coordinator: C,
+    /// Reusable relay buffer for the interior hops.
+    relay: Vec<(SiteId, A::UpMsg)>,
+}
+
+impl<A, C> AggCore<A, C>
+where
+    A: Aggregator,
+    A::UpMsg: MessageCost,
+    C: Coordinator<UpMsg = A::UpMsg, Broadcast = A::Broadcast>,
+{
+    /// Builds the flat star layer (no interior nodes; `A` is never
+    /// instantiated).
+    fn star(m: usize, coordinator: C) -> Self {
+        AggCore {
+            plan: Topology::Star.plan(m),
+            aggs: Vec::new(),
+            coordinator,
+            relay: Vec::new(),
+        }
+    }
+
+    /// Builds the layer for an arbitrary topology, constructing one
+    /// aggregator per interior node via `make_agg`.
+    fn build(
+        m: usize,
+        coordinator: C,
+        topology: Topology,
+        make_agg: &mut dyn FnMut(crate::topology::AggNode) -> A,
+    ) -> Self {
+        let plan = topology.plan(m);
+        let aggs = plan.agg_nodes().map(&mut *make_agg).collect();
+        AggCore {
+            plan,
+            aggs,
+            coordinator,
+            relay: Vec::new(),
+        }
+    }
+
+    /// Routes one upward message from leaf `origin` through the
+    /// aggregation tree into the root, recording per-hop costs and
+    /// per-node fan-in; broadcasts triggered at the root are pushed onto
+    /// `bc_out`.
+    fn route_up(
+        &mut self,
+        origin: SiteId,
+        msg: A::UpMsg,
+        stats: &mut CommStats,
+        bc_out: &mut Vec<A::Broadcast>,
+    ) {
+        if self.plan.is_flat() {
+            stats.record_hop(0, msg.cost());
+            stats.record_recv(self.plan.root_index());
+            self.coordinator.receive(origin, msg, bc_out);
+            return;
+        }
+        // All messages of one wave climb the origin leaf's ancestor
+        // chain; each interior node absorbs the wave and flushes whatever
+        // it is ready to pass on.
+        let mut pending = std::mem::take(&mut self.relay);
+        pending.push((origin, msg));
+        let mut child = origin;
+        for level in 0..self.plan.internal_levels() {
+            let (node, local) = self.plan.parent_of(level, child);
+            for (from, m) in pending.drain(..) {
+                stats.record_hop(level, m.cost());
+                stats.record_recv(node);
+                self.aggs[node].absorb(from, m);
+            }
+            self.aggs[node].flush(&mut pending);
+            if pending.is_empty() {
+                self.relay = pending;
+                return; // the node is holding its partial
+            }
+            child = local;
+        }
+        let last_hop = self.plan.internal_levels();
+        for (from, m) in pending.drain(..) {
+            stats.record_hop(last_hop, m.cost());
+            stats.record_recv(self.plan.root_index());
+            self.coordinator.receive(from, m, bc_out);
+        }
+        self.relay = pending;
+    }
+
+    /// Fans one broadcast down the tree: every interior node observes it
+    /// (and is charged as a recipient), then the caller delivers it to
+    /// the leaves (already charged here as hop-0 recipients).
+    fn route_broadcast(&mut self, bc: &A::Broadcast, stats: &mut CommStats) {
+        stats.begin_broadcast();
+        let levels = self.plan.levels();
+        for (li, &count) in levels.iter().enumerate().rev() {
+            stats.record_broadcast_level(li + 1, count as u64);
+        }
+        stats.record_broadcast_level(0, self.plan.sites() as u64);
+        for agg in &mut self.aggs {
+            agg.on_broadcast(bc);
+        }
+    }
+}
+
+/// Deterministic protocol driver (sequential; batch-first), generic over
+/// the aggregation topology: `A` is the interior-node type, defaulting
+/// to the pass-through [`Relay`] a star never instantiates.
+pub struct Runner<S, C, A = Relay<<S as Site>::UpMsg, <S as Site>::Broadcast>>
 where
     S: Site,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     S::UpMsg: MessageCost,
+    A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
 {
     sites: Vec<S>,
-    coordinator: C,
+    core: AggCore<A, C>,
     stats: CommStats,
     up_buf: Vec<S::UpMsg>,
     bc_buf: Vec<S::Broadcast>,
@@ -47,7 +169,8 @@ where
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     S::UpMsg: MessageCost,
 {
-    /// Creates a driver over the given sites and coordinator.
+    /// Creates a flat-star driver over the given sites and coordinator —
+    /// the paper's deployment shape.
     ///
     /// # Panics
     /// Panics if `sites` is empty.
@@ -56,8 +179,43 @@ where
         let m = sites.len();
         Runner {
             sites,
-            coordinator,
+            core: AggCore::star(m, coordinator),
             stats: CommStats::new(m),
+            up_buf: Vec::new(),
+            bc_buf: Vec::new(),
+            stage: Vec::new(),
+        }
+    }
+}
+
+impl<S, C, A> Runner<S, C, A>
+where
+    S: Site,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    S::UpMsg: MessageCost,
+    A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+{
+    /// Creates a driver whose site traffic is aggregated through
+    /// `topology`, constructing one `A` per interior node via
+    /// `make_agg`. `Topology::Star` (or a tree with `fanout ≥ m`) has no
+    /// interior nodes and is execution-identical to [`Runner::new`].
+    ///
+    /// # Panics
+    /// Panics if `sites` is empty or the topology is invalid.
+    pub fn with_topology(
+        sites: Vec<S>,
+        coordinator: C,
+        topology: Topology,
+        mut make_agg: impl FnMut(crate::topology::AggNode) -> A,
+    ) -> Self {
+        assert!(!sites.is_empty(), "Runner: need at least one site");
+        let m = sites.len();
+        let core = AggCore::build(m, coordinator, topology, &mut make_agg);
+        let stats = CommStats::for_plan(&core.plan);
+        Runner {
+            sites,
+            core,
+            stats,
             up_buf: Vec::new(),
             bc_buf: Vec::new(),
             stage: Vec::new(),
@@ -67,6 +225,17 @@ where
     /// Number of sites `m`.
     pub fn m(&self) -> usize {
         self.sites.len()
+    }
+
+    /// The resolved aggregation layout.
+    pub fn plan(&self) -> &TopologyPlan {
+        &self.core.plan
+    }
+
+    /// The interior aggregator nodes (level-major, bottom-up; empty for
+    /// a star).
+    pub fn aggregators(&self) -> &[A] {
+        &self.core.aggs
     }
 
     /// Delivers one arrival to `site`, then routes all induced
@@ -186,14 +355,15 @@ where
         }
     }
 
-    /// Routes every pending message from `site` to the coordinator,
-    /// applying any triggered broadcasts to all sites.
+    /// Routes every pending message from `site` up through the
+    /// aggregation layer, fanning any triggered broadcasts down the tree
+    /// and into all sites.
     fn route(&mut self, site: SiteId) {
         while let Some(msg) = pop_front(&mut self.up_buf) {
-            self.stats.record_up(msg.cost());
-            self.coordinator.receive(site, msg, &mut self.bc_buf);
+            self.core
+                .route_up(site, msg, &mut self.stats, &mut self.bc_buf);
             while let Some(bc) = pop_front(&mut self.bc_buf) {
-                self.stats.record_broadcast();
+                self.core.route_broadcast(&bc, &mut self.stats);
                 for s in &mut self.sites {
                     s.on_broadcast(&bc);
                 }
@@ -203,7 +373,7 @@ where
 
     /// The coordinator, for continuous queries.
     pub fn coordinator(&self) -> &C {
-        &self.coordinator
+        &self.core.coordinator
     }
 
     /// The sites (read-only; useful in tests).
@@ -218,7 +388,7 @@ where
 
     /// Decomposes the driver into its parts (after a run completes).
     pub fn into_parts(self) -> (Vec<S>, C, CommStats) {
-        (self.sites, self.coordinator, self.stats)
+        (self.sites, self.core.coordinator, self.stats)
     }
 }
 
@@ -306,8 +476,8 @@ pub mod threaded {
     /// Panics if `inputs.len() != sites.len()`, if the configured batch
     /// size or channel capacity is zero, or if a site thread panics.
     pub fn run_partitioned_with<S, C>(
-        mut sites: Vec<S>,
-        mut coordinator: C,
+        sites: Vec<S>,
+        coordinator: C,
         inputs: Vec<Vec<S::Input>>,
         cfg: &ThreadedConfig,
     ) -> (Vec<S>, C, CommStats)
@@ -317,6 +487,75 @@ pub mod threaded {
         S::UpMsg: MessageCost + Send,
         S::Broadcast: Clone + Send,
         C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    {
+        if sites.is_empty() {
+            assert!(
+                inputs.is_empty(),
+                "run_partitioned: one input stream per site"
+            );
+            return (sites, coordinator, CommStats::default());
+        }
+        let m = sites.len();
+        run_inner::<S, C, Relay<S::UpMsg, S::Broadcast>>(
+            sites,
+            AggCore::star(m, coordinator),
+            inputs,
+            cfg,
+        )
+    }
+
+    /// [`run_partitioned_with`] over an arbitrary aggregation topology:
+    /// site threads behave exactly as in the star, while the aggregation
+    /// tree (interior [`Aggregator`] nodes plus the root coordinator)
+    /// runs on the calling thread with the same per-hop accounting as
+    /// the sequential [`Runner::with_topology`]. Broadcast *timing* lags
+    /// as usual for this driver; broadcast *cost* is charged per tree
+    /// recipient.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != sites.len()`, if the configured batch
+    /// size or channel capacity is zero, or if a site thread panics.
+    pub fn run_partitioned_topology<S, C, A>(
+        sites: Vec<S>,
+        coordinator: C,
+        inputs: Vec<Vec<S::Input>>,
+        cfg: &ThreadedConfig,
+        topology: Topology,
+        mut make_agg: impl FnMut(crate::topology::AggNode) -> A,
+    ) -> (Vec<S>, C, CommStats)
+    where
+        S: Site + Send,
+        S::Input: Send,
+        S::UpMsg: MessageCost + Send,
+        S::Broadcast: Clone + Send,
+        C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+        A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    {
+        if sites.is_empty() {
+            assert!(
+                inputs.is_empty(),
+                "run_partitioned: one input stream per site"
+            );
+            return (sites, coordinator, CommStats::default());
+        }
+        let m = sites.len();
+        let core = AggCore::build(m, coordinator, topology, &mut make_agg);
+        run_inner(sites, core, inputs, cfg)
+    }
+
+    fn run_inner<S, C, A>(
+        mut sites: Vec<S>,
+        mut core: AggCore<A, C>,
+        inputs: Vec<Vec<S::Input>>,
+        cfg: &ThreadedConfig,
+    ) -> (Vec<S>, C, CommStats)
+    where
+        S: Site + Send,
+        S::Input: Send,
+        S::UpMsg: MessageCost + Send,
+        S::Broadcast: Clone + Send,
+        C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+        A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     {
         assert_eq!(
             inputs.len(),
@@ -332,7 +571,7 @@ pub mod threaded {
             "run_partitioned: channel_capacity must be positive"
         );
         let m = sites.len();
-        let mut stats = CommStats::new(m);
+        let mut stats = CommStats::for_plan(&core.plan);
         stats.arrivals = inputs.iter().map(|v| v.len() as u64).sum();
 
         let (up_tx, up_rx) = mpsc::sync_channel::<(SiteId, Vec<S::UpMsg>)>(cfg.channel_capacity);
@@ -391,10 +630,9 @@ pub mod threaded {
             let mut bc_buf = Vec::new();
             while let Ok((sid, batch)) = up_rx.recv() {
                 for msg in batch {
-                    stats.record_up(msg.cost());
-                    coordinator.receive(sid, msg, &mut bc_buf);
+                    core.route_up(sid, msg, &mut stats, &mut bc_buf);
                     for bc in bc_buf.drain(..) {
-                        stats.record_broadcast();
+                        core.route_broadcast(&bc, &mut stats);
                         for tx in &bc_txs {
                             // A site may already have finished; that's fine.
                             let _ = tx.send(bc.clone());
@@ -409,7 +647,7 @@ pub mod threaded {
                 .collect::<Vec<S>>()
         });
 
-        (site_results, coordinator, stats)
+        (site_results, core.coordinator, stats)
     }
 }
 
@@ -471,6 +709,32 @@ mod tests {
         }
     }
 
+    /// Toy aggregator: sums child reports and forwards once the pending
+    /// total reaches a fixed hold threshold.
+    struct ToyAgg {
+        pending: f64,
+        hold: f64,
+        rep: SiteId,
+    }
+
+    impl Aggregator for ToyAgg {
+        type UpMsg = Report;
+        type Broadcast = f64;
+
+        fn absorb(&mut self, from: SiteId, msg: Report) {
+            if self.pending == 0.0 {
+                self.rep = from;
+            }
+            self.pending += msg.0;
+        }
+        fn flush(&mut self, out: &mut Vec<(SiteId, Report)>) {
+            if self.pending >= self.hold {
+                out.push((self.rep, Report(self.pending)));
+                self.pending = 0.0;
+            }
+        }
+    }
+
     fn toy_runner(m: usize) -> Runner<ToySite, ToyCoord> {
         let sites = (0..m)
             .map(|_| ToySite {
@@ -483,6 +747,28 @@ mod tests {
             ToyCoord {
                 total: 0.0,
                 last_broadcast_at: 0.0,
+            },
+        )
+    }
+
+    fn toy_tree(m: usize, fanout: usize, hold: f64) -> Runner<ToySite, ToyCoord, ToyAgg> {
+        let sites = (0..m)
+            .map(|_| ToySite {
+                pending: 0.0,
+                threshold: 1.0,
+            })
+            .collect();
+        Runner::with_topology(
+            sites,
+            ToyCoord {
+                total: 0.0,
+                last_broadcast_at: 0.0,
+            },
+            Topology::Tree { fanout },
+            |_| ToyAgg {
+                pending: 0.0,
+                hold,
+                rep: 0,
             },
         )
     }
@@ -510,6 +796,69 @@ mod tests {
         for s in r.sites() {
             assert!(s.threshold > 1.0, "broadcast never reached a site");
         }
+    }
+
+    #[test]
+    fn tree_with_relay_hold_conserves_weight() {
+        let mut r = toy_tree(8, 2, 0.0); // hold 0: forwards immediately
+        for i in 0..200u64 {
+            r.feed((i % 8) as usize, 1.0);
+        }
+        let site_pending: f64 = r.sites().iter().map(|s| s.pending).sum();
+        let agg_pending: f64 = r.aggregators().iter().map(|a| a.pending).sum();
+        assert_eq!(r.coordinator().total + site_pending + agg_pending, 200.0);
+        // Per-level accounting: every hop saw traffic.
+        assert_eq!(r.stats().per_level.len(), r.plan().hops());
+        for (h, lvl) in r.stats().per_level.iter().enumerate() {
+            assert!(lvl.up_msgs > 0, "hop {h} silent");
+        }
+        // Structural fan-in bounded by the fanout.
+        assert_eq!(r.stats().max_fan_in, 2);
+    }
+
+    #[test]
+    fn tree_holding_aggregator_reduces_root_fan_in() {
+        let mut flat = toy_runner(16);
+        let mut tree = toy_tree(16, 4, 3.0); // coalesce ≥ 3 weight per forward
+        for i in 0..400u64 {
+            flat.feed((i % 16) as usize, 1.0);
+            tree.feed((i % 16) as usize, 1.0);
+        }
+        let root_flat = *flat.stats().node_in_msgs.last().unwrap();
+        let root_tree = *tree.stats().node_in_msgs.last().unwrap();
+        assert!(
+            root_tree < root_flat,
+            "root fan-in {root_tree} not below star {root_flat}"
+        );
+        // Held weight is conserved, not lost.
+        let site_pending: f64 = tree.sites().iter().map(|s| s.pending).sum();
+        let agg_pending: f64 = tree.aggregators().iter().map(|a| a.pending).sum();
+        assert_eq!(tree.coordinator().total + site_pending + agg_pending, 400.0);
+    }
+
+    #[test]
+    fn tree_broadcast_cost_counts_every_recipient() {
+        let mut r = toy_tree(8, 2, 0.0); // plan levels [4, 2]: 6 interior
+        for i in 0..100u64 {
+            r.feed((i % 8) as usize, 1.0);
+        }
+        let s = r.stats();
+        assert!(s.broadcast_events > 0);
+        // Each event reaches 8 leaves + 6 interior nodes.
+        assert_eq!(s.broadcast_cost, s.broadcast_events * (8 + 6));
+    }
+
+    #[test]
+    fn tree_with_full_fanout_matches_star_exactly() {
+        let mut star = toy_runner(6);
+        let mut tree = toy_tree(6, 6, 123.0); // aggregators never built
+        for i in 0..300u64 {
+            star.feed((i % 6) as usize, 1.5);
+            tree.feed((i % 6) as usize, 1.5);
+        }
+        assert_eq!(star.stats(), tree.stats());
+        assert_eq!(star.coordinator().total, tree.coordinator().total);
+        assert!(tree.aggregators().is_empty());
     }
 
     #[test]
@@ -644,6 +993,45 @@ mod tests {
             assert_eq!(coord.total + pending, 210.0, "batch={batch}");
             assert!(stats.up_msgs > 0, "batch={batch}");
         }
+    }
+
+    #[test]
+    fn threaded_topology_conserves_weight_and_tracks_levels() {
+        let m = 8;
+        let sites: Vec<ToySite> = (0..m)
+            .map(|_| ToySite {
+                pending: 0.0,
+                threshold: 1.0,
+            })
+            .collect();
+        let coord = ToyCoord {
+            total: 0.0,
+            last_broadcast_at: 0.0,
+        };
+        let inputs: Vec<Vec<f64>> = (0..m).map(|_| vec![1.0; 60]).collect();
+        let cfg = threaded::ThreadedConfig {
+            batch_size: 8,
+            channel_capacity: 2,
+        };
+        let (sites, coord, stats) = threaded::run_partitioned_topology(
+            sites,
+            coord,
+            inputs,
+            &cfg,
+            Topology::Tree { fanout: 2 },
+            |_| ToyAgg {
+                pending: 0.0,
+                hold: 0.0,
+                rep: 0,
+            },
+        );
+        // hold = 0 aggregators forward everything, so only site-pending
+        // weight is outstanding.
+        let pending: f64 = sites.iter().map(|s| s.pending).sum();
+        assert_eq!(coord.total + pending, 8.0 * 60.0);
+        assert_eq!(stats.per_level.len(), 3); // 8 → 4 → 2 → root
+        assert!(stats.per_level.iter().all(|l| l.up_msgs > 0));
+        assert_eq!(stats.max_fan_in, 2);
     }
 
     #[test]

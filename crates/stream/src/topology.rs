@@ -1,0 +1,268 @@
+//! Aggregation topologies: how site traffic reaches the coordinator.
+//!
+//! The paper's model is a flat star — every site talks straight to the
+//! coordinator — which makes coordinator fan-in the scaling wall for
+//! `m ≫ 100`. Because the protocols' summaries are *mergeable*
+//! (Misra–Gries, SpaceSaving and Frequent Directions merge without error
+//! growth; the sampling protocols' round state filters losslessly), the
+//! star can be replaced by a k-ary aggregation tree: sites report to
+//! intermediate [`crate::Aggregator`] nodes, which merge partial
+//! summaries on the way up, and coordinator broadcasts fan out down the
+//! same tree. [`Topology`] names the shape; [`TopologyPlan`] is the
+//! resolved node layout for a concrete number of sites.
+//!
+//! A `Tree { fanout: m }` plan is *identical* to `Star` — no internal
+//! nodes, every leaf a direct child of the root — which is what lets the
+//! `topology_parity` suite pin tree execution against star execution
+//! message-for-message.
+
+/// The shape of the aggregation layer between sites and coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// The paper's flat star: all `m` sites are direct children of the
+    /// coordinator.
+    Star,
+    /// A k-ary aggregation tree: each node has at most `fanout` children;
+    /// leaves are the sites, interior nodes are [`crate::Aggregator`]s,
+    /// the root is the coordinator. `fanout ≥ m` degenerates to the star.
+    Tree {
+        /// Maximum children per node (`≥ 2`).
+        fanout: usize,
+    },
+}
+
+impl Topology {
+    /// Resolves the topology for `m` sites into a concrete node layout.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`, or on `Tree { fanout < 2 }`.
+    pub fn plan(&self, m: usize) -> TopologyPlan {
+        assert!(m >= 1, "Topology::plan: need at least one site");
+        match *self {
+            Topology::Star => TopologyPlan {
+                m,
+                fanout: m,
+                levels: Vec::new(),
+            },
+            Topology::Tree { fanout } => {
+                assert!(fanout >= 2, "Topology::plan: tree fanout must be ≥ 2");
+                // Normalise so `Tree { fanout ≥ m }` is structurally equal
+                // to `Star` (same plan, same stats shape).
+                let fanout = fanout.min(m);
+                let mut levels = Vec::new();
+                let mut cur = m;
+                loop {
+                    let next = cur.div_ceil(fanout);
+                    if next <= 1 {
+                        break;
+                    }
+                    levels.push(next);
+                    cur = next;
+                }
+                TopologyPlan { m, fanout, levels }
+            }
+        }
+    }
+}
+
+/// Identity of one aggregation node handed to the factory closure of
+/// [`crate::Runner::with_topology`]: protocols use it to split their
+/// error budget across the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggNode {
+    /// Internal level, 1-based (level 1 parents the leaves).
+    pub level: usize,
+    /// Index of the node within its level.
+    pub index: usize,
+    /// Number of leaf sites in this node's subtree.
+    pub leaves: usize,
+    /// Total internal levels in the plan.
+    pub total_levels: usize,
+}
+
+/// The resolved aggregation layout for `m` sites: how many interior
+/// nodes exist per level and how children map to parents.
+///
+/// Node indexing, used consistently by [`crate::CommStats`] and the
+/// runner: interior nodes are numbered level-major bottom-up (all of
+/// level 1, then level 2, …), and the root coordinator takes the last
+/// index, [`TopologyPlan::root_index`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyPlan {
+    m: usize,
+    fanout: usize,
+    /// Interior nodes per level, bottom-up; empty for a (degenerate)
+    /// star.
+    levels: Vec<usize>,
+}
+
+impl TopologyPlan {
+    /// Number of leaf sites `m`.
+    pub fn sites(&self) -> usize {
+        self.m
+    }
+
+    /// The per-node child bound (`m` for a star).
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Interior node counts per level, bottom-up.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// Number of interior (aggregator) levels; 0 means every site is a
+    /// direct child of the root.
+    pub fn internal_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total interior aggregator nodes.
+    pub fn internal_nodes(&self) -> usize {
+        self.levels.iter().sum()
+    }
+
+    /// Hops a site message crosses to reach the root
+    /// (`internal_levels() + 1`).
+    pub fn hops(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Stats index of the root coordinator (interior nodes come first).
+    pub fn root_index(&self) -> usize {
+        self.internal_nodes()
+    }
+
+    /// `true` when the plan is a flat star (no interior nodes).
+    pub fn is_flat(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The maximum number of children any aggregation point (interior
+    /// node or root) has — the structural fan-in the tree exists to
+    /// bound. `m` for a star.
+    pub fn max_fan_in(&self) -> usize {
+        if self.levels.is_empty() {
+            self.m
+        } else {
+            // Some level-1 parent has a full complement of `fanout`
+            // children (levels non-empty ⇒ m > fanout), and no node
+            // anywhere has more.
+            self.fanout
+        }
+    }
+
+    /// Global aggregator index and within-level index of the parent of
+    /// `child_local` (a leaf id for `level_idx == 0`, a within-level
+    /// interior index otherwise) at 0-based interior level `level_idx`.
+    pub fn parent_of(&self, level_idx: usize, child_local: usize) -> (usize, usize) {
+        debug_assert!(level_idx < self.levels.len());
+        let local = child_local / self.fanout;
+        debug_assert!(local < self.levels[level_idx]);
+        let offset: usize = self.levels[..level_idx].iter().sum();
+        (offset + local, local)
+    }
+
+    /// Number of leaf sites under interior node `index` of 1-based level
+    /// `level`.
+    pub fn leaves_under(&self, level: usize, index: usize) -> usize {
+        debug_assert!(level >= 1 && level <= self.levels.len());
+        // Each level-ℓ node covers a contiguous block of fanoutˡ leaves.
+        let span = self.fanout.saturating_pow(level as u32);
+        let lo = index.saturating_mul(span).min(self.m);
+        let hi = (index + 1).saturating_mul(span).min(self.m);
+        hi - lo
+    }
+
+    /// Iterates the [`AggNode`] descriptors in global index order
+    /// (level-major, bottom-up) — the order aggregators are constructed
+    /// and stored in.
+    pub fn agg_nodes(&self) -> impl Iterator<Item = AggNode> + '_ {
+        let total = self.levels.len();
+        self.levels
+            .iter()
+            .enumerate()
+            .flat_map(move |(li, &count)| {
+                (0..count).map(move |index| AggNode {
+                    level: li + 1,
+                    index,
+                    leaves: self.leaves_under(li + 1, index),
+                    total_levels: total,
+                })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_has_no_interior() {
+        let p = Topology::Star.plan(50);
+        assert!(p.is_flat());
+        assert_eq!(p.internal_nodes(), 0);
+        assert_eq!(p.hops(), 1);
+        assert_eq!(p.max_fan_in(), 50);
+        assert_eq!(p.root_index(), 0);
+    }
+
+    #[test]
+    fn tree_with_fanout_m_degenerates_to_star() {
+        let star = Topology::Star.plan(16);
+        let tree = Topology::Tree { fanout: 16 }.plan(16);
+        assert_eq!(star, tree);
+        // fanout > m too.
+        assert_eq!(star, Topology::Tree { fanout: 40 }.plan(16));
+    }
+
+    #[test]
+    fn binary_tree_levels() {
+        // m = 16, k = 2: levels 8, 4, 2, then root parents the 2.
+        let p = Topology::Tree { fanout: 2 }.plan(16);
+        assert_eq!(p.levels(), &[8, 4, 2]);
+        assert_eq!(p.internal_nodes(), 14);
+        assert_eq!(p.hops(), 4);
+        assert_eq!(p.max_fan_in(), 2);
+        assert_eq!(p.root_index(), 14);
+    }
+
+    #[test]
+    fn ragged_tree_levels() {
+        // m = 10, k = 4: ceil(10/4) = 3 parents, then root parents the 3.
+        let p = Topology::Tree { fanout: 4 }.plan(10);
+        assert_eq!(p.levels(), &[3]);
+        assert_eq!(p.max_fan_in(), 4);
+        // Parent mapping: leaves 0–3 → node 0, 4–7 → node 1, 8–9 → node 2.
+        assert_eq!(p.parent_of(0, 3), (0, 0));
+        assert_eq!(p.parent_of(0, 4), (1, 1));
+        assert_eq!(p.parent_of(0, 9), (2, 2));
+        // Leaf coverage.
+        assert_eq!(p.leaves_under(1, 0), 4);
+        assert_eq!(p.leaves_under(1, 1), 4);
+        assert_eq!(p.leaves_under(1, 2), 2);
+    }
+
+    #[test]
+    fn agg_nodes_cover_all_leaves_per_level() {
+        for (m, k) in [(16, 2), (64, 4), (256, 8), (100, 3)] {
+            let p = Topology::Tree { fanout: k }.plan(m);
+            for level in 1..=p.internal_levels() {
+                let covered: usize = p
+                    .agg_nodes()
+                    .filter(|n| n.level == level)
+                    .map(|n| n.leaves)
+                    .sum();
+                assert_eq!(covered, m, "m={m} k={k} level={level}");
+            }
+            assert_eq!(p.agg_nodes().count(), p.internal_nodes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be ≥ 2")]
+    fn rejects_unary_tree() {
+        Topology::Tree { fanout: 1 }.plan(4);
+    }
+}
