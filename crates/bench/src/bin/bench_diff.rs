@@ -1,0 +1,86 @@
+//! Diffs two `BENCH_protocols.json` recordings — the committed baseline
+//! against a fresh run — and prints per-record and per-protocol
+//! throughput deltas, plus communication-shape changes worth a second
+//! look. This automates the ROADMAP's "re-record each PR and diff
+//! throughput across PRs" loop:
+//!
+//! ```text
+//! cargo run --release -p cma-bench --bin bench_protocols -- --out BENCH_new.json
+//! cargo run --release -p cma-bench --bin bench_diff -- --new BENCH_new.json
+//! ```
+//!
+//! Options: `--old <path>` (default `BENCH_protocols.json`, the
+//! committed baseline), `--new <path>` (default `BENCH_new.json`),
+//! `--threshold <pct>` (only print per-record rows whose |Δ| exceeds
+//! this percentage; default 5).
+
+use cma_bench::report::{diff, parse_bench_json, per_protocol_geomean};
+use cma_bench::Args;
+use std::process::ExitCode;
+
+fn read_records(path: &str) -> Vec<cma_bench::report::BenchRecord> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_diff: cannot read {path}: {e}"));
+    let recs = parse_bench_json(&text);
+    assert!(!recs.is_empty(), "bench_diff: no records in {path}");
+    recs
+}
+
+fn main() -> ExitCode {
+    let args = Args::from_env();
+    let old_path = args.get_str("old", "BENCH_protocols.json");
+    let new_path = args.get_str("new", "BENCH_new.json");
+    let threshold: f64 = args.get("threshold", 5.0);
+
+    let old = read_records(&old_path);
+    let new = read_records(&new_path);
+    let (rows, only_old, only_new) = diff(&old, &new);
+
+    if rows.is_empty() {
+        eprintln!("bench_diff: no overlapping records between {old_path} and {new_path}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("# bench_diff: {new_path} vs {old_path}");
+    println!(
+        "# {} matched records; showing |Δ| > {threshold}%",
+        rows.len()
+    );
+    println!();
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}  root_in old→new",
+        "record", "old/s", "new/s", "Δ%"
+    );
+    for row in &rows {
+        let pct = row.speedup() * 100.0;
+        if pct.abs() <= threshold {
+            continue;
+        }
+        println!(
+            "{:<44} {:>12.0} {:>12.0} {:>+7.1}%  {}→{}",
+            row.key,
+            row.old.throughput,
+            row.new.throughput,
+            pct,
+            row.old.root_in_msgs,
+            row.new.root_in_msgs,
+        );
+    }
+
+    println!();
+    println!("## per-protocol geometric mean");
+    for (label, ratio, n) in per_protocol_geomean(&rows) {
+        println!(
+            "{label:<16} {:>+7.1}%  ({n} records)",
+            (ratio - 1.0) * 100.0
+        );
+    }
+
+    for k in &only_old {
+        println!("only in {old_path}: {k}");
+    }
+    for k in &only_new {
+        println!("only in {new_path}: {k}");
+    }
+    ExitCode::SUCCESS
+}

@@ -3,8 +3,12 @@
 //! Runs every protocol through the batch-first runner across the batch
 //! and topology axes, measuring wall-clock throughput *and* the measured
 //! communication profile (total cost, root fan-in, broadcast fan-out,
-//! hops), and writes one JSON document so successive PRs can diff
-//! throughput and communication shape.
+//! hops) — and, since PR 3, through the **threaded** driver across a
+//! topology × fanout axis with interior aggregator nodes on their own
+//! threads (`"mode": "threaded"` records), demonstrating measured
+//! fan-in relief at the root under real concurrency. One JSON document
+//! is written so successive PRs can diff throughput and communication
+//! shape (`bench_diff` automates the comparison).
 //!
 //! Usage:
 //! ```text
@@ -12,9 +16,13 @@
 //! ```
 //! Build `--release`; the debug profile underreports throughput ~20×.
 
-use cma_bench::{run_hh_topology, run_matrix_topology, Args, HhProtocol, MatrixProtocol};
+use cma_bench::{
+    run_hh_threaded, run_hh_topology, run_matrix_threaded, run_matrix_topology, Args, HhProtocol,
+    MatrixProtocol,
+};
 use cma_core::{HhConfig, MatrixConfig, Topology};
 use cma_data::{SyntheticMatrixStream, WeightedZipfStream};
+use cma_stream::runner::threaded::ThreadedConfig;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -28,11 +36,24 @@ fn topologies() -> [(&'static str, Topology); 3] {
     ]
 }
 
+/// The threaded axis: the star baseline plus every fanout the fan-in
+/// relief claim is stated for (m ≥ 64 ⇒ all three trees have interior
+/// levels).
+fn threaded_topologies() -> [(&'static str, Topology); 4] {
+    [
+        ("star", Topology::Star),
+        ("tree2", Topology::Tree { fanout: 2 }),
+        ("tree4", Topology::Tree { fanout: 4 }),
+        ("tree8", Topology::Tree { fanout: 8 }),
+    ]
+}
+
 struct Record {
     family: &'static str,
     protocol: &'static str,
     batch: usize,
     topology: &'static str,
+    mode: &'static str,
     elapsed_s: f64,
     throughput: f64,
     err: f64,
@@ -48,6 +69,7 @@ fn emit(records: &[Record], meta: &str) -> String {
         let _ = write!(
             out,
             "    {{\"family\": \"{}\", \"protocol\": \"{}\", \"batch\": {}, \"topology\": \"{}\", \
+             \"mode\": \"{}\", \
              \"elapsed_s\": {:.4}, \"throughput_per_s\": {:.0}, \"err\": {:.6e}, \
              \"msgs_total\": {}, \"up_msgs\": {}, \"broadcast_events\": {}, \"broadcast_cost\": {}, \
              \"max_fan_in\": {}, \"root_in_msgs\": {}, \"hops\": {}}}",
@@ -55,6 +77,7 @@ fn emit(records: &[Record], meta: &str) -> String {
             r.protocol,
             r.batch,
             r.topology,
+            r.mode,
             r.elapsed_s,
             r.throughput,
             r.err,
@@ -108,6 +131,7 @@ fn main() {
                     protocol: proto.name(),
                     batch,
                     topology: tname,
+                    mode: "seq",
                     elapsed_s: dt,
                     throughput: hh_n as f64 / dt,
                     err: run.eval.avg_rel_err,
@@ -141,6 +165,7 @@ fn main() {
                     protocol: proto.name(),
                     batch,
                     topology: tname,
+                    mode: "seq",
                     elapsed_s: dt,
                     throughput: mt_n as f64 / dt,
                     err: run.err,
@@ -150,10 +175,70 @@ fn main() {
         }
     }
 
+    // The threaded axis: the same eight-protocol grid as the sequential
+    // axes (the paper's four per family; the with-replacement P3wr
+    // baselines are excluded there too) through the threaded driver —
+    // one thread per site *and per interior node* — across star and
+    // fanout {2, 4, 8} trees. `root_in_msgs` on these records is the
+    // measured fan-in relief under real concurrency.
+    let tcfg = ThreadedConfig {
+        batch_size: 64,
+        channel_capacity: 4,
+    };
+    for proto in [
+        HhProtocol::P1,
+        HhProtocol::P2,
+        HhProtocol::P3,
+        HhProtocol::P4,
+    ] {
+        for (tname, topo) in threaded_topologies() {
+            eprintln!("hh {} threaded {tname}…", proto.name());
+            let t0 = Instant::now();
+            let (run, comm) = run_hh_threaded(proto, &hh_cfg, &hh_stream, 0.05, topo, &tcfg);
+            let dt = t0.elapsed().as_secs_f64();
+            records.push(Record {
+                family: "hh",
+                protocol: proto.name(),
+                batch: tcfg.batch_size,
+                topology: tname,
+                mode: "threaded",
+                elapsed_s: dt,
+                throughput: hh_n as f64 / dt,
+                err: run.eval.avg_rel_err,
+                comm,
+            });
+        }
+    }
+    for proto in [
+        MatrixProtocol::P1,
+        MatrixProtocol::P2,
+        MatrixProtocol::P3,
+        MatrixProtocol::P4,
+    ] {
+        for (tname, topo) in threaded_topologies() {
+            eprintln!("matrix {} threaded {tname}…", proto.name());
+            let t0 = Instant::now();
+            let (run, comm) = run_matrix_threaded(proto, &mt_cfg, &mt_rows, topo, &tcfg);
+            let dt = t0.elapsed().as_secs_f64();
+            records.push(Record {
+                family: "matrix",
+                protocol: proto.name(),
+                batch: tcfg.batch_size,
+                topology: tname,
+                mode: "threaded",
+                elapsed_s: dt,
+                throughput: mt_n as f64 / dt,
+                err: run.err,
+                comm,
+            });
+        }
+    }
+
     let meta = format!(
         "{{\"sites\": {sites}, \"hh_n\": {hh_n}, \"mt_n\": {mt_n}, \
          \"hh_epsilon\": {}, \"mt_epsilon\": {}, \"mt_dim\": {}, \
-         \"batches\": [64, 1024], \"topologies\": [\"star\", \"tree4\", \"tree8\"]}}",
+         \"batches\": [64, 1024], \"topologies\": [\"star\", \"tree4\", \"tree8\"], \
+         \"threaded_topologies\": [\"star\", \"tree2\", \"tree4\", \"tree8\"]}}",
         hh_cfg.epsilon, mt_cfg.epsilon, mt_cfg.dim
     );
     let json = emit(&records, &meta);

@@ -15,6 +15,7 @@ use cma_linalg::svd::gram_svd;
 use cma_linalg::Matrix;
 use cma_sketch::{ExactWeightedCounter, FrequentDirections};
 use cma_stream::partition::RoundRobin;
+use cma_stream::runner::threaded::{self, ThreadedConfig};
 use cma_stream::{CommStats, Topology};
 
 /// Arrivals per epoch when a driver delivers a stream to a deployment
@@ -188,6 +189,124 @@ pub fn run_hh_topology(
             protocol: proto.name(),
             msgs: summary.total,
             eval,
+        },
+        summary,
+    )
+}
+
+/// Round-robin pre-partitioning of a stream over `m` sites — the same
+/// per-site streams a sequential `run_partitioned` with [`RoundRobin`]
+/// delivers, as explicit input vectors for the threaded driver. Public
+/// so threaded-vs-sequential comparisons (tests, harnesses) share one
+/// definition of "the identical partitioning".
+pub fn partition_round_robin<T: Clone>(stream: &[T], m: usize) -> Vec<Vec<T>> {
+    let mut inputs: Vec<Vec<T>> = vec![Vec::new(); m];
+    for (i, x) in stream.iter().enumerate() {
+        inputs[i % m].push(x.clone());
+    }
+    inputs
+}
+
+macro_rules! drive_hh_threaded {
+    ($module:ident, $cfg:expr, $inputs:expr, $exact:expr, $phi:expr, $topo:expr, $tcfg:expr) => {{
+        let (sites, coordinator, _) = hh::$module::deploy_topology($cfg, $topo).into_parts();
+        let (_, coordinator, stats) = threaded::run_partitioned_topology(
+            sites,
+            coordinator,
+            $inputs,
+            $tcfg,
+            $topo,
+            hh::$module::make_aggregator($cfg, $topo),
+        );
+        let summary = CommSummary::from(&stats);
+        let eval = metrics::evaluate(&coordinator, $exact, $phi, $cfg.epsilon);
+        (summary, eval)
+    }};
+}
+
+/// [`run_hh_topology`] through the *threaded* driver: one OS thread per
+/// site **and per interior aggregator node**, so the reported root
+/// fan-in ([`CommSummary::root_in_msgs`]) and wall-clock reflect a real
+/// concurrent deployment rather than a sequential simulation.
+pub fn run_hh_threaded(
+    proto: HhProtocol,
+    cfg: &HhConfig,
+    stream: &[(u64, f64)],
+    phi: f64,
+    topology: Topology,
+    tcfg: &ThreadedConfig,
+) -> (HhRunResult, CommSummary) {
+    let mut exact = ExactWeightedCounter::new();
+    for &(e, w) in stream {
+        exact.update(e, w);
+    }
+    let inputs = partition_round_robin(stream, cfg.sites);
+    let (summary, eval) = match proto {
+        HhProtocol::P1 => drive_hh_threaded!(p1, cfg, inputs, &exact, phi, topology, tcfg),
+        HhProtocol::P2 => drive_hh_threaded!(p2, cfg, inputs, &exact, phi, topology, tcfg),
+        HhProtocol::P3 => drive_hh_threaded!(p3, cfg, inputs, &exact, phi, topology, tcfg),
+        HhProtocol::P3wr => drive_hh_threaded!(p3wr, cfg, inputs, &exact, phi, topology, tcfg),
+        HhProtocol::P4 => drive_hh_threaded!(p4, cfg, inputs, &exact, phi, topology, tcfg),
+    };
+    (
+        HhRunResult {
+            protocol: proto.name(),
+            msgs: summary.total,
+            eval,
+        },
+        summary,
+    )
+}
+
+macro_rules! drive_matrix_threaded {
+    ($module:ident, $cfg:expr, $inputs:expr, $topo:expr, $tcfg:expr) => {{
+        let (sites, coordinator, _) = matrix::$module::deploy_topology($cfg, $topo).into_parts();
+        let (_, coordinator, stats) = threaded::run_partitioned_topology(
+            sites,
+            coordinator,
+            $inputs,
+            $tcfg,
+            $topo,
+            matrix::$module::make_aggregator($cfg, $topo),
+        );
+        (
+            CommSummary::from(&stats),
+            coordinator.sketch(),
+            coordinator.frob_estimate(),
+        )
+    }};
+}
+
+/// [`run_matrix_topology`] through the *threaded* driver (see
+/// [`run_hh_threaded`]).
+pub fn run_matrix_threaded(
+    proto: MatrixProtocol,
+    cfg: &MatrixConfig,
+    rows: &[Vec<f64>],
+    topology: Topology,
+    tcfg: &ThreadedConfig,
+) -> (MatrixRunResult, CommSummary) {
+    let mut truth = StreamingGram::new(cfg.dim);
+    for row in rows {
+        truth.update(row);
+    }
+    let inputs = partition_round_robin(rows, cfg.sites);
+    let (summary, sketch, frob_est) = match proto {
+        MatrixProtocol::P1 => drive_matrix_threaded!(p1, cfg, inputs, topology, tcfg),
+        MatrixProtocol::P2 => drive_matrix_threaded!(p2, cfg, inputs, topology, tcfg),
+        MatrixProtocol::P3 => drive_matrix_threaded!(p3, cfg, inputs, topology, tcfg),
+        MatrixProtocol::P3wr => drive_matrix_threaded!(p3wr, cfg, inputs, topology, tcfg),
+        MatrixProtocol::P4 => drive_matrix_threaded!(p4, cfg, inputs, topology, tcfg),
+    };
+    let err = truth
+        .error_of_sketch(&sketch)
+        .expect("error metric eigensolve");
+    (
+        MatrixRunResult {
+            protocol: proto.name(),
+            msgs: summary.total,
+            err,
+            frob_est,
         },
         summary,
     )
@@ -508,6 +627,55 @@ mod tests {
             64,
         );
         assert!(run.err <= mcfg.epsilon, "tree MT-P1 err {}", run.err);
+        assert_eq!(comm.max_fan_in, 4);
+    }
+
+    #[test]
+    fn threaded_drivers_run_and_relieve_root_fan_in() {
+        let stream = small_stream(8_000);
+        let cfg = HhConfig::new(16, 0.05).with_seed(5);
+        let tcfg = ThreadedConfig {
+            batch_size: 16,
+            channel_capacity: 2,
+        };
+        let (star, star_comm) =
+            run_hh_threaded(HhProtocol::P1, &cfg, &stream, 0.05, Topology::Star, &tcfg);
+        let (tree, tree_comm) = run_hh_threaded(
+            HhProtocol::P1,
+            &cfg,
+            &stream,
+            0.05,
+            Topology::Tree { fanout: 4 },
+            &tcfg,
+        );
+        assert!(star.msgs > 0 && tree.msgs > 0);
+        assert_eq!(tree_comm.max_fan_in, 4);
+        assert_eq!(tree_comm.hops, 2);
+        assert!(
+            tree_comm.root_in_msgs < star_comm.root_in_msgs,
+            "threaded tree root {} vs star {}",
+            tree_comm.root_in_msgs,
+            star_comm.root_in_msgs
+        );
+        assert!(tree.eval.recall >= star.eval.recall - 0.05);
+
+        let mcfg = MatrixConfig::new(16, 0.3, 6).with_seed(6);
+        let rows: Vec<Vec<f64>> = {
+            let mut s = cma_data::SyntheticMatrixStream::new(6, &[3.0, 1.0], 100.0, 7);
+            (0..1_500).map(|_| s.next_row()).collect()
+        };
+        let (run, comm) = run_matrix_threaded(
+            MatrixProtocol::P1,
+            &mcfg,
+            &rows,
+            Topology::Tree { fanout: 4 },
+            &tcfg,
+        );
+        assert!(
+            run.err <= mcfg.epsilon,
+            "threaded tree MT-P1 err {}",
+            run.err
+        );
         assert_eq!(comm.max_fan_in, 4);
     }
 

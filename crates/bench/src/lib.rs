@@ -6,8 +6,9 @@
 //! and CSV emission helpers. Criterion micro-benchmarks live in
 //! `benches/`.
 //!
-//! Binaries and the figures they regenerate (see `EXPERIMENTS.md` for
-//! paper-vs-measured numbers):
+//! Binaries and the figures they regenerate (the repo-root
+//! `BENCH_protocols.json`, re-recorded by `bench_protocols` each PR,
+//! holds the measured throughput/communication trajectory):
 //!
 //! | binary | paper artefact |
 //! |---|---|
@@ -21,11 +22,13 @@
 pub mod args;
 pub mod drivers;
 pub mod figures;
+pub mod report;
 
 pub use args::Args;
 pub use drivers::{
-    baseline_fd, baseline_svd, run_hh, run_hh_topology, run_matrix, run_matrix_topology,
-    tune_hh_to_error, CommSummary, HhProtocol, HhRunResult, MatrixProtocol, MatrixRunResult,
+    baseline_fd, baseline_svd, partition_round_robin, run_hh, run_hh_threaded, run_hh_topology,
+    run_matrix, run_matrix_threaded, run_matrix_topology, tune_hh_to_error, CommSummary,
+    HhProtocol, HhRunResult, MatrixProtocol, MatrixRunResult,
 };
 
 /// The paper's default heavy-hitter threshold `φ = 0.05`.

@@ -1,0 +1,233 @@
+//! Reading and diffing `BENCH_protocols.json`.
+//!
+//! The bench recorder writes one self-describing JSON document per run
+//! (see the `bench_protocols` binary); this module parses those
+//! documents back — with a purpose-built scanner, since the workspace is
+//! offline and carries no serde — and computes per-protocol deltas
+//! between two recordings, which is how a PR demonstrates (or catches)
+//! a throughput change. The `bench_diff` binary is the CLI front end.
+//!
+//! The parser is deliberately tolerant: it scans for record objects by
+//! their `"family"` key and reads only the fields it knows, so older
+//! recordings (e.g. ones without the `mode` field introduced with the
+//! threaded axis) still diff cleanly.
+
+use std::collections::BTreeMap;
+
+/// One `bench_protocols` measurement: a protocol run at one point of the
+/// batch × topology × execution-mode grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Protocol family: `"hh"` or `"matrix"`.
+    pub family: String,
+    /// Protocol name as the paper spells it (`"P1"`, `"P3wor"`, …).
+    pub protocol: String,
+    /// Arrivals per delivery epoch.
+    pub batch: u64,
+    /// Topology label (`"star"`, `"tree4"`, …).
+    pub topology: String,
+    /// Execution mode: `"seq"` (batch-first sequential runner) or
+    /// `"threaded"` (one thread per site and per interior node).
+    /// Recordings older than the threaded axis carry `"seq"`.
+    pub mode: String,
+    /// Arrivals per second of wall clock.
+    pub throughput: f64,
+    /// End-of-stream error (protocol-specific metric).
+    pub err: f64,
+    /// Total message cost in the paper's units.
+    pub msgs_total: u64,
+    /// Messages the root coordinator received — the fan-in pressure.
+    pub root_in_msgs: u64,
+}
+
+impl BenchRecord {
+    /// The identity a record is matched on across two recordings.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{} batch={} {} {}",
+            self.family, self.protocol, self.batch, self.topology, self.mode
+        )
+    }
+}
+
+/// Extracts the raw text of a `"key": value` field from one JSON object
+/// body (no nesting below the record level, which `emit` guarantees).
+fn raw_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let raw = raw_field(obj, key)?;
+    Some(raw.trim_matches('"').to_string())
+}
+
+fn f64_field(obj: &str, key: &str) -> Option<f64> {
+    raw_field(obj, key)?.parse().ok()
+}
+
+fn u64_field(obj: &str, key: &str) -> Option<u64> {
+    // Throughput-style fields may be written as floats; round-trip
+    // through f64 so both spellings parse.
+    Some(f64_field(obj, key)?.round() as u64)
+}
+
+/// Parses every record object out of a `BENCH_protocols.json` document.
+///
+/// Records missing required fields are skipped rather than failing the
+/// whole diff; the `meta` header object (which has no `"family"`) is
+/// ignored by construction.
+pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    // Record objects never nest, so each is the span between a '{' that
+    // is followed (somewhere before its '}') by a "family" key.
+    for chunk in text.split('{').skip(1) {
+        let obj = match chunk.find('}') {
+            Some(end) => &chunk[..=end],
+            None => continue,
+        };
+        let (Some(family), Some(protocol)) = (str_field(obj, "family"), str_field(obj, "protocol"))
+        else {
+            continue;
+        };
+        let Some(throughput) = f64_field(obj, "throughput_per_s") else {
+            continue;
+        };
+        out.push(BenchRecord {
+            family,
+            protocol,
+            batch: u64_field(obj, "batch").unwrap_or(0),
+            topology: str_field(obj, "topology").unwrap_or_else(|| "star".into()),
+            mode: str_field(obj, "mode").unwrap_or_else(|| "seq".into()),
+            throughput,
+            err: f64_field(obj, "err").unwrap_or(f64::NAN),
+            msgs_total: u64_field(obj, "msgs_total").unwrap_or(0),
+            root_in_msgs: u64_field(obj, "root_in_msgs").unwrap_or(0),
+        });
+    }
+    out
+}
+
+/// One matched pair of measurements across two recordings.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Shared record identity ([`BenchRecord::key`]).
+    pub key: String,
+    /// Baseline (committed) measurement.
+    pub old: BenchRecord,
+    /// Fresh measurement.
+    pub new: BenchRecord,
+}
+
+impl DiffRow {
+    /// Relative throughput change, `new/old − 1`.
+    pub fn speedup(&self) -> f64 {
+        self.new.throughput / self.old.throughput - 1.0
+    }
+}
+
+/// Pairs two recordings on [`BenchRecord::key`], returning the matched
+/// rows plus the keys unique to either side (grid changes are reported,
+/// not silently dropped).
+pub fn diff(old: &[BenchRecord], new: &[BenchRecord]) -> (Vec<DiffRow>, Vec<String>, Vec<String>) {
+    let old_by: BTreeMap<String, &BenchRecord> = old.iter().map(|r| (r.key(), r)).collect();
+    let new_by: BTreeMap<String, &BenchRecord> = new.iter().map(|r| (r.key(), r)).collect();
+    let mut rows = Vec::new();
+    let mut only_old = Vec::new();
+    let mut only_new = Vec::new();
+    for (k, o) in &old_by {
+        match new_by.get(k) {
+            Some(n) => rows.push(DiffRow {
+                key: k.clone(),
+                old: (*o).clone(),
+                new: (*n).clone(),
+            }),
+            None => only_old.push(k.clone()),
+        }
+    }
+    for k in new_by.keys() {
+        if !old_by.contains_key(k) {
+            only_new.push(k.clone());
+        }
+    }
+    (rows, only_old, only_new)
+}
+
+/// Per-protocol geometric-mean speedup over the matched rows — the
+/// one-line-per-protocol summary a PR description quotes.
+pub fn per_protocol_geomean(rows: &[DiffRow]) -> Vec<(String, f64, usize)> {
+    let mut acc: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for row in rows {
+        let label = format!("{}/{}", row.old.family, row.old.protocol);
+        let ratio = (row.new.throughput / row.old.throughput).max(f64::MIN_POSITIVE);
+        let e = acc.entry(label).or_insert((0.0, 0));
+        e.0 += ratio.ln();
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(label, (ln_sum, n))| (label, (ln_sum / n as f64).exp(), n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "meta": {"sites": 64, "batches": [64]},
+  "results": [
+    {"family": "hh", "protocol": "P1", "batch": 64, "topology": "star", "elapsed_s": 0.5, "throughput_per_s": 240000, "err": 1.0e-3, "msgs_total": 9000, "up_msgs": 100, "broadcast_events": 3, "broadcast_cost": 192, "max_fan_in": 64, "root_in_msgs": 100, "hops": 1},
+    {"family": "hh", "protocol": "P1", "batch": 64, "topology": "tree4", "mode": "threaded", "elapsed_s": 0.25, "throughput_per_s": 480000.5, "err": 1.1e-3, "msgs_total": 9500, "root_in_msgs": 30, "hops": 3}
+  ]
+}"#;
+
+    #[test]
+    fn parses_records_and_defaults_mode() {
+        let recs = parse_bench_json(SAMPLE);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].mode, "seq"); // absent field defaults
+        assert_eq!(recs[0].throughput, 240000.0);
+        assert_eq!(recs[0].root_in_msgs, 100);
+        assert_eq!(recs[1].mode, "threaded");
+        assert_eq!(recs[1].topology, "tree4");
+        assert_eq!(recs[1].root_in_msgs, 30);
+        assert!((recs[1].err - 1.1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meta_object_is_not_a_record() {
+        let recs = parse_bench_json(SAMPLE);
+        assert!(recs.iter().all(|r| r.family == "hh"));
+    }
+
+    #[test]
+    fn diff_matches_on_key_and_reports_strays() {
+        let old = parse_bench_json(SAMPLE);
+        let mut new = old.clone();
+        new[0].throughput *= 1.25;
+        new.remove(1);
+        let (rows, only_old, only_new) = diff(&old, &new);
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].speedup() - 0.25).abs() < 1e-12);
+        assert_eq!(only_old.len(), 1);
+        assert!(only_new.is_empty());
+    }
+
+    #[test]
+    fn geomean_aggregates_per_protocol() {
+        let old = parse_bench_json(SAMPLE);
+        let mut new = old.clone();
+        new[0].throughput *= 2.0;
+        new[1].throughput *= 0.5;
+        let (rows, _, _) = diff(&old, &new);
+        let gm = per_protocol_geomean(&rows);
+        assert_eq!(gm.len(), 1);
+        let (label, ratio, n) = &gm[0];
+        assert_eq!(label, "hh/P1");
+        assert_eq!(*n, 2);
+        assert!((ratio - 1.0).abs() < 1e-9, "geomean of 2x and 0.5x is 1");
+    }
+}

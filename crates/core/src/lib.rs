@@ -39,7 +39,13 @@
 //! protocols carry their round state there, and threshold budgets are
 //! re-split across the `m + I` withholding nodes so every ε guarantee
 //! survives unchanged. `deploy_topology(cfg, Topology::Star)` is
-//! execution-identical to `deploy(cfg)`.
+//! execution-identical to `deploy(cfg)`. Each protocol module also
+//! exposes a `make_aggregator(cfg, topology)` factory for the threaded
+//! driver, which runs every site *and every interior node* on its own
+//! thread (`cma_stream::runner::threaded::run_partitioned_topology`) —
+//! the guarantees tolerate the resulting broadcast lag because every
+//! threshold only grows, so stale state makes nodes report sooner,
+//! never later.
 //!
 //! # Example
 //!

@@ -301,7 +301,7 @@ impl Site for MP2Site {
     /// triggers (the scalar report and the decomposition) depend only on
     /// row *masses*, so the batch runs on scalar arithmetic and the
     /// buffered rows are projected in bulk — one `k×d · d×d` matrix
-    /// product per run ([`MP2Site::project_rows`]) — exactly when a
+    /// product per run (`MP2Site::project_rows`) — exactly when a
     /// decomposition (or the end of the batch) needs them. Thresholds are
     /// hoisted: `F̂` only changes on a broadcast, which only arrives
     /// after a pause. Message contents and timing are identical to

@@ -21,8 +21,43 @@
 //! * [`CountMin`] — the randomized hash-based baseline the paper
 //!   contrasts MG against in §3; provided for completeness and the
 //!   benchmark suite.
+//! * [`SwMg`] / [`SwFd`] — sliding-window variants (exponential
+//!   histograms over MG / FD blocks) for the paper's stated open
+//!   problem; see the `sliding_window` example.
+//! * [`WeightedReservoir`] — weighted reservoir sampling, a baseline
+//!   for the sampling protocols.
 //! * [`exact`] — exact (hash-map) weighted counters, the ground truth all
 //!   evaluations compare against.
+//!
+//! # Mergeability
+//!
+//! Mergeability is what makes tree aggregation sound (see
+//! `cma-stream`'s `Aggregator`): `MgSummary::merge`,
+//! `SpaceSaving::merge` (min-offset mergeable-summaries merge) and
+//! `FrequentDirections::merge_rows` (stack + single shrink) combine two
+//! summaries with the error of the combined stream — no growth per
+//! merge — and are order/associativity-insensitive up to their bounds
+//! (proptested in `tests/proptest_sketch.rs`). Interior tree nodes in
+//! the distributed protocols lean on exactly these operations.
+//!
+//! # Example
+//!
+//! ```
+//! use cma_sketch::MgSummary;
+//!
+//! // Two sites summarise disjoint streams with 4 counters each …
+//! let mut a = MgSummary::new(4);
+//! let mut b = MgSummary::new(4);
+//! for i in 0..1000u64 {
+//!     a.update(i % 3, 1.0);      // site A: items 0,1,2 dominate
+//!     b.update(7, 1.0);          // site B: item 7 only
+//! }
+//! // … and an aggregator merges them without losing the guarantee:
+//! a.merge(&b);
+//! let w = 2000.0;
+//! let err_bound = w / (4.0 + 1.0); // 0 ≤ f − f̂ ≤ W/(ℓ+1)
+//! assert!(a.estimate(7) >= 1000.0 - err_bound);
+//! ```
 
 pub mod count_min;
 pub mod exact;

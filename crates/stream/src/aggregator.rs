@@ -31,6 +31,49 @@ use std::marker::PhantomData;
 /// Coordinator broadcasts pass down through [`Aggregator::on_broadcast`]
 /// before reaching the sites, so thresholds derived from broadcast state
 /// stay as fresh at interior nodes as at leaves.
+///
+/// # Example
+///
+/// An interior node that coalesces child reports and forwards only when
+/// the merged partial reaches a hold threshold:
+///
+/// ```
+/// use cma_stream::{Aggregator, SiteId};
+///
+/// struct CoalescingNode {
+///     pending: f64,
+///     hold: f64,
+///     origin: SiteId, // a representative leaf for the merged partial
+/// }
+///
+/// impl Aggregator for CoalescingNode {
+///     type UpMsg = f64;
+///     type Broadcast = f64;
+///
+///     fn absorb(&mut self, from: SiteId, w: f64) {
+///         if self.pending == 0.0 {
+///             self.origin = from;
+///         }
+///         self.pending += w;
+///     }
+///
+///     fn flush(&mut self, out: &mut Vec<(SiteId, f64)>) {
+///         if self.pending >= self.hold {
+///             out.push((self.origin, self.pending));
+///             self.pending = 0.0;
+///         }
+///     }
+/// }
+///
+/// let mut node = CoalescingNode { pending: 0.0, hold: 5.0, origin: 0 };
+/// let mut up = Vec::new();
+/// node.absorb(3, 2.0);
+/// node.flush(&mut up);
+/// assert!(up.is_empty()); // sub-threshold: held, not forwarded
+/// node.absorb(4, 4.0);
+/// node.flush(&mut up);
+/// assert_eq!(up, vec![(3, 6.0)]); // one merged message climbs the tree
+/// ```
 pub trait Aggregator {
     /// Message type flowing up through this node (the protocol's site →
     /// coordinator message type).

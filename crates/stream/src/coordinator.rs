@@ -13,6 +13,40 @@ use crate::SiteId;
 /// of this trait — they are protocol-specific inherent methods, because
 /// the continuous-monitoring model lets the user query the coordinator's
 /// state at any instant without communication.
+///
+/// # Example
+///
+/// A coordinator that sums reported weight and broadcasts a refreshed
+/// threshold each time the total doubles:
+///
+/// ```
+/// use cma_stream::{Coordinator, SiteId};
+///
+/// struct DoublingCoordinator {
+///     total: f64,
+///     next_refresh: f64,
+/// }
+///
+/// impl Coordinator for DoublingCoordinator {
+///     type UpMsg = f64;     // reported weight
+///     type Broadcast = f64; // new per-site threshold
+///
+///     fn receive(&mut self, _from: SiteId, w: f64, out: &mut Vec<f64>) {
+///         self.total += w;
+///         if self.total >= self.next_refresh {
+///             self.next_refresh = 2.0 * self.total;
+///             out.push(self.total / 8.0);
+///         }
+///     }
+/// }
+///
+/// let mut c = DoublingCoordinator { total: 0.0, next_refresh: 1.0 };
+/// let mut broadcasts = Vec::new();
+/// c.receive(0, 3.0, &mut broadcasts);
+/// assert_eq!(broadcasts, vec![3.0 / 8.0]); // runner fans this to all sites
+/// // Querying is free: read `c.total` at any instant.
+/// assert_eq!(c.total, 3.0);
+/// ```
 pub trait Coordinator {
     /// Message type received from sites.
     type UpMsg;

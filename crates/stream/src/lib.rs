@@ -24,10 +24,12 @@
 //!   synchronously. Every experiment harness and test drives protocols
 //!   through this.
 //! * [`runner::threaded`] — an asynchronous driver (std channels, one
-//!   thread per site, batched message shipping) where broadcasts arrive
-//!   with real lag; used to demonstrate that the protocols tolerate the
-//!   asynchrony of an actual deployment, and to measure deployment-shaped
-//!   throughput.
+//!   thread per site **and per interior tree node**, batched message
+//!   shipping) where broadcasts arrive with real lag; used to
+//!   demonstrate that the protocols tolerate the asynchrony of an actual
+//!   deployment, to measure deployment-shaped throughput, and — under a
+//!   tree topology — to measure *real* root fan-in relief rather than a
+//!   sequential simulation of it.
 //! * [`partition`] — stream partitioners deciding which site observes
 //!   each arrival (round-robin, uniform random, skewed, by key).
 //!
@@ -96,7 +98,14 @@
 //!   a latency/communication-vs-throughput trade-off. Staleness never
 //!   endangers a guarantee: every protocol's thresholds only grow, so a
 //!   stale (smaller) threshold merely makes sites send *sooner* than
-//!   strictly necessary.
+//!   strictly necessary. Under a tree topology
+//!   ([`runner::threaded::run_partitioned_topology`]) every interior
+//!   [`Aggregator`] node gets its own thread: upward waves hop
+//!   leaf → interior → root over bounded channels (backpressure walks
+//!   down the tree), broadcasts cascade back down through
+//!   [`Aggregator::on_broadcast`] at every hop, shutdown drains
+//!   bottom-up, and each thread's [`CommStats`] are merged without
+//!   double-counting when the run returns.
 //!
 //! Protocols opt into faster batched math by overriding
 //! [`site::Site::observe_batch`] — hoisting threshold computations out

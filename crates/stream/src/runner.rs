@@ -24,8 +24,11 @@
 //! broadcasts arrive with genuine lag. The protocols remain correct
 //! under lag — a stale (smaller) threshold only makes sites send
 //! *sooner* — so this driver demonstrates deployment behaviour and feeds
-//! the throughput benchmarks. Its aggregation tree (if any) runs on the
-//! coordinator thread with the same per-hop accounting.
+//! the throughput benchmarks. Under a tree topology every interior
+//! [`Aggregator`] node runs on its *own* thread: upward traffic hops
+//! leaf → interior → root over bounded channels, broadcasts cascade
+//! back down the same tree, and each thread keeps its own [`CommStats`]
+//! which are merged (without double-counting) when the run drains.
 
 use crate::aggregator::{Aggregator, Relay};
 use crate::comm::{CommStats, MessageCost};
@@ -504,24 +507,73 @@ pub mod threaded {
         )
     }
 
-    /// [`run_partitioned_with`] over an arbitrary aggregation topology:
-    /// site threads behave exactly as in the star, while the aggregation
-    /// tree (interior [`Aggregator`] nodes plus the root coordinator)
-    /// runs on the calling thread with the same per-hop accounting as
-    /// the sequential [`Runner::with_topology`]. Broadcast *timing* lags
-    /// as usual for this driver; broadcast *cost* is charged per tree
-    /// recipient.
+    /// How long an idle aggregator thread waits on its upward channel
+    /// before polling its broadcast inbox again. Under load the recv
+    /// returns immediately and the poll never fires; the timeout only
+    /// bounds how stale a *quiet* subtree's threshold state can get —
+    /// and staleness is always safe (a stale, smaller threshold makes
+    /// sites send sooner, never later).
+    const AGG_POLL: std::time::Duration = std::time::Duration::from_millis(1);
+
+    /// One upward *wave*: a batch of origin-tagged messages shipped as a
+    /// single bounded-channel send (one allocation per wave).
+    type Wave<M> = Vec<(SiteId, M)>;
+
+    /// The pieces of a finished threaded tree run.
+    ///
+    /// Unlike the `(sites, coordinator, stats)` triple of the flat
+    /// driver, a tree run also hands back the interior [`Aggregator`]
+    /// nodes — still holding whatever sub-threshold partials they had
+    /// not yet forwarded when their subtree drained. Tests use them to
+    /// audit conservation: everything a leaf emitted is either in the
+    /// coordinator or held by exactly one aggregator.
+    pub struct TreeRunParts<S, C, A> {
+        /// The finished sites, in site-id order.
+        pub sites: Vec<S>,
+        /// The interior nodes, level-major bottom-up (the
+        /// [`TopologyPlan::agg_nodes`] construction order); empty for a
+        /// degenerate (flat) plan.
+        pub aggregators: Vec<A>,
+        /// The root coordinator after every in-flight message drained.
+        pub coordinator: C,
+        /// Merged communication totals across all threads.
+        pub stats: CommStats,
+    }
+
+    /// [`run_partitioned_with`] over an arbitrary aggregation topology,
+    /// with **interior nodes on their own threads**: each
+    /// [`Aggregator`] of the plan runs on a dedicated OS thread,
+    /// receiving child batches over a bounded channel, absorbing and
+    /// flushing per wave, and shipping whatever it forwards to *its*
+    /// parent's channel — so root fan-in relief is real under load, not
+    /// simulated on the coordinator thread. Broadcasts cascade down the
+    /// same tree (root → interior → leaves), passing through
+    /// [`Aggregator::on_broadcast`] at every hop. Broadcast *timing*
+    /// lags as usual for this driver; broadcast *cost* is charged per
+    /// tree recipient exactly as in the sequential
+    /// [`Runner::with_topology`].
+    ///
+    /// Shutdown drains bottom-up: when a node's children all finish and
+    /// hang up, the node processes its remaining queued waves, keeps any
+    /// sub-threshold partial it is holding (the runner never forces a
+    /// flush), and hangs up on its own parent; the call returns only
+    /// after the root has drained every in-flight message, so the
+    /// coordinator's estimates are safe to read immediately.
+    ///
+    /// A flat plan (`Topology::Star` or `fanout ≥ m`) has no interior
+    /// nodes and runs exactly like [`run_partitioned_with`].
     ///
     /// # Panics
     /// Panics if `inputs.len() != sites.len()`, if the configured batch
-    /// size or channel capacity is zero, or if a site thread panics.
+    /// size or channel capacity is zero, or if a site or aggregator
+    /// thread panics.
     pub fn run_partitioned_topology<S, C, A>(
         sites: Vec<S>,
         coordinator: C,
         inputs: Vec<Vec<S::Input>>,
         cfg: &ThreadedConfig,
         topology: Topology,
-        mut make_agg: impl FnMut(crate::topology::AggNode) -> A,
+        make_agg: impl FnMut(crate::topology::AggNode) -> A,
     ) -> (Vec<S>, C, CommStats)
     where
         S: Site + Send,
@@ -529,18 +581,311 @@ pub mod threaded {
         S::UpMsg: MessageCost + Send,
         S::Broadcast: Clone + Send,
         C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
-        A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+        A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
+    {
+        let parts =
+            run_partitioned_topology_parts(sites, coordinator, inputs, cfg, topology, make_agg);
+        (parts.sites, parts.coordinator, parts.stats)
+    }
+
+    /// [`run_partitioned_topology`] that additionally returns the
+    /// interior aggregator nodes (see [`TreeRunParts`]).
+    ///
+    /// # Panics
+    /// As [`run_partitioned_topology`].
+    pub fn run_partitioned_topology_parts<S, C, A>(
+        sites: Vec<S>,
+        coordinator: C,
+        inputs: Vec<Vec<S::Input>>,
+        cfg: &ThreadedConfig,
+        topology: Topology,
+        mut make_agg: impl FnMut(crate::topology::AggNode) -> A,
+    ) -> TreeRunParts<S, C, A>
+    where
+        S: Site + Send,
+        S::Input: Send,
+        S::UpMsg: MessageCost + Send,
+        S::Broadcast: Clone + Send,
+        C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+        A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
     {
         if sites.is_empty() {
             assert!(
                 inputs.is_empty(),
                 "run_partitioned: one input stream per site"
             );
-            return (sites, coordinator, CommStats::default());
+            return TreeRunParts {
+                sites,
+                aggregators: Vec::new(),
+                coordinator,
+                stats: CommStats::default(),
+            };
         }
         let m = sites.len();
-        let core = AggCore::build(m, coordinator, topology, &mut make_agg);
-        run_inner(sites, core, inputs, cfg)
+        let plan = topology.plan(m);
+        if plan.is_flat() {
+            // No interior nodes: the star path, aggregators never built.
+            let core = AggCore::build(m, coordinator, topology, &mut make_agg);
+            let (sites, coordinator, stats) = run_inner(sites, core, inputs, cfg);
+            return TreeRunParts {
+                sites,
+                aggregators: Vec::new(),
+                coordinator,
+                stats,
+            };
+        }
+        run_tree(sites, coordinator, inputs, cfg, plan, &mut make_agg)
+    }
+
+    /// The threaded tree runtime: one thread per site, one thread per
+    /// interior aggregator node, the root coordinator on the calling
+    /// thread. See [`run_partitioned_topology`] for the contract.
+    fn run_tree<S, C, A>(
+        mut sites: Vec<S>,
+        mut coordinator: C,
+        inputs: Vec<Vec<S::Input>>,
+        cfg: &ThreadedConfig,
+        plan: TopologyPlan,
+        make_agg: &mut dyn FnMut(crate::topology::AggNode) -> A,
+    ) -> TreeRunParts<S, C, A>
+    where
+        S: Site + Send,
+        S::Input: Send,
+        S::UpMsg: MessageCost + Send,
+        S::Broadcast: Clone + Send,
+        C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+        A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
+    {
+        assert_eq!(
+            inputs.len(),
+            sites.len(),
+            "run_partitioned: one input stream per site"
+        );
+        assert!(
+            cfg.batch_size >= 1,
+            "run_partitioned: batch_size must be positive"
+        );
+        assert!(
+            cfg.channel_capacity >= 1,
+            "run_partitioned: channel_capacity must be positive"
+        );
+        let m = sites.len();
+        let total_arrivals: u64 = inputs.iter().map(|v| v.len() as u64).sum();
+        let fanout = plan.fanout();
+        let levels: Vec<usize> = plan.levels().to_vec();
+        let n_levels = levels.len();
+        let i_total = plan.internal_nodes();
+        let level_offset = |li: usize| -> usize { levels[..li].iter().sum() };
+
+        // Upward channels: one bounded inbox per interior node and one
+        // for the root; capacity is in *batches*, so backpressure walks
+        // down the tree (a slow parent blocks its children, never the
+        // whole deployment).
+        let mut agg_up_tx = Vec::with_capacity(i_total);
+        let mut agg_up_rx: Vec<Option<mpsc::Receiver<Wave<S::UpMsg>>>> =
+            Vec::with_capacity(i_total);
+        for _ in 0..i_total {
+            let (tx, rx) = mpsc::sync_channel::<Wave<S::UpMsg>>(cfg.channel_capacity);
+            agg_up_tx.push(tx);
+            agg_up_rx.push(Some(rx));
+        }
+        let (root_tx, root_rx) = mpsc::sync_channel::<Wave<S::UpMsg>>(cfg.channel_capacity);
+
+        // Downward (broadcast) channels stay unbounded, as in the flat
+        // driver: a bounded broadcast channel could deadlock against the
+        // bounded up-channels (a parent blocked sending down to a child
+        // that is blocked sending up).
+        let mut agg_bc_tx = Vec::with_capacity(i_total);
+        let mut agg_bc_rx: Vec<Option<mpsc::Receiver<S::Broadcast>>> = Vec::with_capacity(i_total);
+        for _ in 0..i_total {
+            let (tx, rx) = mpsc::channel::<S::Broadcast>();
+            agg_bc_tx.push(tx);
+            agg_bc_rx.push(Some(rx));
+        }
+        let mut leaf_bc_tx = Vec::with_capacity(m);
+        let mut leaf_bc_rx: Vec<Option<mpsc::Receiver<S::Broadcast>>> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (tx, rx) = mpsc::channel::<S::Broadcast>();
+            leaf_bc_tx.push(tx);
+            leaf_bc_rx.push(Some(rx));
+        }
+
+        // Interior nodes, constructed in global (level-major, bottom-up)
+        // order — the same order `Runner::with_topology` uses, so
+        // protocol budget splits are identical.
+        let mut aggs: Vec<Option<A>> = plan.agg_nodes().map(|n| Some(make_agg(n))).collect();
+
+        let (sites_out, aggs_out, stats) = std::thread::scope(|scope| {
+            // ---- leaf threads: identical to the flat driver except the
+            // shipped batch is tagged with the origin site id and goes to
+            // the leaf's level-1 parent instead of the root.
+            let mut site_handles = Vec::with_capacity(m);
+            for (sid, (mut site, local)) in sites.drain(..).zip(inputs).enumerate() {
+                let up_tx = agg_up_tx[plan.parent_of(0, sid).0].clone();
+                let bc_rx = leaf_bc_rx[sid].take().expect("leaf bc receiver");
+                let batch_size = cfg.batch_size;
+                site_handles.push(scope.spawn(move || {
+                    let mut out: Vec<S::UpMsg> = Vec::new();
+                    let mut shipping: Vec<(SiteId, S::UpMsg)> = Vec::new();
+                    let mut it = local.into_iter().peekable();
+                    while it.peek().is_some() {
+                        while let Ok(bc) = bc_rx.try_recv() {
+                            site.on_broadcast(&bc);
+                        }
+                        let mut batch = it.by_ref().take(batch_size);
+                        loop {
+                            site.observe_batch(&mut batch, &mut out);
+                            if out.is_empty() {
+                                break;
+                            }
+                            shipping.extend(out.drain(..).map(|msg| (sid, msg)));
+                        }
+                        if !shipping.is_empty() {
+                            up_tx
+                                .send(std::mem::take(&mut shipping))
+                                .expect("aggregator hung up");
+                        }
+                    }
+                    site
+                }));
+            }
+
+            // ---- interior threads: one per aggregator node.
+            let mut agg_handles = Vec::with_capacity(i_total);
+            for li in 0..n_levels {
+                let offset = level_offset(li);
+                for j in 0..levels[li] {
+                    let g = offset + j;
+                    let up_rx = agg_up_rx[g].take().expect("agg up receiver");
+                    let bc_rx = agg_bc_rx[g].take().expect("agg bc receiver");
+                    // Parent inbox: the next interior level, or the root.
+                    let parent_tx = if li + 1 < n_levels {
+                        agg_up_tx[plan.parent_of(li + 1, j).0].clone()
+                    } else {
+                        root_tx.clone()
+                    };
+                    // Broadcast outlets: this node's direct children.
+                    let child_bcs: Vec<mpsc::Sender<S::Broadcast>> = if li == 0 {
+                        (j * fanout..((j + 1) * fanout).min(m))
+                            .map(|c| leaf_bc_tx[c].clone())
+                            .collect()
+                    } else {
+                        let lower = level_offset(li - 1);
+                        (j * fanout..((j + 1) * fanout).min(levels[li - 1]))
+                            .map(|c| agg_bc_tx[lower + c].clone())
+                            .collect()
+                    };
+                    let mut agg = aggs[g].take().expect("aggregator built once");
+                    let mut stats = CommStats::for_plan(&plan);
+                    agg_handles.push(scope.spawn(move || {
+                        let mut out: Vec<(SiteId, S::UpMsg)> = Vec::new();
+                        let forward_bc = |agg: &mut A, bc: S::Broadcast| {
+                            agg.on_broadcast(&bc);
+                            for tx in &child_bcs {
+                                // A child may already have drained; fine.
+                                let _ = tx.send(bc.clone());
+                            }
+                        };
+                        loop {
+                            // Freshen threshold state (and pass it on)
+                            // before absorbing the next wave.
+                            while let Ok(bc) = bc_rx.try_recv() {
+                                forward_bc(&mut agg, bc);
+                            }
+                            match up_rx.recv_timeout(AGG_POLL) {
+                                Ok(batch) => {
+                                    for (from, msg) in batch {
+                                        stats.record_hop(li, msg.cost());
+                                        stats.record_recv(g);
+                                        agg.absorb(from, msg);
+                                    }
+                                    agg.flush(&mut out);
+                                    if !out.is_empty() {
+                                        parent_tx
+                                            .send(std::mem::take(&mut out))
+                                            .expect("parent hung up");
+                                    }
+                                }
+                                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                        // Children all hung up: any partial still held
+                        // stays held (the runner never forces a flush).
+                        // Absorb broadcasts queued up to this point so
+                        // the returned node's threshold state is no
+                        // staler than its subtree's drain; broadcasts
+                        // the root emits *after* this node exits are
+                        // dropped — they could no longer affect any
+                        // message (this subtree has none left to send).
+                        while let Ok(bc) = bc_rx.try_recv() {
+                            forward_bc(&mut agg, bc);
+                        }
+                        (g, agg, stats)
+                    }));
+                }
+            }
+
+            // The main thread keeps only what the root needs: the
+            // broadcast senders of its direct children (the top interior
+            // level). Everything else is dropped so channel disconnection
+            // cascades bottom-up when the leaves finish.
+            let top = level_offset(n_levels - 1);
+            let root_child_bcs: Vec<mpsc::Sender<S::Broadcast>> = agg_bc_tx[top..].to_vec();
+            drop(agg_bc_tx);
+            drop(agg_up_tx);
+            drop(leaf_bc_tx);
+            drop(root_tx);
+
+            // ---- root on the calling thread.
+            let mut stats = CommStats::for_plan(&plan);
+            let last_hop = plan.internal_levels();
+            let root_idx = plan.root_index();
+            let mut bc_buf: Vec<S::Broadcast> = Vec::new();
+            while let Ok(batch) = root_rx.recv() {
+                for (from, msg) in batch {
+                    stats.record_hop(last_hop, msg.cost());
+                    stats.record_recv(root_idx);
+                    coordinator.receive(from, msg, &mut bc_buf);
+                    for bc in bc_buf.drain(..) {
+                        // Structural per-recipient charging, exactly as
+                        // the sequential route_broadcast.
+                        stats.begin_broadcast();
+                        for (bli, &count) in levels.iter().enumerate().rev() {
+                            stats.record_broadcast_level(bli + 1, count as u64);
+                        }
+                        stats.record_broadcast_level(0, m as u64);
+                        for tx in &root_child_bcs {
+                            let _ = tx.send(bc.clone());
+                        }
+                    }
+                }
+            }
+
+            let sites_out: Vec<S> = site_handles
+                .into_iter()
+                .map(|h| h.join().expect("site thread panicked"))
+                .collect();
+            let mut aggs_out: Vec<Option<A>> = (0..i_total).map(|_| None).collect();
+            for h in agg_handles {
+                let (g, agg, thread_stats) = h.join().expect("aggregator thread panicked");
+                stats.absorb(&thread_stats);
+                aggs_out[g] = Some(agg);
+            }
+            (sites_out, aggs_out, stats)
+        });
+
+        let mut stats = stats;
+        stats.arrivals = total_arrivals;
+        TreeRunParts {
+            sites: sites_out,
+            aggregators: aggs_out
+                .into_iter()
+                .map(|a| a.expect("every aggregator joined"))
+                .collect(),
+            coordinator,
+            stats,
+        }
     }
 
     fn run_inner<S, C, A>(
@@ -1032,6 +1377,157 @@ mod tests {
         assert_eq!(stats.per_level.len(), 3); // 8 → 4 → 2 → root
         assert!(stats.per_level.iter().all(|l| l.up_msgs > 0));
         assert_eq!(stats.max_fan_in, 2);
+    }
+
+    #[test]
+    fn threaded_tree_parts_returns_held_partials() {
+        // Aggregators that never forward: every report a leaf emits must
+        // end up held by exactly one interior node — nothing reaches the
+        // root, nothing is lost in a channel.
+        let m = 8;
+        let sites: Vec<ToySite> = (0..m)
+            .map(|_| ToySite {
+                pending: 0.0,
+                threshold: 1.0,
+            })
+            .collect();
+        let coord = ToyCoord {
+            total: 0.0,
+            last_broadcast_at: 0.0,
+        };
+        let inputs: Vec<Vec<f64>> = (0..m).map(|_| vec![1.0; 40]).collect();
+        let parts = threaded::run_partitioned_topology_parts(
+            sites,
+            coord,
+            inputs,
+            &threaded::ThreadedConfig::default(),
+            Topology::Tree { fanout: 2 },
+            |_| ToyAgg {
+                pending: 0.0,
+                hold: f64::INFINITY,
+                rep: 0,
+            },
+        );
+        assert_eq!(parts.coordinator.total, 0.0, "infinite hold leaked");
+        let site_pending: f64 = parts.sites.iter().map(|s| s.pending).sum();
+        // Only level-1 nodes ever see traffic when nothing is forwarded.
+        let agg_pending: f64 = parts.aggregators.iter().map(|a| a.pending).sum();
+        assert_eq!(site_pending + agg_pending, 8.0 * 40.0);
+        assert_eq!(parts.aggregators.len(), parts.stats.node_in_msgs.len() - 1);
+        assert_eq!(*parts.stats.node_in_msgs.last().unwrap(), 0);
+        assert_eq!(parts.stats.arrivals, 8.0 as u64 * 40);
+    }
+
+    #[test]
+    fn threaded_tree_sites_finishing_at_different_times() {
+        // Ragged stream lengths: early-finishing sites hang up while
+        // their siblings are still streaming; the drain must still be
+        // complete and conservative.
+        let m = 9; // ragged tree at fanout 4 too
+        let sites: Vec<ToySite> = (0..m)
+            .map(|_| ToySite {
+                pending: 0.0,
+                threshold: 1.0,
+            })
+            .collect();
+        let coord = ToyCoord {
+            total: 0.0,
+            last_broadcast_at: 0.0,
+        };
+        let inputs: Vec<Vec<f64>> = (0..m).map(|i| vec![1.0; i * 25]).collect();
+        let expected: f64 = (0..m).map(|i| (i * 25) as f64).sum();
+        let parts = threaded::run_partitioned_topology_parts(
+            sites,
+            coord,
+            inputs,
+            &threaded::ThreadedConfig {
+                batch_size: 3,
+                channel_capacity: 1,
+            },
+            Topology::Tree { fanout: 4 },
+            |_| ToyAgg {
+                pending: 0.0,
+                hold: 0.0,
+                rep: 0,
+            },
+        );
+        let site_pending: f64 = parts.sites.iter().map(|s| s.pending).sum();
+        let agg_pending: f64 = parts.aggregators.iter().map(|a| a.pending).sum();
+        assert_eq!(
+            parts.coordinator.total + site_pending + agg_pending,
+            expected
+        );
+    }
+
+    #[test]
+    fn threaded_tree_aggregator_with_no_traffic() {
+        // One subtree's sites have empty streams: its aggregator sees no
+        // children traffic at all and must still shut down cleanly.
+        let m = 8;
+        let sites: Vec<ToySite> = (0..m)
+            .map(|_| ToySite {
+                pending: 0.0,
+                threshold: 1.0,
+            })
+            .collect();
+        let coord = ToyCoord {
+            total: 0.0,
+            last_broadcast_at: 0.0,
+        };
+        // Leaves 4..8 (the second level-2 subtree at fanout 2) are empty.
+        let inputs: Vec<Vec<f64>> = (0..m)
+            .map(|i| if i < 4 { vec![1.0; 50] } else { Vec::new() })
+            .collect();
+        let parts = threaded::run_partitioned_topology_parts(
+            sites,
+            coord,
+            inputs,
+            &threaded::ThreadedConfig::default(),
+            Topology::Tree { fanout: 2 },
+            |_| ToyAgg {
+                pending: 0.0,
+                hold: 0.0,
+                rep: 0,
+            },
+        );
+        let site_pending: f64 = parts.sites.iter().map(|s| s.pending).sum();
+        assert_eq!(parts.coordinator.total + site_pending, 200.0);
+        // The silent subtree's nodes saw zero messages.
+        assert!(parts.stats.node_in_msgs.contains(&0));
+        assert_eq!(parts.stats.arrivals, 200);
+    }
+
+    #[test]
+    fn threaded_topology_star_matches_flat_driver_shape() {
+        // A flat plan through the topology entry point takes the star
+        // path: no aggregators, single-hop stats.
+        let sites: Vec<ToySite> = (0..4)
+            .map(|_| ToySite {
+                pending: 0.0,
+                threshold: 1.0,
+            })
+            .collect();
+        let coord = ToyCoord {
+            total: 0.0,
+            last_broadcast_at: 0.0,
+        };
+        let inputs: Vec<Vec<f64>> = (0..4).map(|_| vec![1.0; 30]).collect();
+        let parts = threaded::run_partitioned_topology_parts(
+            sites,
+            coord,
+            inputs,
+            &threaded::ThreadedConfig::default(),
+            Topology::Tree { fanout: 8 }, // fanout ≥ m ⇒ flat
+            |_| ToyAgg {
+                pending: 0.0,
+                hold: 0.0,
+                rep: 0,
+            },
+        );
+        assert!(parts.aggregators.is_empty());
+        assert_eq!(parts.stats.per_level.len(), 1);
+        let pending: f64 = parts.sites.iter().map(|s| s.pending).sum();
+        assert_eq!(parts.coordinator.total + pending, 120.0);
     }
 
     #[test]

@@ -8,6 +8,47 @@
 /// for the coordinator are pushed into the `out` buffer — a buffer rather
 /// than a return value so the hot path allocates nothing when (as almost
 /// always) there is nothing to send.
+///
+/// # Example
+///
+/// A site that accumulates weight and reports whenever the pending total
+/// reaches a broadcast-refreshed threshold:
+///
+/// ```
+/// use cma_stream::Site;
+///
+/// struct ThresholdSite {
+///     pending: f64,
+///     threshold: f64,
+/// }
+///
+/// impl Site for ThresholdSite {
+///     type Input = f64;     // one weighted arrival
+///     type UpMsg = f64;     // the reported batch of weight
+///     type Broadcast = f64; // a refreshed threshold
+///
+///     fn observe(&mut self, w: f64, out: &mut Vec<f64>) {
+///         self.pending += w;
+///         if self.pending >= self.threshold {
+///             out.push(self.pending);
+///             self.pending = 0.0;
+///         }
+///     }
+///
+///     fn on_broadcast(&mut self, t: &f64) {
+///         self.threshold = *t;
+///     }
+/// }
+///
+/// let mut site = ThresholdSite { pending: 0.0, threshold: 4.0 };
+/// let mut out = Vec::new();
+/// // The default observe_batch loops observe() and pauses at the first
+/// // message: it stops after the 4th arrival with 4.0 reported.
+/// let mut arrivals = vec![1.0; 10].into_iter();
+/// site.observe_batch(&mut arrivals, &mut out);
+/// assert_eq!(out, vec![4.0]);
+/// assert_eq!(arrivals.len(), 6); // the rest await resumption
+/// ```
 pub trait Site {
     /// One arrival from the local stream (a weighted item, a matrix
     /// row, …).

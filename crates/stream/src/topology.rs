@@ -17,6 +17,23 @@
 //! message-for-message.
 
 /// The shape of the aggregation layer between sites and coordinator.
+///
+/// # Example
+///
+/// Resolving a fanout-4 tree for 64 sites:
+///
+/// ```
+/// use cma_stream::Topology;
+///
+/// let plan = Topology::Tree { fanout: 4 }.plan(64);
+/// assert_eq!(plan.levels(), &[16, 4]);  // interior nodes, bottom-up
+/// assert_eq!(plan.internal_nodes(), 20);
+/// assert_eq!(plan.hops(), 3);           // leaf → L1 → L2 → root
+/// assert_eq!(plan.max_fan_in(), 4);     // vs 64 for the star
+///
+/// // fanout ≥ m degenerates to the star, exactly:
+/// assert_eq!(Topology::Tree { fanout: 64 }.plan(64), Topology::Star.plan(64));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Topology {
     /// The paper's flat star: all `m` sites are direct children of the
