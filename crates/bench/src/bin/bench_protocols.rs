@@ -17,9 +17,10 @@
 //! Build `--release`; the debug profile underreports throughput ~20×.
 
 use cma_bench::{
-    run_hh_threaded, run_hh_topology, run_matrix_threaded, run_matrix_topology, Args, HhProtocol,
-    MatrixProtocol,
+    run_hh_threaded, run_hh_topology, run_matrix_threaded, run_matrix_topology, run_swfd_threaded,
+    run_swfd_topology, run_swmg_threaded, run_swmg_topology, Args, HhProtocol, MatrixProtocol,
 };
+use cma_core::window::{SwFdConfig, SwMgConfig};
 use cma_core::{HhConfig, MatrixConfig, Topology};
 use cma_data::{SyntheticMatrixStream, WeightedZipfStream};
 use cma_stream::runner::threaded::ThreadedConfig;
@@ -234,12 +235,85 @@ fn main() {
         }
     }
 
+    // The window axis (PR 4): the two sliding-window protocols over the
+    // same workloads, tracking the last `W` global arrivals. Same
+    // sequential batch × topology grid, then the threaded grid.
+    let swmg_cfg = SwMgConfig::new(sites, 0.05, 8_192, 64);
+    let swfd_cfg = SwFdConfig::new(sites, 0.1, 2_048, mt_cfg.dim, 40);
+    for batch in BATCHES {
+        for (tname, topo) in topologies() {
+            eprintln!("window SwMg batch={batch} {tname}…");
+            let t0 = Instant::now();
+            let (run, comm) = run_swmg_topology(&swmg_cfg, &hh_stream, 0.05, topo, batch);
+            let dt = t0.elapsed().as_secs_f64();
+            records.push(Record {
+                family: "window",
+                protocol: run.protocol,
+                batch,
+                topology: tname,
+                mode: "seq",
+                elapsed_s: dt,
+                throughput: hh_n as f64 / dt,
+                err: run.err,
+                comm,
+            });
+            eprintln!("window SwFd batch={batch} {tname}…");
+            let t0 = Instant::now();
+            let (run, comm) = run_swfd_topology(&swfd_cfg, &mt_rows, topo, batch);
+            let dt = t0.elapsed().as_secs_f64();
+            records.push(Record {
+                family: "window",
+                protocol: run.protocol,
+                batch,
+                topology: tname,
+                mode: "seq",
+                elapsed_s: dt,
+                throughput: mt_n as f64 / dt,
+                err: run.err,
+                comm,
+            });
+        }
+    }
+    for (tname, topo) in threaded_topologies() {
+        eprintln!("window SwMg threaded {tname}…");
+        let t0 = Instant::now();
+        let (run, comm) = run_swmg_threaded(&swmg_cfg, &hh_stream, 0.05, topo, &tcfg);
+        let dt = t0.elapsed().as_secs_f64();
+        records.push(Record {
+            family: "window",
+            protocol: run.protocol,
+            batch: tcfg.batch_size,
+            topology: tname,
+            mode: "threaded",
+            elapsed_s: dt,
+            throughput: hh_n as f64 / dt,
+            err: run.err,
+            comm,
+        });
+        eprintln!("window SwFd threaded {tname}…");
+        let t0 = Instant::now();
+        let (run, comm) = run_swfd_threaded(&swfd_cfg, &mt_rows, topo, &tcfg);
+        let dt = t0.elapsed().as_secs_f64();
+        records.push(Record {
+            family: "window",
+            protocol: run.protocol,
+            batch: tcfg.batch_size,
+            topology: tname,
+            mode: "threaded",
+            elapsed_s: dt,
+            throughput: mt_n as f64 / dt,
+            err: run.err,
+            comm,
+        });
+    }
+
     let meta = format!(
         "{{\"sites\": {sites}, \"hh_n\": {hh_n}, \"mt_n\": {mt_n}, \
          \"hh_epsilon\": {}, \"mt_epsilon\": {}, \"mt_dim\": {}, \
+         \"swmg_window\": {}, \"swfd_window\": {}, \
          \"batches\": [64, 1024], \"topologies\": [\"star\", \"tree4\", \"tree8\"], \
          \"threaded_topologies\": [\"star\", \"tree2\", \"tree4\", \"tree8\"]}}",
-        hh_cfg.epsilon, mt_cfg.epsilon, mt_cfg.dim
+        hh_cfg.epsilon, mt_cfg.epsilon, mt_cfg.dim, swmg_cfg.params.window, swfd_cfg.params.window
     );
     let json = emit(&records, &meta);
     std::fs::write(&out_path, &json).expect("write BENCH_protocols.json");

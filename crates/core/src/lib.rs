@@ -23,6 +23,7 @@
 //! | §5.2 | [`matrix::p2`] | singular-direction thresholds | `O((m/ε) log βN)` |
 //! | §5.3 | [`matrix::p3`] / [`matrix::p3wr`] | row priority sampling | `O((m+s) log(βN/s))` |
 //! | App. C | [`matrix::p4`] | **negative result** — no guarantee | `O((√m/ε) log βN)` |
+//! | §6 ext. | [`window::mg`] / [`window::fd`] | sliding-window tracking via exponential-histogram buckets | sublinear in `N`; see module docs |
 //!
 //! Every protocol is split into a site type (implements
 //! [`cma_stream::Site`]) and a coordinator type (implements
@@ -74,6 +75,7 @@ pub mod hh;
 pub mod matrix;
 pub mod sampling;
 pub mod weight_tracker;
+pub mod window;
 
 pub use cma_stream::Topology;
 pub use config::{HhConfig, MatrixConfig};

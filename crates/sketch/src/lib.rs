@@ -23,7 +23,10 @@
 //!   benchmark suite.
 //! * [`SwMg`] / [`SwFd`] — sliding-window variants (exponential
 //!   histograms over MG / FD blocks) for the paper's stated open
-//!   problem; see the `sliding_window` example.
+//!   problem. The underlying [`ExpHistogram`] ships whole mergeable
+//!   buckets ([`WinBucket`]) — the transport unit of the *distributed*
+//!   sliding-window protocols in `cma-core`'s `window` module; see the
+//!   `sliding_window` example.
 //! * [`WeightedReservoir`] — weighted reservoir sampling, a baseline
 //!   for the sampling protocols.
 //! * [`exact`] — exact (hash-map) weighted counters, the ground truth all
@@ -76,7 +79,7 @@ pub use misra_gries::MgSummary;
 pub use ord::OrdF64;
 pub use priority::PrioritySampler;
 pub use reservoir::WeightedReservoir;
-pub use sliding_window::{SwFd, SwMg};
+pub use sliding_window::{ExpHistogram, SwFd, SwMg, WinBucket, WindowSummary};
 pub use space_saving::SpaceSaving;
 
 /// Item identifiers in weighted-frequency summaries.

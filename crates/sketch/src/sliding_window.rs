@@ -10,27 +10,74 @@
 //!   mass level (`[2ⁱ, 2ⁱ⁺¹)` of summarised weight), the two oldest are
 //!   merged — so there are `O(r · log(βW))` buckets;
 //! * buckets whose *newest* item has left the window are dropped whole;
-//!   at most one remaining bucket (the oldest) straddles the window
-//!   boundary.
+//!   the remaining buckets whose *oldest* item predates the window
+//!   boundary **straddle** it — they still count items that have already
+//!   expired, and their total mass (`≈ mass/r` thanks to the level
+//!   structure) is the window-boundary error term.
 //!
 //! Querying merges all live buckets. The error against the true window
 //! content has two parts: the summaries' own loss (inherited from the
-//! mergeable summary) and the straddling bucket's mass (items already
-//! expired but still counted — `≈ mass/r` thanks to the level
-//! structure). Two instantiations are provided:
+//! mergeable summary) and the straddling mass. Two instantiations are
+//! provided:
 //!
 //! * [`SwFd`] — matrix tracking over the last `W` rows (buckets are
 //!   Frequent Directions sketches);
 //! * [`SwMg`] — weighted heavy hitters over the last `W` items (buckets
 //!   are Misra–Gries summaries).
+//!
+//! # Distributed use
+//!
+//! Since PR 4 the histogram is the building block of the *distributed*
+//! sliding-window protocols (`cma-core`'s `window` module): buckets are
+//! a public, shippable unit ([`WinBucket`], carrying its summary, mass
+//! and `[oldest, newest]` arrival range), sites stamp arrivals with a
+//! global stream index ([`ExpHistogram::observe_at`]), drain whole
+//! buckets into messages ([`ExpHistogram::drain`]), and interior
+//! aggregators / the coordinator re-ingest them
+//! ([`ExpHistogram::insert_bucket`] — which expires dead buckets on
+//! arrival and re-compacts same-level buckets via
+//! [`WindowSummary::merge_from`]). Tracking `oldest` per bucket is what
+//! keeps the straddling-mass bound *sound* after cross-site merges:
+//! age ranges from different sites interleave, so more than one bucket
+//! can straddle the boundary, and [`ExpHistogram::straddle_mass`] sums
+//! them all.
 
 use crate::frequent_directions::FrequentDirections;
 use crate::misra_gries::MgSummary;
 use crate::Item;
 use cma_linalg::Matrix;
+use std::collections::BTreeMap;
 
 /// A summary that can absorb another of its kind — the only capability
 /// the histogram needs from its buckets.
+///
+/// # Example
+///
+/// Any mergeable accumulator qualifies; a plain sum makes the histogram
+/// a windowed counter:
+///
+/// ```
+/// use cma_sketch::sliding_window::{ExpHistogram, WindowSummary};
+///
+/// #[derive(Clone, Debug)]
+/// struct Count(f64);
+/// impl WindowSummary for Count {
+///     fn merge_from(&mut self, other: &Self) {
+///         self.0 += other.0;
+///     }
+/// }
+///
+/// let mut h: ExpHistogram<Count> = ExpHistogram::new(10, 2);
+/// for _ in 0..100 {
+///     h.update(Count(1.0), 1.0);
+/// }
+/// let mut total = Count(0.0);
+/// h.fold_into(&mut total);
+/// // The fold covers the 10-item window, over-counting by at most the
+/// // straddling mass:
+/// assert!(total.0 >= 10.0);
+/// assert!(total.0 <= 10.0 + h.straddle_mass());
+/// ```
 pub trait WindowSummary: Clone {
     /// Folds `other` into `self`, preserving the summary's guarantee
     /// with respect to the union of both inputs.
@@ -49,14 +96,57 @@ impl WindowSummary for MgSummary {
     }
 }
 
-/// One histogram bucket: a summary over a contiguous arrival range.
+/// One histogram bucket: a summary over a contiguous range of arrivals,
+/// tagged with the stream indices it covers.
+///
+/// This is the unit the distributed sliding-window protocols ship whole:
+/// a site drains its pending buckets into a message, and aggregators /
+/// the coordinator [`ExpHistogram::insert_bucket`] them — expiry and
+/// same-level merging work on the receiving side exactly as they do
+/// locally, because the bucket carries everything the receiver needs
+/// (mass ⇒ level, `newest` ⇒ expiry, `oldest` ⇒ straddling).
 #[derive(Debug, Clone)]
-struct Bucket<S> {
-    summary: S,
+pub struct WinBucket<S> {
+    /// Mergeable summary of the bucket's arrivals.
+    pub summary: S,
     /// Weight summarised by this bucket.
-    mass: f64,
-    /// Stream index of the newest arrival in the bucket.
-    newest: u64,
+    pub mass: f64,
+    /// Stream index of the oldest arrival in the bucket. After merges
+    /// this is the `min` over all merged inputs — the key to a sound
+    /// straddling bound when age ranges from different sites interleave.
+    pub oldest: u64,
+    /// Stream index of the newest arrival in the bucket (`max` over
+    /// merged inputs); the bucket expires whole when this leaves the
+    /// window.
+    pub newest: u64,
+}
+
+impl<S: WindowSummary> WinBucket<S> {
+    /// A fresh bucket holding the single arrival at stream index `t`.
+    pub fn singleton(t: u64, summary: S, mass: f64) -> Self {
+        WinBucket {
+            summary,
+            mass,
+            oldest: t,
+            newest: t,
+        }
+    }
+
+    /// Mass level of the bucket: `⌊log₂(mass)⌋` (clamped below at 0).
+    /// Buckets of the same level are the merge candidates of the
+    /// exponential-histogram invariant.
+    pub fn level(&self) -> i32 {
+        self.mass.max(1.0).log2().floor() as i32
+    }
+
+    /// Folds `other` into this bucket: summaries merge, masses add, the
+    /// covered arrival range becomes the union `[min, max]`.
+    pub fn absorb(&mut self, other: &WinBucket<S>) {
+        self.summary.merge_from(&other.summary);
+        self.mass += other.mass;
+        self.oldest = self.oldest.min(other.oldest);
+        self.newest = self.newest.max(other.newest);
+    }
 }
 
 /// Exponential histogram over any [`WindowSummary`].
@@ -64,7 +154,9 @@ struct Bucket<S> {
 pub struct ExpHistogram<S> {
     window: u64,
     per_level: usize,
-    buckets: Vec<Bucket<S>>,
+    /// Live buckets, sorted by `newest` ascending (oldest first).
+    buckets: Vec<WinBucket<S>>,
+    /// Clock high-water: one past the newest stream index observed.
     t: u64,
 }
 
@@ -90,8 +182,21 @@ impl<S: WindowSummary> ExpHistogram<S> {
         self.window
     }
 
-    /// Arrivals observed so far.
+    /// Histogram branching factor `r` (buckets allowed per mass level).
+    pub fn per_level(&self) -> usize {
+        self.per_level
+    }
+
+    /// The clock high-water: one past the newest stream index observed
+    /// (equals the number of arrivals when indices are consecutive from
+    /// zero, which is how the single-stream wrappers drive it).
     pub fn items_seen(&self) -> u64 {
+        self.t
+    }
+
+    /// Alias of [`ExpHistogram::items_seen`] under its distributed-use
+    /// name: the clock value messages carry as `latest`.
+    pub fn now(&self) -> u64 {
         self.t
     }
 
@@ -100,83 +205,158 @@ impl<S: WindowSummary> ExpHistogram<S> {
         self.buckets.len()
     }
 
+    /// The live buckets, oldest first.
+    pub fn buckets(&self) -> &[WinBucket<S>] {
+        &self.buckets
+    }
+
     /// Total mass currently summarised (window mass plus the straddling
-    /// bucket's expired portion).
+    /// buckets' expired portion).
     pub fn mass(&self) -> f64 {
         self.buckets.iter().map(|b| b.mass).sum()
     }
 
-    /// Mass of the straddling (oldest) bucket — the window-boundary
-    /// error term. Zero until the first expiration can have happened.
+    /// Mass of the straddling buckets — those still counting arrivals
+    /// that have already left the window. This is the window-boundary
+    /// error term. With single-stream input at most one bucket
+    /// straddles; after cross-site bucket merges (distributed use) age
+    /// ranges interleave and several can, which is why this sums over
+    /// `oldest < horizon` instead of looking only at the oldest bucket.
     pub fn straddle_mass(&self) -> f64 {
-        if self.t > self.window {
-            self.buckets.first().map(|b| b.mass).unwrap_or(0.0)
-        } else {
-            0.0
-        }
+        self.straddle_mass_at(self.t)
     }
 
-    /// Absorbs one arrival summarised by `summary` with weight `mass`.
-    /// Zero-mass arrivals advance the clock without creating buckets.
+    /// [`ExpHistogram::straddle_mass`] evaluated for a query at clock
+    /// `t_now` (arrivals observed globally): the mass of buckets that
+    /// are live at `t_now` but whose oldest arrival predates the window.
+    pub fn straddle_mass_at(&self, t_now: u64) -> f64 {
+        let h = t_now.saturating_sub(self.window);
+        self.buckets
+            .iter()
+            .filter(|b| b.newest >= h && b.oldest < h)
+            .map(|b| b.mass)
+            .sum()
+    }
+
+    /// Total mass of buckets live for a query at clock `t_now`.
+    pub fn mass_at(&self, t_now: u64) -> f64 {
+        let h = t_now.saturating_sub(self.window);
+        self.buckets
+            .iter()
+            .filter(|b| b.newest >= h)
+            .map(|b| b.mass)
+            .sum()
+    }
+
+    /// Absorbs one arrival summarised by `summary` with weight `mass`,
+    /// stamped with the next local stream index. Zero-mass arrivals
+    /// advance the clock without creating buckets.
     pub fn update(&mut self, summary: S, mass: f64) {
+        let t = self.t;
+        self.observe_at(t, summary, mass);
+    }
+
+    /// Absorbs one arrival stamped with an explicit (e.g. global) stream
+    /// index `t` — the distributed entry point, where a site observes a
+    /// subsequence of the global stream. Advances the clock to at least
+    /// `t + 1` and expires buckets that have left the window.
+    pub fn observe_at(&mut self, t: u64, summary: S, mass: f64) {
         debug_assert!(mass >= 0.0 && mass.is_finite());
-        let idx = self.t;
-        self.t += 1;
-        let horizon = self.t.saturating_sub(self.window);
-        self.buckets.retain(|b| b.newest >= horizon);
+        self.t = self.t.max(t + 1);
+        self.expire();
         if mass == 0.0 {
             return;
         }
-        self.buckets.push(Bucket {
-            summary,
-            mass,
-            newest: idx,
-        });
+        self.insert_bucket(WinBucket::singleton(t, summary, mass));
+    }
+
+    /// Advances the clock to at least `t_now` (a clock value, i.e. one
+    /// past a stream index) and expires dead buckets. Aggregation nodes
+    /// call this with the `latest` stamp of each incoming message, so
+    /// held partials expire even when the node's own subtree is quiet.
+    pub fn advance(&mut self, t_now: u64) {
+        self.t = self.t.max(t_now);
+        self.expire();
+    }
+
+    /// Ingests one bucket (from a child node's drain), dropping it
+    /// immediately if it is already dead at this histogram's clock, and
+    /// re-compacting the level structure. Merged buckets keep the union
+    /// of their `[oldest, newest]` ranges, so expiry and straddling stay
+    /// sound on the receiving side.
+    pub fn insert_bucket(&mut self, b: WinBucket<S>) {
+        self.insert_buckets(std::iter::once(b));
+    }
+
+    /// Bulk [`ExpHistogram::insert_bucket`]: positions every bucket
+    /// first and compacts once — what aggregation nodes use to ingest a
+    /// whole message, since per-bucket compaction would redo the level
+    /// census for each of the `O(r · log W)` buckets a drain carries.
+    pub fn insert_buckets(&mut self, buckets: impl IntoIterator<Item = WinBucket<S>>) {
+        let h = self.horizon();
+        for b in buckets {
+            if b.newest < h {
+                continue;
+            }
+            let pos = self.buckets.partition_point(|x| x.newest <= b.newest);
+            self.buckets.insert(pos, b);
+        }
         self.compact();
     }
 
-    /// Mass level of a bucket: `⌊log₂(mass)⌋` (clamped below at 0).
-    fn level(mass: f64) -> i32 {
-        mass.max(1.0).log2().floor() as i32
+    /// Removes and returns every live bucket (the clock is kept) — how a
+    /// site or aggregator flushes its pending partial into one message.
+    pub fn drain(&mut self) -> Vec<WinBucket<S>> {
+        std::mem::take(&mut self.buckets)
+    }
+
+    /// First stream index still inside the window.
+    fn horizon(&self) -> u64 {
+        self.t.saturating_sub(self.window)
+    }
+
+    /// Drops buckets whose newest arrival has left the window.
+    fn expire(&mut self) {
+        let h = self.horizon();
+        self.buckets.retain(|b| b.newest >= h);
     }
 
     /// Merges oldest same-level bucket pairs until every level holds at
-    /// most `per_level` buckets.
+    /// most `per_level` buckets. Levels are visited lowest-first
+    /// (deterministically — a `BTreeMap`, not a `HashMap`, so two
+    /// deployments compact identically and the topology-parity suites
+    /// can compare executions message for message).
     fn compact(&mut self) {
         loop {
-            let mut counts: std::collections::HashMap<i32, usize> =
-                std::collections::HashMap::new();
+            let mut counts: BTreeMap<i32, usize> = BTreeMap::new();
             for b in &self.buckets {
-                *counts.entry(Self::level(b.mass)).or_insert(0) += 1;
+                *counts.entry(b.level()).or_insert(0) += 1;
             }
-            // Oldest pair of any overfull level (buckets are age-ordered).
-            let mut merge_pair: Option<(usize, usize)> = None;
-            'outer: for (lvl, &cnt) in &counts {
-                if cnt > self.per_level {
-                    let mut first: Option<usize> = None;
-                    for (i, b) in self.buckets.iter().enumerate() {
-                        if Self::level(b.mass) == *lvl {
-                            match first {
-                                None => first = Some(i),
-                                Some(f) => {
-                                    merge_pair = Some((f, i));
-                                    break 'outer;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            let Some((i, j)) = merge_pair else { break };
+            let Some(lvl) = counts
+                .into_iter()
+                .find(|&(_, c)| c > self.per_level)
+                .map(|(l, _)| l)
+            else {
+                break;
+            };
+            // The two oldest buckets of the overfull level (the vec is
+            // age-ordered by `newest`).
+            let mut idx = self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.level() == lvl)
+                .map(|(i, _)| i);
+            let i = idx.next().expect("overfull level has buckets");
+            let j = idx.next().expect("overfull level has a pair");
             let newer = self.buckets.remove(j);
-            let older = &mut self.buckets[i];
-            older.summary.merge_from(&newer.summary);
-            older.mass += newer.mass;
-            // `max`, not assignment: merges of non-adjacent levels can
-            // leave the vec unsorted by age, and shrinking `newest` would
-            // let the expiration pass drop live window data (caught by
-            // the `sw_mg_window_bound` property test).
-            older.newest = older.newest.max(newer.newest);
+            let mut older = self.buckets.remove(i);
+            older.absorb(&newer);
+            // Re-insert at the merged bucket's age position: its level
+            // may have grown and its `newest` is the max of the pair, so
+            // both the level census and the ordering must be redone.
+            let pos = self.buckets.partition_point(|x| x.newest <= older.newest);
+            self.buckets.insert(pos, older);
         }
     }
 
@@ -186,9 +366,42 @@ impl<S: WindowSummary> ExpHistogram<S> {
             acc.merge_from(&b.summary);
         }
     }
+
+    /// Merges the buckets live for a query at clock `t_now` into `acc`
+    /// (oldest first), skipping buckets that are fully expired at
+    /// `t_now` even if this histogram's own clock has not caught up.
+    pub fn fold_live_at(&self, t_now: u64, acc: &mut S) {
+        let h = t_now.saturating_sub(self.window);
+        for b in self.buckets.iter().filter(|b| b.newest >= h) {
+            acc.merge_from(&b.summary);
+        }
+    }
 }
 
 /// Sliding-window Frequent Directions over the last `window` rows.
+///
+/// # Example
+///
+/// A windowed matrix sketch forgets rows that leave the window:
+///
+/// ```
+/// use cma_sketch::SwFd;
+///
+/// let mut sw = SwFd::new(4, 12, 100, 2); // d=4, ℓ=12, window=100, r=2
+/// // 200 rows along e₀, then a full window of rows along e₁:
+/// for _ in 0..200 {
+///     sw.update(&[3.0, 0.0, 0.0, 0.0]);
+/// }
+/// for _ in 0..100 {
+///     sw.update(&[0.0, 1.0, 0.0, 0.0]);
+/// }
+/// // The e₀ energy has expired (up to the straddling mass)…
+/// let sketch = sw.sketch();
+/// assert!(sketch.apply_norm_sq(&[1.0, 0.0, 0.0, 0.0]) <= sw.error_bound());
+/// // …while the window's e₁ energy (100 rows × 1²) is retained:
+/// let got = sketch.apply_norm_sq(&[0.0, 1.0, 0.0, 0.0]);
+/// assert!((got - 100.0).abs() <= sw.error_bound());
+/// ```
 #[derive(Debug, Clone)]
 pub struct SwFd {
     d: usize,
@@ -234,7 +447,7 @@ impl SwFd {
         self.hist.bucket_count()
     }
 
-    /// Total summarised mass (window ± straddling bucket).
+    /// Total summarised mass (window ± straddling buckets).
     pub fn mass(&self) -> f64 {
         self.hist.mass()
     }
@@ -264,13 +477,33 @@ impl SwFd {
     }
 
     /// A-priori bound on `|‖A_W x‖² − ‖Bx‖²|` for unit `x`: FD loss over
-    /// the summarised mass plus the straddling bucket's mass.
+    /// the summarised mass plus the straddling buckets' mass.
     pub fn error_bound(&self) -> f64 {
         2.0 * self.hist.mass() / self.ell as f64 + self.hist.straddle_mass()
     }
 }
 
 /// Sliding-window weighted heavy hitters over the last `window` items.
+///
+/// # Example
+///
+/// Heavy hitters of the last `window` items only:
+///
+/// ```
+/// use cma_sketch::SwMg;
+///
+/// let mut sw = SwMg::new(16, 100, 2); // ℓ=16 counters, window=100, r=2
+/// for _ in 0..300 {
+///     sw.update(7, 5.0); // an old heavy item…
+/// }
+/// for _ in 0..100 {
+///     sw.update(8, 1.0); // …pushed out by a full window of item 8
+/// }
+/// // The expired item survives only through straddling/summary error:
+/// assert!(sw.estimate(7) <= sw.error_bound());
+/// // The window's item is estimated within the reported bound:
+/// assert!((sw.estimate(8) - 100.0).abs() <= sw.error_bound());
+/// ```
 #[derive(Debug, Clone)]
 pub struct SwMg {
     capacity: usize,
@@ -301,7 +534,7 @@ impl SwMg {
         self.hist.bucket_count()
     }
 
-    /// Total summarised weight (window ± straddling bucket).
+    /// Total summarised weight (window ± straddling buckets).
     pub fn mass(&self) -> f64 {
         self.hist.mass()
     }
@@ -333,7 +566,7 @@ impl SwMg {
     }
 
     /// A-priori bound on `|f_W(e) − estimate(e)|`: MG undercount over the
-    /// summarised weight plus the straddling bucket's weight.
+    /// summarised weight plus the straddling buckets' weight.
     pub fn error_bound(&self) -> f64 {
         self.hist.mass() / (self.capacity as f64 + 1.0) + self.hist.straddle_mass()
     }
@@ -345,6 +578,15 @@ mod tests {
     use cma_linalg::random;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    /// Trivial mergeable summary for raw-histogram tests: a mass sum.
+    #[derive(Clone, Debug)]
+    struct Count(f64);
+    impl WindowSummary for Count {
+        fn merge_from(&mut self, other: &Self) {
+            self.0 += other.0;
+        }
+    }
 
     /// Exact window matrix for verification.
     fn window_matrix(rows: &[Vec<f64>], t: usize, window: usize, d: usize) -> Matrix {
@@ -514,7 +756,7 @@ mod tests {
             sw.update(8, 1.0); // window now contains only item 8
         }
         let est7 = sw.estimate(7);
-        // Item 7 may survive only through the straddling bucket.
+        // Item 7 may survive only through the straddling buckets.
         assert!(
             est7 <= sw.error_bound() + 1e-9,
             "expired heavy item estimate {est7} exceeds bound"
@@ -526,13 +768,6 @@ mod tests {
     #[test]
     fn histogram_generic_counts() {
         // The raw histogram with trivial summaries tracks mass correctly.
-        #[derive(Clone, Debug)]
-        struct Count(f64);
-        impl WindowSummary for Count {
-            fn merge_from(&mut self, other: &Self) {
-                self.0 += other.0;
-            }
-        }
         let mut h: ExpHistogram<Count> = ExpHistogram::new(10, 2);
         for _ in 0..100 {
             h.update(Count(1.0), 1.0);
@@ -542,5 +777,59 @@ mod tests {
         assert!(total.0 >= 10.0);
         assert!(total.0 <= 10.0 + h.straddle_mass() + 1e-9);
         assert_eq!(h.items_seen(), 100);
+    }
+
+    /// Distributed-shape plumbing: stamped observation on two source
+    /// histograms, whole-bucket transfer into a downstream one, expiry
+    /// at insert, straddling summed across interleaved ranges.
+    #[test]
+    fn bucket_transfer_between_histograms() {
+        let window = 20u64;
+        // Two "sites" observe interleaved global indices 0..40.
+        let mut a: ExpHistogram<Count> = ExpHistogram::new(window, 2);
+        let mut b: ExpHistogram<Count> = ExpHistogram::new(window, 2);
+        for t in 0..40u64 {
+            let h = if t % 2 == 0 { &mut a } else { &mut b };
+            h.observe_at(t, Count(1.0), 1.0);
+        }
+        // A "coordinator" ingests both drains.
+        let mut c: ExpHistogram<Count> = ExpHistogram::new(window, 2);
+        for src in [&mut a, &mut b] {
+            c.advance(src.now());
+            for bucket in src.drain() {
+                c.insert_bucket(bucket);
+            }
+        }
+        assert_eq!(c.now(), 40);
+        // Everything fully-expired was dropped on insert; the fold
+        // covers the 20-item window up to the straddling mass.
+        let mut total = Count(0.0);
+        c.fold_into(&mut total);
+        assert!(total.0 >= window as f64 - 1e-9, "window mass lost");
+        assert!(
+            total.0 <= window as f64 + c.straddle_mass() + 1e-9,
+            "fold {} exceeds window + straddle {}",
+            total.0,
+            c.straddle_mass()
+        );
+        // Query-time variants agree with the mutating view at the clock.
+        assert_eq!(c.mass(), c.mass_at(c.now()));
+        assert_eq!(c.straddle_mass(), c.straddle_mass_at(c.now()));
+        let mut live = Count(0.0);
+        c.fold_live_at(c.now(), &mut live);
+        assert_eq!(live.0, total.0);
+    }
+
+    /// A bucket whose newest index is already outside the receiver's
+    /// window must be dropped whole at insert.
+    #[test]
+    fn insert_drops_dead_buckets() {
+        let mut h: ExpHistogram<Count> = ExpHistogram::new(10, 2);
+        h.advance(100);
+        h.insert_bucket(WinBucket::singleton(42, Count(5.0), 5.0)); // dead
+        assert_eq!(h.bucket_count(), 0);
+        h.insert_bucket(WinBucket::singleton(95, Count(1.0), 1.0)); // live
+        assert_eq!(h.bucket_count(), 1);
+        assert_eq!(h.mass(), 1.0);
     }
 }

@@ -1,97 +1,169 @@
-//! Sliding-window tracking — the paper's stated open problem
-//! ("extending our results to the sliding window model"), implemented
-//! here as the exponential-histogram extension in
-//! `cma::sketch::sliding_window`.
+//! Distributed sliding-window tracking — the paper's stated open
+//! problem ("extending our results to the sliding window model"), run
+//! through the full site / aggregator / coordinator stack
+//! (`cma::protocols::window`).
 //!
 //! A monitoring dashboard usually cares about the *recent* stream, not
-//! all history: "the covariance of the last hour of traffic", "the heavy
-//! URLs of the last 10,000 requests". This example drifts the data
-//! distribution mid-stream and shows the windowed sketches forgetting
-//! the old regime while the infinite-stream sketches stay anchored to
-//! it.
+//! all history: "the covariance of the last hour of traffic", "the
+//! heavy URLs of the last 10,000 requests". Here eight sites jointly
+//! observe a globally-stamped stream, ship whole exponential-histogram
+//! buckets to the coordinator (star deployment) or through a fanout-4
+//! aggregation tree, and the coordinator answers window queries with a
+//! certified error bound. The data's principal direction rotates
+//! mid-stream; the windowed deployment forgets the old regime while an
+//! infinite-stream MT-P1 deployment stays anchored to it.
 //!
 //! Run with: `cargo run --release --example sliding_window`
 
 use cma::data::SyntheticMatrixStream;
 use cma::linalg::eigen::jacobi_eigen_sym;
 use cma::linalg::Matrix;
-use cma::sketch::{FrequentDirections, MgSummary, SwFd, SwMg};
+use cma::protocols::matrix::{p1, MatrixConfig, MatrixEstimator};
+use cma::protocols::window::{fd, mg, SwFdConfig, SwMgConfig};
+use cma::stream::partition::RoundRobin;
+use cma::stream::Topology;
 
 fn main() {
+    let m = 8; // sites
+
     // --- matrix side: covariance of the last `window` rows ------------
     let d = 16;
     let window = 2_000u64;
-    let mut sw = SwFd::new(d, 24, window, 3);
-    let mut infinite = FrequentDirections::new(d, 24);
+    let n_old = 6_000u64;
+    let cfg = SwFdConfig::new(m, 0.1, window, d, 24);
 
-    // Regime 1: energy along one set of directions …
+    // The same deployment twice: the paper's flat star, and a fanout-4
+    // aggregation tree whose interior nodes merge same-level buckets.
+    let mut star = fd::deploy_topology(&cfg, Topology::Star);
+    let mut tree = fd::deploy_topology(&cfg, Topology::Tree { fanout: 4 });
+    // Infinite-stream baseline: MT-P1 never forgets.
+    let mut infinite = p1::deploy(&MatrixConfig::new(m, 0.1, d));
+
+    // Regime 1: energy along one set of directions … then the data
+    // rotates to a fresh basis (seed 2 ⇒ new rotation) for one window.
     let mut phase1 = SyntheticMatrixStream::new(d, &[8.0, 2.0], 1e6, 1);
-    for _ in 0..6_000 {
-        let row = phase1.next_row();
-        sw.update(&row);
-        infinite.update(&row);
-    }
-    // … then the data rotates to a fresh basis (seed 2 ⇒ new rotation).
     let mut phase2 = SyntheticMatrixStream::new(d, &[8.0, 2.0], 1e6, 2);
+    let mut old = Matrix::with_cols(d);
     let mut recent = Matrix::with_cols(d);
-    for _ in 0..window {
-        let row = phase2.next_row();
-        sw.update(&row);
-        infinite.update(&row);
-        recent.push_row(&row);
-    }
+    let stream: Vec<(u64, Vec<f64>)> = (0..n_old + window)
+        .map(|t| {
+            let row = if t < n_old {
+                let r = phase1.next_row();
+                old.push_row(&r);
+                r
+            } else {
+                let r = phase2.next_row();
+                recent.push_row(&r);
+                r
+            };
+            (t, row)
+        })
+        .collect();
+    star.run_partitioned(stream.iter().cloned(), &mut RoundRobin::new(m), 256);
+    tree.run_partitioned(stream.iter().cloned(), &mut RoundRobin::new(m), 256);
+    infinite.run_partitioned(
+        stream.iter().map(|(_, r)| r.clone()),
+        &mut RoundRobin::new(m),
+        256,
+    );
 
-    // Principal direction of the *current* window, exactly and per sketch.
+    // Principal direction of the *current* window, exactly and per
+    // deployment.
+    let t_now = n_old + window;
     let exact_eig = jacobi_eigen_sym(&recent.gram()).expect("exact eigen");
     let v1 = exact_eig.vectors.row(0);
-    let sw_top = sw.sketch().apply_norm_sq(v1);
-    let inf_top = infinite.sketch().apply_norm_sq(v1);
     let true_top = recent.apply_norm_sq(v1);
+    let star_top = star.coordinator().sketch_at(t_now).apply_norm_sq(v1);
+    let tree_top = tree.coordinator().sketch_at(t_now).apply_norm_sq(v1);
+    let inf_top = infinite.coordinator().sketch().apply_norm_sq(v1);
+    let bound = star.coordinator().error_bound_at(t_now);
 
-    println!("matrix tracking after a mid-stream rotation:");
+    println!("distributed matrix tracking after a mid-stream rotation (m = {m}):");
     println!("  window rows              : {window}");
     println!("  ‖A_W v₁‖² (exact window) : {true_top:>12.0}");
     println!(
-        "  windowed sketch          : {sw_top:>12.0}  ({} buckets)",
-        sw.bucket_count()
+        "  star coordinator         : {star_top:>12.0}  ({} buckets live)",
+        star.coordinator().bucket_count()
     );
-    println!("  infinite-stream sketch   : {inf_top:>12.0}  (diluted by old regime)");
-    let sw_rel = (sw_top - true_top).abs() / true_top;
+    println!(
+        "  tree4 coordinator        : {tree_top:>12.0}  (root saw {} msgs vs {} star)",
+        tree.stats().node_in_msgs.last().unwrap(),
+        star.stats().node_in_msgs.last().unwrap()
+    );
+    println!("  infinite-stream MT-P1    : {inf_top:>12.0}");
+    println!(
+        "  certified |err| ≤ summary {:.0} + straddle {:.0} + withheld {:.0}",
+        bound.summary_loss, bound.straddle, bound.withheld
+    );
+    let rel = (star_top - true_top).abs() / true_top;
+    assert!(rel < 0.25, "windowed sketch misses the new regime: {rel}");
     assert!(
-        sw_rel < 0.25,
-        "windowed sketch misses the new regime: {sw_rel}"
+        (star_top - true_top).abs() <= bound.total(),
+        "certified bound violated"
     );
-    println!("  → the windowed sketch tracks the new regime ✓\n");
+    println!("  → both windowed deployments track the new regime ✓\n");
+
+    // The decisive contrast is the *expired* regime's principal
+    // direction: the window has forgotten it, MT-P1 cannot.
+    let old_eig = jacobi_eigen_sym(&old.gram()).expect("old-regime eigen");
+    let v_old = old_eig.vectors.row(0);
+    let true_old = recent.apply_norm_sq(v_old);
+    let star_old = star.coordinator().sketch_at(t_now).apply_norm_sq(v_old);
+    let inf_old = infinite.coordinator().sketch().apply_norm_sq(v_old);
+    println!("energy along the expired regime's principal direction v₁ᵒˡᵈ:");
+    println!("  exact window             : {true_old:>12.0}");
+    println!("  star coordinator         : {star_old:>12.0}  (forgotten, ≤ window + bound)");
+    println!("  infinite-stream MT-P1    : {inf_old:>12.0}  (still anchored to it)");
+    assert!(
+        star_old <= true_old + bound.total(),
+        "expired energy escaped the certified bound"
+    );
+    assert!(
+        inf_old > 2.0 * (true_old + bound.total()),
+        "baseline unexpectedly forgot the old regime"
+    );
+    println!("  → only the windowed deployment forgot the old regime ✓\n");
 
     // --- frequency side: heavy hitters of the last `window` items -----
     let window = 5_000u64;
-    let mut sw = SwMg::new(64, window, 3);
-    let mut infinite = MgSummary::new(64);
-    // Old regime: item 1 dominates…
-    for _ in 0..20_000 {
-        sw.update(1, 10.0);
-        infinite.update(1, 10.0);
-    }
-    // …then item 2 takes over for a full window.
-    for _ in 0..window {
-        sw.update(2, 10.0);
-        infinite.update(2, 10.0);
-    }
+    let n_old = 20_000u64;
+    let cfg = SwMgConfig::new(m, 0.1, window, 64);
+    let mut star = mg::deploy_topology(&cfg, Topology::Star);
+    let mut tree = mg::deploy_topology(&cfg, Topology::Tree { fanout: 4 });
 
-    let w_est_1 = sw.estimate(1);
-    let w_est_2 = sw.estimate(2);
-    println!("heavy hitters after a regime change (window = {window} items):");
+    // Old regime: item 1 dominates… then item 2 takes over for a full
+    // window.
+    let stream: Vec<(u64, (u64, f64))> = (0..n_old + window)
+        .map(|t| {
+            let item = if t < n_old { 1 } else { 2 };
+            (t, (item, 10.0))
+        })
+        .collect();
+    star.run_partitioned(stream.iter().cloned(), &mut RoundRobin::new(m), 256);
+    tree.run_partitioned(stream.iter().cloned(), &mut RoundRobin::new(m), 256);
+
+    let t_now = n_old + window;
+    let coord = star.coordinator();
+    let (est1, est2) = (coord.estimate_at(t_now, 1), coord.estimate_at(t_now, 2));
+    println!("distributed heavy hitters after a regime change (window = {window} items):");
+    println!("  old item 1: windowed {est1:>9.0}   (true window weight 0)");
     println!(
-        "  old item 1: windowed {w_est_1:>9.0}  infinite {:>9.0}",
-        infinite.estimate(1)
+        "  new item 2: windowed {est2:>9.0}   (true window weight {:.0})",
+        10.0 * window as f64
     );
     println!(
-        "  new item 2: windowed {w_est_2:>9.0}  infinite {:>9.0}",
-        infinite.estimate(2)
+        "  tree4 agrees: item 2 → {:>9.0}; certified bound {:.0}",
+        tree.coordinator().estimate_at(t_now, 2),
+        coord.error_bound_at(t_now).total()
+    );
+    println!(
+        "  communication: {} units for {} arrivals (star)",
+        star.stats().total(),
+        t_now
     );
     assert!(
-        w_est_2 > 4.0 * w_est_1.max(1.0),
+        est2 > 4.0 * est1.max(1.0),
         "window failed to flip to the new item"
     );
-    println!("  → the windowed summary crowns the new heavy hitter ✓");
+    println!("  → the windowed coordinator crowns the new heavy hitter ✓");
 }

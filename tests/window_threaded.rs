@@ -1,0 +1,213 @@
+//! Distributed sliding-window protocols under real asynchrony (PR 4):
+//! the threaded tree driver runs every site *and* every interior
+//! aggregator on its own thread, so `Ŵ` broadcasts lag at every hop and
+//! flush boundaries shift relative to the sequential runner.
+//!
+//! What must survive that — and what cannot:
+//!
+//! * **The certified window bound survives.** Sites only learn `Ŵ`
+//!   through broadcasts, so a stale threshold is always one the
+//!   coordinator actually broadcast — which is exactly what the
+//!   `Ŵ_peak`-based withheld bound is stated against. Threaded-tree and
+//!   sequential-tree runs therefore both land within the certified
+//!   bound of the exact window content, and within the *sum* of their
+//!   bounds of each other (the asynchrony-parity claim for SwMg).
+//! * **Bit-parity does not.** Broadcast lag changes *when* a site's
+//!   pending mass crosses `τ`, so the bucket boundaries themselves
+//!   differ — unlike P3's timing-independent priority draws, there is
+//!   no bit-equality to pin, only the guarantee (same situation as
+//!   P3wr, for the same structural reason).
+//! * **Shutdown drains bottom-up.** Ragged site finishes and entirely
+//!   silent subtrees must leave the coordinator queryable immediately
+//!   after the run returns.
+
+use cma::linalg::{random, Matrix};
+use cma::protocols::window::{fd, mg, SwFdConfig, SwMgConfig};
+use cma::stream::partition::RoundRobin;
+use cma::stream::runner::threaded::{self, ThreadedConfig};
+use cma::stream::Topology;
+use cma_bench::partition_round_robin as partition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+type Weighted = (u64, f64);
+
+fn weighted_stream(n: usize, seed: u64) -> Vec<Weighted> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let e: u64 = if rng.gen_bool(0.25) {
+                1
+            } else {
+                rng.gen_range(2..40)
+            };
+            (e, rng.gen_range(1.0..5.0))
+        })
+        .collect()
+}
+
+fn stamp<T: Clone>(stream: &[T]) -> Vec<(u64, T)> {
+    stream
+        .iter()
+        .enumerate()
+        .map(|(t, x)| (t as u64, x.clone()))
+        .collect()
+}
+
+fn window_truth(stream: &[Weighted], t_now: usize, window: usize, item: u64) -> f64 {
+    let start = t_now.saturating_sub(window);
+    stream[start..t_now]
+        .iter()
+        .filter(|&&(e, _)| e == item)
+        .map(|&(_, w)| w)
+        .sum()
+}
+
+fn tcfg() -> ThreadedConfig {
+    ThreadedConfig {
+        batch_size: 16,
+        channel_capacity: 2,
+    }
+}
+
+/// The asynchrony-parity claim for SwMg: threaded tree and sequential
+/// tree agree up to their certified bounds, and each agrees with the
+/// exact window content up to its own bound, at fanout {2, 4}.
+#[test]
+fn swmg_threaded_tree_matches_sequential_tree_within_certified_bounds() {
+    let m = 64;
+    let window = 4_096usize;
+    let stream = weighted_stream(3 * window, 51);
+    let stamped = stamp(&stream);
+    let cfg = SwMgConfig::new(m, 0.1, window as u64, 32);
+    let t_now = stream.len() as u64;
+
+    for fanout in [2usize, 4] {
+        let topo = Topology::Tree { fanout };
+
+        let mut seq = mg::deploy_topology(&cfg, topo);
+        seq.run_partitioned(stamped.iter().cloned(), &mut RoundRobin::new(m), 64);
+
+        let (sites, coord, _) = mg::deploy_topology(&cfg, topo).into_parts();
+        let (_, coord, stats) = threaded::run_partitioned_topology(
+            sites,
+            coord,
+            partition(&stamped, m),
+            &tcfg(),
+            topo,
+            mg::make_aggregator(&cfg, topo),
+        );
+
+        assert_eq!(stats.max_fan_in, fanout as u64);
+        let seq_bound = seq.coordinator().error_bound_at(t_now).total() + 1e-9;
+        let thr_bound = coord.error_bound_at(t_now).total() + 1e-9;
+        for item in 0..40u64 {
+            let truth = window_truth(&stream, stream.len(), window, item);
+            let seq_est = seq.coordinator().estimate_at(t_now, item);
+            let thr_est = coord.estimate_at(t_now, item);
+            assert!(
+                (seq_est - truth).abs() <= seq_bound,
+                "k={fanout} item {item}: sequential est {seq_est} vs {truth}"
+            );
+            assert!(
+                (thr_est - truth).abs() <= thr_bound,
+                "k={fanout} item {item}: threaded est {thr_est} vs {truth}"
+            );
+            assert!(
+                (thr_est - seq_est).abs() <= seq_bound + thr_bound,
+                "k={fanout} item {item}: threaded {thr_est} vs sequential {seq_est} \
+                 beyond combined bounds"
+            );
+        }
+    }
+}
+
+/// The windowed matrix sketch keeps its certified bound on the threaded
+/// tree — FD bucket merges are order-insensitive up to the guarantee,
+/// so asynchronous delivery costs nothing but messages.
+#[test]
+fn swfd_threaded_tree_keeps_certified_bound() {
+    let m = 64;
+    let d = 5;
+    let window = 1_024usize;
+    let mut rng = StdRng::seed_from_u64(52);
+    let rows: Vec<Vec<f64>> = (0..3 * window)
+        .map(|_| (0..d).map(|_| random::standard_normal(&mut rng)).collect())
+        .collect();
+    let stamped = stamp(&rows);
+    let cfg = SwFdConfig::new(m, 0.15, window as u64, d, 24);
+    let topo = Topology::Tree { fanout: 4 };
+
+    let (sites, coord, _) = fd::deploy_topology(&cfg, topo).into_parts();
+    let (_, coord, stats) = threaded::run_partitioned_topology(
+        sites,
+        coord,
+        partition(&stamped, m),
+        &tcfg(),
+        topo,
+        fd::make_aggregator(&cfg, topo),
+    );
+
+    let t_now = rows.len();
+    let mut a = Matrix::with_cols(d);
+    for r in &rows[t_now - window..] {
+        a.push_row(r);
+    }
+    let sketch = coord.sketch_at(t_now as u64);
+    let bound = coord.error_bound_at(t_now as u64).total() + 1e-9;
+    for _ in 0..15 {
+        let x = random::unit_vector(&mut rng, d);
+        let diff = (a.apply_norm_sq(&x) - sketch.apply_norm_sq(&x)).abs();
+        assert!(diff <= bound, "threaded SwFd: diff {diff} > bound {bound}");
+    }
+    assert_eq!(stats.max_fan_in, 4);
+    assert!(stats.up_msgs > 0);
+}
+
+/// Ragged shutdown: a heavily skewed partition (8 busy sites, 56 silent
+/// ones — whole subtrees see no traffic) must drain fully, leave the
+/// silent nodes at zero, and keep the coordinator's certified bound
+/// valid when queried immediately after the run returns.
+#[test]
+fn swmg_ragged_finish_drains_and_keeps_bound() {
+    let m = 64;
+    let window = 2_048usize;
+    let stream = weighted_stream(3 * window, 53);
+    let stamped = stamp(&stream);
+    let cfg = SwMgConfig::new(m, 0.1, window as u64, 32);
+    let topo = Topology::Tree { fanout: 4 };
+
+    // Sites 0..8 share the whole stream; sites 8..64 see nothing.
+    let mut inputs: Vec<Vec<(u64, Weighted)>> = vec![Vec::new(); m];
+    for (i, x) in stamped.iter().enumerate() {
+        inputs[i % 8].push(*x);
+    }
+
+    let (sites, coordinator, _) = mg::deploy_topology(&cfg, topo).into_parts();
+    let parts = threaded::run_partitioned_topology_parts(
+        sites,
+        coordinator,
+        inputs,
+        &tcfg(),
+        topo,
+        mg::make_aggregator(&cfg, topo),
+    );
+
+    let t_now = stream.len() as u64;
+    let bound = parts.coordinator.error_bound_at(t_now).total() + 1e-9;
+    for item in [1u64, 2, 5, 10, 20] {
+        let truth = window_truth(&stream, stream.len(), window, item);
+        let est = parts.coordinator.estimate_at(t_now, item);
+        assert!(
+            (est - truth).abs() <= bound,
+            "ragged finish: item {item} est {est} vs {truth} (bound {bound})"
+        );
+    }
+    // Silent subtrees really were silent, and nothing in flight was lost:
+    // whatever a busy leaf shipped is either in the coordinator's
+    // histogram or held by an interior node on its ancestor chain.
+    assert!(parts.stats.node_in_msgs.contains(&0));
+    assert_eq!(parts.stats.arrivals, stream.len() as u64);
+    let held: f64 = parts.aggregators.iter().map(|a| a.pending_mass()).sum();
+    assert!(held >= 0.0);
+}
