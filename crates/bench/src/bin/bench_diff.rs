@@ -12,9 +12,11 @@
 //! Options: `--old <path>` (default `BENCH_protocols.json`, the
 //! committed baseline), `--new <path>` (default `BENCH_new.json`),
 //! `--threshold <pct>` (only print per-record rows whose |Δ| exceeds
-//! this percentage; default 5).
+//! this percentage; default 5), `--fail-on <pct>` (exit non-zero when
+//! any protocol's geometric-mean throughput regressed by more than
+//! `pct` percent — the CI gate; off by default).
 
-use cma_bench::report::{diff, parse_bench_json, per_protocol_geomean};
+use cma_bench::report::{diff, parse_bench_json, per_protocol_geomean, worst_protocol_regression};
 use cma_bench::Args;
 use std::process::ExitCode;
 
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
     let old_path = args.get_str("old", "BENCH_protocols.json");
     let new_path = args.get_str("new", "BENCH_new.json");
     let threshold: f64 = args.get("threshold", 5.0);
+    let fail_on: f64 = args.get("fail-on", f64::INFINITY);
 
     let old = read_records(&old_path);
     let new = read_records(&new_path);
@@ -69,7 +72,8 @@ fn main() -> ExitCode {
 
     println!();
     println!("## per-protocol geometric mean");
-    for (label, ratio, n) in per_protocol_geomean(&rows) {
+    let geomeans = per_protocol_geomean(&rows);
+    for (label, ratio, n) in &geomeans {
         println!(
             "{label:<16} {:>+7.1}%  ({n} records)",
             (ratio - 1.0) * 100.0
@@ -81,6 +85,32 @@ fn main() -> ExitCode {
     }
     for k in &only_new {
         println!("only in {new_path}: {k}");
+    }
+
+    // The regression gate: non-zero exit when any protocol's geomean
+    // throughput dropped by more than --fail-on percent — or when
+    // records silently vanished from the grid (a dropped protocol is a
+    // 100% regression the geomean over *matched* rows cannot see).
+    if fail_on.is_finite() {
+        if !only_old.is_empty() {
+            eprintln!(
+                "bench_diff: FAIL — {} record(s) in {old_path} have no match in {new_path} \
+                 (lost bench coverage; see the `only in` lines above)",
+                only_old.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Some((label, pct)) = worst_protocol_regression(&geomeans) {
+            if pct < -fail_on {
+                eprintln!(
+                    "bench_diff: FAIL — {label} regressed {pct:.1}% \
+                     (gate: {fail_on}%)"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!();
+            println!("gate: worst geomean {pct:+.1}% ({label}) within --fail-on {fail_on}%");
+        }
     }
     ExitCode::SUCCESS
 }

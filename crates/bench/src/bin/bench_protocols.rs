@@ -6,9 +6,15 @@
 //! hops) — and, since PR 3, through the **threaded** driver across a
 //! topology × fanout axis with interior aggregator nodes on their own
 //! threads (`"mode": "threaded"` records), demonstrating measured
-//! fan-in relief at the root under real concurrency. One JSON document
-//! is written so successive PRs can diff throughput and communication
-//! shape (`bench_diff` automates the comparison).
+//! fan-in relief at the root under real concurrency. Since PR 5 the
+//! grid adds a **workers** axis (`"mode": "pooled"` records): the same
+//! deployments scheduled on the bounded worker-pool execution engine at
+//! several pool sizes, including an `m = 1024` deployment
+//! (`"sites": 1024` rows) the thread-per-node engine could not record,
+//! plus `"adaptive8"` topology rows where the fanout is resolved by the
+//! two-pass measured-fan-in planner rather than chosen statically. One
+//! JSON document is written so successive PRs can diff throughput and
+//! communication shape (`bench_diff` automates the comparison).
 //!
 //! Usage:
 //! ```text
@@ -17,13 +23,16 @@
 //! Build `--release`; the debug profile underreports throughput ~20×.
 
 use cma_bench::{
-    run_hh_threaded, run_hh_topology, run_matrix_threaded, run_matrix_topology, run_swfd_threaded,
-    run_swfd_topology, run_swmg_threaded, run_swmg_topology, Args, HhProtocol, MatrixProtocol,
+    resolve_hh_adaptive, run_hh_engine, run_hh_threaded, run_hh_topology, run_matrix_engine,
+    run_matrix_threaded, run_matrix_topology, run_swfd_engine, run_swfd_threaded,
+    run_swfd_topology, run_swmg_engine, run_swmg_threaded, run_swmg_topology, Args, HhProtocol,
+    MatrixProtocol,
 };
 use cma_core::window::{SwFdConfig, SwMgConfig};
 use cma_core::{HhConfig, MatrixConfig, Topology};
 use cma_data::{SyntheticMatrixStream, WeightedZipfStream};
 use cma_stream::runner::threaded::ThreadedConfig;
+use cma_stream::Executor;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -55,6 +64,12 @@ struct Record {
     batch: usize,
     topology: &'static str,
     mode: &'static str,
+    /// Pool size of a `"pooled"` record; 0 = not applicable (omitted
+    /// from the JSON, keeping pre-pooled record keys stable).
+    workers: usize,
+    /// Site count when it differs from the grid default in `meta`
+    /// (the m = 1024 rows); 0 = default (omitted from the JSON).
+    sites: usize,
     elapsed_s: f64,
     throughput: f64,
     err: f64,
@@ -70,15 +85,20 @@ fn emit(records: &[Record], meta: &str) -> String {
         let _ = write!(
             out,
             "    {{\"family\": \"{}\", \"protocol\": \"{}\", \"batch\": {}, \"topology\": \"{}\", \
-             \"mode\": \"{}\", \
-             \"elapsed_s\": {:.4}, \"throughput_per_s\": {:.0}, \"err\": {:.6e}, \
+             \"mode\": \"{}\", ",
+            r.family, r.protocol, r.batch, r.topology, r.mode,
+        );
+        if r.workers > 0 {
+            let _ = write!(out, "\"workers\": {}, ", r.workers);
+        }
+        if r.sites > 0 {
+            let _ = write!(out, "\"sites\": {}, ", r.sites);
+        }
+        let _ = write!(
+            out,
+            "\"elapsed_s\": {:.4}, \"throughput_per_s\": {:.0}, \"err\": {:.6e}, \
              \"msgs_total\": {}, \"up_msgs\": {}, \"broadcast_events\": {}, \"broadcast_cost\": {}, \
              \"max_fan_in\": {}, \"root_in_msgs\": {}, \"hops\": {}}}",
-            r.family,
-            r.protocol,
-            r.batch,
-            r.topology,
-            r.mode,
             r.elapsed_s,
             r.throughput,
             r.err,
@@ -133,6 +153,8 @@ fn main() {
                     batch,
                     topology: tname,
                     mode: "seq",
+                    workers: 0,
+                    sites: 0,
                     elapsed_s: dt,
                     throughput: hh_n as f64 / dt,
                     err: run.eval.avg_rel_err,
@@ -167,6 +189,8 @@ fn main() {
                     batch,
                     topology: tname,
                     mode: "seq",
+                    workers: 0,
+                    sites: 0,
                     elapsed_s: dt,
                     throughput: mt_n as f64 / dt,
                     err: run.err,
@@ -203,6 +227,8 @@ fn main() {
                 batch: tcfg.batch_size,
                 topology: tname,
                 mode: "threaded",
+                workers: 0,
+                sites: 0,
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.eval.avg_rel_err,
@@ -227,6 +253,8 @@ fn main() {
                 batch: tcfg.batch_size,
                 topology: tname,
                 mode: "threaded",
+                workers: 0,
+                sites: 0,
                 elapsed_s: dt,
                 throughput: mt_n as f64 / dt,
                 err: run.err,
@@ -252,6 +280,8 @@ fn main() {
                 batch,
                 topology: tname,
                 mode: "seq",
+                workers: 0,
+                sites: 0,
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.err,
@@ -267,6 +297,8 @@ fn main() {
                 batch,
                 topology: tname,
                 mode: "seq",
+                workers: 0,
+                sites: 0,
                 elapsed_s: dt,
                 throughput: mt_n as f64 / dt,
                 err: run.err,
@@ -285,6 +317,8 @@ fn main() {
             batch: tcfg.batch_size,
             topology: tname,
             mode: "threaded",
+            workers: 0,
+            sites: 0,
             elapsed_s: dt,
             throughput: hh_n as f64 / dt,
             err: run.err,
@@ -300,9 +334,197 @@ fn main() {
             batch: tcfg.batch_size,
             topology: tname,
             mode: "threaded",
+            workers: 0,
+            sites: 0,
             elapsed_s: dt,
             throughput: mt_n as f64 / dt,
             err: run.err,
+            comm,
+        });
+    }
+
+    // The workers axis (PR 5): every protocol family through the pooled
+    // execution engine at tree8, pool sizes {2, 8}. Thread count is
+    // `workers + 1` regardless of deployment size — which is what makes
+    // the m = 1024 rows below recordable at all.
+    let pool_topo = Topology::Tree { fanout: 8 };
+    for proto in [
+        HhProtocol::P1,
+        HhProtocol::P2,
+        HhProtocol::P3,
+        HhProtocol::P4,
+    ] {
+        for workers in [2usize, 8] {
+            eprintln!("hh {} pooled tree8 w{workers}…", proto.name());
+            let t0 = Instant::now();
+            let (run, comm) = run_hh_engine(
+                proto,
+                &hh_cfg,
+                &hh_stream,
+                0.05,
+                pool_topo,
+                &tcfg,
+                Executor::Pool { workers },
+            );
+            let dt = t0.elapsed().as_secs_f64();
+            records.push(Record {
+                family: "hh",
+                protocol: proto.name(),
+                batch: tcfg.batch_size,
+                topology: "tree8",
+                mode: "pooled",
+                workers,
+                sites: 0,
+                elapsed_s: dt,
+                throughput: hh_n as f64 / dt,
+                err: run.eval.avg_rel_err,
+                comm,
+            });
+        }
+    }
+    for proto in [
+        MatrixProtocol::P1,
+        MatrixProtocol::P2,
+        MatrixProtocol::P3,
+        MatrixProtocol::P4,
+    ] {
+        for workers in [2usize, 8] {
+            eprintln!("matrix {} pooled tree8 w{workers}…", proto.name());
+            let t0 = Instant::now();
+            let (run, comm) = run_matrix_engine(
+                proto,
+                &mt_cfg,
+                &mt_rows,
+                pool_topo,
+                &tcfg,
+                Executor::Pool { workers },
+            );
+            let dt = t0.elapsed().as_secs_f64();
+            records.push(Record {
+                family: "matrix",
+                protocol: proto.name(),
+                batch: tcfg.batch_size,
+                topology: "tree8",
+                mode: "pooled",
+                workers,
+                sites: 0,
+                elapsed_s: dt,
+                throughput: mt_n as f64 / dt,
+                err: run.err,
+                comm,
+            });
+        }
+    }
+    for workers in [2usize, 8] {
+        eprintln!("window SwMg pooled tree8 w{workers}…");
+        let t0 = Instant::now();
+        let (run, comm) = run_swmg_engine(
+            &swmg_cfg,
+            &hh_stream,
+            0.05,
+            pool_topo,
+            &tcfg,
+            Executor::Pool { workers },
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        records.push(Record {
+            family: "window",
+            protocol: run.protocol,
+            batch: tcfg.batch_size,
+            topology: "tree8",
+            mode: "pooled",
+            workers,
+            sites: 0,
+            elapsed_s: dt,
+            throughput: hh_n as f64 / dt,
+            err: run.err,
+            comm,
+        });
+        eprintln!("window SwFd pooled tree8 w{workers}…");
+        let t0 = Instant::now();
+        let (run, comm) = run_swfd_engine(
+            &swfd_cfg,
+            &mt_rows,
+            pool_topo,
+            &tcfg,
+            Executor::Pool { workers },
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        records.push(Record {
+            family: "window",
+            protocol: run.protocol,
+            batch: tcfg.batch_size,
+            topology: "tree8",
+            mode: "pooled",
+            workers,
+            sites: 0,
+            elapsed_s: dt,
+            throughput: mt_n as f64 / dt,
+            err: run.err,
+            comm,
+        });
+    }
+
+    // m = 1024 pooled rows: a deployment shape the thread-per-node
+    // engine could not record (it would need > 1100 OS threads; the
+    // pool uses workers + 1).
+    let big_m = 1024usize;
+    let big_cfg = HhConfig::new(big_m, 0.05).with_seed(1);
+    for proto in [HhProtocol::P1, HhProtocol::P2] {
+        eprintln!("hh {} pooled tree8 w8 m{big_m}…", proto.name());
+        let t0 = Instant::now();
+        let (run, comm) = run_hh_engine(
+            proto,
+            &big_cfg,
+            &hh_stream,
+            0.05,
+            pool_topo,
+            &tcfg,
+            Executor::Pool { workers: 8 },
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        records.push(Record {
+            family: "hh",
+            protocol: proto.name(),
+            batch: tcfg.batch_size,
+            topology: "tree8",
+            mode: "pooled",
+            workers: 8,
+            sites: big_m,
+            elapsed_s: dt,
+            throughput: hh_n as f64 / dt,
+            err: run.eval.avg_rel_err,
+            comm,
+        });
+    }
+
+    // Adaptive-topology rows: the two-pass planner resolves the fanout
+    // from a measured calibration prefix (at a deployment boundary, so
+    // the recorded run itself is an ordinary deterministic tree run).
+    let adaptive = Topology::Adaptive { max_fan_in: 8 };
+    let calib_n = (hh_n / 6).max(1);
+    for proto in [
+        HhProtocol::P1,
+        HhProtocol::P2,
+        HhProtocol::P3,
+        HhProtocol::P4,
+    ] {
+        let resolved = resolve_hh_adaptive(proto, &hh_cfg, &hh_stream[..calib_n], adaptive, 64);
+        eprintln!("hh {} adaptive8 → {:?}…", proto.name(), resolved);
+        let t0 = Instant::now();
+        let (run, comm) = run_hh_topology(proto, &hh_cfg, &hh_stream, 0.05, resolved, 64);
+        let dt = t0.elapsed().as_secs_f64();
+        records.push(Record {
+            family: "hh",
+            protocol: proto.name(),
+            batch: 64,
+            topology: "adaptive8",
+            mode: "seq",
+            workers: 0,
+            sites: 0,
+            elapsed_s: dt,
+            throughput: hh_n as f64 / dt,
+            err: run.eval.avg_rel_err,
             comm,
         });
     }
@@ -312,7 +534,9 @@ fn main() {
          \"hh_epsilon\": {}, \"mt_epsilon\": {}, \"mt_dim\": {}, \
          \"swmg_window\": {}, \"swfd_window\": {}, \
          \"batches\": [64, 1024], \"topologies\": [\"star\", \"tree4\", \"tree8\"], \
-         \"threaded_topologies\": [\"star\", \"tree2\", \"tree4\", \"tree8\"]}}",
+         \"threaded_topologies\": [\"star\", \"tree2\", \"tree4\", \"tree8\"], \
+         \"pool_workers\": [2, 8], \"pool_sites_big\": {big_m}, \
+         \"adaptive\": \"max_fan_in 8, calibration prefix {calib_n}\"}}",
         hh_cfg.epsilon, mt_cfg.epsilon, mt_cfg.dim, swmg_cfg.params.window, swfd_cfg.params.window
     );
     let json = emit(&records, &meta);

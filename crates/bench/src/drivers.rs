@@ -16,6 +16,7 @@ use cma_linalg::svd::gram_svd;
 use cma_linalg::Matrix;
 use cma_sketch::{ExactWeightedCounter, FrequentDirections};
 use cma_stream::partition::RoundRobin;
+use cma_stream::runner::engine::{self, Executor};
 use cma_stream::runner::threaded::{self, ThreadedConfig};
 use cma_stream::{CommStats, Topology};
 
@@ -259,6 +260,62 @@ pub fn run_hh_threaded(
     )
 }
 
+macro_rules! drive_hh_engine {
+    ($module:ident, $cfg:expr, $inputs:expr, $exact:expr, $phi:expr, $topo:expr, $tcfg:expr, $exec:expr) => {{
+        let (sites, coordinator, _) = hh::$module::deploy_topology($cfg, $topo).into_parts();
+        let (_, coordinator, stats) = engine::run_partitioned_topology(
+            sites,
+            coordinator,
+            $inputs,
+            $tcfg,
+            $exec,
+            $topo,
+            hh::$module::make_aggregator($cfg, $topo),
+        );
+        let summary = CommSummary::from(&stats);
+        let eval = metrics::evaluate(&coordinator, $exact, $phi, $cfg.epsilon);
+        (summary, eval)
+    }};
+}
+
+/// [`run_hh_threaded`] through the *pooled execution engine*: the same
+/// deployment semantics, but node tasks scheduled onto a bounded worker
+/// pool (thread count `executor.workers() + 1`, independent of `m` and
+/// of the interior node count) — the configuration that can run
+/// `m = 1024` deployments the thread-per-node engine cannot.
+pub fn run_hh_engine(
+    proto: HhProtocol,
+    cfg: &HhConfig,
+    stream: &[(u64, f64)],
+    phi: f64,
+    topology: Topology,
+    tcfg: &ThreadedConfig,
+    executor: Executor,
+) -> (HhRunResult, CommSummary) {
+    let mut exact = ExactWeightedCounter::new();
+    for &(e, w) in stream {
+        exact.update(e, w);
+    }
+    let inputs = partition_round_robin(stream, cfg.sites);
+    let (summary, eval) = match proto {
+        HhProtocol::P1 => drive_hh_engine!(p1, cfg, inputs, &exact, phi, topology, tcfg, executor),
+        HhProtocol::P2 => drive_hh_engine!(p2, cfg, inputs, &exact, phi, topology, tcfg, executor),
+        HhProtocol::P3 => drive_hh_engine!(p3, cfg, inputs, &exact, phi, topology, tcfg, executor),
+        HhProtocol::P3wr => {
+            drive_hh_engine!(p3wr, cfg, inputs, &exact, phi, topology, tcfg, executor)
+        }
+        HhProtocol::P4 => drive_hh_engine!(p4, cfg, inputs, &exact, phi, topology, tcfg, executor),
+    };
+    (
+        HhRunResult {
+            protocol: proto.name(),
+            msgs: summary.total,
+            eval,
+        },
+        summary,
+    )
+}
+
 macro_rules! drive_matrix_threaded {
     ($module:ident, $cfg:expr, $inputs:expr, $topo:expr, $tcfg:expr) => {{
         let (sites, coordinator, _) = matrix::$module::deploy_topology($cfg, $topo).into_parts();
@@ -298,6 +355,62 @@ pub fn run_matrix_threaded(
         MatrixProtocol::P3 => drive_matrix_threaded!(p3, cfg, inputs, topology, tcfg),
         MatrixProtocol::P3wr => drive_matrix_threaded!(p3wr, cfg, inputs, topology, tcfg),
         MatrixProtocol::P4 => drive_matrix_threaded!(p4, cfg, inputs, topology, tcfg),
+    };
+    let err = truth
+        .error_of_sketch(&sketch)
+        .expect("error metric eigensolve");
+    (
+        MatrixRunResult {
+            protocol: proto.name(),
+            msgs: summary.total,
+            err,
+            frob_est,
+        },
+        summary,
+    )
+}
+
+macro_rules! drive_matrix_engine {
+    ($module:ident, $cfg:expr, $inputs:expr, $topo:expr, $tcfg:expr, $exec:expr) => {{
+        let (sites, coordinator, _) = matrix::$module::deploy_topology($cfg, $topo).into_parts();
+        let (_, coordinator, stats) = engine::run_partitioned_topology(
+            sites,
+            coordinator,
+            $inputs,
+            $tcfg,
+            $exec,
+            $topo,
+            matrix::$module::make_aggregator($cfg, $topo),
+        );
+        (
+            CommSummary::from(&stats),
+            coordinator.sketch(),
+            coordinator.frob_estimate(),
+        )
+    }};
+}
+
+/// [`run_matrix_threaded`] through the *pooled execution engine* (see
+/// [`run_hh_engine`]).
+pub fn run_matrix_engine(
+    proto: MatrixProtocol,
+    cfg: &MatrixConfig,
+    rows: &[Vec<f64>],
+    topology: Topology,
+    tcfg: &ThreadedConfig,
+    executor: Executor,
+) -> (MatrixRunResult, CommSummary) {
+    let mut truth = StreamingGram::new(cfg.dim);
+    for row in rows {
+        truth.update(row);
+    }
+    let inputs = partition_round_robin(rows, cfg.sites);
+    let (summary, sketch, frob_est) = match proto {
+        MatrixProtocol::P1 => drive_matrix_engine!(p1, cfg, inputs, topology, tcfg, executor),
+        MatrixProtocol::P2 => drive_matrix_engine!(p2, cfg, inputs, topology, tcfg, executor),
+        MatrixProtocol::P3 => drive_matrix_engine!(p3, cfg, inputs, topology, tcfg, executor),
+        MatrixProtocol::P3wr => drive_matrix_engine!(p3wr, cfg, inputs, topology, tcfg, executor),
+        MatrixProtocol::P4 => drive_matrix_engine!(p4, cfg, inputs, topology, tcfg, executor),
     };
     let err = truth
         .error_of_sketch(&sketch)
@@ -670,6 +783,111 @@ pub fn run_swfd_threaded(
         },
         summary,
     )
+}
+
+/// [`run_swmg_topology`] through the *pooled execution engine* (see
+/// [`run_hh_engine`]).
+pub fn run_swmg_engine(
+    cfg: &SwMgConfig,
+    stream: &[(u64, f64)],
+    phi: f64,
+    topology: Topology,
+    tcfg: &ThreadedConfig,
+    executor: Executor,
+) -> (WindowRunResult, CommSummary) {
+    let inputs = partition_round_robin(&stamp_stream(stream), cfg.params.sites);
+    let parts = swmg::run_engine(cfg, inputs, tcfg, executor, topology);
+    let summary = CommSummary::from(&parts.stats);
+    let coord = &parts.coordinator;
+    let err = swmg_window_err(coord, stream, cfg.params.window as usize, phi);
+    (
+        WindowRunResult {
+            protocol: WindowProtocol::SwMg.name(),
+            msgs: summary.total,
+            err,
+            certified: coord.error_bound_at(stream.len() as u64).total(),
+        },
+        summary,
+    )
+}
+
+/// [`run_swfd_topology`] through the *pooled execution engine* (see
+/// [`run_hh_engine`]).
+pub fn run_swfd_engine(
+    cfg: &SwFdConfig,
+    rows: &[Vec<f64>],
+    topology: Topology,
+    tcfg: &ThreadedConfig,
+    executor: Executor,
+) -> (WindowRunResult, CommSummary) {
+    let inputs = partition_round_robin(&stamp_stream(rows), cfg.params.sites);
+    let parts = swfd::run_engine(cfg, inputs, tcfg, executor, topology);
+    let summary = CommSummary::from(&parts.stats);
+    let coord = &parts.coordinator;
+    let sketch = coord.sketch_at(rows.len() as u64);
+    let err = swfd_window_err(&sketch, rows, cfg.params.window as usize, cfg.dim);
+    (
+        WindowRunResult {
+            protocol: WindowProtocol::SwFd.name(),
+            msgs: summary.total,
+            err,
+            certified: coord.error_bound_at(rows.len() as u64).total(),
+        },
+        summary,
+    )
+}
+
+macro_rules! calibrate_hh_arm {
+    ($module:ident, $cfg:expr, $prefix:expr, $topo:expr, $batch:expr) => {{
+        let mut runner = hh::$module::deploy_topology($cfg, $topo);
+        runner.run_partitioned(
+            $prefix.iter().copied(),
+            &mut RoundRobin::new($cfg.sites),
+            $batch,
+        );
+        runner.stats().clone()
+    }};
+}
+
+/// Runs a calibration prefix of a heavy-hitter workload on one
+/// candidate topology (sequentially, with a throwaway deployment) and
+/// returns the full measured [`CommStats`] — the probe that
+/// [`Topology::resolve_calibrated`] consumes.
+pub fn calibrate_hh(
+    proto: HhProtocol,
+    cfg: &HhConfig,
+    prefix: &[(u64, f64)],
+    topology: Topology,
+    batch: usize,
+) -> CommStats {
+    match proto {
+        HhProtocol::P1 => calibrate_hh_arm!(p1, cfg, prefix, topology, batch),
+        HhProtocol::P2 => calibrate_hh_arm!(p2, cfg, prefix, topology, batch),
+        HhProtocol::P3 => calibrate_hh_arm!(p3, cfg, prefix, topology, batch),
+        HhProtocol::P3wr => calibrate_hh_arm!(p3wr, cfg, prefix, topology, batch),
+        HhProtocol::P4 => calibrate_hh_arm!(p4, cfg, prefix, topology, batch),
+    }
+}
+
+/// Resolves a [`Topology::Adaptive`] deployment for a heavy-hitter
+/// workload by running the two-pass calibration
+/// ([`Topology::resolve_calibrated`]) over `prefix`: a star probe
+/// first, then — only if the star's measured fan-in is over budget —
+/// one probe per candidate fanout, keeping the one with the least
+/// measured root pressure. Concrete topologies return themselves
+/// without probing. Re-planning happens here, at a deployment boundary
+/// (thresholds reset with the fresh deployment), which is what keeps
+/// the parity pins deterministic.
+pub fn resolve_hh_adaptive(
+    proto: HhProtocol,
+    cfg: &HhConfig,
+    prefix: &[(u64, f64)],
+    topology: Topology,
+    batch: usize,
+) -> Topology {
+    topology.resolve_calibrated(cfg.sites, |candidate| {
+        calibrate_hh(proto, cfg, prefix, candidate, batch)
+    })
 }
 
 /// Centralized Frequent Directions baseline for Table 1: every row is

@@ -26,10 +26,18 @@ pub struct BenchRecord {
     pub batch: u64,
     /// Topology label (`"star"`, `"tree4"`, …).
     pub topology: String,
-    /// Execution mode: `"seq"` (batch-first sequential runner) or
-    /// `"threaded"` (one thread per site and per interior node).
-    /// Recordings older than the threaded axis carry `"seq"`.
+    /// Execution mode: `"seq"` (batch-first sequential runner),
+    /// `"threaded"` (one thread per site and per interior node) or
+    /// `"pooled"` (the worker-pool execution engine). Recordings older
+    /// than the threaded axis carry `"seq"`.
     pub mode: String,
+    /// Worker threads of a `"pooled"` record; `0` (absent in older
+    /// recordings and non-pooled rows) means not applicable.
+    pub workers: u64,
+    /// Per-record site count, recorded only when it differs from the
+    /// grid default in `meta` (the `m = 1024` pooled rows); `0` means
+    /// the default.
+    pub sites: u64,
     /// Arrivals per second of wall clock.
     pub throughput: f64,
     /// End-of-stream error (protocol-specific metric).
@@ -41,12 +49,21 @@ pub struct BenchRecord {
 }
 
 impl BenchRecord {
-    /// The identity a record is matched on across two recordings.
+    /// The identity a record is matched on across two recordings. The
+    /// `workers` / `sites` axes (absent before the pooled engine) only
+    /// enter the key when set, so old-schema records keep their keys.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}/{} batch={} {} {}",
             self.family, self.protocol, self.batch, self.topology, self.mode
-        )
+        );
+        if self.workers > 0 {
+            key.push_str(&format!(" w{}", self.workers));
+        }
+        if self.sites > 0 {
+            key.push_str(&format!(" m{}", self.sites));
+        }
+        key
     }
 }
 
@@ -102,6 +119,8 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
             batch: u64_field(obj, "batch").unwrap_or(0),
             topology: str_field(obj, "topology").unwrap_or_else(|| "star".into()),
             mode: str_field(obj, "mode").unwrap_or_else(|| "seq".into()),
+            workers: u64_field(obj, "workers").unwrap_or(0),
+            sites: u64_field(obj, "sites").unwrap_or(0),
             throughput,
             err: f64_field(obj, "err").unwrap_or(f64::NAN),
             msgs_total: u64_field(obj, "msgs_total").unwrap_or(0),
@@ -172,6 +191,17 @@ pub fn per_protocol_geomean(rows: &[DiffRow]) -> Vec<(String, f64, usize)> {
         .collect()
 }
 
+/// The worst per-protocol geometric-mean regression, as a percentage
+/// (`−12.0` = the slowest protocol lost 12% throughput), with its
+/// label. `None` when nothing matched. This is the quantity the
+/// `bench_diff --fail-on <pct>` gate compares against its threshold.
+pub fn worst_protocol_regression(geomeans: &[(String, f64, usize)]) -> Option<(String, f64)> {
+    geomeans
+        .iter()
+        .map(|(label, ratio, _)| (label.clone(), (ratio - 1.0) * 100.0))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +244,55 @@ mod tests {
         assert!((rows[0].speedup() - 0.25).abs() < 1e-12);
         assert_eq!(only_old.len(), 1);
         assert!(only_new.is_empty());
+    }
+
+    /// New-schema fixture: the pooled axis (`workers`) and an
+    /// off-default site count (`sites`, the m = 1024 row).
+    const POOLED_SAMPLE: &str = r#"{
+  "meta": {"sites": 64},
+  "results": [
+    {"family": "hh", "protocol": "P1", "batch": 64, "topology": "tree8", "mode": "pooled", "workers": 2, "throughput_per_s": 100000, "err": 1.0e-3, "msgs_total": 9000, "root_in_msgs": 40, "hops": 2},
+    {"family": "hh", "protocol": "P1", "batch": 64, "topology": "tree8", "mode": "pooled", "workers": 8, "sites": 1024, "throughput_per_s": 90000, "err": 1.0e-3, "msgs_total": 9500, "root_in_msgs": 55, "hops": 3}
+  ]
+}"#;
+
+    #[test]
+    fn workers_and_sites_axes_parse_and_distinguish_keys() {
+        let recs = parse_bench_json(POOLED_SAMPLE);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].workers, 2);
+        assert_eq!(recs[0].sites, 0); // grid default, not recorded
+        assert_eq!(recs[0].key(), "hh/P1 batch=64 tree8 pooled w2");
+        assert_eq!(recs[1].workers, 8);
+        assert_eq!(recs[1].sites, 1024);
+        assert_eq!(recs[1].key(), "hh/P1 batch=64 tree8 pooled w8 m1024");
+        // Old-schema records (no workers field) keep their old keys.
+        let old = parse_bench_json(SAMPLE);
+        assert_eq!(old[0].workers, 0);
+        assert_eq!(old[0].key(), "hh/P1 batch=64 star seq");
+    }
+
+    #[test]
+    fn gate_flags_worst_protocol_regression() {
+        // Fixture pair: the committed baseline vs a fresh recording in
+        // which hh/P1 lost ~20% throughput on both matched rows.
+        let old = parse_bench_json(POOLED_SAMPLE);
+        let mut new = old.clone();
+        new[0].throughput *= 0.8;
+        new[1].throughput *= 0.8;
+        let (rows, _, _) = diff(&old, &new);
+        let gm = per_protocol_geomean(&rows);
+        let (label, pct) = worst_protocol_regression(&gm).expect("matched rows");
+        assert_eq!(label, "hh/P1");
+        assert!((pct - -20.0).abs() < 1e-9, "worst regression {pct}%");
+        // The gate semantics bench_diff applies: fail when the worst
+        // regression exceeds the threshold.
+        assert!(pct < -10.0, "a 10% gate must trip");
+        assert!(pct >= -30.0, "a 30% gate must not trip");
+        // No regression ⇒ nothing to flag.
+        let (rows, _, _) = diff(&old, &old);
+        let (_, pct) = worst_protocol_regression(&per_protocol_geomean(&rows)).unwrap();
+        assert!(pct.abs() < 1e-9);
     }
 
     #[test]

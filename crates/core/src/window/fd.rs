@@ -152,6 +152,20 @@ pub fn make_aggregator(
     make_kind_aggregator(&cfg.params, topology)
 }
 
+/// Runs a complete windowed matrix deployment — pre-partitioned
+/// per-site streams of stamped rows — through the pooled execution
+/// engine (`cma_stream::runner::engine`); see
+/// [`crate::window::mg::run_engine`] for the contract.
+pub fn run_engine(
+    cfg: &SwFdConfig,
+    inputs: Vec<Vec<super::Stamped<Row>>>,
+    tcfg: &cma_stream::runner::threaded::ThreadedConfig,
+    executor: cma_stream::Executor,
+    topology: Topology,
+) -> cma_stream::runner::threaded::TreeRunParts<SwFdSite, SwFdCoordinator, SwFdAggregator> {
+    super::run_kind_engine(cfg.kind(), &cfg.params, inputs, tcfg, executor, topology)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -146,6 +146,26 @@ pub fn make_aggregator(
     make_kind_aggregator(&cfg.params, topology)
 }
 
+/// Runs a complete windowed heavy-hitter deployment — pre-partitioned
+/// per-site streams of stamped arrivals — through the pooled execution
+/// engine (`cma_stream::runner::engine`). The deployment and budget
+/// split are identical to [`deploy_topology`]; the executor only
+/// decides scheduling: a bounded worker pool
+/// ([`cma_stream::Executor::Pool`], thread count `workers + 1`
+/// regardless of `m`) or the deterministic calling-thread reference
+/// ([`cma_stream::Executor::Inline`]). Returns the finished sites, the
+/// interior aggregators (still holding their sub-threshold buckets),
+/// the drained coordinator and the merged stats.
+pub fn run_engine(
+    cfg: &SwMgConfig,
+    inputs: Vec<Vec<super::Stamped<WeightedItem>>>,
+    tcfg: &cma_stream::runner::threaded::ThreadedConfig,
+    executor: cma_stream::Executor,
+    topology: Topology,
+) -> cma_stream::runner::threaded::TreeRunParts<SwMgSite, SwMgCoordinator, SwMgAggregator> {
+    super::run_kind_engine(cfg.kind(), &cfg.params, inputs, tcfg, executor, topology)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

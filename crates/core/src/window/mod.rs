@@ -55,11 +55,16 @@
 //! Two instantiations: [`mg`] (windowed weighted heavy hitters over
 //! Misra–Gries buckets) and [`fd`] (windowed matrix tracking over
 //! Frequent Directions buckets). Both run through every driver:
-//! [`Runner`] star and tree, and the threaded
-//! `runner::threaded::run_partitioned_topology`.
+//! [`Runner`] star and tree, the threaded
+//! `runner::threaded::run_partitioned_topology`, and — via
+//! [`mg::run_engine`] / [`fd::run_engine`] — the pooled execution
+//! engine (`runner::engine`), which caps thread count at the pool size
+//! instead of `m +` interior nodes.
 
 use cma_sketch::sliding_window::{ExpHistogram, WinBucket, WindowSummary};
 use cma_sketch::{FrequentDirections, MgSummary};
+use cma_stream::runner::engine::{self, Executor};
+use cma_stream::runner::threaded::{ThreadedConfig, TreeRunParts};
 use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
 
 pub mod fd;
@@ -528,6 +533,37 @@ pub(crate) fn make_kind_aggregator<K: WindowKind>(
         w_hat: 1.0,
         rep: 0,
     }
+}
+
+/// Runs a full pre-partitioned windowed deployment through the pooled
+/// execution engine: same wave/broadcast/drain semantics as the
+/// thread-per-node driver, scheduled on a bounded worker pool
+/// ([`Executor::Pool`]) or deterministically on the calling thread
+/// ([`Executor::Inline`]). Sites and aggregators carry the same budget
+/// split as [`deploy_kind_topology`].
+pub(crate) fn run_kind_engine<K>(
+    kind: K,
+    params: &SwParams,
+    inputs: Vec<Vec<Stamped<K::Input>>>,
+    tcfg: &ThreadedConfig,
+    executor: Executor,
+    topology: Topology,
+) -> TreeRunParts<SwSite<K>, SwCoordinator<K>, SwAggregator<K>>
+where
+    K: WindowKind + Send,
+    K::Input: Send,
+    K::Summary: Send,
+{
+    let (sites, coordinator, _) = deploy_kind_topology(kind, params, topology).into_parts();
+    engine::run_partitioned_topology_parts(
+        sites,
+        coordinator,
+        inputs,
+        tcfg,
+        executor,
+        topology,
+        make_kind_aggregator(params, topology),
+    )
 }
 
 #[cfg(test)]

@@ -77,6 +77,13 @@ pub struct CommStats {
     /// Structural fan-in bound: the maximum child count of any
     /// aggregation point (`m` for a star, the tree fanout otherwise).
     pub max_fan_in: u64,
+    /// Messages *sent* by each leaf site (hop-0 traffic, by origin).
+    /// This is the measured side of fan-in: the number of non-zero
+    /// entries ([`CommStats::active_leaves`]) is how many children
+    /// actually pressed on the aggregation layer, which is what
+    /// [`crate::Topology::Adaptive`] reads to decide whether a flat
+    /// star is already within its fan-in budget.
+    pub leaf_out_msgs: Vec<u64>,
 }
 
 impl CommStats {
@@ -87,6 +94,7 @@ impl CommStats {
             per_level: vec![LevelStats::default()],
             node_in_msgs: vec![0],
             max_fan_in: sites as u64,
+            leaf_out_msgs: vec![0; sites],
             ..Default::default()
         }
     }
@@ -100,6 +108,7 @@ impl CommStats {
             per_level: vec![LevelStats::default(); plan.hops()],
             node_in_msgs: vec![0; plan.internal_nodes() + 1],
             max_fan_in: plan.max_fan_in() as u64,
+            leaf_out_msgs: vec![0; plan.sites()],
             ..Default::default()
         }
     }
@@ -133,6 +142,21 @@ impl CommStats {
     /// as in [`CommStats::node_in_msgs`]).
     pub fn record_recv(&mut self, node: usize) {
         self.node_in_msgs[node] += 1;
+    }
+
+    /// Records that leaf `origin` sent one hop-0 message. Called by the
+    /// *receiving* node alongside [`CommStats::record_hop`]`(0, …)`, so
+    /// per-thread stats merge without double-counting.
+    pub fn record_leaf_send(&mut self, origin: usize) {
+        self.leaf_out_msgs[origin] += 1;
+    }
+
+    /// Number of leaf sites that sent at least one message — the
+    /// *measured* fan-in a flat star actually puts on the root, as
+    /// opposed to the structural `m`. [`crate::Topology::Adaptive`]
+    /// keeps the star when this is within its budget.
+    pub fn active_leaves(&self) -> usize {
+        self.leaf_out_msgs.iter().filter(|&&c| c > 0).count()
     }
 
     /// Records one site→coordinator message of the given cost in a flat
@@ -198,6 +222,9 @@ impl CommStats {
             a.broadcast_msgs += b.broadcast_msgs;
         }
         for (a, b) in self.node_in_msgs.iter_mut().zip(&other.node_in_msgs) {
+            *a += *b;
+        }
+        for (a, b) in self.leaf_out_msgs.iter_mut().zip(&other.leaf_out_msgs) {
             *a += *b;
         }
     }

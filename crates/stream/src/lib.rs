@@ -30,6 +30,14 @@
 //!   deployment, to measure deployment-shaped throughput, and — under a
 //!   tree topology — to measure *real* root fan-in relief rather than a
 //!   sequential simulation of it.
+//! * [`runner::engine`] — the **pooled execution engine**: the same
+//!   deployment semantics as the threaded tree, scheduled as
+//!   level-chunked tasks onto a bounded worker pool
+//!   ([`Executor::Pool`]) so thread count is `workers + 1` instead of
+//!   `m + interior nodes` — the path to `m ≫ 10³` deployments.
+//!   [`Topology::Adaptive`] closes the loop the other way: the
+//!   deployment *measures* fan-in pressure ([`CommStats`]) and picks
+//!   its own fanout within a budget.
 //! * [`partition`] — stream partitioners deciding which site observes
 //!   each arrival (round-robin, uniform random, skewed, by key).
 //!
@@ -127,6 +135,7 @@ pub use aggregator::{Aggregator, FilteredRelay, Relay, RelayFilter};
 pub use comm::{CommStats, LevelStats, MessageCost};
 pub use coordinator::Coordinator;
 pub use partition::Partitioner;
+pub use runner::engine::Executor;
 pub use runner::Runner;
 pub use site::Site;
 pub use topology::{AggNode, Topology, TopologyPlan};

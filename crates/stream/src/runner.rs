@@ -29,6 +29,15 @@
 //! leaf → interior → root over bounded channels, broadcasts cascade
 //! back down the same tree, and each thread keeps its own [`CommStats`]
 //! which are merged (without double-counting) when the run drains.
+//!
+//! [`engine`] is the *pooled* execution engine (PR 5): the same
+//! deployment semantics as the threaded tree, but scheduled as
+//! level-chunked tasks onto a bounded worker pool
+//! ([`engine::Executor::Pool`]) instead of one thread per node — the
+//! path that scales past the thread-per-node wall at `m ≫ 10³`.
+//! [`engine::Executor::Inline`] runs the identical task plan on the
+//! calling thread, deterministically, for parity and conservation
+//! audits.
 
 use crate::aggregator::{Aggregator, Relay};
 use crate::comm::{CommStats, MessageCost};
@@ -98,6 +107,7 @@ where
         if self.plan.is_flat() {
             stats.record_hop(0, msg.cost());
             stats.record_recv(self.plan.root_index());
+            stats.record_leaf_send(origin);
             self.coordinator.receive(origin, msg, bc_out);
             return;
         }
@@ -112,6 +122,9 @@ where
             for (from, m) in pending.drain(..) {
                 stats.record_hop(level, m.cost());
                 stats.record_recv(node);
+                if level == 0 {
+                    stats.record_leaf_send(from);
+                }
                 self.aggs[node].absorb(from, m);
             }
             self.aggs[node].flush(&mut pending);
@@ -134,16 +147,24 @@ where
     /// (and is charged as a recipient), then the caller delivers it to
     /// the leaves (already charged here as hop-0 recipients).
     fn route_broadcast(&mut self, bc: &A::Broadcast, stats: &mut CommStats) {
-        stats.begin_broadcast();
-        let levels = self.plan.levels();
-        for (li, &count) in levels.iter().enumerate().rev() {
-            stats.record_broadcast_level(li + 1, count as u64);
-        }
-        stats.record_broadcast_level(0, self.plan.sites() as u64);
+        charge_broadcast(stats, self.plan.levels(), self.plan.sites());
         for agg in &mut self.aggs {
             agg.on_broadcast(bc);
         }
     }
+}
+
+/// Charges one broadcast event structurally — one message per recipient
+/// it fans out to: every interior node (top level first) and every
+/// leaf. All three drivers (sequential, thread-per-node, pooled) charge
+/// through this one helper, so their [`CommStats`] stay comparable by
+/// construction.
+fn charge_broadcast(stats: &mut CommStats, levels: &[usize], m: usize) {
+    stats.begin_broadcast();
+    for (li, &count) in levels.iter().enumerate().rev() {
+        stats.record_broadcast_level(li + 1, count as u64);
+    }
+    stats.record_broadcast_level(0, m as u64);
 }
 
 /// Deterministic protocol driver (sequential; batch-first), generic over
@@ -406,6 +427,8 @@ fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
         Some(v.remove(0))
     }
 }
+
+pub mod engine;
 
 /// Asynchronous driver: one thread per site, channel-based delivery of
 /// message *batches*.
@@ -797,6 +820,9 @@ pub mod threaded {
                                     for (from, msg) in batch {
                                         stats.record_hop(li, msg.cost());
                                         stats.record_recv(g);
+                                        if li == 0 {
+                                            stats.record_leaf_send(from);
+                                        }
                                         agg.absorb(from, msg);
                                     }
                                     agg.flush(&mut out);
@@ -850,11 +876,7 @@ pub mod threaded {
                     for bc in bc_buf.drain(..) {
                         // Structural per-recipient charging, exactly as
                         // the sequential route_broadcast.
-                        stats.begin_broadcast();
-                        for (bli, &count) in levels.iter().enumerate().rev() {
-                            stats.record_broadcast_level(bli + 1, count as u64);
-                        }
-                        stats.record_broadcast_level(0, m as u64);
+                        super::charge_broadcast(&mut stats, &levels, m);
                         for tx in &root_child_bcs {
                             let _ = tx.send(bc.clone());
                         }

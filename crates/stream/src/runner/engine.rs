@@ -1,0 +1,1131 @@
+//! The pooled execution engine: deployment-shaped concurrency without
+//! deployment-shaped thread counts.
+//!
+//! The thread-per-node runtime ([`super::threaded`]) gives every site
+//! and every interior [`Aggregator`] its own OS thread — faithful, but a
+//! scalability wall: an `m = 1024`, fanout-4 deployment would need
+//! ~1360 threads. This module keeps the *semantics* of that runtime —
+//! absorb → flush waves climbing the tree, broadcasts cascading down
+//! through [`Aggregator::on_broadcast`], bottom-up shutdown drain, each
+//! hop's [`CommStats`] recorded once by its receiving node — and swaps
+//! the *scheduling*: nodes become cooperative **tasks**, chunked per
+//! tree level, executed by a bounded worker pool whose size is chosen
+//! by the caller, not by the topology.
+//!
+//! [`Executor`] names the scheduling policy:
+//!
+//! * [`Executor::Inline`] runs the whole task plan on the calling
+//!   thread, deterministically (sites round-robin in id order, one
+//!   batch per turn, broadcasts applied synchronously). This is the
+//!   reference execution that the conservation audits compare the pool
+//!   against.
+//! * [`Executor::Pool { workers }`](Executor::Pool) runs the task plan
+//!   on `workers` OS threads. Total thread count is `workers + 1` (the
+//!   calling thread plays root coordinator), independent of `m` and of
+//!   the interior node count.
+//!
+//! # Tasks and the level-chunking rule
+//!
+//! Each tree level is split into contiguous **chunks** of at most
+//! `ceil(nodes_at_level / workers)` nodes, rounded up to a multiple of
+//! the fanout so that *every interior parent's full child range lands
+//! in one chunk* — one worker therefore owns all senders into a given
+//! parent inbox, children of one parent are served in site order, and a
+//! parent's inbox disconnects at a well-defined instant (when its one
+//! owning chunk retires the range). A chunk is the unit of scheduling:
+//! workers pop a chunk, run one *quantum* (each owned node gets one
+//! turn: drain broadcasts, ship held output, absorb available waves /
+//! observe one batch), and push the chunk back until it completes.
+//!
+//! Channels are exactly the thread-per-node runtime's: bounded upward
+//! inboxes (backpressure walks down the tree — a task whose parent
+//! inbox is full *holds* its wave and stops absorbing instead of
+//! blocking its worker, so a single worker can never deadlock the
+//! pool), unbounded broadcast channels (the root never blocks, so the
+//! drain chain always completes).
+
+use super::threaded::{ThreadedConfig, TreeRunParts};
+use super::AggCore;
+use crate::aggregator::Aggregator;
+use crate::comm::{CommStats, MessageCost};
+use crate::coordinator::Coordinator;
+use crate::site::Site;
+use crate::topology::{Topology, TopologyPlan};
+use crate::SiteId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::Mutex;
+
+/// How a [`run_partitioned_topology`] call schedules its node tasks.
+///
+/// # Example
+///
+/// Running a deployment on a 4-worker pool (5 threads total — the
+/// calling thread plays root — regardless of how many sites or interior
+/// nodes the plan has):
+///
+/// ```
+/// use cma_stream::runner::engine::{self, Executor};
+/// use cma_stream::runner::threaded::ThreadedConfig;
+/// use cma_stream::{Aggregator, Coordinator, MessageCost, Site, SiteId, Topology};
+///
+/// struct Report(u64);
+/// impl MessageCost for Report {
+///     fn cost(&self) -> u64 { 1 }
+/// }
+/// struct Counter(u64);
+/// impl Site for Counter {
+///     type Input = u64;
+///     type UpMsg = Report;
+///     type Broadcast = ();
+///     fn observe(&mut self, x: u64, out: &mut Vec<Report>) {
+///         self.0 += x;
+///         out.push(Report(x)); // report every arrival
+///     }
+///     fn on_broadcast(&mut self, _: &()) {}
+/// }
+/// struct Sum(u64);
+/// impl Coordinator for Sum {
+///     type UpMsg = Report;
+///     type Broadcast = ();
+///     fn receive(&mut self, _: SiteId, x: Report, _: &mut Vec<()>) { self.0 += x.0; }
+/// }
+///
+/// let m = 64;
+/// let sites = (0..m).map(|_| Counter(0)).collect();
+/// let inputs = (0..m).map(|i| vec![i as u64; 10]).collect();
+/// let (_, coordinator, stats) = engine::run_partitioned_topology(
+///     sites,
+///     Sum(0),
+///     inputs,
+///     &ThreadedConfig::default(),
+///     Executor::Pool { workers: 4 },
+///     Topology::Tree { fanout: 8 },
+///     |_| cma_stream::Relay::new(),
+/// );
+/// assert_eq!(coordinator.0, (0..64u64).map(|i| i * 10).sum());
+/// assert_eq!(stats.up_msgs, 640);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Everything on the calling thread, deterministically: sites are
+    /// served round-robin in id order (one batch per turn), messages
+    /// route through the aggregation layer synchronously, and
+    /// broadcasts reach every node before the next observation — the
+    /// same idealisation as [`crate::Runner`].
+    Inline,
+    /// A bounded pool of `workers` OS threads executing the
+    /// level-chunked task plan; the calling thread plays the root.
+    /// Message timing is asynchronous exactly as in the thread-per-node
+    /// runtime: broadcasts lag, backpressure is real, and the run
+    /// returns only after the bottom-up shutdown drain completes.
+    Pool {
+        /// Worker threads to schedule node tasks onto (`≥ 1`).
+        workers: usize,
+    },
+}
+
+impl Executor {
+    /// Worker threads this executor brings up (`0` for
+    /// [`Executor::Inline`]).
+    pub fn workers(&self) -> usize {
+        match *self {
+            Executor::Inline => 0,
+            Executor::Pool { workers } => workers,
+        }
+    }
+}
+
+/// How long an out-of-work (or fully blocked) pool worker parks before
+/// re-checking the task queue. Progress never depends on the timeout —
+/// a blocked task is unblocked by another task's progress, not by time —
+/// it only bounds busy-spinning.
+const POOL_PARK: std::time::Duration = std::time::Duration::from_micros(200);
+
+/// How often the root re-checks the abort flag while its inbox is
+/// quiet. Normal shutdown still ends by channel disconnection; the
+/// poll exists only so a panicked task cannot strand the root on a
+/// receive that will never complete.
+const ROOT_POLL: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// One upward wave: origin-tagged messages shipped as a single send.
+type Wave<M> = Vec<(SiteId, M)>;
+
+/// [`run_partitioned_topology_parts`] without the interior nodes in the
+/// return value, mirroring
+/// [`super::threaded::run_partitioned_topology`].
+///
+/// # Panics
+/// As [`run_partitioned_topology_parts`].
+pub fn run_partitioned_topology<S, C, A>(
+    sites: Vec<S>,
+    coordinator: C,
+    inputs: Vec<Vec<S::Input>>,
+    cfg: &ThreadedConfig,
+    executor: Executor,
+    topology: Topology,
+    make_agg: impl FnMut(crate::topology::AggNode) -> A,
+) -> (Vec<S>, C, CommStats)
+where
+    S: Site + Send,
+    S::Input: Send,
+    S::UpMsg: MessageCost + Send,
+    S::Broadcast: Clone + Send,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
+{
+    let parts = run_partitioned_topology_parts(
+        sites,
+        coordinator,
+        inputs,
+        cfg,
+        executor,
+        topology,
+        make_agg,
+    );
+    (parts.sites, parts.coordinator, parts.stats)
+}
+
+/// Runs pre-partitioned per-site streams through the pooled execution
+/// engine over an arbitrary aggregation topology, returning the
+/// complete [`TreeRunParts`] — sites, **interior aggregator nodes**
+/// (still holding their sub-threshold partials; both executors return
+/// them, so ragged-shutdown / silent-subtree conservation audits cover
+/// the pool exactly as they cover the thread-per-node engine), the
+/// drained coordinator, and the merged [`CommStats`].
+///
+/// Semantics match [`super::threaded::run_partitioned_topology_parts`]:
+/// waves climb leaf → interior → root with per-hop accounting recorded
+/// by the receiving node, broadcasts cascade down through
+/// [`Aggregator::on_broadcast`], shutdown drains bottom-up and never
+/// forces a flush, and the call returns only after the root has drained
+/// every in-flight message. Only the *scheduling* differs — see
+/// [`Executor`].
+///
+/// # Panics
+/// Panics if `inputs.len() != sites.len()`, if the configured batch
+/// size, channel capacity or pool size is zero, or if a task panics.
+pub fn run_partitioned_topology_parts<S, C, A>(
+    sites: Vec<S>,
+    coordinator: C,
+    inputs: Vec<Vec<S::Input>>,
+    cfg: &ThreadedConfig,
+    executor: Executor,
+    topology: Topology,
+    mut make_agg: impl FnMut(crate::topology::AggNode) -> A,
+) -> TreeRunParts<S, C, A>
+where
+    S: Site + Send,
+    S::Input: Send,
+    S::UpMsg: MessageCost + Send,
+    S::Broadcast: Clone + Send,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
+{
+    assert_eq!(
+        inputs.len(),
+        sites.len(),
+        "engine: one input stream per site"
+    );
+    assert!(cfg.batch_size >= 1, "engine: batch_size must be positive");
+    assert!(
+        cfg.channel_capacity >= 1,
+        "engine: channel_capacity must be positive"
+    );
+    if sites.is_empty() {
+        return TreeRunParts {
+            sites,
+            aggregators: Vec::new(),
+            coordinator,
+            stats: CommStats::default(),
+        };
+    }
+    let m = sites.len();
+    let plan = topology.plan(m);
+    match executor {
+        Executor::Inline => {
+            let core = AggCore::build(m, coordinator, topology, &mut make_agg);
+            run_inline(sites, core, inputs, cfg)
+        }
+        Executor::Pool { workers } => {
+            assert!(workers >= 1, "engine: pool needs at least one worker");
+            run_pool(
+                sites,
+                coordinator,
+                inputs,
+                cfg,
+                plan,
+                workers,
+                &mut make_agg,
+            )
+        }
+    }
+}
+
+/// The deterministic reference executor: the identical wave/broadcast
+/// contracts, driven synchronously on the calling thread.
+fn run_inline<S, C, A>(
+    mut sites: Vec<S>,
+    mut core: AggCore<A, C>,
+    inputs: Vec<Vec<S::Input>>,
+    cfg: &ThreadedConfig,
+) -> TreeRunParts<S, C, A>
+where
+    S: Site,
+    S::UpMsg: MessageCost,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+{
+    let m = sites.len();
+    let total_arrivals: u64 = inputs.iter().map(|v| v.len() as u64).sum();
+    let mut stats = CommStats::for_plan(&core.plan);
+    let mut its: Vec<std::vec::IntoIter<S::Input>> =
+        inputs.into_iter().map(|v| v.into_iter()).collect();
+    let mut up_buf: Vec<S::UpMsg> = Vec::new();
+    let mut bc_buf: Vec<S::Broadcast> = Vec::new();
+    loop {
+        let mut progressed = false;
+        for sid in 0..m {
+            let before = its[sid].len();
+            if before == 0 {
+                continue;
+            }
+            progressed = true;
+            // Exactly one batch per turn (round-robin in id order), with
+            // pause-on-message resumes *within* the batch.
+            let target = cfg.batch_size.min(before);
+            loop {
+                let consumed = before - its[sid].len();
+                if consumed >= target {
+                    break;
+                }
+                {
+                    let mut batch = its[sid].by_ref().take(target - consumed);
+                    sites[sid].observe_batch(&mut batch, &mut up_buf);
+                }
+                if up_buf.is_empty() {
+                    break; // pause-on-message contract: batch exhausted
+                }
+                while let Some(msg) = super::pop_front(&mut up_buf) {
+                    core.route_up(sid, msg, &mut stats, &mut bc_buf);
+                    while let Some(bc) = super::pop_front(&mut bc_buf) {
+                        core.route_broadcast(&bc, &mut stats);
+                        for s in &mut sites {
+                            s.on_broadcast(&bc);
+                        }
+                    }
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    stats.arrivals = total_arrivals;
+    TreeRunParts {
+        sites,
+        aggregators: core.aggs,
+        coordinator: core.coordinator,
+        stats,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------
+
+/// One leaf site as a cooperative task slot.
+struct LeafSlot<S: Site> {
+    sid: SiteId,
+    site: S,
+    input: std::vec::IntoIter<S::Input>,
+    bc_rx: Receiver<S::Broadcast>,
+    /// Hung up (set to `None`) when the slot retires — the parent's
+    /// bottom-up drain trigger.
+    up_tx: Option<SyncSender<Wave<S::UpMsg>>>,
+    /// A wave the parent inbox had no room for; retried next quantum.
+    pending: Wave<S::UpMsg>,
+    done: bool,
+}
+
+/// One interior aggregator as a cooperative task slot.
+struct AggSlot<A: Aggregator> {
+    /// Global (level-major bottom-up) node index.
+    g: usize,
+    /// 0-based interior level (level 0 parents the leaves).
+    level: usize,
+    agg: A,
+    up_rx: Receiver<Wave<A::UpMsg>>,
+    bc_rx: Receiver<A::Broadcast>,
+    child_bcs: Vec<mpsc::Sender<A::Broadcast>>,
+    up_tx: Option<SyncSender<Wave<A::UpMsg>>>,
+    pending: Wave<A::UpMsg>,
+    done: bool,
+}
+
+/// The unit of scheduling: a contiguous run of same-level slots.
+enum Chunk<S: Site, A: Aggregator> {
+    Leaves(Vec<LeafSlot<S>>),
+    Aggs {
+        slots: Vec<AggSlot<A>>,
+        stats: CommStats,
+    },
+}
+
+/// Ships `pending` into `tx` without blocking; `false` = inbox full,
+/// wave kept for the next quantum (cooperative backpressure).
+fn try_ship<M>(tx: &SyncSender<Wave<M>>, pending: &mut Wave<M>) -> bool {
+    match tx.try_send(std::mem::take(pending)) {
+        Ok(()) => true,
+        Err(TrySendError::Full(wave)) => {
+            *pending = wave;
+            false
+        }
+        Err(TrySendError::Disconnected(_)) => panic!("engine: parent hung up"),
+    }
+}
+
+impl<S: Site> LeafSlot<S> {
+    /// One turn: drain broadcasts, ship any held wave, observe one
+    /// batch, retire when the stream and the held wave are both empty.
+    fn quantum(&mut self, batch_size: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        let mut progress = false;
+        while let Ok(bc) = self.bc_rx.try_recv() {
+            self.site.on_broadcast(&bc);
+            progress = true;
+        }
+        if !self.pending.is_empty() {
+            let tx = self.up_tx.as_ref().expect("undone slot keeps its sender");
+            if !try_ship(tx, &mut self.pending) {
+                return progress; // parent full: hold, don't observe more
+            }
+            progress = true;
+        }
+        if self.input.len() > 0 {
+            progress = true;
+            let LeafSlot {
+                sid,
+                site,
+                input,
+                pending,
+                ..
+            } = self;
+            let mut out: Vec<S::UpMsg> = Vec::new();
+            let mut batch = input.by_ref().take(batch_size);
+            loop {
+                site.observe_batch(&mut batch, &mut out);
+                if out.is_empty() {
+                    break;
+                }
+                pending.extend(out.drain(..).map(|msg| (*sid, msg)));
+            }
+            if !self.pending.is_empty() {
+                let tx = self.up_tx.as_ref().expect("undone slot keeps its sender");
+                try_ship(tx, &mut self.pending);
+            }
+        }
+        if self.input.len() == 0 && self.pending.is_empty() {
+            self.up_tx = None;
+            self.done = true;
+        }
+        progress
+    }
+}
+
+impl<A: Aggregator> AggSlot<A>
+where
+    A::UpMsg: MessageCost,
+    A::Broadcast: Clone,
+{
+    fn forward_broadcast(&mut self, bc: A::Broadcast) {
+        self.agg.on_broadcast(&bc);
+        for tx in &self.child_bcs {
+            // A child may already have retired; fine.
+            let _ = tx.send(bc.clone());
+        }
+    }
+
+    /// One turn: freshen broadcast state, ship any held wave, absorb
+    /// every queued wave (flushing once per wave), retire when the
+    /// children have hung up and everything queued has drained.
+    fn quantum(&mut self, stats: &mut CommStats) -> bool {
+        if self.done {
+            return false;
+        }
+        let mut progress = false;
+        while let Ok(bc) = self.bc_rx.try_recv() {
+            self.forward_broadcast(bc);
+            progress = true;
+        }
+        if !self.pending.is_empty() {
+            let tx = self.up_tx.as_ref().expect("undone slot keeps its sender");
+            if !try_ship(tx, &mut self.pending) {
+                return progress; // parent full: stop absorbing (backpressure)
+            }
+            progress = true;
+        }
+        loop {
+            match self.up_rx.try_recv() {
+                Ok(wave) => {
+                    progress = true;
+                    for (from, msg) in wave {
+                        stats.record_hop(self.level, msg.cost());
+                        stats.record_recv(self.g);
+                        if self.level == 0 {
+                            stats.record_leaf_send(from);
+                        }
+                        self.agg.absorb(from, msg);
+                    }
+                    self.agg.flush(&mut self.pending);
+                    if !self.pending.is_empty() {
+                        let tx = self.up_tx.as_ref().expect("undone slot keeps its sender");
+                        if !try_ship(tx, &mut self.pending) {
+                            return progress;
+                        }
+                    }
+                }
+                Err(TryRecvError::Empty) => return progress,
+                Err(TryRecvError::Disconnected) => {
+                    // Children all hung up and their queue is drained:
+                    // keep any held partial (never force a flush),
+                    // absorb the broadcasts queued so far, retire.
+                    debug_assert!(self.pending.is_empty());
+                    while let Ok(bc) = self.bc_rx.try_recv() {
+                        self.forward_broadcast(bc);
+                    }
+                    self.up_tx = None;
+                    self.done = true;
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+impl<S, A> Chunk<S, A>
+where
+    S: Site,
+    A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    S::UpMsg: MessageCost,
+    S::Broadcast: Clone,
+{
+    fn quantum(&mut self, batch_size: usize) -> bool {
+        match self {
+            Chunk::Leaves(slots) => {
+                let mut progress = false;
+                for slot in slots {
+                    progress |= slot.quantum(batch_size);
+                }
+                progress
+            }
+            Chunk::Aggs { slots, stats } => {
+                let mut progress = false;
+                for slot in slots {
+                    progress |= slot.quantum(stats);
+                }
+                progress
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        match self {
+            Chunk::Leaves(slots) => slots.iter().all(|s| s.done),
+            Chunk::Aggs { slots, .. } => slots.iter().all(|s| s.done),
+        }
+    }
+}
+
+/// Splits `count` same-level nodes into contiguous chunks of at most
+/// `ceil(count / workers)` nodes, rounded up to a multiple of `align`
+/// so a parent's child range `[j·fanout, (j+1)·fanout)` never crosses a
+/// chunk boundary.
+fn chunk_spans(count: usize, workers: usize, align: usize) -> Vec<(usize, usize)> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let raw = count.div_ceil(workers.max(1)).max(1);
+    let size = raw.div_ceil(align) * align;
+    (0..count)
+        .step_by(size)
+        .map(|lo| (lo, (lo + size).min(count)))
+        .collect()
+}
+
+/// Flips the shared abort flag if its worker unwinds, so the other
+/// workers stop looping and the scope can propagate the panic.
+struct AbortOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// The pooled runtime. Channel layout is identical to the
+/// thread-per-node `run_tree`; only scheduling differs.
+fn run_pool<S, C, A>(
+    mut sites: Vec<S>,
+    mut coordinator: C,
+    inputs: Vec<Vec<S::Input>>,
+    cfg: &ThreadedConfig,
+    plan: TopologyPlan,
+    workers: usize,
+    make_agg: &mut dyn FnMut(crate::topology::AggNode) -> A,
+) -> TreeRunParts<S, C, A>
+where
+    S: Site + Send,
+    S::Input: Send,
+    S::UpMsg: MessageCost + Send,
+    S::Broadcast: Clone + Send,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
+{
+    let m = sites.len();
+    let total_arrivals: u64 = inputs.iter().map(|v| v.len() as u64).sum();
+    let fanout = plan.fanout();
+    let levels: Vec<usize> = plan.levels().to_vec();
+    let n_levels = levels.len();
+    let i_total = plan.internal_nodes();
+    let level_offset = |li: usize| -> usize { levels[..li].iter().sum() };
+
+    // Bounded upward inboxes (one per interior node, one for the root)
+    // and unbounded broadcast channels — the thread-per-node layout.
+    let mut agg_up_tx = Vec::with_capacity(i_total);
+    let mut agg_up_rx = Vec::with_capacity(i_total);
+    for _ in 0..i_total {
+        let (tx, rx) = mpsc::sync_channel::<Wave<S::UpMsg>>(cfg.channel_capacity);
+        agg_up_tx.push(tx);
+        agg_up_rx.push(Some(rx));
+    }
+    let (root_tx, root_rx) = mpsc::sync_channel::<Wave<S::UpMsg>>(cfg.channel_capacity);
+
+    let mut agg_bc_tx = Vec::with_capacity(i_total);
+    let mut agg_bc_rx = Vec::with_capacity(i_total);
+    for _ in 0..i_total {
+        let (tx, rx) = mpsc::channel::<S::Broadcast>();
+        agg_bc_tx.push(tx);
+        agg_bc_rx.push(Some(rx));
+    }
+    let mut leaf_bc_tx = Vec::with_capacity(m);
+    let mut leaf_bc_rx = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (tx, rx) = mpsc::channel::<S::Broadcast>();
+        leaf_bc_tx.push(tx);
+        leaf_bc_rx.push(Some(rx));
+    }
+
+    // Leaf slots, in site order.
+    let mut leaf_slots: Vec<LeafSlot<S>> = sites
+        .drain(..)
+        .zip(inputs)
+        .enumerate()
+        .map(|(sid, (site, local))| LeafSlot {
+            sid,
+            site,
+            input: local.into_iter(),
+            bc_rx: leaf_bc_rx[sid].take().expect("leaf bc receiver"),
+            up_tx: Some(if n_levels == 0 {
+                root_tx.clone()
+            } else {
+                agg_up_tx[plan.parent_of(0, sid).0].clone()
+            }),
+            pending: Vec::new(),
+            done: false,
+        })
+        .collect();
+
+    // Interior slots, global (level-major bottom-up) construction order
+    // so protocol budget splits match the sequential runner exactly.
+    let mut agg_slots: Vec<AggSlot<A>> = Vec::with_capacity(i_total);
+    let mut nodes = plan.agg_nodes();
+    for li in 0..n_levels {
+        let offset = level_offset(li);
+        for j in 0..levels[li] {
+            let g = offset + j;
+            let node = nodes.next().expect("agg_nodes covers the plan");
+            let child_bcs: Vec<mpsc::Sender<S::Broadcast>> = if li == 0 {
+                (j * fanout..((j + 1) * fanout).min(m))
+                    .map(|c| leaf_bc_tx[c].clone())
+                    .collect()
+            } else {
+                let lower = level_offset(li - 1);
+                (j * fanout..((j + 1) * fanout).min(levels[li - 1]))
+                    .map(|c| agg_bc_tx[lower + c].clone())
+                    .collect()
+            };
+            agg_slots.push(AggSlot {
+                g,
+                level: li,
+                agg: make_agg(node),
+                up_rx: agg_up_rx[g].take().expect("agg up receiver"),
+                bc_rx: agg_bc_rx[g].take().expect("agg bc receiver"),
+                child_bcs,
+                up_tx: Some(if li + 1 < n_levels {
+                    agg_up_tx[plan.parent_of(li + 1, j).0].clone()
+                } else {
+                    root_tx.clone()
+                }),
+                pending: Vec::new(),
+                done: false,
+            });
+        }
+    }
+
+    // Level-chunked task plan: leaves first (aligned to fanout so each
+    // level-1 parent's child range stays within one chunk — align 1 for
+    // a flat plan, where the root's shared inbox needs no ownership),
+    // then each interior level (same alignment rule for its parents).
+    let mut tasks: VecDeque<Chunk<S, A>> = VecDeque::new();
+    let leaf_align = if n_levels == 0 { 1 } else { fanout };
+    for (lo, hi) in chunk_spans(m, workers, leaf_align) {
+        let rest = leaf_slots.split_off(hi - lo);
+        tasks.push_back(Chunk::Leaves(std::mem::replace(&mut leaf_slots, rest)));
+    }
+    let mut remaining = agg_slots;
+    for (li, &level_count) in levels.iter().enumerate() {
+        let align = if li + 1 < n_levels { fanout } else { 1 };
+        for (lo, hi) in chunk_spans(level_count, workers, align) {
+            let rest = remaining.split_off(hi - lo);
+            tasks.push_back(Chunk::Aggs {
+                slots: std::mem::replace(&mut remaining, rest),
+                stats: CommStats::for_plan(&plan),
+            });
+        }
+    }
+    debug_assert!(remaining.is_empty());
+
+    // The root keeps only the broadcast senders of its direct children;
+    // dropping everything else lets disconnection cascade bottom-up.
+    let root_child_bcs: Vec<mpsc::Sender<S::Broadcast>> = if n_levels == 0 {
+        leaf_bc_tx.clone()
+    } else {
+        agg_bc_tx[level_offset(n_levels - 1)..].to_vec()
+    };
+    drop(agg_bc_tx);
+    drop(agg_up_tx);
+    drop(leaf_bc_tx);
+    drop(root_tx);
+
+    let n_tasks = tasks.len();
+    let queue = Mutex::new(tasks);
+    let done_list: Mutex<Vec<Chunk<S, A>>> = Mutex::new(Vec::with_capacity(n_tasks));
+    let live = AtomicUsize::new(n_tasks);
+    let aborted = AtomicBool::new(false);
+    let batch_size = cfg.batch_size;
+
+    let mut stats = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _guard = AbortOnPanic(&aborted);
+                loop {
+                    if aborted.load(Ordering::Acquire) || live.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    let task = queue.lock().expect("task queue").pop_front();
+                    match task {
+                        Some(mut chunk) => {
+                            let progress = chunk.quantum(batch_size);
+                            if chunk.done() {
+                                live.fetch_sub(1, Ordering::AcqRel);
+                                done_list.lock().expect("done list").push(chunk);
+                            } else {
+                                queue.lock().expect("task queue").push_back(chunk);
+                                if !progress {
+                                    std::thread::sleep(POOL_PARK);
+                                }
+                            }
+                        }
+                        None => std::thread::sleep(POOL_PARK),
+                    }
+                }
+            });
+        }
+
+        // ---- root on the calling thread, exactly as thread-per-node.
+        // The timeout only matters when a task panicked: chunks still
+        // sitting in the queue would keep their upward senders alive
+        // forever, so the root watches the abort flag instead of
+        // waiting for a disconnect that cannot come.
+        let mut stats = CommStats::for_plan(&plan);
+        let last_hop = plan.internal_levels();
+        let root_idx = plan.root_index();
+        let mut bc_buf: Vec<S::Broadcast> = Vec::new();
+        loop {
+            let wave = match root_rx.recv_timeout(ROOT_POLL) {
+                Ok(wave) => wave,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if aborted.load(Ordering::Acquire) {
+                        break;
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            for (from, msg) in wave {
+                stats.record_hop(last_hop, msg.cost());
+                stats.record_recv(root_idx);
+                if last_hop == 0 {
+                    stats.record_leaf_send(from);
+                }
+                coordinator.receive(from, msg, &mut bc_buf);
+                for bc in bc_buf.drain(..) {
+                    // Structural per-recipient charging, shared with the
+                    // sequential and thread-per-node drivers.
+                    super::charge_broadcast(&mut stats, &levels, m);
+                    for tx in &root_child_bcs {
+                        let _ = tx.send(bc.clone());
+                    }
+                }
+            }
+        }
+        if aborted.load(Ordering::Acquire) {
+            // Drop every still-queued chunk (tolerating a lock poisoned
+            // by the panicking worker) so channel disconnection
+            // cascades and nothing can block on the dead run.
+            queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .clear();
+        }
+        stats
+        // scope end: workers observe live == 0 (or the abort flag) and
+        // exit; a worker panic propagates from the implicit join.
+    });
+
+    // Reassemble slots in id order and merge per-chunk stats.
+    let mut sites_out: Vec<Option<S>> = (0..m).map(|_| None).collect();
+    let mut aggs_out: Vec<Option<A>> = (0..i_total).map(|_| None).collect();
+    for chunk in done_list.into_inner().expect("done list") {
+        match chunk {
+            Chunk::Leaves(slots) => {
+                for slot in slots {
+                    sites_out[slot.sid] = Some(slot.site);
+                }
+            }
+            Chunk::Aggs {
+                slots,
+                stats: chunk_stats,
+            } => {
+                stats.absorb(&chunk_stats);
+                for slot in slots {
+                    aggs_out[slot.g] = Some(slot.agg);
+                }
+            }
+        }
+    }
+    stats.arrivals = total_arrivals;
+    TreeRunParts {
+        sites: sites_out
+            .into_iter()
+            .map(|s| s.expect("every site retired"))
+            .collect(),
+        aggregators: aggs_out
+            .into_iter()
+            .map(|a| a.expect("every aggregator retired"))
+            .collect(),
+        coordinator,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::Relay;
+
+    /// Deterministic toy for engine audits: every arrival is reported
+    /// (so message counts are schedule-independent), the coordinator
+    /// broadcasts every `K` received reports (a count-based trigger —
+    /// the number of crossings is order-invariant), and sites merely
+    /// record broadcasts (no behavioural feedback) — which makes the
+    /// *totals* of any two correct engines exactly comparable.
+    struct EchoSite {
+        seen: u64,
+        broadcasts: u64,
+    }
+
+    #[derive(Debug)]
+    struct Ping(u64);
+
+    impl MessageCost for Ping {
+        fn cost(&self) -> u64 {
+            1
+        }
+    }
+
+    impl Site for EchoSite {
+        type Input = u64;
+        type UpMsg = Ping;
+        type Broadcast = u64;
+
+        fn observe(&mut self, x: u64, out: &mut Vec<Ping>) {
+            self.seen += 1;
+            out.push(Ping(x));
+        }
+        fn on_broadcast(&mut self, _b: &u64) {
+            self.broadcasts += 1;
+        }
+    }
+
+    struct CountCoord {
+        received: u64,
+        sum: u64,
+        every: u64,
+    }
+
+    impl Coordinator for CountCoord {
+        type UpMsg = Ping;
+        type Broadcast = u64;
+
+        fn receive(&mut self, _from: SiteId, msg: Ping, out: &mut Vec<u64>) {
+            self.received += 1;
+            self.sum += msg.0;
+            if self.received.is_multiple_of(self.every) {
+                out.push(self.received);
+            }
+        }
+    }
+
+    type EchoRelay = Relay<Ping, u64>;
+
+    fn run_echo(
+        m: usize,
+        per_site: usize,
+        executor: Executor,
+        topology: Topology,
+    ) -> TreeRunParts<EchoSite, CountCoord, EchoRelay> {
+        let sites = (0..m)
+            .map(|_| EchoSite {
+                seen: 0,
+                broadcasts: 0,
+            })
+            .collect();
+        let inputs: Vec<Vec<u64>> = (0..m)
+            .map(|sid| (0..per_site as u64).map(|i| (sid as u64) + i).collect())
+            .collect();
+        run_partitioned_topology_parts(
+            sites,
+            CountCoord {
+                received: 0,
+                sum: 0,
+                every: 16,
+            },
+            inputs,
+            &ThreadedConfig {
+                batch_size: 8,
+                channel_capacity: 2,
+            },
+            executor,
+            topology,
+            |_| Relay::new(),
+        )
+    }
+
+    #[test]
+    fn chunk_spans_align_to_fanout() {
+        // 64 leaves, 8 workers, fanout 4: ceil(64/8)=8 is already a
+        // multiple of 4.
+        assert_eq!(chunk_spans(64, 8, 4).len(), 8);
+        for (lo, hi) in chunk_spans(64, 8, 4) {
+            assert_eq!(lo % 4, 0);
+            assert!(hi == 64 || hi % 4 == 0);
+        }
+        // 10 nodes, 4 workers, fanout 4: ceil(10/4)=3 rounds up to 4.
+        assert_eq!(chunk_spans(10, 4, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        // Degenerate cases.
+        assert!(chunk_spans(0, 4, 4).is_empty());
+        assert_eq!(chunk_spans(3, 8, 1), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn pool_matches_inline_totals_exactly() {
+        // Satellite audit: pooled m = 64 runs at fanout {2, 4} carry
+        // exactly the sequential (inline) tree's totals — up messages,
+        // per-level costs, broadcast deliveries — and node_in_msgs sums
+        // are conserved across worker counts {1, 2, 8}.
+        for fanout in [2usize, 4] {
+            let topo = Topology::Tree { fanout };
+            let inline = run_echo(64, 40, Executor::Inline, topo);
+            assert_eq!(inline.coordinator.received, 64 * 40);
+            for workers in [1usize, 2, 8] {
+                let pooled = run_echo(64, 40, Executor::Pool { workers }, topo);
+                assert_eq!(
+                    pooled.coordinator.sum, inline.coordinator.sum,
+                    "fanout={fanout} workers={workers}"
+                );
+                assert_eq!(pooled.stats.up_msgs, inline.stats.up_msgs);
+                assert_eq!(pooled.stats.up_cost, inline.stats.up_cost);
+                assert_eq!(pooled.stats.broadcast_events, inline.stats.broadcast_events);
+                assert_eq!(pooled.stats.broadcast_cost, inline.stats.broadcast_cost);
+                assert_eq!(pooled.stats.per_level, inline.stats.per_level);
+                assert_eq!(pooled.stats.node_in_msgs, inline.stats.node_in_msgs);
+                assert_eq!(pooled.stats.leaf_out_msgs, inline.stats.leaf_out_msgs);
+                assert_eq!(pooled.stats.arrivals, inline.stats.arrivals);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_flat_plan_runs_without_interior_nodes() {
+        let parts = run_echo(16, 30, Executor::Pool { workers: 4 }, Topology::Star);
+        assert!(parts.aggregators.is_empty());
+        assert_eq!(parts.stats.per_level.len(), 1);
+        assert_eq!(parts.coordinator.received, 16 * 30);
+        assert_eq!(parts.stats.active_leaves(), 16);
+        // Broadcast cost is charged per leaf recipient.
+        assert_eq!(
+            parts.stats.broadcast_cost,
+            parts.stats.broadcast_events * 16
+        );
+    }
+
+    #[test]
+    fn pool_returns_held_partials_in_aggregators() {
+        // Aggregators that never forward: everything a leaf emitted must
+        // be held by exactly one interior node — the pooled path hands
+        // the nodes back for exactly this audit.
+        struct Hoarder(Vec<(SiteId, Ping)>);
+        impl Aggregator for Hoarder {
+            type UpMsg = Ping;
+            type Broadcast = u64;
+            fn absorb(&mut self, from: SiteId, msg: Ping) {
+                self.0.push((from, msg));
+            }
+            fn flush(&mut self, _out: &mut Vec<(SiteId, Ping)>) {}
+        }
+
+        let m = 8;
+        let sites = (0..m)
+            .map(|_| EchoSite {
+                seen: 0,
+                broadcasts: 0,
+            })
+            .collect();
+        let inputs: Vec<Vec<u64>> = (0..m).map(|_| vec![1; 25]).collect();
+        let parts = run_partitioned_topology_parts(
+            sites,
+            CountCoord {
+                received: 0,
+                sum: 0,
+                every: 16,
+            },
+            inputs,
+            &ThreadedConfig::default(),
+            Executor::Pool { workers: 2 },
+            Topology::Tree { fanout: 2 },
+            |_| Hoarder(Vec::new()),
+        );
+        assert_eq!(parts.coordinator.received, 0, "infinite hold leaked");
+        let held: usize = parts.aggregators.iter().map(|a| a.0.len()).sum();
+        assert_eq!(held, 8 * 25);
+        assert_eq!(*parts.stats.node_in_msgs.last().unwrap(), 0);
+        assert_eq!(parts.stats.arrivals, 8 * 25);
+    }
+
+    #[test]
+    fn pool_handles_ragged_and_empty_streams() {
+        let m = 9;
+        let sites = (0..m)
+            .map(|_| EchoSite {
+                seen: 0,
+                broadcasts: 0,
+            })
+            .collect();
+        let inputs: Vec<Vec<u64>> = (0..m).map(|i| vec![1; i * 7]).collect();
+        let expected: u64 = (0..m as u64).map(|i| i * 7).sum();
+        let parts = run_partitioned_topology_parts(
+            sites,
+            CountCoord {
+                received: 0,
+                sum: 0,
+                every: 16,
+            },
+            inputs,
+            &ThreadedConfig {
+                batch_size: 3,
+                channel_capacity: 1,
+            },
+            Executor::Pool { workers: 3 },
+            Topology::Tree { fanout: 4 },
+            |_| EchoRelay::new(),
+        );
+        assert_eq!(parts.coordinator.received, expected);
+        // Site 0 had an empty stream: measurably silent.
+        assert_eq!(parts.stats.leaf_out_msgs[0], 0);
+        assert_eq!(parts.stats.active_leaves(), m - 1);
+    }
+
+    #[test]
+    fn inline_flat_matches_pool_flat() {
+        let inline = run_echo(8, 50, Executor::Inline, Topology::Star);
+        let pooled = run_echo(8, 50, Executor::Pool { workers: 2 }, Topology::Star);
+        assert_eq!(inline.stats.up_msgs, pooled.stats.up_msgs);
+        assert_eq!(inline.stats.broadcast_events, pooled.stats.broadcast_events);
+        assert_eq!(inline.coordinator.sum, pooled.coordinator.sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn pool_rejects_zero_workers() {
+        run_echo(4, 10, Executor::Pool { workers: 0 }, Topology::Star);
+    }
+
+    /// A panicking task must fail the run, not strand the root on a
+    /// receive that can never complete: the abort flag wakes the root,
+    /// the still-queued chunks are dropped, and the worker's panic
+    /// propagates from the scope's implicit join (std wraps the
+    /// original "poisoned arrival" payload in its own message).
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn pool_propagates_task_panics_instead_of_hanging() {
+        struct FaultySite;
+        impl Site for FaultySite {
+            type Input = u64;
+            type UpMsg = Ping;
+            type Broadcast = u64;
+            fn observe(&mut self, x: u64, out: &mut Vec<Ping>) {
+                assert!(x != 13, "poisoned arrival");
+                out.push(Ping(x));
+            }
+            fn on_broadcast(&mut self, _b: &u64) {}
+        }
+        let m = 16;
+        let sites = (0..m).map(|_| FaultySite).collect();
+        // Site 5 hits the poisoned arrival mid-stream.
+        let inputs: Vec<Vec<u64>> = (0..m)
+            .map(|sid| {
+                if sid == 5 {
+                    vec![1, 13, 1]
+                } else {
+                    vec![1; 30]
+                }
+            })
+            .collect();
+        run_partitioned_topology_parts(
+            sites,
+            CountCoord {
+                received: 0,
+                sum: 0,
+                every: 16,
+            },
+            inputs,
+            &ThreadedConfig::default(),
+            Executor::Pool { workers: 2 },
+            Topology::Tree { fanout: 4 },
+            |_| EchoRelay::new(),
+        );
+    }
+
+    #[test]
+    fn executor_reports_workers() {
+        assert_eq!(Executor::Inline.workers(), 0);
+        assert_eq!(Executor::Pool { workers: 7 }.workers(), 7);
+    }
+}

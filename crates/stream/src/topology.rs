@@ -46,6 +46,62 @@ pub enum Topology {
         /// Maximum children per node (`≥ 2`).
         fanout: usize,
     },
+    /// Let the deployment pick its own fanout from *measured* fan-in
+    /// instead of a static plan.
+    ///
+    /// `max_fan_in` is the budget: no aggregation point of the resolved
+    /// plan may have more than `max_fan_in` children. Within that
+    /// budget the planner is free to choose — and chooses from
+    /// measurements, not structure:
+    ///
+    /// * [`Topology::plan`] resolves `Adaptive` *structurally* (no
+    ///   measurements yet): a star when `m ≤ max_fan_in`, otherwise a
+    ///   `Tree { fanout: max_fan_in }`. This keeps every existing entry
+    ///   point working before any calibration has run.
+    /// * [`Topology::resolve_with`] consumes one prior
+    ///   [`crate::CommStats`] (e.g. last run's): if the *measured*
+    ///   fan-in — the number of leaves that actually sent anything,
+    ///   [`crate::CommStats::active_leaves`] — is within budget, the
+    ///   flat star stays; only real pressure buys interior nodes.
+    /// * [`Topology::resolve_calibrated`] is the two-pass planner: a
+    ///   star probe over a short calibration prefix, then (if the star
+    ///   is over budget) one probe per candidate fanout, keeping the
+    ///   one whose measured root pressure
+    ///   ([`crate::CommStats::node_in_msgs`], root entry) is lowest.
+    ///
+    /// Re-planning during a run is restricted to `Ŵ` re-broadcast
+    /// boundaries (where threshold state is refreshed everywhere), so
+    /// the parity pins of the test suite stay deterministic; the
+    /// shipped drivers re-plan at run boundaries, a special case of
+    /// that rule.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cma_stream::{CommStats, Topology};
+    ///
+    /// let adaptive = Topology::Adaptive { max_fan_in: 8 };
+    ///
+    /// // Structural resolution (no measurements): within budget ⇒ star,
+    /// // over budget ⇒ a tree at the budget fanout.
+    /// assert_eq!(adaptive.plan(8), Topology::Star.plan(8));
+    /// assert_eq!(adaptive.plan(64), Topology::Tree { fanout: 8 }.plan(64));
+    ///
+    /// // Measured resolution: 64 sites, but only 3 ever sent — the
+    /// // star's *measured* fan-in is 3 ≤ 8, so the star stays.
+    /// let mut calib = CommStats::new(64);
+    /// for origin in [0, 1, 2, 1, 0] {
+    ///     calib.record_hop(0, 1);
+    ///     calib.record_recv(0);
+    ///     calib.record_leaf_send(origin);
+    /// }
+    /// assert_eq!(adaptive.resolve_with(64, &calib), Topology::Star);
+    /// ```
+    Adaptive {
+        /// Maximum children per aggregation point the resolved plan may
+        /// have (`≥ 2`).
+        max_fan_in: usize,
+    },
 }
 
 impl Topology {
@@ -78,7 +134,133 @@ impl Topology {
                 }
                 TopologyPlan { m, fanout, levels }
             }
+            // The zero-knowledge resolution of an adaptive topology:
+            // keep every node's child count within budget, structurally.
+            // Measured resolutions go through `resolve_with` /
+            // `resolve_calibrated` first and plan the concrete result.
+            Topology::Adaptive { max_fan_in } => {
+                assert!(
+                    max_fan_in >= 2,
+                    "Topology::plan: adaptive max_fan_in must be ≥ 2"
+                );
+                if m <= max_fan_in {
+                    Topology::Star.plan(m)
+                } else {
+                    Topology::Tree { fanout: max_fan_in }.plan(m)
+                }
+            }
         }
+    }
+
+    /// Resolves this topology to a concrete (non-adaptive) shape using
+    /// one prior run's measurements. `Star` and `Tree` return
+    /// themselves; `Adaptive { max_fan_in }` keeps the flat star when
+    /// the *measured* fan-in — the number of leaves that actually sent
+    /// messages, [`crate::CommStats::active_leaves`] — is within
+    /// budget, and otherwise splits into a `Tree { fanout: max_fan_in }`
+    /// (every interior node and the root then have ≤ `max_fan_in`
+    /// children by construction).
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or on `Adaptive { max_fan_in < 2 }`.
+    pub fn resolve_with(&self, m: usize, prior: &crate::CommStats) -> Topology {
+        assert!(m >= 1, "Topology::resolve_with: need at least one site");
+        match *self {
+            Topology::Adaptive { max_fan_in } => {
+                assert!(
+                    max_fan_in >= 2,
+                    "Topology::resolve_with: adaptive max_fan_in must be ≥ 2"
+                );
+                if m <= max_fan_in || prior.active_leaves() <= max_fan_in {
+                    Topology::Star
+                } else {
+                    Topology::Tree { fanout: max_fan_in }
+                }
+            }
+            t => t,
+        }
+    }
+
+    /// The two-pass adaptive planner: resolves `Adaptive { max_fan_in }`
+    /// to a concrete shape by *measuring*, through the `measure`
+    /// closure (typically: run a short calibration prefix of the
+    /// workload on the given topology and return its
+    /// [`crate::CommStats`]).
+    ///
+    /// Pass 1 probes the flat star; if its measured fan-in
+    /// ([`crate::CommStats::active_leaves`]) is within budget, the star
+    /// stays and no tree probe runs. Pass 2 probes each candidate
+    /// fanout ([`Topology::adaptive_candidates`], all within budget by
+    /// construction) and keeps the one whose measured root pressure
+    /// (`node_in_msgs` root entry) is lowest, breaking ties toward the
+    /// larger fanout (fewer hops at equal pressure).
+    ///
+    /// `Star` and `Tree` return themselves without calling `measure`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or on `Adaptive { max_fan_in < 2 }`.
+    pub fn resolve_calibrated(
+        &self,
+        m: usize,
+        mut measure: impl FnMut(Topology) -> crate::CommStats,
+    ) -> Topology {
+        assert!(
+            m >= 1,
+            "Topology::resolve_calibrated: need at least one site"
+        );
+        let Topology::Adaptive { max_fan_in } = *self else {
+            return *self;
+        };
+        assert!(
+            max_fan_in >= 2,
+            "Topology::resolve_calibrated: adaptive max_fan_in must be ≥ 2"
+        );
+        if m <= max_fan_in {
+            return Topology::Star;
+        }
+        let star = measure(Topology::Star);
+        if star.active_leaves() <= max_fan_in {
+            return Topology::Star;
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for fanout in Topology::adaptive_candidates(max_fan_in, m) {
+            let stats = measure(Topology::Tree { fanout });
+            let pressure = stats.node_in_msgs.last().copied().unwrap_or(0);
+            let better = match best {
+                None => true,
+                Some((bp, bk)) => pressure < bp || (pressure == bp && fanout > bk),
+            };
+            if better {
+                best = Some((pressure, fanout));
+            }
+        }
+        let (_, fanout) = best.expect("adaptive_candidates is never empty");
+        Topology::Tree { fanout }
+    }
+
+    /// The candidate fanouts an `Adaptive { max_fan_in }` planner
+    /// probes for `m` sites: the powers of two in `[2, max_fan_in]`
+    /// plus `max_fan_in` itself — a logarithmic sweep of the in-budget
+    /// shapes (each doubling halves the tree depth).
+    ///
+    /// # Panics
+    /// Panics if `max_fan_in < 2`.
+    pub fn adaptive_candidates(max_fan_in: usize, m: usize) -> Vec<usize> {
+        assert!(
+            max_fan_in >= 2,
+            "adaptive_candidates: max_fan_in must be ≥ 2"
+        );
+        let cap = max_fan_in.min(m);
+        let mut out = Vec::new();
+        let mut k = 2usize;
+        while k <= cap {
+            out.push(k);
+            k *= 2;
+        }
+        if out.last() != Some(&cap) {
+            out.push(cap);
+        }
+        out
     }
 }
 
@@ -281,5 +463,77 @@ mod tests {
     #[should_panic(expected = "fanout must be ≥ 2")]
     fn rejects_unary_tree() {
         Topology::Tree { fanout: 1 }.plan(4);
+    }
+
+    #[test]
+    fn adaptive_plans_structurally_without_measurements() {
+        let a = Topology::Adaptive { max_fan_in: 8 };
+        // Within budget: the star, exactly.
+        assert_eq!(a.plan(8), Topology::Star.plan(8));
+        assert_eq!(a.plan(3), Topology::Star.plan(3));
+        // Over budget: the budget-fanout tree, exactly.
+        assert_eq!(a.plan(64), Topology::Tree { fanout: 8 }.plan(64));
+        assert_eq!(a.plan(64).max_fan_in(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_fan_in must be ≥ 2")]
+    fn adaptive_rejects_unary_budget() {
+        Topology::Adaptive { max_fan_in: 1 }.plan(4);
+    }
+
+    #[test]
+    fn adaptive_candidates_are_powers_of_two_plus_budget() {
+        assert_eq!(Topology::adaptive_candidates(8, 100), vec![2, 4, 8]);
+        assert_eq!(Topology::adaptive_candidates(6, 100), vec![2, 4, 6]);
+        assert_eq!(Topology::adaptive_candidates(2, 100), vec![2]);
+        assert_eq!(Topology::adaptive_candidates(16, 100), vec![2, 4, 8, 16]);
+        // Capped by m.
+        assert_eq!(Topology::adaptive_candidates(16, 5), vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn resolve_calibrated_picks_least_measured_root_pressure() {
+        use crate::CommStats;
+        let m = 64;
+        // Synthetic probe: all leaves active (star over budget); root
+        // pressure by fanout is 30 (k=2), 10 (k=4), 20 (k=8) — the
+        // planner must pick fanout 4.
+        let resolved = Topology::Adaptive { max_fan_in: 8 }.resolve_calibrated(m, |t| {
+            let plan = t.plan(m);
+            let mut s = CommStats::for_plan(&plan);
+            for leaf in 0..m {
+                s.record_leaf_send(leaf);
+            }
+            let root = plan.root_index();
+            let pressure = match t {
+                Topology::Star => 100,
+                Topology::Tree { fanout: 2 } => 30,
+                Topology::Tree { fanout: 4 } => 10,
+                _ => 20,
+            };
+            for _ in 0..pressure {
+                s.record_recv(root);
+            }
+            s
+        });
+        assert_eq!(resolved, Topology::Tree { fanout: 4 });
+        // Ties break toward the larger fanout (fewer hops).
+        let resolved = Topology::Adaptive { max_fan_in: 8 }.resolve_calibrated(m, |t| {
+            let plan = t.plan(m);
+            let mut s = CommStats::for_plan(&plan);
+            for leaf in 0..m {
+                s.record_leaf_send(leaf);
+            }
+            for _ in 0..10 {
+                s.record_recv(plan.root_index());
+            }
+            s
+        });
+        assert_eq!(resolved, Topology::Tree { fanout: 8 });
+        // Concrete topologies resolve to themselves without probing.
+        let resolved = Topology::Tree { fanout: 4 }
+            .resolve_calibrated(m, |_| panic!("concrete topologies never probe"));
+        assert_eq!(resolved, Topology::Tree { fanout: 4 });
     }
 }
