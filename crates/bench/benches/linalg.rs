@@ -1,8 +1,15 @@
 //! Criterion micro-benchmarks for the linear-algebra substrate: the two
 //! SVD routes at the shapes the sketches actually use, the symmetric
-//! eigensolver, and the spectral-norm evaluators behind the error metric.
+//! eigensolver, the spectral-norm evaluators behind the error metric —
+//! and the blocked-vs-naive kernel A/B (`kernels` group) that measures
+//! what the cache-tiled `matmul`/`gram`/`apply_transpose` and the
+//! row-pair Jacobi buy over the retained reference implementations at
+//! the paper's d = 44 and the d-axis extremes 128/512.
 
-use cma_linalg::eigen::jacobi_eigen_sym;
+use cma_linalg::eigen::{
+    jacobi_eigen_sym, jacobi_eigen_sym_with_basis_tol, jacobi_eigen_sym_with_basis_tol_naive,
+};
+use cma_linalg::matrix::{accumulate_outer, accumulate_outer_panel};
 use cma_linalg::norms::{spectral_norm_sym_exact, spectral_norm_sym_power};
 use cma_linalg::svd::{gram_svd, jacobi_svd};
 use cma_linalg::{random, Matrix};
@@ -87,11 +94,96 @@ fn bench_matmul_gram(c: &mut Criterion) {
     g.finish();
 }
 
+/// The kernel A/B: every blocked kernel next to the naive reference it
+/// is proven bit-identical to (see the `kernel_paths_agree` tests and
+/// the proptest suite), at the paper's d = 44 and the d-axis extremes.
+/// These pairs are the per-kernel decomposition of the `bench_protocols`
+/// d-axis rows: the protocol-level speedup there is assembled from the
+/// per-kernel ratios here.
+fn bench_kernel_ab(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+    for &d in &[44usize, 128, 512] {
+        // The MT-P2 projection shape: a batch of rows times a dense
+        // square basis.
+        let rows = random::gaussian(&mut rng, 256, d);
+        let basis = random::gaussian(&mut rng, d, d);
+        g.bench_function(format!("matmul_blocked/256x{d}x{d}"), |b| {
+            b.iter(|| black_box(rows.matmul(&basis).frob_norm_sq()))
+        });
+        g.bench_function(format!("matmul_naive/256x{d}x{d}"), |b| {
+            b.iter(|| black_box(rows.matmul_naive(&basis).frob_norm_sq()))
+        });
+        g.bench_function(format!("gram_blocked/256x{d}"), |b| {
+            b.iter(|| black_box(rows.gram().frob_norm_sq()))
+        });
+        g.bench_function(format!("gram_naive/256x{d}"), |b| {
+            b.iter(|| black_box(rows.gram_naive().frob_norm_sq()))
+        });
+        let x: Vec<f64> = (0..256).map(|i| (i as f64).sin()).collect();
+        g.bench_function(format!("apply_transpose_blocked/256x{d}"), |b| {
+            b.iter(|| black_box(rows.apply_transpose(&x)[0]))
+        });
+        g.bench_function(format!("apply_transpose_naive/256x{d}"), |b| {
+            b.iter(|| black_box(rows.apply_transpose_naive(&x)[0]))
+        });
+        // The MT-P2 Gram update: fold a pending batch into G.
+        let gram0 = rows.gram();
+        g.bench_function(format!("accumulate_panel/256x{d}"), |b| {
+            b.iter(|| {
+                let mut acc = gram0.clone();
+                accumulate_outer_panel(&mut acc, &rows);
+                black_box(acc.frob_norm_sq())
+            })
+        });
+        g.bench_function(format!("accumulate_rowwise/256x{d}"), |b| {
+            b.iter(|| {
+                let mut acc = gram0.clone();
+                for r in 0..rows.rows() {
+                    accumulate_outer(&mut acc, rows.row(r));
+                }
+                black_box(acc.frob_norm_sq())
+            })
+        });
+    }
+    // The eigensolver pair at the MT-P2 hot-loop tolerance. d = 512 is
+    // excluded: the naive reference at O(d³) per sweep times tens of
+    // sweeps is minutes per iteration there, and the 44/128 ratio
+    // already exhibits the row-pair rewrite's effect.
+    for &d in &[44usize, 128] {
+        let a = random::gaussian(&mut rng, d, d);
+        let s = a.add(&a.transpose()).scaled(0.5);
+        g.bench_function(format!("eigen_fast/{d}"), |b| {
+            b.iter(|| {
+                let basis = Matrix::identity(d);
+                black_box(
+                    jacobi_eigen_sym_with_basis_tol(&s, basis, 1e-9)
+                        .unwrap()
+                        .values[0],
+                )
+            })
+        });
+        g.bench_function(format!("eigen_naive/{d}"), |b| {
+            b.iter(|| {
+                let basis = Matrix::identity(d);
+                black_box(
+                    jacobi_eigen_sym_with_basis_tol_naive(&s, basis, 1e-9)
+                        .unwrap()
+                        .values[0],
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_svd_routes,
     bench_eigen,
     bench_spectral_norm,
-    bench_matmul_gram
+    bench_matmul_gram,
+    bench_kernel_ab
 );
 criterion_main!(benches);

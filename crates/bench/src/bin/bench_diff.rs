@@ -16,7 +16,10 @@
 //! any protocol's geometric-mean throughput regressed by more than
 //! `pct` percent — the CI gate; off by default).
 
-use cma_bench::report::{diff, parse_bench_json, per_protocol_geomean, worst_protocol_regression};
+use cma_bench::report::{
+    diff, kernel_speedup_by_dim, parse_bench_json, per_dim_geomean, per_protocol_geomean,
+    worst_protocol_regression,
+};
 use cma_bench::Args;
 use std::process::ExitCode;
 
@@ -78,6 +81,36 @@ fn main() -> ExitCode {
             "{label:<16} {:>+7.1}%  ({n} records)",
             (ratio - 1.0) * 100.0
         );
+    }
+
+    // The d-axis breakouts. First the cross-recording view: geomean
+    // speedup per row dimensionality (d = 0 is everything outside the
+    // d axis — the grid-default rows). Then the within-`--new` kernel
+    // A/B: blocked-over-naive throughput at each (protocol, d), which
+    // is the measured kernel speedup and needs no baseline file.
+    let by_dim = per_dim_geomean(&rows);
+    if by_dim.iter().any(|&(d, _, _)| d > 0) {
+        println!();
+        println!("## per-dimensionality geometric mean");
+        for (dim, ratio, n) in &by_dim {
+            let label = if *dim == 0 {
+                "d=default".to_string()
+            } else {
+                format!("d={dim}")
+            };
+            println!(
+                "{label:<16} {:>+7.1}%  ({n} records)",
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    let ab = kernel_speedup_by_dim(&new);
+    if !ab.is_empty() {
+        println!();
+        println!("## kernel A/B in {new_path} (blocked vs naive, same rows, same run)");
+        for (label, dim, ratio) in &ab {
+            println!("{label:<16} d={dim:<5} {ratio:>6.2}x");
+        }
     }
 
     for k in &only_old {

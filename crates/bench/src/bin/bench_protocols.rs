@@ -24,13 +24,14 @@
 
 use cma_bench::{
     resolve_hh_adaptive, run_hh_engine, run_hh_threaded, run_hh_topology, run_matrix_engine,
-    run_matrix_threaded, run_matrix_topology, run_swfd_engine, run_swfd_threaded,
-    run_swfd_topology, run_swmg_engine, run_swmg_threaded, run_swmg_topology, Args, HhProtocol,
-    MatrixProtocol,
+    run_matrix_threaded, run_matrix_timed, run_matrix_topology, run_swfd_engine, run_swfd_threaded,
+    run_swfd_timed, run_swfd_topology, run_swmg_engine, run_swmg_threaded, run_swmg_topology, Args,
+    HhProtocol, MatrixProtocol,
 };
 use cma_core::window::{SwFdConfig, SwMgConfig};
 use cma_core::{HhConfig, MatrixConfig, Topology};
 use cma_data::{SyntheticMatrixStream, WeightedZipfStream};
+use cma_linalg::LinalgProfile;
 use cma_stream::runner::threaded::ThreadedConfig;
 use cma_stream::Executor;
 use std::fmt::Write as _;
@@ -70,6 +71,12 @@ struct Record {
     /// Site count when it differs from the grid default in `meta`
     /// (the m = 1024 rows); 0 = default (omitted from the JSON).
     sites: usize,
+    /// Row dimensionality of a `d`-axis record; 0 = the grid default
+    /// `mt_dim` in `meta` (omitted from the JSON).
+    dim: usize,
+    /// Linalg profile of a `d`-axis record (`"naive"` / `"blocked"`);
+    /// empty = the build default (omitted from the JSON).
+    profile: &'static str,
     elapsed_s: f64,
     throughput: f64,
     err: f64,
@@ -93,6 +100,12 @@ fn emit(records: &[Record], meta: &str) -> String {
         }
         if r.sites > 0 {
             let _ = write!(out, "\"sites\": {}, ", r.sites);
+        }
+        if r.dim > 0 {
+            let _ = write!(out, "\"dim\": {}, ", r.dim);
+        }
+        if !r.profile.is_empty() {
+            let _ = write!(out, "\"profile\": \"{}\", ", r.profile);
         }
         let _ = write!(
             out,
@@ -155,6 +168,8 @@ fn main() {
                     mode: "seq",
                     workers: 0,
                     sites: 0,
+                    dim: 0,
+                    profile: "",
                     elapsed_s: dt,
                     throughput: hh_n as f64 / dt,
                     err: run.eval.avg_rel_err,
@@ -191,6 +206,8 @@ fn main() {
                     mode: "seq",
                     workers: 0,
                     sites: 0,
+                    dim: 0,
+                    profile: "",
                     elapsed_s: dt,
                     throughput: mt_n as f64 / dt,
                     err: run.err,
@@ -229,6 +246,8 @@ fn main() {
                 mode: "threaded",
                 workers: 0,
                 sites: 0,
+                dim: 0,
+                profile: "",
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.eval.avg_rel_err,
@@ -255,6 +274,8 @@ fn main() {
                 mode: "threaded",
                 workers: 0,
                 sites: 0,
+                dim: 0,
+                profile: "",
                 elapsed_s: dt,
                 throughput: mt_n as f64 / dt,
                 err: run.err,
@@ -282,6 +303,8 @@ fn main() {
                 mode: "seq",
                 workers: 0,
                 sites: 0,
+                dim: 0,
+                profile: "",
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.err,
@@ -299,6 +322,8 @@ fn main() {
                 mode: "seq",
                 workers: 0,
                 sites: 0,
+                dim: 0,
+                profile: "",
                 elapsed_s: dt,
                 throughput: mt_n as f64 / dt,
                 err: run.err,
@@ -319,6 +344,8 @@ fn main() {
             mode: "threaded",
             workers: 0,
             sites: 0,
+            dim: 0,
+            profile: "",
             elapsed_s: dt,
             throughput: hh_n as f64 / dt,
             err: run.err,
@@ -336,6 +363,8 @@ fn main() {
             mode: "threaded",
             workers: 0,
             sites: 0,
+            dim: 0,
+            profile: "",
             elapsed_s: dt,
             throughput: mt_n as f64 / dt,
             err: run.err,
@@ -375,6 +404,8 @@ fn main() {
                 mode: "pooled",
                 workers,
                 sites: 0,
+                dim: 0,
+                profile: "",
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.eval.avg_rel_err,
@@ -408,6 +439,8 @@ fn main() {
                 mode: "pooled",
                 workers,
                 sites: 0,
+                dim: 0,
+                profile: "",
                 elapsed_s: dt,
                 throughput: mt_n as f64 / dt,
                 err: run.err,
@@ -435,6 +468,8 @@ fn main() {
             mode: "pooled",
             workers,
             sites: 0,
+            dim: 0,
+            profile: "",
             elapsed_s: dt,
             throughput: hh_n as f64 / dt,
             err: run.err,
@@ -458,6 +493,8 @@ fn main() {
             mode: "pooled",
             workers,
             sites: 0,
+            dim: 0,
+            profile: "",
             elapsed_s: dt,
             throughput: mt_n as f64 / dt,
             err: run.err,
@@ -491,6 +528,8 @@ fn main() {
             mode: "pooled",
             workers: 8,
             sites: big_m,
+            dim: 0,
+            profile: "",
             elapsed_s: dt,
             throughput: hh_n as f64 / dt,
             err: run.eval.avg_rel_err,
@@ -522,11 +561,75 @@ fn main() {
             mode: "seq",
             workers: 0,
             sites: 0,
+            dim: 0,
+            profile: "",
             elapsed_s: dt,
             throughput: hh_n as f64 / dt,
             err: run.eval.avg_rel_err,
             comm,
         });
+    }
+
+    // The d-axis (PR 6): the math-plane A/B. MT-P2 and SwFd at
+    // d ∈ {44, 128, 512}, once per linalg profile — `naive` (the retained
+    // reference kernels) vs `blocked` (the cache-tiled kernels and the
+    // row-pair Jacobi) — with protocol-only timing: the exact-Gram truth
+    // evaluation runs outside the clock (`run_matrix_timed` docs), so at
+    // d = 512 the rows measure the protocol's eigensolves/projections and
+    // not the harness's O(n·d²) accumulation. Same rows, same machine,
+    // same run: the throughput ratio between the two profile rows of one
+    // (protocol, d) pair is the measured kernel speedup.
+    let daxis_n = (3_000.0 * scale) as usize;
+    let daxis_dims = [44usize, 128, 512];
+    for dim in daxis_dims {
+        let spectrum: Vec<f64> = (0..16).map(|i| 10.0 * 0.7_f64.powi(i)).collect();
+        let rows_d: Vec<Vec<f64>> = {
+            let mut s = SyntheticMatrixStream::new(dim, &spectrum, 100.0, 11);
+            (0..daxis_n).map(|_| s.next_row()).collect()
+        };
+        for profile in [LinalgProfile::naive(), LinalgProfile::blocked()] {
+            let cfg_d = MatrixConfig::new(sites, 0.1, dim)
+                .with_seed(2)
+                .with_profile(profile);
+            eprintln!("matrix P2 d={dim} profile={}…", profile.name());
+            let run = run_matrix_timed(MatrixProtocol::P2, &cfg_d, &rows_d, 256);
+            let dt = run.elapsed.as_secs_f64();
+            records.push(Record {
+                family: "matrix",
+                protocol: run.protocol,
+                batch: 256,
+                topology: "star",
+                mode: "seq",
+                workers: 0,
+                sites: 0,
+                dim,
+                profile: profile.name(),
+                elapsed_s: dt,
+                throughput: daxis_n as f64 / dt,
+                err: run.err,
+                comm: run.comm,
+            });
+
+            let swfd_cfg_d = SwFdConfig::new(sites, 0.1, 1_024, dim, 40).with_profile(profile);
+            eprintln!("window SwFd d={dim} profile={}…", profile.name());
+            let run = run_swfd_timed(&swfd_cfg_d, &rows_d, 256);
+            let dt = run.elapsed.as_secs_f64();
+            records.push(Record {
+                family: "window",
+                protocol: run.protocol,
+                batch: 256,
+                topology: "star",
+                mode: "seq",
+                workers: 0,
+                sites: 0,
+                dim,
+                profile: profile.name(),
+                elapsed_s: dt,
+                throughput: daxis_n as f64 / dt,
+                err: run.err,
+                comm: run.comm,
+            });
+        }
     }
 
     let meta = format!(
@@ -536,6 +639,8 @@ fn main() {
          \"batches\": [64, 1024], \"topologies\": [\"star\", \"tree4\", \"tree8\"], \
          \"threaded_topologies\": [\"star\", \"tree2\", \"tree4\", \"tree8\"], \
          \"pool_workers\": [2, 8], \"pool_sites_big\": {big_m}, \
+         \"daxis_dims\": [44, 128, 512], \"daxis_profiles\": [\"naive\", \"blocked\"], \
+         \"daxis_n\": {daxis_n}, \
          \"adaptive\": \"max_fan_in 8, calibration prefix {calib_n}\"}}",
         hh_cfg.epsilon, mt_cfg.epsilon, mt_cfg.dim, swmg_cfg.params.window, swfd_cfg.params.window
     );

@@ -571,6 +571,105 @@ where
     )
 }
 
+/// Result of a protocol-only timed run — the `d`-axis bench rows.
+///
+/// The stream is fully materialised before the clock starts and ground
+/// truth is evaluated after it stops, so `elapsed` measures the
+/// protocol's math plane (basis projections, eigensolves, FD shrinks)
+/// rather than the harness. This matters: the general drivers fold the
+/// `O(n·d²)` exact-Gram accumulation into the streamed region, which at
+/// `d = 512` would swamp the very kernel differences the `d`-axis rows
+/// exist to expose.
+#[derive(Debug, Clone)]
+pub struct TimedRunResult {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Total messages in the paper's units.
+    pub msgs: u64,
+    /// End-of-stream covariance error (window-restricted for SwFd).
+    pub err: f64,
+    /// Wall-clock of the protocol run only.
+    pub elapsed: std::time::Duration,
+    /// Rows streamed (throughput numerator).
+    pub rows: usize,
+    /// Communication profile of the run (measured outside the clock).
+    pub comm: CommSummary,
+}
+
+macro_rules! drive_matrix_timed {
+    ($module:ident, $cfg:expr, $rows:expr, $batch:expr) => {{
+        let mut runner = matrix::$module::deploy_topology($cfg, Topology::Star);
+        let t0 = std::time::Instant::now();
+        runner.run_partitioned(
+            $rows.iter().cloned(),
+            &mut RoundRobin::new($cfg.sites),
+            $batch,
+        );
+        let elapsed = t0.elapsed();
+        (
+            elapsed,
+            CommSummary::from(runner.stats()),
+            runner.coordinator().sketch(),
+        )
+    }};
+}
+
+/// Runs one matrix protocol (star topology) with protocol-only timing;
+/// see [`TimedRunResult`]. Truth is evaluated afterwards through the
+/// blocked `Matrix::gram` + [`cma_linalg::norms::covariance_error`]
+/// (identical bits to the streaming accumulation — the kernels are
+/// bit-exact equivalents).
+pub fn run_matrix_timed(
+    proto: MatrixProtocol,
+    cfg: &MatrixConfig,
+    rows: &[Vec<f64>],
+    batch: usize,
+) -> TimedRunResult {
+    let (elapsed, summary, sketch) = match proto {
+        MatrixProtocol::P1 => drive_matrix_timed!(p1, cfg, rows, batch),
+        MatrixProtocol::P2 => drive_matrix_timed!(p2, cfg, rows, batch),
+        MatrixProtocol::P3 => drive_matrix_timed!(p3, cfg, rows, batch),
+        MatrixProtocol::P3wr => drive_matrix_timed!(p3wr, cfg, rows, batch),
+        MatrixProtocol::P4 => drive_matrix_timed!(p4, cfg, rows, batch),
+    };
+    let a = Matrix::from_rows(rows);
+    let err = cma_linalg::norms::covariance_error(&a.gram(), &sketch.gram(), a.frob_norm_sq())
+        .expect("error metric eigensolve");
+    TimedRunResult {
+        protocol: proto.name(),
+        msgs: summary.total,
+        err,
+        elapsed,
+        rows: rows.len(),
+        comm: summary,
+    }
+}
+
+/// Runs the windowed matrix protocol (star topology) with protocol-only
+/// timing; see [`TimedRunResult`]. The error is the paper's covariance
+/// metric restricted to the exact last-`W` rows.
+pub fn run_swfd_timed(cfg: &SwFdConfig, rows: &[Vec<f64>], batch: usize) -> TimedRunResult {
+    let stamped = stamp_stream(rows);
+    let mut runner = swfd::deploy(cfg);
+    let t0 = std::time::Instant::now();
+    runner.run_partitioned(stamped, &mut RoundRobin::new(cfg.params.sites), batch);
+    let elapsed = t0.elapsed();
+    let summary = CommSummary::from(runner.stats());
+    let sketch = runner.coordinator().sketch_at(rows.len() as u64);
+    let start = rows.len().saturating_sub(cfg.params.window as usize);
+    let a = Matrix::from_rows(&rows[start..]);
+    let err = cma_linalg::norms::covariance_error(&a.gram(), &sketch.gram(), a.frob_norm_sq())
+        .expect("window error eigensolve");
+    TimedRunResult {
+        protocol: WindowProtocol::SwFd.name(),
+        msgs: summary.total,
+        err,
+        elapsed,
+        rows: rows.len(),
+        comm: summary,
+    }
+}
+
 /// The distributed sliding-window protocols under test (PR 4: the
 /// paper's stated open problem, run through the site / aggregator /
 /// coordinator stack).

@@ -38,6 +38,12 @@ pub struct BenchRecord {
     /// grid default in `meta` (the `m = 1024` pooled rows); `0` means
     /// the default.
     pub sites: u64,
+    /// Row dimensionality of a `d`-axis record; `0` (absent before the
+    /// kernel A/B axis) means the grid default `mt_dim`.
+    pub dim: u64,
+    /// Linalg profile of a `d`-axis record (`"naive"` / `"blocked"`);
+    /// empty means the build default.
+    pub profile: String,
     /// Arrivals per second of wall clock.
     pub throughput: f64,
     /// End-of-stream error (protocol-specific metric).
@@ -62,6 +68,12 @@ impl BenchRecord {
         }
         if self.sites > 0 {
             key.push_str(&format!(" m{}", self.sites));
+        }
+        if self.dim > 0 {
+            key.push_str(&format!(" d{}", self.dim));
+        }
+        if !self.profile.is_empty() {
+            key.push_str(&format!(" {}", self.profile));
         }
         key
     }
@@ -121,6 +133,8 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
             mode: str_field(obj, "mode").unwrap_or_else(|| "seq".into()),
             workers: u64_field(obj, "workers").unwrap_or(0),
             sites: u64_field(obj, "sites").unwrap_or(0),
+            dim: u64_field(obj, "dim").unwrap_or(0),
+            profile: str_field(obj, "profile").unwrap_or_default(),
             throughput,
             err: f64_field(obj, "err").unwrap_or(f64::NAN),
             msgs_total: u64_field(obj, "msgs_total").unwrap_or(0),
@@ -188,6 +202,56 @@ pub fn per_protocol_geomean(rows: &[DiffRow]) -> Vec<(String, f64, usize)> {
     }
     acc.into_iter()
         .map(|(label, (ln_sum, n))| (label, (ln_sum / n as f64).exp(), n))
+        .collect()
+}
+
+/// Per-dimensionality geometric-mean speedup over the matched rows —
+/// the `d`-axis breakout of the diff. Rows without a recorded `dim`
+/// (the pre-kernel-A/B grid) aggregate under `d = 0`, printed as the
+/// grid default. Empty when neither recording carries `d`-axis rows.
+pub fn per_dim_geomean(rows: &[DiffRow]) -> Vec<(u64, f64, usize)> {
+    let mut acc: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+    for row in rows {
+        let ratio = (row.new.throughput / row.old.throughput).max(f64::MIN_POSITIVE);
+        let e = acc.entry(row.old.dim).or_insert((0.0, 0));
+        e.0 += ratio.ln();
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(dim, (ln_sum, n))| (dim, (ln_sum / n as f64).exp(), n))
+        .collect()
+}
+
+/// Within-one-recording kernel A/B: for every `(family/protocol, d)`
+/// pair measured under both the `"naive"` and `"blocked"` profiles,
+/// the blocked-over-naive throughput ratio. This is the measured kernel
+/// speedup (same rows, same run, same machine — only the linalg profile
+/// differs), which `bench_diff` prints for the *fresh* recording so the
+/// PR quote does not depend on a baseline file.
+pub fn kernel_speedup_by_dim(records: &[BenchRecord]) -> Vec<(String, u64, f64)> {
+    let mut naive: BTreeMap<(String, u64), f64> = BTreeMap::new();
+    let mut blocked: BTreeMap<(String, u64), f64> = BTreeMap::new();
+    for r in records {
+        if r.dim == 0 {
+            continue;
+        }
+        let id = (format!("{}/{}", r.family, r.protocol), r.dim);
+        match r.profile.as_str() {
+            "naive" => {
+                naive.insert(id, r.throughput);
+            }
+            "blocked" => {
+                blocked.insert(id, r.throughput);
+            }
+            _ => {}
+        }
+    }
+    naive
+        .into_iter()
+        .filter_map(|(id, base)| {
+            let fast = *blocked.get(&id)?;
+            Some((id.0, id.1, fast / base))
+        })
         .collect()
 }
 
@@ -293,6 +357,63 @@ mod tests {
         let (rows, _, _) = diff(&old, &old);
         let (_, pct) = worst_protocol_regression(&per_protocol_geomean(&rows)).unwrap();
         assert!(pct.abs() < 1e-9);
+    }
+
+    /// `d`-axis fixture: MT-P2 at two dimensionalities under both
+    /// linalg profiles, as the kernel A/B section records them.
+    const DAXIS_SAMPLE: &str = r#"{
+  "meta": {"sites": 64, "daxis_dims": [44, 512]},
+  "results": [
+    {"family": "matrix", "protocol": "P2", "batch": 256, "topology": "star", "mode": "seq", "dim": 44, "profile": "naive", "throughput_per_s": 50000, "err": 1.0e-2, "msgs_total": 900, "root_in_msgs": 40, "hops": 1},
+    {"family": "matrix", "protocol": "P2", "batch": 256, "topology": "star", "mode": "seq", "dim": 44, "profile": "blocked", "throughput_per_s": 60000, "err": 1.0e-2, "msgs_total": 900, "root_in_msgs": 40, "hops": 1},
+    {"family": "matrix", "protocol": "P2", "batch": 256, "topology": "star", "mode": "seq", "dim": 512, "profile": "naive", "throughput_per_s": 2000, "err": 1.0e-2, "msgs_total": 900, "root_in_msgs": 40, "hops": 1},
+    {"family": "matrix", "protocol": "P2", "batch": 256, "topology": "star", "mode": "seq", "dim": 512, "profile": "blocked", "throughput_per_s": 5000, "err": 1.0e-2, "msgs_total": 900, "root_in_msgs": 40, "hops": 1}
+  ]
+}"#;
+
+    #[test]
+    fn dim_and_profile_parse_and_distinguish_keys() {
+        let recs = parse_bench_json(DAXIS_SAMPLE);
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].dim, 44);
+        assert_eq!(recs[0].profile, "naive");
+        assert_eq!(recs[0].key(), "matrix/P2 batch=256 star seq d44 naive");
+        assert_eq!(recs[3].key(), "matrix/P2 batch=256 star seq d512 blocked");
+        // Old-schema records (no dim/profile) keep their old keys.
+        let old = parse_bench_json(SAMPLE);
+        assert_eq!(old[0].dim, 0);
+        assert_eq!(old[0].profile, "");
+        assert_eq!(old[0].key(), "hh/P1 batch=64 star seq");
+    }
+
+    #[test]
+    fn per_dim_geomean_groups_by_dimension() {
+        let old = parse_bench_json(DAXIS_SAMPLE);
+        let mut new = old.clone();
+        for r in &mut new {
+            if r.dim == 512 {
+                r.throughput *= 2.0;
+            }
+        }
+        let (rows, _, _) = diff(&old, &new);
+        let by_dim = per_dim_geomean(&rows);
+        assert_eq!(by_dim.len(), 2);
+        assert_eq!(by_dim[0].0, 44);
+        assert!((by_dim[0].1 - 1.0).abs() < 1e-9);
+        assert_eq!(by_dim[1].0, 512);
+        assert!((by_dim[1].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_speedup_pairs_profiles_within_one_recording() {
+        let recs = parse_bench_json(DAXIS_SAMPLE);
+        let ab = kernel_speedup_by_dim(&recs);
+        assert_eq!(ab.len(), 2);
+        assert_eq!(ab[0], ("matrix/P2".to_string(), 44, 1.2));
+        assert_eq!(ab[1].1, 512);
+        assert!((ab[1].2 - 2.5).abs() < 1e-12);
+        // Rows without a d axis contribute nothing.
+        assert!(kernel_speedup_by_dim(&parse_bench_json(SAMPLE)).is_empty());
     }
 
     #[test]

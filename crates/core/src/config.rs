@@ -74,6 +74,8 @@ impl HhConfig {
     }
 }
 
+use cma_linalg::LinalgProfile;
+
 /// Configuration for the matrix-tracking protocols (paper §5).
 #[derive(Debug, Clone)]
 pub struct MatrixConfig {
@@ -88,6 +90,12 @@ pub struct MatrixConfig {
     pub seed: u64,
     /// Override for the sampling protocols' sample size.
     pub sample_size: Option<usize>,
+    /// Linear-algebra kernel/shrink selection for the math plane
+    /// (MT-P2's decompositions, every FD sketch's shrinks). The default
+    /// — blocked kernels, exact shrink — is what deployments want; the
+    /// alternatives exist for A/B benchmarking (`naive`) and the
+    /// certified randomized shrink (opt-in).
+    pub profile: LinalgProfile,
 }
 
 impl MatrixConfig {
@@ -108,12 +116,20 @@ impl MatrixConfig {
             dim,
             seed: 0x5eed,
             sample_size: None,
+            profile: LinalgProfile::default(),
         }
     }
 
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style linalg-profile override (kernel path and FD shrink
+    /// strategy — every guarantee holds under every profile).
+    pub fn with_profile(mut self, profile: LinalgProfile) -> Self {
+        self.profile = profile;
         self
     }
 

@@ -54,7 +54,9 @@ impl MP1Site {
     fn with_tau_frac(cfg: &MatrixConfig, tau_frac: f64) -> Self {
         MP1Site {
             // ε' = ε/2 → ℓ = ⌈2/ε'⌉ = ⌈4/ε⌉ rows.
-            fd: FrequentDirections::with_error_bound(cfg.dim, cfg.epsilon / 2.0),
+            fd: FrequentDirections::with_error_bound(cfg.dim, cfg.epsilon / 2.0)
+                .using_shrink(cfg.profile.shrink)
+                .using_kernels(cfg.profile.kernels),
             tau_frac,
             f_hat: 1.0,
         }
@@ -124,7 +126,9 @@ pub struct MP1Coordinator {
 impl MP1Coordinator {
     fn new(cfg: &MatrixConfig) -> Self {
         MP1Coordinator {
-            fd: FrequentDirections::with_error_bound(cfg.dim, cfg.epsilon / 2.0),
+            fd: FrequentDirections::with_error_bound(cfg.dim, cfg.epsilon / 2.0)
+                .using_shrink(cfg.profile.shrink)
+                .using_kernels(cfg.profile.kernels),
             received: 0.0,
             f_hat: 1.0,
             epsilon: cfg.epsilon,
@@ -250,8 +254,12 @@ pub fn make_aggregator(
     let m = cfg.sites as f64;
     let eps = cfg.epsilon;
     let dim = cfg.dim;
+    let shrink = cfg.profile.shrink;
+    let kernels = cfg.profile.kernels;
     move |node| MP1Aggregator {
-        fd: FrequentDirections::with_error_bound(dim, eps / 2.0),
+        fd: FrequentDirections::with_error_bound(dim, eps / 2.0)
+            .using_shrink(shrink)
+            .using_kernels(kernels),
         mass: 0.0,
         hold_frac: eps / (4.0 * levels) * (node.leaves as f64 / m),
         f_hat: 1.0,

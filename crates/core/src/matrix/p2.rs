@@ -24,6 +24,23 @@
 //!    variant's at every row boundary; only wasted decompositions are
 //!    elided. The `ablation_lazy_svd` benchmark measures the gap.
 //!
+//! 3. The `Σ Vᵀ` form has rank at most the number of rows absorbed since
+//!    the sketch was last emptied, which on high-dimensional streams is
+//!    far below `d`. Under [`KernelPath::Blocked`] the site therefore
+//!    keeps only the nonzero directions (`r ≤ d` rows `σᵢ·vᵢᵀ`) plus the
+//!    raw pending rows, and decomposes the stacked `s × d` matrix
+//!    (`s = r + k`) on its *small side*: one `s×s` outer Gram `S·Sᵀ`
+//!    (near-arrow — the `Σ Vᵀ` block is diagonal), a warm `s×s` Jacobi,
+//!    and one `s×s · s×d` product recovering the directions. At
+//!    `s ≪ d` this replaces the `O(d³)` full-basis eigensolve with
+//!    `O(s²d + s³)` — the dominant cost of this protocol at large `d` —
+//!    and also deletes the per-row `O(d²)` basis projection (raw rows
+//!    need no projection). [`KernelPath::Naive`] retains the previous
+//!    implementation (explicit `d × d` basis, warm-started full-`d`
+//!    Jacobi) as the measured baseline; the two representations agree to
+//!    solver tolerance and the `kernel_paths_agree_on_stream` test pins
+//!    an identical message schedule on a reference stream.
+//!
 //! The paper's bounded-space variant (two Frequent Directions sketches
 //! with `ε' = ε/4m` per site) is subsumed by observation 1 — the `Σ Vᵀ`
 //! form is already `O(d²)` space *and exact* — but is still provided as
@@ -31,7 +48,8 @@
 
 use super::{row_weight, MatrixEstimator, Row};
 use crate::config::MatrixConfig;
-use cma_linalg::Matrix;
+use cma_linalg::eigen::jacobi_eigen_sym_with_basis_tol;
+use cma_linalg::{KernelPath, Matrix};
 use cma_sketch::FrequentDirections;
 use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
 
@@ -50,31 +68,56 @@ impl MessageCost for MP2Msg {
     }
 }
 
-/// MT-P2 site: exact `Σ Vᵀ` representation, kept *in its own singular
-/// basis* so the periodic decomposition is a warm-started Jacobi on a
-/// near-diagonal matrix.
+/// MT-P2 site: exact `Σ Vᵀ` representation.
 ///
-/// State: an orthonormal basis `V` (rows), squared singular values
-/// `σ²ᵢ` along it, and the pending rows *projected into `V`'s
-/// coordinates* (lossless — `V` spans all of `R^d`). The Gram of `Bj` in
-/// `V`-coordinates is `diag(σ²) + Σ c cᵀ`, which after a handful of
-/// appended rows is a small perturbation of a diagonal matrix; the
-/// eigensolve co-rotates `V` directly (see
-/// [`cma_linalg::eigen::jacobi_eigen_sym_with_basis`]).
+/// The *representation* is the axis along which [`KernelPath`] selects
+/// the decomposition algorithm (module doc, observation 3): the naive
+/// path keeps the state in its own singular basis so the periodic
+/// decomposition is a warm-started full-`d` Jacobi on a near-diagonal
+/// matrix; the blocked path keeps the low-rank spectral form and
+/// decomposes on the small side of the stacked rows. Both maintain the
+/// same Gram and make the same send decisions (to solver tolerance).
+#[derive(Debug, Clone)]
+enum Rep {
+    /// [`KernelPath::Naive`]: explicit orthonormal basis of `R^d`,
+    /// squared singular values along it, pending rows *projected into
+    /// basis coordinates* (lossless — the basis spans `R^d`). The Gram
+    /// in basis coordinates is `diag(σ²) + Σ c cᵀ`, a small perturbation
+    /// of a diagonal matrix, so the eigensolve is warm-started and
+    /// co-rotates the basis directly
+    /// ([`cma_linalg::eigen::jacobi_eigen_sym_with_basis`]).
+    Basis {
+        /// Orthonormal basis rows (`d × d`).
+        basis: Matrix,
+        /// Cached `basisᵀ` for the batched projection path; invalidated
+        /// whenever a decomposition rotates the basis.
+        basis_t: Option<Matrix>,
+        /// Squared singular values of `Bj` along `basis` rows.
+        sig2: Vec<f64>,
+        /// Pending rows in `basis` coordinates.
+        pending: Vec<Vec<f64>>,
+    },
+    /// [`KernelPath::Blocked`]: only the nonzero directions are stored
+    /// (`r ≤ d` rows `σᵢ·vᵢᵀ` with `vᵢ` orthonormal) and pending rows
+    /// stay raw — appending a row is `O(d)` and the decomposition is
+    /// `O(s²d + s³)` on the stacked `s = r + k` rows.
+    Spectral {
+        /// Rows `σᵢ·vᵢᵀ` of the current `Σ Vᵀ` form (`r × d`).
+        dirs: Matrix,
+        /// Raw pending rows.
+        pending: Vec<Row>,
+    },
+}
+
+/// MT-P2 site: exact `Σ Vᵀ` representation, in one of two
+/// kernel-selected layouts (`Rep` above; module doc, observation 3).
 #[derive(Debug, Clone)]
 pub struct MP2Site {
-    /// Orthonormal basis rows (`d × d`).
-    basis: Matrix,
-    /// Cached `basisᵀ` for the batched projection path; invalidated
-    /// whenever a decomposition rotates the basis.
-    basis_t: Option<Matrix>,
-    /// Squared singular values of `Bj` along `basis` rows.
-    sig2: Vec<f64>,
-    /// Pending rows in `basis` coordinates.
-    pending: Vec<Vec<f64>>,
-    /// Total squared mass of `pending`.
+    /// Kernel-selected state layout.
+    rep: Rep,
+    /// Total squared mass of the pending rows.
     pending_mass: f64,
-    /// Largest entry of `sig2`.
+    /// Largest squared singular value retained by the last decomposition.
     smax2: f64,
     /// Scalar-report accumulator `Fj`.
     f_local: f64,
@@ -86,6 +129,9 @@ pub struct MP2Site {
     /// `ε/(m+I)` in a tree with `I` interior nodes.
     thr_frac: f64,
     f_hat: f64,
+    /// Kernel dispatch (also the [`Rep`] selector). From
+    /// [`MatrixConfig::profile`].
+    kernels: KernelPath,
 }
 
 /// MT-P2 tuning knobs.
@@ -136,11 +182,20 @@ impl MP2Site {
             (0.0..1.0).contains(&opts.batch_slack),
             "MP2Options: batch_slack must be in [0, 1)"
         );
+        let rep = match cfg.profile.kernels {
+            KernelPath::Naive => Rep::Basis {
+                basis: Matrix::identity(cfg.dim),
+                basis_t: None,
+                sig2: vec![0.0; cfg.dim],
+                pending: Vec::new(),
+            },
+            KernelPath::Blocked => Rep::Spectral {
+                dirs: Matrix::with_cols(cfg.dim),
+                pending: Vec::new(),
+            },
+        };
         MP2Site {
-            basis: Matrix::identity(cfg.dim),
-            basis_t: None,
-            sig2: vec![0.0; cfg.dim],
-            pending: Vec::new(),
+            rep,
             pending_mass: 0.0,
             smax2: 0.0,
             f_local: 0.0,
@@ -148,6 +203,7 @@ impl MP2Site {
             deferred: opts.deferred_batch_check,
             thr_frac,
             f_hat: 1.0,
+            kernels: cfg.profile.kernels,
         }
     }
 
@@ -161,63 +217,163 @@ impl MP2Site {
         (1.0 - self.slack) * self.threshold()
     }
 
-    /// Projects a run of raw rows into the site's basis with one matrix
-    /// product (`R·Vᵀ`, `k×d` by `d×d`) instead of `k` separate
-    /// matrix–vector products, appending the results to `pending`. The
-    /// projection is exactly `basis.apply` row-by-row, just batched.
-    fn project_rows(&mut self, raw: &mut Vec<Row>) {
-        match raw.len() {
-            0 => {}
-            1 => {
-                self.pending.push(self.basis.apply(&raw[0]));
-                raw.clear();
-            }
-            _ => {
-                let bt = self.basis_t.get_or_insert_with(|| self.basis.transpose());
-                let prod = Matrix::from_rows(raw).matmul(bt);
-                self.pending.extend(prod.iter_rows().map(<[f64]>::to_vec));
-                raw.clear();
-            }
+    /// Buffers a single raw row: projected into basis coordinates on the
+    /// naive path, stored as-is (`O(d)`) on the spectral path.
+    fn push_pending(&mut self, row: Row) {
+        match &mut self.rep {
+            Rep::Basis { basis, pending, .. } => pending.push(basis.apply(&row)),
+            Rep::Spectral { pending, .. } => pending.push(row),
         }
     }
 
-    /// Eigendecomposes `diag(σ²) + Σ c cᵀ` (co-rotating the basis), ships
-    /// every direction at or above the send threshold, zeroes it locally.
-    fn decompose_and_send(&mut self, out: &mut Vec<MP2Msg>) {
-        use cma_linalg::eigen::jacobi_eigen_sym_with_basis_tol;
-        let d = self.basis.rows();
-        let mut g = Matrix::zeros(d, d);
-        for i in 0..d {
-            g[(i, i)] = self.sig2[i];
-        }
-        for c in self.pending.drain(..) {
-            cma_linalg::matrix::accumulate_outer(&mut g, &c);
-        }
-        self.pending_mass = 0.0;
-
-        let basis = std::mem::replace(&mut self.basis, Matrix::zeros(0, 0));
-        // 1e-9 relative accuracy: ample for threshold comparisons at
-        // scale ε·F̂/m, and materially faster than full precision here.
-        let eig =
-            jacobi_eigen_sym_with_basis_tol(&g, basis, 1e-9).expect("MT-P2: eigensolver diverged");
-        self.basis = eig.vectors;
-        self.basis_t = None; // rotated: the cached transpose is stale
-
-        let send = self.send_threshold();
-        self.smax2 = 0.0;
-        for (i, &lam) in eig.values.iter().enumerate() {
-            let s2 = lam.max(0.0);
-            if s2 >= send {
-                let s = s2.sqrt();
-                let mut row = self.basis.row(i).to_vec();
-                for v in &mut row {
-                    *v *= s;
+    /// Moves a run of raw rows into the pending buffer. The basis layout
+    /// projects them with one matrix product (`R·Vᵀ`, `k×d` by `d×d`)
+    /// instead of `k` separate matrix–vector products — exactly
+    /// `basis.apply` row-by-row, just batched. The spectral layout keeps
+    /// rows raw, so this is a plain move.
+    fn project_rows(&mut self, raw: &mut Vec<Row>) {
+        let kernels = self.kernels;
+        match &mut self.rep {
+            Rep::Basis {
+                basis,
+                basis_t,
+                pending,
+                ..
+            } => match raw.len() {
+                0 => {}
+                1 => {
+                    pending.push(basis.apply(&raw[0]));
+                    raw.clear();
                 }
-                out.push(MP2Msg::Direction(row));
-                self.sig2[i] = 0.0;
-            } else {
-                self.sig2[i] = s2;
-                self.smax2 = self.smax2.max(s2);
+                _ => {
+                    let bt = basis_t.get_or_insert_with(|| basis.transpose());
+                    let prod = kernels.matmul(&Matrix::from_rows(raw), bt);
+                    pending.extend(prod.iter_rows().map(<[f64]>::to_vec));
+                    raw.clear();
+                }
+            },
+            Rep::Spectral { pending, .. } => pending.append(raw),
+        }
+    }
+
+    /// Decomposes the site's withheld matrix, ships every direction at or
+    /// above the send threshold, and re-expresses the remainder as
+    /// `Σ Vᵀ`. Algorithm per [`Rep`] layout; identical send semantics.
+    fn decompose_and_send(&mut self, out: &mut Vec<MP2Msg>) {
+        self.pending_mass = 0.0;
+        let send = self.send_threshold();
+        let kernels = self.kernels;
+        self.smax2 = 0.0;
+        // 1e-9 relative eigensolver accuracy throughout: ample for
+        // threshold comparisons at scale ε·F̂/m, and materially faster
+        // than full precision.
+        match &mut self.rep {
+            Rep::Basis {
+                basis,
+                basis_t,
+                sig2,
+                pending,
+            } => {
+                // Warm full-d Jacobi on `diag(σ²) + Σ c cᵀ` in the
+                // site's own basis, co-rotating the basis.
+                let d = basis.rows();
+                let mut g = Matrix::zeros(d, d);
+                for i in 0..d {
+                    g[(i, i)] = sig2[i];
+                }
+                if !pending.is_empty() {
+                    let pend = Matrix::from_rows(pending);
+                    pending.clear();
+                    kernels.accumulate_outer_rows(&mut g, &pend);
+                }
+                let b = std::mem::replace(basis, Matrix::zeros(0, 0));
+                let eig = kernels
+                    .eigen_sym_with_basis_tol(&g, b, 1e-9)
+                    .expect("MT-P2: eigensolver diverged");
+                *basis = eig.vectors;
+                *basis_t = None; // rotated: the cached transpose is stale
+                for (i, &lam) in eig.values.iter().enumerate() {
+                    let s2 = lam.max(0.0);
+                    if s2 >= send {
+                        let s = s2.sqrt();
+                        let mut row = basis.row(i).to_vec();
+                        for v in &mut row {
+                            *v *= s;
+                        }
+                        out.push(MP2Msg::Direction(row));
+                        sig2[i] = 0.0;
+                    } else {
+                        sig2[i] = s2;
+                        self.smax2 = self.smax2.max(s2);
+                    }
+                }
+            }
+            Rep::Spectral { dirs, pending } => {
+                // Stack the ΣVᵀ rows over the raw pending rows: an s×d
+                // matrix S whose Gram is exactly the withheld Gram.
+                let d = dirs.cols();
+                let mut stack = std::mem::replace(dirs, Matrix::with_cols(d));
+                for row in pending.drain(..) {
+                    stack.push_row(&row);
+                }
+                let s = stack.rows();
+                if s == 0 {
+                    return;
+                }
+                if s <= d {
+                    // Small side: eigen of S·Sᵀ (s×s, near-arrow — the
+                    // ΣVᵀ block is diagonal, so the warm Jacobi skips
+                    // most pairs), then P = Uᵀ·S has rows σᵢ·vᵢᵀ.
+                    // PᵀP = Sᵀ(UUᵀ)S = SᵀS to the orthonormality of the
+                    // accumulated rotations (machine precision), so the
+                    // re-expression is lossless independently of
+                    // eigenvalue accuracy.
+                    let outer = stack.outer_gram();
+                    let eig = jacobi_eigen_sym_with_basis_tol(&outer, Matrix::identity(s), 1e-9)
+                        .expect("MT-P2: eigensolver diverged");
+                    let p = eig.vectors.matmul(&stack);
+                    let trace: f64 = eig.values.iter().map(|l| l.max(0.0)).sum();
+                    let floor = f64::EPSILON * trace;
+                    for (i, &lam) in eig.values.iter().enumerate() {
+                        let s2 = lam.max(0.0);
+                        if s2 >= send {
+                            out.push(MP2Msg::Direction(p.row(i).to_vec()));
+                        } else if s2 > floor {
+                            dirs.push_row(p.row(i));
+                            self.smax2 = self.smax2.max(s2);
+                        }
+                        // λ ≤ ulp(trace): a structurally zero direction —
+                        // dropping the row discards at most machine-noise
+                        // mass, orders below the 1e-9 solver tolerance
+                        // already accepted here.
+                    }
+                } else {
+                    // Rank saturated (s > d): the small side is no longer
+                    // small — d-side Gram route, directions from the
+                    // eigenvectors.
+                    let g = stack.gram();
+                    let eig = jacobi_eigen_sym_with_basis_tol(&g, Matrix::identity(d), 1e-9)
+                        .expect("MT-P2: eigensolver diverged");
+                    let trace: f64 = eig.values.iter().map(|l| l.max(0.0)).sum();
+                    let floor = f64::EPSILON * trace;
+                    for (i, &lam) in eig.values.iter().enumerate() {
+                        let s2 = lam.max(0.0);
+                        if s2 <= floor {
+                            continue;
+                        }
+                        let sv = s2.sqrt();
+                        let mut row = eig.vectors.row(i).to_vec();
+                        for v in &mut row {
+                            *v *= sv;
+                        }
+                        if s2 >= send {
+                            out.push(MP2Msg::Direction(row));
+                        } else {
+                            dirs.push_row(&row);
+                            self.smax2 = self.smax2.max(s2);
+                        }
+                    }
+                }
             }
         }
     }
@@ -234,7 +390,7 @@ impl MP2Site {
         if w == 0.0 {
             return;
         }
-        self.pending.push(self.basis.apply(row));
+        self.push_pending(row.clone());
         self.pending_mass += w;
         if self.smax2 + self.pending_mass >= self.threshold() {
             self.decompose_and_send(out);
@@ -289,8 +445,9 @@ impl Site for MP2Site {
             out.push(MP2Msg::Scalar(self.f_local));
             self.f_local = 0.0;
         }
-        // Project into the site's basis (lossless: the basis spans R^d).
-        self.pending.push(self.basis.apply(&row));
+        // Buffer the row (the basis layout projects it losslessly into
+        // its own coordinates; the spectral layout keeps it raw).
+        self.push_pending(row);
         self.pending_mass += w;
         if self.smax2 + self.pending_mass >= self.threshold() {
             self.decompose_and_send(out);
@@ -527,8 +684,12 @@ impl MP2BoundedSite {
         // ε' = ε/4m.
         let eps_site = (cfg.epsilon / (4.0 * cfg.sites as f64)).min(1.0);
         MP2BoundedSite {
-            fd_a: FrequentDirections::with_error_bound(cfg.dim, eps_site),
-            fd_s: FrequentDirections::with_error_bound(cfg.dim, eps_site),
+            fd_a: FrequentDirections::with_error_bound(cfg.dim, eps_site)
+                .using_shrink(cfg.profile.shrink)
+                .using_kernels(cfg.profile.kernels),
+            fd_s: FrequentDirections::with_error_bound(cfg.dim, eps_site)
+                .using_shrink(cfg.profile.shrink)
+                .using_kernels(cfg.profile.kernels),
             smax2: 0.0,
             pending_mass: 0.0,
             f_local: 0.0,
@@ -779,6 +940,56 @@ mod tests {
                     assert!(v.abs() < 1e-9, "off-axis direction component {v}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn kernel_paths_agree_on_stream() {
+        // The same stream through both site layouts (naive = basis +
+        // warm full-d Jacobi, blocked = low-rank spectral): identical
+        // message schedule on a reference stream, and coordinator
+        // sketches whose Grams agree to solver tolerance.
+        use cma_linalg::LinalgProfile;
+        let dim = 7;
+        let base = MatrixConfig::new(3, 0.25, dim);
+        let mut runners = [
+            deploy(&base.clone().with_profile(LinalgProfile::naive())),
+            deploy(&base.clone().with_profile(LinalgProfile::blocked())),
+        ];
+        let mut truth = StreamingGram::new(dim);
+        let mut rng = StdRng::seed_from_u64(12);
+        for i in 0..3_000 {
+            let row: Row = (0..dim)
+                .map(|_| random::standard_normal(&mut rng))
+                .collect();
+            truth.update(&row);
+            for r in &mut runners {
+                r.feed(i % 3, row.clone());
+            }
+        }
+        let [naive, blocked] = &runners;
+        assert_eq!(
+            naive.stats().total(),
+            blocked.stats().total(),
+            "kernel paths diverged in message schedule"
+        );
+        let gn = naive.coordinator().sketch().gram();
+        let gb = blocked.coordinator().sketch().gram();
+        let mut diff = 0.0_f64;
+        for i in 0..dim {
+            for j in 0..dim {
+                diff = diff.max((gn[(i, j)] - gb[(i, j)]).abs());
+            }
+        }
+        assert!(
+            diff <= 1e-6 * truth.frob_sq(),
+            "sketch Grams diverged: {diff}"
+        );
+        for runner in &runners {
+            let err = truth
+                .error_of_sketch(&runner.coordinator().sketch())
+                .unwrap();
+            assert!(err <= base.epsilon, "covariance error {err} > ε");
         }
     }
 

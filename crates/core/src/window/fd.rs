@@ -42,7 +42,7 @@ use super::{
     SwSite, WindowKind,
 };
 use crate::matrix::{row_weight, Row};
-use cma_linalg::Matrix;
+use cma_linalg::{FdShrink, KernelPath, LinalgProfile, Matrix};
 use cma_sketch::FrequentDirections;
 use cma_stream::{AggNode, Runner, Topology};
 
@@ -52,6 +52,18 @@ use cma_stream::{AggNode, Runner, Topology};
 pub struct FdKind {
     dim: usize,
     ell: usize,
+    /// Shrink strategy every bucket sketch is built with (from
+    /// [`SwFdConfig::profile`]). The window error bound's `summary_loss`
+    /// term is the a-priori `2·mass/ℓ`, which the certified randomized
+    /// shrink preserves unconditionally (its acceptance test enforces
+    /// exactly the telescoping inequality that bound rests on), so the
+    /// [`crate::window::WindowErrorBound`] certificate is valid under
+    /// every strategy.
+    shrink: FdShrink,
+    /// Dense-kernel route for every bucket shrink SVD (from
+    /// [`SwFdConfig::profile`]); equivalent within solver tolerance, so
+    /// the certificate is route-independent.
+    kernels: KernelPath,
 }
 
 impl WindowKind for FdKind {
@@ -60,12 +72,16 @@ impl WindowKind for FdKind {
 
     fn empty(&self) -> FrequentDirections {
         FrequentDirections::new(self.dim, self.ell)
+            .using_shrink(self.shrink)
+            .using_kernels(self.kernels)
     }
 
     fn singleton(&self, row: &Row) -> (FrequentDirections, f64) {
         assert_eq!(row.len(), self.dim, "FdKind: row dimension mismatch");
         let mass = row_weight(row);
-        let mut fd = FrequentDirections::new(self.dim, self.ell);
+        let mut fd = FrequentDirections::new(self.dim, self.ell)
+            .using_shrink(self.shrink)
+            .using_kernels(self.kernels);
         if mass > 0.0 {
             fd.update(row);
         }
@@ -103,6 +119,9 @@ pub struct SwFdConfig {
     pub dim: usize,
     /// FD rows per bucket (`ℓ ≥ 2`; summary loss `2·mass/ℓ`).
     pub ell: usize,
+    /// Linalg kernel/shrink selection for the bucket sketches (see
+    /// [`crate::config::MatrixConfig::profile`]).
+    pub profile: LinalgProfile,
 }
 
 impl SwFdConfig {
@@ -117,13 +136,23 @@ impl SwFdConfig {
             params: SwParams::new(sites, epsilon, window),
             dim,
             ell,
+            profile: LinalgProfile::default(),
         }
+    }
+
+    /// Builder-style linalg-profile override (the certified error bound
+    /// holds under every profile).
+    pub fn with_profile(mut self, profile: LinalgProfile) -> Self {
+        self.profile = profile;
+        self
     }
 
     fn kind(&self) -> FdKind {
         FdKind {
             dim: self.dim,
             ell: self.ell,
+            shrink: self.profile.shrink,
+            kernels: self.profile.kernels,
         }
     }
 }

@@ -18,19 +18,24 @@
 //! * [`norms`] — symmetric spectral norms (exact and power iteration).
 //! * [`random`] — random test matrices: Gaussian, Haar-orthogonal and
 //!   low-rank-plus-noise constructions.
+//! * [`profile`] — the [`LinalgProfile`] configuration surface through
+//!   which the protocol layers select kernels (blocked vs naive) and the
+//!   Frequent Directions shrink strategy (exact vs randomized).
 //!
 //! # Numerical conventions
 //!
 //! Everything is `f64`. Decompositions are written for the regime the
-//! protocols occupy (tall-thin or square, `d ≲ 500`); they favour
-//! robustness and clarity over asymptotic blocking tricks. The one-sided
-//! Jacobi SVD is accurate to near machine precision and serves as the
-//! verification oracle for the faster Gram path in tests.
+//! protocols occupy (tall-thin or square, `d ≲ 500`). The hot kernels
+//! (`matmul`, `gram`, `apply_transpose`) are cache-blocked with their
+//! naive loops retained as bit-exact oracles; the one-sided Jacobi SVD is
+//! accurate to near machine precision and serves as the verification
+//! oracle for the faster Gram path in tests.
 
 pub mod eigen;
 pub mod error;
 pub mod matrix;
 pub mod norms;
+pub mod profile;
 pub mod qr;
 pub mod random;
 pub mod randomized;
@@ -39,6 +44,7 @@ pub mod vector;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use profile::{FdShrink, KernelPath, LinalgProfile};
 pub use svd::{Svd, SvdValuesVectors};
 
 /// Relative tolerance used by iterative routines in this crate when callers

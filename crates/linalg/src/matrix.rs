@@ -11,6 +11,18 @@ use crate::vector;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+/// Rows of `B` a blocked [`Matrix::matmul`] streams per k-panel. A panel is
+/// `KC × cols(B)` doubles — 64 × 512 × 8 B = 256 KiB at the largest bench
+/// dimension, sized to stay resident in L2 while every row of `A` reuses it.
+const MATMUL_KC: usize = 64;
+
+/// Rows accumulated per pass over the output in [`accumulate_outer_panel`]
+/// and the blocked [`Matrix::gram`]. The panel (`32 × d` doubles) stays
+/// cache-hot while the `d × d` accumulator is streamed once per panel
+/// instead of once per row — a 32× cut in accumulator traffic, which is
+/// what dominates `gram` once `d²` doubles outgrow L2 (d ≳ 180).
+const GRAM_PANEL: usize = 32;
+
 /// Dense row-major matrix of `f64`.
 ///
 /// Rows are contiguous. Dimension mismatches panic (programming errors);
@@ -140,10 +152,25 @@ impl Matrix {
         self.rows += other.rows;
     }
 
-    /// Copies column `j` into a new vector.
-    pub fn col(&self, j: usize) -> Vec<f64> {
+    /// Strided, allocation-free traversal of column `j`.
+    ///
+    /// This is what loops should use: an audit of the workspace found no
+    /// remaining hot caller of the allocating [`Matrix::col`] (the QR and
+    /// SVD routines already work on cached transposes), and this iterator
+    /// keeps it that way.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
         assert!(j < self.cols, "col index out of bounds");
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.data
+            .chunks_exact(self.cols.max(1))
+            .take(self.rows)
+            .map(move |row| row[j])
+    }
+
+    /// Copies column `j` into a new vector. Allocates — fine for one-off
+    /// extraction, but inside a loop prefer [`Matrix::col_iter`] or a
+    /// cached [`Matrix::transpose`].
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        self.col_iter(j).collect()
     }
 
     /// The transpose `Aᵀ`.
@@ -157,15 +184,83 @@ impl Matrix {
         t
     }
 
-    /// Matrix product `A · B`.
+    /// Matrix product `A · B`, cache-blocked.
     ///
-    /// Straightforward ikj-ordered triple loop; operands in this workspace
-    /// are at most a few hundred columns wide so this stays comfortably in
-    /// cache without blocking.
+    /// The naive ikj loop ([`Matrix::matmul_naive`]) streams all of `B`
+    /// once per row of `A`; at `B = 512×512` that is 2 MiB of traffic per
+    /// row. This version tiles over k-panels of `MATMUL_KC` rows of `B`:
+    /// a panel is loaded once and reused by every row of `A` while hot,
+    /// with the innermost loop a 4-way k-unrolled fused accumulation over
+    /// the contiguous output row, which LLVM autovectorizes.
+    ///
+    /// **Bit-exactness invariant** (pinned by the `proptest_linalg` suite
+    /// and relied on by the MT-P2 batched-projection parity contract):
+    /// every output element accumulates its `k` contributions in ascending
+    /// order through a single accumulator, exactly as the naive loop does —
+    /// panel order ascends, the unroll issues its four adds per element in
+    /// `k` order, and the `a[i][k] == 0.0` skip is applied per `k` (the
+    /// unrolled body falls back to per-`k` processing whenever the quad
+    /// contains a zero). The result is therefore bit-for-bit identical to
+    /// [`Matrix::matmul_naive`].
     ///
     /// # Panics
     /// Panics if `self.cols() != b.rows()`.
     pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "matmul: inner dimension mismatch");
+        let mut c = Matrix::zeros(self.rows, b.cols);
+        let n = b.cols;
+        for k0 in (0..self.cols).step_by(MATMUL_KC) {
+            let k1 = (k0 + MATMUL_KC).min(self.cols);
+            for i in 0..self.rows {
+                let arow = self.row(i);
+                let crow = &mut c.data[i * n..(i + 1) * n];
+                let mut k = k0;
+                while k + 4 <= k1 {
+                    let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                    if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                        let b0 = &b.row(k)[..n];
+                        let b1 = &b.row(k + 1)[..n];
+                        let b2 = &b.row(k + 2)[..n];
+                        let b3 = &b.row(k + 3)[..n];
+                        for j in 0..n {
+                            // Sequential adds, ascending k — the same
+                            // per-element order as four axpy passes.
+                            crow[j] += a0 * b0[j];
+                            crow[j] += a1 * b1[j];
+                            crow[j] += a2 * b2[j];
+                            crow[j] += a3 * b3[j];
+                        }
+                    } else {
+                        // A zero in the quad: process per-k so the skip
+                        // semantics match the naive loop exactly (adding
+                        // 0·b would flip -0.0 to +0.0 and poison on ±inf).
+                        for (kk, &aik) in arow.iter().enumerate().take(k + 4).skip(k) {
+                            if aik != 0.0 {
+                                vector::axpy(aik, b.row(kk), crow);
+                            }
+                        }
+                    }
+                    k += 4;
+                }
+                while k < k1 {
+                    let aik = arow[k];
+                    if aik != 0.0 {
+                        vector::axpy(aik, b.row(k), crow);
+                    }
+                    k += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Reference ikj triple-loop matrix product — the oracle the blocked
+    /// [`Matrix::matmul`] is pinned against, and the kernel the `naive`
+    /// bench profile routes through.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != b.rows()`.
+    pub fn matmul_naive(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.cols, b.rows, "matmul: inner dimension mismatch");
         let mut c = Matrix::zeros(self.rows, b.cols);
         for i in 0..self.rows {
@@ -183,8 +278,20 @@ impl Matrix {
     }
 
     /// The Gram matrix `AᵀA` (`cols × cols`, symmetric positive
-    /// semidefinite). Streams over rows: `AᵀA = Σᵢ aᵢ aᵢᵀ`.
+    /// semidefinite), accumulated in panels of `GRAM_PANEL` rows via
+    /// `accumulate_outer_panel`. Bit-for-bit identical to the row-by-row
+    /// [`Matrix::gram_naive`] (see the invariant documented there).
     pub fn gram(&self) -> Matrix {
+        let d = self.cols;
+        let mut g = Matrix::zeros(d, d);
+        accumulate_outer_panel(&mut g, self);
+        g
+    }
+
+    /// Reference row-by-row Gram accumulation `AᵀA = Σᵢ aᵢ aᵢᵀ` — the
+    /// oracle the panel-blocked [`Matrix::gram`] is pinned against, and
+    /// the kernel the `naive` bench profile routes through.
+    pub fn gram_naive(&self) -> Matrix {
         let d = self.cols;
         let mut g = Matrix::zeros(d, d);
         for row in self.iter_rows() {
@@ -219,11 +326,51 @@ impl Matrix {
         self.iter_rows().map(|r| vector::dot(r, x)).collect()
     }
 
-    /// Transposed matrix-vector product `Aᵀ x`.
+    /// Transposed matrix-vector product `Aᵀ x`, 4-way row-fused.
+    ///
+    /// The accumulator `y` is only `cols` doubles and stays in L1; the win
+    /// over the row-by-row [`Matrix::apply_transpose_naive`] is that `y`
+    /// is loaded/stored once per four input rows instead of once per row,
+    /// and the four multiply-adds per element give the autovectorizer
+    /// independent streams. Per element of `y` the adds are issued in
+    /// ascending row order — the same order, and the same absence of a
+    /// zero-skip, as the naive loop — so the result is bit-for-bit
+    /// identical (pinned by `proptest_linalg`).
     ///
     /// # Panics
     /// Panics if `x.len() != self.rows()`.
     pub fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "apply_transpose: dimension mismatch");
+        let n = self.cols;
+        let mut y = vec![0.0; n];
+        let mut i = 0;
+        while i + 4 <= self.rows {
+            let (x0, x1, x2, x3) = (x[i], x[i + 1], x[i + 2], x[i + 3]);
+            let r0 = &self.row(i)[..n];
+            let r1 = &self.row(i + 1)[..n];
+            let r2 = &self.row(i + 2)[..n];
+            let r3 = &self.row(i + 3)[..n];
+            for j in 0..n {
+                y[j] += x0 * r0[j];
+                y[j] += x1 * r1[j];
+                y[j] += x2 * r2[j];
+                y[j] += x3 * r3[j];
+            }
+            i += 4;
+        }
+        while i < self.rows {
+            vector::axpy(x[i], self.row(i), &mut y);
+            i += 1;
+        }
+        y
+    }
+
+    /// Reference row-by-row `Aᵀ x` — the oracle the fused
+    /// [`Matrix::apply_transpose`] is pinned against.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.rows()`.
+    pub fn apply_transpose_naive(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "apply_transpose: dimension mismatch");
         let mut y = vec![0.0; self.cols];
         for (i, row) in self.iter_rows().enumerate() {
@@ -371,6 +518,46 @@ pub fn accumulate_outer(g: &mut Matrix, r: &[f64]) {
         }
         let grow = g.row_mut(i);
         vector::axpy(ri, r, grow);
+    }
+}
+
+/// Adds `Σᵢ rᵢ rᵢᵀ` over all rows of `rows` into `g`, panel-blocked.
+///
+/// Calling [`accumulate_outer`] per row streams the whole `d × d`
+/// accumulator once per row (2 MiB per row at d = 512). This version
+/// reorders the loops: for each panel of `GRAM_PANEL` rows, each
+/// accumulator row `g[i]` is updated by every panel row in one pass, so
+/// `g` is streamed once per *panel* while the panel stays cache-hot.
+///
+/// **Bit-exactness invariant** (pinned by `proptest_linalg`): for each
+/// element `g[i][j]` the contributions `rₖ[i]·rₖ[j]` are added in
+/// ascending stream order `k` — panels ascend and the inner loop walks
+/// the panel in order — with the same per-`(k, i)` skip when
+/// `rₖ[i] == 0.0`. The result is therefore bit-for-bit identical to a
+/// row-by-row [`accumulate_outer`] loop over the same rows.
+///
+/// # Panics
+/// Panics if `g` is not `d × d` for `d = rows.cols()`.
+pub fn accumulate_outer_panel(g: &mut Matrix, rows: &Matrix) {
+    let d = rows.cols;
+    assert_eq!(
+        (g.rows, g.cols),
+        (d, d),
+        "accumulate_outer_panel: shape mismatch"
+    );
+    for p0 in (0..rows.rows).step_by(GRAM_PANEL) {
+        let p1 = (p0 + GRAM_PANEL).min(rows.rows);
+        for i in 0..d {
+            let grow = g.row_mut(i);
+            for k in p0..p1 {
+                let r = rows.row(k);
+                let ri = r[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                vector::axpy(ri, r, grow);
+            }
+        }
     }
 }
 
@@ -579,6 +766,87 @@ mod tests {
     fn col_extracts_column() {
         let m = abc();
         assert_eq!(m.col(1), vec![2.0, 4.0, 6.0]);
+        assert_eq!(m.col_iter(0).collect::<Vec<_>>(), vec![1.0, 3.0, 5.0]);
+        // Degenerate: no rows, nonzero cols — iterator is simply empty.
+        let empty = Matrix::with_cols(3);
+        assert_eq!(empty.col_iter(2).count(), 0);
+    }
+
+    /// Deterministic but irregular fill, with planted zeros so the
+    /// per-k zero-skip path of the blocked kernels is exercised.
+    fn patterned(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for i in 0..rows {
+            for j in 0..cols {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = ((state >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+                m[(i, j)] = if state.is_multiple_of(7) {
+                    0.0
+                } else {
+                    v * 3.0
+                };
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_naive() {
+        // Shapes straddling the panel width, including the remainder paths.
+        for &(n, k, d) in &[
+            (1usize, 1usize, 1usize),
+            (7, 130, 5),
+            (65, 64, 67),
+            (33, 200, 130),
+        ] {
+            let a = patterned(n, k, 11 + n as u64);
+            let b = patterned(k, d, 23 + d as u64);
+            assert_eq!(
+                a.matmul(&b).as_slice(),
+                a.matmul_naive(&b).as_slice(),
+                "blocked matmul diverged from naive at {n}x{k}x{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_gram_bit_identical_to_naive() {
+        for &(n, d) in &[(1usize, 1usize), (31, 9), (32, 9), (100, 70), (200, 33)] {
+            let a = patterned(n, d, 5 + n as u64);
+            assert_eq!(
+                a.gram().as_slice(),
+                a.gram_naive().as_slice(),
+                "panel gram diverged from naive at {n}x{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_apply_transpose_bit_identical_to_naive() {
+        for &(n, d) in &[(1usize, 3usize), (4, 3), (7, 12), (130, 40)] {
+            let a = patterned(n, d, 77 + n as u64);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+            assert_eq!(
+                a.apply_transpose(&x),
+                a.apply_transpose_naive(&x),
+                "fused apply_transpose diverged at {n}x{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulate_outer_panel_matches_per_row() {
+        let a = patterned(100, 21, 3);
+        let mut g_panel = Matrix::zeros(21, 21);
+        accumulate_outer_panel(&mut g_panel, &a);
+        let mut g_rows = Matrix::zeros(21, 21);
+        for r in a.iter_rows() {
+            accumulate_outer(&mut g_rows, r);
+        }
+        assert_eq!(g_panel.as_slice(), g_rows.as_slice());
     }
 
     #[test]

@@ -17,8 +17,9 @@ use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::qr::householder_qr;
 use crate::random::gaussian;
-use crate::svd::{jacobi_svd, Svd};
-use rand::Rng;
+use crate::svd::{gram_svd, jacobi_svd, Svd, SvdValuesVectors};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Rank-`k` randomized SVD of `a`.
 ///
@@ -81,12 +82,82 @@ pub fn randomized_svd<R: Rng + ?Sized>(
     Ok(Svd { u, sigma, vt })
 }
 
+/// Result of [`randomized_project_svd`]: the exact `(Σ, V)` factorization
+/// of the *projected* matrix `C = QᵀA`, plus a certified bound on what the
+/// projection discarded.
+#[derive(Debug, Clone)]
+pub struct ProjectedSvd {
+    /// Exact `(Σ, V)` of `C = QᵀA`. Because `CᵀC = Aᵀ(QQᵀ)A ⪯ AᵀA`
+    /// (an orthogonal projector never increases energy), `‖Cx‖ ≤ ‖Ax‖`
+    /// holds for **every** direction `x` — deterministically, whatever the
+    /// random sketch drew.
+    pub svd: SvdValuesVectors,
+    /// `tail = ‖A‖²_F − ‖C‖²_F = trace(Aᵀ(I−QQᵀ)A) ≥ 0`. Since
+    /// `E = Aᵀ(I−QQᵀ)A` is PSD, `trace(E) ≥ ‖E‖₂`, so `tail` is a
+    /// *certified* upper bound on `‖Ax‖² − ‖Cx‖²` over unit `x` — computed
+    /// from two cheap Frobenius norms, no extra factorization.
+    pub tail: f64,
+}
+
+/// Randomized range-finder projection of `a` (HMT) followed by an exact
+/// `(Σ, V)` factorization of the small projected matrix.
+///
+/// Sketches `l = rank + oversample` directions `Y = A·Ω` (Gaussian `Ω`
+/// drawn from a caller-supplied `seed`, so repeated runs are
+/// deterministic), optionally sharpens with `power_iters` subspace
+/// iterations, orthonormalizes `Q = orth(Y)`, and factors `C = QᵀA`
+/// (`l × d`) exactly on the Gram fast path. Cost `O(n·d·l)` versus
+/// `O(n·min(n,d)·d)` for the exact route — the win materializes when
+/// `l ≪ min(n, d)`, i.e. for the stacked-buffer shrinks of merge-heavy
+/// aggregators.
+///
+/// The caller gets both halves of a *certified* approximation: `svd`
+/// never overestimates any direction of `A`, and `tail` bounds the
+/// underestimate (see [`ProjectedSvd`]). This is what lets
+/// `FrequentDirections` use a randomized shrink while keeping its error
+/// accounting an unconditional upper bound.
+///
+/// # Errors
+/// Propagates [`LinalgError`] from the inner exact factorization.
+///
+/// # Panics
+/// Panics if `rank == 0` or `a` is empty.
+pub fn randomized_project_svd(
+    a: &Matrix,
+    rank: usize,
+    oversample: usize,
+    power_iters: usize,
+    seed: u64,
+) -> Result<ProjectedSvd, LinalgError> {
+    assert!(rank >= 1, "randomized_project_svd: rank must be positive");
+    assert!(!a.is_empty(), "randomized_project_svd: empty matrix");
+    let n = a.rows();
+    let d = a.cols();
+    // Clamp the sketch width by BOTH sides: `n` so Q has orthonormal
+    // columns, and `d` so the power-iteration QR of the d×l matrix
+    // AᵀQ is tall. l = d already makes the projection lossless
+    // (rank(A) ≤ d), so the clamp costs nothing.
+    let l = (rank + oversample).min(n).min(d).max(1);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let omega = gaussian(&mut rng, d, l);
+    let mut y = a.matmul(&omega); // n×l
+    for _ in 0..power_iters {
+        let q = householder_qr(&y).q;
+        let z = a.transpose().matmul(&q); // d×l
+        y = a.matmul(&householder_qr(&z).q);
+    }
+    let q = householder_qr(&y).q; // n×l, orthonormal columns
+    let c = q.transpose().matmul(a); // l×d
+    let tail = (a.frob_norm_sq() - c.frob_norm_sq()).max(0.0);
+    let svd = gram_svd(&c)?;
+    Ok(ProjectedSvd { svd, tail })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::random;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn recovers_exact_low_rank() {
@@ -168,5 +239,66 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let a = random::gaussian(&mut rng, 4, 4);
         let _ = randomized_svd(&a, 0, 2, 0, &mut rng);
+    }
+
+    #[test]
+    fn projection_never_overestimates_and_tail_certifies() {
+        // The two ProjectedSvd guarantees, checked on both a decaying and
+        // a flat spectrum (the latter is the adversarial case for range
+        // finders — the sketch misses a lot, so `tail` must cover it).
+        let mut rng = StdRng::seed_from_u64(40);
+        let decaying: Vec<f64> = (0..20).map(|j| 10.0 * 0.7_f64.powi(j)).collect();
+        let flat: Vec<f64> = vec![1.0; 20];
+        for (label, spectrum) in [("decaying", decaying), ("flat", flat)] {
+            let a = random::with_spectrum(&mut rng, 80, 25, &spectrum);
+            let p = randomized_project_svd(&a, 6, 4, 1, 7).unwrap();
+            let c = p.svd.sigma_vt();
+            assert!(
+                (a.frob_norm_sq() - c.frob_norm_sq() - p.tail).abs()
+                    < 1e-8 * a.frob_norm_sq().max(1.0),
+                "{label}: tail must equal the Frobenius gap"
+            );
+            for i in 0..40 {
+                let x = if i < 20 {
+                    random::unit_vector(&mut rng, 25)
+                } else {
+                    // Include the true singular directions — the extremal
+                    // directions for both inequalities.
+                    jacobi_svd(&a).unwrap().vt.row(i - 20).to_vec()
+                };
+                let ax = a.apply_norm_sq(&x);
+                let cx = c.apply_norm_sq(&x);
+                assert!(
+                    cx <= ax + 1e-8 * ax.max(1.0),
+                    "{label}: projection overestimated direction {i}: {cx} > {ax}"
+                );
+                assert!(
+                    ax - cx <= p.tail + 1e-8 * ax.max(1.0),
+                    "{label}: tail failed to certify direction {i}: {} > {}",
+                    ax - cx,
+                    p.tail
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_lossless_when_sketch_spans_rows() {
+        // l ≥ n ⇒ Q spans the whole row space, C carries all the energy.
+        let mut rng = StdRng::seed_from_u64(41);
+        let a = random::gaussian(&mut rng, 6, 30);
+        let p = randomized_project_svd(&a, 6, 8, 0, 9).unwrap();
+        assert!(p.tail < 1e-9 * a.frob_norm_sq());
+    }
+
+    #[test]
+    fn projection_is_deterministic_in_seed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random::gaussian(&mut rng, 30, 12);
+        let p1 = randomized_project_svd(&a, 4, 3, 1, 1234).unwrap();
+        let p2 = randomized_project_svd(&a, 4, 3, 1, 1234).unwrap();
+        assert_eq!(p1.svd.sigma, p2.svd.sigma);
+        assert_eq!(p1.svd.vt.as_slice(), p2.svd.vt.as_slice());
+        assert_eq!(p1.tail, p2.tail);
     }
 }

@@ -252,6 +252,51 @@ pub fn gram_svd(a: &Matrix) -> Result<SvdValuesVectors, LinalgError> {
     Ok(SvdValuesVectors { sigma, vt })
 }
 
+/// `(Σ, V)` of `A` through the blocked kernels — the
+/// [`crate::profile::KernelPath::Blocked`] route of the sketching SVD.
+///
+/// Same algorithm and same zero-σ floor as [`gram_svd`]; the only change
+/// is in the wide case (`n < d`), where all right singular vectors are
+/// recovered in one `n×n · n×d` [`Matrix::matmul`] (`Vᵀ = Σ⁻¹·Uᵀ·A`)
+/// instead of `n` separate [`Matrix::apply_transpose`] passes over `A`.
+/// The tall case already runs on the blocked [`Matrix::gram`] (which is
+/// bit-identical to the naive accumulation), so it simply delegates.
+/// Equivalent to [`gram_svd`] within solver tolerance — not bit-identical,
+/// because the matmul accumulates along a different loop order than
+/// `apply_transpose` — pinned by `blocked_route_matches_reference`.
+///
+/// # Errors
+/// Propagates [`LinalgError::NoConvergence`] from the eigensolver.
+pub fn gram_svd_blocked(a: &Matrix) -> Result<SvdValuesVectors, LinalgError> {
+    let (n, _d) = (a.rows(), a.cols());
+    if n >= a.cols() {
+        return gram_svd(a);
+    }
+    let eig = jacobi_eigen_sym(&a.outer_gram())?;
+    let top = eig.values.first().copied().unwrap_or(0.0).max(0.0);
+    let floor = 1e-15 * top;
+    // Rows of U·A are σᵢ·vᵢᵀ; one blocked product, then a row scaling.
+    let mut vt = eig.vectors.matmul(a);
+    let mut sigma = Vec::with_capacity(n);
+    for i in 0..n {
+        let lam = eig.values[i].max(0.0);
+        let s = lam.sqrt();
+        sigma.push(s);
+        let row = vt.row_mut(i);
+        if lam > floor && s > 0.0 {
+            let inv = 1.0 / s;
+            for x in row.iter_mut() {
+                *x *= inv;
+            }
+        } else {
+            for x in row.iter_mut() {
+                *x = 0.0;
+            }
+        }
+    }
+    Ok(SvdValuesVectors { sigma, vt })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +433,39 @@ mod tests {
         let j = jacobi_svd(&a).unwrap();
         for (sj, sg) in j.sigma.iter().zip(&g.sigma) {
             assert!((sj - sg).abs() < 1e-8 * sj.max(1.0));
+        }
+    }
+
+    #[test]
+    fn blocked_route_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Wide (the case the blocked route actually rewrites), square,
+        // tall (delegation), and a rank-deficient wide stack.
+        let wide = random::gaussian(&mut rng, 5, 23);
+        let square = random::gaussian(&mut rng, 9, 9);
+        let tall = random::gaussian(&mut rng, 31, 7);
+        let mut deficient = Matrix::with_cols(14);
+        let base = random::gaussian(&mut rng, 2, 14);
+        for i in 0..6 {
+            let mut row = base.row(i % 2).to_vec();
+            for v in &mut row {
+                *v *= 1.0 + i as f64;
+            }
+            deficient.push_row(&row);
+        }
+        for a in [&wide, &square, &tall, &deficient] {
+            let r = gram_svd(a).unwrap();
+            let b = gram_svd_blocked(a).unwrap();
+            assert_eq!(r.sigma.len(), b.sigma.len());
+            for (sr, sb) in r.sigma.iter().zip(&b.sigma) {
+                assert!((sr - sb).abs() < 1e-8 * sr.max(1.0), "σ {sr} vs {sb}");
+            }
+            // Same sketch semantics: the Grams of σ·Vᵀ agree.
+            assert_close(
+                &r.sigma_vt().gram(),
+                &b.sigma_vt().gram(),
+                1e-7 * a.frob_norm_sq().max(1.0),
+            );
         }
     }
 

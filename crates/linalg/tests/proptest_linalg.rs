@@ -2,7 +2,11 @@
 //! identities that must hold for *arbitrary* matrices, not just the
 //! Gaussian ensembles the unit tests draw.
 
-use cma_linalg::eigen::{jacobi_eigen_sym, jacobi_eigen_sym_with_basis};
+use cma_linalg::eigen::{
+    jacobi_eigen_sym, jacobi_eigen_sym_with_basis, jacobi_eigen_sym_with_basis_tol,
+    jacobi_eigen_sym_with_basis_tol_naive,
+};
+use cma_linalg::matrix::{accumulate_outer, accumulate_outer_panel};
 use cma_linalg::qr::householder_qr;
 use cma_linalg::svd::{gram_svd, jacobi_svd};
 use cma_linalg::Matrix;
@@ -25,6 +29,34 @@ fn any_symmetric() -> impl Strategy<Value = Matrix> {
             a.add(&a.transpose()).scaled(0.5)
         })
     })
+}
+
+/// Shapes that straddle the blocking constants (`MATMUL_KC = 64`,
+/// `GRAM_PANEL = 32`), with ~20% of entries forced to exactly `0.0` so
+/// the blocked kernels' per-k zero-skip is exercised, not just the
+/// dense path.
+fn any_kernel_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..90, 1usize..90).prop_flat_map(|(n, d)| {
+        prop::collection::vec(-100.0f64..100.0, n * d).prop_map(move |data| {
+            let salted: Vec<f64> = data
+                .into_iter()
+                .map(|v| if v.abs() < 20.0 { 0.0 } else { v })
+                .collect();
+            Matrix::from_vec(n, d, salted)
+        })
+    })
+}
+
+/// Entry-wise bit equality (distinguishes `-0.0` from `0.0`).
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && (0..a.rows()).all(|i| {
+            a.row(i)
+                .iter()
+                .zip(b.row(i))
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
 }
 
 proptest! {
@@ -120,6 +152,58 @@ proptest! {
                     .sum();
                 prop_assert!(dot.abs() >= 1.0 - 1e-6, "row {}: |dot| = {}", i, dot.abs());
             }
+        }
+    }
+
+    /// Blocked kernels are BIT-IDENTICAL to the naive references on
+    /// arbitrary shapes — including shapes that straddle the blocking
+    /// constants (k up to 90 crosses `MATMUL_KC = 64`; rows up to 90
+    /// cross `GRAM_PANEL = 32`) and matrices salted with exact zeros,
+    /// which exercise the per-k zero-skip that keeps `-0.0` rows from
+    /// flipping sign in the blocked accumulation order. Equality is
+    /// `==` on every entry, not a tolerance: the blocked loops commit
+    /// to the naive ascending-k single-accumulator order exactly.
+    #[test]
+    fn blocked_kernels_bit_identical(a in any_kernel_matrix(), b_data in prop::collection::vec(-100.0f64..100.0, 90 * 12)) {
+        let (n, k) = (a.rows(), a.cols());
+        let bn = 1 + (b_data[0].abs() as usize) % 12;
+        let b = Matrix::from_vec(k, bn, b_data[..k * bn].to_vec());
+
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        prop_assert!(bits_equal(&blocked, &naive), "matmul diverged");
+
+        prop_assert!(bits_equal(&a.gram(), &a.gram_naive()), "gram diverged");
+
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 7) as f64).sin() * 3.0).collect();
+        let yb = a.apply_transpose(&x);
+        let yn = a.apply_transpose_naive(&x);
+        prop_assert!(
+            yb.iter().zip(&yn).all(|(p, q)| p.to_bits() == q.to_bits()),
+            "apply_transpose diverged"
+        );
+
+        let mut gp = a.gram();
+        let mut gr = gp.clone();
+        accumulate_outer_panel(&mut gp, &a);
+        for r in 0..n {
+            accumulate_outer(&mut gr, a.row(r));
+        }
+        prop_assert!(bits_equal(&gp, &gr), "accumulate_outer_panel diverged");
+    }
+
+    /// The row-pair Jacobi rewrite agrees with the naive reference to
+    /// solver tolerance on eigenvalues (the rotations are identical;
+    /// only corner-rounding in the fused updates differs), under the
+    /// loose tolerance MT-P2's hot loop actually uses.
+    #[test]
+    fn eigen_fast_matches_naive(s in any_symmetric()) {
+        let d = s.rows();
+        let fast = jacobi_eigen_sym_with_basis_tol(&s, Matrix::identity(d), 1e-9).unwrap();
+        let naive = jacobi_eigen_sym_with_basis_tol_naive(&s, Matrix::identity(d), 1e-9).unwrap();
+        let scale = s.frob_norm().max(1.0);
+        for (vf, vn) in fast.values.iter().zip(&naive.values) {
+            prop_assert!((vf - vn).abs() <= 1e-7 * scale, "{vf} vs {vn}");
         }
     }
 

@@ -22,13 +22,15 @@
 //!   this is what lets the coordinator of protocol MT-P1 fold in
 //!   per-site sketches.
 //! * The shrink step only needs `(Σ, V)` of the buffer, never `U`, so it
-//!   runs on the Gram fast path ([`cma_linalg::svd::gram_svd`]):
-//!   `O(ℓd² + d³)` per shrink, amortised `O(d²)` per appended row
-//!   (`+ O(d³/ℓ)`), matching the paper's `O(dℓ)` amortised update at the
-//!   sketch sizes used here.
+//!   runs on the Gram fast path ([`cma_linalg::svd::gram_svd`] or its
+//!   blocked twin, selected by
+//!   [`cma_linalg::KernelPath::svd_values_vectors`]): `O(ℓ²d + ℓ³)` per
+//!   shrink for the wide buffers the protocols use (`ℓ < d`), amortised
+//!   `O(ℓd)` per appended row — the paper's `O(dℓ)` amortised update.
 
+use cma_linalg::randomized::randomized_project_svd;
 use cma_linalg::svd::gram_svd;
-use cma_linalg::Matrix;
+use cma_linalg::{FdShrink, KernelPath, Matrix};
 
 /// Frequent Directions sketch with at most `ℓ` buffered rows.
 #[derive(Debug, Clone)]
@@ -42,6 +44,18 @@ pub struct FrequentDirections {
     /// Total shrinkage `Δ = Σ δ`: a valid upper bound on
     /// `‖Ax‖² − ‖Bx‖²` for every unit `x`, and `≤ 2‖A‖²_F/ℓ`.
     shrink_loss: f64,
+    /// Shrink strategy (exact SVD vs certified randomized projection).
+    shrink: FdShrink,
+    /// Dense-kernel route for the shrink SVD (see
+    /// [`KernelPath::svd_values_vectors`]).
+    kernels: KernelPath,
+    /// Shrinks performed so far — also the deterministic seed counter for
+    /// the randomized path (each attempt draws a fresh, reproducible
+    /// sketch matrix).
+    shrink_count: u64,
+    /// How many shrinks went through the randomized path's acceptance
+    /// test (the rest fell back to the exact shrink).
+    randomized_accepted: u64,
 }
 
 impl FrequentDirections {
@@ -59,6 +73,10 @@ impl FrequentDirections {
             buf: Matrix::with_cols(d),
             frob_sq: 0.0,
             shrink_loss: 0.0,
+            shrink: FdShrink::Exact,
+            kernels: KernelPath::default(),
+            shrink_count: 0,
+            randomized_accepted: 0,
         }
     }
 
@@ -73,6 +91,58 @@ impl FrequentDirections {
             "FrequentDirections: epsilon must be in (0, 1]"
         );
         Self::new(d, ((2.0 / epsilon).ceil() as usize).max(2))
+    }
+
+    /// Selects the shrink strategy (builder style). See
+    /// [`FrequentDirections::set_shrink`] for the correctness contract of
+    /// the randomized strategy.
+    #[must_use]
+    pub fn using_shrink(mut self, shrink: FdShrink) -> Self {
+        self.set_shrink(shrink);
+        self
+    }
+
+    /// Selects the dense-kernel route for the shrink SVD (builder style).
+    /// Both routes are equivalent within solver tolerance
+    /// ([`KernelPath::svd_values_vectors`]); `Naive` exists as the
+    /// measured baseline of the bench A/B rows.
+    #[must_use]
+    pub fn using_kernels(mut self, kernels: KernelPath) -> Self {
+        self.kernels = kernels;
+        self
+    }
+
+    /// Selects the shrink strategy.
+    ///
+    /// `FdShrink::Exact` (the default) is the textbook shrink. With
+    /// `FdShrink::Randomized`, each shrink first *attempts* a seeded
+    /// range-finder projection ([`randomized_project_svd`]) and charges the
+    /// **certified** per-direction loss `σ̂²_keep + tail` to
+    /// [`FrequentDirections::shrink_loss`]; the attempt is accepted only
+    /// when `(keep+1)·charged ≤ destroyed` (the Frobenius mass the shrink
+    /// actually removed), which is exactly the inequality the a-priori
+    /// `Δ ≤ 2‖A‖²_F/ℓ` telescoping argument needs — otherwise the shrink
+    /// silently falls back to the exact path. Every guarantee consumers
+    /// rely on (`0 ≤ ‖Ax‖²−‖Bx‖² ≤ shrink_loss ≤ error_bound`, window
+    /// error bounds, MT-P1 thresholds) therefore holds *unconditionally*,
+    /// not in expectation: the projection can only under-estimate
+    /// (`CᵀC ⪯ BᵀB`) and the charge is a deterministic upper bound on the
+    /// per-direction loss. Switching strategy mid-stream is safe for the
+    /// same reason.
+    pub fn set_shrink(&mut self, shrink: FdShrink) {
+        self.shrink = shrink;
+    }
+
+    /// The active shrink strategy.
+    pub fn shrink_strategy(&self) -> FdShrink {
+        self.shrink
+    }
+
+    /// How many shrinks ran end-to-end through the randomized path
+    /// (attempts that failed the acceptance test fell back to exact and
+    /// are not counted).
+    pub fn randomized_shrinks_accepted(&self) -> u64 {
+        self.randomized_accepted
     }
 
     /// Row dimensionality `d`.
@@ -135,11 +205,114 @@ impl FrequentDirections {
         }
     }
 
-    /// Shrinks the buffer so at most `keep` rows survive: rotates into the
-    /// singular basis and subtracts `δ = σ²_{keep}` (0-indexed) from every
-    /// squared singular value.
+    /// Shrinks the buffer so at most `keep` rows survive, through the
+    /// configured strategy.
     fn shrink(&mut self, keep: usize) {
-        let svd = gram_svd(&self.buf).expect("FrequentDirections: eigensolver diverged");
+        self.shrink_count += 1;
+        if let FdShrink::Randomized {
+            oversample,
+            power_iters,
+        } = self.shrink
+        {
+            // Only worth attempting when the sketch width l = keep+p is
+            // strictly below the row count (otherwise the projection is a
+            // full-rank no-op) and keep ≥ 1 (the range finder needs a
+            // target rank).
+            if keep >= 1
+                && keep + oversample < self.buf.rows()
+                && self.try_shrink_randomized(keep, oversample, power_iters)
+            {
+                self.randomized_accepted += 1;
+                return;
+            }
+        }
+        self.shrink_exact(keep);
+    }
+
+    /// Certified randomized shrink attempt. Returns `false` (leaving all
+    /// state untouched) when the certificate cannot cover the a-priori
+    /// budget, so the caller falls back to [`FrequentDirections::shrink_exact`].
+    ///
+    /// Correctness argument, step by step (`B` = buffer, `n×d`):
+    ///
+    /// 1. [`randomized_project_svd`] returns the SVD of `C = QᵀB` (`l×d`,
+    ///    `l = keep+oversample`) plus `tail = ‖B‖²_F − ‖C‖²_F`. Because
+    ///    `CᵀC = Bᵀ QQᵀ B ⪯ BᵀB`, replacing `B` by any row-space
+    ///    compression of `C` can never over-estimate a query — the FD
+    ///    lower bound `‖B'x‖² ≤ ‖Ax‖²` is structural, not probabilistic.
+    /// 2. The deficit `E = BᵀB − CᵀC` is PSD with `trace(E) = tail`, so
+    ///    `xᵀEx ≤ ‖E‖₂ ≤ tail` for every unit `x`: the projection loses at
+    ///    most `tail` per direction.
+    /// 3. The usual shrink of `C` by `δ̂ = σ̂²_keep` loses at most `δ̂` per
+    ///    direction (same argument as exact FD). Chaining 2 and 3:
+    ///    `‖Bx‖² − ‖B'x‖² ≤ charged = δ̂ + tail`, a *deterministic* bound.
+    /// 4. The a-priori `Δ ≤ 2‖A‖²_F/ℓ` proof needs every shrink to destroy
+    ///    at least `(keep+1)` times what it charges, so that the charges
+    ///    telescope against `‖A‖²_F` (see `shrink_loss` docs). We check
+    ///    `(keep+1)·charged ≤ destroyed` **explicitly** and reject the
+    ///    attempt when it fails — randomness can waste work, never
+    ///    validity. Exact shrinks satisfy the same inequality by
+    ///    construction, so mixed exact/randomized histories telescope too.
+    fn try_shrink_randomized(
+        &mut self,
+        keep: usize,
+        oversample: usize,
+        power_iters: usize,
+    ) -> bool {
+        // splitmix64 finalizer over the shrink counter: deterministic,
+        // distinct per shrink, independent of data values.
+        let mut seed = self
+            .shrink_count
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x243F_6A88_85A3_08D3);
+        seed ^= seed >> 30;
+        seed = seed.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        seed ^= seed >> 27;
+
+        let Ok(proj) = randomized_project_svd(&self.buf, keep, oversample, power_iters, seed)
+        else {
+            return false;
+        };
+        let svd = &proj.svd;
+        if svd.sigma.len() <= keep {
+            // Projection found fewer than keep+1 directions: the exact
+            // path re-expresses losslessly, strictly better. Reject.
+            return false;
+        }
+        let delta = svd.sigma[keep] * svd.sigma[keep];
+        let charged = delta + proj.tail;
+        let before = self.buf.frob_norm_sq();
+        let mut out = Matrix::with_cols(self.d);
+        for i in 0..keep {
+            let s2 = svd.sigma[i] * svd.sigma[i] - delta;
+            if s2 <= 0.0 {
+                continue;
+            }
+            let s = s2.sqrt();
+            let mut row = svd.vt.row(i).to_vec();
+            for v in &mut row {
+                *v *= s;
+            }
+            out.push_row(&row);
+        }
+        let destroyed = before - out.frob_norm_sq();
+        if (keep + 1) as f64 * charged > destroyed {
+            // Certificate too loose for the telescoping budget (flat
+            // spectra, unlucky sketch): keep state, use the exact path.
+            return false;
+        }
+        self.shrink_loss += charged;
+        self.buf = out;
+        true
+    }
+
+    /// The textbook shrink: rotates into the singular basis and subtracts
+    /// `δ = σ²_{keep}` (0-indexed) from every squared singular value.
+    fn shrink_exact(&mut self, keep: usize) {
+        let svd = self
+            .kernels
+            .svd_values_vectors(&self.buf)
+            .expect("FrequentDirections: eigensolver diverged");
         let r = svd.sigma.len();
         if r <= keep {
             // Fewer directions than the cut point — just re-express
@@ -482,6 +655,97 @@ mod tests {
                 assert!((vvt[(i, j)] - want).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn randomized_guarantee_on_decaying_spectrum() {
+        // Sharply decaying spectrum: the favorable case where the
+        // randomized certificate is tight enough to be accepted. The FD
+        // guarantee must hold with the *tracked* loss, and the loss must
+        // stay inside the a-priori budget — assert_fd_guarantee checks
+        // both, against random directions AND the singular directions of
+        // A (the adversarial queries).
+        let mut rng = StdRng::seed_from_u64(40);
+        let spectrum: Vec<f64> = (0..12).map(|i| 100.0 * 0.6_f64.powi(i)).collect();
+        let a = random::with_spectrum(&mut rng, 400, 30, &spectrum);
+        let mut fd = FrequentDirections::new(30, 20).using_shrink(FdShrink::Randomized {
+            oversample: 6,
+            power_iters: 1,
+        });
+        for r in a.iter_rows() {
+            fd.update(r);
+        }
+        assert!(
+            fd.randomized_shrinks_accepted() > 0,
+            "randomized path never engaged on a decaying spectrum"
+        );
+        assert_fd_guarantee(&a, &fd);
+    }
+
+    #[test]
+    fn randomized_guarantee_on_flat_spectrum() {
+        // Flat (Gaussian) spectrum: the adversarial case for a randomized
+        // projection — the tail certificate is large, so most attempts
+        // must be rejected in favor of the exact fallback, and the
+        // guarantee must survive regardless of the accept/reject mix.
+        let mut rng = StdRng::seed_from_u64(41);
+        let a = random::gaussian(&mut rng, 300, 10);
+        let mut fd = FrequentDirections::new(10, 12).using_shrink(FdShrink::Randomized {
+            oversample: 4,
+            power_iters: 0,
+        });
+        for r in a.iter_rows() {
+            fd.update(r);
+        }
+        assert_fd_guarantee(&a, &fd);
+    }
+
+    #[test]
+    fn randomized_is_deterministic() {
+        // Counter-seeded sketching: two identical runs must produce
+        // bit-identical sketches and loss accounting.
+        let mut rng = StdRng::seed_from_u64(42);
+        let spectrum: Vec<f64> = (0..10).map(|i| 50.0 * 0.5_f64.powi(i)).collect();
+        let a = random::with_spectrum(&mut rng, 250, 24, &spectrum);
+        let shrink = FdShrink::Randomized {
+            oversample: 6,
+            power_iters: 1,
+        };
+        let mut fd1 = FrequentDirections::new(24, 16).using_shrink(shrink);
+        let mut fd2 = FrequentDirections::new(24, 16).using_shrink(shrink);
+        for r in a.iter_rows() {
+            fd1.update(r);
+            fd2.update(r);
+        }
+        assert_eq!(fd1.sketch().as_slice(), fd2.sketch().as_slice());
+        assert_eq!(fd1.shrink_loss(), fd2.shrink_loss());
+        assert_eq!(
+            fd1.randomized_shrinks_accepted(),
+            fd2.randomized_shrinks_accepted()
+        );
+    }
+
+    #[test]
+    fn randomized_merge_preserves_guarantee() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let spectrum: Vec<f64> = (0..8).map(|i| 80.0 * 0.55_f64.powi(i)).collect();
+        let a = random::with_spectrum(&mut rng, 320, 20, &spectrum);
+        let shrink = FdShrink::Randomized {
+            oversample: 5,
+            power_iters: 1,
+        };
+        let mut parts: Vec<FrequentDirections> = (0..4)
+            .map(|_| FrequentDirections::new(20, 14).using_shrink(shrink))
+            .collect();
+        for (i, r) in a.iter_rows().enumerate() {
+            parts[i % 4].update(r);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert!(merged.sketch().rows() <= 14);
+        assert_fd_guarantee(&a, &merged);
     }
 
     #[test]

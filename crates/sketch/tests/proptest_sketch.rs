@@ -2,6 +2,7 @@
 //! adversarial streams (arbitrary item/weight sequences) rather than the
 //! benign distributions of the unit tests.
 
+use cma_linalg::FdShrink;
 use cma_sketch::{
     CountMin, ExactWeightedCounter, FrequentDirections, MgSummary, SpaceSaving, SwMg,
 };
@@ -249,6 +250,50 @@ proptest! {
             let bx = fd.query(&x);
             prop_assert!(bx <= ax + slack);
             prop_assert!(ax - bx <= fd.shrink_loss() + slack);
+        }
+    }
+
+    /// The certified randomized shrink keeps FD's *exact* guarantee on
+    /// adversarial streams: for every standard basis direction,
+    /// `‖Bx‖² ≤ ‖Ax‖²` (never overestimates) and
+    /// `‖Ax‖² − ‖Bx‖² ≤ shrink_loss ≤ 2‖A‖²F/ℓ` — the same property
+    /// `fd_loss_accounting` pins for the exact path, under the
+    /// randomized profile. The acceptance test inside the shrink
+    /// (reject unless `(keep+1)·charged ≤ destroyed`) is what makes
+    /// this hold unconditionally: a bad random projection falls back
+    /// to the exact shrink rather than weakening the bound.
+    #[test]
+    fn fd_randomized_keeps_guarantee(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 6), 1..150),
+        ell in 4usize..9,
+        oversample in 1usize..5,
+        power_iters in 0usize..3,
+    ) {
+        let d = 6;
+        let mut fd = FrequentDirections::new(d, ell).using_shrink(FdShrink::Randomized {
+            oversample,
+            power_iters,
+        });
+        let mut frob = 0.0;
+        for r in &rows {
+            fd.update(r);
+            frob += r.iter().map(|v| v * v).sum::<f64>();
+        }
+        let slack = 1e-9 * frob.max(1.0);
+        prop_assert!(fd.shrink_loss() <= fd.error_bound() + slack, "a-priori 2F/ℓ violated");
+        for i in 0..d {
+            let mut x = vec![0.0; d];
+            x[i] = 1.0;
+            let ax: f64 = rows
+                .iter()
+                .map(|r| {
+                    let dot: f64 = r.iter().zip(&x).map(|(a, b)| a * b).sum();
+                    dot * dot
+                })
+                .sum();
+            let bx = fd.query(&x);
+            prop_assert!(bx <= ax + slack, "randomized shrink overestimated ‖Ax‖²");
+            prop_assert!(ax - bx <= fd.shrink_loss() + slack, "loss bound violated");
         }
     }
 
