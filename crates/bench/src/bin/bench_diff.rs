@@ -14,7 +14,14 @@
 //! `--threshold <pct>` (only print per-record rows whose |Δ| exceeds
 //! this percentage; default 5), `--fail-on <pct>` (exit non-zero when
 //! any protocol's geometric-mean throughput regressed by more than
-//! `pct` percent — the CI gate; off by default).
+//! `pct` percent — the cross-recording gate; off by default), and
+//! `--ab-fail-on <pct>` (exit non-zero when any within-run
+//! blocked-vs-naive kernel A/B in `--new` falls below `1 − pct/100`×
+//! naive throughput; off by default). The two gates differ in what
+//! they trust: the cross-recording gate compares two recordings taken
+//! on possibly different machines, so CI keeps it advisory; the A/B
+//! gate compares two profiles measured on the same rows in the same
+//! run — machine-stable by construction — so CI blocks on it.
 
 use cma_bench::report::{
     diff, kernel_speedup_by_dim, parse_bench_json, per_dim_geomean, per_protocol_geomean,
@@ -37,6 +44,7 @@ fn main() -> ExitCode {
     let new_path = args.get_str("new", "BENCH_new.json");
     let threshold: f64 = args.get("threshold", 5.0);
     let fail_on: f64 = args.get("fail-on", f64::INFINITY);
+    let ab_fail_on: f64 = args.get("ab-fail-on", f64::INFINITY);
 
     let old = read_records(&old_path);
     let new = read_records(&new_path);
@@ -110,6 +118,53 @@ fn main() -> ExitCode {
         println!("## kernel A/B in {new_path} (blocked vs naive, same rows, same run)");
         for (label, dim, ratio) in &ab {
             println!("{label:<16} d={dim:<5} {ratio:>6.2}x");
+        }
+    }
+
+    // The within-run gate: both profiles of each A/B pair were measured
+    // on the same rows in the same process, so a blocked kernel running
+    // more than --ab-fail-on percent *slower than naive* is a real
+    // kernel regression, not runner noise — this one is safe to block
+    // CI on even when cross-recording deltas are advisory.
+    if ab_fail_on.is_finite() && !ab.is_empty() {
+        let floor = 1.0 - ab_fail_on / 100.0;
+        let (label, dim, worst) = ab
+            .iter()
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite A/B ratio"))
+            .expect("non-empty A/B set");
+        if *worst < floor {
+            eprintln!(
+                "bench_diff: FAIL — {label} d={dim} blocked/naive {worst:.2}x \
+                 below within-run floor {floor:.2}x (--ab-fail-on {ab_fail_on}%)"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!();
+        println!(
+            "ab gate: worst blocked/naive {worst:.2}x ({label} d={dim}) \
+             above floor {floor:.2}x"
+        );
+    }
+
+    // Scheduler telemetry of the fresh recording's pooled rows: total
+    // steal/park pressure per record plus the per-worker breakdown, so
+    // a throughput delta can be read next to what the work-stealing
+    // scheduler actually did (steal-heavy = load imbalance absorbed;
+    // park-heavy = workers starved).
+    let sched: Vec<_> = new.iter().filter(|r| r.tasks > 0).collect();
+    if !sched.is_empty() {
+        println!();
+        println!("## scheduler in {new_path} (pooled rows: tasks, steals/worker, parks/worker)");
+        for r in &sched {
+            println!(
+                "{:<44} tasks={:<8} steals={:<6} [{}]  parks={:<5} [{}]",
+                r.key(),
+                r.tasks,
+                r.steals,
+                r.worker_steals,
+                r.parks,
+                r.worker_parks,
+            );
         }
     }
 

@@ -111,7 +111,7 @@ fn emit(records: &[Record], meta: &str) -> String {
             out,
             "\"elapsed_s\": {:.4}, \"throughput_per_s\": {:.0}, \"err\": {:.6e}, \
              \"msgs_total\": {}, \"up_msgs\": {}, \"broadcast_events\": {}, \"broadcast_cost\": {}, \
-             \"max_fan_in\": {}, \"root_in_msgs\": {}, \"hops\": {}}}",
+             \"max_fan_in\": {}, \"root_in_msgs\": {}, \"hops\": {}",
             r.elapsed_s,
             r.throughput,
             r.err,
@@ -123,6 +123,18 @@ fn emit(records: &[Record], meta: &str) -> String {
             c.root_in_msgs,
             c.hops,
         );
+        // Scheduler telemetry of pooled records (PR 7): totals plus
+        // slash-separated per-worker detail (the record schema carries
+        // no arrays — see `report.rs`).
+        if let Some(e) = &r.comm.engine {
+            let _ = write!(
+                out,
+                ", \"tasks\": {}, \"steals\": {}, \"parks\": {}, \"wakeups\": {}, \
+                 \"worker_steals\": \"{}\", \"worker_parks\": \"{}\"",
+                e.tasks, e.steals, e.parks, e.wakeups, e.worker_steals, e.worker_parks,
+            );
+        }
+        out.push('}');
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
@@ -504,10 +516,12 @@ fn main() {
 
     // m = 1024 pooled rows: a deployment shape the thread-per-node
     // engine could not record (it would need > 1100 OS threads; the
-    // pool uses workers + 1).
+    // pool uses workers + 1). P2 only — the P1 m = 1024 w8 row moved
+    // into the deployment-scale tier below (same key, same workload).
     let big_m = 1024usize;
     let big_cfg = HhConfig::new(big_m, 0.05).with_seed(1);
-    for proto in [HhProtocol::P1, HhProtocol::P2] {
+    {
+        let proto = HhProtocol::P2;
         eprintln!("hh {} pooled tree8 w8 m{big_m}…", proto.name());
         let t0 = Instant::now();
         let (run, comm) = run_hh_engine(
@@ -535,6 +549,110 @@ fn main() {
             err: run.eval.avg_rel_err,
             comm,
         });
+    }
+
+    // The deployment-scale tier (PR 7): the work-stealing scheduler at
+    // m = 65536 — a tree8 plan with 9362 interior nodes, 74898 node
+    // tasks per wave — recorded for HH-P1, MT-P2 (blocked kernels) and
+    // SwMg at pool sizes {2, 8, 16}, next to m = 1024 rows over the
+    // *same workload* at the same pool sizes, so each pair of rows
+    // quantifies what 64× more deployment costs at that worker count.
+    // MT-P2 gets a 10× heavier row stream here: at 6 k rows a 65536-site
+    // deployment measures site construction, not the protocol.
+    let mt_tier_n = (60_000.0 * scale) as usize;
+    let mt_tier_rows: Vec<Vec<f64>> = {
+        let mut s = SyntheticMatrixStream::pamap_like(7);
+        (0..mt_tier_n).map(|_| s.next_row()).collect()
+    };
+    for &tier_m in &[1024usize, 65_536] {
+        let hh_tier = HhConfig::new(tier_m, 0.05).with_seed(1);
+        let mt_tier = MatrixConfig::new(tier_m, 0.1, 44)
+            .with_seed(2)
+            .with_profile(LinalgProfile::blocked());
+        let swmg_tier = SwMgConfig::new(tier_m, 0.05, 8_192, 64);
+        for &workers in &[2usize, 8, 16] {
+            eprintln!("hh P1 pooled tree8 w{workers} m{tier_m}…");
+            let t0 = Instant::now();
+            let (run, comm) = run_hh_engine(
+                HhProtocol::P1,
+                &hh_tier,
+                &hh_stream,
+                0.05,
+                pool_topo,
+                &tcfg,
+                Executor::Pool { workers },
+            );
+            let dt = t0.elapsed().as_secs_f64();
+            records.push(Record {
+                family: "hh",
+                protocol: HhProtocol::P1.name(),
+                batch: tcfg.batch_size,
+                topology: "tree8",
+                mode: "pooled",
+                workers,
+                sites: tier_m,
+                dim: 0,
+                profile: "",
+                elapsed_s: dt,
+                throughput: hh_n as f64 / dt,
+                err: run.eval.avg_rel_err,
+                comm,
+            });
+
+            eprintln!("matrix P2 pooled tree8 w{workers} m{tier_m} (blocked)…");
+            let t0 = Instant::now();
+            let (run, comm) = run_matrix_engine(
+                MatrixProtocol::P2,
+                &mt_tier,
+                &mt_tier_rows,
+                pool_topo,
+                &tcfg,
+                Executor::Pool { workers },
+            );
+            let dt = t0.elapsed().as_secs_f64();
+            records.push(Record {
+                family: "matrix",
+                protocol: MatrixProtocol::P2.name(),
+                batch: tcfg.batch_size,
+                topology: "tree8",
+                mode: "pooled",
+                workers,
+                sites: tier_m,
+                dim: 0,
+                profile: "blocked",
+                elapsed_s: dt,
+                throughput: mt_tier_n as f64 / dt,
+                err: run.err,
+                comm,
+            });
+
+            eprintln!("window SwMg pooled tree8 w{workers} m{tier_m}…");
+            let t0 = Instant::now();
+            let (run, comm) = run_swmg_engine(
+                &swmg_tier,
+                &hh_stream,
+                0.05,
+                pool_topo,
+                &tcfg,
+                Executor::Pool { workers },
+            );
+            let dt = t0.elapsed().as_secs_f64();
+            records.push(Record {
+                family: "window",
+                protocol: run.protocol,
+                batch: tcfg.batch_size,
+                topology: "tree8",
+                mode: "pooled",
+                workers,
+                sites: tier_m,
+                dim: 0,
+                profile: "",
+                elapsed_s: dt,
+                throughput: hh_n as f64 / dt,
+                err: run.err,
+                comm,
+            });
+        }
     }
 
     // Adaptive-topology rows: the two-pass planner resolves the fanout
@@ -639,6 +757,8 @@ fn main() {
          \"batches\": [64, 1024], \"topologies\": [\"star\", \"tree4\", \"tree8\"], \
          \"threaded_topologies\": [\"star\", \"tree2\", \"tree4\", \"tree8\"], \
          \"pool_workers\": [2, 8], \"pool_sites_big\": {big_m}, \
+         \"pool_tier_sites\": [1024, 65536], \"pool_tier_workers\": [2, 8, 16], \
+         \"pool_tier_mt_n\": {mt_tier_n}, \
          \"daxis_dims\": [44, 128, 512], \"daxis_profiles\": [\"naive\", \"blocked\"], \
          \"daxis_n\": {daxis_n}, \
          \"adaptive\": \"max_fan_in 8, calibration prefix {calib_n}\"}}",

@@ -16,7 +16,7 @@ use cma_linalg::svd::gram_svd;
 use cma_linalg::Matrix;
 use cma_sketch::{ExactWeightedCounter, FrequentDirections};
 use cma_stream::partition::RoundRobin;
-use cma_stream::runner::engine::{self, Executor};
+use cma_stream::runner::engine::{self, EngineStats, Executor};
 use cma_stream::runner::threaded::{self, ThreadedConfig};
 use cma_stream::{CommStats, Topology};
 
@@ -92,6 +92,52 @@ pub struct CommSummary {
     pub root_in_msgs: u64,
     /// Hops from leaf to root.
     pub hops: usize,
+    /// Scheduler counters of a pooled-engine run ([`EngineSummary`]);
+    /// `None` for the sequential and thread-per-node drivers, whose
+    /// runtimes have no work-stealing scheduler to count.
+    pub engine: Option<EngineSummary>,
+}
+
+/// Flattened per-run scheduler counters ([`EngineStats`]) of a pooled
+/// record — the v2 work-stealing engine's own telemetry, recorded next
+/// to the communication profile so a bench diff can tell a protocol
+/// change from a scheduling change.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineSummary {
+    /// Node tasks executed across all workers.
+    pub tasks: u64,
+    /// Chunks stolen from another worker's deque.
+    pub steals: u64,
+    /// Times a worker actually slept on the wakeup condvar.
+    pub parks: u64,
+    /// Times a sleeping worker was woken by a task-producing event.
+    pub wakeups: u64,
+    /// Per-worker steal counts, worker 0 first, slash-separated
+    /// (`"12/9/14"`) — kept flat because the bench JSON schema carries
+    /// no arrays.
+    pub worker_steals: String,
+    /// Per-worker park counts, same encoding.
+    pub worker_parks: String,
+}
+
+impl From<&EngineStats> for EngineSummary {
+    fn from(s: &EngineStats) -> Self {
+        let join = |field: fn(&cma_stream::WorkerStats) -> u64| {
+            s.workers
+                .iter()
+                .map(|w| field(w).to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        EngineSummary {
+            tasks: s.total_tasks(),
+            steals: s.total_steals(),
+            parks: s.total_parks(),
+            wakeups: s.total_wakeups(),
+            worker_steals: join(|w| w.steals),
+            worker_parks: join(|w| w.parks),
+        }
+    }
 }
 
 impl From<&CommStats> for CommSummary {
@@ -104,6 +150,7 @@ impl From<&CommStats> for CommSummary {
             max_fan_in: s.max_fan_in,
             root_in_msgs: s.node_in_msgs.last().copied().unwrap_or(0),
             hops: s.per_level.len(),
+            engine: None,
         }
     }
 }
@@ -263,7 +310,7 @@ pub fn run_hh_threaded(
 macro_rules! drive_hh_engine {
     ($module:ident, $cfg:expr, $inputs:expr, $exact:expr, $phi:expr, $topo:expr, $tcfg:expr, $exec:expr) => {{
         let (sites, coordinator, _) = hh::$module::deploy_topology($cfg, $topo).into_parts();
-        let (_, coordinator, stats) = engine::run_partitioned_topology(
+        let parts = engine::run_partitioned_topology_parts(
             sites,
             coordinator,
             $inputs,
@@ -272,8 +319,9 @@ macro_rules! drive_hh_engine {
             $topo,
             hh::$module::make_aggregator($cfg, $topo),
         );
-        let summary = CommSummary::from(&stats);
-        let eval = metrics::evaluate(&coordinator, $exact, $phi, $cfg.epsilon);
+        let mut summary = CommSummary::from(&parts.stats);
+        summary.engine = Some(EngineSummary::from(&parts.engine));
+        let eval = metrics::evaluate(&parts.coordinator, $exact, $phi, $cfg.epsilon);
         (summary, eval)
     }};
 }
@@ -373,7 +421,7 @@ pub fn run_matrix_threaded(
 macro_rules! drive_matrix_engine {
     ($module:ident, $cfg:expr, $inputs:expr, $topo:expr, $tcfg:expr, $exec:expr) => {{
         let (sites, coordinator, _) = matrix::$module::deploy_topology($cfg, $topo).into_parts();
-        let (_, coordinator, stats) = engine::run_partitioned_topology(
+        let parts = engine::run_partitioned_topology_parts(
             sites,
             coordinator,
             $inputs,
@@ -382,10 +430,12 @@ macro_rules! drive_matrix_engine {
             $topo,
             matrix::$module::make_aggregator($cfg, $topo),
         );
+        let mut summary = CommSummary::from(&parts.stats);
+        summary.engine = Some(EngineSummary::from(&parts.engine));
         (
-            CommSummary::from(&stats),
-            coordinator.sketch(),
-            coordinator.frob_estimate(),
+            summary,
+            parts.coordinator.sketch(),
+            parts.coordinator.frob_estimate(),
         )
     }};
 }
@@ -896,7 +946,8 @@ pub fn run_swmg_engine(
 ) -> (WindowRunResult, CommSummary) {
     let inputs = partition_round_robin(&stamp_stream(stream), cfg.params.sites);
     let parts = swmg::run_engine(cfg, inputs, tcfg, executor, topology);
-    let summary = CommSummary::from(&parts.stats);
+    let mut summary = CommSummary::from(&parts.stats);
+    summary.engine = Some(EngineSummary::from(&parts.engine));
     let coord = &parts.coordinator;
     let err = swmg_window_err(coord, stream, cfg.params.window as usize, phi);
     (
@@ -921,7 +972,8 @@ pub fn run_swfd_engine(
 ) -> (WindowRunResult, CommSummary) {
     let inputs = partition_round_robin(&stamp_stream(rows), cfg.params.sites);
     let parts = swfd::run_engine(cfg, inputs, tcfg, executor, topology);
-    let summary = CommSummary::from(&parts.stats);
+    let mut summary = CommSummary::from(&parts.stats);
+    summary.engine = Some(EngineSummary::from(&parts.engine));
     let coord = &parts.coordinator;
     let sketch = coord.sketch_at(rows.len() as u64);
     let err = swfd_window_err(&sketch, rows, cfg.params.window as usize, cfg.dim);

@@ -52,6 +52,18 @@ pub struct BenchRecord {
     pub msgs_total: u64,
     /// Messages the root coordinator received — the fan-in pressure.
     pub root_in_msgs: u64,
+    /// Node tasks the pooled engine executed; `0` for non-pooled rows
+    /// and recordings older than the scheduler-telemetry fields.
+    pub tasks: u64,
+    /// Chunks stolen across worker deques (pooled rows only).
+    pub steals: u64,
+    /// Times a worker slept on the wakeup condvar (pooled rows only).
+    pub parks: u64,
+    /// Per-worker steal counts, slash-separated (`"12/9/14"`, worker 0
+    /// first); empty when not recorded.
+    pub worker_steals: String,
+    /// Per-worker park counts, same encoding.
+    pub worker_parks: String,
 }
 
 impl BenchRecord {
@@ -139,6 +151,11 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
             err: f64_field(obj, "err").unwrap_or(f64::NAN),
             msgs_total: u64_field(obj, "msgs_total").unwrap_or(0),
             root_in_msgs: u64_field(obj, "root_in_msgs").unwrap_or(0),
+            tasks: u64_field(obj, "tasks").unwrap_or(0),
+            steals: u64_field(obj, "steals").unwrap_or(0),
+            parks: u64_field(obj, "parks").unwrap_or(0),
+            worker_steals: str_field(obj, "worker_steals").unwrap_or_default(),
+            worker_parks: str_field(obj, "worker_parks").unwrap_or_default(),
         });
     }
     out
@@ -319,6 +336,32 @@ mod tests {
     {"family": "hh", "protocol": "P1", "batch": 64, "topology": "tree8", "mode": "pooled", "workers": 8, "sites": 1024, "throughput_per_s": 90000, "err": 1.0e-3, "msgs_total": 9500, "root_in_msgs": 55, "hops": 3}
   ]
 }"#;
+
+    /// PR 7 schema: pooled rows carry the work-stealing scheduler's
+    /// counters, with per-worker detail as slash-separated strings.
+    const SCHED_SAMPLE: &str = r#"{
+  "meta": {"sites": 64},
+  "results": [
+    {"family": "hh", "protocol": "P1", "batch": 64, "topology": "tree8", "mode": "pooled", "workers": 3, "sites": 65536, "throughput_per_s": 800000, "err": 1.0e-3, "msgs_total": 9000, "root_in_msgs": 40, "hops": 6, "tasks": 224694, "steals": 35, "parks": 4, "wakeups": 4, "worker_steals": "12/9/14", "worker_parks": "2/0/2"}
+  ]
+}"#;
+
+    #[test]
+    fn scheduler_telemetry_parses_and_defaults_to_zero() {
+        let recs = parse_bench_json(SCHED_SAMPLE);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].tasks, 224694);
+        assert_eq!(recs[0].steals, 35);
+        assert_eq!(recs[0].parks, 4);
+        assert_eq!(recs[0].worker_steals, "12/9/14");
+        assert_eq!(recs[0].worker_parks, "2/0/2");
+        // The telemetry does not enter the record identity.
+        assert_eq!(recs[0].key(), "hh/P1 batch=64 tree8 pooled w3 m65536");
+        // Older recordings parse with the counters zeroed.
+        let old = parse_bench_json(SAMPLE);
+        assert_eq!(old[0].tasks, 0);
+        assert!(old[0].worker_steals.is_empty());
+    }
 
     #[test]
     fn workers_and_sites_axes_parse_and_distinguish_keys() {

@@ -15,7 +15,10 @@
 use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
 use cma_sketch::MgSummary;
-use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
+use cma_stream::{
+    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
+    Topology,
+};
 
 /// Site → coordinator message: the site's entire Misra–Gries state.
 #[derive(Debug, Clone)]
@@ -193,6 +196,19 @@ impl Aggregator for P1Aggregator {
 
     fn on_broadcast(&mut self, w_hat: &f64) {
         self.w_hat = *w_hat;
+    }
+}
+
+impl MigratableAggregator for P1Aggregator {
+    /// Ships the merged partial regardless of the hold threshold — the
+    /// withheld-weight budget is re-stated against the new plan, so
+    /// nothing may stay behind.
+    fn split_for_migration(&mut self, out: &mut Vec<(SiteId, P1Msg)>) {
+        if !self.merged.is_empty() {
+            let mut flushed = MgSummary::new(self.merged.capacity());
+            std::mem::swap(&mut flushed, &mut self.merged);
+            out.push((self.rep, P1Msg { summary: flushed }));
+        }
     }
 }
 

@@ -25,7 +25,10 @@
 use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
 use cma_sketch::MgSummary;
-use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
+use cma_stream::{
+    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
+    Topology,
+};
 use std::collections::HashMap;
 
 /// Site → coordinator messages of protocol P2.
@@ -333,6 +336,23 @@ impl Aggregator for P2Aggregator {
 
     fn on_broadcast(&mut self, w_hat: &f64) {
         self.w_hat = *w_hat;
+    }
+}
+
+impl MigratableAggregator for P2Aggregator {
+    /// Drains the pending scalar and every per-element delta, ignoring
+    /// the node threshold. Elements are emitted in item order so
+    /// migration is deterministic.
+    fn split_for_migration(&mut self, out: &mut Vec<(SiteId, P2Msg)>) {
+        if self.pending_total > 0.0 {
+            out.push((self.rep, P2Msg::Total(self.pending_total)));
+            self.pending_total = 0.0;
+        }
+        let mut deltas: Vec<(Item, f64)> = self.pending_deltas.drain().collect();
+        deltas.sort_unstable_by_key(|&(e, _)| e);
+        for (e, d) in deltas {
+            out.push((self.rep, P2Msg::Element(e, d)));
+        }
     }
 }
 

@@ -18,7 +18,10 @@ use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
 use crate::weight_tracker::{CoordWeightTracker, SiteWeightTracker};
 use cma_sketch::SpaceSaving;
-use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
+use cma_stream::{
+    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
+    Topology,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -267,6 +270,10 @@ impl HhEstimator for P4Coordinator {
 pub struct P4Aggregator {
     tracker: SiteWeightTracker,
     pending: Vec<(SiteId, P4Msg)>,
+    /// Representative origin for the tracker's coalesced weight (the
+    /// coordinator's tracker ignores origins; any contributing leaf
+    /// works).
+    rep: SiteId,
 }
 
 impl Aggregator for P4Aggregator {
@@ -276,6 +283,7 @@ impl Aggregator for P4Aggregator {
     fn absorb(&mut self, from: SiteId, msg: P4Msg) {
         match msg {
             P4Msg::Total(report) => {
+                self.rep = from;
                 if let Some(merged) = self.tracker.add(report) {
                     self.pending.push((from, P4Msg::Total(merged)));
                 }
@@ -290,6 +298,18 @@ impl Aggregator for P4Aggregator {
 
     fn on_broadcast(&mut self, w_hat: &f64) {
         self.tracker.on_broadcast(*w_hat);
+    }
+}
+
+impl MigratableAggregator for P4Aggregator {
+    /// Drains the relay queue plus the tracker's sub-threshold weight —
+    /// the only state this node withholds.
+    fn split_for_migration(&mut self, out: &mut Vec<(SiteId, P4Msg)>) {
+        out.append(&mut self.pending);
+        let held = self.tracker.take_unreported();
+        if held > 0.0 {
+            out.push((self.rep, P4Msg::Total(held)));
+        }
     }
 }
 
@@ -328,6 +348,7 @@ pub fn make_aggregator(cfg: &HhConfig, topology: Topology) -> impl FnMut(AggNode
     move |_| P4Aggregator {
         tracker: SiteWeightTracker::with_budget(budget),
         pending: Vec::new(),
+        rep: 0,
     }
 }
 

@@ -18,7 +18,10 @@ use super::{row_weight, MatrixEstimator, Row};
 use crate::config::MatrixConfig;
 use cma_linalg::Matrix;
 use cma_sketch::FrequentDirections;
-use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
+use cma_stream::{
+    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
+    Topology,
+};
 
 /// Site → coordinator message: a flushed FD sketch.
 #[derive(Debug, Clone)]
@@ -203,6 +206,19 @@ impl Aggregator for MP1Aggregator {
 
     fn on_broadcast(&mut self, f_hat: &f64) {
         self.f_hat = *f_hat;
+    }
+}
+
+impl MigratableAggregator for MP1Aggregator {
+    /// Ships the merged FD partial regardless of the hold threshold —
+    /// the withheld-mass budget is re-stated against the new plan.
+    fn split_for_migration(&mut self, out: &mut Vec<(SiteId, MP1Msg)>) {
+        if self.mass > 0.0 {
+            let (rows, _) = self.fd.take();
+            let mass = self.mass;
+            self.mass = 0.0;
+            out.push((self.rep, MP1Msg { rows, mass }));
+        }
     }
 }
 

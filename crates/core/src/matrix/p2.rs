@@ -51,7 +51,10 @@ use crate::config::MatrixConfig;
 use cma_linalg::eigen::jacobi_eigen_sym_with_basis_tol;
 use cma_linalg::{KernelPath, Matrix};
 use cma_sketch::FrequentDirections;
-use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
+use cma_stream::{
+    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
+    Topology,
+};
 
 /// Site → coordinator messages of protocol MT-P2.
 #[derive(Debug, Clone)]
@@ -397,6 +400,39 @@ impl MP2Site {
         }
     }
 
+    /// Migration hook: re-expresses the withheld matrix as `Σ Vᵀ` (one
+    /// decomposition, folding in any pending rows) and then ships
+    /// **every** remaining direction, leaving the state empty. Both
+    /// layouts emit rows in `R^d` coordinates — the basis layout's
+    /// pending rows are stored in its own basis, and the decomposition
+    /// is what rotates them back out.
+    fn drain_all_directions(&mut self, out: &mut Vec<MP2Msg>) {
+        self.decompose_and_send(out);
+        self.smax2 = 0.0;
+        match &mut self.rep {
+            Rep::Basis { basis, sig2, .. } => {
+                for (i, s2) in sig2.iter_mut().enumerate() {
+                    if *s2 > 0.0 {
+                        let s = s2.sqrt();
+                        let mut row = basis.row(i).to_vec();
+                        for v in &mut row {
+                            *v *= s;
+                        }
+                        out.push(MP2Msg::Direction(row));
+                        *s2 = 0.0;
+                    }
+                }
+            }
+            Rep::Spectral { dirs, .. } => {
+                let d = dirs.cols();
+                let stack = std::mem::replace(dirs, Matrix::with_cols(d));
+                for row in stack.iter_rows() {
+                    out.push(MP2Msg::Direction(row.to_vec()));
+                }
+            }
+        }
+    }
+
     /// [`MP2Options::deferred_batch_check`] batch path: per-row work is
     /// scalar only (mass accounting and the `F̂` report), and the
     /// decomposition trigger runs **once**, after the whole batch has
@@ -599,6 +635,22 @@ impl Aggregator for MP2Aggregator {
 
     fn on_broadcast(&mut self, f_hat: &f64) {
         self.inner.on_broadcast(f_hat);
+    }
+}
+
+impl MigratableAggregator for MP2Aggregator {
+    /// Drains the pending scalar, anything already in the outbox, and
+    /// every direction the spectral merge state withholds
+    /// (`MP2Site::drain_all_directions`) — all ignoring thresholds.
+    fn split_for_migration(&mut self, out: &mut Vec<(SiteId, MP2Msg)>) {
+        if self.pending_scalar > 0.0 {
+            out.push((self.rep, MP2Msg::Scalar(self.pending_scalar)));
+            self.pending_scalar = 0.0;
+        }
+        self.inner.drain_all_directions(&mut self.outbox);
+        for msg in self.outbox.drain(..) {
+            out.push((self.rep, msg));
+        }
     }
 }
 

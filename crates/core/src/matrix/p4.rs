@@ -28,7 +28,10 @@ use crate::config::MatrixConfig;
 use crate::weight_tracker::{CoordWeightTracker, SiteWeightTracker};
 use cma_linalg::matrix::accumulate_outer;
 use cma_linalg::Matrix;
-use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
+use cma_stream::{
+    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
+    Topology,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -214,6 +217,8 @@ impl MatrixEstimator for MP4Coordinator {
 pub struct MP4Aggregator {
     tracker: SiteWeightTracker,
     pending: Vec<(SiteId, MP4Msg)>,
+    /// Representative origin for the tracker's coalesced mass.
+    rep: SiteId,
 }
 
 impl Aggregator for MP4Aggregator {
@@ -223,6 +228,7 @@ impl Aggregator for MP4Aggregator {
     fn absorb(&mut self, from: SiteId, msg: MP4Msg) {
         match msg {
             MP4Msg::Total(report) => {
+                self.rep = from;
                 if let Some(merged) = self.tracker.add(report) {
                     self.pending.push((from, MP4Msg::Total(merged)));
                 }
@@ -237,6 +243,18 @@ impl Aggregator for MP4Aggregator {
 
     fn on_broadcast(&mut self, f_hat: &f64) {
         self.tracker.on_broadcast(*f_hat);
+    }
+}
+
+impl MigratableAggregator for MP4Aggregator {
+    /// Drains the relay queue plus the tracker's sub-threshold mass —
+    /// the only state this node withholds.
+    fn split_for_migration(&mut self, out: &mut Vec<(SiteId, MP4Msg)>) {
+        out.append(&mut self.pending);
+        let held = self.tracker.take_unreported();
+        if held > 0.0 {
+            out.push((self.rep, MP4Msg::Total(held)));
+        }
     }
 }
 
@@ -278,6 +296,7 @@ pub fn make_aggregator(
     move |_| MP4Aggregator {
         tracker: SiteWeightTracker::with_budget(budget),
         pending: Vec::new(),
+        rep: 0,
     }
 }
 

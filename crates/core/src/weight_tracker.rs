@@ -74,6 +74,13 @@ impl SiteWeightTracker {
     pub fn on_broadcast(&mut self, w_hat: f64) {
         self.w_hat = w_hat;
     }
+
+    /// Drains the unreported weight, leaving the tracker empty — the
+    /// migration hook: a live re-plan must not strand withheld weight in
+    /// a retired node, so this ignores the report threshold.
+    pub fn take_unreported(&mut self) -> f64 {
+        std::mem::take(&mut self.unreported)
+    }
 }
 
 /// Coordinator half of the weight tracker.

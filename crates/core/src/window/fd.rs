@@ -195,6 +195,27 @@ pub fn run_engine(
     super::run_kind_engine(cfg.kind(), &cfg.params, inputs, tcfg, executor, topology)
 }
 
+/// Runs a windowed matrix deployment through the live re-planning
+/// driver; see [`crate::window::mg::run_engine_live`] for the contract.
+pub fn run_engine_live(
+    cfg: &SwFdConfig,
+    inputs: Vec<Vec<super::Stamped<Row>>>,
+    tcfg: &cma_stream::runner::threaded::ThreadedConfig,
+    executor: cma_stream::Executor,
+    topology: Topology,
+    live_cfg: &cma_stream::runner::live::LiveConfig,
+) -> cma_stream::runner::live::LiveRunParts<SwFdSite, SwFdCoordinator, SwFdAggregator> {
+    super::run_kind_engine_live(
+        cfg.kind(),
+        &cfg.params,
+        inputs,
+        tcfg,
+        executor,
+        topology,
+        live_cfg,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

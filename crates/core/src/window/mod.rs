@@ -64,8 +64,12 @@
 use cma_sketch::sliding_window::{ExpHistogram, WinBucket, WindowSummary};
 use cma_sketch::{FrequentDirections, MgSummary};
 use cma_stream::runner::engine::{self, Executor};
+use cma_stream::runner::live;
 use cma_stream::runner::threaded::{ThreadedConfig, TreeRunParts};
-use cma_stream::{AggNode, Aggregator, Coordinator, MessageCost, Runner, Site, SiteId, Topology};
+use cma_stream::{
+    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
+    Topology,
+};
 
 pub mod fd;
 pub mod mg;
@@ -391,6 +395,22 @@ impl<K: WindowKind> Aggregator for SwAggregator<K> {
     }
 }
 
+impl<K: WindowKind> MigratableAggregator for SwAggregator<K> {
+    /// Ships every held bucket (with this node's clock, so the receiver
+    /// expires them correctly) regardless of the hold threshold.
+    fn split_for_migration(&mut self, out: &mut Vec<(SiteId, SwMsg<K::Summary>)>) {
+        if self.hist.bucket_count() > 0 {
+            out.push((
+                self.rep,
+                SwMsg {
+                    latest: self.hist.now(),
+                    buckets: self.hist.drain(),
+                },
+            ));
+        }
+    }
+}
+
 /// Root of a sliding-window deployment: the global exponential
 /// histogram, the `Ŵ` broadcast policy, and the certified window
 /// queries.
@@ -563,6 +583,43 @@ where
         executor,
         topology,
         make_kind_aggregator(params, topology),
+    )
+}
+
+/// Runs a windowed deployment through the **live re-planning** driver
+/// ([`cma_stream::runner::live`]): the stream is driven in segments and
+/// a [`Topology::Adaptive`] deployment migrates its aggregation shape
+/// mid-stream when the measured fan-in calls for it, re-splitting the
+/// interior withholding budget over the new plan's nodes via
+/// [`make_kind_aggregator`]. Sites keep the budget split of the
+/// *structural* resolution they started on — the tree split whenever a
+/// re-plan is possible at all (`m >` budget), which under-withholds
+/// relative to any later flat plan and therefore never endangers the
+/// certified bound.
+pub(crate) fn run_kind_engine_live<K>(
+    kind: K,
+    params: &SwParams,
+    inputs: Vec<Vec<Stamped<K::Input>>>,
+    tcfg: &ThreadedConfig,
+    executor: Executor,
+    topology: Topology,
+    live_cfg: &live::LiveConfig,
+) -> live::LiveRunParts<SwSite<K>, SwCoordinator<K>, SwAggregator<K>>
+where
+    K: WindowKind + Send,
+    K::Input: Send,
+    K::Summary: Send,
+{
+    let (sites, coordinator, _) = deploy_kind_topology(kind, params, topology).into_parts();
+    live::run_live_partitioned_topology_parts(
+        sites,
+        coordinator,
+        inputs,
+        tcfg,
+        executor,
+        topology,
+        |concrete| make_kind_aggregator(params, concrete),
+        live_cfg,
     )
 }
 

@@ -94,6 +94,49 @@ pub trait Aggregator {
     fn on_broadcast(&mut self, _broadcast: &Self::Broadcast) {}
 }
 
+/// An [`Aggregator`] whose held state can be *migrated* into a
+/// different aggregation plan while the deployment keeps running — the
+/// surface behind live re-planning
+/// ([`crate::Topology::resolve_live`]).
+///
+/// # Contract
+///
+/// When a re-plan fires (at a `Ŵ` re-broadcast boundary, with the old
+/// plan's traffic drained), the runner calls
+/// [`split_for_migration`](MigratableAggregator::split_for_migration)
+/// on every *old* interior node — each must hand back **all** of its
+/// held state as origin-tagged up-messages and be left empty — builds
+/// the *new* plan's aggregators with the protocol's own factory (so
+/// hold budgets are re-split over the new `m + I` withholding nodes),
+/// and delivers each emitted message to the new parent of its origin
+/// leaf via [`absorb_migrated`](MigratableAggregator::absorb_migrated)
+/// (or straight to the coordinator when the new plan is flat).
+///
+/// Conservation is the whole game: everything a leaf ever emitted must
+/// end up in the coordinator or in exactly one new node — nothing lost,
+/// nothing double-counted. `split_for_migration` therefore differs from
+/// [`Aggregator::flush`] in exactly one way: it ignores the hold
+/// threshold and drains *everything*. It must **not** be used as a
+/// flush — the runner only calls it at migration boundaries, where the
+/// withheld-mass budget is re-stated against the new plan.
+///
+/// `absorb_migrated` defaults to [`Aggregator::absorb`]; override it
+/// when absorbing has side effects that must not fire twice for
+/// already-vetted traffic (e.g. [`FilteredRelay`] re-running its
+/// admission filter on messages the old node already admitted).
+pub trait MigratableAggregator: Aggregator {
+    /// Drains **all** held state as `(origin, message)` pairs, leaving
+    /// this node empty. Origins are the same representative leaf ids
+    /// the node would have used in a flush.
+    fn split_for_migration(&mut self, out: &mut Vec<(SiteId, Self::UpMsg)>);
+
+    /// Absorbs one message that arrived via migration rather than from
+    /// a live child wave. Defaults to plain [`Aggregator::absorb`].
+    fn absorb_migrated(&mut self, from: SiteId, msg: Self::UpMsg) {
+        self.absorb(from, msg);
+    }
+}
+
 /// The trivial aggregator: forwards every message unchanged, holding
 /// nothing. Any protocol is tree-deployable through `Relay` from day
 /// one (it preserves execution exactly); protocols provide their own
@@ -129,6 +172,13 @@ impl<M, B> Aggregator for Relay<M, B> {
     }
 
     fn flush(&mut self, out: &mut Vec<(SiteId, M)>) {
+        out.append(&mut self.pending);
+    }
+}
+
+impl<M, B> MigratableAggregator for Relay<M, B> {
+    /// A relay holds only what the current wave has not flushed yet.
+    fn split_for_migration(&mut self, out: &mut Vec<(SiteId, M)>) {
         out.append(&mut self.pending);
     }
 }
@@ -192,6 +242,21 @@ impl<F: RelayFilter> Aggregator for FilteredRelay<F> {
 
     fn on_broadcast(&mut self, broadcast: &F::Broadcast) {
         self.filter.on_broadcast(broadcast);
+    }
+}
+
+impl<F: RelayFilter> MigratableAggregator for FilteredRelay<F> {
+    fn split_for_migration(&mut self, out: &mut Vec<(SiteId, F::UpMsg)>) {
+        out.append(&mut self.pending);
+    }
+
+    /// Migrated messages were already admitted by the *old* node's
+    /// filter — re-running `admit` here could double-count its state
+    /// side effects (a dominance filter recording the message twice) or
+    /// drop a message a fresher broadcast now rejects, losing it. They
+    /// go straight to pending.
+    fn absorb_migrated(&mut self, from: SiteId, msg: F::UpMsg) {
+        self.pending.push((from, msg));
     }
 }
 

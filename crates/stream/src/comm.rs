@@ -228,6 +228,52 @@ impl CommStats {
             *a += *b;
         }
     }
+
+    /// Folds stats from a *differently-shaped* deployment segment into
+    /// this accumulator — the live re-planning case, where one logical
+    /// run crosses two (or more) topology plans and
+    /// [`CommStats::absorb`] would rightly refuse the shape mismatch.
+    ///
+    /// The scalars that are shape-independent sum exactly (`up_msgs`,
+    /// `up_cost`, broadcast events/cost, arrivals, per-leaf send
+    /// counts — site ids are stable across re-plans). Per-hop and
+    /// per-node traffic cannot keep its structure across plans, so it
+    /// collapses conservatively: every level's up-traffic folds onto
+    /// this accumulator's *last* hop-level entry and every node's
+    /// fan-in onto the root entry — preserving [`CommStats::total`] and
+    /// the root-pressure reading (`node_in_msgs` root = everything that
+    /// transited the segment), at the price of per-level attribution
+    /// for the folded segment. Callers that need per-plan shape keep
+    /// the per-segment stats alongside.
+    ///
+    /// # Panics
+    /// Debug-panics when the two stat blocks disagree on `m`.
+    pub fn absorb_reshaped(&mut self, other: &CommStats) {
+        debug_assert_eq!(
+            self.sites, other.sites,
+            "absorbing stats from different deployments"
+        );
+        self.up_msgs += other.up_msgs;
+        self.up_cost += other.up_cost;
+        self.broadcast_events += other.broadcast_events;
+        self.broadcast_cost += other.broadcast_cost;
+        self.arrivals += other.arrivals;
+        let last = self.per_level.len().saturating_sub(1);
+        if let Some(l) = self.per_level.get_mut(last) {
+            for b in &other.per_level {
+                l.up_msgs += b.up_msgs;
+                l.up_cost += b.up_cost;
+                l.broadcast_msgs += b.broadcast_msgs;
+            }
+        }
+        let root = self.node_in_msgs.len().saturating_sub(1);
+        if let Some(r) = self.node_in_msgs.get_mut(root) {
+            *r += other.node_in_msgs.iter().sum::<u64>();
+        }
+        for (a, b) in self.leaf_out_msgs.iter_mut().zip(&other.leaf_out_msgs) {
+            *a += *b;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -131,11 +131,11 @@ pub mod runner;
 pub mod site;
 pub mod topology;
 
-pub use aggregator::{Aggregator, FilteredRelay, Relay, RelayFilter};
+pub use aggregator::{Aggregator, FilteredRelay, MigratableAggregator, Relay, RelayFilter};
 pub use comm::{CommStats, LevelStats, MessageCost};
 pub use coordinator::Coordinator;
 pub use partition::Partitioner;
-pub use runner::engine::Executor;
+pub use runner::engine::{EngineStats, Executor, WorkerStats};
 pub use runner::Runner;
 pub use site::Site;
 pub use topology::{AggNode, Topology, TopologyPlan};

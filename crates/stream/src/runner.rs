@@ -93,6 +93,24 @@ where
         }
     }
 
+    /// Re-assembles the layer around *pre-built* aggregator nodes (in
+    /// [`TopologyPlan::agg_nodes`] order) — the resume path used when a
+    /// live re-plan migrates interior state into a new plan without
+    /// restarting the deployment.
+    fn from_parts(plan: TopologyPlan, aggs: Vec<A>, coordinator: C) -> Self {
+        assert_eq!(
+            aggs.len(),
+            plan.internal_nodes(),
+            "AggCore: one aggregator per interior node"
+        );
+        AggCore {
+            plan,
+            aggs,
+            coordinator,
+            relay: Vec::new(),
+        }
+    }
+
     /// Routes one upward message from leaf `origin` through the
     /// aggregation tree into the root, recording per-hop costs and
     /// per-node fan-in; broadcasts triggered at the root are pushed onto
@@ -429,6 +447,7 @@ fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
 }
 
 pub mod engine;
+pub mod live;
 
 /// Asynchronous driver: one thread per site, channel-based delivery of
 /// message *batches*.
@@ -561,6 +580,11 @@ pub mod threaded {
         pub coordinator: C,
         /// Merged communication totals across all threads.
         pub stats: CommStats,
+        /// Per-worker scheduling counters — populated only by the
+        /// pooled execution engine ([`super::engine::Executor::Pool`]);
+        /// empty (no workers) for this thread-per-node driver and for
+        /// [`super::engine::Executor::Inline`].
+        pub engine: super::engine::EngineStats,
     }
 
     /// [`run_partitioned_with`] over an arbitrary aggregation topology,
@@ -642,6 +666,7 @@ pub mod threaded {
                 aggregators: Vec::new(),
                 coordinator,
                 stats: CommStats::default(),
+                engine: super::engine::EngineStats::default(),
             };
         }
         let m = sites.len();
@@ -655,6 +680,7 @@ pub mod threaded {
                 aggregators: Vec::new(),
                 coordinator,
                 stats,
+                engine: super::engine::EngineStats::default(),
             };
         }
         run_tree(sites, coordinator, inputs, cfg, plan, &mut make_agg)
@@ -907,6 +933,7 @@ pub mod threaded {
                 .collect(),
             coordinator,
             stats,
+            engine: super::engine::EngineStats::default(),
         }
     }
 

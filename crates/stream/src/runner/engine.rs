@@ -43,6 +43,33 @@
 //! blocking its worker, so a single worker can never deadlock the
 //! pool), unbounded broadcast channels (the root never blocks, so the
 //! drain chain always completes).
+//!
+//! # The v2 scheduler: work-stealing deques + condvar wakeups
+//!
+//! Scheduling is **work-stealing** (engine v2): every worker owns a
+//! deque of chunks — it pushes and pops at the *back* (LIFO, so the
+//! chunk it just ran stays cache-warm), and an out-of-work worker
+//! *steals* from the *front* of a victim's deque (FIFO — the coldest
+//! chunk), scanning victims round-robin from its own index. There is no
+//! global run queue and no global lock on the dispatch path.
+//!
+//! A chunk whose quantum makes **no progress** (its parent inbox is
+//! full and nothing arrived) moves to its worker's private **held
+//! shelf** instead of being re-queued: it is invisible to thieves
+//! (running it would waste the steal) and is re-offered when the worker
+//! runs out of runnable work or is woken. A worker with an empty deque,
+//! nothing to steal and no held chunk that can move **parks on a
+//! [`Condvar`]** — it burns no cycles until a task-producing event wakes
+//! it. Wakeups are driven through an eventcount (epoch counter +
+//! sleeper count): every event that can create runnable work — a wave
+//! shipped into an inbox, an inbox drained below its bound, a broadcast
+//! cascade, a chunk retiring (its parent's drain trigger), the root
+//! absorbing traffic, abort, termination — bumps the epoch and wakes
+//! the sleepers. A worker records the epoch *before* its futile scan
+//! and re-checks it under the lock before sleeping, so a wakeup that
+//! races the scan is never lost. [`EngineStats`] counts tasks, steals,
+//! parks and wakeups per worker, so the scheduling win is measurable
+//! rather than asserted.
 
 use super::threaded::{ThreadedConfig, TreeRunParts};
 use super::AggCore;
@@ -53,9 +80,9 @@ use crate::site::Site;
 use crate::topology::{Topology, TopologyPlan};
 use crate::SiteId;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// How a [`run_partitioned_topology`] call schedules its node tasks.
 ///
@@ -137,12 +164,6 @@ impl Executor {
     }
 }
 
-/// How long an out-of-work (or fully blocked) pool worker parks before
-/// re-checking the task queue. Progress never depends on the timeout —
-/// a blocked task is unblocked by another task's progress, not by time —
-/// it only bounds busy-spinning.
-const POOL_PARK: std::time::Duration = std::time::Duration::from_micros(200);
-
 /// How often the root re-checks the abort flag while its inbox is
 /// quiet. Normal shutdown still ends by channel disconnection; the
 /// poll exists only so a panicked task cannot strand the root on a
@@ -151,6 +172,136 @@ const ROOT_POLL: std::time::Duration = std::time::Duration::from_millis(1);
 
 /// One upward wave: origin-tagged messages shipped as a single send.
 type Wave<M> = Vec<(SiteId, M)>;
+
+/// Scheduling counters for one pool worker (see [`EngineStats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Chunk quanta this worker executed.
+    pub tasks: u64,
+    /// Quanta whose chunk was stolen from another worker's deque.
+    pub steals: u64,
+    /// Times this worker actually blocked on the condvar (entered a
+    /// park). Under the eventcount design a blocked-but-runnable
+    /// workload parks ≈ 0 times — there is no timed re-polling.
+    pub parks: u64,
+    /// Wake signals this worker consumed: condvar wakeups plus
+    /// epoch-raced fast-path returns that avoided the sleep. Always
+    /// ≥ `parks`.
+    pub wakeups: u64,
+}
+
+/// Per-worker scheduling counters of one pooled run, returned in
+/// [`TreeRunParts::engine`] so the scheduler's behaviour (work
+/// distribution, steal traffic, idle parking) is *measured*, not
+/// asserted. Empty for [`Executor::Inline`] and for the sequential and
+/// thread-per-node drivers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// One entry per pool worker, in worker-index order.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl EngineStats {
+    /// Total quanta executed across the pool.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Total chunks stolen across the pool.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total condvar parks across the pool.
+    pub fn total_parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.parks).sum()
+    }
+
+    /// Total wake signals consumed across the pool.
+    pub fn total_wakeups(&self) -> u64 {
+        self.workers.iter().map(|w| w.wakeups).sum()
+    }
+
+    /// Folds another run's counters into this one, worker by worker
+    /// (used when a live re-plan splits one deployment across several
+    /// engine segments). Worker lists of different lengths are merged
+    /// index-wise, keeping the longer tail.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        if self.workers.len() < other.workers.len() {
+            self.workers
+                .resize(other.workers.len(), WorkerStats::default());
+        }
+        for (mine, theirs) in self.workers.iter_mut().zip(&other.workers) {
+            mine.tasks += theirs.tasks;
+            mine.steals += theirs.steals;
+            mine.parks += theirs.parks;
+            mine.wakeups += theirs.wakeups;
+        }
+    }
+}
+
+/// The eventcount behind the pool's condvar wakeups.
+///
+/// Every task-producing event calls [`Waker::notify`]: it bumps the
+/// epoch, then wakes the sleepers only if there are any (the uncontended
+/// fast path is two atomic ops, no lock). A worker that found nothing
+/// runnable calls [`Waker::wait`] with the epoch it read *before* its
+/// scan; if any event fired since, the wait returns immediately instead
+/// of sleeping — the SeqCst pairing of `epoch` and `sleepers` makes a
+/// lost wakeup impossible (the notifier's epoch bump and the sleeper's
+/// registration cannot both be invisible to each other).
+struct Waker {
+    epoch: AtomicU64,
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Waker {
+    fn new() -> Self {
+        Waker {
+            epoch: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Signals that runnable work may exist (wave shipped, inbox
+    /// drained, broadcast cascaded, chunk retired, abort, termination).
+    fn notify(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Serialize with a registering sleeper: it holds the lock
+            // from registration until the condvar releases it, so this
+            // notify cannot slip into that window unseen.
+            let _g = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Parks until an event fires. `seen` is the epoch read before the
+    /// caller's (futile) scan for work. Returns `true` if the thread
+    /// actually slept, `false` for the raced fast path.
+    fn wait(&self, seen: u64) -> bool {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+        if self.epoch.load(Ordering::SeqCst) != seen {
+            drop(guard);
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        // Spurious wakeups are safe: the caller re-scans and re-parks.
+        let guard = self.cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        true
+    }
+}
 
 /// [`run_partitioned_topology_parts`] without the interior nodes in the
 /// return value, mirroring
@@ -223,6 +374,50 @@ where
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
 {
+    let m = sites.len();
+    let plan = topology.plan(m);
+    let aggs: Vec<A> = if sites.is_empty() {
+        Vec::new()
+    } else {
+        plan.agg_nodes().map(&mut make_agg).collect()
+    };
+    resume_partitioned_topology_parts(sites, coordinator, inputs, cfg, executor, plan, aggs)
+}
+
+/// Runs (or *continues*) a deployment whose interior aggregators are
+/// already built — the live re-planning entry point: after a
+/// [`Topology::resolve_live`](crate::Topology) migration the caller
+/// hands the engine the migrated aggregator nodes and the new plan, and
+/// the deployment picks up where it left off (sites, coordinator and
+/// held partials intact) instead of restarting.
+///
+/// `aggs` must be in [`TopologyPlan::agg_nodes`] order (level-major
+/// bottom-up) and match the plan's interior node count. The returned
+/// [`CommStats`] covers only this segment; callers stitching segments
+/// together fold them with
+/// [`CommStats::absorb_reshaped`](crate::CommStats::absorb_reshaped)
+/// when the plan changed mid-stream.
+///
+/// # Panics
+/// As [`run_partitioned_topology_parts`], plus if `aggs.len()` does not
+/// match the plan's interior node count.
+pub fn resume_partitioned_topology_parts<S, C, A>(
+    sites: Vec<S>,
+    coordinator: C,
+    inputs: Vec<Vec<S::Input>>,
+    cfg: &ThreadedConfig,
+    executor: Executor,
+    plan: TopologyPlan,
+    aggs: Vec<A>,
+) -> TreeRunParts<S, C, A>
+where
+    S: Site + Send,
+    S::Input: Send,
+    S::UpMsg: MessageCost + Send,
+    S::Broadcast: Clone + Send,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
+{
     assert_eq!(
         inputs.len(),
         sites.len(),
@@ -236,29 +431,25 @@ where
     if sites.is_empty() {
         return TreeRunParts {
             sites,
-            aggregators: Vec::new(),
+            aggregators: aggs,
             coordinator,
             stats: CommStats::default(),
+            engine: EngineStats::default(),
         };
     }
-    let m = sites.len();
-    let plan = topology.plan(m);
+    assert_eq!(
+        aggs.len(),
+        plan.internal_nodes(),
+        "engine: one aggregator per interior node"
+    );
     match executor {
         Executor::Inline => {
-            let core = AggCore::build(m, coordinator, topology, &mut make_agg);
+            let core = AggCore::from_parts(plan, aggs, coordinator);
             run_inline(sites, core, inputs, cfg)
         }
         Executor::Pool { workers } => {
             assert!(workers >= 1, "engine: pool needs at least one worker");
-            run_pool(
-                sites,
-                coordinator,
-                inputs,
-                cfg,
-                plan,
-                workers,
-                &mut make_agg,
-            )
+            run_pool(sites, coordinator, inputs, cfg, plan, workers, aggs)
         }
     }
 }
@@ -328,6 +519,7 @@ where
         aggregators: core.aggs,
         coordinator: core.coordinator,
         stats,
+        engine: EngineStats::default(),
     }
 }
 
@@ -556,14 +748,19 @@ fn chunk_spans(count: usize, workers: usize, align: usize) -> Vec<(usize, usize)
         .collect()
 }
 
-/// Flips the shared abort flag if its worker unwinds, so the other
-/// workers stop looping and the scope can propagate the panic.
-struct AbortOnPanic<'a>(&'a AtomicBool);
+/// Flips the shared abort flag if its worker unwinds (and wakes any
+/// parked workers), so the other workers stop looping and the scope can
+/// propagate the panic.
+struct AbortOnPanic<'a> {
+    flag: &'a AtomicBool,
+    waker: &'a Waker,
+}
 
 impl Drop for AbortOnPanic<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            self.0.store(true, Ordering::Release);
+            self.flag.store(true, Ordering::Release);
+            self.waker.notify();
         }
     }
 }
@@ -577,7 +774,7 @@ fn run_pool<S, C, A>(
     cfg: &ThreadedConfig,
     plan: TopologyPlan,
     workers: usize,
-    make_agg: &mut dyn FnMut(crate::topology::AggNode) -> A,
+    aggs: Vec<A>,
 ) -> TreeRunParts<S, C, A>
 where
     S: Site + Send,
@@ -641,15 +838,15 @@ where
         })
         .collect();
 
-    // Interior slots, global (level-major bottom-up) construction order
-    // so protocol budget splits match the sequential runner exactly.
+    // Interior slots, global (level-major bottom-up) order — the
+    // caller-provided `aggs` (built or migrated) arrive in exactly the
+    // `agg_nodes` construction order.
     let mut agg_slots: Vec<AggSlot<A>> = Vec::with_capacity(i_total);
-    let mut nodes = plan.agg_nodes();
+    let mut aggs = aggs.into_iter();
     for li in 0..n_levels {
         let offset = level_offset(li);
         for j in 0..levels[li] {
             let g = offset + j;
-            let node = nodes.next().expect("agg_nodes covers the plan");
             let child_bcs: Vec<mpsc::Sender<S::Broadcast>> = if li == 0 {
                 (j * fanout..((j + 1) * fanout).min(m))
                     .map(|c| leaf_bc_tx[c].clone())
@@ -663,7 +860,7 @@ where
             agg_slots.push(AggSlot {
                 g,
                 level: li,
-                agg: make_agg(node),
+                agg: aggs.next().expect("one aggregator per interior node"),
                 up_rx: agg_up_rx[g].take().expect("agg up receiver"),
                 bc_rx: agg_bc_rx[g].take().expect("agg bc receiver"),
                 child_bcs,
@@ -714,37 +911,119 @@ where
     drop(root_tx);
 
     let n_tasks = tasks.len();
-    let queue = Mutex::new(tasks);
+    // Per-worker work-stealing deques, chunks dealt round-robin so the
+    // initial load is spread before the first steal.
+    let mut deque_init: Vec<VecDeque<Chunk<S, A>>> =
+        (0..workers).map(|_| VecDeque::new()).collect();
+    for (i, chunk) in tasks.into_iter().enumerate() {
+        deque_init[i % workers].push_back(chunk);
+    }
+    let deques: Vec<Mutex<VecDeque<Chunk<S, A>>>> =
+        deque_init.into_iter().map(Mutex::new).collect();
     let done_list: Mutex<Vec<Chunk<S, A>>> = Mutex::new(Vec::with_capacity(n_tasks));
     let live = AtomicUsize::new(n_tasks);
     let aborted = AtomicBool::new(false);
+    let waker = Waker::new();
+    let worker_stats: Vec<Mutex<WorkerStats>> = (0..workers)
+        .map(|_| Mutex::new(WorkerStats::default()))
+        .collect();
     let batch_size = cfg.batch_size;
 
+    // Retires a finished chunk: parked siblings may be waiting on the
+    // channel disconnections its retirement triggered.
+    let finish = |chunk: Chunk<S, A>| {
+        done_list.lock().expect("done list").push(chunk);
+        live.fetch_sub(1, Ordering::AcqRel);
+        waker.notify();
+    };
+
     let mut stats = std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let _guard = AbortOnPanic(&aborted);
+        for wid in 0..workers {
+            let deques = &deques;
+            let aborted = &aborted;
+            let live = &live;
+            let waker = &waker;
+            let finish = &finish;
+            let stats_slot = &worker_stats[wid];
+            scope.spawn(move || {
+                let _guard = AbortOnPanic {
+                    flag: aborted,
+                    waker,
+                };
+                let mut me = WorkerStats::default();
+                // Blocked chunks wait on this private shelf — invisible
+                // to thieves — until a wakeup re-offers them.
+                let mut held: Vec<Chunk<S, A>> = Vec::new();
                 loop {
                     if aborted.load(Ordering::Acquire) || live.load(Ordering::Acquire) == 0 {
-                        return;
+                        break;
                     }
-                    let task = queue.lock().expect("task queue").pop_front();
-                    match task {
-                        Some(mut chunk) => {
-                            let progress = chunk.quantum(batch_size);
-                            if chunk.done() {
-                                live.fetch_sub(1, Ordering::AcqRel);
-                                done_list.lock().expect("done list").push(chunk);
-                            } else {
-                                queue.lock().expect("task queue").push_back(chunk);
-                                if !progress {
-                                    std::thread::sleep(POOL_PARK);
-                                }
+                    // Epoch *before* the scan: an event firing during
+                    // the scan then aborts the park instead of racing it.
+                    let seen = waker.epoch();
+                    // 1. Own deque, LIFO — the freshest chunk is warm.
+                    let mut next = deques[wid].lock().expect("own deque").pop_back();
+                    let stolen = next.is_none();
+                    // 2. Steal FIFO from a round-robin victim scan.
+                    if next.is_none() {
+                        for off in 1..workers {
+                            let victim = (wid + off) % workers;
+                            next = deques[victim].lock().expect("victim deque").pop_front();
+                            if next.is_some() {
+                                break;
                             }
                         }
-                        None => std::thread::sleep(POOL_PARK),
                     }
+                    if let Some(mut chunk) = next {
+                        me.tasks += 1;
+                        me.steals += stolen as u64;
+                        let progress = chunk.quantum(batch_size);
+                        if chunk.done() {
+                            finish(chunk);
+                        } else if progress {
+                            deques[wid].lock().expect("own deque").push_back(chunk);
+                            // Progress can unblock another worker's held
+                            // chunk (an inbox drained, a wave shipped).
+                            waker.notify();
+                        } else {
+                            held.push(chunk);
+                        }
+                        continue;
+                    }
+                    // 3. Deques dry: re-offer the held shelf once.
+                    let mut advanced = false;
+                    let mut still_held = Vec::with_capacity(held.len());
+                    for mut chunk in held.drain(..) {
+                        me.tasks += 1;
+                        let progress = chunk.quantum(batch_size);
+                        if chunk.done() {
+                            advanced = true;
+                            finish(chunk);
+                        } else if progress {
+                            advanced = true;
+                            deques[wid].lock().expect("own deque").push_back(chunk);
+                            waker.notify();
+                        } else {
+                            still_held.push(chunk);
+                        }
+                    }
+                    held = still_held;
+                    if advanced {
+                        continue;
+                    }
+                    // 4. Nothing runnable anywhere: park until an event
+                    // fires. No timed re-polling — a blocked chunk is
+                    // unblocked by another node's progress, and every
+                    // such progress notifies.
+                    if aborted.load(Ordering::Acquire) || live.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    me.wakeups += 1;
+                    me.parks += waker.wait(seen) as u64;
                 }
+                // On abort any still-held chunks drop here, cascading
+                // channel disconnection to whatever is left.
+                *stats_slot.lock().expect("worker stats") = me;
             });
         }
 
@@ -784,15 +1063,22 @@ where
                     }
                 }
             }
+            // The root drained its inbox (and possibly cascaded a
+            // broadcast): both are wakeup events for parked workers
+            // holding blocked chunks.
+            waker.notify();
         }
         if aborted.load(Ordering::Acquire) {
-            // Drop every still-queued chunk (tolerating a lock poisoned
+            // Drop every still-queued chunk (tolerating locks poisoned
             // by the panicking worker) so channel disconnection
             // cascades and nothing can block on the dead run.
-            queue
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .clear();
+            for deque in &deques {
+                deque
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .clear();
+            }
+            waker.notify();
         }
         stats
         // scope end: workers observe live == 0 (or the abort flag) and
@@ -832,6 +1118,12 @@ where
             .collect(),
         coordinator,
         stats,
+        engine: EngineStats {
+            workers: worker_stats
+                .into_iter()
+                .map(|w| w.into_inner().unwrap_or_else(|p| p.into_inner()))
+                .collect(),
+        },
     }
 }
 
@@ -1127,5 +1419,159 @@ mod tests {
     fn executor_reports_workers() {
         assert_eq!(Executor::Inline.workers(), 0);
         assert_eq!(Executor::Pool { workers: 7 }.workers(), 7);
+    }
+
+    /// The busy-spin fix, pinned: a deliberately-backpressured run
+    /// (channel capacity 1, aggregators that *never* flush, so leaf
+    /// waves block constantly) on a single worker must never park — the
+    /// worker always owns the chunk whose progress unblocks its held
+    /// chunk, so every blocked wave is re-offered by the scheduling loop
+    /// itself, not by a timeout. Under the old timed-park design this
+    /// workload racked up a `PARK` sleep per blocked poll; under the
+    /// condvar design parks (and therefore wakeups) are exactly zero.
+    #[test]
+    fn backpressured_single_worker_never_parks() {
+        struct Hoarder(Vec<(SiteId, Ping)>);
+        impl Aggregator for Hoarder {
+            type UpMsg = Ping;
+            type Broadcast = u64;
+            fn absorb(&mut self, from: SiteId, msg: Ping) {
+                self.0.push((from, msg));
+            }
+            fn flush(&mut self, _out: &mut Vec<(SiteId, Ping)>) {}
+        }
+
+        let m = 16;
+        let sites = (0..m)
+            .map(|_| EchoSite {
+                seen: 0,
+                broadcasts: 0,
+            })
+            .collect();
+        let inputs: Vec<Vec<u64>> = (0..m).map(|_| vec![1; 60]).collect();
+        let parts = run_partitioned_topology_parts(
+            sites,
+            CountCoord {
+                received: 0,
+                sum: 0,
+                every: 16,
+            },
+            inputs,
+            &ThreadedConfig {
+                batch_size: 2,
+                channel_capacity: 1,
+            },
+            Executor::Pool { workers: 1 },
+            Topology::Tree { fanout: 2 },
+            |_| Hoarder(Vec::new()),
+        );
+        let held: usize = parts.aggregators.iter().map(|a| a.0.len()).sum();
+        assert_eq!(held, 16 * 60, "conservation under backpressure");
+        let engine = &parts.engine;
+        assert_eq!(engine.workers.len(), 1);
+        assert!(engine.total_tasks() > 0);
+        assert_eq!(engine.total_steals(), 0, "one worker has no victims");
+        assert_eq!(
+            engine.total_parks(),
+            0,
+            "a single worker always owns the unblocking chunk: parks must be 0, got {:?}",
+            engine.workers
+        );
+        assert_eq!(engine.total_wakeups(), 0);
+    }
+
+    /// More workers than chunks: the spares either steal the one
+    /// runnable chunk or park on the condvar and are woken by progress
+    /// and termination events — never by a timeout. The run must
+    /// terminate (a lost wakeup would hang it) with every quantum
+    /// accounted to exactly one worker.
+    #[test]
+    fn excess_workers_park_and_terminate() {
+        let parts = run_echo(4, 200, Executor::Pool { workers: 8 }, Topology::Star);
+        assert_eq!(parts.coordinator.received, 4 * 200);
+        let engine = &parts.engine;
+        assert_eq!(engine.workers.len(), 8);
+        assert!(engine.total_tasks() > 0);
+        // Wake signals are only consumed by workers that went looking
+        // for them; every actual park produced one.
+        assert!(engine.total_wakeups() >= engine.total_parks());
+    }
+
+    /// The live-replan resume entry: handing the engine pre-built
+    /// aggregators and a resolved plan is execution-identical to letting
+    /// it build them itself.
+    #[test]
+    fn resume_with_prebuilt_aggregators_matches_fresh_run() {
+        let fresh = run_echo(
+            32,
+            40,
+            Executor::Pool { workers: 4 },
+            Topology::Tree { fanout: 4 },
+        );
+        let plan = Topology::Tree { fanout: 4 }.plan(32);
+        let aggs: Vec<EchoRelay> = plan.agg_nodes().map(|_| Relay::new()).collect();
+        let sites = (0..32)
+            .map(|_| EchoSite {
+                seen: 0,
+                broadcasts: 0,
+            })
+            .collect();
+        let inputs: Vec<Vec<u64>> = (0..32)
+            .map(|sid| (0..40u64).map(|i| (sid as u64) + i).collect())
+            .collect();
+        let resumed = resume_partitioned_topology_parts(
+            sites,
+            CountCoord {
+                received: 0,
+                sum: 0,
+                every: 16,
+            },
+            inputs,
+            &ThreadedConfig {
+                batch_size: 8,
+                channel_capacity: 2,
+            },
+            Executor::Pool { workers: 4 },
+            plan,
+            aggs,
+        );
+        assert_eq!(resumed.coordinator.sum, fresh.coordinator.sum);
+        assert_eq!(resumed.stats.up_msgs, fresh.stats.up_msgs);
+        assert_eq!(resumed.stats.node_in_msgs, fresh.stats.node_in_msgs);
+        assert_eq!(resumed.aggregators.len(), fresh.aggregators.len());
+    }
+
+    #[test]
+    fn engine_stats_absorb_folds_workerwise() {
+        let mut a = EngineStats {
+            workers: vec![WorkerStats {
+                tasks: 3,
+                steals: 1,
+                parks: 0,
+                wakeups: 2,
+            }],
+        };
+        let b = EngineStats {
+            workers: vec![
+                WorkerStats {
+                    tasks: 5,
+                    steals: 0,
+                    parks: 1,
+                    wakeups: 1,
+                },
+                WorkerStats {
+                    tasks: 7,
+                    steals: 2,
+                    parks: 0,
+                    wakeups: 0,
+                },
+            ],
+        };
+        a.absorb(&b);
+        assert_eq!(a.workers.len(), 2);
+        assert_eq!(a.total_tasks(), 15);
+        assert_eq!(a.total_steals(), 3);
+        assert_eq!(a.total_parks(), 1);
+        assert_eq!(a.total_wakeups(), 3);
     }
 }

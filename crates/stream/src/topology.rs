@@ -181,6 +181,46 @@ impl Topology {
         }
     }
 
+    /// Live re-planning (engine v2): decides, *mid-deployment*, whether
+    /// the running plan should change shape — called at `Ŵ`
+    /// re-broadcast boundaries, the same boundaries static adaptive
+    /// resolution is pinned to, so the decision is made on settled
+    /// threshold state.
+    ///
+    /// Only [`Topology::Adaptive`] ever re-plans; static shapes return
+    /// `None`. The rule is [`Topology::resolve_with`]'s, compared
+    /// against the plan actually running: a flat plan whose *measured*
+    /// fan-in ([`crate::CommStats::active_leaves`]) exceeds the budget
+    /// splits into `Tree { fanout: max_fan_in }`; a tree whose measured
+    /// fan-in has dropped within budget collapses back to the star;
+    /// anything else keeps the current plan (`None`). The caller then
+    /// migrates live aggregator state into the returned shape's plan —
+    /// see `MigratableAggregator` — rather than restarting the
+    /// deployment.
+    ///
+    /// # Panics
+    /// Panics on `Adaptive { max_fan_in < 2 }`.
+    pub fn resolve_live(
+        &self,
+        current: &TopologyPlan,
+        measured: &crate::CommStats,
+    ) -> Option<Topology> {
+        let Topology::Adaptive { max_fan_in } = *self else {
+            return None;
+        };
+        assert!(
+            max_fan_in >= 2,
+            "Topology::resolve_live: adaptive max_fan_in must be ≥ 2"
+        );
+        let active = measured.active_leaves();
+        if current.is_flat() {
+            (current.sites() > max_fan_in && active > max_fan_in)
+                .then_some(Topology::Tree { fanout: max_fan_in })
+        } else {
+            (active <= max_fan_in).then_some(Topology::Star)
+        }
+    }
+
     /// The two-pass adaptive planner: resolves `Adaptive { max_fan_in }`
     /// to a concrete shape by *measuring*, through the `measure`
     /// closure (typically: run a short calibration prefix of the

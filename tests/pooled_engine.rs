@@ -259,7 +259,10 @@ fn hh_p3_pool_matches_sequential_tree_exactly() {
 
 /// Same exactness for the matrix-row sampler (sample compared as a
 /// set — the coordinator lays sketch rows out in arrival order, which
-/// pooling permutes).
+/// pooling permutes). Like [`hh_p3_pool_matches_sequential_tree_exactly`]
+/// this sweeps workers {1, 2, 16}: under the v2 stealing scheduler the
+/// single-worker pool runs steal-free, 2 oversubscribes CI's runner,
+/// and 16 maximises cross-deque steals.
 #[test]
 fn matrix_p3_pool_matches_sequential_tree_exactly() {
     let dim = 5;
@@ -273,17 +276,6 @@ fn matrix_p3_pool_matches_sequential_tree_exactly() {
     let mut seq = matrix::p3::deploy_topology(&cfg, topo);
     seq.run_partitioned(stream.iter().cloned(), &mut RoundRobin::new(m), 64);
 
-    let (sites, coord, _) = matrix::p3::deploy_topology(&cfg, topo).into_parts();
-    let (_, coord, _) = engine::run_partitioned_topology(
-        sites,
-        coord,
-        partition(&stream, m),
-        &tcfg(),
-        Executor::Pool { workers: 4 },
-        topo,
-        matrix::p3::make_aggregator(&cfg, topo),
-    );
-
     let rows = |m: &Matrix| {
         let mut v: Vec<Vec<u64>> = (0..m.rows())
             .map(|i| m.row(i).iter().map(|x| x.to_bits()).collect())
@@ -291,16 +283,29 @@ fn matrix_p3_pool_matches_sequential_tree_exactly() {
         v.sort_unstable();
         v
     };
-    assert_eq!(
-        rows(&seq.coordinator().sketch()),
-        rows(&coord.sketch()),
-        "pooled mt-p3 sample diverged from sequential tree"
-    );
-    let (fa, fb) = (seq.coordinator().frob_estimate(), coord.frob_estimate());
-    assert!(
-        (fa - fb).abs() <= 1e-12 * fa.abs().max(1.0),
-        "F̂ diverged beyond summation-order noise: {fa} vs {fb}"
-    );
+    for workers in [1usize, 2, 16] {
+        let (sites, coord, _) = matrix::p3::deploy_topology(&cfg, topo).into_parts();
+        let (_, coord, _) = engine::run_partitioned_topology(
+            sites,
+            coord,
+            partition(&stream, m),
+            &tcfg(),
+            Executor::Pool { workers },
+            topo,
+            matrix::p3::make_aggregator(&cfg, topo),
+        );
+
+        assert_eq!(
+            rows(&seq.coordinator().sketch()),
+            rows(&coord.sketch()),
+            "workers={workers}: pooled mt-p3 sample diverged from sequential tree"
+        );
+        let (fa, fb) = (seq.coordinator().frob_estimate(), coord.frob_estimate());
+        assert!(
+            (fa - fb).abs() <= 1e-12 * fa.abs().max(1.0),
+            "workers={workers}: F̂ diverged beyond summation-order noise: {fa} vs {fb}"
+        );
+    }
 }
 
 /// SwMg on the pool: the certified window bound survives pooled
