@@ -24,8 +24,8 @@
 //! run — machine-stable by construction — so CI blocks on it.
 
 use cma_bench::report::{
-    diff, kernel_speedup_by_dim, parse_bench_json, per_dim_geomean, per_protocol_geomean,
-    worst_protocol_regression,
+    diff, kernel_speedup_by_dim, parse_bench_json, per_dim_geomean, per_protocol_bytes_geomean,
+    per_protocol_bytes_ratio, per_protocol_geomean, worst_protocol_regression,
 };
 use cma_bench::Args;
 use std::process::ExitCode;
@@ -144,6 +144,32 @@ fn main() -> ExitCode {
             "ab gate: worst blocked/naive {worst:.2}x ({label} d={dim}) \
              above floor {floor:.2}x"
         );
+    }
+
+    // Wire-byte summary (PR 8, advisory — never gates): the measured
+    // communication volume per protocol in the fresh recording, and —
+    // when the baseline also measured bytes — the per-protocol geomean
+    // ratio across matched rows. Bytes legitimately change whenever a
+    // codec or a protocol's message mix changes, so this section is for
+    // reading next to the msgs_total deltas, not for failing CI.
+    let bytes_gm = per_protocol_bytes_geomean(&new);
+    if !bytes_gm.is_empty() {
+        println!();
+        println!("## wire bytes in {new_path} (geomean per record; advisory)");
+        for (label, up, down, n) in &bytes_gm {
+            println!("{label:<16} up {up:>12.0} B  down {down:>12.0} B  ({n} records)");
+        }
+        let ratios = per_protocol_bytes_ratio(&rows);
+        if !ratios.is_empty() {
+            println!();
+            println!("## wire bytes_up vs {old_path} (geomean new/old; advisory)");
+            for (label, ratio, n) in &ratios {
+                println!(
+                    "{label:<16} {:>+7.1}%  ({n} records)",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
     }
 
     // Scheduler telemetry of the fresh recording's pooled rows: total

@@ -111,7 +111,8 @@ fn emit(records: &[Record], meta: &str) -> String {
             out,
             "\"elapsed_s\": {:.4}, \"throughput_per_s\": {:.0}, \"err\": {:.6e}, \
              \"msgs_total\": {}, \"up_msgs\": {}, \"broadcast_events\": {}, \"broadcast_cost\": {}, \
-             \"max_fan_in\": {}, \"root_in_msgs\": {}, \"hops\": {}",
+             \"max_fan_in\": {}, \"root_in_msgs\": {}, \"hops\": {}, \
+             \"bytes_up\": {}, \"bytes_down\": {}",
             r.elapsed_s,
             r.throughput,
             r.err,
@@ -122,6 +123,8 @@ fn emit(records: &[Record], meta: &str) -> String {
             c.max_fan_in,
             c.root_in_msgs,
             c.hops,
+            c.bytes_up,
+            c.bytes_down,
         );
         // Scheduler telemetry of pooled records (PR 7): totals plus
         // slash-separated per-worker detail (the record schema carries

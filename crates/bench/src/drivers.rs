@@ -86,6 +86,12 @@ pub struct CommSummary {
     pub broadcast_events: u64,
     /// Broadcast deliveries (one per tree recipient).
     pub broadcast_cost: u64,
+    /// Measured encoded bytes of upward traffic, summed across every
+    /// hop each message crosses ([`CommStats::bytes_up`]).
+    pub bytes_up: u64,
+    /// Measured encoded bytes of broadcast traffic, charged per
+    /// recipient ([`CommStats::bytes_down`]).
+    pub bytes_down: u64,
     /// Structural fan-in bound (m for a star, the fanout for a tree).
     pub max_fan_in: u64,
     /// Messages the root coordinator actually received.
@@ -147,6 +153,8 @@ impl From<&CommStats> for CommSummary {
             up_msgs: s.up_msgs,
             broadcast_events: s.broadcast_events,
             broadcast_cost: s.broadcast_cost,
+            bytes_up: s.bytes_up,
+            bytes_down: s.bytes_down,
             max_fan_in: s.max_fan_in,
             root_in_msgs: s.node_in_msgs.last().copied().unwrap_or(0),
             hops: s.per_level.len(),

@@ -52,6 +52,12 @@ pub struct BenchRecord {
     pub msgs_total: u64,
     /// Messages the root coordinator received — the fan-in pressure.
     pub root_in_msgs: u64,
+    /// Measured upward wire bytes, summed at every hop (PR 8's wire
+    /// codecs); `0` in recordings older than the transport layer.
+    pub bytes_up: u64,
+    /// Measured downward broadcast bytes (structural: payload wire size
+    /// × recipients); `0` in pre-transport recordings.
+    pub bytes_down: u64,
     /// Node tasks the pooled engine executed; `0` for non-pooled rows
     /// and recordings older than the scheduler-telemetry fields.
     pub tasks: u64,
@@ -151,6 +157,8 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
             err: f64_field(obj, "err").unwrap_or(f64::NAN),
             msgs_total: u64_field(obj, "msgs_total").unwrap_or(0),
             root_in_msgs: u64_field(obj, "root_in_msgs").unwrap_or(0),
+            bytes_up: u64_field(obj, "bytes_up").unwrap_or(0),
+            bytes_down: u64_field(obj, "bytes_down").unwrap_or(0),
             tasks: u64_field(obj, "tasks").unwrap_or(0),
             steals: u64_field(obj, "steals").unwrap_or(0),
             parks: u64_field(obj, "parks").unwrap_or(0),
@@ -269,6 +277,53 @@ pub fn kernel_speedup_by_dim(records: &[BenchRecord]) -> Vec<(String, u64, f64)>
             let fast = *blocked.get(&id)?;
             Some((id.0, id.1, fast / base))
         })
+        .collect()
+}
+
+/// Per-protocol geometric mean of the measured wire-byte counters over
+/// one recording's rows — the communication-volume summary `bench_diff`
+/// prints (advisory; bytes changes are expected whenever a codec or a
+/// protocol's message mix changes, so this never gates). Rows without
+/// byte counters (pre-transport recordings) are skipped; the result is
+/// empty when nothing was measured.
+pub fn per_protocol_bytes_geomean(records: &[BenchRecord]) -> Vec<(String, f64, f64, usize)> {
+    let mut acc: BTreeMap<String, (f64, f64, usize)> = BTreeMap::new();
+    for r in records {
+        if r.bytes_up == 0 {
+            continue;
+        }
+        let label = format!("{}/{}", r.family, r.protocol);
+        let e = acc.entry(label).or_insert((0.0, 0.0, 0));
+        e.0 += (r.bytes_up as f64).ln();
+        e.1 += (r.bytes_down.max(1) as f64).ln();
+        e.2 += 1;
+    }
+    acc.into_iter()
+        .map(|(label, (up, down, n))| {
+            let nf = n as f64;
+            (label, (up / nf).exp(), (down / nf).exp(), n)
+        })
+        .collect()
+}
+
+/// Per-protocol geometric-mean *ratio* of wire bytes across the matched
+/// rows of a diff (`new/old`), restricted to pairs where both sides
+/// measured bytes — empty against a pre-transport baseline. Advisory,
+/// like [`per_protocol_bytes_geomean`].
+pub fn per_protocol_bytes_ratio(rows: &[DiffRow]) -> Vec<(String, f64, usize)> {
+    let mut acc: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for row in rows {
+        if row.old.bytes_up == 0 || row.new.bytes_up == 0 {
+            continue;
+        }
+        let label = format!("{}/{}", row.old.family, row.old.protocol);
+        let ratio = row.new.bytes_up as f64 / row.old.bytes_up as f64;
+        let e = acc.entry(label).or_insert((0.0, 0));
+        e.0 += ratio.ln();
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(label, (ln_sum, n))| (label, (ln_sum / n as f64).exp(), n))
         .collect()
 }
 
@@ -457,6 +512,54 @@ mod tests {
         assert!((ab[1].2 - 2.5).abs() < 1e-12);
         // Rows without a d axis contribute nothing.
         assert!(kernel_speedup_by_dim(&parse_bench_json(SAMPLE)).is_empty());
+    }
+
+    /// PR 8 schema: records carry the measured wire-byte counters.
+    const BYTES_SAMPLE: &str = r#"{
+  "meta": {"sites": 64},
+  "results": [
+    {"family": "hh", "protocol": "P1", "batch": 64, "topology": "star", "mode": "seq", "throughput_per_s": 100000, "err": 1.0e-3, "msgs_total": 9000, "root_in_msgs": 40, "hops": 1, "bytes_up": 4000, "bytes_down": 1000},
+    {"family": "hh", "protocol": "P1", "batch": 64, "topology": "tree4", "mode": "seq", "throughput_per_s": 90000, "err": 1.0e-3, "msgs_total": 9500, "root_in_msgs": 20, "hops": 3, "bytes_up": 16000, "bytes_down": 4000}
+  ]
+}"#;
+
+    #[test]
+    fn byte_counters_parse_and_default_to_zero() {
+        let recs = parse_bench_json(BYTES_SAMPLE);
+        assert_eq!(recs[0].bytes_up, 4000);
+        assert_eq!(recs[0].bytes_down, 1000);
+        // Bytes do not enter the record identity.
+        assert_eq!(recs[0].key(), "hh/P1 batch=64 star seq");
+        // Pre-transport recordings parse with the counters zeroed.
+        let old = parse_bench_json(SAMPLE);
+        assert_eq!(old[0].bytes_up, 0);
+        assert_eq!(old[0].bytes_down, 0);
+    }
+
+    #[test]
+    fn bytes_geomeans_skip_unmeasured_rows() {
+        let recs = parse_bench_json(BYTES_SAMPLE);
+        let gm = per_protocol_bytes_geomean(&recs);
+        assert_eq!(gm.len(), 1);
+        let (label, up, down, n) = &gm[0];
+        assert_eq!(label, "hh/P1");
+        assert_eq!(*n, 2);
+        assert!((up - 8000.0).abs() < 1e-6, "geomean of 4k and 16k is 8k");
+        assert!((down - 2000.0).abs() < 1e-6);
+        // A pre-transport recording yields nothing.
+        assert!(per_protocol_bytes_geomean(&parse_bench_json(SAMPLE)).is_empty());
+        // Ratio across a diff: doubles when the fresh run doubles bytes,
+        // and is empty against a baseline without byte counters.
+        let mut new = recs.clone();
+        for r in &mut new {
+            r.bytes_up *= 2;
+        }
+        let (rows, _, _) = diff(&recs, &new);
+        let ratios = per_protocol_bytes_ratio(&rows);
+        assert_eq!(ratios.len(), 1);
+        assert!((ratios[0].1 - 2.0).abs() < 1e-9);
+        let (rows, _, _) = diff(&parse_bench_json(SAMPLE), &parse_bench_json(SAMPLE));
+        assert!(per_protocol_bytes_ratio(&rows).is_empty());
     }
 
     #[test]

@@ -32,6 +32,16 @@ impl MessageCost for P1Msg {
     fn cost(&self) -> u64 {
         self.summary.len() as u64 + 1
     }
+
+    /// Exact size of the [`crate::wire`] encoding.
+    fn wire_bytes(&self) -> u64 {
+        crate::wire::mg_bytes(&self.summary)
+    }
+
+    /// A lost flush loses the summary's whole ingested weight.
+    fn mass(&self) -> f64 {
+        self.summary.total_weight()
+    }
 }
 
 /// P1 site: local Misra–Gries plus the flush threshold.

@@ -44,6 +44,21 @@ impl MessageCost for P2Msg {
     fn cost(&self) -> u64 {
         1
     }
+
+    /// Exact size of the [`crate::wire`] encoding: tag plus payload.
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            P2Msg::Total(_) => 9,
+            P2Msg::Element(..) => 17,
+        }
+    }
+
+    /// Both variants carry incremental weight since the last report.
+    fn mass(&self) -> f64 {
+        match self {
+            P2Msg::Total(w) | P2Msg::Element(_, w) => *w,
+        }
+    }
 }
 
 /// Per-site storage for the element deltas.

@@ -35,6 +35,16 @@ impl MessageCost for P3Msg {
     fn cost(&self) -> u64 {
         1
     }
+
+    /// Exact size of the [`crate::wire`] encoding: item, weight, ρ.
+    fn wire_bytes(&self) -> u64 {
+        24
+    }
+
+    /// A lost sample loses its record's weight.
+    fn mass(&self) -> f64 {
+        self.weight
+    }
 }
 
 /// P3 site: the generic priority site over weighted items.

@@ -36,6 +36,16 @@ impl MessageCost for P3wrMsg {
     fn cost(&self) -> u64 {
         1
     }
+
+    /// Exact size of the [`crate::wire`] encoding: hit, item, weight.
+    fn wire_bytes(&self) -> u64 {
+        32
+    }
+
+    /// A lost sample loses its record's weight.
+    fn mass(&self) -> f64 {
+        self.weight
+    }
 }
 
 /// P3wr site.

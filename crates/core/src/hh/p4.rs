@@ -39,6 +39,23 @@ impl MessageCost for P4Msg {
     fn cost(&self) -> u64 {
         1
     }
+
+    /// Exact size of the [`crate::wire`] encoding: tag plus payload.
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            P4Msg::Total(_) => 9,
+            P4Msg::Count(..) => 17,
+        }
+    }
+
+    /// Tracker reports carry incremental weight; count refreshes are
+    /// absolute state (losing one leaves a stale count, not lost mass).
+    fn mass(&self) -> f64 {
+        match self {
+            P4Msg::Total(w) => *w,
+            P4Msg::Count(..) => 0.0,
+        }
+    }
 }
 
 /// Per-site storage for the local counts `fe(Aj)`.

@@ -76,6 +76,7 @@ pub mod matrix;
 pub mod sampling;
 pub mod weight_tracker;
 pub mod window;
+pub mod wire;
 
 pub use cma_stream::Topology;
 pub use config::{HhConfig, MatrixConfig};

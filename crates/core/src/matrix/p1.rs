@@ -37,6 +37,16 @@ impl MessageCost for MP1Msg {
     fn cost(&self) -> u64 {
         self.rows.rows() as u64 + 1
     }
+
+    /// Exact size of the [`crate::wire`] encoding.
+    fn wire_bytes(&self) -> u64 {
+        crate::wire::matrix_bytes(&self.rows) + 8
+    }
+
+    /// A lost flush loses the squared Frobenius mass it summarises.
+    fn mass(&self) -> f64 {
+        self.mass
+    }
 }
 
 /// MT-P1 site.

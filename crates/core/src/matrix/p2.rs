@@ -69,6 +69,23 @@ impl MessageCost for MP2Msg {
     fn cost(&self) -> u64 {
         1
     }
+
+    /// Exact size of the [`crate::wire`] encoding: tag plus payload.
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            MP2Msg::Scalar(_) => 9,
+            MP2Msg::Direction(v) => 1 + crate::wire::row_bytes(v),
+        }
+    }
+
+    /// Scalars report incremental Frobenius mass; a direction carries
+    /// its squared norm.
+    fn mass(&self) -> f64 {
+        match self {
+            MP2Msg::Scalar(f) => *f,
+            MP2Msg::Direction(v) => v.iter().map(|x| x * x).sum(),
+        }
+    }
 }
 
 /// MT-P2 site: exact `Σ Vᵀ` representation.

@@ -30,6 +30,16 @@ impl MessageCost for MP3Msg {
     fn cost(&self) -> u64 {
         1
     }
+
+    /// Exact size of the [`crate::wire`] encoding: row plus ρ.
+    fn wire_bytes(&self) -> u64 {
+        crate::wire::row_bytes(&self.row) + 8
+    }
+
+    /// A lost sample loses its row's squared norm.
+    fn mass(&self) -> f64 {
+        self.row.iter().map(|x| x * x).sum()
+    }
 }
 
 /// MT-P3 site.

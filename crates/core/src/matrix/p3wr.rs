@@ -33,6 +33,16 @@ impl MessageCost for MP3wrMsg {
     fn cost(&self) -> u64 {
         1
     }
+
+    /// Exact size of the [`crate::wire`] encoding: hit plus row.
+    fn wire_bytes(&self) -> u64 {
+        16 + crate::wire::row_bytes(&self.row)
+    }
+
+    /// A lost sample loses its row's squared norm.
+    fn mass(&self) -> f64 {
+        self.row.iter().map(|x| x * x).sum()
+    }
 }
 
 /// MT-P3wr site.

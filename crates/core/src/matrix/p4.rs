@@ -49,6 +49,24 @@ impl MessageCost for MP4Msg {
     fn cost(&self) -> u64 {
         1
     }
+
+    /// Exact size of the [`crate::wire`] encoding: tag plus payload.
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            MP4Msg::Total(_) => 9,
+            MP4Msg::Z(z) => 1 + crate::wire::row_bytes(z),
+        }
+    }
+
+    /// Tracker reports carry incremental Frobenius mass; a `z` refresh
+    /// is absolute state (losing one leaves stale values, not lost
+    /// mass).
+    fn mass(&self) -> f64 {
+        match self {
+            MP4Msg::Total(f) => *f,
+            MP4Msg::Z(_) => 0.0,
+        }
+    }
 }
 
 /// MT-P4 site.

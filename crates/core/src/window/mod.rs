@@ -90,6 +90,11 @@ pub type Stamped<T> = (u64, T);
 pub trait BucketCost {
     /// Unit-message charge for shipping this summary as one bucket.
     fn bucket_cost(&self) -> u64;
+
+    /// Exact size of the summary's [`crate::wire`] encoding in bytes
+    /// (pinned equal to the codec's output by the `wire_roundtrip`
+    /// suite).
+    fn bucket_bytes(&self) -> u64;
 }
 
 impl BucketCost for MgSummary {
@@ -97,12 +102,20 @@ impl BucketCost for MgSummary {
     fn bucket_cost(&self) -> u64 {
         self.len() as u64 + 1
     }
+
+    fn bucket_bytes(&self) -> u64 {
+        crate::wire::mg_bytes(self)
+    }
 }
 
 impl BucketCost for FrequentDirections {
     /// One element per sketch row plus the bucket tag.
     fn bucket_cost(&self) -> u64 {
         self.sketch().rows() as u64 + 1
+    }
+
+    fn bucket_bytes(&self) -> u64 {
+        crate::wire::fd_bytes(self)
     }
 }
 
@@ -156,6 +169,22 @@ impl<S: BucketCost> MessageCost for SwMsg<S> {
             .iter()
             .map(|b| b.summary.bucket_cost())
             .sum::<u64>()
+    }
+
+    /// Exact size of the [`crate::wire`] encoding: the clock and bucket
+    /// count, then each bucket's `[oldest, newest]` range, mass, and
+    /// summary.
+    fn wire_bytes(&self) -> u64 {
+        16 + self
+            .buckets
+            .iter()
+            .map(|b| 24 + b.summary.bucket_bytes())
+            .sum::<u64>()
+    }
+
+    /// A lost message loses all its buckets' window mass.
+    fn mass(&self) -> f64 {
+        SwMsg::mass(self)
     }
 }
 
@@ -426,6 +455,15 @@ pub struct SwCoordinator<K: WindowKind> {
     theta: f64,
     /// Total withholding budget `ε` across the `m + I` nodes.
     hold_budget: f64,
+    /// Window mass the network may have kept from us (dropped or
+    /// still-in-flight up-messages), charged via
+    /// [`SwCoordinator::charge_faults`]. Extends the withheld
+    /// (undercount) term.
+    fault_undercount: f64,
+    /// Window mass the network may have delivered twice, charged via
+    /// [`SwCoordinator::charge_faults`]. Extends the straddle
+    /// (overcount) term.
+    fault_overcount: f64,
 }
 
 impl<K: WindowKind> SwCoordinator<K> {
@@ -437,6 +475,8 @@ impl<K: WindowKind> SwCoordinator<K> {
             w_peak: 1.0,
             theta: params.theta,
             hold_budget: params.epsilon,
+            fault_undercount: 0.0,
+            fault_overcount: 0.0,
         }
     }
 
@@ -470,14 +510,32 @@ impl<K: WindowKind> SwCoordinator<K> {
         acc
     }
 
+    /// Charges network faults to the certified bound: `undercount` is
+    /// window mass the network dropped or still holds in flight (a
+    /// [`cma_stream::FaultStats::undercount_mass`]), `overcount` is
+    /// mass delivered twice ([`cma_stream::FaultStats::overcount_mass`]).
+    /// Both are conservative: the mass may already have expired from
+    /// the window, so charging it only widens the bound.
+    pub fn charge_faults(&mut self, undercount: f64, overcount: f64) {
+        assert!(
+            undercount >= 0.0 && overcount >= 0.0,
+            "SwCoordinator::charge_faults: fault mass must be non-negative"
+        );
+        self.fault_undercount += undercount;
+        self.fault_overcount += overcount;
+    }
+
     /// The certified error of a query at clock `t_now`, decomposed into
     /// summary loss, straddling (overcount) and withheld (undercount)
-    /// parts.
+    /// parts. Network faults charged via
+    /// [`SwCoordinator::charge_faults`] widen the matching side:
+    /// dropped/in-flight mass is indistinguishable from withheld mass,
+    /// duplicated mass from straddling mass.
     pub fn error_bound_at(&self, t_now: u64) -> WindowErrorBound {
         WindowErrorBound {
             summary_loss: self.kind.summary_loss(self.hist.mass_at(t_now)),
-            straddle: self.hist.straddle_mass_at(t_now),
-            withheld: self.hold_budget * self.w_peak,
+            straddle: self.hist.straddle_mass_at(t_now) + self.fault_overcount,
+            withheld: self.hold_budget * self.w_peak + self.fault_undercount,
         }
     }
 }

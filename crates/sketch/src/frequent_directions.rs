@@ -93,6 +93,34 @@ impl FrequentDirections {
         Self::new(d, ((2.0 / epsilon).ceil() as usize).max(2))
     }
 
+    /// Reassembles a sketch from its transported parts: the current
+    /// sketch rows plus the two error-carrying scalars. The shrink
+    /// strategy and kernel route are *local configuration*, not sketch
+    /// content, so a reassembled sketch starts from the defaults.
+    ///
+    /// # Panics
+    /// Panics if `ell < 2`, `d == 0`, or `sketch` has a different
+    /// column count or more than `ell` rows.
+    pub fn from_parts(
+        d: usize,
+        ell: usize,
+        sketch: Matrix,
+        frob_sq: f64,
+        shrink_loss: f64,
+    ) -> Self {
+        let mut fd = Self::new(d, ell);
+        assert!(
+            sketch.cols() == d && sketch.rows() <= ell,
+            "FrequentDirections::from_parts: sketch shape {}×{} does not fit d={d}, ell={ell}",
+            sketch.rows(),
+            sketch.cols(),
+        );
+        fd.buf = sketch;
+        fd.frob_sq = frob_sq;
+        fd.shrink_loss = shrink_loss;
+        fd
+    }
+
     /// Selects the shrink strategy (builder style). See
     /// [`FrequentDirections::set_shrink`] for the correctness contract of
     /// the randomized strategy.

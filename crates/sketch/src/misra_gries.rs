@@ -61,6 +61,31 @@ impl MgSummary {
         Self::new((1.0 / epsilon).ceil() as usize)
     }
 
+    /// Reassembles a summary from its transported parts: the counter
+    /// set plus the two bound-carrying totals that cannot be recomputed
+    /// from the counters alone (`total_weight` includes decremented
+    /// mass; `decrement_total` is the a-posteriori error bound).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or more than `capacity` counters are
+    /// given.
+    pub fn from_parts(
+        capacity: usize,
+        counters: impl IntoIterator<Item = (Item, f64)>,
+        total_weight: f64,
+        decrement_total: f64,
+    ) -> Self {
+        let mut s = Self::new(capacity);
+        s.counters.extend(counters);
+        assert!(
+            s.counters.len() <= capacity,
+            "MgSummary::from_parts: more counters than capacity"
+        );
+        s.total_weight = total_weight;
+        s.decrement_total = decrement_total;
+        s
+    }
+
     /// Number of counters the summary may hold.
     pub fn capacity(&self) -> usize {
         self.capacity

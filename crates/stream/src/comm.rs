@@ -32,6 +32,26 @@ use crate::topology::TopologyPlan;
 pub trait MessageCost {
     /// Number of unit messages this logical message is charged as.
     fn cost(&self) -> u64;
+
+    /// Exact encoded size of this message on the wire, in bytes.
+    ///
+    /// Protocol message types override this with the size their
+    /// `WireCodec` impl produces (pinned equal by the `wire_roundtrip`
+    /// proptest). The default prices each paper message unit as one
+    /// `f64` word — the convention of the distributed-PCA communication
+    /// bounds, which are stated in words.
+    fn wire_bytes(&self) -> u64 {
+        8 * self.cost()
+    }
+
+    /// Stream mass carried by this message: the total weight (HH), row
+    /// Frobenius mass (matrix), or bucket mass (windows) the coordinator
+    /// would lose if the message vanished in transit. The simulated
+    /// network charges dropped/late messages to the certified bounds by
+    /// this amount. Defaults to 0 (pure control traffic).
+    fn mass(&self) -> f64 {
+        0.0
+    }
 }
 
 /// Traffic crossing one hop of the aggregation topology.
@@ -41,6 +61,8 @@ pub struct LevelStats {
     pub up_msgs: u64,
     /// Total element cost of those messages.
     pub up_cost: u64,
+    /// Total encoded bytes of those messages ([`MessageCost::wire_bytes`]).
+    pub up_bytes: u64,
     /// Broadcast deliveries fanned down across this hop (one per
     /// receiving node on the lower side).
     pub broadcast_msgs: u64,
@@ -59,6 +81,15 @@ pub struct CommStats {
     /// Total broadcast deliveries: each event charged one message per
     /// recipient (interior nodes and leaves alike).
     pub broadcast_cost: u64,
+    /// Total encoded bytes of upward traffic, summed across **every**
+    /// hop it crosses (a message relayed over two hops is charged
+    /// twice — this measures wire traffic, not logical payload). Only
+    /// delivered messages count: under a faulty transport a dropped
+    /// message is never recorded, a duplicated one is recorded twice.
+    pub bytes_up: u64,
+    /// Total encoded bytes of broadcast traffic, charged structurally
+    /// per recipient at fan-out time (mirroring `broadcast_cost`).
+    pub bytes_down: u64,
     /// Number of sites `m`.
     pub sites: u64,
     /// Arrivals delivered through the driver (any feeding mode). Purely
@@ -126,12 +157,17 @@ impl CommStats {
         self.node_in_msgs.iter().copied().max().unwrap_or(0)
     }
 
-    /// Records one upward message of the given cost crossing hop
-    /// `level` (0 = leaf hop).
-    pub fn record_hop(&mut self, level: usize, cost: u64) {
+    /// Records one upward message of the given cost and encoded byte
+    /// size crossing hop `level` (0 = leaf hop). Bytes accumulate into
+    /// [`CommStats::bytes_up`] at *every* level — wire traffic, not
+    /// logical payload — while `up_msgs`/`up_cost` keep their leaf-hop
+    /// meaning.
+    pub fn record_hop(&mut self, level: usize, cost: u64, bytes: u64) {
         let l = &mut self.per_level[level];
         l.up_msgs += 1;
         l.up_cost += cost;
+        l.up_bytes += bytes;
+        self.bytes_up += bytes;
         if level == 0 {
             self.up_msgs += 1;
             self.up_cost += cost;
@@ -159,10 +195,10 @@ impl CommStats {
         self.leaf_out_msgs.iter().filter(|&&c| c > 0).count()
     }
 
-    /// Records one site→coordinator message of the given cost in a flat
-    /// deployment (hop 0 straight into the root).
-    pub fn record_up(&mut self, cost: u64) {
-        self.record_hop(0, cost);
+    /// Records one site→coordinator message of the given cost and byte
+    /// size in a flat deployment (hop 0 straight into the root).
+    pub fn record_up(&mut self, cost: u64, bytes: u64) {
+        self.record_hop(0, cost, bytes);
         let root = self.node_in_msgs.len() - 1;
         self.record_recv(root);
     }
@@ -174,17 +210,19 @@ impl CommStats {
     }
 
     /// Records `receivers` broadcast deliveries crossing hop `level`
-    /// downward.
-    pub fn record_broadcast_level(&mut self, level: usize, receivers: u64) {
+    /// downward, each `bytes_each` encoded bytes on the wire.
+    pub fn record_broadcast_level(&mut self, level: usize, receivers: u64, bytes_each: u64) {
         self.per_level[level].broadcast_msgs += receivers;
         self.broadcast_cost += receivers;
+        self.bytes_down += receivers * bytes_each;
     }
 
     /// Records one complete broadcast event that fans out to `recipients`
-    /// receivers in a flat deployment.
-    pub fn record_broadcast(&mut self, recipients: u64) {
+    /// receivers in a flat deployment, `bytes_each` encoded bytes per
+    /// delivery.
+    pub fn record_broadcast(&mut self, recipients: u64, bytes_each: u64) {
         self.begin_broadcast();
-        self.record_broadcast_level(0, recipients);
+        self.record_broadcast_level(0, recipients, bytes_each);
     }
 
     /// Adds another set of *communication* totals (e.g. when a protocol
@@ -216,9 +254,12 @@ impl CommStats {
         self.up_cost += other.up_cost;
         self.broadcast_events += other.broadcast_events;
         self.broadcast_cost += other.broadcast_cost;
+        self.bytes_up += other.bytes_up;
+        self.bytes_down += other.bytes_down;
         for (a, b) in self.per_level.iter_mut().zip(&other.per_level) {
             a.up_msgs += b.up_msgs;
             a.up_cost += b.up_cost;
+            a.up_bytes += b.up_bytes;
             a.broadcast_msgs += b.broadcast_msgs;
         }
         for (a, b) in self.node_in_msgs.iter_mut().zip(&other.node_in_msgs) {
@@ -257,12 +298,15 @@ impl CommStats {
         self.up_cost += other.up_cost;
         self.broadcast_events += other.broadcast_events;
         self.broadcast_cost += other.broadcast_cost;
+        self.bytes_up += other.bytes_up;
+        self.bytes_down += other.bytes_down;
         self.arrivals += other.arrivals;
         let last = self.per_level.len().saturating_sub(1);
         if let Some(l) = self.per_level.get_mut(last) {
             for b in &other.per_level {
                 l.up_msgs += b.up_msgs;
                 l.up_cost += b.up_cost;
+                l.up_bytes += b.up_bytes;
                 l.broadcast_msgs += b.broadcast_msgs;
             }
         }
@@ -284,14 +328,16 @@ mod tests {
     #[test]
     fn totals_price_broadcasts_by_fanout() {
         let mut s = CommStats::new(10);
-        s.record_up(3);
-        s.record_up(1);
-        s.record_broadcast(10);
+        s.record_up(3, 24);
+        s.record_up(1, 8);
+        s.record_broadcast(10, 8);
         assert_eq!(s.up_msgs, 2);
         assert_eq!(s.up_cost, 4);
         assert_eq!(s.broadcast_events, 1);
         assert_eq!(s.broadcast_cost, 10);
         assert_eq!(s.total(), 4 + 10);
+        assert_eq!(s.bytes_up, 32);
+        assert_eq!(s.bytes_down, 80);
         assert_eq!(s.node_in_msgs, vec![2]);
     }
 
@@ -302,29 +348,34 @@ mod tests {
         assert_eq!(s.per_level.len(), 2);
         assert_eq!(s.node_in_msgs.len(), 3); // two interior + root
         assert_eq!(s.max_fan_in, 2);
-        s.record_hop(0, 5);
-        s.record_hop(1, 5);
+        s.record_hop(0, 5, 40);
+        s.record_hop(1, 5, 40);
         s.record_recv(0); // interior
         s.record_recv(2); // root
         s.begin_broadcast();
-        s.record_broadcast_level(1, 2); // root → interior
-        s.record_broadcast_level(0, 4); // interior → leaves
+        s.record_broadcast_level(1, 2, 8); // root → interior
+        s.record_broadcast_level(0, 4, 8); // interior → leaves
         assert_eq!(s.total(), 5 + 5 + 6);
         assert_eq!(s.up_msgs, 1); // leaf hop only
+        assert_eq!(s.bytes_up, 80); // both hops count toward wire bytes
+        assert_eq!(s.per_level[0].up_bytes, 40);
+        assert_eq!(s.bytes_down, 48);
         assert_eq!(s.max_node_in_msgs(), 1);
     }
 
     #[test]
     fn absorb_sums_fields() {
         let mut a = CommStats::new(5);
-        a.record_up(2);
+        a.record_up(2, 16);
         let mut b = CommStats::new(5);
-        b.record_up(7);
-        b.record_broadcast(5);
+        b.record_up(7, 56);
+        b.record_broadcast(5, 8);
         a.absorb(&b);
         assert_eq!(a.up_cost, 9);
         assert_eq!(a.broadcast_events, 1);
         assert_eq!(a.total(), 9 + 5);
+        assert_eq!(a.bytes_up, 72);
+        assert_eq!(a.bytes_down, 40);
         assert_eq!(a.node_in_msgs, vec![2]);
     }
 

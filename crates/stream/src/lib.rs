@@ -40,6 +40,12 @@
 //!   its own fanout within a budget.
 //! * [`partition`] — stream partitioners deciding which site observes
 //!   each arrival (round-robin, uniform random, skewed, by key).
+//! * [`transport`] — the message plane behind the runners:
+//!   [`ChannelTransport`] (perfect in-process channels, bit-exact
+//!   reference) or [`SimNet`], a deterministic simulated network that
+//!   drops/delays/duplicates/reorders per-link under a seeded
+//!   [`FaultPlan`]. [`wire`] gives every protocol message a compact
+//!   encoding so [`CommStats`] measures bytes, not just messages.
 //!
 //! # The Topology / Aggregator contract
 //!
@@ -130,6 +136,8 @@ pub mod partition;
 pub mod runner;
 pub mod site;
 pub mod topology;
+pub mod transport;
+pub mod wire;
 
 pub use aggregator::{Aggregator, FilteredRelay, MigratableAggregator, Relay, RelayFilter};
 pub use comm::{CommStats, LevelStats, MessageCost};
@@ -139,6 +147,10 @@ pub use runner::engine::{EngineStats, Executor, WorkerStats};
 pub use runner::Runner;
 pub use site::Site;
 pub use topology::{AggNode, Topology, TopologyPlan};
+pub use transport::{
+    ChannelTransport, FaultLink, FaultPlan, FaultStats, LinkFaults, LinkPipe, SimNet, Transport,
+};
+pub use wire::{put_f64, put_u64, put_usize, WireCodec, WireReader, WireSized};
 
 /// Identifier of a site, `0..m`.
 pub type SiteId = usize;

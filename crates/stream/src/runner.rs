@@ -39,40 +39,63 @@
 //! calling thread, deterministically, for parity and conservation
 //! audits.
 
+use std::collections::BTreeMap;
+
 use crate::aggregator::{Aggregator, Relay};
 use crate::comm::{CommStats, MessageCost};
 use crate::coordinator::Coordinator;
 use crate::partition::Partitioner;
 use crate::site::Site;
 use crate::topology::{Topology, TopologyPlan};
+use crate::transport::{FaultLink, Transport};
+use crate::wire::WireSized;
 use crate::SiteId;
 
 /// The aggregation layer shared by the sequential and threaded drivers:
 /// the resolved topology, the interior aggregator nodes and the root
 /// coordinator, plus the routing logic that moves messages between them.
+///
+/// Since PR 8 the layer is transport-aware: [`AggCore::install_net`]
+/// threads every hop it routes through the [`Transport`]'s per-link
+/// [`FaultLink`]s, so a simulated faulty network applies its drops,
+/// duplicates, delays and reorders exactly where a real wire would —
+/// on the edge between sender and receiver, before the receiver records
+/// or absorbs anything. With the default [`crate::ChannelTransport`]
+/// none of this machinery is built and routing is bit-exact with the
+/// pre-transport code.
+/// Upward fault links keyed by `(from, to)` transport node ids; each
+/// value carries the hop level of the receiving side so close-time
+/// releases can resume the climb where the message was in flight.
+type UpLinks<M> = BTreeMap<(usize, usize), (usize, FaultLink<(SiteId, M)>)>;
+
 struct AggCore<A: Aggregator, C> {
     plan: TopologyPlan,
     aggs: Vec<A>,
     coordinator: C,
     /// Reusable relay buffer for the interior hops.
     relay: Vec<(SiteId, A::UpMsg)>,
+    /// `true` once a non-transparent transport is installed.
+    faulty: bool,
+    /// Upward fault links; see [`UpLinks`].
+    up_links: UpLinks<A::UpMsg>,
+    /// Downward fault links, one per interior node (from its broadcast
+    /// parent); empty on a transparent transport.
+    down_links: Vec<FaultLink<(SiteId, A::UpMsg)>>,
+    /// Scratch buffer for fault filtering (kept for capacity).
+    wave_buf: Vec<(SiteId, A::UpMsg)>,
 }
 
 impl<A, C> AggCore<A, C>
 where
     A: Aggregator,
-    A::UpMsg: MessageCost,
+    A::UpMsg: MessageCost + Clone,
+    A::Broadcast: WireSized,
     C: Coordinator<UpMsg = A::UpMsg, Broadcast = A::Broadcast>,
 {
     /// Builds the flat star layer (no interior nodes; `A` is never
     /// instantiated).
     fn star(m: usize, coordinator: C) -> Self {
-        AggCore {
-            plan: Topology::Star.plan(m),
-            aggs: Vec::new(),
-            coordinator,
-            relay: Vec::new(),
-        }
+        Self::from_parts(Topology::Star.plan(m), Vec::new(), coordinator)
     }
 
     /// Builds the layer for an arbitrary topology, constructing one
@@ -85,12 +108,7 @@ where
     ) -> Self {
         let plan = topology.plan(m);
         let aggs = plan.agg_nodes().map(&mut *make_agg).collect();
-        AggCore {
-            plan,
-            aggs,
-            coordinator,
-            relay: Vec::new(),
-        }
+        Self::from_parts(plan, aggs, coordinator)
     }
 
     /// Re-assembles the layer around *pre-built* aggregator nodes (in
@@ -108,7 +126,81 @@ where
             aggs,
             coordinator,
             relay: Vec::new(),
+            faulty: false,
+            up_links: BTreeMap::new(),
+            down_links: Vec::new(),
+            wave_buf: Vec::new(),
         }
+    }
+
+    /// Installs a transport: builds one [`FaultLink`] per edge of the
+    /// plan (upward links for every hop, downward links into every
+    /// interior node). A transparent transport installs nothing and the
+    /// routing fast paths stay untouched.
+    fn install_net(&mut self, net: &dyn Transport) {
+        if net.is_transparent() {
+            return;
+        }
+        self.faulty = true;
+        let plan = &self.plan;
+        let m = plan.sites();
+        let root = plan.root_node_id();
+        if plan.is_flat() {
+            for sid in 0..m {
+                self.up_links
+                    .insert((sid, root), (0, FaultLink::new(net.link(sid, root, true))));
+            }
+            return;
+        }
+        let levels = plan.levels().to_vec();
+        let n_levels = levels.len();
+        let offset = |li: usize| -> usize { levels[..li].iter().sum() };
+        for sid in 0..m {
+            let parent = plan.agg_node_id(plan.parent_of(0, sid).0);
+            self.up_links.insert(
+                (sid, parent),
+                (0, FaultLink::new(net.link(sid, parent, true))),
+            );
+        }
+        for (li, &level_nodes) in levels.iter().enumerate() {
+            for j in 0..level_nodes {
+                let g = offset(li) + j;
+                let from = plan.agg_node_id(g);
+                let (to, level) = if li + 1 < n_levels {
+                    (plan.agg_node_id(plan.parent_of(li + 1, j).0), li + 1)
+                } else {
+                    (root, n_levels)
+                };
+                self.up_links.insert(
+                    (from, to),
+                    (level, FaultLink::new(net.link(from, to, true))),
+                );
+                // The downward link this node hears broadcasts on.
+                self.down_links
+                    .push(FaultLink::new(net.link(to, from, false)));
+            }
+        }
+    }
+
+    /// Passes one wave through the fault link of the edge `from → to`,
+    /// leaving only the messages the wire delivers *now* in `pending`.
+    fn filter_wave(&mut self, from: usize, to: usize, pending: &mut Vec<(SiteId, A::UpMsg)>) {
+        if !self.faulty {
+            return;
+        }
+        let Some((_, link)) = self.up_links.get_mut(&(from, to)) else {
+            return;
+        };
+        if link.is_transparent() {
+            return;
+        }
+        let mut out = std::mem::take(&mut self.wave_buf);
+        for (sid, msg) in pending.drain(..) {
+            let mass = msg.mass();
+            link.receive((sid, msg), mass, &mut out);
+        }
+        std::mem::swap(pending, &mut out);
+        self.wave_buf = out;
     }
 
     /// Routes one upward message from leaf `origin` through the
@@ -122,23 +214,42 @@ where
         stats: &mut CommStats,
         bc_out: &mut Vec<A::Broadcast>,
     ) {
-        if self.plan.is_flat() {
-            stats.record_hop(0, msg.cost());
-            stats.record_recv(self.plan.root_index());
-            stats.record_leaf_send(origin);
-            self.coordinator.receive(origin, msg, bc_out);
-            return;
-        }
-        // All messages of one wave climb the origin leaf's ancestor
-        // chain; each interior node absorbs the wave and flushes whatever
-        // it is ready to pass on.
         let mut pending = std::mem::take(&mut self.relay);
         pending.push((origin, msg));
-        let mut child = origin;
-        for level in 0..self.plan.internal_levels() {
+        self.climb(0, origin, origin, pending, stats, bc_out);
+    }
+
+    /// Climbs a wave from hop `level` upward: `from_node` is the
+    /// transport node id of the sending side, `child` the child index
+    /// [`TopologyPlan::parent_of`] expects at that level (the origin
+    /// leaf id for level 0). Each interior node absorbs whatever the
+    /// wire delivers and flushes what it is ready to pass on.
+    fn climb(
+        &mut self,
+        start_level: usize,
+        mut from_node: usize,
+        mut child: usize,
+        mut pending: Vec<(SiteId, A::UpMsg)>,
+        stats: &mut CommStats,
+        bc_out: &mut Vec<A::Broadcast>,
+    ) {
+        if self.plan.is_flat() {
+            let root = self.plan.root_node_id();
+            self.filter_wave(from_node, root, &mut pending);
+            for (sid, m) in pending.drain(..) {
+                stats.record_hop(0, m.cost(), m.wire_bytes());
+                stats.record_recv(self.plan.root_index());
+                stats.record_leaf_send(sid);
+                self.coordinator.receive(sid, m, bc_out);
+            }
+            self.relay = pending;
+            return;
+        }
+        for level in start_level..self.plan.internal_levels() {
             let (node, local) = self.plan.parent_of(level, child);
+            self.filter_wave(from_node, self.plan.agg_node_id(node), &mut pending);
             for (from, m) in pending.drain(..) {
-                stats.record_hop(level, m.cost());
+                stats.record_hop(level, m.cost(), m.wire_bytes());
                 stats.record_recv(node);
                 if level == 0 {
                     stats.record_leaf_send(from);
@@ -151,10 +262,13 @@ where
                 return; // the node is holding its partial
             }
             child = local;
+            from_node = self.plan.agg_node_id(node);
         }
+        let root = self.plan.root_node_id();
+        self.filter_wave(from_node, root, &mut pending);
         let last_hop = self.plan.internal_levels();
         for (from, m) in pending.drain(..) {
-            stats.record_hop(last_hop, m.cost());
+            stats.record_hop(last_hop, m.cost(), m.wire_bytes());
             stats.record_recv(self.plan.root_index());
             self.coordinator.receive(from, m, bc_out);
         }
@@ -163,26 +277,85 @@ where
 
     /// Fans one broadcast down the tree: every interior node observes it
     /// (and is charged as a recipient), then the caller delivers it to
-    /// the leaves (already charged here as hop-0 recipients).
+    /// the leaves (already charged here as hop-0 recipients). Under a
+    /// faulty transport each interior node's downward link may drop the
+    /// delivery — a dropped broadcast only leaves a *stale, smaller*
+    /// threshold behind, which makes subtrees send sooner, never later,
+    /// so every guarantee survives it.
     fn route_broadcast(&mut self, bc: &A::Broadcast, stats: &mut CommStats) {
-        charge_broadcast(stats, self.plan.levels(), self.plan.sites());
-        for agg in &mut self.aggs {
-            agg.on_broadcast(bc);
+        charge_broadcast(stats, self.plan.levels(), self.plan.sites(), bc.wire_size());
+        if !self.faulty {
+            for agg in &mut self.aggs {
+                agg.on_broadcast(bc);
+            }
+            return;
+        }
+        for (g, agg) in self.aggs.iter_mut().enumerate() {
+            let deliver = match self.down_links.get_mut(g) {
+                Some(l) => l.deliver_now(0.0),
+                None => true,
+            };
+            if deliver {
+                agg.on_broadcast(bc);
+            }
+        }
+    }
+
+    /// Closes every fault link (end of run): messages still held by the
+    /// simulated wire are released and complete their climb — late, but
+    /// never silently lost — and per-link fault tallies flush into the
+    /// network's [`crate::SimNet::stats`]. Broadcasts triggered by the
+    /// released traffic land in `bc_out`; at this point every leaf has
+    /// finished streaming, so the caller only needs to charge them.
+    fn close_links(&mut self, stats: &mut CommStats, bc_out: &mut Vec<A::Broadcast>) {
+        if !self.faulty {
+            return;
+        }
+        // Released messages travel the already-shut-down network's last
+        // flush: they climb fault-free from where they were in flight.
+        self.faulty = false;
+        let links = std::mem::take(&mut self.up_links);
+        type Released<M> = Vec<(usize, Vec<(SiteId, M)>)>;
+        let mut released: Released<A::UpMsg> = Vec::new();
+        for (_, (level, mut link)) in links {
+            let mut out = Vec::new();
+            link.close(&mut out);
+            if !out.is_empty() {
+                released.push((level, out));
+            }
+        }
+        for (level, wave) in released {
+            let sid = wave[0].0;
+            if self.plan.is_flat() || level == 0 {
+                self.climb(0, sid, sid, wave, stats, bc_out);
+            } else {
+                // The sender was the origin leaf's ancestor at the level
+                // below the hop the wave was in flight on.
+                let sender = self.plan.ancestor_of(level - 1, sid);
+                let offset: usize = self.plan.levels()[..level - 1].iter().sum();
+                let child = sender - offset;
+                let from_node = self.plan.agg_node_id(sender);
+                self.climb(level, from_node, child, wave, stats, bc_out);
+            }
+        }
+        let mut sink = Vec::new();
+        for mut l in self.down_links.drain(..) {
+            l.close(&mut sink);
         }
     }
 }
 
 /// Charges one broadcast event structurally — one message per recipient
 /// it fans out to: every interior node (top level first) and every
-/// leaf. All three drivers (sequential, thread-per-node, pooled) charge
-/// through this one helper, so their [`CommStats`] stay comparable by
-/// construction.
-fn charge_broadcast(stats: &mut CommStats, levels: &[usize], m: usize) {
+/// leaf, each delivery `bytes_each` encoded bytes. All three drivers
+/// (sequential, thread-per-node, pooled) charge through this one
+/// helper, so their [`CommStats`] stay comparable by construction.
+fn charge_broadcast(stats: &mut CommStats, levels: &[usize], m: usize, bytes_each: u64) {
     stats.begin_broadcast();
     for (li, &count) in levels.iter().enumerate().rev() {
-        stats.record_broadcast_level(li + 1, count as u64);
+        stats.record_broadcast_level(li + 1, count as u64, bytes_each);
     }
-    stats.record_broadcast_level(0, m as u64);
+    stats.record_broadcast_level(0, m as u64, bytes_each);
 }
 
 /// Deterministic protocol driver (sequential; batch-first), generic over
@@ -192,7 +365,8 @@ pub struct Runner<S, C, A = Relay<<S as Site>::UpMsg, <S as Site>::Broadcast>>
 where
     S: Site,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
-    S::UpMsg: MessageCost,
+    S::UpMsg: MessageCost + Clone,
+    S::Broadcast: WireSized,
     A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
 {
     sites: Vec<S>,
@@ -209,7 +383,8 @@ impl<S, C> Runner<S, C>
 where
     S: Site,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
-    S::UpMsg: MessageCost,
+    S::UpMsg: MessageCost + Clone,
+    S::Broadcast: WireSized,
 {
     /// Creates a flat-star driver over the given sites and coordinator —
     /// the paper's deployment shape.
@@ -234,7 +409,8 @@ impl<S, C, A> Runner<S, C, A>
 where
     S: Site,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
-    S::UpMsg: MessageCost,
+    S::UpMsg: MessageCost + Clone,
+    S::Broadcast: WireSized,
     A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
 {
     /// Creates a driver whose site traffic is aggregated through
@@ -500,8 +676,8 @@ pub mod threaded {
     where
         S: Site + Send,
         S::Input: Send,
-        S::UpMsg: MessageCost + Send,
-        S::Broadcast: Clone + Send,
+        S::UpMsg: MessageCost + Clone + Send,
+        S::Broadcast: Clone + WireSized + Send,
         C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     {
         run_partitioned_with(sites, coordinator, inputs, &ThreadedConfig::default())
@@ -529,8 +705,39 @@ pub mod threaded {
     where
         S: Site + Send,
         S::Input: Send,
-        S::UpMsg: MessageCost + Send,
-        S::Broadcast: Clone + Send,
+        S::UpMsg: MessageCost + Clone + Send,
+        S::Broadcast: Clone + WireSized + Send,
+        C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    {
+        run_partitioned_with_on(
+            sites,
+            coordinator,
+            inputs,
+            cfg,
+            &crate::transport::ChannelTransport,
+        )
+    }
+
+    /// [`run_partitioned_with`] over an explicit [`Transport`]: the
+    /// message plane the waves cross. [`crate::ChannelTransport`] is the
+    /// bit-exact default; a [`crate::SimNet`] applies its fault plan to
+    /// every site→coordinator link (and the coordinator's broadcast
+    /// links back down).
+    ///
+    /// # Panics
+    /// As [`run_partitioned_with`].
+    pub fn run_partitioned_with_on<S, C>(
+        sites: Vec<S>,
+        coordinator: C,
+        inputs: Vec<Vec<S::Input>>,
+        cfg: &ThreadedConfig,
+        net: &dyn Transport,
+    ) -> (Vec<S>, C, CommStats)
+    where
+        S: Site + Send,
+        S::Input: Send,
+        S::UpMsg: MessageCost + Clone + Send,
+        S::Broadcast: Clone + WireSized + Send,
         C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     {
         if sites.is_empty() {
@@ -546,6 +753,7 @@ pub mod threaded {
             AggCore::star(m, coordinator),
             inputs,
             cfg,
+            net,
         )
     }
 
@@ -625,8 +833,8 @@ pub mod threaded {
     where
         S: Site + Send,
         S::Input: Send,
-        S::UpMsg: MessageCost + Send,
-        S::Broadcast: Clone + Send,
+        S::UpMsg: MessageCost + Clone + Send,
+        S::Broadcast: Clone + WireSized + Send,
         C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
         A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
     {
@@ -646,13 +854,53 @@ pub mod threaded {
         inputs: Vec<Vec<S::Input>>,
         cfg: &ThreadedConfig,
         topology: Topology,
-        mut make_agg: impl FnMut(crate::topology::AggNode) -> A,
+        make_agg: impl FnMut(crate::topology::AggNode) -> A,
     ) -> TreeRunParts<S, C, A>
     where
         S: Site + Send,
         S::Input: Send,
-        S::UpMsg: MessageCost + Send,
-        S::Broadcast: Clone + Send,
+        S::UpMsg: MessageCost + Clone + Send,
+        S::Broadcast: Clone + WireSized + Send,
+        C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+        A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
+    {
+        run_partitioned_topology_parts_on(
+            sites,
+            coordinator,
+            inputs,
+            cfg,
+            topology,
+            make_agg,
+            &crate::transport::ChannelTransport,
+        )
+    }
+
+    /// [`run_partitioned_topology_parts`] over an explicit
+    /// [`Transport`]: every link of the tree — leaf→parent waves,
+    /// interior hops, the hop into the root, and the broadcast cascade
+    /// back down — crosses the given message plane. The default
+    /// [`crate::ChannelTransport`] is bit-exact with the channel-only
+    /// code; a [`crate::SimNet`] applies per-link faults at the
+    /// *receiving* side of each hop, so dropped waves are never recorded
+    /// and duplicated ones are recorded twice.
+    ///
+    /// # Panics
+    /// As [`run_partitioned_topology`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_partitioned_topology_parts_on<S, C, A>(
+        sites: Vec<S>,
+        coordinator: C,
+        inputs: Vec<Vec<S::Input>>,
+        cfg: &ThreadedConfig,
+        topology: Topology,
+        mut make_agg: impl FnMut(crate::topology::AggNode) -> A,
+        net: &dyn Transport,
+    ) -> TreeRunParts<S, C, A>
+    where
+        S: Site + Send,
+        S::Input: Send,
+        S::UpMsg: MessageCost + Clone + Send,
+        S::Broadcast: Clone + WireSized + Send,
         C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
         A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
     {
@@ -674,7 +922,7 @@ pub mod threaded {
         if plan.is_flat() {
             // No interior nodes: the star path, aggregators never built.
             let core = AggCore::build(m, coordinator, topology, &mut make_agg);
-            let (sites, coordinator, stats) = run_inner(sites, core, inputs, cfg);
+            let (sites, coordinator, stats) = run_inner(sites, core, inputs, cfg, net);
             return TreeRunParts {
                 sites,
                 aggregators: Vec::new(),
@@ -683,7 +931,17 @@ pub mod threaded {
                 engine: super::engine::EngineStats::default(),
             };
         }
-        run_tree(sites, coordinator, inputs, cfg, plan, &mut make_agg)
+        run_tree(sites, coordinator, inputs, cfg, plan, &mut make_agg, net)
+    }
+
+    /// Ships one wave to a parent's bounded inbox. Returns `false` when
+    /// the receiver has already hung up — mid-run that only happens
+    /// during an abnormal teardown (a panicking sibling collapsing the
+    /// tree), and the right response is to stop streaming quietly
+    /// instead of panicking over the top of the original failure
+    /// (drain-by-disconnection, the PR 3 contract).
+    pub(super) fn ship<T>(tx: &mpsc::SyncSender<T>, wave: T) -> bool {
+        tx.send(wave).is_ok()
     }
 
     /// The threaded tree runtime: one thread per site, one thread per
@@ -696,12 +954,13 @@ pub mod threaded {
         cfg: &ThreadedConfig,
         plan: TopologyPlan,
         make_agg: &mut dyn FnMut(crate::topology::AggNode) -> A,
+        net: &dyn Transport,
     ) -> TreeRunParts<S, C, A>
     where
         S: Site + Send,
         S::Input: Send,
-        S::UpMsg: MessageCost + Send,
-        S::Broadcast: Clone + Send,
+        S::UpMsg: MessageCost + Clone + Send,
+        S::Broadcast: Clone + WireSized + Send,
         C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
         A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
     {
@@ -770,8 +1029,12 @@ pub mod threaded {
             // the leaf's level-1 parent instead of the root.
             let mut site_handles = Vec::with_capacity(m);
             for (sid, (mut site, local)) in sites.drain(..).zip(inputs).enumerate() {
-                let up_tx = agg_up_tx[plan.parent_of(0, sid).0].clone();
+                let parent_g = plan.parent_of(0, sid).0;
+                let up_tx = agg_up_tx[parent_g].clone();
                 let bc_rx = leaf_bc_rx[sid].take().expect("leaf bc receiver");
+                // The downward link this leaf hears broadcasts on.
+                let mut bc_link: FaultLink<S::Broadcast> =
+                    FaultLink::new(net.link(plan.agg_node_id(parent_g), sid, false));
                 let batch_size = cfg.batch_size;
                 site_handles.push(scope.spawn(move || {
                     let mut out: Vec<S::UpMsg> = Vec::new();
@@ -779,7 +1042,9 @@ pub mod threaded {
                     let mut it = local.into_iter().peekable();
                     while it.peek().is_some() {
                         while let Ok(bc) = bc_rx.try_recv() {
-                            site.on_broadcast(&bc);
+                            if bc_link.deliver_now(0.0) {
+                                site.on_broadcast(&bc);
+                            }
                         }
                         let mut batch = it.by_ref().take(batch_size);
                         loop {
@@ -789,10 +1054,11 @@ pub mod threaded {
                             }
                             shipping.extend(out.drain(..).map(|msg| (sid, msg)));
                         }
-                        if !shipping.is_empty() {
-                            up_tx
-                                .send(std::mem::take(&mut shipping))
-                                .expect("aggregator hung up");
+                        if !shipping.is_empty() && !ship(&up_tx, std::mem::take(&mut shipping)) {
+                            // Parent gone mid-run: abnormal teardown —
+                            // stop streaming instead of panicking over
+                            // the original failure.
+                            break;
                         }
                     }
                     site
@@ -826,8 +1092,46 @@ pub mod threaded {
                     };
                     let mut agg = aggs[g].take().expect("aggregator built once");
                     let mut stats = CommStats::for_plan(&plan);
+                    // Fault machinery for this node's incoming edges: one
+                    // up-link per direct child (keyed by the child's
+                    // transport node id) and the downward link broadcasts
+                    // arrive on. All empty/transparent under channels.
+                    let faulty = !net.is_transparent();
+                    let node_id = plan.agg_node_id(g);
+                    let mut up_links: BTreeMap<usize, FaultLink<(SiteId, S::UpMsg)>> =
+                        BTreeMap::new();
+                    // Origin sid → transport node id of the child that
+                    // relays its messages into this node.
+                    let sender_of: Vec<usize> = if faulty {
+                        if li == 0 {
+                            for c in j * fanout..((j + 1) * fanout).min(m) {
+                                up_links.insert(c, FaultLink::new(net.link(c, node_id, true)));
+                            }
+                            (0..m).collect()
+                        } else {
+                            let lower = level_offset(li - 1);
+                            for c in j * fanout..((j + 1) * fanout).min(levels[li - 1]) {
+                                let child = plan.agg_node_id(lower + c);
+                                up_links
+                                    .insert(child, FaultLink::new(net.link(child, node_id, true)));
+                            }
+                            (0..m)
+                                .map(|sid| plan.agg_node_id(plan.ancestor_of(li - 1, sid)))
+                                .collect()
+                        }
+                    } else {
+                        Vec::new()
+                    };
+                    let parent_id = if li + 1 < n_levels {
+                        plan.agg_node_id(plan.parent_of(li + 1, j).0)
+                    } else {
+                        plan.root_node_id()
+                    };
+                    let mut bc_link: FaultLink<S::Broadcast> =
+                        FaultLink::new(net.link(parent_id, node_id, false));
                     agg_handles.push(scope.spawn(move || {
                         let mut out: Vec<(SiteId, S::UpMsg)> = Vec::new();
+                        let mut delivered: Vec<(SiteId, S::UpMsg)> = Vec::new();
                         let forward_bc = |agg: &mut A, bc: S::Broadcast| {
                             agg.on_broadcast(&bc);
                             for tx in &child_bcs {
@@ -837,14 +1141,32 @@ pub mod threaded {
                         };
                         loop {
                             // Freshen threshold state (and pass it on)
-                            // before absorbing the next wave.
+                            // before absorbing the next wave. A dropped
+                            // down-link delivery suppresses the whole
+                            // subtree: this node never saw it, so it
+                            // cannot cascade it either.
                             while let Ok(bc) = bc_rx.try_recv() {
-                                forward_bc(&mut agg, bc);
+                                if bc_link.deliver_now(0.0) {
+                                    forward_bc(&mut agg, bc);
+                                }
                             }
                             match up_rx.recv_timeout(AGG_POLL) {
                                 Ok(batch) => {
-                                    for (from, msg) in batch {
-                                        stats.record_hop(li, msg.cost());
+                                    if faulty {
+                                        for (from, msg) in batch {
+                                            let mass = msg.mass();
+                                            match up_links.get_mut(&sender_of[from]) {
+                                                Some(l) => {
+                                                    l.receive((from, msg), mass, &mut delivered)
+                                                }
+                                                None => delivered.push((from, msg)),
+                                            }
+                                        }
+                                    } else {
+                                        delivered = batch;
+                                    }
+                                    for (from, msg) in delivered.drain(..) {
+                                        stats.record_hop(li, msg.cost(), msg.wire_bytes());
                                         stats.record_recv(g);
                                         if li == 0 {
                                             stats.record_leaf_send(from);
@@ -852,26 +1174,52 @@ pub mod threaded {
                                         agg.absorb(from, msg);
                                     }
                                     agg.flush(&mut out);
-                                    if !out.is_empty() {
-                                        parent_tx
-                                            .send(std::mem::take(&mut out))
-                                            .expect("parent hung up");
+                                    if !out.is_empty()
+                                        && !ship(&parent_tx, std::mem::take(&mut out))
+                                    {
+                                        // Parent gone mid-run (abnormal
+                                        // teardown): stop relaying.
+                                        break;
                                     }
                                 }
                                 Err(mpsc::RecvTimeoutError::Timeout) => continue,
                                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
                             }
                         }
-                        // Children all hung up: any partial still held
-                        // stays held (the runner never forces a flush).
-                        // Absorb broadcasts queued up to this point so
-                        // the returned node's threshold state is no
-                        // staler than its subtree's drain; broadcasts
-                        // the root emits *after* this node exits are
-                        // dropped — they could no longer affect any
-                        // message (this subtree has none left to send).
+                        // Children all hung up. Close the faulty links
+                        // first: anything still held in-flight (delayed
+                        // or reordered past the last wave) releases now
+                        // as one final wave — late, never lost.
+                        if faulty {
+                            for link in up_links.values_mut() {
+                                link.close(&mut delivered);
+                            }
+                            for (from, msg) in delivered.drain(..) {
+                                stats.record_hop(li, msg.cost(), msg.wire_bytes());
+                                stats.record_recv(g);
+                                if li == 0 {
+                                    stats.record_leaf_send(from);
+                                }
+                                agg.absorb(from, msg);
+                            }
+                            agg.flush(&mut out);
+                            if !out.is_empty() {
+                                // Best effort: the parent may be gone too.
+                                let _ = ship(&parent_tx, std::mem::take(&mut out));
+                            }
+                        }
+                        // Any partial still held stays held (the runner
+                        // never forces a flush). Absorb broadcasts queued
+                        // up to this point so the returned node's
+                        // threshold state is no staler than its subtree's
+                        // drain; broadcasts the root emits *after* this
+                        // node exits are dropped — they could no longer
+                        // affect any message (this subtree has none left
+                        // to send).
                         while let Ok(bc) = bc_rx.try_recv() {
-                            forward_bc(&mut agg, bc);
+                            if bc_link.deliver_now(0.0) {
+                                forward_bc(&mut agg, bc);
+                            }
                         }
                         (g, agg, stats)
                     }));
@@ -893,21 +1241,60 @@ pub mod threaded {
             let mut stats = CommStats::for_plan(&plan);
             let last_hop = plan.internal_levels();
             let root_idx = plan.root_index();
+            let faulty = !net.is_transparent();
+            let mut root_links: BTreeMap<usize, FaultLink<(SiteId, S::UpMsg)>> = BTreeMap::new();
+            if faulty {
+                for g in top..i_total {
+                    let child = plan.agg_node_id(g);
+                    root_links.insert(
+                        child,
+                        FaultLink::new(net.link(child, plan.root_node_id(), true)),
+                    );
+                }
+            }
             let mut bc_buf: Vec<S::Broadcast> = Vec::new();
-            while let Ok(batch) = root_rx.recv() {
-                for (from, msg) in batch {
-                    stats.record_hop(last_hop, msg.cost());
+            let mut delivered: Vec<(SiteId, S::UpMsg)> = Vec::new();
+            let root_wave = |delivered: &mut Vec<(SiteId, S::UpMsg)>,
+                             coordinator: &mut C,
+                             stats: &mut CommStats,
+                             bc_buf: &mut Vec<S::Broadcast>| {
+                for (from, msg) in delivered.drain(..) {
+                    stats.record_hop(last_hop, msg.cost(), msg.wire_bytes());
                     stats.record_recv(root_idx);
-                    coordinator.receive(from, msg, &mut bc_buf);
+                    coordinator.receive(from, msg, bc_buf);
                     for bc in bc_buf.drain(..) {
                         // Structural per-recipient charging, exactly as
-                        // the sequential route_broadcast.
-                        super::charge_broadcast(&mut stats, &levels, m);
+                        // the sequential route_broadcast. Down-link
+                        // faults apply at each receiving node.
+                        super::charge_broadcast(&mut *stats, &levels, m, bc.wire_size());
                         for tx in &root_child_bcs {
                             let _ = tx.send(bc.clone());
                         }
                     }
                 }
+            };
+            while let Ok(batch) = root_rx.recv() {
+                if faulty {
+                    for (from, msg) in batch {
+                        let sender = plan.agg_node_id(plan.ancestor_of(n_levels - 1, from));
+                        let mass = msg.mass();
+                        match root_links.get_mut(&sender) {
+                            Some(l) => l.receive((from, msg), mass, &mut delivered),
+                            None => delivered.push((from, msg)),
+                        }
+                    }
+                } else {
+                    delivered = batch;
+                }
+                root_wave(&mut delivered, &mut coordinator, &mut stats, &mut bc_buf);
+            }
+            // Every child hung up: release anything the faulty links
+            // still held in flight — delivered late, never lost.
+            if faulty {
+                for link in root_links.values_mut() {
+                    link.close(&mut delivered);
+                }
+                root_wave(&mut delivered, &mut coordinator, &mut stats, &mut bc_buf);
             }
 
             let sites_out: Vec<S> = site_handles
@@ -942,12 +1329,13 @@ pub mod threaded {
         mut core: AggCore<A, C>,
         inputs: Vec<Vec<S::Input>>,
         cfg: &ThreadedConfig,
+        net: &dyn Transport,
     ) -> (Vec<S>, C, CommStats)
     where
         S: Site + Send,
         S::Input: Send,
-        S::UpMsg: MessageCost + Send,
-        S::Broadcast: Clone + Send,
+        S::UpMsg: MessageCost + Clone + Send,
+        S::Broadcast: Clone + WireSized + Send,
         C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
         A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     {
@@ -965,8 +1353,10 @@ pub mod threaded {
             "run_partitioned: channel_capacity must be positive"
         );
         let m = sites.len();
+        core.install_net(net);
         let mut stats = CommStats::for_plan(&core.plan);
         stats.arrivals = inputs.iter().map(|v| v.len() as u64).sum();
+        let root_id = core.plan.root_node_id();
 
         let (up_tx, up_rx) = mpsc::sync_channel::<(SiteId, Vec<S::UpMsg>)>(cfg.channel_capacity);
         let mut bc_txs = Vec::with_capacity(m);
@@ -985,6 +1375,9 @@ pub mod threaded {
             for (sid, (mut site, local)) in sites.drain(..).zip(inputs).enumerate() {
                 let up_tx = up_tx.clone();
                 let bc_rx = bc_rxs.remove(0);
+                // The downward link this leaf hears broadcasts on.
+                let mut bc_link: FaultLink<S::Broadcast> =
+                    FaultLink::new(net.link(root_id, sid, false));
                 let batch_size = cfg.batch_size;
                 handles.push(scope.spawn(move || {
                     let mut out: Vec<S::UpMsg> = Vec::new();
@@ -993,7 +1386,9 @@ pub mod threaded {
                     while it.peek().is_some() {
                         // Apply any broadcasts that have arrived.
                         while let Ok(bc) = bc_rx.try_recv() {
-                            site.on_broadcast(&bc);
+                            if bc_link.deliver_now(0.0) {
+                                site.on_broadcast(&bc);
+                            }
                         }
                         // One batch of arrivals. A pause-on-message site
                         // returns whenever `out` is non-empty, so move its
@@ -1009,11 +1404,13 @@ pub mod threaded {
                             }
                             shipping.append(&mut out);
                         }
-                        if !shipping.is_empty() {
-                            // One send — and one allocation — per batch.
-                            up_tx
-                                .send((sid, std::mem::take(&mut shipping)))
-                                .expect("coordinator hung up");
+                        if !shipping.is_empty()
+                            && !ship(&up_tx, (sid, std::mem::take(&mut shipping)))
+                        {
+                            // Coordinator gone mid-run: abnormal
+                            // teardown — stop streaming instead of
+                            // panicking over the original failure.
+                            break;
                         }
                     }
                     site
@@ -1032,6 +1429,16 @@ pub mod threaded {
                             let _ = tx.send(bc.clone());
                         }
                     }
+                }
+            }
+            // All senders hung up: the simulated network's links close,
+            // releasing anything still held in flight (delayed/reordered
+            // past the final wave) — delivered late, never lost.
+            core.close_links(&mut stats, &mut bc_buf);
+            for bc in bc_buf.drain(..) {
+                core.route_broadcast(&bc, &mut stats);
+                for tx in &bc_txs {
+                    let _ = tx.send(bc.clone());
                 }
             }
 
@@ -1059,7 +1466,7 @@ mod tests {
         threshold: f64,
     }
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Report(f64);
 
     impl MessageCost for Report {

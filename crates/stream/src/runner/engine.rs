@@ -78,8 +78,10 @@ use crate::comm::{CommStats, MessageCost};
 use crate::coordinator::Coordinator;
 use crate::site::Site;
 use crate::topology::{Topology, TopologyPlan};
+use crate::transport::{ChannelTransport, FaultLink, Transport};
+use crate::wire::WireSized;
 use crate::SiteId;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Condvar, Mutex};
@@ -97,6 +99,7 @@ use std::sync::{Condvar, Mutex};
 /// use cma_stream::runner::threaded::ThreadedConfig;
 /// use cma_stream::{Aggregator, Coordinator, MessageCost, Site, SiteId, Topology};
 ///
+/// #[derive(Clone)]
 /// struct Report(u64);
 /// impl MessageCost for Report {
 ///     fn cost(&self) -> u64 { 1 }
@@ -321,8 +324,8 @@ pub fn run_partitioned_topology<S, C, A>(
 where
     S: Site + Send,
     S::Input: Send,
-    S::UpMsg: MessageCost + Send,
-    S::Broadcast: Clone + Send,
+    S::UpMsg: MessageCost + Clone + Send,
+    S::Broadcast: Clone + WireSized + Send,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
 {
@@ -364,13 +367,52 @@ pub fn run_partitioned_topology_parts<S, C, A>(
     cfg: &ThreadedConfig,
     executor: Executor,
     topology: Topology,
-    mut make_agg: impl FnMut(crate::topology::AggNode) -> A,
+    make_agg: impl FnMut(crate::topology::AggNode) -> A,
 ) -> TreeRunParts<S, C, A>
 where
     S: Site + Send,
     S::Input: Send,
-    S::UpMsg: MessageCost + Send,
-    S::Broadcast: Clone + Send,
+    S::UpMsg: MessageCost + Clone + Send,
+    S::Broadcast: Clone + WireSized + Send,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
+{
+    run_partitioned_topology_parts_on(
+        sites,
+        coordinator,
+        inputs,
+        cfg,
+        executor,
+        topology,
+        make_agg,
+        &ChannelTransport,
+    )
+}
+
+/// [`run_partitioned_topology_parts`] over an explicit [`Transport`].
+///
+/// With [`ChannelTransport`] (the default everywhere else) this is
+/// bit-exact with the plain entry point; a [`crate::SimNet`] applies
+/// per-link faults at the *receiving* side of each hop.
+///
+/// # Panics
+/// As [`run_partitioned_topology_parts`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_partitioned_topology_parts_on<S, C, A>(
+    sites: Vec<S>,
+    coordinator: C,
+    inputs: Vec<Vec<S::Input>>,
+    cfg: &ThreadedConfig,
+    executor: Executor,
+    topology: Topology,
+    mut make_agg: impl FnMut(crate::topology::AggNode) -> A,
+    net: &dyn Transport,
+) -> TreeRunParts<S, C, A>
+where
+    S: Site + Send,
+    S::Input: Send,
+    S::UpMsg: MessageCost + Clone + Send,
+    S::Broadcast: Clone + WireSized + Send,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
 {
@@ -381,7 +423,7 @@ where
     } else {
         plan.agg_nodes().map(&mut make_agg).collect()
     };
-    resume_partitioned_topology_parts(sites, coordinator, inputs, cfg, executor, plan, aggs)
+    resume_partitioned_topology_parts_on(sites, coordinator, inputs, cfg, executor, plan, aggs, net)
 }
 
 /// Runs (or *continues*) a deployment whose interior aggregators are
@@ -413,8 +455,44 @@ pub fn resume_partitioned_topology_parts<S, C, A>(
 where
     S: Site + Send,
     S::Input: Send,
-    S::UpMsg: MessageCost + Send,
-    S::Broadcast: Clone + Send,
+    S::UpMsg: MessageCost + Clone + Send,
+    S::Broadcast: Clone + WireSized + Send,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
+{
+    resume_partitioned_topology_parts_on(
+        sites,
+        coordinator,
+        inputs,
+        cfg,
+        executor,
+        plan,
+        aggs,
+        &ChannelTransport,
+    )
+}
+
+/// [`resume_partitioned_topology_parts`] over an explicit
+/// [`Transport`]; see [`run_partitioned_topology_parts_on`].
+///
+/// # Panics
+/// As [`resume_partitioned_topology_parts`].
+#[allow(clippy::too_many_arguments)]
+pub fn resume_partitioned_topology_parts_on<S, C, A>(
+    sites: Vec<S>,
+    coordinator: C,
+    inputs: Vec<Vec<S::Input>>,
+    cfg: &ThreadedConfig,
+    executor: Executor,
+    plan: TopologyPlan,
+    aggs: Vec<A>,
+    net: &dyn Transport,
+) -> TreeRunParts<S, C, A>
+where
+    S: Site + Send,
+    S::Input: Send,
+    S::UpMsg: MessageCost + Clone + Send,
+    S::Broadcast: Clone + WireSized + Send,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
 {
@@ -445,11 +523,11 @@ where
     match executor {
         Executor::Inline => {
             let core = AggCore::from_parts(plan, aggs, coordinator);
-            run_inline(sites, core, inputs, cfg)
+            run_inline(sites, core, inputs, cfg, net)
         }
         Executor::Pool { workers } => {
             assert!(workers >= 1, "engine: pool needs at least one worker");
-            run_pool(sites, coordinator, inputs, cfg, plan, workers, aggs)
+            run_pool(sites, coordinator, inputs, cfg, plan, workers, aggs, net)
         }
     }
 }
@@ -461,15 +539,34 @@ fn run_inline<S, C, A>(
     mut core: AggCore<A, C>,
     inputs: Vec<Vec<S::Input>>,
     cfg: &ThreadedConfig,
+    net: &dyn Transport,
 ) -> TreeRunParts<S, C, A>
 where
     S: Site,
-    S::UpMsg: MessageCost,
+    S::UpMsg: MessageCost + Clone,
+    S::Broadcast: WireSized,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
 {
     let m = sites.len();
     let total_arrivals: u64 = inputs.iter().map(|v| v.len() as u64).sum();
+    core.install_net(net);
+    // The downward links each leaf hears broadcasts on (interior nodes'
+    // down-links live inside the core). Empty under a transparent net.
+    let mut leaf_bc_links: Vec<FaultLink<S::Broadcast>> = if net.is_transparent() {
+        Vec::new()
+    } else {
+        (0..m)
+            .map(|sid| {
+                let parent = if core.plan.internal_levels() == 0 {
+                    core.plan.root_node_id()
+                } else {
+                    core.plan.agg_node_id(core.plan.parent_of(0, sid).0)
+                };
+                FaultLink::new(net.link(parent, sid, false))
+            })
+            .collect()
+    };
     let mut stats = CommStats::for_plan(&core.plan);
     let mut its: Vec<std::vec::IntoIter<S::Input>> =
         inputs.into_iter().map(|v| v.into_iter()).collect();
@@ -502,8 +599,14 @@ where
                     core.route_up(sid, msg, &mut stats, &mut bc_buf);
                     while let Some(bc) = super::pop_front(&mut bc_buf) {
                         core.route_broadcast(&bc, &mut stats);
-                        for s in &mut sites {
-                            s.on_broadcast(&bc);
+                        for (target_sid, s) in sites.iter_mut().enumerate() {
+                            let delivered = match leaf_bc_links.get_mut(target_sid) {
+                                Some(link) => link.deliver_now(0.0),
+                                None => true,
+                            };
+                            if delivered {
+                                s.on_broadcast(&bc);
+                            }
                         }
                     }
                 }
@@ -511,6 +614,17 @@ where
         }
         if !progressed {
             break;
+        }
+    }
+    // The stream is exhausted: the simulated network's links close,
+    // releasing anything still held in flight (delayed/reordered past
+    // the final wave) — delivered late, never lost. The post-shutdown
+    // flush is fault-free, leaves included.
+    core.close_links(&mut stats, &mut bc_buf);
+    while let Some(bc) = super::pop_front(&mut bc_buf) {
+        core.route_broadcast(&bc, &mut stats);
+        for s in &mut sites {
+            s.on_broadcast(&bc);
         }
     }
     stats.arrivals = total_arrivals;
@@ -533,6 +647,9 @@ struct LeafSlot<S: Site> {
     site: S,
     input: std::vec::IntoIter<S::Input>,
     bc_rx: Receiver<S::Broadcast>,
+    /// The downward link broadcasts arrive on (transparent under
+    /// channels; a faulty link can drop a delivery).
+    bc_link: FaultLink<S::Broadcast>,
     /// Hung up (set to `None`) when the slot retires — the parent's
     /// bottom-up drain trigger.
     up_tx: Option<SyncSender<Wave<S::UpMsg>>>,
@@ -550,9 +667,21 @@ struct AggSlot<A: Aggregator> {
     agg: A,
     up_rx: Receiver<Wave<A::UpMsg>>,
     bc_rx: Receiver<A::Broadcast>,
+    /// Incoming fault links, keyed by the child's transport node id
+    /// (empty under a transparent net).
+    up_links: BTreeMap<usize, FaultLink<(SiteId, A::UpMsg)>>,
+    /// Origin sid → transport node id of the child that relays its
+    /// messages here (empty under a transparent net).
+    sender_of: Vec<usize>,
+    /// The downward link broadcasts arrive on.
+    bc_link: FaultLink<A::Broadcast>,
     child_bcs: Vec<mpsc::Sender<A::Broadcast>>,
     up_tx: Option<SyncSender<Wave<A::UpMsg>>>,
     pending: Wave<A::UpMsg>,
+    /// Set once the children's disconnection has been observed and the
+    /// fault links closed (their in-flight releases absorbed); the slot
+    /// may still need quanta after this to ship a backpressured wave.
+    closed: bool,
     done: bool,
 }
 
@@ -574,7 +703,12 @@ fn try_ship<M>(tx: &SyncSender<Wave<M>>, pending: &mut Wave<M>) -> bool {
             *pending = wave;
             false
         }
-        Err(TrySendError::Disconnected(_)) => panic!("engine: parent hung up"),
+        // Parent gone mid-run: only happens during abnormal teardown (a
+        // panicking sibling dropped the queued chunks). Treat the wave
+        // as shipped so this slot can retire instead of panicking over
+        // the original failure — the PR 3 drain-by-disconnection
+        // contract, sender side.
+        Err(TrySendError::Disconnected(_)) => true,
     }
 }
 
@@ -587,7 +721,9 @@ impl<S: Site> LeafSlot<S> {
         }
         let mut progress = false;
         while let Ok(bc) = self.bc_rx.try_recv() {
-            self.site.on_broadcast(&bc);
+            if self.bc_link.deliver_now(0.0) {
+                self.site.on_broadcast(&bc);
+            }
             progress = true;
         }
         if !self.pending.is_empty() {
@@ -630,7 +766,7 @@ impl<S: Site> LeafSlot<S> {
 
 impl<A: Aggregator> AggSlot<A>
 where
-    A::UpMsg: MessageCost,
+    A::UpMsg: MessageCost + Clone,
     A::Broadcast: Clone,
 {
     fn forward_broadcast(&mut self, bc: A::Broadcast) {
@@ -638,6 +774,33 @@ where
         for tx in &self.child_bcs {
             // A child may already have retired; fine.
             let _ = tx.send(bc.clone());
+        }
+    }
+
+    /// Absorbs one wave, passing it through the per-child fault links
+    /// first (a dropped message is never recorded; a duplicated one is
+    /// recorded twice).
+    fn absorb_wave(&mut self, wave: Wave<A::UpMsg>, stats: &mut CommStats) {
+        let mut delivered: Wave<A::UpMsg>;
+        if self.up_links.is_empty() {
+            delivered = wave;
+        } else {
+            delivered = Vec::with_capacity(wave.len());
+            for (from, msg) in wave {
+                let mass = msg.mass();
+                match self.up_links.get_mut(&self.sender_of[from]) {
+                    Some(l) => l.receive((from, msg), mass, &mut delivered),
+                    None => delivered.push((from, msg)),
+                }
+            }
+        }
+        for (from, msg) in delivered {
+            stats.record_hop(self.level, msg.cost(), msg.wire_bytes());
+            stats.record_recv(self.g);
+            if self.level == 0 {
+                stats.record_leaf_send(from);
+            }
+            self.agg.absorb(from, msg);
         }
     }
 
@@ -650,7 +813,9 @@ where
         }
         let mut progress = false;
         while let Ok(bc) = self.bc_rx.try_recv() {
-            self.forward_broadcast(bc);
+            if self.bc_link.deliver_now(0.0) {
+                self.forward_broadcast(bc);
+            }
             progress = true;
         }
         if !self.pending.is_empty() {
@@ -664,14 +829,7 @@ where
             match self.up_rx.try_recv() {
                 Ok(wave) => {
                     progress = true;
-                    for (from, msg) in wave {
-                        stats.record_hop(self.level, msg.cost());
-                        stats.record_recv(self.g);
-                        if self.level == 0 {
-                            stats.record_leaf_send(from);
-                        }
-                        self.agg.absorb(from, msg);
-                    }
+                    self.absorb_wave(wave, stats);
                     self.agg.flush(&mut self.pending);
                     if !self.pending.is_empty() {
                         let tx = self.up_tx.as_ref().expect("undone slot keeps its sender");
@@ -682,12 +840,39 @@ where
                 }
                 Err(TryRecvError::Empty) => return progress,
                 Err(TryRecvError::Disconnected) => {
-                    // Children all hung up and their queue is drained:
-                    // keep any held partial (never force a flush),
+                    // Children all hung up and their queue is drained.
+                    // First close the fault links: anything still held
+                    // in flight (delayed/reordered past the last wave)
+                    // releases now as one final wave — late, never lost.
+                    if !self.closed {
+                        self.closed = true;
+                        if !self.up_links.is_empty() {
+                            let mut late: Wave<A::UpMsg> = Vec::new();
+                            let mut links = std::mem::take(&mut self.up_links);
+                            for link in links.values_mut() {
+                                link.close(&mut late);
+                            }
+                            if !late.is_empty() {
+                                self.absorb_wave(late, stats);
+                                self.agg.flush(&mut self.pending);
+                            }
+                        }
+                    }
+                    if !self.pending.is_empty() {
+                        let tx = self.up_tx.as_ref().expect("undone slot keeps its sender");
+                        if !try_ship(tx, &mut self.pending) {
+                            // Parent full: retry the ship next quantum
+                            // (the release was absorbed exactly once —
+                            // `closed` guards the re-entry).
+                            return progress;
+                        }
+                    }
+                    // Keep any held partial (never force a flush),
                     // absorb the broadcasts queued so far, retire.
-                    debug_assert!(self.pending.is_empty());
                     while let Ok(bc) = self.bc_rx.try_recv() {
-                        self.forward_broadcast(bc);
+                        if self.bc_link.deliver_now(0.0) {
+                            self.forward_broadcast(bc);
+                        }
                     }
                     self.up_tx = None;
                     self.done = true;
@@ -702,7 +887,7 @@ impl<S, A> Chunk<S, A>
 where
     S: Site,
     A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
-    S::UpMsg: MessageCost,
+    S::UpMsg: MessageCost + Clone,
     S::Broadcast: Clone,
 {
     fn quantum(&mut self, batch_size: usize) -> bool {
@@ -767,6 +952,7 @@ impl Drop for AbortOnPanic<'_> {
 
 /// The pooled runtime. Channel layout is identical to the
 /// thread-per-node `run_tree`; only scheduling differs.
+#[allow(clippy::too_many_arguments)]
 fn run_pool<S, C, A>(
     mut sites: Vec<S>,
     mut coordinator: C,
@@ -775,12 +961,13 @@ fn run_pool<S, C, A>(
     plan: TopologyPlan,
     workers: usize,
     aggs: Vec<A>,
+    net: &dyn Transport,
 ) -> TreeRunParts<S, C, A>
 where
     S: Site + Send,
     S::Input: Send,
-    S::UpMsg: MessageCost + Send,
-    S::Broadcast: Clone + Send,
+    S::UpMsg: MessageCost + Clone + Send,
+    S::Broadcast: Clone + WireSized + Send,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
 {
@@ -818,23 +1005,33 @@ where
         leaf_bc_rx.push(Some(rx));
     }
 
+    let faulty = !net.is_transparent();
+
     // Leaf slots, in site order.
     let mut leaf_slots: Vec<LeafSlot<S>> = sites
         .drain(..)
         .zip(inputs)
         .enumerate()
-        .map(|(sid, (site, local))| LeafSlot {
-            sid,
-            site,
-            input: local.into_iter(),
-            bc_rx: leaf_bc_rx[sid].take().expect("leaf bc receiver"),
-            up_tx: Some(if n_levels == 0 {
-                root_tx.clone()
+        .map(|(sid, (site, local))| {
+            let parent_id = if n_levels == 0 {
+                plan.root_node_id()
             } else {
-                agg_up_tx[plan.parent_of(0, sid).0].clone()
-            }),
-            pending: Vec::new(),
-            done: false,
+                plan.agg_node_id(plan.parent_of(0, sid).0)
+            };
+            LeafSlot {
+                sid,
+                site,
+                input: local.into_iter(),
+                bc_rx: leaf_bc_rx[sid].take().expect("leaf bc receiver"),
+                bc_link: FaultLink::new(net.link(parent_id, sid, false)),
+                up_tx: Some(if n_levels == 0 {
+                    root_tx.clone()
+                } else {
+                    agg_up_tx[plan.parent_of(0, sid).0].clone()
+                }),
+                pending: Vec::new(),
+                done: false,
+            }
         })
         .collect();
 
@@ -857,12 +1054,41 @@ where
                     .map(|c| agg_bc_tx[lower + c].clone())
                     .collect()
             };
+            let node_id = plan.agg_node_id(g);
+            let mut up_links: BTreeMap<usize, FaultLink<(SiteId, S::UpMsg)>> = BTreeMap::new();
+            let sender_of: Vec<usize> = if faulty {
+                if li == 0 {
+                    for c in j * fanout..((j + 1) * fanout).min(m) {
+                        up_links.insert(c, FaultLink::new(net.link(c, node_id, true)));
+                    }
+                    (0..m).collect()
+                } else {
+                    let lower = level_offset(li - 1);
+                    for c in j * fanout..((j + 1) * fanout).min(levels[li - 1]) {
+                        let child = plan.agg_node_id(lower + c);
+                        up_links.insert(child, FaultLink::new(net.link(child, node_id, true)));
+                    }
+                    (0..m)
+                        .map(|sid| plan.agg_node_id(plan.ancestor_of(li - 1, sid)))
+                        .collect()
+                }
+            } else {
+                Vec::new()
+            };
+            let parent_id = if li + 1 < n_levels {
+                plan.agg_node_id(plan.parent_of(li + 1, j).0)
+            } else {
+                plan.root_node_id()
+            };
             agg_slots.push(AggSlot {
                 g,
                 level: li,
                 agg: aggs.next().expect("one aggregator per interior node"),
                 up_rx: agg_up_rx[g].take().expect("agg up receiver"),
                 bc_rx: agg_bc_rx[g].take().expect("agg bc receiver"),
+                up_links,
+                sender_of,
+                bc_link: FaultLink::new(net.link(parent_id, node_id, false)),
                 child_bcs,
                 up_tx: Some(if li + 1 < n_levels {
                     agg_up_tx[plan.parent_of(li + 1, j).0].clone()
@@ -870,6 +1096,7 @@ where
                     root_tx.clone()
                 }),
                 pending: Vec::new(),
+                closed: false,
                 done: false,
             });
         }
@@ -1035,7 +1262,47 @@ where
         let mut stats = CommStats::for_plan(&plan);
         let last_hop = plan.internal_levels();
         let root_idx = plan.root_index();
+        // Incoming fault links for the root's direct children: the
+        // leaves themselves on a flat plan, the top interior level
+        // otherwise. Empty under a transparent net.
+        let root_id = plan.root_node_id();
+        let mut root_links: BTreeMap<usize, FaultLink<(SiteId, S::UpMsg)>> = BTreeMap::new();
+        if faulty {
+            if n_levels == 0 {
+                for sid in 0..m {
+                    root_links.insert(sid, FaultLink::new(net.link(sid, root_id, true)));
+                }
+            } else {
+                for g in level_offset(n_levels - 1)..i_total {
+                    let child = plan.agg_node_id(g);
+                    root_links.insert(child, FaultLink::new(net.link(child, root_id, true)));
+                }
+            }
+        }
         let mut bc_buf: Vec<S::Broadcast> = Vec::new();
+        let mut delivered: Wave<S::UpMsg> = Vec::new();
+        let root_wave = |delivered: &mut Wave<S::UpMsg>,
+                         coordinator: &mut C,
+                         stats: &mut CommStats,
+                         bc_buf: &mut Vec<S::Broadcast>| {
+            for (from, msg) in delivered.drain(..) {
+                stats.record_hop(last_hop, msg.cost(), msg.wire_bytes());
+                stats.record_recv(root_idx);
+                if last_hop == 0 {
+                    stats.record_leaf_send(from);
+                }
+                coordinator.receive(from, msg, bc_buf);
+                for bc in bc_buf.drain(..) {
+                    // Structural per-recipient charging, shared with the
+                    // sequential and thread-per-node drivers. Down-link
+                    // faults apply at each receiving node.
+                    super::charge_broadcast(&mut *stats, &levels, m, bc.wire_size());
+                    for tx in &root_child_bcs {
+                        let _ = tx.send(bc.clone());
+                    }
+                }
+            }
+        };
         loop {
             let wave = match root_rx.recv_timeout(ROOT_POLL) {
                 Ok(wave) => wave,
@@ -1047,26 +1314,35 @@ where
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             };
-            for (from, msg) in wave {
-                stats.record_hop(last_hop, msg.cost());
-                stats.record_recv(root_idx);
-                if last_hop == 0 {
-                    stats.record_leaf_send(from);
-                }
-                coordinator.receive(from, msg, &mut bc_buf);
-                for bc in bc_buf.drain(..) {
-                    // Structural per-recipient charging, shared with the
-                    // sequential and thread-per-node drivers.
-                    super::charge_broadcast(&mut stats, &levels, m);
-                    for tx in &root_child_bcs {
-                        let _ = tx.send(bc.clone());
+            if faulty {
+                for (from, msg) in wave {
+                    let sender = if n_levels == 0 {
+                        from
+                    } else {
+                        plan.agg_node_id(plan.ancestor_of(n_levels - 1, from))
+                    };
+                    let mass = msg.mass();
+                    match root_links.get_mut(&sender) {
+                        Some(l) => l.receive((from, msg), mass, &mut delivered),
+                        None => delivered.push((from, msg)),
                     }
                 }
+            } else {
+                delivered = wave;
             }
+            root_wave(&mut delivered, &mut coordinator, &mut stats, &mut bc_buf);
             // The root drained its inbox (and possibly cascaded a
             // broadcast): both are wakeup events for parked workers
             // holding blocked chunks.
             waker.notify();
+        }
+        // Every child hung up (or the run aborted): release anything
+        // the faulty links still held in flight — late, never lost.
+        if faulty && !aborted.load(Ordering::Acquire) {
+            for link in root_links.values_mut() {
+                link.close(&mut delivered);
+            }
+            root_wave(&mut delivered, &mut coordinator, &mut stats, &mut bc_buf);
         }
         if aborted.load(Ordering::Acquire) {
             // Drop every still-queued chunk (tolerating locks poisoned
@@ -1143,7 +1419,7 @@ mod tests {
         broadcasts: u64,
     }
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Ping(u64);
 
     impl MessageCost for Ping {

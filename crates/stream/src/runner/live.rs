@@ -54,6 +54,8 @@ use crate::comm::{CommStats, MessageCost};
 use crate::coordinator::Coordinator;
 use crate::site::Site;
 use crate::topology::{AggNode, Topology};
+use crate::transport::{ChannelTransport, Transport};
+use crate::wire::WireSized;
 use crate::SiteId;
 
 /// Tuning for the segmented live driver.
@@ -142,14 +144,58 @@ pub fn run_live_partitioned_topology_parts<S, C, A, FF, F>(
     cfg: &ThreadedConfig,
     executor: Executor,
     topology: Topology,
-    mut factory: FF,
+    factory: FF,
     live_cfg: &LiveConfig,
 ) -> LiveRunParts<S, C, A>
 where
     S: Site + Send,
     S::Input: Send,
-    S::UpMsg: MessageCost + Send,
-    S::Broadcast: Clone + Send,
+    S::UpMsg: MessageCost + Clone + Send,
+    S::Broadcast: Clone + WireSized + Send,
+    C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
+    A: MigratableAggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
+    FF: FnMut(Topology) -> F,
+    F: FnMut(AggNode) -> A,
+{
+    run_live_partitioned_topology_parts_on(
+        sites,
+        coordinator,
+        inputs,
+        cfg,
+        executor,
+        topology,
+        factory,
+        live_cfg,
+        &ChannelTransport,
+    )
+}
+
+/// [`run_live_partitioned_topology_parts`] over an explicit
+/// [`Transport`] — bit-exact with the plain entry point under
+/// [`ChannelTransport`]; each engine segment applies the same
+/// [`crate::SimNet`] fault plan (links are re-seeded per segment, so a
+/// live run's fault schedule is still a pure function of the seed and
+/// the plan shapes it visits).
+///
+/// # Panics
+/// As [`run_live_partitioned_topology_parts`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_live_partitioned_topology_parts_on<S, C, A, FF, F>(
+    sites: Vec<S>,
+    coordinator: C,
+    inputs: Vec<Vec<S::Input>>,
+    cfg: &ThreadedConfig,
+    executor: Executor,
+    topology: Topology,
+    mut factory: FF,
+    live_cfg: &LiveConfig,
+    net: &dyn Transport,
+) -> LiveRunParts<S, C, A>
+where
+    S: Site + Send,
+    S::Input: Send,
+    S::UpMsg: MessageCost + Clone + Send,
+    S::Broadcast: Clone + WireSized + Send,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
     A: MigratableAggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast> + Send,
     FF: FnMut(Topology) -> F,
@@ -222,7 +268,7 @@ where
     let mut engine_stats = EngineStats::default();
 
     for seg_inputs in segments {
-        let parts = engine::resume_partitioned_topology_parts(
+        let parts = engine::resume_partitioned_topology_parts_on(
             sites,
             coordinator,
             seg_inputs,
@@ -230,6 +276,7 @@ where
             executor,
             current_plan.clone(),
             aggs,
+            net,
         );
         sites = parts.sites;
         coordinator = parts.coordinator;

@@ -91,7 +91,7 @@ pub enum Topology {
     /// // star's *measured* fan-in is 3 ≤ 8, so the star stays.
     /// let mut calib = CommStats::new(64);
     /// for origin in [0, 1, 2, 1, 0] {
-    ///     calib.record_hop(0, 1);
+    ///     calib.record_hop(0, 1, 8);
     ///     calib.record_recv(0);
     ///     calib.record_leaf_send(origin);
     /// }
@@ -403,6 +403,39 @@ impl TopologyPlan {
         (offset + local, local)
     }
 
+    /// Global aggregator index of leaf `sid`'s ancestor at 0-based
+    /// interior level `level_idx` (level 0 is the leaf's direct
+    /// parent). Walks the contiguous-block layout the same way
+    /// [`TopologyPlan::parent_of`] does.
+    pub fn ancestor_of(&self, level_idx: usize, sid: usize) -> usize {
+        let (mut node, mut local) = self.parent_of(0, sid);
+        for l in 1..=level_idx {
+            let (n, loc) = self.parent_of(l, local);
+            node = n;
+            local = loc;
+        }
+        node
+    }
+
+    /// Transport node id of leaf site `sid` (the leaves occupy
+    /// `0..m`).
+    pub fn leaf_node_id(&self, sid: usize) -> usize {
+        debug_assert!(sid < self.m);
+        sid
+    }
+
+    /// Transport node id of the interior aggregation point with global
+    /// index `g` (interior nodes occupy `m..m + internal_nodes()`).
+    pub fn agg_node_id(&self, g: usize) -> usize {
+        debug_assert!(g < self.internal_nodes());
+        self.m + g
+    }
+
+    /// Transport node id of the root coordinator (the largest id).
+    pub fn root_node_id(&self) -> usize {
+        self.m + self.internal_nodes()
+    }
+
     /// Number of leaf sites under interior node `index` of 1-based level
     /// `level`.
     pub fn leaves_under(&self, level: usize, index: usize) -> usize {
@@ -497,6 +530,26 @@ mod tests {
             }
             assert_eq!(p.agg_nodes().count(), p.internal_nodes());
         }
+    }
+
+    #[test]
+    fn ancestors_climb_contiguous_blocks() {
+        // m = 16, k = 2: levels [8, 4, 2]; global indices 0..14.
+        let p = Topology::Tree { fanout: 2 }.plan(16);
+        // Leaf 5: parents 2 (level 0), 8+1=9 (level 1), 12+0=12 (level 2).
+        assert_eq!(p.ancestor_of(0, 5), 2);
+        assert_eq!(p.ancestor_of(1, 5), 9);
+        assert_eq!(p.ancestor_of(2, 5), 12);
+        // Level-0 ancestor agrees with parent_of for every leaf.
+        for sid in 0..16 {
+            assert_eq!(p.ancestor_of(0, sid), p.parent_of(0, sid).0);
+        }
+        // Node-id scheme: leaves, then interior nodes, then the root.
+        assert_eq!(p.leaf_node_id(5), 5);
+        assert_eq!(p.agg_node_id(9), 16 + 9);
+        assert_eq!(p.root_node_id(), 16 + 14);
+        let star = Topology::Star.plan(4);
+        assert_eq!(star.root_node_id(), 4);
     }
 
     #[test]

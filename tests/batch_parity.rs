@@ -17,7 +17,7 @@ use cma::protocols::matrix::{self, MatrixConfig, MatrixEstimator};
 use cma::sketch::ExactWeightedCounter;
 use cma::stream::partition::RoundRobin;
 use cma::stream::runner::threaded;
-use cma::stream::{Coordinator, MessageCost, Runner, Site};
+use cma::stream::{Coordinator, MessageCost, Runner, Site, WireSized};
 
 const BATCH_SIZES: [usize; 4] = [1, 7, 64, 1024];
 
@@ -30,7 +30,8 @@ where
     S: Site,
     S::Input: Clone,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
-    S::UpMsg: MessageCost,
+    S::UpMsg: MessageCost + Clone,
+    S::Broadcast: WireSized,
 {
     let m = runner.m();
     let mut groups: Vec<Vec<S::Input>> = vec![Vec::new(); m];

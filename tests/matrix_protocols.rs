@@ -15,7 +15,8 @@ fn run_stream<S, C>(
 where
     S: cma::stream::Site<Input = Vec<f64>>,
     C: cma::stream::Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
-    S::UpMsg: cma::stream::MessageCost,
+    S::UpMsg: cma::stream::MessageCost + Clone,
+    S::Broadcast: cma::stream::WireSized,
 {
     let mut truth = StreamingGram::new(stream.dim());
     for i in 0..n {

@@ -20,7 +20,7 @@ use cma::protocols::hh::{self, HhConfig, HhEstimator};
 use cma::protocols::matrix::{self, MatrixConfig, MatrixEstimator};
 use cma::sketch::ExactWeightedCounter;
 use cma::stream::partition::RoundRobin;
-use cma::stream::{Aggregator, Coordinator, MessageCost, Runner, Site, Topology};
+use cma::stream::{Aggregator, Coordinator, MessageCost, Runner, Site, Topology, WireSized};
 
 const FANOUTS: [usize; 3] = [2, 4, 8];
 const SITE_COUNTS: [usize; 3] = [16, 64, 256];
@@ -30,7 +30,8 @@ where
     S: Site,
     S::Input: Clone,
     C: Coordinator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
-    S::UpMsg: MessageCost,
+    S::UpMsg: MessageCost + Clone,
+    S::Broadcast: WireSized,
     A: Aggregator<UpMsg = S::UpMsg, Broadcast = S::Broadcast>,
 {
     let m = runner.m();

@@ -1,0 +1,358 @@
+//! Deterministic fault-injection suite: protocols on a [`SimNet`]
+//! (PR 8's simulated faulty network) across a seeded fault matrix —
+//! drop {0, 1%, 10%} × delay {0, 4 hops} × one of {duplicate,
+//! reorder} — with every cell pinned against the certified bounds.
+//!
+//! The load-bearing claims:
+//!
+//! 1. **Bounds stay honest under loss.** A dropped up-message's stream
+//!    mass ([`cma::stream::MessageCost::mass`]) lands in
+//!    [`cma::stream::FaultStats::undercount_mass`], a duplicated one
+//!    in `overcount_mass`, and the certified error statements hold in
+//!    every cell once those terms are charged: HH-P1's εW contract
+//!    widens by exactly the fault mass, the sliding-window two-part
+//!    bound absorbs faults via `SwCoordinator::charge_faults`, and
+//!    P4's weight-tracker 2-approximation degrades by no more than
+//!    the lost mass.
+//! 2. **Seed replay is bit-identical.** The inline engine is a
+//!    deterministic quantum scheduler and every SimNet link RNG is
+//!    seeded from `(plan seed, from, to, direction)` — so the same
+//!    seed reproduces the same [`cma::stream::CommStats`], the same
+//!    [`cma::stream::FaultStats`], and the same estimates, field for
+//!    field.
+//! 3. **Ragged shutdown survives a lossy net.** Sites finishing at
+//!    wildly different times while the network drops messages must
+//!    drain by disconnection (the PR 3 contract), never panic.
+
+use cma::protocols::hh::{self, HhConfig, HhEstimator};
+use cma::protocols::window::{mg, SwMgConfig};
+use cma::sketch::ExactWeightedCounter;
+use cma::stream::runner::engine::{self, Executor};
+use cma::stream::runner::threaded::ThreadedConfig;
+use cma::stream::{FaultPlan, LinkFaults, SimNet, Topology};
+use cma_bench::partition_round_robin as partition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const M: usize = 16;
+const FANOUT: usize = 4;
+
+fn tcfg() -> ThreadedConfig {
+    ThreadedConfig {
+        batch_size: 16,
+        channel_capacity: 2,
+    }
+}
+
+fn zipf_stream(n: usize, seed: u64) -> Vec<(u64, f64)> {
+    cma::data::WeightedZipfStream::new(2_000, 2.0, 50.0, seed).take_vec(n)
+}
+
+/// The acceptance matrix: drop {0, 1%, 10%} × delay {off, 4 hops} ×
+/// one of {duplicate 5%, reorder 5%}, applied to every upward link.
+fn fault_matrix() -> Vec<(String, LinkFaults)> {
+    let mut cells = Vec::new();
+    for &drop in &[0.0, 0.01, 0.10] {
+        for &(delay, delay_hops) in &[(0.0, 0u64), (0.10, 4)] {
+            for &(duplicate, reorder) in &[(0.05, 0.0), (0.0, 0.05)] {
+                let name = format!(
+                    "drop={drop} delay={delay}x{delay_hops} dup={duplicate} reorder={reorder}"
+                );
+                cells.push((
+                    name,
+                    LinkFaults {
+                        drop,
+                        duplicate,
+                        delay,
+                        delay_hops,
+                        reorder,
+                    },
+                ));
+            }
+        }
+    }
+    cells
+}
+
+/// HH-P1 on the inline engine across the full matrix: the εW contract
+/// holds with the fault mass charged to the matching side — estimates
+/// can exceed truth only by duplicated mass, and fall short only by
+/// εW plus the undercount (dropped + still-in-flight) mass.
+#[test]
+fn hh_p1_bound_holds_across_fault_matrix() {
+    let stream = zipf_stream(8_000, 901);
+    let mut exact = ExactWeightedCounter::new();
+    for &(e, w) in &stream {
+        exact.update(e, w);
+    }
+    let w = exact.total_weight();
+    let cfg = HhConfig::new(M, 0.1).with_seed(4);
+    let topo = Topology::Tree { fanout: FANOUT };
+    let inputs = partition(&stream, M);
+
+    for (cell, faults) in fault_matrix() {
+        let net = SimNet::new(FaultPlan::up_only(77, faults));
+        let (sites, coord, _) = hh::p1::deploy_topology(&cfg, topo).into_parts();
+        let parts = engine::run_partitioned_topology_parts_on(
+            sites,
+            coord,
+            inputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            topo,
+            hh::p1::make_aggregator(&cfg, topo),
+            &net,
+        );
+        let fstats = net.stats();
+        let under = fstats.undercount_mass();
+        let over = fstats.overcount_mass();
+        for (e, f) in exact.iter() {
+            let est = parts.coordinator.estimate(e);
+            assert!(
+                est - f <= over + 1e-6,
+                "{cell}: item {e} overcount {} > duplicated mass {over}",
+                est - f
+            );
+            assert!(
+                f - est <= cfg.epsilon * w + under + 1e-6,
+                "{cell}: item {e} undercount {} > εW {} + fault mass {under}",
+                f - est,
+                cfg.epsilon * w
+            );
+        }
+    }
+}
+
+/// P4's deterministic weight-tracker invariant across the matrix: the
+/// received total never exceeds the true weight by more than the
+/// duplicated mass, and keeps the 2-approximation up to the mass the
+/// network withheld.
+#[test]
+fn hh_p4_tracker_invariant_holds_across_fault_matrix() {
+    let stream = zipf_stream(8_000, 902);
+    let w: f64 = stream.iter().map(|&(_, wt)| wt).sum();
+    let cfg = HhConfig::new(M, 0.15).with_seed(7);
+    let topo = Topology::Tree { fanout: FANOUT };
+    let inputs = partition(&stream, M);
+
+    for (cell, faults) in fault_matrix() {
+        let net = SimNet::new(FaultPlan::up_only(78, faults));
+        let (sites, coord, _) = hh::p4::deploy_topology(&cfg, topo).into_parts();
+        let parts = engine::run_partitioned_topology_parts_on(
+            sites,
+            coord,
+            inputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            topo,
+            hh::p4::make_aggregator(&cfg, topo),
+            &net,
+        );
+        let fstats = net.stats();
+        let received = parts.coordinator.total_weight();
+        assert!(
+            received <= w + fstats.overcount_mass() + 1e-6,
+            "{cell}: Ŵ {received} over-counts beyond duplicated mass"
+        );
+        assert!(
+            received >= w / 2.0 - fstats.undercount_mass() - 1e-6,
+            "{cell}: tracker lost more than the fault mass ({received} \
+             vs {w}/2 − {})",
+            fstats.undercount_mass()
+        );
+    }
+}
+
+/// SwMg across the matrix: after charging the network's fault mass via
+/// `SwCoordinator::charge_faults`, the two-part window bound holds
+/// component-wise — overcount only through straddlers + duplicated
+/// mass, undercount only through summary loss + withheld + lost mass.
+#[test]
+fn swmg_certified_bound_holds_across_fault_matrix() {
+    let window = 512usize;
+    let n = 3 * window;
+    let mut rng = StdRng::seed_from_u64(903);
+    let stream: Vec<(u64, f64)> = (0..n)
+        .map(|_| {
+            let e: u64 = if rng.gen_bool(0.25) {
+                1
+            } else {
+                rng.gen_range(2..40)
+            };
+            (e, rng.gen_range(1.0..5.0))
+        })
+        .collect();
+    let stamped: Vec<(u64, (u64, f64))> = stream
+        .iter()
+        .enumerate()
+        .map(|(t, x)| (t as u64, *x))
+        .collect();
+    let window_truth = |item: u64| -> f64 {
+        stream[n - window..]
+            .iter()
+            .filter(|&&(e, _)| e == item)
+            .map(|&(_, w)| w)
+            .sum()
+    };
+    let cfg = SwMgConfig::new(M, 0.1, window as u64, 32);
+    let topo = Topology::Tree { fanout: FANOUT };
+    let inputs = partition(&stamped, M);
+
+    for (cell, faults) in fault_matrix() {
+        let net = SimNet::new(FaultPlan::up_only(79, faults));
+        let (sites, coord, _) = mg::deploy_topology(&cfg, topo).into_parts();
+        let mut parts = engine::run_partitioned_topology_parts_on(
+            sites,
+            coord,
+            inputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            topo,
+            mg::make_aggregator(&cfg, topo),
+            &net,
+        );
+        let fstats = net.stats();
+        parts
+            .coordinator
+            .charge_faults(fstats.undercount_mass(), fstats.overcount_mass());
+        let bound = parts.coordinator.error_bound_at(n as u64);
+        for item in 0..40u64 {
+            let truth = window_truth(item);
+            let est = parts.coordinator.estimate_at(n as u64, item);
+            assert!(
+                est - truth <= bound.straddle + 1e-9,
+                "{cell}: item {item} overcount {} > straddle {}",
+                est - truth,
+                bound.straddle
+            );
+            assert!(
+                truth - est <= bound.summary_loss + bound.withheld + 1e-9,
+                "{cell}: item {item} undercount {} > summary {} + withheld {}",
+                truth - est,
+                bound.summary_loss,
+                bound.withheld
+            );
+        }
+    }
+}
+
+/// Same seed ⇒ same run, field for field: CommStats (including the
+/// measured byte counters), FaultStats, and every estimate.
+#[test]
+fn seed_replay_is_bit_identical() {
+    let stream = zipf_stream(6_000, 904);
+    let cfg = HhConfig::new(M, 0.1).with_seed(5);
+    let topo = Topology::Tree { fanout: FANOUT };
+    let inputs = partition(&stream, M);
+    let faults = LinkFaults {
+        drop: 0.05,
+        duplicate: 0.05,
+        delay: 0.05,
+        delay_hops: 4,
+        reorder: 0.05,
+    };
+
+    let run = |seed: u64| {
+        let net = SimNet::new(FaultPlan::up_only(seed, faults));
+        let (sites, coord, _) = hh::p1::deploy_topology(&cfg, topo).into_parts();
+        let parts = engine::run_partitioned_topology_parts_on(
+            sites,
+            coord,
+            inputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            topo,
+            hh::p1::make_aggregator(&cfg, topo),
+            &net,
+        );
+        (parts.stats, net.stats(), parts.coordinator)
+    };
+
+    let (stats_a, faults_a, coord_a) = run(1234);
+    let (stats_b, faults_b, coord_b) = run(1234);
+    assert_eq!(stats_a, stats_b, "CommStats diverged between replays");
+    assert_eq!(faults_a, faults_b, "FaultStats diverged between replays");
+    assert!(faults_a.dropped > 0, "cell should actually exercise drops");
+    let mut items_a = coord_a.tracked_items();
+    let mut items_b = coord_b.tracked_items();
+    items_a.sort_unstable();
+    items_b.sort_unstable();
+    assert_eq!(items_a, items_b, "tracked sets diverged between replays");
+    for &e in &items_a {
+        assert_eq!(
+            coord_a.estimate(e).to_bits(),
+            coord_b.estimate(e).to_bits(),
+            "estimate for {e} diverged between replays"
+        );
+    }
+
+    // A different seed must produce a different fault schedule (the
+    // probability of two independent schedules agreeing exactly over
+    // thousands of draws is negligible).
+    let (_, faults_c, _) = run(4321);
+    assert_ne!(faults_a, faults_c, "seed does not drive the schedule");
+}
+
+/// Ragged shutdown under loss, thread-per-node: sites with wildly
+/// different stream lengths (some empty) over a SimNet dropping 20%
+/// both ways must drain by disconnection — the run returns, every
+/// arrival is counted, and the coordinator stays queryable.
+#[test]
+fn ragged_shutdown_under_simnet_drop() {
+    let m = 12;
+    let cfg = HhConfig::new(m, 0.1).with_seed(6);
+    let topo = Topology::Tree { fanout: 3 };
+    let stream = zipf_stream(6_000, 905);
+
+    // Site i gets i/11 of the stream share: site 0 nothing, site 11
+    // everything it is offered — a maximally ragged finish order.
+    let mut inputs: Vec<Vec<(u64, f64)>> = vec![Vec::new(); m];
+    for (i, &x) in stream.iter().enumerate() {
+        let sid = i % m;
+        if i % (sid + 1) == 0 && sid > 0 {
+            inputs[sid].push(x);
+        }
+    }
+    let fed: usize = inputs.iter().map(Vec::len).sum();
+
+    let faults = LinkFaults {
+        drop: 0.2,
+        ..Default::default()
+    };
+    let net = SimNet::new(FaultPlan {
+        seed: 55,
+        up: faults,
+        down: faults,
+        overrides: Vec::new(),
+    });
+    let (sites, coord, _) = hh::p1::deploy_topology(&cfg, topo).into_parts();
+    let parts = cma::stream::runner::threaded::run_partitioned_topology_parts_on(
+        sites,
+        coord,
+        inputs,
+        &tcfg(),
+        topo,
+        hh::p1::make_aggregator(&cfg, topo),
+        &net,
+    );
+    assert_eq!(parts.stats.arrivals, fed as u64, "arrivals lost");
+    let w_hat = parts.coordinator.total_weight();
+    assert!(w_hat.is_finite() && w_hat >= 0.0);
+    let fstats = net.stats();
+    assert!(fstats.dropped > 0, "drop cell never dropped anything");
+    // Conservation: what the coordinator saw plus what the network
+    // withheld covers what the sites shipped.
+    let shipped: f64 = stream
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let sid = i % m;
+            sid > 0 && i % (sid + 1) == 0
+        })
+        .map(|(_, &(_, w))| w)
+        .sum();
+    assert!(
+        w_hat <= shipped + fstats.overcount_mass() + 1e-6,
+        "Ŵ {w_hat} exceeds shipped mass {shipped}"
+    );
+}

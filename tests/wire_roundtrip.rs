@@ -1,0 +1,184 @@
+//! Property suite for the wire codecs (PR 8): for every protocol
+//! message type, `encode → decode` is the identity (checked by
+//! re-encoded byte equality — sketch payloads carry no `PartialEq`),
+//! decoding consumes exactly the encoded bytes, and the three size
+//! reports agree: the actual buffer length, [`WireCodec::encoded_len`],
+//! and [`MessageCost::wire_bytes`] — the number charged to
+//! [`cma::stream::CommStats::bytes_up`] at every hop.
+
+use cma::linalg::Matrix;
+use cma::protocols::hh::p1::P1Msg;
+use cma::protocols::hh::p2::P2Msg;
+use cma::protocols::hh::p3::P3Msg;
+use cma::protocols::hh::p3wr::P3wrMsg;
+use cma::protocols::hh::p4::P4Msg;
+use cma::protocols::matrix::p1::MP1Msg;
+use cma::protocols::matrix::p2::MP2Msg;
+use cma::protocols::matrix::p3::MP3Msg;
+use cma::protocols::matrix::p3wr::MP3wrMsg;
+use cma::protocols::matrix::p4::MP4Msg;
+use cma::protocols::sampling::WrHit;
+use cma::protocols::window::SwMsg;
+use cma::sketch::sliding_window::WinBucket;
+use cma::sketch::{FrequentDirections, MgSummary};
+use cma::stream::{MessageCost, WireCodec, WireReader};
+use proptest::prelude::*;
+
+/// The shared pin: buffer length == `encoded_len` == `wire_bytes`,
+/// decode succeeds, consumes everything, and re-encodes byte-exactly.
+fn assert_roundtrip<T: WireCodec + MessageCost>(msg: &T, what: &str) {
+    let buf = msg.to_wire();
+    assert_eq!(buf.len() as u64, msg.encoded_len(), "{what}: encoded_len");
+    assert_eq!(buf.len() as u64, msg.wire_bytes(), "{what}: wire_bytes");
+    let mut r = WireReader::new(&buf);
+    let back = T::decode(&mut r).unwrap_or_else(|| panic!("{what}: decode failed"));
+    assert!(r.is_empty(), "{what}: decode left trailing bytes");
+    assert_eq!(buf, back.to_wire(), "{what}: re-encode diverged");
+}
+
+fn mg_from(capacity: usize, updates: &[(u64, f64)]) -> MgSummary {
+    let mut s = MgSummary::new(capacity);
+    for &(e, w) in updates {
+        s.update(e, w);
+    }
+    s
+}
+
+fn fd_from(d: usize, ell: usize, cells: &[f64]) -> FrequentDirections {
+    let mut fd = FrequentDirections::new(d, ell);
+    for row in cells.chunks_exact(d) {
+        fd.update(row);
+    }
+    fd
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn p1_roundtrips(
+        capacity in 1usize..24,
+        updates in prop::collection::vec((0u64..5_000, 0.1f64..100.0), 0..64),
+    ) {
+        let msg = P1Msg { summary: mg_from(capacity, &updates) };
+        assert_roundtrip(&msg, "P1Msg");
+    }
+
+    #[test]
+    fn p2_roundtrips(tag in 0u8..2, e in 0u64..10_000, w in 0.0f64..1e9) {
+        let msg = if tag == 0 { P2Msg::Total(w) } else { P2Msg::Element(e, w) };
+        assert_roundtrip(&msg, "P2Msg");
+    }
+
+    #[test]
+    fn p3_roundtrips(item in 0u64..10_000, weight in 0.0f64..1e9, rho in 0.0f64..1.0) {
+        assert_roundtrip(&P3Msg { item, weight, rho }, "P3Msg");
+    }
+
+    #[test]
+    fn p3wr_roundtrips(
+        sampler in 0usize..512,
+        rho in 0.0f64..1.0,
+        item in 0u64..10_000,
+        weight in 0.0f64..1e9,
+    ) {
+        let msg = P3wrMsg { hit: WrHit { sampler, rho }, item, weight };
+        assert_roundtrip(&msg, "P3wrMsg");
+    }
+
+    #[test]
+    fn p4_roundtrips(tag in 0u8..2, e in 0u64..10_000, w in 0.0f64..1e9) {
+        let msg = if tag == 0 { P4Msg::Total(w) } else { P4Msg::Count(e, w) };
+        assert_roundtrip(&msg, "P4Msg");
+    }
+
+    #[test]
+    fn mp1_roundtrips(
+        cols in 1usize..6,
+        cells in prop::collection::vec(-100.0f64..100.0, 0..48),
+        mass in 0.0f64..1e9,
+    ) {
+        let rows = cells.len() / cols;
+        let msg = MP1Msg {
+            rows: Matrix::from_vec(rows, cols, cells[..rows * cols].to_vec()),
+            mass,
+        };
+        assert_roundtrip(&msg, "MP1Msg");
+    }
+
+    #[test]
+    fn mp2_roundtrips(
+        tag in 0u8..2,
+        f in 0.0f64..1e9,
+        row in prop::collection::vec(-100.0f64..100.0, 0..16),
+    ) {
+        let msg = if tag == 0 { MP2Msg::Scalar(f) } else { MP2Msg::Direction(row) };
+        assert_roundtrip(&msg, "MP2Msg");
+    }
+
+    #[test]
+    fn mp3_roundtrips(
+        row in prop::collection::vec(-100.0f64..100.0, 0..16),
+        rho in 0.0f64..1.0,
+    ) {
+        assert_roundtrip(&MP3Msg { row, rho }, "MP3Msg");
+    }
+
+    #[test]
+    fn mp3wr_roundtrips(
+        sampler in 0usize..512,
+        rho in 0.0f64..1.0,
+        row in prop::collection::vec(-100.0f64..100.0, 0..16),
+    ) {
+        let msg = MP3wrMsg { hit: WrHit { sampler, rho }, row };
+        assert_roundtrip(&msg, "MP3wrMsg");
+    }
+
+    #[test]
+    fn mp4_roundtrips(
+        tag in 0u8..2,
+        f in 0.0f64..1e9,
+        z in prop::collection::vec(0.0f64..100.0, 0..16),
+    ) {
+        let msg = if tag == 0 { MP4Msg::Total(f) } else { MP4Msg::Z(z) };
+        assert_roundtrip(&msg, "MP4Msg");
+    }
+
+    #[test]
+    fn sw_mg_roundtrips(
+        latest in 0u64..1_000_000,
+        buckets in prop::collection::vec(
+            (1usize..12, prop::collection::vec((0u64..200, 0.1f64..10.0), 0..12), 0u64..1_000),
+            0..6,
+        ),
+    ) {
+        let buckets = buckets
+            .into_iter()
+            .map(|(capacity, updates, oldest)| {
+                let summary = mg_from(capacity, &updates);
+                let mass = summary.total_weight();
+                WinBucket { summary, mass, oldest, newest: oldest + 7 }
+            })
+            .collect();
+        assert_roundtrip(&SwMsg::<MgSummary> { buckets, latest }, "SwMsg<Mg>");
+    }
+
+    #[test]
+    fn sw_fd_roundtrips(
+        latest in 0u64..1_000_000,
+        buckets in prop::collection::vec(
+            (2usize..5, prop::collection::vec(-10.0f64..10.0, 0..30), 0u64..1_000),
+            0..4,
+        ),
+    ) {
+        let buckets = buckets
+            .into_iter()
+            .map(|(d, cells, oldest)| {
+                let summary = fd_from(d, 3, &cells);
+                let mass = summary.frob_sq_seen();
+                WinBucket { summary, mass, oldest, newest: oldest + 3 }
+            })
+            .collect();
+        assert_roundtrip(&SwMsg::<FrequentDirections> { buckets, latest }, "SwMsg<Fd>");
+    }
+}
