@@ -25,7 +25,8 @@
 
 use cma_bench::report::{
     diff, kernel_speedup_by_dim, parse_bench_json, per_dim_geomean, per_protocol_bytes_geomean,
-    per_protocol_bytes_ratio, per_protocol_geomean, worst_protocol_regression,
+    per_protocol_bytes_ratio, per_protocol_geomean, per_protocol_snapshot_geomean,
+    worst_protocol_regression,
 };
 use cma_bench::Args;
 use std::process::ExitCode;
@@ -169,6 +170,21 @@ fn main() -> ExitCode {
                     (ratio - 1.0) * 100.0
                 );
             }
+        }
+    }
+
+    // Snapshot-size summary (PR 9, advisory — never gates): the
+    // measured wire size of the coordinator snapshot each churn row
+    // captured. Snapshot size tracks the root complex's encoded state,
+    // which legitimately changes with any codec or sketch-layout
+    // change, so — like the byte counters — this is for reading, not
+    // for failing CI.
+    let snap_gm = per_protocol_snapshot_geomean(&new);
+    if !snap_gm.is_empty() {
+        println!();
+        println!("## snapshot bytes in {new_path} (churn rows, geomean per record; advisory)");
+        for (label, bytes, n) in &snap_gm {
+            println!("{label:<16} snapshot {bytes:>10.0} B  ({n} records)");
         }
     }
 

@@ -12,9 +12,14 @@
 //! several pool sizes, including an `m = 1024` deployment
 //! (`"sites": 1024` rows) the thread-per-node engine could not record,
 //! plus `"adaptive8"` topology rows where the fanout is resolved by the
-//! two-pass measured-fan-in planner rather than chosen statically. One
-//! JSON document is written so successive PRs can diff throughput and
-//! communication shape (`bench_diff` automates the comparison).
+//! two-pass measured-fan-in planner rather than chosen statically.
+//! Since PR 9 the grid adds a **churn** axis (`"mode": "churn"`
+//! records): representative protocols through the churn/recovery
+//! driver under a leave/rejoin schedule with a mid-run coordinator
+//! crash and snapshot + WAL-replay recovery, recording the measured
+//! snapshot wire size (`"snapshot_bytes"`). One JSON document is
+//! written so successive PRs can diff throughput and communication
+//! shape (`bench_diff` automates the comparison).
 //!
 //! Usage:
 //! ```text
@@ -23,17 +28,18 @@
 //! Build `--release`; the debug profile underreports throughput ~20×.
 
 use cma_bench::{
-    resolve_hh_adaptive, run_hh_engine, run_hh_threaded, run_hh_topology, run_matrix_engine,
-    run_matrix_threaded, run_matrix_timed, run_matrix_topology, run_swfd_engine, run_swfd_threaded,
-    run_swfd_timed, run_swfd_topology, run_swmg_engine, run_swmg_threaded, run_swmg_topology, Args,
-    HhProtocol, MatrixProtocol,
+    resolve_hh_adaptive, run_hh_churn, run_hh_engine, run_hh_threaded, run_hh_topology,
+    run_matrix_churn, run_matrix_engine, run_matrix_threaded, run_matrix_timed,
+    run_matrix_topology, run_swfd_engine, run_swfd_threaded, run_swfd_timed, run_swfd_topology,
+    run_swmg_churn, run_swmg_engine, run_swmg_threaded, run_swmg_topology, Args, HhProtocol,
+    MatrixProtocol,
 };
 use cma_core::window::{SwFdConfig, SwMgConfig};
 use cma_core::{HhConfig, MatrixConfig, Topology};
 use cma_data::{SyntheticMatrixStream, WeightedZipfStream};
 use cma_linalg::LinalgProfile;
 use cma_stream::runner::threaded::ThreadedConfig;
-use cma_stream::Executor;
+use cma_stream::{ChurnConfig, ChurnEvent, ChurnSchedule, Executor};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -77,6 +83,13 @@ struct Record {
     /// Linalg profile of a `d`-axis record (`"naive"` / `"blocked"`);
     /// empty = the build default (omitted from the JSON).
     profile: &'static str,
+    /// Churn scenario of a churn-driver record (PR 9, e.g.
+    /// `"leave+join+crash"`); empty = no churn (omitted from the JSON,
+    /// keeping pre-churn record keys stable).
+    churn: &'static str,
+    /// Measured wire size of the boundary snapshot a churn record
+    /// captured; 0 = none taken (omitted from the JSON).
+    snapshot_bytes: u64,
     elapsed_s: f64,
     throughput: f64,
     err: f64,
@@ -106,6 +119,12 @@ fn emit(records: &[Record], meta: &str) -> String {
         }
         if !r.profile.is_empty() {
             let _ = write!(out, "\"profile\": \"{}\", ", r.profile);
+        }
+        if !r.churn.is_empty() {
+            let _ = write!(out, "\"churn\": \"{}\", ", r.churn);
+        }
+        if r.snapshot_bytes > 0 {
+            let _ = write!(out, "\"snapshot_bytes\": {}, ", r.snapshot_bytes);
         }
         let _ = write!(
             out,
@@ -185,6 +204,8 @@ fn main() {
                     sites: 0,
                     dim: 0,
                     profile: "",
+                    churn: "",
+                    snapshot_bytes: 0,
                     elapsed_s: dt,
                     throughput: hh_n as f64 / dt,
                     err: run.eval.avg_rel_err,
@@ -223,6 +244,8 @@ fn main() {
                     sites: 0,
                     dim: 0,
                     profile: "",
+                    churn: "",
+                    snapshot_bytes: 0,
                     elapsed_s: dt,
                     throughput: mt_n as f64 / dt,
                     err: run.err,
@@ -263,6 +286,8 @@ fn main() {
                 sites: 0,
                 dim: 0,
                 profile: "",
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.eval.avg_rel_err,
@@ -291,6 +316,8 @@ fn main() {
                 sites: 0,
                 dim: 0,
                 profile: "",
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: mt_n as f64 / dt,
                 err: run.err,
@@ -320,6 +347,8 @@ fn main() {
                 sites: 0,
                 dim: 0,
                 profile: "",
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.err,
@@ -339,6 +368,8 @@ fn main() {
                 sites: 0,
                 dim: 0,
                 profile: "",
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: mt_n as f64 / dt,
                 err: run.err,
@@ -361,6 +392,8 @@ fn main() {
             sites: 0,
             dim: 0,
             profile: "",
+            churn: "",
+            snapshot_bytes: 0,
             elapsed_s: dt,
             throughput: hh_n as f64 / dt,
             err: run.err,
@@ -380,6 +413,8 @@ fn main() {
             sites: 0,
             dim: 0,
             profile: "",
+            churn: "",
+            snapshot_bytes: 0,
             elapsed_s: dt,
             throughput: mt_n as f64 / dt,
             err: run.err,
@@ -421,6 +456,8 @@ fn main() {
                 sites: 0,
                 dim: 0,
                 profile: "",
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.eval.avg_rel_err,
@@ -456,6 +493,8 @@ fn main() {
                 sites: 0,
                 dim: 0,
                 profile: "",
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: mt_n as f64 / dt,
                 err: run.err,
@@ -485,6 +524,8 @@ fn main() {
             sites: 0,
             dim: 0,
             profile: "",
+            churn: "",
+            snapshot_bytes: 0,
             elapsed_s: dt,
             throughput: hh_n as f64 / dt,
             err: run.err,
@@ -510,6 +551,8 @@ fn main() {
             sites: 0,
             dim: 0,
             profile: "",
+            churn: "",
+            snapshot_bytes: 0,
             elapsed_s: dt,
             throughput: mt_n as f64 / dt,
             err: run.err,
@@ -547,6 +590,8 @@ fn main() {
             sites: big_m,
             dim: 0,
             profile: "",
+            churn: "",
+            snapshot_bytes: 0,
             elapsed_s: dt,
             throughput: hh_n as f64 / dt,
             err: run.eval.avg_rel_err,
@@ -596,6 +641,8 @@ fn main() {
                 sites: tier_m,
                 dim: 0,
                 profile: "",
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.eval.avg_rel_err,
@@ -623,6 +670,8 @@ fn main() {
                 sites: tier_m,
                 dim: 0,
                 profile: "blocked",
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: mt_tier_n as f64 / dt,
                 err: run.err,
@@ -650,6 +699,8 @@ fn main() {
                 sites: tier_m,
                 dim: 0,
                 profile: "",
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.err,
@@ -684,6 +735,8 @@ fn main() {
             sites: 0,
             dim: 0,
             profile: "",
+            churn: "",
+            snapshot_bytes: 0,
             elapsed_s: dt,
             throughput: hh_n as f64 / dt,
             err: run.eval.avg_rel_err,
@@ -725,6 +778,8 @@ fn main() {
                 sites: 0,
                 dim,
                 profile: profile.name(),
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: daxis_n as f64 / dt,
                 err: run.err,
@@ -745,12 +800,128 @@ fn main() {
                 sites: 0,
                 dim,
                 profile: profile.name(),
+                churn: "",
+                snapshot_bytes: 0,
                 elapsed_s: dt,
                 throughput: daxis_n as f64 / dt,
                 err: run.err,
                 comm: run.comm,
             });
         }
+    }
+
+    // The churn axis (PR 9): representative protocols through the
+    // churn/recovery driver on a fanout-4 tree — site 5 leaves at
+    // boundary 2 and rejoins at 4, a snapshot of the root complex is
+    // captured at boundary 3, and the root crashes and recovers from it
+    // (WAL replay) at 5. The leaver's paused feed is delayed, not
+    // dropped, and the slot rejoins, so every input is eventually fed
+    // and full-stream ground truth stays the right yardstick; the
+    // `"snapshot_bytes"` field on these rows is the measured recovery
+    // footprint (`bench_diff` summarises it per protocol, advisory).
+    // Segment length adapts to the per-site share so the 5-boundary
+    // schedule fits any `--scale`.
+    let churn_topo = Topology::Tree { fanout: 4 };
+    let churn_label = "leave+join+crash";
+    let churn_cfg_for = |n: usize| ChurnConfig {
+        segment_len: (n / sites / 8).max(1),
+        schedule: ChurnSchedule::new()
+            .at(2, ChurnEvent::Leave(5))
+            .at(4, ChurnEvent::Join(5)),
+        snapshot_at: Some(3),
+        crash_at: Some(5),
+        ..ChurnConfig::default()
+    };
+    for proto in [HhProtocol::P1, HhProtocol::P2] {
+        eprintln!("hh {} churn tree4 ({churn_label})…", proto.name());
+        let t0 = Instant::now();
+        let (run, comm, churn) = run_hh_churn(
+            proto,
+            &hh_cfg,
+            &hh_stream,
+            0.05,
+            churn_topo,
+            &tcfg,
+            &churn_cfg_for(hh_n),
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        records.push(Record {
+            family: "hh",
+            protocol: proto.name(),
+            batch: tcfg.batch_size,
+            topology: "tree4",
+            mode: "churn",
+            workers: 0,
+            sites: 0,
+            dim: 0,
+            profile: "",
+            churn: churn_label,
+            snapshot_bytes: churn.snapshot_bytes,
+            elapsed_s: dt,
+            throughput: hh_n as f64 / dt,
+            err: run.eval.avg_rel_err,
+            comm,
+        });
+    }
+    {
+        eprintln!("matrix P2 churn tree4 ({churn_label})…");
+        let t0 = Instant::now();
+        let (run, comm, churn) = run_matrix_churn(
+            MatrixProtocol::P2,
+            &mt_cfg,
+            &mt_rows,
+            churn_topo,
+            &tcfg,
+            &churn_cfg_for(mt_n),
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        records.push(Record {
+            family: "matrix",
+            protocol: MatrixProtocol::P2.name(),
+            batch: tcfg.batch_size,
+            topology: "tree4",
+            mode: "churn",
+            workers: 0,
+            sites: 0,
+            dim: 0,
+            profile: "",
+            churn: churn_label,
+            snapshot_bytes: churn.snapshot_bytes,
+            elapsed_s: dt,
+            throughput: mt_n as f64 / dt,
+            err: run.err,
+            comm,
+        });
+    }
+    {
+        eprintln!("window SwMg churn tree4 ({churn_label})…");
+        let t0 = Instant::now();
+        let (run, comm, churn) = run_swmg_churn(
+            &swmg_cfg,
+            &hh_stream,
+            0.05,
+            churn_topo,
+            &tcfg,
+            &churn_cfg_for(hh_n),
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        records.push(Record {
+            family: "window",
+            protocol: run.protocol,
+            batch: tcfg.batch_size,
+            topology: "tree4",
+            mode: "churn",
+            workers: 0,
+            sites: 0,
+            dim: 0,
+            profile: "",
+            churn: churn_label,
+            snapshot_bytes: churn.snapshot_bytes,
+            elapsed_s: dt,
+            throughput: hh_n as f64 / dt,
+            err: run.err,
+            comm,
+        });
     }
 
     let meta = format!(
@@ -764,6 +935,7 @@ fn main() {
          \"pool_tier_mt_n\": {mt_tier_n}, \
          \"daxis_dims\": [44, 128, 512], \"daxis_profiles\": [\"naive\", \"blocked\"], \
          \"daxis_n\": {daxis_n}, \
+         \"churn\": \"leave(5)@2 join(5)@4 snapshot@3 crash@5, tree4\", \
          \"adaptive\": \"max_fan_in 8, calibration prefix {calib_n}\"}}",
         hh_cfg.epsilon, mt_cfg.epsilon, mt_cfg.dim, swmg_cfg.params.window, swfd_cfg.params.window
     );

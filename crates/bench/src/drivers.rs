@@ -16,9 +16,10 @@ use cma_linalg::svd::gram_svd;
 use cma_linalg::Matrix;
 use cma_sketch::{ExactWeightedCounter, FrequentDirections};
 use cma_stream::partition::RoundRobin;
+use cma_stream::runner::churn;
 use cma_stream::runner::engine::{self, EngineStats, Executor};
 use cma_stream::runner::threaded::{self, ThreadedConfig};
-use cma_stream::{CommStats, Topology};
+use cma_stream::{ChurnConfig, ChurnReport, CommStats, Topology};
 
 /// Arrivals per epoch when a driver delivers a stream to a deployment
 /// through the batch-first runner. Batched delivery is
@@ -993,6 +994,199 @@ pub fn run_swfd_engine(
             certified: coord.error_bound_at(rows.len() as u64).total(),
         },
         summary,
+    )
+}
+
+/// Flattened churn/recovery telemetry of one churn-driver run — the
+/// subset of [`ChurnReport`] the JSON bench recorder cares about,
+/// recorded next to the communication profile so a bench diff can put a
+/// number on what membership churn and crash recovery cost.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnSummary {
+    /// Join events applied.
+    pub joins: u64,
+    /// Leave events applied.
+    pub leaves: u64,
+    /// Budget re-splits performed.
+    pub resplits: u64,
+    /// Total mass of the departure flushes (withheld mass that
+    /// re-entered the certified bound instead of evaporating).
+    pub departed_mass: f64,
+    /// Wire size of the boundary snapshot; `0` when none was taken.
+    pub snapshot_bytes: u64,
+    /// Mass the crashed root complex discarded (folded into the
+    /// restated bound's undercount term).
+    pub recovery_lost_mass: f64,
+    /// WAL messages replayed into the restored coordinator.
+    pub replayed_msgs: u64,
+}
+
+impl From<&ChurnReport> for ChurnSummary {
+    fn from(r: &ChurnReport) -> Self {
+        ChurnSummary {
+            joins: r.joins as u64,
+            leaves: r.leaves as u64,
+            resplits: r.resplits as u64,
+            departed_mass: r.departed_mass,
+            snapshot_bytes: r.snapshot_bytes.unwrap_or(0),
+            recovery_lost_mass: r.recovery_lost_mass,
+            replayed_msgs: r.replayed_msgs,
+        }
+    }
+}
+
+macro_rules! drive_hh_churn {
+    ($module:ident, $cfg:expr, $inputs:expr, $exact:expr, $phi:expr, $topo:expr, $tcfg:expr, $ccfg:expr) => {{
+        let (sites, coordinator, _) = hh::$module::deploy_topology($cfg, $topo).into_parts();
+        let parts = churn::run_churn_partitioned_topology_parts(
+            sites,
+            coordinator,
+            $inputs,
+            $tcfg,
+            Executor::Inline,
+            $topo,
+            |t| hh::$module::make_aggregator($cfg, t),
+            $ccfg,
+        );
+        let summary = CommSummary::from(&parts.stats);
+        let eval = metrics::evaluate(&parts.coordinator, $exact, $phi, $cfg.epsilon);
+        (summary, eval, ChurnSummary::from(&parts.report))
+    }};
+}
+
+/// [`run_hh_engine`] through the *churn/recovery driver*: the same
+/// deployment, but membership events, ε re-splits and an optional
+/// snapshot/crash/WAL-replay cycle applied at segment boundaries
+/// (`churn::run_churn_partitioned_topology_parts`). Scored against
+/// full-stream ground truth — a schedule whose leavers eventually
+/// rejoin feeds every input (paused slots are delayed, not dropped),
+/// so the full-stream truth stays the right yardstick.
+pub fn run_hh_churn(
+    proto: HhProtocol,
+    cfg: &HhConfig,
+    stream: &[(u64, f64)],
+    phi: f64,
+    topology: Topology,
+    tcfg: &ThreadedConfig,
+    ccfg: &ChurnConfig,
+) -> (HhRunResult, CommSummary, ChurnSummary) {
+    let mut exact = ExactWeightedCounter::new();
+    for &(e, w) in stream {
+        exact.update(e, w);
+    }
+    let inputs = partition_round_robin(stream, cfg.sites);
+    let (summary, eval, churn) = match proto {
+        HhProtocol::P1 => drive_hh_churn!(p1, cfg, inputs, &exact, phi, topology, tcfg, ccfg),
+        HhProtocol::P2 => drive_hh_churn!(p2, cfg, inputs, &exact, phi, topology, tcfg, ccfg),
+        HhProtocol::P3 => drive_hh_churn!(p3, cfg, inputs, &exact, phi, topology, tcfg, ccfg),
+        HhProtocol::P3wr => drive_hh_churn!(p3wr, cfg, inputs, &exact, phi, topology, tcfg, ccfg),
+        HhProtocol::P4 => drive_hh_churn!(p4, cfg, inputs, &exact, phi, topology, tcfg, ccfg),
+    };
+    (
+        HhRunResult {
+            protocol: proto.name(),
+            msgs: summary.total,
+            eval,
+        },
+        summary,
+        churn,
+    )
+}
+
+macro_rules! drive_matrix_churn {
+    ($module:ident, $cfg:expr, $inputs:expr, $topo:expr, $tcfg:expr, $ccfg:expr) => {{
+        let (sites, coordinator, _) = matrix::$module::deploy_topology($cfg, $topo).into_parts();
+        let parts = churn::run_churn_partitioned_topology_parts(
+            sites,
+            coordinator,
+            $inputs,
+            $tcfg,
+            Executor::Inline,
+            $topo,
+            |t| matrix::$module::make_aggregator($cfg, t),
+            $ccfg,
+        );
+        let summary = CommSummary::from(&parts.stats);
+        (
+            summary,
+            parts.coordinator.sketch(),
+            parts.coordinator.frob_estimate(),
+            ChurnSummary::from(&parts.report),
+        )
+    }};
+}
+
+/// [`run_matrix_engine`] through the *churn/recovery driver* (see
+/// [`run_hh_churn`]).
+pub fn run_matrix_churn(
+    proto: MatrixProtocol,
+    cfg: &MatrixConfig,
+    rows: &[Vec<f64>],
+    topology: Topology,
+    tcfg: &ThreadedConfig,
+    ccfg: &ChurnConfig,
+) -> (MatrixRunResult, CommSummary, ChurnSummary) {
+    let mut truth = StreamingGram::new(cfg.dim);
+    for row in rows {
+        truth.update(row);
+    }
+    let inputs = partition_round_robin(rows, cfg.sites);
+    let (summary, sketch, frob_est, churn) = match proto {
+        MatrixProtocol::P1 => drive_matrix_churn!(p1, cfg, inputs, topology, tcfg, ccfg),
+        MatrixProtocol::P2 => drive_matrix_churn!(p2, cfg, inputs, topology, tcfg, ccfg),
+        MatrixProtocol::P3 => drive_matrix_churn!(p3, cfg, inputs, topology, tcfg, ccfg),
+        MatrixProtocol::P3wr => drive_matrix_churn!(p3wr, cfg, inputs, topology, tcfg, ccfg),
+        MatrixProtocol::P4 => drive_matrix_churn!(p4, cfg, inputs, topology, tcfg, ccfg),
+    };
+    let err = truth
+        .error_of_sketch(&sketch)
+        .expect("error metric eigensolve");
+    (
+        MatrixRunResult {
+            protocol: proto.name(),
+            msgs: summary.total,
+            err,
+            frob_est,
+        },
+        summary,
+        churn,
+    )
+}
+
+/// [`run_swmg_engine`] through the *churn/recovery driver* (see
+/// [`run_hh_churn`]).
+pub fn run_swmg_churn(
+    cfg: &SwMgConfig,
+    stream: &[(u64, f64)],
+    phi: f64,
+    topology: Topology,
+    tcfg: &ThreadedConfig,
+    ccfg: &ChurnConfig,
+) -> (WindowRunResult, CommSummary, ChurnSummary) {
+    let inputs = partition_round_robin(&stamp_stream(stream), cfg.params.sites);
+    let (sites, coordinator, _) = swmg::deploy_topology(cfg, topology).into_parts();
+    let parts = churn::run_churn_partitioned_topology_parts(
+        sites,
+        coordinator,
+        inputs,
+        tcfg,
+        Executor::Inline,
+        topology,
+        |t| swmg::make_aggregator(cfg, t),
+        ccfg,
+    );
+    let summary = CommSummary::from(&parts.stats);
+    let coord = &parts.coordinator;
+    let err = swmg_window_err(coord, stream, cfg.params.window as usize, phi);
+    (
+        WindowRunResult {
+            protocol: WindowProtocol::SwMg.name(),
+            msgs: summary.total,
+            err,
+            certified: coord.error_bound_at(stream.len() as u64).total(),
+        },
+        summary,
+        ChurnSummary::from(&parts.report),
     )
 }
 

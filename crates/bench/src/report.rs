@@ -70,6 +70,13 @@ pub struct BenchRecord {
     pub worker_steals: String,
     /// Per-worker park counts, same encoding.
     pub worker_parks: String,
+    /// Churn scenario label of a churn-driver row (PR 9, e.g.
+    /// `"leave+join+crash"`); empty for ordinary rows and recordings
+    /// older than the churn axis.
+    pub churn: String,
+    /// Measured wire size of the boundary snapshot a churn row
+    /// captured; `0` when no snapshot was taken (or pre-churn rows).
+    pub snapshot_bytes: u64,
 }
 
 impl BenchRecord {
@@ -92,6 +99,9 @@ impl BenchRecord {
         }
         if !self.profile.is_empty() {
             key.push_str(&format!(" {}", self.profile));
+        }
+        if !self.churn.is_empty() {
+            key.push_str(&format!(" churn:{}", self.churn));
         }
         key
     }
@@ -164,6 +174,8 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
             parks: u64_field(obj, "parks").unwrap_or(0),
             worker_steals: str_field(obj, "worker_steals").unwrap_or_default(),
             worker_parks: str_field(obj, "worker_parks").unwrap_or_default(),
+            churn: str_field(obj, "churn").unwrap_or_default(),
+            snapshot_bytes: u64_field(obj, "snapshot_bytes").unwrap_or(0),
         });
     }
     out
@@ -320,6 +332,28 @@ pub fn per_protocol_bytes_ratio(rows: &[DiffRow]) -> Vec<(String, f64, usize)> {
         let ratio = row.new.bytes_up as f64 / row.old.bytes_up as f64;
         let e = acc.entry(label).or_insert((0.0, 0));
         e.0 += ratio.ln();
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(label, (ln_sum, n))| (label, (ln_sum / n as f64).exp(), n))
+        .collect()
+}
+
+/// Per-protocol geometric mean of the measured snapshot wire size over
+/// one recording's churn rows — the recovery-cost summary `bench_diff`
+/// prints for the fresh recording (advisory; snapshot size tracks the
+/// coordinator's state, which changes whenever a codec or sketch layout
+/// does, so this never gates). Rows that took no snapshot are skipped;
+/// empty when the recording predates the churn axis.
+pub fn per_protocol_snapshot_geomean(records: &[BenchRecord]) -> Vec<(String, f64, usize)> {
+    let mut acc: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for r in records {
+        if r.snapshot_bytes == 0 {
+            continue;
+        }
+        let label = format!("{}/{}", r.family, r.protocol);
+        let e = acc.entry(label).or_insert((0.0, 0));
+        e.0 += (r.snapshot_bytes as f64).ln();
         e.1 += 1;
     }
     acc.into_iter()
@@ -560,6 +594,44 @@ mod tests {
         assert!((ratios[0].1 - 2.0).abs() < 1e-9);
         let (rows, _, _) = diff(&parse_bench_json(SAMPLE), &parse_bench_json(SAMPLE));
         assert!(per_protocol_bytes_ratio(&rows).is_empty());
+    }
+
+    const CHURN_SAMPLE: &str = r#"{
+  "meta": {"sites": 64},
+  "results": [
+    {"family": "hh", "protocol": "P1", "batch": 64, "topology": "tree4", "mode": "churn", "churn": "leave+join+crash", "throughput_per_s": 50000, "err": 1.0e-3, "msgs_total": 9000, "root_in_msgs": 40, "bytes_up": 4000, "bytes_down": 1000, "snapshot_bytes": 2048},
+    {"family": "mt", "protocol": "P2", "batch": 16, "topology": "tree4", "mode": "churn", "churn": "leave+join+crash", "throughput_per_s": 20000, "err": 2.0e-2, "msgs_total": 800, "root_in_msgs": 20, "bytes_up": 9000, "bytes_down": 2000, "snapshot_bytes": 8192}
+  ]
+}"#;
+
+    #[test]
+    fn churn_rows_key_on_scenario_and_snapshot_bytes_stay_out_of_key() {
+        let recs = parse_bench_json(CHURN_SAMPLE);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].churn, "leave+join+crash");
+        assert_eq!(recs[0].snapshot_bytes, 2048);
+        assert_eq!(
+            recs[0].key(),
+            "hh/P1 batch=64 tree4 churn churn:leave+join+crash"
+        );
+        // Ordinary rows are unaffected: no churn suffix, zero snapshot.
+        let old = parse_bench_json(SAMPLE);
+        assert!(old[0].churn.is_empty());
+        assert_eq!(old[0].snapshot_bytes, 0);
+        assert_eq!(old[0].key(), "hh/P1 batch=64 star seq");
+    }
+
+    #[test]
+    fn snapshot_geomean_skips_snapshotless_rows() {
+        let recs = parse_bench_json(CHURN_SAMPLE);
+        let gm = per_protocol_snapshot_geomean(&recs);
+        assert_eq!(gm.len(), 2);
+        assert_eq!(gm[0].0, "hh/P1");
+        assert!((gm[0].1 - 2048.0).abs() < 1e-6);
+        assert_eq!(gm[1].0, "mt/P2");
+        assert!((gm[1].1 - 8192.0).abs() < 1e-6);
+        // Recordings that predate the churn axis yield nothing.
+        assert!(per_protocol_snapshot_geomean(&parse_bench_json(BYTES_SAMPLE)).is_empty());
     }
 
     #[test]

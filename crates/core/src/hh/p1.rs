@@ -16,8 +16,9 @@ use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
 use cma_sketch::MgSummary;
 use cma_stream::{
-    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
-    Topology,
+    put_f64, put_usize, AggNode, Aggregator, BudgetShare, ChurnBudget, ChurnCoordinator, ChurnSite,
+    Coordinator, Membership, MessageCost, MigratableAggregator, Runner, Site, SiteId, Topology,
+    WireCodec, WireReader,
 };
 
 /// Site → coordinator message: the site's entire Misra–Gries state.
@@ -219,6 +220,101 @@ impl MigratableAggregator for P1Aggregator {
             std::mem::swap(&mut flushed, &mut self.merged);
             out.push((self.rep, P1Msg { summary: flushed }));
         }
+    }
+}
+
+/// Leaf share of P1's unreported-weight budget under a membership:
+/// `(ε/2)/m'` when the plan is flat, `(ε/4)/m'` when interior nodes
+/// take the other half. Re-splits rescale `tau_frac` by the ratio of
+/// shares, so `ε` cancels and re-splits compose.
+fn p1_site_frac(mem: &Membership) -> f64 {
+    if mem.flat {
+        0.5 / mem.sites as f64
+    } else {
+        0.25 / mem.sites as f64
+    }
+}
+
+/// Interior share: the node's slice of the `ε/4` interior budget,
+/// `covered/(4·L·m')` (again stated without the common `ε` factor).
+fn p1_interior_frac(mem: &Membership, covered: usize) -> f64 {
+    covered as f64 / (4.0 * mem.levels.max(1) as f64 * mem.sites as f64)
+}
+
+impl ChurnBudget for P1Site {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.tau_frac *= p1_site_frac(&share.next) / p1_site_frac(&share.prev);
+    }
+}
+
+impl ChurnSite for P1Site {
+    /// Ships the entire local summary regardless of the flush threshold
+    /// — the departing site's withheld mass re-enters the bound.
+    fn depart(&mut self, out: &mut Vec<P1Msg>) {
+        if !self.summary.is_empty() {
+            let mut flushed = MgSummary::new(self.summary.capacity());
+            std::mem::swap(&mut flushed, &mut self.summary);
+            out.push(P1Msg { summary: flushed });
+        }
+    }
+}
+
+impl ChurnBudget for P1Coordinator {}
+
+impl ChurnCoordinator for P1Coordinator {
+    fn current_broadcast(&self) -> Option<f64> {
+        (self.w_hat > 1.0).then_some(self.w_hat)
+    }
+}
+
+impl ChurnBudget for P1Aggregator {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.hold_frac *= p1_interior_frac(&share.next, share.covered_next)
+            / p1_interior_frac(&share.prev, share.covered_prev);
+    }
+}
+
+impl WireCodec for P1Coordinator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        crate::wire::put_mg(out, &self.merged);
+        put_f64(out, self.received);
+        put_f64(out, self.w_hat);
+        put_f64(out, self.epsilon);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(P1Coordinator {
+            merged: crate::wire::read_mg(r)?,
+            received: r.f64()?,
+            w_hat: r.f64()?,
+            epsilon: r.f64()?,
+        })
+    }
+
+    fn encoded_len(&self) -> u64 {
+        crate::wire::mg_bytes(&self.merged) + 24
+    }
+}
+
+impl WireCodec for P1Aggregator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        crate::wire::put_mg(out, &self.merged);
+        put_f64(out, self.hold_frac);
+        put_f64(out, self.w_hat);
+        put_usize(out, self.rep);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(P1Aggregator {
+            merged: crate::wire::read_mg(r)?,
+            hold_frac: r.f64()?,
+            w_hat: r.f64()?,
+            rep: r.usize()?,
+        })
+    }
+
+    fn encoded_len(&self) -> u64 {
+        crate::wire::mg_bytes(&self.merged) + 24
     }
 }
 

@@ -26,8 +26,9 @@ use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
 use cma_sketch::MgSummary;
 use cma_stream::{
-    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
-    Topology,
+    put_f64, put_u64, put_usize, AggNode, Aggregator, BudgetShare, ChurnBudget, ChurnCoordinator,
+    ChurnSite, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId, Topology,
+    WireCodec, WireReader,
 };
 use std::collections::HashMap;
 
@@ -92,6 +93,16 @@ impl DeltaStore {
             DeltaStore::Exact(map) => map.remove(&item).unwrap_or(0.0),
             DeltaStore::Mg(mg) => mg.take(item),
         }
+    }
+
+    /// Drains every pending delta in item order (departure hook).
+    fn drain_sorted(&mut self) -> Vec<(Item, f64)> {
+        let mut items: Vec<Item> = match self {
+            DeltaStore::Exact(map) => map.keys().copied().collect(),
+            DeltaStore::Mg(mg) => mg.counters().map(|(e, _)| e).collect(),
+        };
+        items.sort_unstable();
+        items.into_iter().map(|e| (e, self.take(e))).collect()
     }
 }
 
@@ -368,6 +379,139 @@ impl MigratableAggregator for P2Aggregator {
         for (e, d) in deltas {
             out.push((self.rep, P2Msg::Element(e, d)));
         }
+    }
+}
+
+impl ChurnBudget for P2Site {
+    /// P2's thresholds encode a `1/(m+I)` split — re-splitting is a pure
+    /// rescale by the withholding-node ratio.
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.thr_frac *= share.prev.nodes() as f64 / share.next.nodes() as f64;
+    }
+}
+
+impl ChurnSite for P2Site {
+    /// Emits the pending scalar and every pending per-element delta
+    /// (item order), ignoring thresholds.
+    fn depart(&mut self, out: &mut Vec<P2Msg>) {
+        if self.w_local > 0.0 {
+            out.push(P2Msg::Total(self.w_local));
+            self.w_local = 0.0;
+        }
+        for (e, d) in self.deltas.drain_sorted() {
+            if d > 0.0 {
+                out.push(P2Msg::Element(e, d));
+            }
+        }
+    }
+}
+
+impl ChurnBudget for P2Coordinator {
+    /// The broadcast rule counts scalar reports against the active site
+    /// count, so a re-split updates it.
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.sites = share.next.sites;
+    }
+}
+
+impl ChurnCoordinator for P2Coordinator {
+    fn current_broadcast(&self) -> Option<f64> {
+        (self.w_hat > 1.0).then_some(self.w_hat)
+    }
+}
+
+impl ChurnBudget for P2Aggregator {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.thr_frac *= share.prev.nodes() as f64 / share.next.nodes() as f64;
+    }
+}
+
+/// Tagged [`CoordStore`] / [`DeltaStore`]-shaped encoding: `0` = exact
+/// map (sorted `(item, value)` pairs), `1` = Misra–Gries.
+fn put_coord_store(out: &mut Vec<u8>, store: &CoordStore) {
+    match store {
+        CoordStore::Exact(map) => {
+            out.push(0);
+            let mut pairs: Vec<(Item, f64)> = map.iter().map(|(&e, &v)| (e, v)).collect();
+            pairs.sort_unstable_by_key(|&(e, _)| e);
+            put_usize(out, pairs.len());
+            for (e, v) in pairs {
+                put_u64(out, e);
+                put_f64(out, v);
+            }
+        }
+        CoordStore::Mg(mg) => {
+            out.push(1);
+            crate::wire::put_mg(out, mg);
+        }
+    }
+}
+
+fn read_coord_store(r: &mut WireReader<'_>) -> Option<CoordStore> {
+    match r.u8()? {
+        0 => {
+            let n = r.usize()?;
+            let mut map = HashMap::with_capacity(n);
+            for _ in 0..n {
+                let e = r.u64()?;
+                map.insert(e, r.f64()?);
+            }
+            Some(CoordStore::Exact(map))
+        }
+        1 => Some(CoordStore::Mg(crate::wire::read_mg(r)?)),
+        _ => None,
+    }
+}
+
+impl WireCodec for P2Coordinator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.w_hat);
+        put_usize(out, self.msg_count);
+        put_usize(out, self.sites);
+        put_coord_store(out, &self.counts);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(P2Coordinator {
+            w_hat: r.f64()?,
+            msg_count: r.usize()?,
+            sites: r.usize()?,
+            counts: read_coord_store(r)?,
+        })
+    }
+}
+
+impl WireCodec for P2Aggregator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.pending_total);
+        let mut pairs: Vec<(Item, f64)> =
+            self.pending_deltas.iter().map(|(&e, &d)| (e, d)).collect();
+        pairs.sort_unstable_by_key(|&(e, _)| e);
+        put_usize(out, pairs.len());
+        for (e, d) in pairs {
+            put_u64(out, e);
+            put_f64(out, d);
+        }
+        put_f64(out, self.thr_frac);
+        put_f64(out, self.w_hat);
+        put_usize(out, self.rep);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let pending_total = r.f64()?;
+        let n = r.usize()?;
+        let mut pending_deltas = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let e = r.u64()?;
+            pending_deltas.insert(e, r.f64()?);
+        }
+        Some(P2Aggregator {
+            pending_total,
+            pending_deltas,
+            thr_frac: r.f64()?,
+            w_hat: r.f64()?,
+            rep: r.usize()?,
+        })
     }
 }
 

@@ -16,7 +16,8 @@ use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
 use crate::sampling::{PriorityAggState, PrioritySite, RoundCoordinator, SampleEntry};
 use cma_stream::{
-    AggNode, Coordinator, FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology,
+    put_f64, put_u64, put_usize, AggNode, ChurnBudget, ChurnCoordinator, ChurnSite, Coordinator,
+    FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology, WireCodec, WireReader,
 };
 use std::collections::HashMap;
 
@@ -192,6 +193,85 @@ impl RelayFilter for P3Filter {
 
 /// Interior tree node of a P3 deployment: a round-state-aware relay.
 pub type P3Aggregator = FilteredRelay<P3Filter>;
+
+// The sampling threshold `τ` is global — no per-node budget to
+// re-split — and the site withholds nothing (every clearing record is
+// forwarded on arrival), so departure has nothing to flush.
+impl ChurnBudget for P3Site {}
+
+impl ChurnSite for P3Site {
+    fn depart(&mut self, _out: &mut Vec<P3Msg>) {}
+}
+
+impl ChurnBudget for P3Coordinator {}
+
+impl ChurnCoordinator for P3Coordinator {
+    /// A joiner starts from the live round threshold `τ`.
+    fn current_broadcast(&self) -> Option<f64> {
+        Some(self.inner.tau())
+    }
+}
+
+fn put_entries(out: &mut Vec<u8>, entries: &[SampleEntry<Item>]) {
+    put_usize(out, entries.len());
+    for e in entries {
+        put_u64(out, e.payload);
+        put_f64(out, e.weight);
+        put_f64(out, e.rho);
+    }
+}
+
+fn read_entries(r: &mut WireReader<'_>) -> Option<Vec<SampleEntry<Item>>> {
+    let n = r.usize()?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(SampleEntry {
+            payload: r.u64()?,
+            weight: r.f64()?,
+            rho: r.f64()?,
+        });
+    }
+    Some(entries)
+}
+
+impl WireCodec for P3Coordinator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.inner.sample_size());
+        put_f64(out, self.inner.tau());
+        let (q_cur, q_next) = self.inner.queues();
+        put_entries(out, q_cur);
+        put_entries(out, q_next);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let s = r.usize()?;
+        if s == 0 {
+            return None;
+        }
+        let tau = r.f64()?;
+        let q_cur = read_entries(r)?;
+        let q_next = read_entries(r)?;
+        Some(P3Coordinator {
+            inner: RoundCoordinator::from_parts(s, tau, q_cur, q_next),
+        })
+    }
+}
+
+impl WireCodec for P3Filter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.state.tau());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let mut state = PriorityAggState::new();
+        state.set_tau(r.f64()?);
+        Some(P3Filter { state })
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+}
 
 /// Builds a P3 deployment (sample size from the config).
 pub fn deploy(cfg: &HhConfig) -> Runner<P3Site, P3Coordinator> {

@@ -15,9 +15,11 @@
 
 use super::{validate_weight, HhEstimator, Item, WeightedItem};
 use crate::config::HhConfig;
+use crate::sampling::WrSlot;
 use crate::sampling::{WrAggState, WrCoordinator, WrHit, WrSite};
 use cma_stream::{
-    AggNode, Coordinator, FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology,
+    put_f64, put_u64, put_usize, AggNode, ChurnBudget, ChurnCoordinator, ChurnSite, Coordinator,
+    FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology, WireCodec, WireReader,
 };
 use std::collections::HashMap;
 
@@ -178,6 +180,90 @@ impl RelayFilter for P3wrFilter {
 
 /// Interior tree node of a P3wr deployment: a dominance-filtering relay.
 pub type P3wrAggregator = FilteredRelay<P3wrFilter>;
+
+// Like P3: the threshold `τ` is global and sites withhold nothing.
+impl ChurnBudget for P3wrSite {}
+
+impl ChurnSite for P3wrSite {
+    fn depart(&mut self, _out: &mut Vec<P3wrMsg>) {}
+}
+
+impl ChurnBudget for P3wrCoordinator {}
+
+impl ChurnCoordinator for P3wrCoordinator {
+    fn current_broadcast(&self) -> Option<f64> {
+        Some(self.inner.tau())
+    }
+}
+
+impl WireCodec for P3wrCoordinator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.inner.tau());
+        let slots = self.inner.slots();
+        put_usize(out, slots.len());
+        for slot in slots {
+            put_f64(out, slot.rho1);
+            put_f64(out, slot.rho2);
+            match &slot.top {
+                Some((item, w)) => {
+                    out.push(1);
+                    put_u64(out, *item);
+                    put_f64(out, *w);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let tau = r.f64()?;
+        let n = r.usize()?;
+        if n == 0 {
+            return None;
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rho1 = r.f64()?;
+            let rho2 = r.f64()?;
+            let top = match r.u8()? {
+                0 => None,
+                1 => Some((r.u64()?, r.f64()?)),
+                _ => return None,
+            };
+            slots.push(WrSlot { rho1, rho2, top });
+        }
+        Some(P3wrCoordinator {
+            inner: WrCoordinator::from_parts(tau, slots),
+        })
+    }
+}
+
+impl WireCodec for P3wrFilter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let top2 = self.state.top2();
+        put_usize(out, top2.len());
+        for &(r1, r2) in top2 {
+            put_f64(out, r1);
+            put_f64(out, r2);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let n = r.usize()?;
+        let mut top2 = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r1 = r.f64()?;
+            top2.push((r1, r.f64()?));
+        }
+        Some(P3wrFilter {
+            state: WrAggState::from_parts(top2),
+        })
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8 + 16 * self.state.top2().len() as u64
+    }
+}
 
 /// Builds a P3wr deployment over an arbitrary aggregation topology;
 /// with no interior nodes this is *identical* to [`deploy`].

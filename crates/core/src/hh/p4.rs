@@ -19,8 +19,9 @@ use crate::config::HhConfig;
 use crate::weight_tracker::{CoordWeightTracker, SiteWeightTracker};
 use cma_sketch::SpaceSaving;
 use cma_stream::{
-    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
-    Topology,
+    put_f64, put_u64, put_usize, AggNode, Aggregator, BudgetShare, ChurnBudget, ChurnCoordinator,
+    ChurnSite, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId, Topology,
+    WireCodec, WireReader,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -327,6 +328,117 @@ impl MigratableAggregator for P4Aggregator {
         if held > 0.0 {
             out.push((self.rep, P4Msg::Total(held)));
         }
+    }
+}
+
+impl ChurnBudget for P4Site {
+    /// The send probability scales with `√m'` and the tracker threshold
+    /// with `1/(m' + I')` — both restate directly from `next`.
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.sites = share.next.sites;
+        self.tracker.set_budget(share.next.nodes());
+    }
+}
+
+impl ChurnSite for P4Site {
+    /// Ships only the tracker's unreported weight. Count reports are
+    /// absolute state the coordinator already holds per (element, site);
+    /// re-sending them would not change the estimator, and the withheld
+    /// *mass* lives entirely in the tracker.
+    fn depart(&mut self, out: &mut Vec<P4Msg>) {
+        let held = self.tracker.take_unreported();
+        if held > 0.0 {
+            out.push(P4Msg::Total(held));
+        }
+    }
+}
+
+impl ChurnBudget for P4Coordinator {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.sites = share.next.sites;
+    }
+}
+
+impl ChurnCoordinator for P4Coordinator {
+    fn current_broadcast(&self) -> Option<f64> {
+        let w_hat = self.tracker.w_hat();
+        (w_hat > 1.0).then_some(w_hat)
+    }
+}
+
+impl ChurnBudget for P4Aggregator {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.tracker.set_budget(share.next.nodes());
+    }
+}
+
+impl WireCodec for P4Coordinator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let mut reports: Vec<((Item, SiteId), f64)> =
+            self.reports.iter().map(|(&k, &v)| (k, v)).collect();
+        reports.sort_unstable_by_key(|&(k, _)| k);
+        put_usize(out, reports.len());
+        for ((e, j), count) in reports {
+            put_u64(out, e);
+            put_usize(out, j);
+            put_f64(out, count);
+        }
+        put_f64(out, self.tracker.received());
+        put_f64(out, self.tracker.w_hat());
+        put_usize(out, self.sites);
+        put_f64(out, self.epsilon);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let n = r.usize()?;
+        let mut reports = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let e = r.u64()?;
+            let j = r.usize()?;
+            reports.insert((e, j), r.f64()?);
+        }
+        let received = r.f64()?;
+        let w_hat = r.f64()?;
+        Some(P4Coordinator {
+            reports,
+            tracker: CoordWeightTracker::from_parts(received, w_hat),
+            sites: r.usize()?,
+            epsilon: r.f64()?,
+        })
+    }
+}
+
+impl WireCodec for P4Aggregator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.tracker.budget());
+        put_f64(out, self.tracker.unreported());
+        put_f64(out, self.tracker.w_hat());
+        put_usize(out, self.pending.len());
+        for (origin, msg) in &self.pending {
+            put_usize(out, *origin);
+            msg.encode(out);
+        }
+        put_usize(out, self.rep);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let budget = r.usize()?;
+        if budget == 0 {
+            return None;
+        }
+        let unreported = r.f64()?;
+        let w_hat = r.f64()?;
+        let n = r.usize()?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            let origin = r.usize()?;
+            pending.push((origin, P4Msg::decode(r)?));
+        }
+        Some(P4Aggregator {
+            tracker: SiteWeightTracker::from_parts(budget, unreported, w_hat),
+            pending,
+            rep: r.usize()?,
+        })
     }
 }
 

@@ -19,8 +19,9 @@ use crate::config::MatrixConfig;
 use cma_linalg::Matrix;
 use cma_sketch::FrequentDirections;
 use cma_stream::{
-    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
-    Topology,
+    put_f64, put_usize, AggNode, Aggregator, BudgetShare, ChurnBudget, ChurnCoordinator, ChurnSite,
+    Coordinator, Membership, MessageCost, MigratableAggregator, Runner, Site, SiteId, Topology,
+    WireCodec, WireReader,
 };
 
 /// Site → coordinator message: a flushed FD sketch.
@@ -229,6 +230,101 @@ impl MigratableAggregator for MP1Aggregator {
             self.mass = 0.0;
             out.push((self.rep, MP1Msg { rows, mass }));
         }
+    }
+}
+
+/// Leaf share of MT-P1's unreported-mass budget (see the HH analogue in
+/// `hh::p1`): `(ε/2)/m'` flat, `(ε/4)/m'` in a tree — stated without
+/// the common `ε` factor, which cancels in the re-split ratio.
+fn mp1_site_frac(mem: &Membership) -> f64 {
+    if mem.flat {
+        0.5 / mem.sites as f64
+    } else {
+        0.25 / mem.sites as f64
+    }
+}
+
+/// Interior share: `covered/(4·L·m')`.
+fn mp1_interior_frac(mem: &Membership, covered: usize) -> f64 {
+    covered as f64 / (4.0 * mem.levels.max(1) as f64 * mem.sites as f64)
+}
+
+impl ChurnBudget for MP1Site {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.tau_frac *= mp1_site_frac(&share.next) / mp1_site_frac(&share.prev);
+    }
+}
+
+impl ChurnSite for MP1Site {
+    /// Ships the entire local FD sketch regardless of the flush
+    /// threshold — the departing site's withheld mass re-enters the
+    /// bound.
+    fn depart(&mut self, out: &mut Vec<MP1Msg>) {
+        if self.fd.frob_sq_seen() > 0.0 {
+            let (rows, mass) = self.fd.take();
+            out.push(MP1Msg { rows, mass });
+        }
+    }
+}
+
+impl ChurnBudget for MP1Coordinator {}
+
+impl ChurnCoordinator for MP1Coordinator {
+    fn current_broadcast(&self) -> Option<f64> {
+        (self.f_hat > 1.0).then_some(self.f_hat)
+    }
+}
+
+impl ChurnBudget for MP1Aggregator {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.hold_frac *= mp1_interior_frac(&share.next, share.covered_next)
+            / mp1_interior_frac(&share.prev, share.covered_prev);
+    }
+}
+
+impl WireCodec for MP1Coordinator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        crate::wire::put_fd(out, &self.fd);
+        put_f64(out, self.received);
+        put_f64(out, self.f_hat);
+        put_f64(out, self.epsilon);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(MP1Coordinator {
+            fd: crate::wire::read_fd(r)?,
+            received: r.f64()?,
+            f_hat: r.f64()?,
+            epsilon: r.f64()?,
+        })
+    }
+
+    fn encoded_len(&self) -> u64 {
+        crate::wire::fd_bytes(&self.fd) + 24
+    }
+}
+
+impl WireCodec for MP1Aggregator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        crate::wire::put_fd(out, &self.fd);
+        put_f64(out, self.mass);
+        put_f64(out, self.hold_frac);
+        put_f64(out, self.f_hat);
+        put_usize(out, self.rep);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(MP1Aggregator {
+            fd: crate::wire::read_fd(r)?,
+            mass: r.f64()?,
+            hold_frac: r.f64()?,
+            f_hat: r.f64()?,
+            rep: r.usize()?,
+        })
+    }
+
+    fn encoded_len(&self) -> u64 {
+        crate::wire::fd_bytes(&self.fd) + 32
     }
 }
 

@@ -52,8 +52,9 @@ use cma_linalg::eigen::jacobi_eigen_sym_with_basis_tol;
 use cma_linalg::{KernelPath, Matrix};
 use cma_sketch::FrequentDirections;
 use cma_stream::{
-    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
-    Topology,
+    put_f64, put_usize, AggNode, Aggregator, BudgetShare, ChurnBudget, ChurnCoordinator, ChurnSite,
+    Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId, Topology, WireCodec,
+    WireReader,
 };
 
 /// Site → coordinator messages of protocol MT-P2.
@@ -450,6 +451,73 @@ impl MP2Site {
         }
     }
 
+    /// Canonical withheld rows in `R^d` coordinates: the `Σ Vᵀ`
+    /// directions plus any pending rows, stacked. Both layouts produce
+    /// the same withheld Gram; the basis layout rotates its pending
+    /// coordinates back out (`x = Bᵀc` — the basis is orthonormal).
+    fn withheld_rows(&self) -> Matrix {
+        match &self.rep {
+            Rep::Basis {
+                basis,
+                sig2,
+                pending,
+                ..
+            } => {
+                let mut m = Matrix::with_cols(basis.cols());
+                for (i, &s2) in sig2.iter().enumerate() {
+                    if s2 > 0.0 {
+                        let s = s2.sqrt();
+                        let mut row = basis.row(i).to_vec();
+                        for v in &mut row {
+                            *v *= s;
+                        }
+                        m.push_row(&row);
+                    }
+                }
+                if !pending.is_empty() {
+                    let bt = basis.transpose();
+                    for c in pending {
+                        m.push_row(&bt.apply(c));
+                    }
+                }
+                m
+            }
+            Rep::Spectral { dirs, pending } => {
+                let mut m = dirs.clone();
+                for row in pending {
+                    m.push_row(row);
+                }
+                m
+            }
+        }
+    }
+
+    /// Rebuilds merge state from canonical withheld rows (snapshot
+    /// decode). The kernel/layout profile is local configuration, not
+    /// sketch content — restored state uses the blocked spectral layout
+    /// with the rows pending, which preserves the withheld Gram exactly
+    /// and keeps the invariant (`max‖Bx‖² ≤ pending_mass`) trivially.
+    fn from_withheld(thr_frac: f64, f_hat: f64, rows: Matrix) -> Self {
+        let pending_mass: f64 = rows
+            .iter_rows()
+            .map(|r| r.iter().map(|x| x * x).sum::<f64>())
+            .sum();
+        MP2Site {
+            rep: Rep::Spectral {
+                dirs: Matrix::with_cols(rows.cols()),
+                pending: rows.iter_rows().map(<[f64]>::to_vec).collect(),
+            },
+            pending_mass,
+            smax2: 0.0,
+            f_local: 0.0,
+            slack: MP2Options::default().batch_slack,
+            deferred: false,
+            thr_frac,
+            f_hat,
+            kernels: KernelPath::Blocked,
+        }
+    }
+
     /// [`MP2Options::deferred_batch_check`] batch path: per-row work is
     /// scalar only (mass accounting and the `F̂` report), and the
     /// decomposition trigger runs **once**, after the whole batch has
@@ -668,6 +736,106 @@ impl MigratableAggregator for MP2Aggregator {
         for msg in self.outbox.drain(..) {
             out.push((self.rep, msg));
         }
+    }
+}
+
+impl ChurnBudget for MP2Site {
+    /// The invariant threshold is `ε/(m+I)·F̂` over *all* withholding
+    /// nodes, so the re-split scales by the node-count ratio.
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.thr_frac *= share.prev.nodes() as f64 / share.next.nodes() as f64;
+    }
+}
+
+impl ChurnSite for MP2Site {
+    /// Ships the unreported scalar mass and every withheld direction
+    /// (`drain_all_directions`), leaving the site empty.
+    fn depart(&mut self, out: &mut Vec<MP2Msg>) {
+        if self.f_local > 0.0 {
+            out.push(MP2Msg::Scalar(self.f_local));
+            self.f_local = 0.0;
+        }
+        self.drain_all_directions(out);
+    }
+}
+
+impl ChurnBudget for MP2Coordinator {
+    /// The broadcast trigger counts one scalar report per site.
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.sites = share.next.sites;
+    }
+}
+
+impl ChurnCoordinator for MP2Coordinator {
+    fn current_broadcast(&self) -> Option<f64> {
+        (self.f_hat > 1.0).then_some(self.f_hat)
+    }
+}
+
+impl ChurnBudget for MP2Aggregator {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.inner.rebudget(share);
+    }
+}
+
+impl WireCodec for MP2Coordinator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        crate::wire::put_matrix(out, &self.b);
+        put_f64(out, self.f_hat);
+        put_usize(out, self.msg_count);
+        put_usize(out, self.sites);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let b = crate::wire::read_matrix(r)?;
+        let f_hat = r.f64()?;
+        let msg_count = r.usize()?;
+        let sites = r.usize()?;
+        if sites == 0 {
+            return None;
+        }
+        Some(MP2Coordinator {
+            b,
+            f_hat,
+            msg_count,
+            sites,
+        })
+    }
+}
+
+impl WireCodec for MP2Aggregator {
+    /// The spectral merge state is encoded as its canonical withheld
+    /// rows (`MP2Site::withheld_rows`); the kernel/layout profile is
+    /// local configuration and is not snapshotted.
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.pending_scalar);
+        put_usize(out, self.rep);
+        put_usize(out, self.outbox.len());
+        for msg in &self.outbox {
+            msg.encode(out);
+        }
+        put_f64(out, self.inner.thr_frac);
+        put_f64(out, self.inner.f_hat);
+        crate::wire::put_matrix(out, &self.inner.withheld_rows());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let pending_scalar = r.f64()?;
+        let rep = r.usize()?;
+        let n = r.usize()?;
+        let mut outbox = Vec::with_capacity(n);
+        for _ in 0..n {
+            outbox.push(MP2Msg::decode(r)?);
+        }
+        let thr_frac = r.f64()?;
+        let f_hat = r.f64()?;
+        let rows = crate::wire::read_matrix(r)?;
+        Some(MP2Aggregator {
+            inner: MP2Site::from_withheld(thr_frac, f_hat, rows),
+            pending_scalar,
+            outbox,
+            rep,
+        })
     }
 }
 

@@ -14,7 +14,8 @@ use crate::config::MatrixConfig;
 use crate::sampling::{PriorityAggState, PrioritySite, RoundCoordinator, SampleEntry};
 use cma_linalg::Matrix;
 use cma_stream::{
-    AggNode, Coordinator, FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology,
+    put_f64, put_usize, AggNode, ChurnBudget, ChurnCoordinator, ChurnSite, Coordinator,
+    FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology, WireCodec, WireReader,
 };
 
 /// Site → coordinator message: one sampled row with its priority.
@@ -163,6 +164,85 @@ impl RelayFilter for MP3Filter {
 
 /// Interior tree node of an MT-P3 deployment: a round-state-aware relay.
 pub type MP3Aggregator = FilteredRelay<MP3Filter>;
+
+// As in HH-P3: `τ` is global and sites withhold nothing.
+impl ChurnBudget for MP3Site {}
+
+impl ChurnSite for MP3Site {
+    fn depart(&mut self, _out: &mut Vec<MP3Msg>) {}
+}
+
+impl ChurnBudget for MP3Coordinator {}
+
+impl ChurnCoordinator for MP3Coordinator {
+    fn current_broadcast(&self) -> Option<f64> {
+        Some(self.inner.tau())
+    }
+}
+
+fn put_row_entries(out: &mut Vec<u8>, entries: &[SampleEntry<Row>]) {
+    put_usize(out, entries.len());
+    for e in entries {
+        crate::wire::put_row(out, &e.payload);
+        put_f64(out, e.weight);
+        put_f64(out, e.rho);
+    }
+}
+
+fn read_row_entries(r: &mut WireReader<'_>) -> Option<Vec<SampleEntry<Row>>> {
+    let n = r.usize()?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(SampleEntry {
+            payload: crate::wire::read_row(r)?,
+            weight: r.f64()?,
+            rho: r.f64()?,
+        });
+    }
+    Some(entries)
+}
+
+impl WireCodec for MP3Coordinator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.dim);
+        put_usize(out, self.inner.sample_size());
+        put_f64(out, self.inner.tau());
+        let (q_cur, q_next) = self.inner.queues();
+        put_row_entries(out, q_cur);
+        put_row_entries(out, q_next);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let dim = r.usize()?;
+        let s = r.usize()?;
+        if s == 0 {
+            return None;
+        }
+        let tau = r.f64()?;
+        let q_cur = read_row_entries(r)?;
+        let q_next = read_row_entries(r)?;
+        Some(MP3Coordinator {
+            inner: RoundCoordinator::from_parts(s, tau, q_cur, q_next),
+            dim,
+        })
+    }
+}
+
+impl WireCodec for MP3Filter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.state.tau());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let mut state = PriorityAggState::new();
+        state.set_tau(r.f64()?);
+        Some(MP3Filter { state })
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+}
 
 /// Builds an MT-P3 deployment over an arbitrary aggregation topology;
 /// estimates match the star at any fanout, and with no interior nodes

@@ -14,10 +14,12 @@
 
 use super::{row_weight, MatrixEstimator, Row};
 use crate::config::MatrixConfig;
+use crate::sampling::WrSlot;
 use crate::sampling::{WrAggState, WrCoordinator, WrHit, WrSite};
 use cma_linalg::Matrix;
 use cma_stream::{
-    AggNode, Coordinator, FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology,
+    put_f64, put_usize, AggNode, ChurnBudget, ChurnCoordinator, ChurnSite, Coordinator,
+    FilteredRelay, MessageCost, RelayFilter, Runner, Site, SiteId, Topology, WireCodec, WireReader,
 };
 
 /// Site → coordinator message: one sampler hit carrying the row.
@@ -166,6 +168,93 @@ impl RelayFilter for MP3wrFilter {
 /// Interior tree node of an MT-P3wr deployment: a dominance-filtering
 /// relay.
 pub type MP3wrAggregator = FilteredRelay<MP3wrFilter>;
+
+// As in HH-P3wr: `τ` is global and sites withhold nothing.
+impl ChurnBudget for MP3wrSite {}
+
+impl ChurnSite for MP3wrSite {
+    fn depart(&mut self, _out: &mut Vec<MP3wrMsg>) {}
+}
+
+impl ChurnBudget for MP3wrCoordinator {}
+
+impl ChurnCoordinator for MP3wrCoordinator {
+    fn current_broadcast(&self) -> Option<f64> {
+        Some(self.inner.tau())
+    }
+}
+
+impl WireCodec for MP3wrCoordinator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.dim);
+        put_f64(out, self.inner.tau());
+        let slots = self.inner.slots();
+        put_usize(out, slots.len());
+        for slot in slots {
+            put_f64(out, slot.rho1);
+            put_f64(out, slot.rho2);
+            match &slot.top {
+                Some((row, w)) => {
+                    out.push(1);
+                    crate::wire::put_row(out, row);
+                    put_f64(out, *w);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let dim = r.usize()?;
+        let tau = r.f64()?;
+        let n = r.usize()?;
+        if n == 0 {
+            return None;
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rho1 = r.f64()?;
+            let rho2 = r.f64()?;
+            let top = match r.u8()? {
+                0 => None,
+                1 => Some((crate::wire::read_row(r)?, r.f64()?)),
+                _ => return None,
+            };
+            slots.push(WrSlot { rho1, rho2, top });
+        }
+        Some(MP3wrCoordinator {
+            inner: WrCoordinator::from_parts(tau, slots),
+            dim,
+        })
+    }
+}
+
+impl WireCodec for MP3wrFilter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let top2 = self.state.top2();
+        put_usize(out, top2.len());
+        for &(r1, r2) in top2 {
+            put_f64(out, r1);
+            put_f64(out, r2);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let n = r.usize()?;
+        let mut top2 = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r1 = r.f64()?;
+            top2.push((r1, r.f64()?));
+        }
+        Some(MP3wrFilter {
+            state: WrAggState::from_parts(top2),
+        })
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8 + 16 * self.state.top2().len() as u64
+    }
+}
 
 /// Builds an MT-P3wr deployment over an arbitrary aggregation topology;
 /// with no interior nodes this is *identical* to [`deploy`].

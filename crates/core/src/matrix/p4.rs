@@ -29,8 +29,9 @@ use crate::weight_tracker::{CoordWeightTracker, SiteWeightTracker};
 use cma_linalg::matrix::accumulate_outer;
 use cma_linalg::Matrix;
 use cma_stream::{
-    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
-    Topology,
+    put_f64, put_usize, AggNode, Aggregator, BudgetShare, ChurnBudget, ChurnCoordinator, ChurnSite,
+    Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId, Topology, WireCodec,
+    WireReader,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -273,6 +274,121 @@ impl MigratableAggregator for MP4Aggregator {
         if held > 0.0 {
             out.push((self.rep, MP4Msg::Total(held)));
         }
+    }
+}
+
+impl ChurnBudget for MP4Site {
+    /// `p = 2√m/(ε·F̂)` scales with the live site count; the tracker's
+    /// `F̂/2` slack is split across all withholding nodes.
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.sites = share.next.sites;
+        self.tracker.set_budget(share.next.nodes());
+    }
+}
+
+impl ChurnSite for MP4Site {
+    /// Ships the tracker's sub-threshold mass plus a final `z` refresh —
+    /// the site's mirror at the coordinator would otherwise be frozen at
+    /// its last probabilistic send, losing everything observed since.
+    fn depart(&mut self, out: &mut Vec<MP4Msg>) {
+        let held = self.tracker.take_unreported();
+        if held > 0.0 {
+            out.push(MP4Msg::Total(held));
+        }
+        let p = self.p();
+        let d = self.gram.rows();
+        let z: Vec<f64> = (0..d)
+            .map(|i| (self.gram[(i, i)] + 1.0 / p).sqrt())
+            .collect();
+        out.push(MP4Msg::Z(z));
+    }
+}
+
+impl ChurnBudget for MP4Coordinator {}
+
+impl ChurnCoordinator for MP4Coordinator {
+    fn current_broadcast(&self) -> Option<f64> {
+        let w_hat = self.tracker.w_hat();
+        (w_hat > 1.0).then_some(w_hat)
+    }
+}
+
+impl ChurnBudget for MP4Aggregator {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.tracker.set_budget(share.next.nodes());
+    }
+}
+
+impl WireCodec for MP4Coordinator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.dim);
+        put_usize(out, self.z.len());
+        for z in &self.z {
+            match z {
+                Some(v) => {
+                    out.push(1);
+                    crate::wire::put_row(out, v);
+                }
+                None => out.push(0),
+            }
+        }
+        put_f64(out, self.tracker.received());
+        put_f64(out, self.tracker.w_hat());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let dim = r.usize()?;
+        let n = r.usize()?;
+        let mut z = Vec::with_capacity(n);
+        for _ in 0..n {
+            z.push(match r.u8()? {
+                0 => None,
+                1 => Some(crate::wire::read_row(r)?),
+                _ => return None,
+            });
+        }
+        let received = r.f64()?;
+        let w_hat = r.f64()?;
+        Some(MP4Coordinator {
+            z,
+            tracker: CoordWeightTracker::from_parts(received, w_hat),
+            dim,
+        })
+    }
+}
+
+impl WireCodec for MP4Aggregator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.tracker.budget());
+        put_f64(out, self.tracker.unreported());
+        put_f64(out, self.tracker.w_hat());
+        put_usize(out, self.pending.len());
+        for (from, msg) in &self.pending {
+            put_usize(out, *from);
+            msg.encode(out);
+        }
+        put_usize(out, self.rep);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let budget = r.usize()?;
+        if budget == 0 {
+            return None;
+        }
+        let unreported = r.f64()?;
+        let w_hat = r.f64()?;
+        let n = r.usize()?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            let from = r.usize()?;
+            pending.push((from, MP4Msg::decode(r)?));
+        }
+        let rep = r.usize()?;
+        Some(MP4Aggregator {
+            tracker: SiteWeightTracker::from_parts(budget, unreported, w_hat),
+            pending,
+            rep,
+        })
     }
 }
 

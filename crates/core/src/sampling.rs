@@ -184,6 +184,30 @@ impl<T> RoundCoordinator<T> {
     pub fn estimate_total(&self) -> f64 {
         self.weighted_sample().iter().map(|(_, w)| w).sum()
     }
+
+    /// The round queues `(Qj, Qj+1)` in arrival order (snapshot hook).
+    pub fn queues(&self) -> (&[SampleEntry<T>], &[SampleEntry<T>]) {
+        (&self.q_cur, &self.q_next)
+    }
+
+    /// Rebuilds the coordinator from snapshot parts.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    pub fn from_parts(
+        s: usize,
+        tau: f64,
+        q_cur: Vec<SampleEntry<T>>,
+        q_next: Vec<SampleEntry<T>>,
+    ) -> Self {
+        assert!(s >= 1, "RoundCoordinator: sample size must be positive");
+        RoundCoordinator {
+            s,
+            tau,
+            q_cur,
+            q_next,
+        }
+    }
 }
 
 /// Aggregation-node state for the without-replacement sampler's tree
@@ -273,6 +297,16 @@ impl WrAggState {
             *r2 = rho;
         }
         true
+    }
+
+    /// The per-sampler `(ρ₁, ρ₂)` pairs (snapshot hook).
+    pub fn top2(&self) -> &[(f64, f64)] {
+        &self.top2
+    }
+
+    /// Rebuilds the state from snapshot parts.
+    pub fn from_parts(top2: Vec<(f64, f64)>) -> Self {
+        WrAggState { top2 }
     }
 }
 
@@ -438,6 +472,21 @@ impl<T> WrCoordinator<T> {
     pub fn estimate_total(&self) -> f64 {
         let s = self.slots.len() as f64;
         self.slots.iter().map(|sl| sl.rho2).sum::<f64>() / s
+    }
+
+    /// Rebuilds the coordinator from snapshot parts, recomputing the
+    /// pending-slot count from the invariant it tracks (`ρ⁽²⁾ ≤ 2τ`).
+    ///
+    /// # Panics
+    /// Panics if `slots` is empty.
+    pub fn from_parts(tau: f64, slots: Vec<WrSlot<T>>) -> Self {
+        assert!(!slots.is_empty(), "WrCoordinator: need at least one slot");
+        let pending = slots.iter().filter(|sl| sl.rho2 <= 2.0 * tau).count();
+        WrCoordinator {
+            tau,
+            slots,
+            pending,
+        }
     }
 }
 

@@ -81,6 +81,31 @@ impl SiteWeightTracker {
     pub fn take_unreported(&mut self) -> f64 {
         std::mem::take(&mut self.unreported)
     }
+
+    /// Withholding-node budget the report threshold is split across.
+    pub fn budget(&self) -> usize {
+        self.sites
+    }
+
+    /// Local weight not yet reported upward.
+    pub fn unreported(&self) -> f64 {
+        self.unreported
+    }
+
+    /// Re-splits the report threshold across a new withholding-node
+    /// count — the churn hook: `Ŵ/(2·nodes)` restated for `m' + I'`.
+    pub fn set_budget(&mut self, nodes: usize) {
+        assert!(nodes >= 1, "SiteWeightTracker: need at least one node");
+        self.sites = nodes;
+    }
+
+    /// Rebuilds a tracker half from snapshot parts.
+    pub fn from_parts(nodes: usize, unreported: f64, w_hat: f64) -> Self {
+        let mut t = Self::new(nodes);
+        t.unreported = unreported;
+        t.w_hat = w_hat;
+        t
+    }
 }
 
 /// Coordinator half of the weight tracker.
@@ -110,6 +135,11 @@ impl CoordWeightTracker {
     /// Total weight received from sites (`W_C`, a lower bound on `W`).
     pub fn received(&self) -> f64 {
         self.received
+    }
+
+    /// Rebuilds the coordinator half from snapshot parts.
+    pub fn from_parts(received: f64, w_hat: f64) -> Self {
+        CoordWeightTracker { received, w_hat }
     }
 
     /// Folds in a site report; returns `Some(new Ŵ)` when a broadcast is

@@ -38,13 +38,13 @@
 //! ```
 
 use super::{
-    deploy_kind, deploy_kind_topology, make_kind_aggregator, SwAggregator, SwCoordinator, SwParams,
-    SwSite, WindowKind,
+    deploy_kind, deploy_kind_topology, make_kind_aggregator, SnapshotKind, SwAggregator,
+    SwCoordinator, SwParams, SwSite, WindowKind,
 };
 use crate::matrix::{row_weight, Row};
 use cma_linalg::{FdShrink, KernelPath, LinalgProfile, Matrix};
 use cma_sketch::FrequentDirections;
-use cma_stream::{AggNode, Runner, Topology};
+use cma_stream::{put_usize, AggNode, Runner, Topology, WireReader};
 
 /// The Frequent Directions instantiation of the windowed protocol
 /// family.
@@ -91,6 +91,39 @@ impl WindowKind for FdKind {
     /// FD loss over `mass` merged squared Frobenius norm: `2·mass/ℓ`.
     fn summary_loss(&self, mass: f64) -> f64 {
         2.0 * mass / self.ell as f64
+    }
+}
+
+impl SnapshotKind for FdKind {
+    /// Only `d` and `ℓ` are wire state; the shrink/kernel profile is
+    /// local configuration (same convention as
+    /// [`FrequentDirections::from_parts`]) and decodes to the defaults.
+    fn encode_kind(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.dim);
+        put_usize(out, self.ell);
+    }
+
+    fn decode_kind(r: &mut WireReader<'_>) -> Option<Self> {
+        let dim = r.usize()?;
+        let ell = r.usize()?;
+        if dim == 0 || ell < 2 {
+            return None;
+        }
+        let profile = LinalgProfile::default();
+        Some(FdKind {
+            dim,
+            ell,
+            shrink: profile.shrink,
+            kernels: profile.kernels,
+        })
+    }
+
+    fn encode_summary(summary: &FrequentDirections, out: &mut Vec<u8>) {
+        crate::wire::put_fd(out, summary);
+    }
+
+    fn decode_summary(r: &mut WireReader<'_>) -> Option<FrequentDirections> {
+        crate::wire::read_fd(r)
     }
 }
 

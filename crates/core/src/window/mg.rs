@@ -31,12 +31,12 @@
 //! ```
 
 use super::{
-    deploy_kind, deploy_kind_topology, make_kind_aggregator, SwAggregator, SwCoordinator, SwParams,
-    SwSite, WindowKind,
+    deploy_kind, deploy_kind_topology, make_kind_aggregator, SnapshotKind, SwAggregator,
+    SwCoordinator, SwParams, SwSite, WindowKind,
 };
 use crate::hh::{validate_weight, Item, WeightedItem};
 use cma_sketch::MgSummary;
-use cma_stream::{AggNode, Runner, Topology};
+use cma_stream::{put_usize, AggNode, Runner, Topology, WireReader};
 
 /// The Misra–Gries instantiation of the windowed protocol family.
 #[derive(Debug, Clone)]
@@ -62,6 +62,25 @@ impl WindowKind for MgKind {
     /// MG undercount over `mass` merged weight: `mass/(ℓ+1)`.
     fn summary_loss(&self, mass: f64) -> f64 {
         mass / (self.capacity as f64 + 1.0)
+    }
+}
+
+impl SnapshotKind for MgKind {
+    fn encode_kind(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.capacity);
+    }
+
+    fn decode_kind(r: &mut WireReader<'_>) -> Option<Self> {
+        let capacity = r.usize()?;
+        (capacity >= 1).then_some(MgKind { capacity })
+    }
+
+    fn encode_summary(summary: &MgSummary, out: &mut Vec<u8>) {
+        crate::wire::put_mg(out, summary);
+    }
+
+    fn decode_summary(r: &mut WireReader<'_>) -> Option<MgSummary> {
+        crate::wire::read_mg(r)
     }
 }
 

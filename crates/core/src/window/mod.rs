@@ -67,8 +67,9 @@ use cma_stream::runner::engine::{self, Executor};
 use cma_stream::runner::live;
 use cma_stream::runner::threaded::{ThreadedConfig, TreeRunParts};
 use cma_stream::{
-    AggNode, Aggregator, Coordinator, MessageCost, MigratableAggregator, Runner, Site, SiteId,
-    Topology,
+    put_f64, put_u64, put_usize, AggNode, Aggregator, BudgetShare, ChurnBudget, ChurnCoordinator,
+    ChurnSite, Coordinator, Membership, MessageCost, MigratableAggregator, Runner, Site, SiteId,
+    Topology, WireCodec, WireReader,
 };
 
 pub mod fd;
@@ -140,6 +141,75 @@ pub trait WindowKind: Clone {
     /// The summary family's a-priori loss over `mass` ingested weight
     /// (`mass/(ℓ+1)` for MG, `2·mass/ℓ` for FD).
     fn summary_loss(&self, mass: f64) -> f64;
+}
+
+/// Snapshot support for a [`WindowKind`]: wire codecs for the kind's
+/// own configuration and for its bucket summaries, from which the
+/// generic [`SwCoordinator`]/[`SwAggregator`] codecs are assembled.
+///
+/// By repo convention (see
+/// [`cma_sketch::FrequentDirections::from_parts`]) only *sketch
+/// content* is snapshotted: locally-configured execution strategy
+/// (shrink profile, kernel route) is not wire state and decodes to the
+/// defaults.
+pub trait SnapshotKind: WindowKind {
+    /// Encodes the kind's configuration (what [`WindowKind::empty`] and
+    /// the error accounting need).
+    fn encode_kind(&self, out: &mut Vec<u8>);
+
+    /// Decodes a kind configuration. `None` on malformed bytes.
+    fn decode_kind(r: &mut WireReader<'_>) -> Option<Self>;
+
+    /// Encodes one bucket summary.
+    fn encode_summary(summary: &Self::Summary, out: &mut Vec<u8>);
+
+    /// Decodes one bucket summary. `None` on malformed bytes.
+    fn decode_summary(r: &mut WireReader<'_>) -> Option<Self::Summary>;
+}
+
+/// Encodes an exponential histogram: shape, clock, then every live
+/// bucket (`[oldest, newest]`, mass, summary).
+fn put_hist<K: SnapshotKind>(out: &mut Vec<u8>, hist: &ExpHistogram<K::Summary>) {
+    put_u64(out, hist.window());
+    put_usize(out, hist.per_level());
+    put_u64(out, hist.now());
+    put_usize(out, hist.bucket_count());
+    for b in hist.buckets() {
+        put_u64(out, b.oldest);
+        put_u64(out, b.newest);
+        put_f64(out, b.mass);
+        K::encode_summary(&b.summary, out);
+    }
+}
+
+/// Decodes [`put_hist`]'s output. Re-inserting an already-compacted
+/// bucket list is a structural no-op, so the restored histogram is
+/// bucket-for-bucket identical to the captured one.
+fn read_hist<K: SnapshotKind>(r: &mut WireReader<'_>) -> Option<ExpHistogram<K::Summary>> {
+    let window = r.u64()?;
+    let per_level = r.usize()?;
+    if window == 0 || per_level == 0 {
+        return None;
+    }
+    let now = r.u64()?;
+    let n = r.usize()?;
+    let mut hist = ExpHistogram::new(window, per_level);
+    hist.advance(now);
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let oldest = r.u64()?;
+        let newest = r.u64()?;
+        let mass = r.f64()?;
+        let summary = K::decode_summary(r)?;
+        buckets.push(WinBucket {
+            summary,
+            mass,
+            oldest,
+            newest,
+        });
+    }
+    hist.insert_buckets(buckets);
+    Some(hist)
 }
 
 /// Site → coordinator message: a drained set of whole histogram buckets
@@ -555,6 +625,117 @@ impl<K: WindowKind> Coordinator for SwCoordinator<K> {
             self.w_peak = self.w_peak.max(w);
             out.push(w);
         }
+    }
+}
+
+/// Leaf share of the withholding budget as a fraction of `ε`: the
+/// whole `ε/m` in a star, half of it in a tree
+/// ([`SwParams::site_tau_frac`], restated over a [`Membership`]).
+fn sw_site_frac(mem: &Membership) -> f64 {
+    if mem.flat {
+        1.0 / mem.sites as f64
+    } else {
+        0.5 / mem.sites as f64
+    }
+}
+
+/// Interior share of the withholding budget as a fraction of `ε`:
+/// `covered/(2·L·m)` — this node's slice of the interior half
+/// ([`make_kind_aggregator`], restated over a [`Membership`]).
+fn sw_interior_frac(mem: &Membership, covered: usize) -> f64 {
+    covered as f64 / (2.0 * mem.levels.max(1) as f64 * mem.sites as f64)
+}
+
+impl<K: WindowKind> ChurnBudget for SwSite<K> {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.tau_frac *= sw_site_frac(&share.next) / sw_site_frac(&share.prev);
+    }
+}
+
+impl<K: WindowKind> ChurnSite for SwSite<K> {
+    /// Ships every pending bucket (with this site's clock) regardless of
+    /// the flush threshold, leaving the histogram empty.
+    fn depart(&mut self, out: &mut Vec<SwMsg<K::Summary>>) {
+        if self.hist.bucket_count() > 0 {
+            out.push(SwMsg {
+                latest: self.hist.now(),
+                buckets: self.hist.drain(),
+            });
+        }
+    }
+}
+
+impl<K: WindowKind> ChurnBudget for SwAggregator<K> {
+    fn rebudget(&mut self, share: &BudgetShare) {
+        self.hold_frac *= sw_interior_frac(&share.next, share.covered_next)
+            / sw_interior_frac(&share.prev, share.covered_prev);
+    }
+}
+
+impl<K: WindowKind> ChurnBudget for SwCoordinator<K> {}
+
+impl<K: WindowKind> ChurnCoordinator for SwCoordinator<K> {
+    fn current_broadcast(&self) -> Option<f64> {
+        (self.w_hat > 1.0).then_some(self.w_hat)
+    }
+}
+
+impl<K: SnapshotKind> WireCodec for SwCoordinator<K> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode_kind(out);
+        put_hist::<K>(out, &self.hist);
+        put_f64(out, self.w_hat);
+        put_f64(out, self.w_peak);
+        put_f64(out, self.theta);
+        put_f64(out, self.hold_budget);
+        put_f64(out, self.fault_undercount);
+        put_f64(out, self.fault_overcount);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let kind = K::decode_kind(r)?;
+        let hist = read_hist::<K>(r)?;
+        let w_hat = r.f64()?;
+        let w_peak = r.f64()?;
+        let theta = r.f64()?;
+        let hold_budget = r.f64()?;
+        let fault_undercount = r.f64()?;
+        let fault_overcount = r.f64()?;
+        if theta <= 0.0 {
+            return None;
+        }
+        Some(SwCoordinator {
+            kind,
+            hist,
+            w_hat,
+            w_peak,
+            theta,
+            hold_budget,
+            fault_undercount,
+            fault_overcount,
+        })
+    }
+}
+
+impl<K: SnapshotKind> WireCodec for SwAggregator<K> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_hist::<K>(out, &self.hist);
+        put_f64(out, self.hold_frac);
+        put_f64(out, self.w_hat);
+        put_usize(out, self.rep);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let hist = read_hist::<K>(r)?;
+        let hold_frac = r.f64()?;
+        let w_hat = r.f64()?;
+        let rep = r.usize()?;
+        Some(SwAggregator {
+            hist,
+            hold_frac,
+            w_hat,
+            rep,
+        })
     }
 }
 

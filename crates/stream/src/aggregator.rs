@@ -224,6 +224,47 @@ impl<F: RelayFilter> FilteredRelay<F> {
     pub fn filter(&self) -> &F {
         &self.filter
     }
+
+    /// The messages currently awaiting the next flush.
+    pub fn pending(&self) -> &[(SiteId, F::UpMsg)] {
+        &self.pending
+    }
+
+    /// Rebuilds a relay from snapshot parts (filter state plus the
+    /// pending queue, in flush order).
+    pub fn from_parts(filter: F, pending: Vec<(SiteId, F::UpMsg)>) -> Self {
+        FilteredRelay { filter, pending }
+    }
+}
+
+/// Snapshot codec for a filtered relay: the filter state followed by
+/// the pending queue (each entry origin-tagged). Filter types provide
+/// their own [`crate::wire::WireCodec`] next to their protocol's
+/// message codec.
+impl<F> crate::wire::WireCodec for FilteredRelay<F>
+where
+    F: RelayFilter + crate::wire::WireCodec,
+    F::UpMsg: crate::wire::WireCodec,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.filter.encode(out);
+        crate::wire::put_usize(out, self.pending.len());
+        for (origin, msg) in &self.pending {
+            crate::wire::put_usize(out, *origin);
+            msg.encode(out);
+        }
+    }
+
+    fn decode(r: &mut crate::wire::WireReader<'_>) -> Option<Self> {
+        let filter = F::decode(r)?;
+        let n = r.usize()?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            let origin = r.usize()?;
+            pending.push((origin, F::UpMsg::decode(r)?));
+        }
+        Some(FilteredRelay { filter, pending })
+    }
 }
 
 impl<F: RelayFilter> Aggregator for FilteredRelay<F> {

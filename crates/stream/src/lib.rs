@@ -130,22 +130,29 @@
 //! batch-drivable from day one.
 
 pub mod aggregator;
+pub mod churn;
 pub mod comm;
 pub mod coordinator;
 pub mod partition;
 pub mod runner;
 pub mod site;
+pub mod snapshot;
 pub mod topology;
 pub mod transport;
 pub mod wire;
 
 pub use aggregator::{Aggregator, FilteredRelay, MigratableAggregator, Relay, RelayFilter};
+pub use churn::{
+    BudgetShare, ChurnBudget, ChurnCoordinator, ChurnEvent, ChurnSchedule, ChurnSite, Membership,
+};
 pub use comm::{CommStats, LevelStats, MessageCost};
 pub use coordinator::Coordinator;
 pub use partition::Partitioner;
+pub use runner::churn::{ChurnConfig, ChurnReport};
 pub use runner::engine::{EngineStats, Executor, WorkerStats};
 pub use runner::Runner;
 pub use site::Site;
+pub use snapshot::Snapshot;
 pub use topology::{AggNode, Topology, TopologyPlan};
 pub use transport::{
     ChannelTransport, FaultLink, FaultPlan, FaultStats, LinkFaults, LinkPipe, SimNet, Transport,

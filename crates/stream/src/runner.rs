@@ -622,6 +622,7 @@ fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
     }
 }
 
+pub mod churn;
 pub mod engine;
 pub mod live;
 

@@ -1,0 +1,588 @@
+//! Snapshot wire-format property suite (PR 9): the root complex
+//! (coordinator + interior aggregators) of every protocol survives
+//! `capture → bytes → restore` bit for bit.
+//!
+//! Three claims, mirroring how `wire_roundtrip` pins the message codecs:
+//!
+//! 1. **Roundtrip identity** — for real post-run states of all ten
+//!    protocols plus SwMg/SwFd, restoring a snapshot and re-capturing it
+//!    reproduces the exact bytes; the measured size is exactly
+//!    `16 + coordinator.encoded_len() + Σ agg.encoded_len()`; and a
+//!    truncated, padded, or version-bumped buffer is rejected rather
+//!    than misread.
+//! 2. **An empty replay suffix is invisible** — crashing at the
+//!    snapshot boundary itself (nothing logged since) recovers to a
+//!    run whose final coordinator and aggregators are wire-byte
+//!    identical to the crash-free run, with zero measured recovery
+//!    loss.
+//! 3. **A non-empty suffix restates the bound** — for arbitrary
+//!    snapshot/crash boundary pairs, each protocol family's certified
+//!    bound holds with the measured [`recovery_lost_mass`] folded into
+//!    the undercount term.
+//!
+//! [`recovery_lost_mass`]: cma::stream::ChurnReport
+
+use cma::data::{StreamingGram, SyntheticMatrixStream, WeightedZipfStream};
+use cma::protocols::hh::{self, HhConfig, HhEstimator};
+use cma::protocols::matrix::{self, MatrixConfig, MatrixEstimator};
+use cma::protocols::window::{fd, mg, SwFdConfig, SwMgConfig};
+use cma::sketch::ExactWeightedCounter;
+use cma::stream::runner::churn::{
+    run_churn_partitioned_topology_parts as run_churn, ChurnRunParts,
+};
+use cma::stream::runner::engine;
+use cma::stream::runner::threaded::ThreadedConfig;
+use cma::stream::{ChurnConfig, ChurnSchedule, Executor, Snapshot, Topology, WireCodec};
+use cma_bench::partition_round_robin as partition;
+use proptest::prelude::*;
+
+const SEGMENT: usize = 32;
+const PER_SLOT: usize = 6 * SEGMENT;
+
+fn tcfg() -> ThreadedConfig {
+    ThreadedConfig {
+        batch_size: 16,
+        channel_capacity: 2,
+    }
+}
+
+fn zipf_stream(n: usize, seed: u64) -> Vec<(u64, f64)> {
+    WeightedZipfStream::new(2_000, 2.0, 50.0, seed).take_vec(n)
+}
+
+fn matrix_stream(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut s = SyntheticMatrixStream::new(dim, &[4.0, 2.0, 1.0], 1e6, seed);
+    (0..n).map(|_| s.next_row()).collect()
+}
+
+fn stamp<T: Clone>(xs: &[T]) -> Vec<(u64, T)> {
+    xs.iter()
+        .cloned()
+        .enumerate()
+        .map(|(t, x)| (t as u64, x))
+        .collect()
+}
+
+fn topologies() -> impl Strategy<Value = Topology> {
+    (0u8..2).prop_map(|t| {
+        if t == 0 {
+            Topology::Star
+        } else {
+            Topology::Tree { fanout: 4 }
+        }
+    })
+}
+
+/// The shared pin: capture measures exactly the header plus the parts'
+/// own `encoded_len`s, restore → re-capture is the byte identity, and
+/// malformed buffers fail closed.
+fn assert_snapshot_roundtrip<C: WireCodec, A: WireCodec>(
+    coordinator: &C,
+    aggregators: &[A],
+    what: &str,
+) {
+    let snap = Snapshot::capture(coordinator, aggregators);
+    let expect = 16
+        + coordinator.encoded_len()
+        + aggregators.iter().map(WireCodec::encoded_len).sum::<u64>();
+    assert_eq!(
+        snap.len() as u64,
+        expect,
+        "{what}: snapshot len != 16 + Σ encoded_len"
+    );
+    assert!(!snap.is_empty(), "{what}: captured snapshot empty");
+
+    let bytes = snap.as_bytes().to_vec();
+    let (c2, a2) = Snapshot::from_bytes(bytes.clone())
+        .restore::<C, A>()
+        .unwrap_or_else(|| panic!("{what}: restore failed"));
+    assert_eq!(a2.len(), aggregators.len(), "{what}: aggregator count");
+    assert_eq!(
+        c2.to_wire(),
+        coordinator.to_wire(),
+        "{what}: restored coordinator diverged"
+    );
+    let recap = Snapshot::capture(&c2, &a2);
+    assert_eq!(
+        recap.as_bytes(),
+        snap.as_bytes(),
+        "{what}: restore → re-capture diverged"
+    );
+
+    assert!(
+        Snapshot::from_bytes(bytes[..bytes.len() - 1].to_vec())
+            .restore::<C, A>()
+            .is_none(),
+        "{what}: truncated snapshot accepted"
+    );
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(
+        Snapshot::from_bytes(padded).restore::<C, A>().is_none(),
+        "{what}: trailing garbage accepted"
+    );
+    let mut bumped = bytes.clone();
+    bumped[0] ^= 1;
+    assert!(
+        Snapshot::from_bytes(bumped).restore::<C, A>().is_none(),
+        "{what}: version mismatch accepted"
+    );
+}
+
+macro_rules! snap_hh {
+    ($proto:ident, $cfg:expr, $topo:expr, $inputs:expr) => {{
+        let cfg = $cfg;
+        let (sites, coord, _) = hh::$proto::deploy_topology(&cfg, $topo).into_parts();
+        let parts = engine::run_partitioned_topology_parts(
+            sites,
+            coord,
+            $inputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            $topo,
+            hh::$proto::make_aggregator(&cfg, $topo),
+        );
+        assert_snapshot_roundtrip(&parts.coordinator, &parts.aggregators, stringify!($proto));
+    }};
+}
+
+macro_rules! snap_matrix {
+    ($proto:ident, $cfg:expr, $topo:expr, $inputs:expr) => {{
+        let cfg = $cfg;
+        let (sites, coord, _) = matrix::$proto::deploy_topology(&cfg, $topo).into_parts();
+        let parts = engine::run_partitioned_topology_parts(
+            sites,
+            coord,
+            $inputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            $topo,
+            matrix::$proto::make_aggregator(&cfg, $topo),
+        );
+        assert_snapshot_roundtrip(
+            &parts.coordinator,
+            &parts.aggregators,
+            concat!("mt-", stringify!($proto)),
+        );
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Roundtrip identity over the five heavy-hitter root complexes,
+    /// with states produced by real runs (not hand-built values).
+    #[test]
+    fn hh_snapshots_roundtrip(seed in 0u64..1_000_000, m in 3usize..8, topo in topologies()) {
+        let stream = zipf_stream(m * 64, seed);
+        let inputs = partition(&stream, m);
+        let cfg = HhConfig::new(m, 0.1).with_seed(seed ^ 1);
+        snap_hh!(p1, cfg.clone(), topo, inputs);
+        snap_hh!(p2, cfg.clone(), topo, inputs);
+        let cfg_s = cfg.clone().with_sample_size(64);
+        snap_hh!(p3, cfg_s.clone(), topo, inputs);
+        snap_hh!(p3wr, cfg_s, topo, inputs);
+        snap_hh!(p4, HhConfig::new(m, 0.15).with_seed(seed ^ 2), topo, inputs);
+    }
+
+    /// Roundtrip identity over the five matrix root complexes.
+    #[test]
+    fn matrix_snapshots_roundtrip(seed in 0u64..1_000_000, m in 3usize..8, topo in topologies()) {
+        let dim = 4;
+        let rows = matrix_stream(m * 64, dim, seed);
+        let inputs = partition(&rows, m);
+        let cfg = MatrixConfig::new(m, 0.25, dim).with_seed(seed ^ 1);
+        snap_matrix!(p1, cfg.clone(), topo, inputs);
+        snap_matrix!(p2, cfg.clone(), topo, inputs);
+        let cfg_s = cfg.clone().with_sample_size(64);
+        snap_matrix!(p3, cfg_s.clone(), topo, inputs);
+        snap_matrix!(p3wr, cfg_s, topo, inputs);
+        snap_matrix!(p4, MatrixConfig::new(m, 0.2, dim).with_seed(seed ^ 2), topo, inputs);
+    }
+
+    /// Roundtrip identity over the sliding-window root complexes (the
+    /// bucketed MG / FD summaries ride inside the coordinator state).
+    #[test]
+    fn window_snapshots_roundtrip(seed in 0u64..1_000_000, m in 3usize..8, topo in topologies()) {
+        let n = m * 64;
+        let stream = zipf_stream(n, seed);
+        let inputs = partition(&stamp(&stream), m);
+        let cfg = SwMgConfig::new(m, 0.1, 128, 16);
+        let (sites, coord, _) = mg::deploy_topology(&cfg, topo).into_parts();
+        let parts = engine::run_partitioned_topology_parts(
+            sites,
+            coord,
+            inputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            topo,
+            mg::make_aggregator(&cfg, topo),
+        );
+        assert_snapshot_roundtrip(&parts.coordinator, &parts.aggregators, "sw-mg");
+
+        let dim = 4;
+        let rows = matrix_stream(n, dim, seed ^ 9);
+        let inputs = partition(&stamp(&rows), m);
+        let cfg = SwFdConfig::new(m, 0.15, 128, dim, 12);
+        let (sites, coord, _) = fd::deploy_topology(&cfg, topo).into_parts();
+        let parts = engine::run_partitioned_topology_parts(
+            sites,
+            coord,
+            inputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            topo,
+            fd::make_aggregator(&cfg, topo),
+        );
+        assert_snapshot_roundtrip(&parts.coordinator, &parts.aggregators, "sw-fd");
+    }
+}
+
+fn snap_only_cfg(crash: Option<usize>) -> ChurnConfig {
+    ChurnConfig {
+        segment_len: SEGMENT,
+        schedule: ChurnSchedule::new(),
+        snapshot_at: Some(2),
+        crash_at: crash,
+        ..ChurnConfig::default()
+    }
+}
+
+macro_rules! run_hh {
+    ($proto:ident, $cfg:expr, $topo:expr, $inputs:expr, $ccfg:expr) => {{
+        let cfg = $cfg;
+        let (sites, coord, _) = hh::$proto::deploy_topology(&cfg, $topo).into_parts();
+        run_churn(
+            sites,
+            coord,
+            $inputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            $topo,
+            |t| hh::$proto::make_aggregator(&cfg, t),
+            $ccfg,
+        )
+    }};
+}
+
+macro_rules! run_matrix {
+    ($proto:ident, $cfg:expr, $topo:expr, $inputs:expr, $ccfg:expr) => {{
+        let cfg = $cfg;
+        let (sites, coord, _) = matrix::$proto::deploy_topology(&cfg, $topo).into_parts();
+        run_churn(
+            sites,
+            coord,
+            $inputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            $topo,
+            |t| matrix::$proto::make_aggregator(&cfg, t),
+            $ccfg,
+        )
+    }};
+}
+
+/// Crashing at the snapshot boundary itself leaves nothing to replay:
+/// the recovered run must be wire-byte identical to the crash-free one.
+/// `check_aggs` additionally compares the interior nodes — exact only
+/// when no re-split rebuilds them (flat plans) or nothing runs after.
+fn assert_invisible<S, C: WireCodec, A: WireCodec>(
+    crashed: ChurnRunParts<S, C, A>,
+    clean: ChurnRunParts<S, C, A>,
+    check_aggs: bool,
+    what: &str,
+) {
+    assert_eq!(
+        crashed.report.recovery_lost_mass, 0.0,
+        "{what}: crash at a settled boundary lost mass"
+    );
+    assert_eq!(
+        crashed.report.replayed_msgs, 0,
+        "{what}: empty WAL suffix replayed messages"
+    );
+    assert!(crashed.snapshot.is_some(), "{what}: no snapshot captured");
+    assert_eq!(
+        crashed.snapshot, clean.snapshot,
+        "{what}: the two runs captured different snapshots"
+    );
+    assert_eq!(
+        crashed.coordinator.to_wire(),
+        clean.coordinator.to_wire(),
+        "{what}: final coordinator diverged after empty-suffix recovery"
+    );
+    if check_aggs {
+        let cw: Vec<Vec<u8>> = crashed.aggregators.iter().map(WireCodec::to_wire).collect();
+        let kw: Vec<Vec<u8>> = clean.aggregators.iter().map(WireCodec::to_wire).collect();
+        assert_eq!(cw, kw, "{what}: final aggregators diverged");
+    }
+}
+
+/// One invisibility cell: all twelve root complexes, crash vs clean.
+macro_rules! invisibility_cell {
+    ($topo:expr, $crash:expr, $clean:expr, $aggs:expr, $cell:expr) => {{
+        let m = 16;
+        let topo = $topo;
+        let stream = zipf_stream(m * PER_SLOT, 11_001);
+        let inputs = partition(&stream, m);
+        let cfg = HhConfig::new(m, 0.1).with_seed(71);
+        assert_invisible(
+            run_hh!(p1, cfg.clone(), topo, inputs, $crash),
+            run_hh!(p1, cfg.clone(), topo, inputs, $clean),
+            $aggs,
+            concat!("p1 ", $cell),
+        );
+        assert_invisible(
+            run_hh!(p2, cfg.clone(), topo, inputs, $crash),
+            run_hh!(p2, cfg.clone(), topo, inputs, $clean),
+            $aggs,
+            concat!("p2 ", $cell),
+        );
+        let cfg_s = cfg.clone().with_sample_size(200);
+        assert_invisible(
+            run_hh!(p3, cfg_s.clone(), topo, inputs, $crash),
+            run_hh!(p3, cfg_s.clone(), topo, inputs, $clean),
+            $aggs,
+            concat!("p3 ", $cell),
+        );
+        assert_invisible(
+            run_hh!(p3wr, cfg_s.clone(), topo, inputs, $crash),
+            run_hh!(p3wr, cfg_s.clone(), topo, inputs, $clean),
+            $aggs,
+            concat!("p3wr ", $cell),
+        );
+        let cfg4 = HhConfig::new(m, 0.15).with_seed(73);
+        assert_invisible(
+            run_hh!(p4, cfg4.clone(), topo, inputs, $crash),
+            run_hh!(p4, cfg4.clone(), topo, inputs, $clean),
+            $aggs,
+            concat!("p4 ", $cell),
+        );
+
+        let dim = 5;
+        let rows = matrix_stream(m * PER_SLOT, dim, 12_001);
+        let minputs = partition(&rows, m);
+        let mcfg = MatrixConfig::new(m, 0.25, dim).with_seed(75);
+        assert_invisible(
+            run_matrix!(p1, mcfg.clone(), topo, minputs, $crash),
+            run_matrix!(p1, mcfg.clone(), topo, minputs, $clean),
+            $aggs,
+            concat!("mt-p1 ", $cell),
+        );
+        assert_invisible(
+            run_matrix!(p2, mcfg.clone(), topo, minputs, $crash),
+            run_matrix!(p2, mcfg.clone(), topo, minputs, $clean),
+            $aggs,
+            concat!("mt-p2 ", $cell),
+        );
+        let mcfg_s = mcfg.clone().with_sample_size(200);
+        assert_invisible(
+            run_matrix!(p3, mcfg_s.clone(), topo, minputs, $crash),
+            run_matrix!(p3, mcfg_s.clone(), topo, minputs, $clean),
+            $aggs,
+            concat!("mt-p3 ", $cell),
+        );
+        assert_invisible(
+            run_matrix!(p3wr, mcfg_s.clone(), topo, minputs, $crash),
+            run_matrix!(p3wr, mcfg_s.clone(), topo, minputs, $clean),
+            $aggs,
+            concat!("mt-p3wr ", $cell),
+        );
+        let mcfg4 = MatrixConfig::new(m, 0.2, dim).with_seed(77);
+        assert_invisible(
+            run_matrix!(p4, mcfg4.clone(), topo, minputs, $crash),
+            run_matrix!(p4, mcfg4.clone(), topo, minputs, $clean),
+            $aggs,
+            concat!("mt-p4 ", $cell),
+        );
+
+        let winputs = partition(&stamp(&stream), m);
+        let wcfg = SwMgConfig::new(m, 0.1, 512, 32);
+        let run_swmg = |ccfg: &ChurnConfig| {
+            let (sites, coord, _) = mg::deploy_topology(&wcfg, topo).into_parts();
+            run_churn(
+                sites,
+                coord,
+                winputs.clone(),
+                &tcfg(),
+                Executor::Inline,
+                topo,
+                |t| mg::make_aggregator(&wcfg, t),
+                ccfg,
+            )
+        };
+        assert_invisible(
+            run_swmg($crash),
+            run_swmg($clean),
+            $aggs,
+            concat!("sw-mg ", $cell),
+        );
+
+        let finputs = partition(&stamp(&rows), m);
+        let fcfg = SwFdConfig::new(m, 0.15, 512, dim, 20);
+        let run_swfd = |ccfg: &ChurnConfig| {
+            let (sites, coord, _) = fd::deploy_topology(&fcfg, topo).into_parts();
+            run_churn(
+                sites,
+                coord,
+                finputs.clone(),
+                &tcfg(),
+                Executor::Inline,
+                topo,
+                |t| fd::make_aggregator(&fcfg, t),
+                ccfg,
+            )
+        };
+        assert_invisible(
+            run_swfd($crash),
+            run_swfd($clean),
+            $aggs,
+            concat!("sw-fd ", $cell),
+        );
+    }};
+}
+
+/// Claim 2 across all twelve root complexes.
+///
+/// Two cells per protocol:
+/// - **flat / mid-run** — on the star (no interior to rebuild) a crash
+///   at a mid-stream snapshot boundary is wire-byte invisible end to
+///   end: final coordinator *and* final aggregators match the
+///   crash-free run exactly.
+/// - **tree + star / final boundary** — the recovered coordinator is
+///   bit-identical everywhere once nothing runs after the restore. A
+///   mid-run tree crash is *not* byte-invisible by design: the post
+///   crash re-split rebuilds interior nodes, which re-learn their
+///   broadcast state at the next boundary (the certified bound still
+///   holds — `churn_recovery` pins that cell).
+#[test]
+fn crash_at_snapshot_boundary_is_invisible() {
+    invisibility_cell!(
+        Topology::Star,
+        &snap_only_cfg(Some(2)),
+        &snap_only_cfg(None),
+        true,
+        "star mid-run"
+    );
+    // 6 segments per slot: boundary 6 is the settled final boundary.
+    let final_clean = ChurnConfig {
+        snapshot_at: Some(6),
+        ..snap_only_cfg(None)
+    };
+    let final_crash = ChurnConfig {
+        crash_at: Some(6),
+        ..final_clean.clone()
+    };
+    for &topo in &[Topology::Star, Topology::Tree { fanout: 4 }] {
+        invisibility_cell!(topo, &final_crash, &final_clean, false, "final boundary");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Claim 3: for arbitrary snapshot/crash boundary pairs (non-empty
+    /// replay suffix), one representative per protocol family keeps its
+    /// certified bound with the measured recovery loss folded in.
+    #[test]
+    fn recovery_bound_holds_for_any_replay_suffix(
+        seed in 0u64..1_000_000,
+        m in 4usize..9,
+        snap_b in 1usize..4,
+        gap in 1usize..4,
+        topo in topologies(),
+    ) {
+        let ccfg = ChurnConfig {
+            segment_len: SEGMENT,
+            schedule: ChurnSchedule::new(),
+            snapshot_at: Some(snap_b),
+            crash_at: Some(snap_b + gap),
+            ..ChurnConfig::default()
+        };
+        let n = m * PER_SLOT;
+
+        // HH / P1: deterministic εW, widened on the undercount side
+        // only — replay must never double-count.
+        let stream = zipf_stream(n, seed);
+        let inputs = partition(&stream, m);
+        let mut exact = ExactWeightedCounter::new();
+        for &(e, w) in &stream {
+            exact.update(e, w);
+        }
+        let w_all = exact.total_weight();
+        let cfg = HhConfig::new(m, 0.1).with_seed(seed ^ 7);
+        let parts = run_hh!(p1, cfg.clone(), topo, inputs, &ccfg);
+        prop_assert!(parts.snapshot.is_some());
+        prop_assert_eq!(
+            parts.report.snapshot_bytes.map(|b| b as usize),
+            parts.snapshot.as_ref().map(Snapshot::len)
+        );
+        let lost = parts.report.recovery_lost_mass;
+        for (e, f) in exact.iter() {
+            let est = parts.coordinator.estimate(e);
+            prop_assert!(est - f <= 1e-6, "p1: item {} overcount {}", e, est - f);
+            prop_assert!(
+                f - est <= cfg.epsilon * w_all + lost + 1e-6,
+                "p1: item {} undercount {} > εW + lost {}",
+                e, f - est, lost
+            );
+        }
+
+        // Matrix / MT-P1: covariance error, recovery loss folded
+        // Frobenius-wise.
+        let dim = 4;
+        let rows = matrix_stream(n, dim, seed ^ 3);
+        let minputs = partition(&rows, m);
+        let mut truth = StreamingGram::new(dim);
+        for row in &rows {
+            truth.update(row);
+        }
+        let mcfg = MatrixConfig::new(m, 0.25, dim).with_seed(seed ^ 5);
+        let parts = run_matrix!(p1, mcfg.clone(), topo, minputs, &ccfg);
+        let lost = parts.report.recovery_lost_mass;
+        let err = truth.error_of_sketch(&parts.coordinator.sketch()).unwrap();
+        prop_assert!(
+            err <= mcfg.epsilon + lost / truth.frob_sq() + 1e-9,
+            "mt-p1: err {} > ε + lost share {}",
+            err, lost / truth.frob_sq()
+        );
+
+        // Window / SwMg: recovery loss folded through `charge_faults`,
+        // then the two-part bound holds at the final clock.
+        let window = 512u64;
+        let winputs = partition(&stamp(&stream), m);
+        let wcfg = SwMgConfig::new(m, 0.1, window, 32);
+        let (sites, coord, _) = mg::deploy_topology(&wcfg, topo).into_parts();
+        let mut parts = run_churn(
+            sites,
+            coord,
+            winputs.clone(),
+            &tcfg(),
+            Executor::Inline,
+            topo,
+            |t| mg::make_aggregator(&wcfg, t),
+            &ccfg,
+        );
+        parts
+            .coordinator
+            .charge_faults(parts.report.recovery_lost_mass, 0.0);
+        let bound = parts.coordinator.error_bound_at(n as u64);
+        for item in 0..20u64 {
+            let truth: f64 = stream[n - window as usize..]
+                .iter()
+                .filter(|&&(e, _)| e == item)
+                .map(|&(_, w)| w)
+                .sum();
+            let est = parts.coordinator.estimate_at(n as u64, item);
+            prop_assert!(
+                est - truth <= bound.straddle + 1e-9,
+                "sw-mg: item {} overcount {} > straddle {}",
+                item, est - truth, bound.straddle
+            );
+            prop_assert!(
+                truth - est <= bound.summary_loss + bound.withheld + 1e-9,
+                "sw-mg: item {} undercount {} > summary {} + withheld {}",
+                item, truth - est, bound.summary_loss, bound.withheld
+            );
+        }
+    }
+}

@@ -27,9 +27,12 @@
 use cma::protocols::hh::{self, HhConfig, HhEstimator};
 use cma::protocols::window::{mg, SwMgConfig};
 use cma::sketch::ExactWeightedCounter;
+use cma::stream::runner::churn::run_churn_partitioned_topology_parts_on;
 use cma::stream::runner::engine::{self, Executor};
 use cma::stream::runner::threaded::ThreadedConfig;
-use cma::stream::{FaultPlan, LinkFaults, SimNet, Topology};
+use cma::stream::{
+    ChurnConfig, ChurnEvent, ChurnSchedule, FaultPlan, LinkFaults, SimNet, Topology,
+};
 use cma_bench::partition_round_robin as partition;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -354,5 +357,270 @@ fn ragged_shutdown_under_simnet_drop() {
     assert!(
         w_hat <= shipped + fstats.overcount_mass() + 1e-6,
         "Ŵ {w_hat} exceeds shipped mass {shipped}"
+    );
+}
+
+const CHURN_SEGMENT: usize = 64;
+
+/// Mirrors the churn driver's feeding discipline for a leave-only
+/// schedule: how many inputs each slot consumed before its feed paused.
+fn fed_prefixes(lens: &[usize], ccfg: &ChurnConfig) -> Vec<usize> {
+    let m = lens.len();
+    let mut active = ccfg.schedule.initial_activity(m);
+    let mut remaining = lens.to_vec();
+    let mut fed = vec![0usize; m];
+    let mut boundary = 0usize;
+    loop {
+        for event in ccfg.schedule.events_at(boundary) {
+            match event {
+                ChurnEvent::Join(s) => active[s] = true,
+                ChurnEvent::Leave(s) => active[s] = false,
+            }
+        }
+        let future = ccfg.schedule.events.iter().any(|&(b, _)| b > boundary);
+        let left = (0..m).any(|s| active[s] && remaining[s] > 0);
+        if !future && !left {
+            break;
+        }
+        for s in 0..m {
+            if active[s] {
+                let k = remaining[s].min(ccfg.segment_len);
+                fed[s] += k;
+                remaining[s] -= k;
+            }
+        }
+        boundary += 1;
+    }
+    fed
+}
+
+fn churn_leave_cfg(slot: usize) -> ChurnConfig {
+    ChurnConfig {
+        segment_len: CHURN_SEGMENT,
+        schedule: ChurnSchedule::new().at(2, ChurnEvent::Leave(slot)),
+        ..ChurnConfig::default()
+    }
+}
+
+/// Churn under faults: 10% up-link drop plus one mid-stream leave. The
+/// two ledgers — the network's [`FaultStats`](cma::stream::FaultStats)
+/// and the churn driver's departure accounting — must compose without
+/// double-charging: the εW contract over the *fed* mass holds charging
+/// only the network's fault mass, with **no** extra term for the
+/// departed mass (the final flush re-enters the bound, so it needs no
+/// charge; were it also routed through the lossy net and dropped, the
+/// undercount side would need `departed_mass` too and this pin would
+/// fail).
+#[test]
+fn hh_p1_bound_holds_with_leave_under_drop() {
+    let stream = zipf_stream(8_000, 906);
+    let inputs = partition(&stream, M);
+    let ccfg = churn_leave_cfg(3);
+    let lens: Vec<usize> = inputs.iter().map(Vec::len).collect();
+    let fed = fed_prefixes(&lens, &ccfg);
+    let fed_total: usize = fed.iter().sum();
+    let mut count = [0usize; M];
+    let mut exact = ExactWeightedCounter::new();
+    for (i, &(e, w)) in stream.iter().enumerate() {
+        let s = i % M;
+        if count[s] < fed[s] {
+            count[s] += 1;
+            exact.update(e, w);
+        }
+    }
+    let w_fed = exact.total_weight();
+    let cfg = HhConfig::new(M, 0.1).with_seed(8);
+    let topo = Topology::Tree { fanout: FANOUT };
+
+    let faults = LinkFaults {
+        drop: 0.10,
+        ..Default::default()
+    };
+    let net = SimNet::new(FaultPlan::up_only(81, faults));
+    let (sites, coord, _) = hh::p1::deploy_topology(&cfg, topo).into_parts();
+    let parts = run_churn_partitioned_topology_parts_on(
+        sites,
+        coord,
+        inputs.clone(),
+        &tcfg(),
+        Executor::Inline,
+        topo,
+        |t| hh::p1::make_aggregator(&cfg, t),
+        &ccfg,
+        &net,
+    );
+    let fstats = net.stats();
+    assert_eq!(
+        parts.stats.arrivals, fed_total as u64,
+        "feeding must be fault-independent"
+    );
+    assert!(fstats.dropped > 0, "drop cell never dropped anything");
+    assert!(
+        parts.report.departed_mass > 0.0,
+        "the leaving site held nothing — cell is vacuous"
+    );
+    let under = fstats.undercount_mass();
+    let over = fstats.overcount_mass();
+    for (e, f) in exact.iter() {
+        let est = parts.coordinator.estimate(e);
+        assert!(
+            est - f <= over + 1e-6,
+            "leave+drop: item {e} overcount {} > duplicated mass {over}",
+            est - f
+        );
+        assert!(
+            f - est <= cfg.epsilon * w_fed + under + 1e-6,
+            "leave+drop: item {e} undercount {} > εW_fed {} + fault mass \
+             {under} (departed mass {} must not need charging)",
+            f - est,
+            cfg.epsilon * w_fed,
+            parts.report.departed_mass
+        );
+    }
+}
+
+/// The no-double-charge construction, made observable. The departing
+/// site's up link drops 100% (per-link override) while the rest of the
+/// network is clean, and that site alone streams a unique element. Its
+/// threshold reports all die on the link — so any trace of the unique
+/// element at the root can only have arrived through the departure
+/// flush, which is delivered outside the transport. HH-P2 keeps exact
+/// per-element counts, so the pin is sharp: the unique element's
+/// estimate is positive, bounded by the departed mass, and the fault
+/// ledger charged the dropped reports disjointly.
+#[test]
+fn departure_flush_bypasses_lossy_links() {
+    const UNIQUE: u64 = 1_000_000;
+    let leaver = 5usize;
+    let topo = Topology::Tree { fanout: FANOUT };
+    let stream = zipf_stream(8_000, 907);
+    let mut inputs = partition(&stream, M);
+    let share = inputs[leaver].len();
+    inputs[leaver] = vec![(UNIQUE, 3.0); share];
+    let ccfg = churn_leave_cfg(leaver);
+    let cfg = HhConfig::new(M, 0.1).with_seed(9);
+
+    let plan = topo.plan(M);
+    let (parent, _) = plan.parent_of(0, leaver);
+    let black = LinkFaults {
+        drop: 1.0,
+        ..Default::default()
+    };
+    let net = SimNet::new(FaultPlan {
+        seed: 82,
+        overrides: vec![((leaver, plan.agg_node_id(parent)), black)],
+        ..Default::default()
+    });
+    let (sites, coord, _) = hh::p2::deploy_topology(&cfg, topo).into_parts();
+    let parts = run_churn_partitioned_topology_parts_on(
+        sites,
+        coord,
+        inputs.clone(),
+        &tcfg(),
+        Executor::Inline,
+        topo,
+        |t| hh::p2::make_aggregator(&cfg, t),
+        &ccfg,
+        &net,
+    );
+    let fstats = net.stats();
+    let departed = parts.report.departed_mass;
+    assert!(
+        fstats.dropped > 0,
+        "the leaver's threshold reports never hit the black link"
+    );
+    assert!(departed > 0.0, "the leaving site held nothing pending");
+    let est = parts.coordinator.estimate(UNIQUE);
+    assert!(
+        est > 0.0,
+        "no trace of the unique element at the root: the departure \
+         flush crossed the lossy link instead of bypassing it"
+    );
+    assert!(
+        est <= departed + 1e-9,
+        "unique-element count {est} exceeds the departed mass {departed}: \
+         dropped reports leaked through (double-charged with the fault \
+         ledger, undercount {})",
+        fstats.undercount_mass()
+    );
+    // Disjoint ledgers: the estimate never exceeds what the leaver was
+    // fed, and the black link's ledger stays within the mass the leaver
+    // could have shipped — P2 reports each unit twice (a `Total` delta
+    // for the ŵ doubling plus a per-element delta), so the cap is 2×.
+    let fed_unique = 3.0 * 2.0 * CHURN_SEGMENT as f64; // 2 segments fed
+    assert!(
+        est <= fed_unique + 1e-6,
+        "estimate {est} exceeds the fed unique mass {fed_unique}"
+    );
+    assert!(
+        fstats.undercount_mass() <= 2.0 * fed_unique + 1e-6,
+        "fault ledger {} exceeds both P2 channels' worth of the \
+         leaver's fed mass 2x{fed_unique}: mass charged twice",
+        fstats.undercount_mass()
+    );
+}
+
+/// Late, never lost — across a link close AND a departure. The leaving
+/// site's up link delays every message by more hops than a segment
+/// carries, so its threshold reports are all still in flight when the
+/// segment's links close at the churn boundary. The close must release
+/// them (the engine absorbs the held wave as one final late delivery)
+/// *before* the next boundary's `depart` flushes the residual — so the
+/// unique element fed only to the leaver arrives complete: late
+/// releases plus the departure flush reassemble the exact fed mass.
+/// The fault ledger still charges the in-flight mass conservatively
+/// (a query could have landed mid-hold), which is why the undercount
+/// term is positive even though nothing was actually lost.
+#[test]
+fn delayed_flush_survives_link_close_and_departure() {
+    const UNIQUE: u64 = 2_000_000;
+    let leaver = 5usize;
+    let topo = Topology::Star;
+    let stream = zipf_stream(8_000, 908);
+    let mut inputs = partition(&stream, M);
+    let share = inputs[leaver].len();
+    inputs[leaver] = vec![(UNIQUE, 3.0); share];
+    let ccfg = churn_leave_cfg(leaver);
+    let cfg = HhConfig::new(M, 0.1).with_seed(9);
+
+    let plan = topo.plan(M);
+    let sticky = LinkFaults {
+        delay: 1.0,
+        delay_hops: 1_000_000, // far beyond one segment's traffic
+        ..Default::default()
+    };
+    let net = SimNet::new(FaultPlan {
+        seed: 83,
+        overrides: vec![((leaver, plan.root_node_id()), sticky)],
+        ..Default::default()
+    });
+    let (sites, coord, _) = hh::p2::deploy_topology(&cfg, topo).into_parts();
+    let parts = run_churn_partitioned_topology_parts_on(
+        sites,
+        coord,
+        inputs.clone(),
+        &tcfg(),
+        Executor::Inline,
+        topo,
+        |t| hh::p2::make_aggregator(&cfg, t),
+        &ccfg,
+        &net,
+    );
+    let fstats = net.stats();
+    assert!(
+        fstats.delayed > 0,
+        "the sticky link never held anything — cell is vacuous"
+    );
+    assert_eq!(fstats.dropped, 0, "a delay-only link must drop nothing");
+    let fed_unique = 3.0 * 2.0 * CHURN_SEGMENT as f64; // 2 segments fed
+    let est = parts.coordinator.estimate(UNIQUE);
+    assert!(
+        (est - fed_unique).abs() <= 1e-9,
+        "unique-element count {est} != fed mass {fed_unique}: a message \
+         held across the link close (or the departure) was lost"
+    );
+    assert!(
+        fstats.undercount_mass() > 0.0,
+        "in-flight mass must still be charged conservatively"
     );
 }
