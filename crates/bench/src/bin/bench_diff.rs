@@ -24,9 +24,9 @@
 //! run — machine-stable by construction — so CI blocks on it.
 
 use cma_bench::report::{
-    diff, kernel_speedup_by_dim, parse_bench_json, per_dim_geomean, per_protocol_bytes_geomean,
-    per_protocol_bytes_ratio, per_protocol_geomean, per_protocol_snapshot_geomean,
-    worst_protocol_regression,
+    diff, kernel_speedup_by_dim, parse_bench_json, per_dim_geomean, per_protocol_broadcast_geomean,
+    per_protocol_bytes_geomean, per_protocol_bytes_ratio, per_protocol_geomean,
+    per_protocol_snapshot_geomean, worst_protocol_regression,
 };
 use cma_bench::Args;
 use std::process::ExitCode;
@@ -170,6 +170,21 @@ fn main() -> ExitCode {
                     (ratio - 1.0) * 100.0
                 );
             }
+        }
+    }
+
+    // Broadcast-cost summary (gossip plane PR, advisory — never
+    // gates): the measured broadcast deliveries per protocol, grouped
+    // by broadcast plane where recorded, so the gossip rows read next
+    // to their structural baselines at the same deployment. Broadcast
+    // cost legitimately changes whenever the event mix or the plane
+    // parameters change, so this is for reading, not for failing CI.
+    let bc_gm = per_protocol_broadcast_geomean(&new);
+    if !bc_gm.is_empty() {
+        println!();
+        println!("## broadcast deliveries in {new_path} (geomean per record; advisory)");
+        for (label, cost, n) in &bc_gm {
+            println!("{label:<34} deliveries {cost:>12.0}  ({n} records)");
         }
     }
 

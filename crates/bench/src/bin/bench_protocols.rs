@@ -17,7 +17,14 @@
 //! records): representative protocols through the churn/recovery
 //! driver under a leave/rejoin schedule with a mid-run coordinator
 //! crash and snapshot + WAL-replay recovery, recording the measured
-//! snapshot wire size (`"snapshot_bytes"`). One JSON document is
+//! snapshot wire size (`"snapshot_bytes"`). Since the gossip PR the
+//! grid adds a **broadcast-plane** axis (`"plane"` records): HH-P1 at
+//! m ∈ {1024, 65536} under root fan-out, tree cascade, and push–pull
+//! anti-entropy gossip, recording the broadcast shape counters
+//! (`"broadcast_reach"`, `"broadcast_peak_out"`,
+//! `"broadcast_lag_rounds"`, `"broadcast_stale"`) that show gossip's
+//! per-node delivery cost staying flat as m grows 64×. One JSON
+//! document is
 //! written so successive PRs can diff throughput and communication
 //! shape (`bench_diff` automates the comparison).
 //!
@@ -39,7 +46,7 @@ use cma_core::{HhConfig, MatrixConfig, Topology};
 use cma_data::{SyntheticMatrixStream, WeightedZipfStream};
 use cma_linalg::LinalgProfile;
 use cma_stream::runner::threaded::ThreadedConfig;
-use cma_stream::{ChurnConfig, ChurnEvent, ChurnSchedule, Executor};
+use cma_stream::{BroadcastPlane, ChurnConfig, ChurnEvent, ChurnSchedule, Executor};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -83,6 +90,10 @@ struct Record {
     /// Linalg profile of a `d`-axis record (`"naive"` / `"blocked"`);
     /// empty = the build default (omitted from the JSON).
     profile: &'static str,
+    /// Broadcast plane of a plane-axis record (`"fanout"` /
+    /// `"cascade"` / `"gossip4x24"`); empty = the grid default
+    /// (omitted from the JSON, keeping pre-gossip record keys stable).
+    plane: &'static str,
     /// Churn scenario of a churn-driver record (PR 9, e.g.
     /// `"leave+join+crash"`); empty = no churn (omitted from the JSON,
     /// keeping pre-churn record keys stable).
@@ -120,6 +131,9 @@ fn emit(records: &[Record], meta: &str) -> String {
         if !r.profile.is_empty() {
             let _ = write!(out, "\"profile\": \"{}\", ", r.profile);
         }
+        if !r.plane.is_empty() {
+            let _ = write!(out, "\"plane\": \"{}\", ", r.plane);
+        }
         if !r.churn.is_empty() {
             let _ = write!(out, "\"churn\": \"{}\", ", r.churn);
         }
@@ -130,6 +144,8 @@ fn emit(records: &[Record], meta: &str) -> String {
             out,
             "\"elapsed_s\": {:.4}, \"throughput_per_s\": {:.0}, \"err\": {:.6e}, \
              \"msgs_total\": {}, \"up_msgs\": {}, \"broadcast_events\": {}, \"broadcast_cost\": {}, \
+             \"broadcast_reach\": {}, \"broadcast_peak_out\": {}, \"broadcast_lag_rounds\": {}, \
+             \"broadcast_stale\": {}, \
              \"max_fan_in\": {}, \"root_in_msgs\": {}, \"hops\": {}, \
              \"bytes_up\": {}, \"bytes_down\": {}",
             r.elapsed_s,
@@ -139,6 +155,10 @@ fn emit(records: &[Record], meta: &str) -> String {
             c.up_msgs,
             c.broadcast_events,
             c.broadcast_cost,
+            c.broadcast_reach,
+            c.broadcast_peak_out,
+            c.broadcast_lag_rounds,
+            c.broadcast_stale,
             c.max_fan_in,
             c.root_in_msgs,
             c.hops,
@@ -195,6 +215,7 @@ fn main() {
                 let (run, comm) = run_hh_topology(proto, &hh_cfg, &hh_stream, 0.05, topo, batch);
                 let dt = t0.elapsed().as_secs_f64();
                 records.push(Record {
+                    plane: "",
                     family: "hh",
                     protocol: proto.name(),
                     batch,
@@ -235,6 +256,7 @@ fn main() {
                 );
                 let dt = t0.elapsed().as_secs_f64();
                 records.push(Record {
+                    plane: "",
                     family: "matrix",
                     protocol: proto.name(),
                     batch,
@@ -264,6 +286,7 @@ fn main() {
     let tcfg = ThreadedConfig {
         batch_size: 64,
         channel_capacity: 4,
+        plane: Default::default(),
     };
     for proto in [
         HhProtocol::P1,
@@ -277,6 +300,7 @@ fn main() {
             let (run, comm) = run_hh_threaded(proto, &hh_cfg, &hh_stream, 0.05, topo, &tcfg);
             let dt = t0.elapsed().as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "hh",
                 protocol: proto.name(),
                 batch: tcfg.batch_size,
@@ -307,6 +331,7 @@ fn main() {
             let (run, comm) = run_matrix_threaded(proto, &mt_cfg, &mt_rows, topo, &tcfg);
             let dt = t0.elapsed().as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "matrix",
                 protocol: proto.name(),
                 batch: tcfg.batch_size,
@@ -338,6 +363,7 @@ fn main() {
             let (run, comm) = run_swmg_topology(&swmg_cfg, &hh_stream, 0.05, topo, batch);
             let dt = t0.elapsed().as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "window",
                 protocol: run.protocol,
                 batch,
@@ -359,6 +385,7 @@ fn main() {
             let (run, comm) = run_swfd_topology(&swfd_cfg, &mt_rows, topo, batch);
             let dt = t0.elapsed().as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "window",
                 protocol: run.protocol,
                 batch,
@@ -383,6 +410,7 @@ fn main() {
         let (run, comm) = run_swmg_threaded(&swmg_cfg, &hh_stream, 0.05, topo, &tcfg);
         let dt = t0.elapsed().as_secs_f64();
         records.push(Record {
+            plane: "",
             family: "window",
             protocol: run.protocol,
             batch: tcfg.batch_size,
@@ -404,6 +432,7 @@ fn main() {
         let (run, comm) = run_swfd_threaded(&swfd_cfg, &mt_rows, topo, &tcfg);
         let dt = t0.elapsed().as_secs_f64();
         records.push(Record {
+            plane: "",
             family: "window",
             protocol: run.protocol,
             batch: tcfg.batch_size,
@@ -447,6 +476,7 @@ fn main() {
             );
             let dt = t0.elapsed().as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "hh",
                 protocol: proto.name(),
                 batch: tcfg.batch_size,
@@ -484,6 +514,7 @@ fn main() {
             );
             let dt = t0.elapsed().as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "matrix",
                 protocol: proto.name(),
                 batch: tcfg.batch_size,
@@ -515,6 +546,7 @@ fn main() {
         );
         let dt = t0.elapsed().as_secs_f64();
         records.push(Record {
+            plane: "",
             family: "window",
             protocol: run.protocol,
             batch: tcfg.batch_size,
@@ -542,6 +574,7 @@ fn main() {
         );
         let dt = t0.elapsed().as_secs_f64();
         records.push(Record {
+            plane: "",
             family: "window",
             protocol: run.protocol,
             batch: tcfg.batch_size,
@@ -581,6 +614,7 @@ fn main() {
         );
         let dt = t0.elapsed().as_secs_f64();
         records.push(Record {
+            plane: "",
             family: "hh",
             protocol: proto.name(),
             batch: tcfg.batch_size,
@@ -632,6 +666,7 @@ fn main() {
             );
             let dt = t0.elapsed().as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "hh",
                 protocol: HhProtocol::P1.name(),
                 batch: tcfg.batch_size,
@@ -661,6 +696,7 @@ fn main() {
             );
             let dt = t0.elapsed().as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "matrix",
                 protocol: MatrixProtocol::P2.name(),
                 batch: tcfg.batch_size,
@@ -690,6 +726,7 @@ fn main() {
             );
             let dt = t0.elapsed().as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "window",
                 protocol: run.protocol,
                 batch: tcfg.batch_size,
@@ -704,6 +741,68 @@ fn main() {
                 elapsed_s: dt,
                 throughput: hh_n as f64 / dt,
                 err: run.err,
+                comm,
+            });
+        }
+    }
+
+    // The broadcast-plane axis (gossip PR): the same HH-P1 deployment
+    // at m ∈ {1024, 65536}, workers = 8, under each dissemination
+    // plane. `"fanout"` is the paper's O(m)-out-degree root broadcast,
+    // `"cascade"` the tree default, `"gossip4x24"` push–pull
+    // anti-entropy with fanout 4 for up to 24 rounds — enough for
+    // full adoption at m = 65536 (coverage multiplies ≈ (1 + fanout)×
+    // per round) while keeping every node's per-event out-degree at
+    // most fanout · rounds, independent of m. Reading the two site
+    // counts against each other shows `broadcast_peak_out` scaling
+    // with m for "fanout" and staying flat for gossip, which is the
+    // row this PR's acceptance rests on.
+    for &tier_m in &[1024usize, 65_536] {
+        let hh_tier = HhConfig::new(tier_m, 0.05).with_seed(1);
+        for &(plane_name, plane) in &[
+            ("fanout", BroadcastPlane::RootFanOut),
+            ("cascade", BroadcastPlane::TreeCascade),
+            (
+                "gossip4x24",
+                BroadcastPlane::Gossip {
+                    fanout: 4,
+                    rounds: 24,
+                    seed: 9,
+                },
+            ),
+        ] {
+            eprintln!("hh P1 pooled tree8 w8 m{tier_m} plane {plane_name}…");
+            let pcfg = ThreadedConfig {
+                plane,
+                ..tcfg.clone()
+            };
+            let t0 = Instant::now();
+            let (run, comm) = run_hh_engine(
+                HhProtocol::P1,
+                &hh_tier,
+                &hh_stream,
+                0.05,
+                pool_topo,
+                &pcfg,
+                Executor::Pool { workers: 8 },
+            );
+            let dt = t0.elapsed().as_secs_f64();
+            records.push(Record {
+                plane: plane_name,
+                family: "hh",
+                protocol: HhProtocol::P1.name(),
+                batch: pcfg.batch_size,
+                topology: "tree8",
+                mode: "pooled",
+                workers: 8,
+                sites: tier_m,
+                dim: 0,
+                profile: "",
+                churn: "",
+                snapshot_bytes: 0,
+                elapsed_s: dt,
+                throughput: hh_n as f64 / dt,
+                err: run.eval.avg_rel_err,
                 comm,
             });
         }
@@ -726,6 +825,7 @@ fn main() {
         let (run, comm) = run_hh_topology(proto, &hh_cfg, &hh_stream, 0.05, resolved, 64);
         let dt = t0.elapsed().as_secs_f64();
         records.push(Record {
+            plane: "",
             family: "hh",
             protocol: proto.name(),
             batch: 64,
@@ -769,6 +869,7 @@ fn main() {
             let run = run_matrix_timed(MatrixProtocol::P2, &cfg_d, &rows_d, 256);
             let dt = run.elapsed.as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "matrix",
                 protocol: run.protocol,
                 batch: 256,
@@ -791,6 +892,7 @@ fn main() {
             let run = run_swfd_timed(&swfd_cfg_d, &rows_d, 256);
             let dt = run.elapsed.as_secs_f64();
             records.push(Record {
+                plane: "",
                 family: "window",
                 protocol: run.protocol,
                 batch: 256,
@@ -846,6 +948,7 @@ fn main() {
         );
         let dt = t0.elapsed().as_secs_f64();
         records.push(Record {
+            plane: "",
             family: "hh",
             protocol: proto.name(),
             batch: tcfg.batch_size,
@@ -876,6 +979,7 @@ fn main() {
         );
         let dt = t0.elapsed().as_secs_f64();
         records.push(Record {
+            plane: "",
             family: "matrix",
             protocol: MatrixProtocol::P2.name(),
             batch: tcfg.batch_size,
@@ -906,6 +1010,7 @@ fn main() {
         );
         let dt = t0.elapsed().as_secs_f64();
         records.push(Record {
+            plane: "",
             family: "window",
             protocol: run.protocol,
             batch: tcfg.batch_size,
@@ -933,6 +1038,8 @@ fn main() {
          \"pool_workers\": [2, 8], \"pool_sites_big\": {big_m}, \
          \"pool_tier_sites\": [1024, 65536], \"pool_tier_workers\": [2, 8, 16], \
          \"pool_tier_mt_n\": {mt_tier_n}, \
+         \"plane_sites\": [1024, 65536], \
+         \"planes\": [\"fanout\", \"cascade\", \"gossip4x24\"], \
          \"daxis_dims\": [44, 128, 512], \"daxis_profiles\": [\"naive\", \"blocked\"], \
          \"daxis_n\": {daxis_n}, \
          \"churn\": \"leave(5)@2 join(5)@4 snapshot@3 crash@5, tree4\", \

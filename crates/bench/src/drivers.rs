@@ -85,8 +85,26 @@ pub struct CommSummary {
     pub up_msgs: u64,
     /// Broadcast events.
     pub broadcast_events: u64,
-    /// Broadcast deliveries (one per tree recipient).
+    /// Broadcast deliveries — one per edge a frame actually crossed
+    /// ([`CommStats::broadcast_deliveries`]; on the structural planes
+    /// this equals one per recipient, the historical meaning).
     pub broadcast_cost: u64,
+    /// Recipients that adopted a fresh payload
+    /// ([`CommStats::broadcast_reach`]). Equals `broadcast_cost` on the
+    /// structural planes; under gossip the gap is redundancy.
+    pub broadcast_reach: u64,
+    /// Largest per-node out-degree any single broadcast event required
+    /// ([`CommStats::broadcast_peak_out`]) — the dissemination
+    /// bottleneck: `m + I` for root fan-out, `O(fanout · rounds)` for
+    /// gossip.
+    pub broadcast_peak_out: u64,
+    /// Dissemination rounds summed over events
+    /// ([`CommStats::broadcast_lag_rounds`]) — convergence lag.
+    pub broadcast_lag_rounds: u64,
+    /// Leaves missed by their event, summed over events
+    /// ([`CommStats::broadcast_stale`]); always 0 on the structural
+    /// planes over a perfect transport.
+    pub broadcast_stale: u64,
     /// Measured encoded bytes of upward traffic, summed across every
     /// hop each message crosses ([`CommStats::bytes_up`]).
     pub bytes_up: u64,
@@ -153,7 +171,11 @@ impl From<&CommStats> for CommSummary {
             total: s.total(),
             up_msgs: s.up_msgs,
             broadcast_events: s.broadcast_events,
-            broadcast_cost: s.broadcast_cost,
+            broadcast_cost: s.broadcast_deliveries,
+            broadcast_reach: s.broadcast_reach,
+            broadcast_peak_out: s.broadcast_peak_out,
+            broadcast_lag_rounds: s.broadcast_lag_rounds,
+            broadcast_stale: s.broadcast_stale,
             bytes_up: s.bytes_up,
             bytes_down: s.bytes_down,
             max_fan_in: s.max_fan_in,
@@ -1423,6 +1445,7 @@ mod tests {
         let tcfg = ThreadedConfig {
             batch_size: 16,
             channel_capacity: 2,
+            plane: Default::default(),
         };
         let (star, star_comm) =
             run_hh_threaded(HhProtocol::P1, &cfg, &stream, 0.05, Topology::Star, &tcfg);
@@ -1481,6 +1504,7 @@ mod tests {
         let tcfg = ThreadedConfig {
             batch_size: 16,
             channel_capacity: 2,
+            plane: Default::default(),
         };
         let (thr, thr_comm) =
             run_swmg_threaded(&cfg, &stream, 0.05, Topology::Tree { fanout: 4 }, &tcfg);

@@ -44,6 +44,11 @@ pub struct BenchRecord {
     /// Linalg profile of a `d`-axis record (`"naive"` / `"blocked"`);
     /// empty means the build default.
     pub profile: String,
+    /// Broadcast-plane label of a plane-axis record (`"fanout"`,
+    /// `"cascade"`, `"gossip4x24"`, …); empty (all recordings older
+    /// than the gossip plane, and every row that runs the default tree
+    /// cascade) means the default plane.
+    pub plane: String,
     /// Arrivals per second of wall clock.
     pub throughput: f64,
     /// End-of-stream error (protocol-specific metric).
@@ -58,6 +63,15 @@ pub struct BenchRecord {
     /// Measured downward broadcast bytes (structural: payload wire size
     /// × recipients); `0` in pre-transport recordings.
     pub bytes_down: u64,
+    /// Broadcast deliveries — one per edge a frame actually crossed;
+    /// `0` in recordings that predate the counter.
+    pub broadcast_cost: u64,
+    /// Dissemination latency in rounds, summed over events (gossip
+    /// plane axis); `0` when not recorded.
+    pub broadcast_lag_rounds: u64,
+    /// Leaves left stale, summed over events (gossip plane axis); `0`
+    /// for structural planes and older recordings.
+    pub broadcast_stale: u64,
     /// Node tasks the pooled engine executed; `0` for non-pooled rows
     /// and recordings older than the scheduler-telemetry fields.
     pub tasks: u64,
@@ -99,6 +113,9 @@ impl BenchRecord {
         }
         if !self.profile.is_empty() {
             key.push_str(&format!(" {}", self.profile));
+        }
+        if !self.plane.is_empty() {
+            key.push_str(&format!(" plane:{}", self.plane));
         }
         if !self.churn.is_empty() {
             key.push_str(&format!(" churn:{}", self.churn));
@@ -163,12 +180,16 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
             sites: u64_field(obj, "sites").unwrap_or(0),
             dim: u64_field(obj, "dim").unwrap_or(0),
             profile: str_field(obj, "profile").unwrap_or_default(),
+            plane: str_field(obj, "plane").unwrap_or_default(),
             throughput,
             err: f64_field(obj, "err").unwrap_or(f64::NAN),
             msgs_total: u64_field(obj, "msgs_total").unwrap_or(0),
             root_in_msgs: u64_field(obj, "root_in_msgs").unwrap_or(0),
             bytes_up: u64_field(obj, "bytes_up").unwrap_or(0),
             bytes_down: u64_field(obj, "bytes_down").unwrap_or(0),
+            broadcast_cost: u64_field(obj, "broadcast_cost").unwrap_or(0),
+            broadcast_lag_rounds: u64_field(obj, "broadcast_lag_rounds").unwrap_or(0),
+            broadcast_stale: u64_field(obj, "broadcast_stale").unwrap_or(0),
             tasks: u64_field(obj, "tasks").unwrap_or(0),
             steals: u64_field(obj, "steals").unwrap_or(0),
             parks: u64_field(obj, "parks").unwrap_or(0),
@@ -361,6 +382,33 @@ pub fn per_protocol_snapshot_geomean(records: &[BenchRecord]) -> Vec<(String, f6
         .collect()
 }
 
+/// Per-protocol (and, when recorded, per-broadcast-plane) geometric
+/// mean of the measured broadcast deliveries over one recording's rows
+/// — the fan-out-cost summary `bench_diff` prints (advisory; broadcast
+/// cost legitimately changes whenever the event mix or the plane
+/// parameters do, so this never gates). The plane label joins the
+/// grouping key so the gossip rows read next to their structural
+/// baselines at the same deployment. Rows without broadcast deliveries
+/// are skipped; empty when the recording predates the counter.
+pub fn per_protocol_broadcast_geomean(records: &[BenchRecord]) -> Vec<(String, f64, usize)> {
+    let mut acc: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for r in records {
+        if r.broadcast_cost == 0 {
+            continue;
+        }
+        let mut label = format!("{}/{}", r.family, r.protocol);
+        if !r.plane.is_empty() {
+            label.push_str(&format!(" plane:{}", r.plane));
+        }
+        let e = acc.entry(label).or_insert((0.0, 0));
+        e.0 += (r.broadcast_cost as f64).ln();
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(label, (ln_sum, n))| (label, (ln_sum / n as f64).exp(), n))
+        .collect()
+}
+
 /// The worst per-protocol geometric-mean regression, as a percentage
 /// (`−12.0` = the slowest protocol lost 12% throughput), with its
 /// label. `None` when nothing matched. This is the quantity the
@@ -466,6 +514,49 @@ mod tests {
         let old = parse_bench_json(SAMPLE);
         assert_eq!(old[0].workers, 0);
         assert_eq!(old[0].key(), "hh/P1 batch=64 star seq");
+    }
+
+    /// Gossip-plane axis (PR 10): rows carry a `plane` label plus the
+    /// broadcast-shape counters next to `broadcast_cost`.
+    const PLANE_SAMPLE: &str = r#"{
+  "meta": {"sites": 64},
+  "results": [
+    {"family": "hh", "protocol": "P1", "batch": 64, "topology": "tree8", "mode": "pooled", "workers": 8, "sites": 65536, "plane": "gossip4x24", "throughput_per_s": 500000, "err": 1.0e-3, "msgs_total": 9000, "broadcast_cost": 700000, "broadcast_lag_rounds": 72, "broadcast_stale": 12, "root_in_msgs": 40, "hops": 6},
+    {"family": "hh", "protocol": "P1", "batch": 64, "topology": "tree8", "mode": "pooled", "workers": 8, "sites": 65536, "plane": "fanout", "throughput_per_s": 450000, "err": 1.0e-3, "msgs_total": 9000, "broadcast_cost": 2800000, "broadcast_lag_rounds": 3, "broadcast_stale": 0, "root_in_msgs": 40, "hops": 6}
+  ]
+}"#;
+
+    #[test]
+    fn plane_axis_parses_keys_and_broadcast_geomean() {
+        let recs = parse_bench_json(PLANE_SAMPLE);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].plane, "gossip4x24");
+        assert_eq!(recs[0].broadcast_cost, 700000);
+        assert_eq!(recs[0].broadcast_lag_rounds, 72);
+        assert_eq!(recs[0].broadcast_stale, 12);
+        // The plane enters the record identity, so gossip rows diff
+        // against gossip rows and never against a structural baseline.
+        assert_eq!(
+            recs[0].key(),
+            "hh/P1 batch=64 tree8 pooled w8 m65536 plane:gossip4x24"
+        );
+        assert_ne!(recs[0].key(), recs[1].key());
+        // Plane-less recordings keep their keys and zeroed counters.
+        let old = parse_bench_json(SAMPLE);
+        assert!(old[0].plane.is_empty());
+        assert_eq!(old[0].key(), "hh/P1 batch=64 star seq");
+        assert_eq!(old[1].broadcast_cost, 0, "absent counter defaults to 0");
+
+        // The advisory geomean groups per protocol + plane; rows
+        // without the counter are skipped.
+        let gm = per_protocol_broadcast_geomean(&recs);
+        assert_eq!(gm.len(), 2);
+        assert_eq!(gm[0].0, "hh/P1 plane:fanout");
+        assert!((gm[0].1 - 2_800_000.0).abs() < 1e-6);
+        assert_eq!(gm[1].0, "hh/P1 plane:gossip4x24");
+        assert!((gm[1].1 - 700_000.0).abs() < 1e-6);
+        let skipped = per_protocol_broadcast_geomean(&parse_bench_json(POOLED_SAMPLE));
+        assert!(skipped.is_empty(), "rows without the counter are skipped");
     }
 
     #[test]

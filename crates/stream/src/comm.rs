@@ -9,10 +9,15 @@
 //!   summary, so a summary of `k` counters is charged `k` (plus one for
 //!   the weight scalar). A matrix-protocol message is one row of length
 //!   `d`; a scalar message is one unit.
-//! * A coordinator broadcast is charged **one message per recipient it
-//!   fans out to** — `m` in a star; every interior node *and* every leaf
-//!   in a tree. Broadcast cost therefore scales with the number of
-//!   children notified, never a flat 1.
+//! * A coordinator broadcast is charged **one message per edge it
+//!   actually crosses**. Under the structural planes
+//!   ([`crate::BroadcastPlane::RootFanOut`] /
+//!   [`crate::BroadcastPlane::TreeCascade`]) every recipient is reached
+//!   over exactly one edge — `m` deliveries in a star; every interior
+//!   node *and* every leaf in a tree — so deliveries equal reach. Under
+//!   [`crate::BroadcastPlane::Gossip`] deliveries are the pushed frames
+//!   (bounded per node by `fanout · rounds`, independent of `m`) and
+//!   reach is tracked separately.
 //!
 //! With a tree topology ([`crate::Topology`]) communication is *measured
 //! per hop, not guessed*: [`CommStats::per_level`] records the traffic
@@ -78,17 +83,45 @@ pub struct CommStats {
     pub up_cost: u64,
     /// Number of broadcast events (each fans out to the whole tree).
     pub broadcast_events: u64,
-    /// Total broadcast deliveries: each event charged one message per
-    /// recipient (interior nodes and leaves alike).
-    pub broadcast_cost: u64,
+    /// Total broadcast deliveries: **edges actually crossed**, measured.
+    /// Under the structural planes (root fan-out, tree cascade) every
+    /// recipient is reached over exactly one edge, so this equals
+    /// [`CommStats::broadcast_reach`]; under a gossip plane one frame
+    /// per push is charged — including duplicates the simulated wire
+    /// manufactures and redundant pushes to already-current nodes — so
+    /// deliveries can exceed reach (redundancy) or trail the recipient
+    /// count (staleness).
+    pub broadcast_deliveries: u64,
+    /// Total broadcast *reach*: recipients that actually adopted a
+    /// fresh frame, summed over events. A node counts once per event no
+    /// matter how many copies the wire delivered to it.
+    pub broadcast_reach: u64,
+    /// The largest number of broadcast frames any single node pushed
+    /// out for one event, summed over events — the per-node out-degree
+    /// of the dissemination. Root fan-out charges the root `m + I` per
+    /// event; a gossip plane is bounded by `fanout · rounds`
+    /// (independent of `m`), which is the entire point of the plane.
+    pub broadcast_peak_out: u64,
+    /// Dissemination latency in rounds (hops for the cascade planes,
+    /// configured gossip rounds otherwise), summed over events —
+    /// `lag / events` is the mean convergence lag a leaf observes.
+    pub broadcast_lag_rounds: u64,
+    /// Leaves left *stale* (not reached) by each event, summed over
+    /// events. Always 0 for the structural planes; under gossip this is
+    /// the measured staleness the `Ŵ_peak` bound term absorbs (a stale
+    /// threshold is an old, smaller one: sites send sooner, never
+    /// later).
+    pub broadcast_stale: u64,
     /// Total encoded bytes of upward traffic, summed across **every**
     /// hop it crosses (a message relayed over two hops is charged
     /// twice — this measures wire traffic, not logical payload). Only
     /// delivered messages count: under a faulty transport a dropped
     /// message is never recorded, a duplicated one is recorded twice.
     pub bytes_up: u64,
-    /// Total encoded bytes of broadcast traffic, charged structurally
-    /// per recipient at fan-out time (mirroring `broadcast_cost`).
+    /// Total encoded bytes of broadcast traffic, charged **per edge
+    /// actually crossed** (mirroring `broadcast_deliveries`): one
+    /// payload per structural fan-out delivery, one versioned frame per
+    /// gossip push.
     pub bytes_down: u64,
     /// Number of sites `m`.
     pub sites: u64,
@@ -145,9 +178,18 @@ impl CommStats {
     }
 
     /// Total message count in the paper's units: up-traffic element cost
-    /// across every hop plus one message per broadcast recipient.
+    /// across every hop plus one message per broadcast delivery (edge
+    /// actually crossed).
     pub fn total(&self) -> u64 {
-        self.per_level.iter().map(|l| l.up_cost).sum::<u64>() + self.broadcast_cost
+        self.per_level.iter().map(|l| l.up_cost).sum::<u64>() + self.broadcast_deliveries
+    }
+
+    /// The paper's broadcast-cost figure: total deliveries. Kept as an
+    /// accessor so call sites read naturally; the split fields
+    /// ([`CommStats::broadcast_deliveries`] vs
+    /// [`CommStats::broadcast_reach`]) carry the measured distinction.
+    pub fn broadcast_cost(&self) -> u64 {
+        self.broadcast_deliveries
     }
 
     /// The largest number of messages any single aggregation point
@@ -210,11 +252,39 @@ impl CommStats {
     }
 
     /// Records `receivers` broadcast deliveries crossing hop `level`
-    /// downward, each `bytes_each` encoded bytes on the wire.
+    /// downward, each `bytes_each` encoded bytes on the wire. This is
+    /// the *structural* (one edge per recipient) form, so each delivery
+    /// also counts as reach.
     pub fn record_broadcast_level(&mut self, level: usize, receivers: u64, bytes_each: u64) {
         self.per_level[level].broadcast_msgs += receivers;
-        self.broadcast_cost += receivers;
+        self.broadcast_deliveries += receivers;
+        self.broadcast_reach += receivers;
         self.bytes_down += receivers * bytes_each;
+    }
+
+    /// Records one gossip frame crossing an edge at hop `level`
+    /// (`bytes` encoded bytes on the wire), *without* assuming the
+    /// receiver adopted it — adoption is recorded separately via
+    /// [`CommStats::record_broadcast_adopt`].
+    pub fn record_broadcast_edge(&mut self, level: usize, bytes: u64) {
+        self.per_level[level].broadcast_msgs += 1;
+        self.broadcast_deliveries += 1;
+        self.bytes_down += bytes;
+    }
+
+    /// Records `nodes` recipients adopting a fresh frame of the current
+    /// broadcast event.
+    pub fn record_broadcast_adopt(&mut self, nodes: u64) {
+        self.broadcast_reach += nodes;
+    }
+
+    /// Records the dissemination telemetry of one finished broadcast
+    /// event: the largest per-node outbound frame count, the rounds the
+    /// event took to settle, and how many leaves it left stale.
+    pub fn record_broadcast_shape(&mut self, peak_out: u64, lag_rounds: u64, stale: u64) {
+        self.broadcast_peak_out += peak_out;
+        self.broadcast_lag_rounds += lag_rounds;
+        self.broadcast_stale += stale;
     }
 
     /// Records one complete broadcast event that fans out to `recipients`
@@ -253,7 +323,11 @@ impl CommStats {
         self.up_msgs += other.up_msgs;
         self.up_cost += other.up_cost;
         self.broadcast_events += other.broadcast_events;
-        self.broadcast_cost += other.broadcast_cost;
+        self.broadcast_deliveries += other.broadcast_deliveries;
+        self.broadcast_reach += other.broadcast_reach;
+        self.broadcast_peak_out += other.broadcast_peak_out;
+        self.broadcast_lag_rounds += other.broadcast_lag_rounds;
+        self.broadcast_stale += other.broadcast_stale;
         self.bytes_up += other.bytes_up;
         self.bytes_down += other.bytes_down;
         for (a, b) in self.per_level.iter_mut().zip(&other.per_level) {
@@ -297,7 +371,11 @@ impl CommStats {
         self.up_msgs += other.up_msgs;
         self.up_cost += other.up_cost;
         self.broadcast_events += other.broadcast_events;
-        self.broadcast_cost += other.broadcast_cost;
+        self.broadcast_deliveries += other.broadcast_deliveries;
+        self.broadcast_reach += other.broadcast_reach;
+        self.broadcast_peak_out += other.broadcast_peak_out;
+        self.broadcast_lag_rounds += other.broadcast_lag_rounds;
+        self.broadcast_stale += other.broadcast_stale;
         self.bytes_up += other.bytes_up;
         self.bytes_down += other.bytes_down;
         self.arrivals += other.arrivals;
@@ -334,7 +412,8 @@ mod tests {
         assert_eq!(s.up_msgs, 2);
         assert_eq!(s.up_cost, 4);
         assert_eq!(s.broadcast_events, 1);
-        assert_eq!(s.broadcast_cost, 10);
+        assert_eq!(s.broadcast_deliveries, 10);
+        assert_eq!(s.broadcast_reach, 10);
         assert_eq!(s.total(), 4 + 10);
         assert_eq!(s.bytes_up, 32);
         assert_eq!(s.bytes_down, 80);

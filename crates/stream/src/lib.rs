@@ -46,6 +46,13 @@
 //!   drops/delays/duplicates/reorders per-link under a seeded
 //!   [`FaultPlan`]. [`wire`] gives every protocol message a compact
 //!   encoding so [`CommStats`] measures bytes, not just messages.
+//! * [`broadcast`] — the pluggable **broadcast plane** for the fan-*out*
+//!   direction: [`BroadcastPlane::RootFanOut`] (the paper's model),
+//!   [`BroadcastPlane::TreeCascade`] (the default; frames cascade down
+//!   the aggregation tree), or [`BroadcastPlane::Gossip`] — versioned
+//!   push–pull anti-entropy rounds with seeded deterministic peer
+//!   selection, making per-node dissemination cost `O(fanout · rounds)`
+//!   independent of `m`.
 //!
 //! # The Topology / Aggregator contract
 //!
@@ -130,6 +137,7 @@
 //! batch-drivable from day one.
 
 pub mod aggregator;
+pub mod broadcast;
 pub mod churn;
 pub mod comm;
 pub mod coordinator;
@@ -142,6 +150,7 @@ pub mod transport;
 pub mod wire;
 
 pub use aggregator::{Aggregator, FilteredRelay, MigratableAggregator, Relay, RelayFilter};
+pub use broadcast::{BroadcastPlane, BroadcastState, LeafSet};
 pub use churn::{
     BudgetShare, ChurnBudget, ChurnCoordinator, ChurnEvent, ChurnSchedule, ChurnSite, Membership,
 };
@@ -157,7 +166,9 @@ pub use topology::{AggNode, Topology, TopologyPlan};
 pub use transport::{
     ChannelTransport, FaultLink, FaultPlan, FaultStats, LinkFaults, LinkPipe, SimNet, Transport,
 };
-pub use wire::{put_f64, put_u64, put_usize, WireCodec, WireReader, WireSized};
+pub use wire::{
+    put_f64, put_u64, put_usize, GossipDigest, GossipFrame, WireCodec, WireReader, WireSized,
+};
 
 /// Identifier of a site, `0..m`.
 pub type SiteId = usize;

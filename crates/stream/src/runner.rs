@@ -42,6 +42,7 @@
 use std::collections::BTreeMap;
 
 use crate::aggregator::{Aggregator, Relay};
+use crate::broadcast::{BroadcastPlane, BroadcastState, LeafSet};
 use crate::comm::{CommStats, MessageCost};
 use crate::coordinator::Coordinator;
 use crate::partition::Partitioner;
@@ -83,6 +84,10 @@ struct AggCore<A: Aggregator, C> {
     down_links: Vec<FaultLink<(SiteId, A::UpMsg)>>,
     /// Scratch buffer for fault filtering (kept for capacity).
     wave_buf: Vec<(SiteId, A::UpMsg)>,
+    /// The broadcast plane: how coordinator broadcasts reach the
+    /// deployment (see [`crate::broadcast`]). Default: tree cascade,
+    /// the historical behaviour.
+    bcast: BroadcastState,
 }
 
 impl<A, C> AggCore<A, C>
@@ -121,6 +126,7 @@ where
             plan.internal_nodes(),
             "AggCore: one aggregator per interior node"
         );
+        let m = plan.sites();
         AggCore {
             plan,
             aggs,
@@ -130,7 +136,14 @@ where
             up_links: BTreeMap::new(),
             down_links: Vec::new(),
             wave_buf: Vec::new(),
+            bcast: BroadcastState::new(BroadcastPlane::default(), m),
         }
+    }
+
+    /// Selects the broadcast plane (fresh dissemination state). Must be
+    /// called before any broadcast is routed.
+    fn set_plane(&mut self, plane: BroadcastPlane) {
+        self.bcast = BroadcastState::new(plane, self.plan.sites());
     }
 
     /// Installs a transport: builds one [`FaultLink`] per edge of the
@@ -275,20 +288,30 @@ where
         self.relay = pending;
     }
 
-    /// Fans one broadcast down the tree: every interior node observes it
-    /// (and is charged as a recipient), then the caller delivers it to
-    /// the leaves (already charged here as hop-0 recipients). Under a
+    /// Disseminates one broadcast through the configured
+    /// [`BroadcastPlane`]: every interior node observes it (and is
+    /// charged as a recipient on every plane — interiors are `O(I)`
+    /// relay infrastructure), leaf charging follows the plane (one
+    /// delivery per edge actually crossed), and the returned [`LeafSet`]
+    /// tells the caller which leaves to deliver the payload to. Under a
     /// faulty transport each interior node's downward link may drop the
     /// delivery — a dropped broadcast only leaves a *stale, smaller*
     /// threshold behind, which makes subtrees send sooner, never later,
     /// so every guarantee survives it.
-    fn route_broadcast(&mut self, bc: &A::Broadcast, stats: &mut CommStats) {
-        charge_broadcast(stats, self.plan.levels(), self.plan.sites(), bc.wire_size());
+    fn route_broadcast(
+        &mut self,
+        bc: &A::Broadcast,
+        stats: &mut CommStats,
+        net: &dyn Transport,
+    ) -> LeafSet {
+        let set = self
+            .bcast
+            .disseminate(&self.plan, bc.wire_size(), stats, net);
         if !self.faulty {
             for agg in &mut self.aggs {
                 agg.on_broadcast(bc);
             }
-            return;
+            return set;
         }
         for (g, agg) in self.aggs.iter_mut().enumerate() {
             let deliver = match self.down_links.get_mut(g) {
@@ -299,6 +322,7 @@ where
                 agg.on_broadcast(bc);
             }
         }
+        set
     }
 
     /// Closes every fault link (end of run): messages still held by the
@@ -342,20 +366,9 @@ where
         for mut l in self.down_links.drain(..) {
             l.close(&mut sink);
         }
+        // Frames the gossip plane's links still held release now too.
+        self.bcast.close(stats);
     }
-}
-
-/// Charges one broadcast event structurally — one message per recipient
-/// it fans out to: every interior node (top level first) and every
-/// leaf, each delivery `bytes_each` encoded bytes. All three drivers
-/// (sequential, thread-per-node, pooled) charge through this one
-/// helper, so their [`CommStats`] stay comparable by construction.
-fn charge_broadcast(stats: &mut CommStats, levels: &[usize], m: usize, bytes_each: u64) {
-    stats.begin_broadcast();
-    for (li, &count) in levels.iter().enumerate().rev() {
-        stats.record_broadcast_level(li + 1, count as u64, bytes_each);
-    }
-    stats.record_broadcast_level(0, m as u64, bytes_each);
 }
 
 /// Deterministic protocol driver (sequential; batch-first), generic over
@@ -443,6 +456,14 @@ where
     /// Number of sites `m`.
     pub fn m(&self) -> usize {
         self.sites.len()
+    }
+
+    /// Selects the [`BroadcastPlane`] broadcasts disseminate through
+    /// (default: [`BroadcastPlane::TreeCascade`], the historical
+    /// behaviour). Call before feeding any arrivals — switching planes
+    /// resets the dissemination state (version counter, peer links).
+    pub fn set_broadcast_plane(&mut self, plane: BroadcastPlane) {
+        self.core.set_plane(plane);
     }
 
     /// The resolved aggregation layout.
@@ -581,9 +602,25 @@ where
             self.core
                 .route_up(site, msg, &mut self.stats, &mut self.bc_buf);
             while let Some(bc) = pop_front(&mut self.bc_buf) {
-                self.core.route_broadcast(&bc, &mut self.stats);
-                for s in &mut self.sites {
-                    s.on_broadcast(&bc);
+                // The sequential driver runs on the perfect in-process
+                // plane; gossip edges are fault-free here (the engine's
+                // inline/pooled drivers compose gossip with SimNet).
+                let set = self.core.route_broadcast(
+                    &bc,
+                    &mut self.stats,
+                    &crate::transport::ChannelTransport,
+                );
+                match set {
+                    LeafSet::All => {
+                        for s in &mut self.sites {
+                            s.on_broadcast(&bc);
+                        }
+                    }
+                    LeafSet::Subset(adopters) => {
+                        for sid in adopters {
+                            self.sites[sid].on_broadcast(&bc);
+                        }
+                    }
                 }
             }
         }
@@ -651,6 +688,11 @@ pub mod threaded {
         /// backpressure: a site that outruns the coordinator blocks
         /// instead of queueing unboundedly.
         pub channel_capacity: usize,
+        /// How coordinator broadcasts reach the deployment (see
+        /// [`crate::broadcast`]): structural root fan-out, tree cascade
+        /// (the default and historical behaviour), or versioned
+        /// push–pull gossip with `O(fanout · rounds)` per-node cost.
+        pub plane: BroadcastPlane,
     }
 
     impl Default for ThreadedConfig {
@@ -658,6 +700,7 @@ pub mod threaded {
             ThreadedConfig {
                 batch_size: 64,
                 channel_capacity: 4,
+                plane: BroadcastPlane::TreeCascade,
             }
         }
     }
@@ -1024,6 +1067,14 @@ pub mod threaded {
         // protocol budget splits are identical.
         let mut aggs: Vec<Option<A>> = plan.agg_nodes().map(|n| Some(make_agg(n))).collect();
 
+        // How broadcasts travel: the tree cascade forwards hop by hop;
+        // root fan-out delivers everything from the root directly; the
+        // gossip plane routes leaf delivery through its own simulated
+        // rounds (the adopter set), with faults applied in-plane.
+        let plane = cfg.plane;
+        let gossip = plane.is_gossip();
+        let cascade = plane == BroadcastPlane::TreeCascade;
+
         let (sites_out, aggs_out, stats) = std::thread::scope(|scope| {
             // ---- leaf threads: identical to the flat driver except the
             // shipped batch is tagged with the origin site id and goes to
@@ -1033,9 +1084,17 @@ pub mod threaded {
                 let parent_g = plan.parent_of(0, sid).0;
                 let up_tx = agg_up_tx[parent_g].clone();
                 let bc_rx = leaf_bc_rx[sid].take().expect("leaf bc receiver");
-                // The downward link this leaf hears broadcasts on.
-                let mut bc_link: FaultLink<S::Broadcast> =
-                    FaultLink::new(net.link(plan.agg_node_id(parent_g), sid, false));
+                // The downward link this leaf hears broadcasts on: its
+                // cascade parent, or the root itself under root
+                // fan-out. The gossip plane faults its own edges during
+                // dissemination, so the channel here is transparent.
+                let mut bc_link: FaultLink<S::Broadcast> = if gossip {
+                    FaultLink::transparent()
+                } else if cascade {
+                    FaultLink::new(net.link(plan.agg_node_id(parent_g), sid, false))
+                } else {
+                    FaultLink::new(net.link(plan.root_node_id(), sid, false))
+                };
                 let batch_size = cfg.batch_size;
                 site_handles.push(scope.spawn(move || {
                     let mut out: Vec<S::UpMsg> = Vec::new();
@@ -1080,16 +1139,26 @@ pub mod threaded {
                     } else {
                         root_tx.clone()
                     };
-                    // Broadcast outlets: this node's direct children.
+                    // Broadcast outlets: this node's direct children on
+                    // the cascade. Under root fan-out nobody forwards;
+                    // under gossip, interiors cascade among themselves
+                    // but leaf delivery is the gossip plane's job, so a
+                    // level-0 node forwards to no one.
                     let child_bcs: Vec<mpsc::Sender<S::Broadcast>> = if li == 0 {
-                        (j * fanout..((j + 1) * fanout).min(m))
-                            .map(|c| leaf_bc_tx[c].clone())
-                            .collect()
-                    } else {
+                        if cascade {
+                            (j * fanout..((j + 1) * fanout).min(m))
+                                .map(|c| leaf_bc_tx[c].clone())
+                                .collect()
+                        } else {
+                            Vec::new()
+                        }
+                    } else if cascade || gossip {
                         let lower = level_offset(li - 1);
                         (j * fanout..((j + 1) * fanout).min(levels[li - 1]))
                             .map(|c| agg_bc_tx[lower + c].clone())
                             .collect()
+                    } else {
+                        Vec::new()
                     };
                     let mut agg = aggs[g].take().expect("aggregator built once");
                     let mut stats = CommStats::for_plan(&plan);
@@ -1128,8 +1197,15 @@ pub mod threaded {
                     } else {
                         plan.root_node_id()
                     };
+                    // Broadcast edge into this node: its cascade parent,
+                    // or the root directly under root fan-out.
+                    let bc_from = if cascade || gossip {
+                        parent_id
+                    } else {
+                        plan.root_node_id()
+                    };
                     let mut bc_link: FaultLink<S::Broadcast> =
-                        FaultLink::new(net.link(parent_id, node_id, false));
+                        FaultLink::new(net.link(bc_from, node_id, false));
                     agg_handles.push(scope.spawn(move || {
                         let mut out: Vec<(SiteId, S::UpMsg)> = Vec::new();
                         let mut delivered: Vec<(SiteId, S::UpMsg)> = Vec::new();
@@ -1227,12 +1303,27 @@ pub mod threaded {
                 }
             }
 
-            // The main thread keeps only what the root needs: the
-            // broadcast senders of its direct children (the top interior
-            // level). Everything else is dropped so channel disconnection
-            // cascades bottom-up when the leaves finish.
+            // The main thread keeps only what the root needs: on the
+            // cascade planes the broadcast senders of its direct
+            // children (the top interior level); under root fan-out a
+            // sender per node; under gossip additionally every leaf
+            // sender, so adopter sets can be served directly. Everything
+            // else is dropped so channel disconnection cascades
+            // bottom-up when the leaves finish (leaves exit on input
+            // exhaustion and interiors on up-channel disconnection, so
+            // keeping broadcast senders alive never stalls shutdown).
             let top = level_offset(n_levels - 1);
-            let root_child_bcs: Vec<mpsc::Sender<S::Broadcast>> = agg_bc_tx[top..].to_vec();
+            let structural_txs: Vec<mpsc::Sender<S::Broadcast>> =
+                if plane == BroadcastPlane::RootFanOut {
+                    agg_bc_tx.iter().chain(leaf_bc_tx.iter()).cloned().collect()
+                } else {
+                    agg_bc_tx[top..].to_vec()
+                };
+            let gossip_leaf_txs: Vec<mpsc::Sender<S::Broadcast>> = if gossip {
+                leaf_bc_tx.clone()
+            } else {
+                Vec::new()
+            };
             drop(agg_bc_tx);
             drop(agg_up_tx);
             drop(leaf_bc_tx);
@@ -1255,21 +1346,32 @@ pub mod threaded {
             }
             let mut bc_buf: Vec<S::Broadcast> = Vec::new();
             let mut delivered: Vec<(SiteId, S::UpMsg)> = Vec::new();
+            let mut bcast = BroadcastState::new(plane, m);
+            let plan_ref = &plan;
             let root_wave = |delivered: &mut Vec<(SiteId, S::UpMsg)>,
                              coordinator: &mut C,
                              stats: &mut CommStats,
-                             bc_buf: &mut Vec<S::Broadcast>| {
+                             bc_buf: &mut Vec<S::Broadcast>,
+                             bcast: &mut BroadcastState| {
                 for (from, msg) in delivered.drain(..) {
                     stats.record_hop(last_hop, msg.cost(), msg.wire_bytes());
                     stats.record_recv(root_idx);
                     coordinator.receive(from, msg, bc_buf);
                     for bc in bc_buf.drain(..) {
-                        // Structural per-recipient charging, exactly as
-                        // the sequential route_broadcast. Down-link
-                        // faults apply at each receiving node.
-                        super::charge_broadcast(&mut *stats, &levels, m, bc.wire_size());
-                        for tx in &root_child_bcs {
+                        // The plane charges one delivery per edge
+                        // actually crossed and reports which leaves to
+                        // serve; interior delivery flows through the
+                        // channels below, with down-link faults applied
+                        // at each receiving node.
+                        let set = bcast.disseminate(plan_ref, bc.wire_size(), stats, net);
+                        for tx in &structural_txs {
                             let _ = tx.send(bc.clone());
+                        }
+                        if let LeafSet::Subset(adopters) = set {
+                            for sid in adopters {
+                                // A leaf may already have drained; fine.
+                                let _ = gossip_leaf_txs[sid].send(bc.clone());
+                            }
                         }
                     }
                 }
@@ -1287,7 +1389,13 @@ pub mod threaded {
                 } else {
                     delivered = batch;
                 }
-                root_wave(&mut delivered, &mut coordinator, &mut stats, &mut bc_buf);
+                root_wave(
+                    &mut delivered,
+                    &mut coordinator,
+                    &mut stats,
+                    &mut bc_buf,
+                    &mut bcast,
+                );
             }
             // Every child hung up: release anything the faulty links
             // still held in flight — delivered late, never lost.
@@ -1295,8 +1403,16 @@ pub mod threaded {
                 for link in root_links.values_mut() {
                     link.close(&mut delivered);
                 }
-                root_wave(&mut delivered, &mut coordinator, &mut stats, &mut bc_buf);
+                root_wave(
+                    &mut delivered,
+                    &mut coordinator,
+                    &mut stats,
+                    &mut bc_buf,
+                    &mut bcast,
+                );
             }
+            // Frames the gossip plane's links still held release now.
+            bcast.close(&mut stats);
 
             let sites_out: Vec<S> = site_handles
                 .into_iter()
@@ -1354,7 +1470,9 @@ pub mod threaded {
             "run_partitioned: channel_capacity must be positive"
         );
         let m = sites.len();
+        core.set_plane(cfg.plane);
         core.install_net(net);
+        let gossip = cfg.plane.is_gossip();
         let mut stats = CommStats::for_plan(&core.plan);
         stats.arrivals = inputs.iter().map(|v| v.len() as u64).sum();
         let root_id = core.plan.root_node_id();
@@ -1376,9 +1494,14 @@ pub mod threaded {
             for (sid, (mut site, local)) in sites.drain(..).zip(inputs).enumerate() {
                 let up_tx = up_tx.clone();
                 let bc_rx = bc_rxs.remove(0);
-                // The downward link this leaf hears broadcasts on.
-                let mut bc_link: FaultLink<S::Broadcast> =
-                    FaultLink::new(net.link(root_id, sid, false));
+                // The downward link this leaf hears broadcasts on. The
+                // gossip plane faults its own edges during
+                // dissemination, so the channel here is transparent.
+                let mut bc_link: FaultLink<S::Broadcast> = if gossip {
+                    FaultLink::transparent()
+                } else {
+                    FaultLink::new(net.link(root_id, sid, false))
+                };
                 let batch_size = cfg.batch_size;
                 handles.push(scope.spawn(move || {
                     let mut out: Vec<S::UpMsg> = Vec::new();
@@ -1420,15 +1543,26 @@ pub mod threaded {
             drop(up_tx); // coordinator's recv ends when all sites finish
 
             let mut bc_buf = Vec::new();
+            // Sends one broadcast to the leaves the plane says it
+            // reached (a site may already have finished; that's fine).
+            let send_bc = |set: LeafSet, bc: &S::Broadcast| match set {
+                LeafSet::All => {
+                    for tx in &bc_txs {
+                        let _ = tx.send(bc.clone());
+                    }
+                }
+                LeafSet::Subset(adopters) => {
+                    for sid in adopters {
+                        let _ = bc_txs[sid].send(bc.clone());
+                    }
+                }
+            };
             while let Ok((sid, batch)) = up_rx.recv() {
                 for msg in batch {
                     core.route_up(sid, msg, &mut stats, &mut bc_buf);
                     for bc in bc_buf.drain(..) {
-                        core.route_broadcast(&bc, &mut stats);
-                        for tx in &bc_txs {
-                            // A site may already have finished; that's fine.
-                            let _ = tx.send(bc.clone());
-                        }
+                        let set = core.route_broadcast(&bc, &mut stats, net);
+                        send_bc(set, &bc);
                     }
                 }
             }
@@ -1437,10 +1571,10 @@ pub mod threaded {
             // past the final wave) — delivered late, never lost.
             core.close_links(&mut stats, &mut bc_buf);
             for bc in bc_buf.drain(..) {
-                core.route_broadcast(&bc, &mut stats);
-                for tx in &bc_txs {
-                    let _ = tx.send(bc.clone());
-                }
+                // Post-shutdown flush: fault-free, like the up path.
+                let set =
+                    core.route_broadcast(&bc, &mut stats, &crate::transport::ChannelTransport);
+                send_bc(set, &bc);
             }
 
             handles
@@ -1647,7 +1781,8 @@ mod tests {
         let s = r.stats();
         assert!(s.broadcast_events > 0);
         // Each event reaches 8 leaves + 6 interior nodes.
-        assert_eq!(s.broadcast_cost, s.broadcast_events * (8 + 6));
+        assert_eq!(s.broadcast_deliveries, s.broadcast_events * (8 + 6));
+        assert_eq!(s.broadcast_reach, s.broadcast_events * (8 + 6));
     }
 
     #[test]
@@ -1789,6 +1924,7 @@ mod tests {
             let cfg = threaded::ThreadedConfig {
                 batch_size: batch,
                 channel_capacity: 2,
+                plane: Default::default(),
             };
             let (sites, coord, stats) = threaded::run_partitioned_with(sites, coord, inputs, &cfg);
             let pending: f64 = sites.iter().map(|s| s.pending).sum();
@@ -1814,6 +1950,7 @@ mod tests {
         let cfg = threaded::ThreadedConfig {
             batch_size: 8,
             channel_capacity: 2,
+            plane: Default::default(),
         };
         let (sites, coord, stats) = threaded::run_partitioned_topology(
             sites,
@@ -1900,6 +2037,7 @@ mod tests {
             &threaded::ThreadedConfig {
                 batch_size: 3,
                 channel_capacity: 1,
+                plane: Default::default(),
             },
             Topology::Tree { fanout: 4 },
             |_| ToyAgg {

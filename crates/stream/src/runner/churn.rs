@@ -889,6 +889,7 @@ mod tests {
         let cfg = ThreadedConfig {
             batch_size: 4,
             channel_capacity: 2,
+            plane: Default::default(),
         };
         run_churn_partitioned_topology_parts(
             echo_sites(m),

@@ -74,6 +74,7 @@
 use super::threaded::{ThreadedConfig, TreeRunParts};
 use super::AggCore;
 use crate::aggregator::Aggregator;
+use crate::broadcast::{BroadcastPlane, BroadcastState, LeafSet};
 use crate::comm::{CommStats, MessageCost};
 use crate::coordinator::Coordinator;
 use crate::site::Site;
@@ -550,23 +551,27 @@ where
 {
     let m = sites.len();
     let total_arrivals: u64 = inputs.iter().map(|v| v.len() as u64).sum();
+    core.set_plane(cfg.plane);
     core.install_net(net);
     // The downward links each leaf hears broadcasts on (interior nodes'
-    // down-links live inside the core). Empty under a transparent net.
-    let mut leaf_bc_links: Vec<FaultLink<S::Broadcast>> = if net.is_transparent() {
-        Vec::new()
-    } else {
-        (0..m)
-            .map(|sid| {
-                let parent = if core.plan.internal_levels() == 0 {
-                    core.plan.root_node_id()
-                } else {
-                    core.plan.agg_node_id(core.plan.parent_of(0, sid).0)
-                };
-                FaultLink::new(net.link(parent, sid, false))
-            })
-            .collect()
-    };
+    // down-links live inside the core). Empty under a transparent net,
+    // and under gossip, whose plane faults its own edges during
+    // dissemination.
+    let mut leaf_bc_links: Vec<FaultLink<S::Broadcast>> =
+        if net.is_transparent() || cfg.plane.is_gossip() {
+            Vec::new()
+        } else {
+            (0..m)
+                .map(|sid| {
+                    let parent = if core.plan.internal_levels() == 0 {
+                        core.plan.root_node_id()
+                    } else {
+                        core.plan.agg_node_id(core.plan.parent_of(0, sid).0)
+                    };
+                    FaultLink::new(net.link(parent, sid, false))
+                })
+                .collect()
+        };
     let mut stats = CommStats::for_plan(&core.plan);
     let mut its: Vec<std::vec::IntoIter<S::Input>> =
         inputs.into_iter().map(|v| v.into_iter()).collect();
@@ -598,14 +603,22 @@ where
                 while let Some(msg) = super::pop_front(&mut up_buf) {
                     core.route_up(sid, msg, &mut stats, &mut bc_buf);
                     while let Some(bc) = super::pop_front(&mut bc_buf) {
-                        core.route_broadcast(&bc, &mut stats);
-                        for (target_sid, s) in sites.iter_mut().enumerate() {
-                            let delivered = match leaf_bc_links.get_mut(target_sid) {
-                                Some(link) => link.deliver_now(0.0),
-                                None => true,
-                            };
-                            if delivered {
-                                s.on_broadcast(&bc);
+                        match core.route_broadcast(&bc, &mut stats, net) {
+                            LeafSet::All => {
+                                for (target_sid, s) in sites.iter_mut().enumerate() {
+                                    let delivered = match leaf_bc_links.get_mut(target_sid) {
+                                        Some(link) => link.deliver_now(0.0),
+                                        None => true,
+                                    };
+                                    if delivered {
+                                        s.on_broadcast(&bc);
+                                    }
+                                }
+                            }
+                            LeafSet::Subset(adopters) => {
+                                for target_sid in adopters {
+                                    sites[target_sid].on_broadcast(&bc);
+                                }
                             }
                         }
                     }
@@ -622,9 +635,17 @@ where
     // flush is fault-free, leaves included.
     core.close_links(&mut stats, &mut bc_buf);
     while let Some(bc) = super::pop_front(&mut bc_buf) {
-        core.route_broadcast(&bc, &mut stats);
-        for s in &mut sites {
-            s.on_broadcast(&bc);
+        match core.route_broadcast(&bc, &mut stats, &ChannelTransport) {
+            LeafSet::All => {
+                for s in &mut sites {
+                    s.on_broadcast(&bc);
+                }
+            }
+            LeafSet::Subset(adopters) => {
+                for sid in adopters {
+                    sites[sid].on_broadcast(&bc);
+                }
+            }
         }
     }
     stats.arrivals = total_arrivals;
@@ -1006,6 +1027,13 @@ where
     }
 
     let faulty = !net.is_transparent();
+    // How broadcasts travel (see `crate::broadcast`): cascade forwards
+    // hop by hop, root fan-out serves every node from the root, gossip
+    // routes leaf delivery through the plane's adopter set (with faults
+    // applied in-plane, so the leaf channels here are transparent).
+    let plane = cfg.plane;
+    let gossip = plane.is_gossip();
+    let cascade = plane == BroadcastPlane::TreeCascade;
 
     // Leaf slots, in site order.
     let mut leaf_slots: Vec<LeafSlot<S>> = sites
@@ -1013,7 +1041,7 @@ where
         .zip(inputs)
         .enumerate()
         .map(|(sid, (site, local))| {
-            let parent_id = if n_levels == 0 {
+            let parent_id = if n_levels == 0 || !cascade {
                 plan.root_node_id()
             } else {
                 plan.agg_node_id(plan.parent_of(0, sid).0)
@@ -1023,7 +1051,11 @@ where
                 site,
                 input: local.into_iter(),
                 bc_rx: leaf_bc_rx[sid].take().expect("leaf bc receiver"),
-                bc_link: FaultLink::new(net.link(parent_id, sid, false)),
+                bc_link: if gossip {
+                    FaultLink::transparent()
+                } else {
+                    FaultLink::new(net.link(parent_id, sid, false))
+                },
                 up_tx: Some(if n_levels == 0 {
                     root_tx.clone()
                 } else {
@@ -1044,15 +1076,24 @@ where
         let offset = level_offset(li);
         for j in 0..levels[li] {
             let g = offset + j;
+            // Broadcast outlets on the cascade. Root fan-out forwards
+            // nothing; gossip cascades among interiors only (leaf
+            // delivery is the plane's job).
             let child_bcs: Vec<mpsc::Sender<S::Broadcast>> = if li == 0 {
-                (j * fanout..((j + 1) * fanout).min(m))
-                    .map(|c| leaf_bc_tx[c].clone())
-                    .collect()
-            } else {
+                if cascade {
+                    (j * fanout..((j + 1) * fanout).min(m))
+                        .map(|c| leaf_bc_tx[c].clone())
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            } else if cascade || gossip {
                 let lower = level_offset(li - 1);
                 (j * fanout..((j + 1) * fanout).min(levels[li - 1]))
                     .map(|c| agg_bc_tx[lower + c].clone())
                     .collect()
+            } else {
+                Vec::new()
             };
             let node_id = plan.agg_node_id(g);
             let mut up_links: BTreeMap<usize, FaultLink<(SiteId, S::UpMsg)>> = BTreeMap::new();
@@ -1080,6 +1121,13 @@ where
             } else {
                 plan.root_node_id()
             };
+            // Broadcast edge into this node: its cascade parent, or the
+            // root directly under root fan-out.
+            let bc_from = if cascade || gossip {
+                parent_id
+            } else {
+                plan.root_node_id()
+            };
             agg_slots.push(AggSlot {
                 g,
                 level: li,
@@ -1088,7 +1136,7 @@ where
                 bc_rx: agg_bc_rx[g].take().expect("agg bc receiver"),
                 up_links,
                 sender_of,
-                bc_link: FaultLink::new(net.link(parent_id, node_id, false)),
+                bc_link: FaultLink::new(net.link(bc_from, node_id, false)),
                 child_bcs,
                 up_tx: Some(if li + 1 < n_levels {
                     agg_up_tx[plan.parent_of(li + 1, j).0].clone()
@@ -1125,12 +1173,27 @@ where
     }
     debug_assert!(remaining.is_empty());
 
-    // The root keeps only the broadcast senders of its direct children;
-    // dropping everything else lets disconnection cascade bottom-up.
-    let root_child_bcs: Vec<mpsc::Sender<S::Broadcast>> = if n_levels == 0 {
-        leaf_bc_tx.clone()
+    // The root keeps the broadcast senders its plane serves directly:
+    // its cascade children, every node under root fan-out, and (under
+    // gossip) every leaf so adopter sets can be delivered. Dropping
+    // everything else lets disconnection cascade bottom-up — retirement
+    // is driven by input exhaustion and up-channel disconnection, so
+    // keeping broadcast senders alive never stalls shutdown.
+    let structural_txs: Vec<mpsc::Sender<S::Broadcast>> = if n_levels == 0 {
+        if gossip {
+            Vec::new()
+        } else {
+            leaf_bc_tx.clone()
+        }
+    } else if plane == BroadcastPlane::RootFanOut {
+        agg_bc_tx.iter().chain(leaf_bc_tx.iter()).cloned().collect()
     } else {
         agg_bc_tx[level_offset(n_levels - 1)..].to_vec()
+    };
+    let gossip_leaf_txs: Vec<mpsc::Sender<S::Broadcast>> = if gossip {
+        leaf_bc_tx.clone()
+    } else {
+        Vec::new()
     };
     drop(agg_bc_tx);
     drop(agg_up_tx);
@@ -1281,10 +1344,13 @@ where
         }
         let mut bc_buf: Vec<S::Broadcast> = Vec::new();
         let mut delivered: Wave<S::UpMsg> = Vec::new();
+        let mut bcast = BroadcastState::new(plane, m);
+        let plan_ref = &plan;
         let root_wave = |delivered: &mut Wave<S::UpMsg>,
                          coordinator: &mut C,
                          stats: &mut CommStats,
-                         bc_buf: &mut Vec<S::Broadcast>| {
+                         bc_buf: &mut Vec<S::Broadcast>,
+                         bcast: &mut BroadcastState| {
             for (from, msg) in delivered.drain(..) {
                 stats.record_hop(last_hop, msg.cost(), msg.wire_bytes());
                 stats.record_recv(root_idx);
@@ -1293,12 +1359,18 @@ where
                 }
                 coordinator.receive(from, msg, bc_buf);
                 for bc in bc_buf.drain(..) {
-                    // Structural per-recipient charging, shared with the
-                    // sequential and thread-per-node drivers. Down-link
-                    // faults apply at each receiving node.
-                    super::charge_broadcast(&mut *stats, &levels, m, bc.wire_size());
-                    for tx in &root_child_bcs {
+                    // The plane charges one delivery per edge actually
+                    // crossed and reports which leaves to serve;
+                    // down-link faults apply at each receiving node.
+                    let set = bcast.disseminate(plan_ref, bc.wire_size(), stats, net);
+                    for tx in &structural_txs {
                         let _ = tx.send(bc.clone());
+                    }
+                    if let LeafSet::Subset(adopters) = set {
+                        for sid in adopters {
+                            // A leaf may already have retired; fine.
+                            let _ = gossip_leaf_txs[sid].send(bc.clone());
+                        }
                     }
                 }
             }
@@ -1330,7 +1402,13 @@ where
             } else {
                 delivered = wave;
             }
-            root_wave(&mut delivered, &mut coordinator, &mut stats, &mut bc_buf);
+            root_wave(
+                &mut delivered,
+                &mut coordinator,
+                &mut stats,
+                &mut bc_buf,
+                &mut bcast,
+            );
             // The root drained its inbox (and possibly cascaded a
             // broadcast): both are wakeup events for parked workers
             // holding blocked chunks.
@@ -1342,8 +1420,16 @@ where
             for link in root_links.values_mut() {
                 link.close(&mut delivered);
             }
-            root_wave(&mut delivered, &mut coordinator, &mut stats, &mut bc_buf);
+            root_wave(
+                &mut delivered,
+                &mut coordinator,
+                &mut stats,
+                &mut bc_buf,
+                &mut bcast,
+            );
         }
+        // Frames the gossip plane's links still held release now.
+        bcast.close(&mut stats);
         if aborted.load(Ordering::Acquire) {
             // Drop every still-queued chunk (tolerating locks poisoned
             // by the panicking worker) so channel disconnection
@@ -1489,6 +1575,7 @@ mod tests {
             &ThreadedConfig {
                 batch_size: 8,
                 channel_capacity: 2,
+                plane: Default::default(),
             },
             executor,
             topology,
@@ -1531,7 +1618,7 @@ mod tests {
                 assert_eq!(pooled.stats.up_msgs, inline.stats.up_msgs);
                 assert_eq!(pooled.stats.up_cost, inline.stats.up_cost);
                 assert_eq!(pooled.stats.broadcast_events, inline.stats.broadcast_events);
-                assert_eq!(pooled.stats.broadcast_cost, inline.stats.broadcast_cost);
+                assert_eq!(pooled.stats.broadcast_cost(), inline.stats.broadcast_cost());
                 assert_eq!(pooled.stats.per_level, inline.stats.per_level);
                 assert_eq!(pooled.stats.node_in_msgs, inline.stats.node_in_msgs);
                 assert_eq!(pooled.stats.leaf_out_msgs, inline.stats.leaf_out_msgs);
@@ -1549,7 +1636,7 @@ mod tests {
         assert_eq!(parts.stats.active_leaves(), 16);
         // Broadcast cost is charged per leaf recipient.
         assert_eq!(
-            parts.stats.broadcast_cost,
+            parts.stats.broadcast_cost(),
             parts.stats.broadcast_events * 16
         );
     }
@@ -1619,6 +1706,7 @@ mod tests {
             &ThreadedConfig {
                 batch_size: 3,
                 channel_capacity: 1,
+                plane: Default::default(),
             },
             Executor::Pool { workers: 3 },
             Topology::Tree { fanout: 4 },
@@ -1736,6 +1824,7 @@ mod tests {
             &ThreadedConfig {
                 batch_size: 2,
                 channel_capacity: 1,
+                plane: Default::default(),
             },
             Executor::Pool { workers: 1 },
             Topology::Tree { fanout: 2 },
@@ -1806,6 +1895,7 @@ mod tests {
             &ThreadedConfig {
                 batch_size: 8,
                 channel_capacity: 2,
+                plane: Default::default(),
             },
             Executor::Pool { workers: 4 },
             plan,

@@ -413,6 +413,7 @@ mod tests {
         let cfg = ThreadedConfig {
             batch_size: 4,
             channel_capacity: 2,
+            plane: Default::default(),
         };
         run_live_partitioned_topology_parts(
             sites,
@@ -475,6 +476,7 @@ mod tests {
         let cfg = ThreadedConfig {
             batch_size: 4,
             channel_capacity: 2,
+            plane: Default::default(),
         };
         let parts = run_live_partitioned_topology_parts(
             sites,
@@ -547,6 +549,7 @@ mod tests {
         let cfg = ThreadedConfig {
             batch_size: 4,
             channel_capacity: 2,
+            plane: Default::default(),
         };
         let parts = run_live_partitioned_topology_parts(
             sites,

@@ -155,6 +155,108 @@ pub trait WireCodec: Sized {
     }
 }
 
+impl WireCodec for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, *self);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        r.f64()
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+}
+
+impl WireCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        r.u64()
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+}
+
+/// One versioned broadcast frame of the gossip plane: a monotone
+/// version counter stamped by the coordinator, followed by the
+/// broadcast payload it carried at that version.
+///
+/// The version makes dissemination idempotent under the faults a real
+/// wire manufactures: a duplicated frame re-announces a version the
+/// receiver already holds (no-op), and a delayed or reordered frame
+/// arrives announcing an *older* version than the receiver's, which the
+/// monotone check refuses — a stale `Ŵ` can never regress a site's
+/// threshold state. See [`crate::BroadcastPlane::Gossip`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipFrame<B> {
+    /// Monotone event counter: the coordinator stamps each broadcast
+    /// event with the next version; receivers adopt a frame only when
+    /// its version exceeds what they hold.
+    pub version: u64,
+    /// The broadcast payload (`Ŵ`, spectral threshold, …) as of
+    /// `version`.
+    pub payload: B,
+}
+
+/// A push–pull reconciliation request: a node that received a frame
+/// *older* than its own state answers the stale peer with its current
+/// [`GossipFrame`]; this digest is what rides the reverse direction of
+/// the exchange when only versions (not payloads) need comparing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipDigest {
+    /// The sender's current version.
+    pub version: u64,
+}
+
+impl<B: WireSized> WireSized for GossipFrame<B> {
+    fn wire_size(&self) -> u64 {
+        8 + self.payload.wire_size()
+    }
+}
+
+impl<B: WireCodec> WireCodec for GossipFrame<B> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.version);
+        self.payload.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let version = r.u64()?;
+        let payload = B::decode(r)?;
+        Some(GossipFrame { version, payload })
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8 + self.payload.encoded_len()
+    }
+}
+
+impl WireSized for GossipDigest {
+    fn wire_size(&self) -> u64 {
+        8
+    }
+}
+
+impl WireCodec for GossipDigest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.version);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(GossipDigest { version: r.u64()? })
+    }
+
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,7 @@ fn main() {
     let tcfg = ThreadedConfig {
         batch_size: 64,
         channel_capacity: 4,
+        plane: Default::default(),
     };
 
     let stream = WeightedZipfStream::new(5_000, 2.0, 100.0, 17).take_vec(n);

@@ -440,6 +440,7 @@ fn threaded_hh_protocols_keep_error_contract_at_several_batch_sizes() {
         let tcfg = threaded::ThreadedConfig {
             batch_size: batch,
             channel_capacity: 4,
+            plane: Default::default(),
         };
         macro_rules! check {
             ($name:literal, $deploy:expr, $slack:expr) => {{
@@ -485,6 +486,7 @@ fn threaded_matrix_protocols_keep_error_contract_at_several_batch_sizes() {
         let tcfg = threaded::ThreadedConfig {
             batch_size: batch,
             channel_capacity: 4,
+            plane: Default::default(),
         };
         macro_rules! check {
             ($name:literal, $deploy:expr, $slack:expr) => {{

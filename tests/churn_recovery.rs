@@ -44,6 +44,7 @@ fn tcfg() -> ThreadedConfig {
     ThreadedConfig {
         batch_size: 16,
         channel_capacity: 2,
+        plane: Default::default(),
     }
 }
 

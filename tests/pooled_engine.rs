@@ -47,6 +47,7 @@ fn tcfg() -> ThreadedConfig {
     ThreadedConfig {
         batch_size: 16,
         channel_capacity: 2,
+        plane: Default::default(),
     }
 }
 

@@ -44,6 +44,7 @@ fn tcfg() -> ThreadedConfig {
     ThreadedConfig {
         batch_size: 16,
         channel_capacity: 2,
+        plane: Default::default(),
     }
 }
 
@@ -358,6 +359,106 @@ fn ragged_shutdown_under_simnet_drop() {
         w_hat <= shipped + fstats.overcount_mass() + 1e-6,
         "Ŵ {w_hat} exceeds shipped mass {shipped}"
     );
+}
+
+/// Gossip plane × duplicate-manufacturing wire: the versioned-frame
+/// monotone check makes duplicated (and reordered) `Ŵ` frames
+/// idempotent — a stale copy can never regress a site's threshold.
+/// Pinned through the εW contract: gossip frames are pure control
+/// traffic (mass 0), so with a duplicate/reorder-only plan on the
+/// down direction, *neither* side of the bound earns a fault charge —
+/// if a duplicated stale frame could regress a threshold, sites would
+/// send later than the protocol allows and the undercount side would
+/// need a term this pin refuses to grant.
+#[test]
+fn gossip_duplicated_stale_frames_never_regress_thresholds() {
+    use cma::stream::BroadcastPlane;
+    let stream = zipf_stream(8_000, 909);
+    let mut exact = ExactWeightedCounter::new();
+    for &(e, w) in &stream {
+        exact.update(e, w);
+    }
+    let w = exact.total_weight();
+    let cfg = HhConfig::new(M, 0.1).with_seed(11);
+    let topo = Topology::Tree { fanout: FANOUT };
+    let inputs = partition(&stream, M);
+    let gossip_cfg = ThreadedConfig {
+        batch_size: 16,
+        channel_capacity: 2,
+        plane: BroadcastPlane::Gossip {
+            fanout: 4,
+            rounds: 8,
+            seed: 17,
+        },
+    };
+    let faults = LinkFaults {
+        duplicate: 0.30,
+        reorder: 0.10,
+        ..Default::default()
+    };
+
+    let run = |seed: u64| {
+        let net = SimNet::new(FaultPlan {
+            seed,
+            down: faults,
+            ..Default::default()
+        });
+        let (sites, coord, _) = hh::p1::deploy_topology(&cfg, topo).into_parts();
+        let parts = engine::run_partitioned_topology_parts_on(
+            sites,
+            coord,
+            inputs.clone(),
+            &gossip_cfg,
+            Executor::Inline,
+            topo,
+            hh::p1::make_aggregator(&cfg, topo),
+            &net,
+        );
+        (parts, net.stats())
+    };
+
+    let (parts, fstats) = run(84);
+    assert!(
+        fstats.duplicated > 0,
+        "the cell never duplicated a gossip frame — vacuous"
+    );
+    assert_eq!(fstats.dropped, 0, "duplicate/reorder plan must not drop");
+    // Duplicates are control traffic: they inflate the measured edge
+    // count, never the mass ledger.
+    assert_eq!(
+        fstats.overcount_mass(),
+        0.0,
+        "gossip frames must carry no mass"
+    );
+    assert!(
+        parts.stats.broadcast_deliveries > parts.stats.broadcast_reach,
+        "duplicated frames must surface as redundant deliveries"
+    );
+    for (e, f) in exact.iter() {
+        let est = parts.coordinator.estimate(e);
+        assert!(
+            est - f <= 1e-6,
+            "dup cell: item {e} overcounts by {} with no duplicated mass",
+            est - f
+        );
+        assert!(
+            f - est <= cfg.epsilon * w + 1e-6,
+            "dup cell: item {e} undercount {} > εW {} — a duplicated \
+             stale frame regressed a threshold",
+            f - est,
+            cfg.epsilon * w
+        );
+    }
+
+    // Seed replay: the gossip plane's cached per-edge links keep the
+    // fault schedule deterministic — same seed, same run, field for
+    // field.
+    let (parts_b, fstats_b) = run(84);
+    assert_eq!(
+        parts.stats, parts_b.stats,
+        "CommStats diverged between replays"
+    );
+    assert_eq!(fstats, fstats_b, "FaultStats diverged between replays");
 }
 
 const CHURN_SEGMENT: usize = 64;

@@ -29,6 +29,7 @@ fn tcfg() -> ThreadedConfig {
     ThreadedConfig {
         batch_size: 16,
         channel_capacity: 2,
+        plane: Default::default(),
     }
 }
 
@@ -38,7 +39,11 @@ fn assert_stats_identical(a: &CommStats, b: &CommStats, what: &str) {
     assert_eq!(a.up_msgs, b.up_msgs, "{what}: up_msgs");
     assert_eq!(a.up_cost, b.up_cost, "{what}: up_cost");
     assert_eq!(a.broadcast_events, b.broadcast_events, "{what}: events");
-    assert_eq!(a.broadcast_cost, b.broadcast_cost, "{what}: bc cost");
+    assert_eq!(
+        a.broadcast_deliveries, b.broadcast_deliveries,
+        "{what}: bc deliveries"
+    );
+    assert_eq!(a.broadcast_reach, b.broadcast_reach, "{what}: bc reach");
     assert_eq!(a.bytes_up, b.bytes_up, "{what}: bytes_up");
     assert_eq!(a.bytes_down, b.bytes_down, "{what}: bytes_down");
     assert_eq!(a.arrivals, b.arrivals, "{what}: arrivals");
@@ -136,7 +141,7 @@ fn byte_counters_are_internally_consistent() {
     // m + I recipients at 8 bytes (an f64 Ŵ threshold) each.
     assert_eq!(
         stats.bytes_down,
-        stats.broadcast_cost * 8,
+        stats.broadcast_cost() * 8,
         "bytes_down must be 8 bytes per delivery"
     );
 }
@@ -181,6 +186,85 @@ fn window_bytes_measured_and_clean_simnet_exact() {
             channel.coordinator.estimate_at(n as u64, item).to_bits(),
             sim.coordinator.estimate_at(n as u64, item).to_bits(),
             "window estimate for {item} diverged"
+        );
+    }
+}
+
+/// Structural broadcast planes reach every recipient over exactly one
+/// edge, so `broadcast_deliveries ≡ broadcast_reach` — the split the
+/// gossip plane needs (where redundancy makes deliveries exceed reach)
+/// must be invisible for [`BroadcastPlane::RootFanOut`] and
+/// [`BroadcastPlane::TreeCascade`]. Both planes also produce
+/// bit-identical estimates: they differ only in *shape* (root
+/// out-degree and lag), which the stats record.
+#[test]
+fn structural_planes_deliveries_equal_reach() {
+    use cma::stream::BroadcastPlane;
+    let m = 16;
+    let stream = zipf_stream(10_000, 305);
+    let cfg = HhConfig::new(m, 0.1).with_seed(4);
+    let topo = Topology::Tree { fanout: 4 };
+    let inputs = partition(&stream, m);
+    let plan = topo.plan(m);
+    let recipients = m as u64 + plan.internal_nodes() as u64;
+
+    let run = |plane: BroadcastPlane| {
+        let (sites, coord, _) = hh::p1::deploy_topology(&cfg, topo).into_parts();
+        engine::run_partitioned_topology_parts_on(
+            sites,
+            coord,
+            inputs.clone(),
+            &ThreadedConfig {
+                batch_size: 16,
+                channel_capacity: 2,
+                plane,
+            },
+            Executor::Inline,
+            topo,
+            hh::p1::make_aggregator(&cfg, topo),
+            &ChannelTransport,
+        )
+    };
+
+    let fan = run(BroadcastPlane::RootFanOut);
+    let cascade = run(BroadcastPlane::TreeCascade);
+    for (parts, what) in [(&fan, "root fan-out"), (&cascade, "tree cascade")] {
+        let s = &parts.stats;
+        assert_eq!(
+            s.broadcast_deliveries, s.broadcast_reach,
+            "{what}: structural plane must reach each recipient over one edge"
+        );
+        assert_eq!(
+            s.broadcast_deliveries,
+            s.broadcast_events * recipients,
+            "{what}: every event must cover all m + I recipients"
+        );
+        assert_eq!(
+            s.broadcast_stale, 0,
+            "{what}: structural planes leave no one stale"
+        );
+    }
+    // Shape is where they differ: the fan-out root pushes m + I frames
+    // per event in one round; the cascade bounds out-degree by the tree
+    // fanout at the price of depth-many rounds of lag.
+    assert_eq!(
+        fan.stats.broadcast_peak_out,
+        fan.stats.broadcast_events * recipients
+    );
+    assert_eq!(fan.stats.broadcast_lag_rounds, fan.stats.broadcast_events);
+    assert!(cascade.stats.broadcast_peak_out < fan.stats.broadcast_peak_out);
+    assert!(cascade.stats.broadcast_lag_rounds > cascade.stats.broadcast_events);
+    // And the protocol outcome is identical.
+    let mut items = fan.coordinator.tracked_items();
+    let mut c_items = cascade.coordinator.tracked_items();
+    items.sort_unstable();
+    c_items.sort_unstable();
+    assert_eq!(items, c_items, "plane changed the tracked set");
+    for &e in &items {
+        assert_eq!(
+            fan.coordinator.estimate(e).to_bits(),
+            cascade.coordinator.estimate(e).to_bits(),
+            "plane changed the estimate for {e}"
         );
     }
 }

@@ -21,7 +21,7 @@ use cma::protocols::sampling::WrHit;
 use cma::protocols::window::SwMsg;
 use cma::sketch::sliding_window::WinBucket;
 use cma::sketch::{FrequentDirections, MgSummary};
-use cma::stream::{MessageCost, WireCodec, WireReader};
+use cma::stream::{GossipDigest, GossipFrame, MessageCost, WireCodec, WireReader, WireSized};
 use proptest::prelude::*;
 
 /// The shared pin: buffer length == `encoded_len` == `wire_bytes`,
@@ -161,6 +161,62 @@ proptest! {
             })
             .collect();
         assert_roundtrip(&SwMsg::<MgSummary> { buckets, latest }, "SwMsg<Mg>");
+    }
+
+    #[test]
+    fn gossip_frame_roundtrips(version in 0u64..u64::MAX, payload in -1e12f64..1e12) {
+        let msg = GossipFrame { version, payload };
+        let buf = msg.to_wire();
+        // Three size reports agree: the broadcast plane charges
+        // `wire_size` (8-byte version header + payload) per edge.
+        prop_assert_eq!(buf.len() as u64, msg.encoded_len());
+        prop_assert_eq!(buf.len() as u64, msg.wire_size());
+        let mut r = WireReader::new(&buf);
+        let back = GossipFrame::<f64>::decode(&mut r).expect("decode failed");
+        prop_assert!(r.is_empty(), "decode left trailing bytes");
+        prop_assert_eq!(back.version, version);
+        prop_assert_eq!(buf, back.to_wire());
+    }
+
+    #[test]
+    fn gossip_digest_roundtrips(version in 0u64..u64::MAX) {
+        let msg = GossipDigest { version };
+        let buf = msg.to_wire();
+        prop_assert_eq!(buf.len() as u64, msg.encoded_len());
+        prop_assert_eq!(buf.len() as u64, msg.wire_size());
+        let mut r = WireReader::new(&buf);
+        let back = GossipDigest::decode(&mut r).expect("decode failed");
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn gossip_frame_truncation_is_total(
+        version in 0u64..u64::MAX,
+        payload in -1e12f64..1e12,
+        cut in 0usize..16,
+    ) {
+        // Every strict prefix decodes to None — never a panic, never a
+        // phantom frame assembled from a short read.
+        let buf = GossipFrame { version, payload }.to_wire();
+        let cut = cut.min(buf.len() - 1);
+        let mut r = WireReader::new(&buf[..cut]);
+        prop_assert!(GossipFrame::<f64>::decode(&mut r).is_none());
+    }
+
+    #[test]
+    fn gossip_decode_is_total_on_garbage(bytes in prop::collection::vec(0u8..255, 0..64)) {
+        // Arbitrary bytes: decode is total (Some or None, no panic,
+        // no out-of-bounds), and a successful decode consumed exactly
+        // its encoded length.
+        let mut r = WireReader::new(&bytes);
+        if let Some(frame) = GossipFrame::<f64>::decode(&mut r) {
+            prop_assert_eq!(frame.encoded_len(), 16);
+        }
+        let mut r = WireReader::new(&bytes);
+        if let Some(d) = GossipDigest::decode(&mut r) {
+            prop_assert_eq!(d.encoded_len(), 8);
+        }
     }
 
     #[test]
